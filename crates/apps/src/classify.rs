@@ -1,0 +1,229 @@
+//! k-nearest-neighbour classification over a KNN graph.
+//!
+//! Classification is the third service §I motivates KNN graphs with. With
+//! a label per (known) user, a user's class is predicted by a
+//! similarity-weighted vote among her labelled graph neighbours — the
+//! textbook weighted-kNN rule, with the expensive part (finding the
+//! neighbours) already amortised into the graph.
+
+use kiff_collections::FxHashMap;
+use kiff_dataset::UserId;
+use kiff_graph::KnnGraph;
+
+/// The outcome of one weighted vote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vote {
+    /// Winning label.
+    pub label: u32,
+    /// Total similarity mass behind the winner.
+    pub weight: f64,
+    /// Winner's share of the total vote mass, in `(0, 1]`.
+    pub confidence: f64,
+}
+
+/// A weighted-vote kNN classifier.
+///
+/// `labels[u]` holds user `u`'s class; [`KnnClassifier::UNLABELED`] marks
+/// users whose class is unknown (e.g. the test split) — they never vote.
+///
+/// ```
+/// use kiff_apps::KnnClassifier;
+/// use kiff_graph::{KnnGraph, Neighbor};
+///
+/// let graph = KnnGraph::from_neighbors(1, vec![vec![Neighbor { id: 1, sim: 0.9 }], vec![]]);
+/// let labels = [KnnClassifier::UNLABELED, 7];
+/// let c = KnnClassifier::new(&graph, &labels);
+/// assert_eq!(c.predict(0).unwrap().label, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnClassifier<'a> {
+    graph: &'a KnnGraph,
+    labels: &'a [u32],
+}
+
+impl<'a> KnnClassifier<'a> {
+    /// Sentinel for "no label": excluded from every vote.
+    pub const UNLABELED: u32 = u32::MAX;
+
+    /// Wraps a graph and per-user labels.
+    ///
+    /// # Panics
+    /// If `labels.len()` differs from the graph's user count.
+    pub fn new(graph: &'a KnnGraph, labels: &'a [u32]) -> Self {
+        assert_eq!(
+            graph.num_users(),
+            labels.len(),
+            "labels and graph disagree on |U|"
+        );
+        Self { graph, labels }
+    }
+
+    /// Predicts `u`'s class by similarity-weighted vote among its
+    /// labelled neighbours. Ties break towards the smaller label;
+    /// `None` when no labelled neighbour with positive similarity exists.
+    pub fn predict(&self, u: UserId) -> Option<Vote> {
+        let mut mass: FxHashMap<u32, f64> = FxHashMap::default();
+        let mut total = 0.0;
+        for n in self.graph.neighbors(u) {
+            let label = self.labels[n.id as usize];
+            if label == Self::UNLABELED || n.sim <= 0.0 {
+                continue;
+            }
+            *mass.entry(label).or_insert(0.0) += n.sim;
+            total += n.sim;
+        }
+        let (label, weight) = mass.into_iter().min_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        })?;
+        Some(Vote {
+            label,
+            weight,
+            confidence: weight / total,
+        })
+    }
+
+    /// Predicts every user in `users`, yielding `(user, vote)` pairs for
+    /// those with a defined prediction.
+    pub fn predict_all<'s>(
+        &'s self,
+        users: impl IntoIterator<Item = UserId> + 's,
+    ) -> impl Iterator<Item = (UserId, Vote)> + 's {
+        users
+            .into_iter()
+            .filter_map(move |u| self.predict(u).map(|v| (u, v)))
+    }
+}
+
+/// Classification accuracy of `classifier` on `(user, true label)` pairs.
+/// Users without a prediction count as errors (the honest convention for
+/// end-to-end comparisons). Returns 0.0 on an empty slice.
+pub fn accuracy(classifier: &KnnClassifier<'_>, test: &[(UserId, u32)]) -> f64 {
+    if test.is_empty() {
+        return 0.0;
+    }
+    let correct = test
+        .iter()
+        .filter(|&&(u, truth)| classifier.predict(u).is_some_and(|v| v.label == truth))
+        .count();
+    correct as f64 / test.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiff_graph::Neighbor;
+
+    fn graph() -> KnnGraph {
+        // User 0's neighbours: 1 (sim .8, label A), 2 (sim .5, label B),
+        // 3 (sim .4, label B). Weighted vote: B wins .9 vs .8.
+        KnnGraph::from_neighbors(
+            3,
+            vec![
+                vec![
+                    Neighbor { id: 1, sim: 0.8 },
+                    Neighbor { id: 2, sim: 0.5 },
+                    Neighbor { id: 3, sim: 0.4 },
+                ],
+                vec![Neighbor { id: 0, sim: 0.8 }],
+                vec![],
+                vec![],
+            ],
+        )
+    }
+
+    #[test]
+    fn weighted_vote_beats_plurality() {
+        let g = graph();
+        let labels = [KnnClassifier::UNLABELED, 0, 1, 1];
+        let c = KnnClassifier::new(&g, &labels);
+        let v = c.predict(0).unwrap();
+        assert_eq!(v.label, 1);
+        assert!((v.weight - 0.9).abs() < 1e-12);
+        assert!((v.confidence - 0.9 / 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_neighbours_do_not_vote() {
+        let g = graph();
+        // Only neighbour 1 is labelled.
+        let labels = [
+            KnnClassifier::UNLABELED,
+            7,
+            KnnClassifier::UNLABELED,
+            KnnClassifier::UNLABELED,
+        ];
+        let c = KnnClassifier::new(&g, &labels);
+        let v = c.predict(0).unwrap();
+        assert_eq!(v.label, 7);
+        assert!((v.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_labelled_neighbours_is_none() {
+        let g = graph();
+        let labels = [1, 1, 1, 1];
+        let c = KnnClassifier::new(&g, &labels);
+        assert_eq!(c.predict(2), None, "user 2 has no neighbours");
+    }
+
+    #[test]
+    fn tie_breaks_to_smaller_label() {
+        let g = KnnGraph::from_neighbors(
+            2,
+            vec![
+                vec![Neighbor { id: 1, sim: 0.5 }, Neighbor { id: 2, sim: 0.5 }],
+                vec![],
+                vec![],
+            ],
+        );
+        let labels = [KnnClassifier::UNLABELED, 9, 3];
+        let c = KnnClassifier::new(&g, &labels);
+        assert_eq!(c.predict(0).unwrap().label, 3);
+    }
+
+    #[test]
+    fn accuracy_counts_missing_as_errors() {
+        let g = graph();
+        let labels = [KnnClassifier::UNLABELED, 0, 1, 1];
+        let c = KnnClassifier::new(&g, &labels);
+        // user 0 → predicted 1 (correct); user 2 → None (error).
+        assert_eq!(accuracy(&c, &[(0, 1), (2, 0)]), 0.5);
+        assert_eq!(accuracy(&c, &[]), 0.0);
+    }
+
+    #[test]
+    fn predict_all_skips_undefined() {
+        let g = graph();
+        let labels = [KnnClassifier::UNLABELED, 0, 1, 1];
+        let c = KnnClassifier::new(&g, &labels);
+        let out: Vec<_> = c.predict_all(0..4).collect();
+        // User 0 votes via labelled neighbours 1–3; user 1's only
+        // neighbour (user 0) is unlabeled, and users 2–3 have none.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+    }
+
+    #[test]
+    fn planted_communities_classify_well() {
+        use kiff_core::{Kiff, KiffConfig};
+        use kiff_dataset::generators::{generate_planted, PlantedConfig};
+        use kiff_similarity::WeightedCosine;
+
+        let (ds, truth) = generate_planted(&PlantedConfig::tiny("cls", 29));
+        let sim = WeightedCosine::fit(&ds);
+        let graph = Kiff::new(KiffConfig::new(10)).run(&ds, &sim).graph;
+
+        // Hold out every fifth user.
+        let mut labels = truth.clone();
+        let mut test = Vec::new();
+        for u in (0..ds.num_users()).step_by(5) {
+            labels[u] = KnnClassifier::UNLABELED;
+            test.push((u as u32, truth[u]));
+        }
+        let c = KnnClassifier::new(&graph, &labels);
+        let acc = accuracy(&c, &test);
+        assert!(acc > 0.9, "accuracy = {acc}");
+    }
+}

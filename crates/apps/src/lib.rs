@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Applications of KNN graphs — the services §I of the paper motivates
+//! KNN construction with: "search, recommendation and classification".
+//!
+//! Every module consumes a finished [`kiff_graph::KnnGraph`] (built by
+//! KIFF or any of the baselines) together with the dataset it was built
+//! from:
+//!
+//! * [`recommend`] — user-based collaborative filtering: items loved by a
+//!   user's nearest neighbours become her recommendations, with
+//!   similarity-weighted rating prediction and a leave-one-out evaluation
+//!   harness.
+//! * [`classify`] — k-nearest-neighbour classification by
+//!   similarity-weighted vote over labelled neighbours.
+//! * [`eval`] — offline evaluation protocols: train/test splits and
+//!   ranking metrics (precision@N, MRR).
+//! * [`search`] — similarity search for *out-of-graph* queries: a greedy
+//!   best-first walk over the KNN graph that scores candidates against a
+//!   free-standing query profile, avoiding a linear scan.
+
+pub mod classify;
+pub mod eval;
+pub mod recommend;
+pub mod search;
+
+pub use classify::{accuracy, KnnClassifier, Vote};
+pub use eval::{holdout_last_per_user, holdout_random, mean_reciprocal_rank, precision_at, Split};
+pub use recommend::{hit_rate, Recommendation, Recommender};
+pub use search::{GraphSearcher, ProfileMetric, QueryProfile, SearchResult};

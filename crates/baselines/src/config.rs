@@ -1,0 +1,31 @@
+//! Shared configuration for the greedy baselines.
+
+/// Parameters shared by NN-Descent and HyRec.
+#[derive(Debug, Clone)]
+pub struct GreedyConfig {
+    /// Neighbourhood size `k`.
+    pub k: usize,
+    /// Termination threshold: stop when changes per user per iteration drop
+    /// below this (the paper's `δ`/`β`).
+    pub termination: f64,
+    /// Worker threads (`None` = all available).
+    pub threads: Option<usize>,
+    /// RNG seed for the random initial graph.
+    pub seed: u64,
+    /// Hard cap on iterations (safety net; the paper's runs converge well
+    /// before this).
+    pub max_iterations: usize,
+}
+
+impl GreedyConfig {
+    /// The paper's default parameters (§IV-D) for a given `k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            termination: 0.001,
+            threads: None,
+            seed: 42,
+            max_iterations: 200,
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Instrumentation shared by the greedy baselines (mirrors §IV-C's
+//! metrics: scan rate, per-activity timing, per-iteration traces).
+
+use std::time::Duration;
+
+use kiff_graph::IterationTrace;
+
+/// Metrics of one NN-Descent or HyRec run.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyStats {
+    /// Iterations executed (the random initialisation is not an
+    /// iteration).
+    pub iterations: usize,
+    /// Total similarity evaluations, including the `|U|·k` spent scoring
+    /// the random initial graph.
+    pub sim_evals: u64,
+    /// `sim_evals / (|U|·(|U|−1)/2)`.
+    pub scan_rate: f64,
+    /// Aggregated worker time assembling candidate sets (neighbour-of-
+    /// neighbour unions, reversals, dedup) — the dominant non-similarity
+    /// cost of greedy approaches (Fig. 5).
+    pub candidate_selection_time: Duration,
+    /// Aggregated worker time evaluating similarities.
+    pub similarity_time: Duration,
+    /// Wall time of the random initialisation.
+    pub init_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Per-iteration traces (Fig. 8).
+    pub per_iteration: Vec<IterationTrace>,
+}
+
+impl GreedyStats {
+    /// Finalises the scan rate for `n` users.
+    pub(crate) fn finish(&mut self, n: usize) {
+        let possible = n as f64 * (n as f64 - 1.0) / 2.0;
+        self.scan_rate = if possible > 0.0 {
+            self.sim_evals as f64 / possible
+        } else {
+            0.0
+        };
+    }
+}

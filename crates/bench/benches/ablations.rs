@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! sort-based vs hash-based RCS counting, merge vs galloping
+//! intersections, pivot on/off, inverted-index vs brute-force exact KNN,
+//! and NN-Descent sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_baselines::{GreedyConfig, NnDescent};
+use kiff_bench::datasets::{bench_dataset, small_bench_dataset};
+use kiff_core::{build_rcs, CountStrategy, CountingConfig};
+use kiff_graph::{exact_knn, exact_knn_brute};
+use kiff_similarity::{galloping_intersect_count, merge_intersect_count, WeightedCosine};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(18);
+    let _ = ds.item_profiles();
+
+    // RCS counting strategy.
+    let mut group = c.benchmark_group("ablation_rcs_strategy");
+    group.sample_size(20);
+    for (name, strategy) in [
+        ("sort_based", CountStrategy::SortBased),
+        ("hash_based", CountStrategy::HashBased),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(build_rcs(
+                    &ds,
+                    &CountingConfig {
+                        strategy,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    // Pivot halves the stored candidates.
+    group.bench_function("unpivoted", |b| {
+        b.iter(|| {
+            black_box(build_rcs(
+                &ds,
+                &CountingConfig {
+                    pivot: false,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+
+    // Intersection kernels on skewed slice pairs.
+    let long: Vec<u32> = (0..8192u32).map(|i| i * 3).collect();
+    let short: Vec<u32> = (0..64u32).map(|i| i * 379).collect();
+    let mut group = c.benchmark_group("ablation_intersection");
+    group.bench_function("merge_skewed", |b| {
+        b.iter(|| black_box(merge_intersect_count(black_box(&short), black_box(&long))))
+    });
+    group.bench_function("gallop_skewed", |b| {
+        b.iter(|| {
+            black_box(galloping_intersect_count(
+                black_box(&short),
+                black_box(&long),
+            ))
+        })
+    });
+    group.finish();
+
+    // Exact KNN: inverted index vs brute force.
+    let small = small_bench_dataset(19);
+    let sim = WeightedCosine::fit(&small);
+    let _ = small.item_profiles();
+    let mut group = c.benchmark_group("ablation_exact");
+    group.sample_size(10);
+    group.bench_function("inverted_index", |b| {
+        b.iter(|| black_box(exact_knn(&small, &sim, 10, Some(2))))
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(exact_knn_brute(&small, &sim, 10, Some(2))))
+    });
+    group.finish();
+
+    // NN-Descent sampling.
+    let mut group = c.benchmark_group("ablation_nnd_sampling");
+    group.sample_size(10);
+    let mut cfg = GreedyConfig::new(10);
+    cfg.threads = Some(2);
+    group.bench_function("no_sampling", |b| {
+        b.iter(|| black_box(NnDescent::new(cfg.clone()).run(&small, &sim)))
+    });
+    group.bench_function("rho_0_5", |b| {
+        b.iter(|| {
+            black_box(
+                NnDescent::new(cfg.clone())
+                    .with_sampling(0.5)
+                    .run(&small, &sim),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_rating_threshold(c: &mut Criterion) {
+    // The paper's §VII future-work heuristic: a rating threshold shrinks
+    // the RCSs on star-rated data.
+    use kiff_core::{Kiff, KiffConfig};
+    use kiff_dataset::generators::movielens_like;
+
+    let ds = movielens_like(0.05, 20);
+    let sim = WeightedCosine::fit(&ds);
+    let mut group = c.benchmark_group("ablation_rating_threshold");
+    group.sample_size(10);
+    group.bench_function("no_threshold", |b| {
+        b.iter(|| black_box(Kiff::new(KiffConfig::new(10).with_threads(2)).run(&ds, &sim)))
+    });
+    group.bench_function("threshold_3_stars", |b| {
+        b.iter(|| {
+            black_box(
+                Kiff::new(
+                    KiffConfig::new(10)
+                        .with_threads(2)
+                        .with_rating_threshold(3.0),
+                )
+                .run(&ds, &sim),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench, bench_rating_threshold);
+criterion_main!(benches);

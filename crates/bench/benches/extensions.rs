@@ -1,0 +1,86 @@
+//! Criterion benches for the beyond-paper extensions (ext1–ext3):
+//! L2Knng vs the other exact constructions, LSH banding schemes, and the
+//! §VII rating-threshold heuristic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_baselines::{L2Knng, L2KnngConfig, Lsh, LshConfig, LshFamily};
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_core::{Kiff, KiffConfig};
+use kiff_graph::{exact_knn, exact_knn_brute};
+use kiff_similarity::WeightedCosine;
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(19);
+    let sim = WeightedCosine::fit(&ds);
+    let k = 10;
+
+    // ext1 flavour: every *exact* construction route under cosine.
+    let mut group = c.benchmark_group("ext_exact_constructions");
+    group.sample_size(10);
+    group.bench_function("l2knng", |b| {
+        b.iter(|| black_box(L2Knng::new(L2KnngConfig::new(k)).run(&ds)))
+    });
+    group.bench_function("inverted_index", |b| {
+        b.iter(|| black_box(exact_knn(&ds, &sim, k, Some(2))))
+    });
+    group.bench_function("kiff_gamma_inf", |b| {
+        b.iter(|| black_box(Kiff::new(KiffConfig::exact(k)).run(&ds, &sim)))
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(exact_knn_brute(&ds, &sim, k, Some(2))))
+    });
+    group.finish();
+
+    // ext1 flavour: LSH banding schemes (recall/time trade-off).
+    let mut group = c.benchmark_group("ext_lsh_banding");
+    group.sample_size(10);
+    for (name, band_bits) in [("bands_4bit", 4), ("bands_8bit", 8), ("bands_16bit", 16)] {
+        let config = LshConfig {
+            family: LshFamily::CosineHyperplane {
+                bits: 64,
+                band_bits,
+            },
+            ..LshConfig::new(k)
+        };
+        group.bench_function(name, |b| {
+            let lsh = Lsh::new(config.clone());
+            b.iter(|| black_box(lsh.run(&ds, &sim)))
+        });
+    }
+    group.finish();
+
+    // §VII insertion-limit flavour: RCS length caps.
+    let mut group = c.benchmark_group("ext_max_rcs");
+    group.sample_size(10);
+    for (name, cap) in [("uncapped", None), ("cap_64", Some(64)), ("cap_16", Some(16))] {
+        group.bench_function(name, |b| {
+            let mut config = KiffConfig::new(k);
+            config.threads = Some(2);
+            config.max_rcs = cap;
+            let kiff = Kiff::new(config);
+            b.iter(|| black_box(kiff.run(&ds, &sim)))
+        });
+    }
+    group.finish();
+
+    // ext2 flavour: §VII rating-threshold heuristic on count-valued data.
+    let counted = kiff_bench::datasets::counts_bench_dataset(23);
+    let csim = WeightedCosine::fit(&counted);
+    let mut group = c.benchmark_group("ext_rating_threshold");
+    group.sample_size(10);
+    for (name, threshold) in [("off", None), ("ge2", Some(2.0f32)), ("ge3", Some(3.0))] {
+        group.bench_function(name, |b| {
+            let mut config = KiffConfig::new(k);
+            config.threads = Some(2);
+            config.rating_threshold = threshold;
+            let kiff = Kiff::new(config);
+            b.iter(|| black_box(kiff.run(&counted, &csim)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench for Fig. 1: greedy baselines whose per-iteration time is
+//! dominated by similarity computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_bench::runner::{run_hyrec, run_nndescent, RunOptions};
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(10);
+    let opts = RunOptions {
+        k: 10,
+        threads: Some(2),
+        seed: 5,
+    };
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("nndescent_traced", |b| {
+        b.iter(|| black_box(run_nndescent(&ds, opts).per_iteration))
+    });
+    group.bench_function("hyrec_traced", |b| {
+        b.iter(|| black_box(run_hyrec(&ds, opts).per_iteration))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Fig. 10: KIFF vs NN-Descent across dataset densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_bench::runner::{run_kiff, run_nndescent, RunOptions};
+use kiff_dataset::subsample_ratings;
+
+fn bench(c: &mut Criterion) {
+    let base = bench_dataset(17);
+    let opts = RunOptions {
+        k: 10,
+        threads: Some(2),
+        seed: 4,
+    };
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    for keep_pct in [100usize, 30, 10] {
+        let ds = subsample_ratings(&base, base.num_ratings() * keep_pct / 100, 3);
+        group.bench_with_input(BenchmarkId::new("kiff_density", keep_pct), &ds, |b, ds| {
+            b.iter(|| black_box(run_kiff(ds, opts)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nndescent_density", keep_pct),
+            &ds,
+            |b, ds| b.iter(|| black_box(run_nndescent(ds, opts))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

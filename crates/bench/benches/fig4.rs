@@ -1,0 +1,27 @@
+//! Bench for Fig. 4: CCDF construction over profile-size distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
+use kiff_eval::Ccdf;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(11);
+    let up = user_profile_sizes(&ds);
+    let ip = item_profile_sizes(&ds);
+    let mut group = c.benchmark_group("fig4");
+    group.bench_function("ccdf_user_profiles", |b| {
+        b.iter(|| black_box(Ccdf::from_observations(black_box(&up))))
+    });
+    group.bench_function("ccdf_item_profiles", |b| {
+        b.iter(|| black_box(Ccdf::from_observations(black_box(&ip))))
+    });
+    let ccdf = Ccdf::from_observations(&up);
+    group.bench_function("log_samples", |b| b.iter(|| black_box(ccdf.log_samples(4))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for Fig. 5: instrumented KIFF run (phase timers enabled), to
+//! verify instrumentation overhead stays negligible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_core::{Kiff, KiffConfig};
+use kiff_similarity::WeightedCosine;
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(12);
+    let sim = WeightedCosine::fit(&ds);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(20);
+    group.bench_function("kiff_instrumented", |b| {
+        b.iter(|| {
+            let result = Kiff::new(KiffConfig::new(10).with_threads(2)).run(&ds, &sim);
+            black_box((
+                result.stats.preprocessing_time(),
+                result.stats.similarity_time,
+                result.stats.candidate_selection_time,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench for Fig. 6: RCS size distribution and its CCDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_core::{build_rcs, CountingConfig};
+use kiff_eval::Ccdf;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(13);
+    let _ = ds.item_profiles();
+    let rcs = build_rcs(&ds, &CountingConfig::default());
+    let sizes = rcs.sizes();
+    let mut group = c.benchmark_group("fig6");
+    group.bench_function("rcs_sizes", |b| b.iter(|| black_box(rcs.sizes())));
+    group.bench_function("rcs_ccdf", |b| {
+        b.iter(|| black_box(Ccdf::from_observations(black_box(&sizes))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench for Fig. 7: Spearman correlation between RCS order and metric
+//! order for heavy users.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_core::{build_rcs, CountingConfig};
+use kiff_eval::spearman;
+use kiff_similarity::{Similarity, WeightedCosine};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(14);
+    let _ = ds.item_profiles();
+    let rcs = build_rcs(
+        &ds,
+        &CountingConfig {
+            keep_counts: true,
+            ..Default::default()
+        },
+    );
+    let cosine = WeightedCosine::fit(&ds);
+    // The user with the largest RCS is the Fig. 7 workload.
+    let u = (0..ds.num_users() as u32)
+        .max_by_key(|&u| rcs.len(u))
+        .expect("non-empty dataset");
+    let counts: Vec<f64> = rcs
+        .counts(u)
+        .unwrap()
+        .iter()
+        .map(|&c| f64::from(c))
+        .collect();
+    let sims: Vec<f64> = rcs.rcs(u).iter().map(|&v| cosine.sim(&ds, u, v)).collect();
+    let mut group = c.benchmark_group("fig7");
+    group.bench_function("spearman_rcs_vs_cosine", |b| {
+        b.iter(|| black_box(spearman(black_box(&counts), black_box(&sims))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for Fig. 8: per-iteration observed runs (snapshot + recall at
+//! every iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_bench::runner::ground_truth;
+use kiff_core::{Kiff, KiffConfig};
+use kiff_graph::{recall, IterationTrace, SharedKnn};
+use kiff_similarity::WeightedCosine;
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(15);
+    let sim = WeightedCosine::fit(&ds);
+    let exact = ground_truth(&ds, 10, Some(2));
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("kiff_with_recall_tracing", |b| {
+        b.iter(|| {
+            let mut points: Vec<(u64, f64)> = Vec::new();
+            let mut observer = |t: IterationTrace, s: &SharedKnn| {
+                points.push((t.cumulative_sim_evals, recall(&exact, &s.snapshot())));
+            };
+            Kiff::new(KiffConfig::new(10).with_threads(2)).run_observed(&ds, &sim, &mut observer);
+            black_box(points)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for Fig. 9: KIFF across gamma values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_bench::runner::{run_kiff_with, RunOptions};
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(16);
+    let opts = RunOptions {
+        k: 10,
+        threads: Some(2),
+        seed: 2,
+    };
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    for gamma in [5usize, 20, 80] {
+        group.bench_with_input(BenchmarkId::new("kiff_gamma", gamma), &gamma, |b, &g| {
+            b.iter(|| black_box(run_kiff_with(&ds, opts, Some(g), None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

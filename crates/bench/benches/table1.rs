@@ -1,0 +1,31 @@
+//! Bench for Table I: dataset descriptor computation (sizes, density,
+//! average/max profile sizes) on a calibrated synthetic dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
+use kiff_dataset::DatasetStats;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(1);
+    let _ = ds.item_profiles(); // warm the transpose cache
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("dataset_stats", |b| {
+        b.iter(|| black_box(DatasetStats::compute(black_box(&ds))))
+    });
+    group.bench_function("profile_size_vectors", |b| {
+        b.iter(|| {
+            (
+                black_box(user_profile_sizes(&ds)),
+                black_box(item_profile_sizes(&ds)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench for Table II: end-to-end construction by all three algorithms on
+//! a small Wikipedia-like dataset (paper parameters, k = 10 for speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_bench::runner::{run_hyrec, run_kiff, run_nndescent, RunOptions};
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(2);
+    let opts = RunOptions {
+        k: 10,
+        threads: Some(2),
+        seed: 7,
+    };
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("kiff", |b| b.iter(|| black_box(run_kiff(&ds, opts))));
+    group.bench_function("nndescent", |b| {
+        b.iter(|| black_box(run_nndescent(&ds, opts)))
+    });
+    group.bench_function("hyrec", |b| b.iter(|| black_box(run_hyrec(&ds, opts))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Table III's underlying computation: recall evaluation of an
+//! approximate graph against exact ground truth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_bench::runner::{ground_truth, run_kiff, RunOptions};
+use kiff_graph::{recall, recall_per_user};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(3);
+    let exact = ground_truth(&ds, 10, Some(2));
+    let approx = run_kiff(
+        &ds,
+        RunOptions {
+            k: 10,
+            threads: Some(2),
+            seed: 1,
+        },
+    )
+    .graph;
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("recall", |b| {
+        b.iter(|| black_box(recall(black_box(&exact), black_box(&approx))))
+    });
+    group.bench_function("recall_per_user", |b| {
+        b.iter(|| black_box(recall_per_user(black_box(&exact), black_box(&approx))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Table IV: user-profile (CSR) construction versus the extra
+//! item-profile transpose.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_dataset::DatasetBuilder;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(4);
+    let triples: Vec<(u32, u32, f32)> = ds.iter_ratings().collect();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(30);
+    group.bench_function("build_user_profiles", |b| {
+        b.iter(|| {
+            let mut builder = DatasetBuilder::new("bench", ds.num_users(), ds.num_items());
+            builder.reserve(triples.len());
+            for &(u, i, r) in &triples {
+                builder.add_rating(u, i, r);
+            }
+            black_box(builder.build())
+        })
+    });
+    group.bench_function("build_item_profiles", |b| {
+        b.iter(|| black_box(ds.build_item_profiles()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

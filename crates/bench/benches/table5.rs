@@ -1,0 +1,32 @@
+//! Bench for Table V: Ranked Candidate Set construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_core::{build_rcs, CountingConfig};
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(5);
+    let _ = ds.item_profiles();
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(20);
+    group.bench_function("build_rcs_stripped", |b| {
+        b.iter(|| black_box(build_rcs(&ds, &CountingConfig::default())))
+    });
+    group.bench_function("build_rcs_counted", |b| {
+        b.iter(|| {
+            black_box(build_rcs(
+                &ds,
+                &CountingConfig {
+                    keep_counts: true,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

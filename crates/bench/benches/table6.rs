@@ -1,0 +1,29 @@
+//! Bench for Table VI: a full KIFF run plus the truncation statistics it
+//! derives (iterations x gamma cut-off against the RCS size distribution).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig};
+use kiff_similarity::WeightedCosine;
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(6);
+    let sim = WeightedCosine::fit(&ds);
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("kiff_run_plus_truncation_stats", |b| {
+        b.iter(|| {
+            let result = Kiff::new(KiffConfig::new(10).with_threads(2)).run(&ds, &sim);
+            let cut = result.stats.iterations * 20;
+            let rcs = build_rcs(&ds, &CountingConfig::default());
+            let above = rcs.sizes().iter().filter(|&&s| s > cut).count();
+            black_box((result, above))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

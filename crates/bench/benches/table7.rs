@@ -1,0 +1,28 @@
+//! Bench for Table VII: the two initialisation strategies (top-k from the
+//! unpivoted RCS vs a random graph).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiff_baselines::random_graph;
+use kiff_bench::datasets::bench_dataset;
+use kiff_core::initial_rcs_graph;
+use kiff_similarity::WeightedCosine;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(7);
+    let sim = WeightedCosine::fit(&ds);
+    let _ = ds.item_profiles();
+    let mut group = c.benchmark_group("table7");
+    group.sample_size(15);
+    group.bench_function("initial_rcs_graph", |b| {
+        b.iter(|| black_box(initial_rcs_graph(&ds, &sim, 10, Some(2))))
+    });
+    group.bench_function("random_graph", |b| {
+        b.iter(|| black_box(random_graph(&ds, &sim, 10, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for Table VIII: sensitivity of each algorithm to k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::small_bench_dataset;
+use kiff_bench::runner::{run_kiff, run_nndescent, RunOptions};
+
+fn bench(c: &mut Criterion) {
+    let ds = small_bench_dataset(8);
+    let mut group = c.benchmark_group("table8");
+    group.sample_size(10);
+    for k in [5usize, 10, 20] {
+        let opts = RunOptions {
+            k,
+            threads: Some(2),
+            seed: 3,
+        };
+        group.bench_with_input(BenchmarkId::new("kiff", k), &opts, |b, &opts| {
+            b.iter(|| black_box(run_kiff(&ds, opts)))
+        });
+        group.bench_with_input(BenchmarkId::new("nndescent", k), &opts, |b, &opts| {
+            b.iter(|| black_box(run_nndescent(&ds, opts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench for Table IX: density-family derivation (random rating removal)
+//! and the counting phase across densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kiff_bench::datasets::bench_dataset;
+use kiff_core::{build_rcs, CountingConfig};
+use kiff_dataset::subsample_ratings;
+
+fn bench(c: &mut Criterion) {
+    let ds = bench_dataset(9);
+    let mut group = c.benchmark_group("table9");
+    group.sample_size(20);
+    group.bench_function("subsample_half", |b| {
+        b.iter(|| black_box(subsample_ratings(&ds, ds.num_ratings() / 2, 1)))
+    });
+    for keep in [100usize, 50, 25] {
+        let sub = subsample_ratings(&ds, ds.num_ratings() * keep / 100, 2);
+        let _ = sub.item_profiles();
+        group.bench_with_input(
+            BenchmarkId::new("counting_phase_pct", keep),
+            &sub,
+            |b, sub| b.iter(|| black_box(build_rcs(sub, &CountingConfig::default()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Regenerates every table and figure of the KIFF paper.
+//!
+//! ```text
+//! experiments all                      # everything, default scales
+//! experiments table2 fig8              # selected experiments
+//! experiments all --scale 0.25         # quick pass at quarter scale
+//! experiments all --threads 4 --seed 7 --out results/
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use kiff_bench::datasets::SuiteScale;
+use kiff_bench::experiments::{run_experiment, Ctx, ALL};
+
+struct Args {
+    ids: Vec<String>,
+    scale: f64,
+    seed: u64,
+    threads: Option<usize>,
+    out: PathBuf,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: experiments <ids...|all> [--scale F] [--seed N] [--threads N] [--out DIR]\n\
+         experiments: {}",
+        ALL.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        scale: 1.0,
+        seed: 42,
+        threads: None,
+        out: PathBuf::from("results"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                args.scale = iter
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = Some(
+                    iter.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                );
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'\n{}", usage()));
+            }
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    if args.ids.is_empty() {
+        return Err(usage());
+    }
+    if args.ids.iter().any(|i| i == "all") {
+        args.ids = ALL.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ctx = Ctx::new(
+        args.out.clone(),
+        SuiteScale {
+            multiplier: args.scale,
+        },
+        args.seed,
+        args.threads,
+    );
+    let suite_start = Instant::now();
+    let mut failed = false;
+    for id in &args.ids {
+        eprintln!("== {id} ==");
+        let start = Instant::now();
+        match run_experiment(id, &mut ctx) {
+            Ok(text) => {
+                println!("{text}");
+                eprintln!("== {id} done in {:.1}s ==\n", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    eprintln!(
+        "suite finished in {:.1}s; reports in {}",
+        suite_start.elapsed().as_secs_f64(),
+        args.out.display()
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,223 @@
+//! The headline comparison: Fig. 1, Table II, Table III, and Fig. 5.
+
+use kiff_dataset::{paper_k, PaperDataset};
+use kiff_eval::table::{fmt_percent, fmt_secs, Table};
+use kiff_eval::{mean, AlgoRunRecord};
+
+use super::Ctx;
+use crate::runner::{compare_all, run_hyrec, run_nndescent};
+
+/// Runs the Table II workload (all three algorithms on all four datasets,
+/// paper parameters) and returns the raw records.
+pub(crate) fn collect_table2(ctx: &mut Ctx) -> Vec<AlgoRunRecord> {
+    let mut records = Vec::new();
+    for d in PaperDataset::ALL {
+        let k = paper_k(d);
+        let ds = ctx.dataset(d);
+        let exact = ctx.ground_truth(d, k);
+        eprintln!("  table2: {} (|U|={}, k={k})", d.name(), ds.num_users());
+        for outcome in compare_all(&ds, ctx.opts(k), &exact) {
+            let mut rec = outcome.record;
+            rec.dataset = d.name().to_string();
+            records.push(rec);
+        }
+    }
+    records
+}
+
+/// Table II: recall / wall-time / scan rate / #iterations per approach per
+/// dataset, with KIFF's gain rows.
+pub fn table2(ctx: &mut Ctx) -> String {
+    let records = ctx.table2_records();
+    let mut table = Table::new(&["Approach", "recall", "wall-time", "scan rate", "#iter."]);
+    for d in PaperDataset::ALL {
+        let block: Vec<&AlgoRunRecord> = records.iter().filter(|r| r.dataset == d.name()).collect();
+        if block.is_empty() {
+            continue;
+        }
+        table.push_row(&[format!("[{} | k={}]", d.name(), block[0].k), String::new()]);
+        let kiff = block
+            .iter()
+            .find(|r| r.algorithm == "KIFF")
+            .expect("kiff row");
+        for r in &block {
+            table.push_row(&[
+                format!("  {}", r.algorithm),
+                format!("{:.2}", r.recall),
+                fmt_secs(r.wall_time_s),
+                fmt_percent(r.scan_rate),
+                r.iterations.to_string(),
+            ]);
+        }
+        let competitors: Vec<&&AlgoRunRecord> =
+            block.iter().filter(|r| r.algorithm != "KIFF").collect();
+        let recall_gain =
+            kiff.recall - mean(&competitors.iter().map(|r| r.recall).collect::<Vec<_>>());
+        let speedup = mean(
+            &competitors
+                .iter()
+                .map(|r| r.wall_time_s / kiff.wall_time_s)
+                .collect::<Vec<_>>(),
+        );
+        table.push_row(&[
+            "  KIFF's Gain".to_string(),
+            format!("{recall_gain:+.2}"),
+            format!("x{speedup:.1}"),
+        ]);
+    }
+    let text = format!(
+        "Table II: overall performance of NN-Descent, HyRec & KIFF\n\n{}",
+        table.render()
+    );
+    ctx.finish(
+        "table2",
+        "Overall perf of NN-Descent, HyRec, KIFF (Table II)",
+        text,
+        &*records,
+    )
+}
+
+/// Table III: average speed-up and recall gain of KIFF over each
+/// competitor.
+pub fn table3(ctx: &mut Ctx) -> String {
+    let records = ctx.table2_records();
+    let mut table = Table::new(&["Competitor", "speed-up", "recall gain"]);
+    let mut payload = Vec::new();
+    let mut all_speedups = Vec::new();
+    let mut all_gains = Vec::new();
+    for competitor in ["NN-Descent", "HyRec"] {
+        let mut speedups = Vec::new();
+        let mut gains = Vec::new();
+        for d in PaperDataset::ALL {
+            let kiff = records
+                .iter()
+                .find(|r| r.dataset == d.name() && r.algorithm == "KIFF");
+            let other = records
+                .iter()
+                .find(|r| r.dataset == d.name() && r.algorithm == competitor);
+            if let (Some(kiff), Some(other)) = (kiff, other) {
+                speedups.push(other.wall_time_s / kiff.wall_time_s);
+                gains.push(kiff.recall - other.recall);
+            }
+        }
+        let (s, g) = (mean(&speedups), mean(&gains));
+        table.push_row(&[
+            competitor.to_string(),
+            format!("x{s:.2}"),
+            format!("{g:+.2}"),
+        ]);
+        payload.push((competitor.to_string(), s, g));
+        all_speedups.extend(speedups);
+        all_gains.extend(gains);
+    }
+    table.push_row(&[
+        "Average".to_string(),
+        format!("x{:.2}", mean(&all_speedups)),
+        format!("{:+.2}", mean(&all_gains)),
+    ]);
+    let text = format!(
+        "Table III: average speed-up and recall gain of KIFF\n\n{}\n(Paper: x15.42/+0.14 vs NN-Descent, x12.51/+0.23 vs HyRec, x13.97/+0.19 average.)\n",
+        table.render()
+    );
+    ctx.finish(
+        "table3",
+        "Average speed-up and recall gain of KIFF (Table III)",
+        text,
+        &payload,
+    )
+}
+
+/// Fig. 5: per-dataset, per-approach breakdown of computation time into
+/// preprocessing / similarity / candidate selection.
+pub fn fig5(ctx: &mut Ctx) -> String {
+    let records = ctx.table2_records();
+    let mut out = String::from(
+        "Fig. 5: time breakdown (shares of accumulated worker+preprocessing time)\n\n",
+    );
+    let mut table = Table::new(&[
+        "Dataset/Approach",
+        "preprocess",
+        "similarity",
+        "cand. select",
+    ]);
+    for d in PaperDataset::ALL {
+        for r in records.iter().filter(|r| r.dataset == d.name()) {
+            let total = r.preprocessing_s + r.similarity_s + r.candidate_selection_s;
+            if total <= 0.0 {
+                continue;
+            }
+            table.push_row(&[
+                format!("{} {}", d.name(), r.algorithm),
+                fmt_percent(r.preprocessing_s / total),
+                fmt_percent(r.similarity_s / total),
+                fmt_percent(r.candidate_selection_s / total),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nExpected shape (paper): KIFF pays 10-15% preprocessing (counting phase) but \
+         far less similarity time; NN-Descent and HyRec spend >90% of their time on \
+         similarity computations.\n",
+    );
+    ctx.finish(
+        "fig5",
+        "Time breakdown per approach (Fig. 5)",
+        out,
+        &*records,
+    )
+}
+
+/// Fig. 1: per-iteration time breakdown of NN-Descent and HyRec on the
+/// Wikipedia dataset (similarity computation dominates).
+pub fn fig1(ctx: &mut Ctx) -> String {
+    let d = PaperDataset::Wikipedia;
+    let ds = ctx.dataset(d);
+    let opts = ctx.opts(paper_k(d));
+    let mut out =
+        String::from("Fig. 1: per-iteration breakdown of greedy approaches (Wikipedia)\n");
+    let mut payload = Vec::new();
+    for (name, outcome) in [
+        ("NN-Descent", run_nndescent(&ds, opts)),
+        ("HyRec", run_hyrec(&ds, opts)),
+    ] {
+        out.push_str(&format!("\n-- {name} --\n"));
+        let mut table = Table::new(&["iter", "similarity", "candidates", "sim share"]);
+        let mut sim_total = 0.0;
+        let mut cand_total = 0.0;
+        for t in &outcome.per_iteration {
+            let sim_s = t.similarity_time.as_secs_f64();
+            let cand_s = t.candidate_time.as_secs_f64();
+            sim_total += sim_s;
+            cand_total += cand_s;
+            let share = if sim_s + cand_s > 0.0 {
+                sim_s / (sim_s + cand_s)
+            } else {
+                0.0
+            };
+            table.push_row(&[
+                format!("i{}", t.iteration),
+                fmt_secs(sim_s),
+                fmt_secs(cand_s),
+                fmt_percent(share),
+            ]);
+            payload.push((name.to_string(), t.iteration, sim_s, cand_s));
+        }
+        out.push_str(&table.render());
+        let share = sim_total / (sim_total + cand_total).max(1e-12);
+        out.push_str(&format!(
+            "{name}: similarity computation is {} of tracked per-iteration time\n",
+            fmt_percent(share)
+        ));
+    }
+    out.push_str(
+        "\n(Paper: both approaches spend >90% of their execution time on similarity \
+         values.)\n",
+    );
+    ctx.finish(
+        "fig1",
+        "Per-iteration breakdown of NN-Descent/HyRec on Wikipedia (Fig. 1)",
+        out,
+        &payload,
+    )
+}

@@ -1,0 +1,272 @@
+//! Counting-phase experiments: Tables IV–VII and Figs 6–7.
+
+use std::time::Instant;
+
+use kiff_core::{initial_rcs_graph, Kiff, KiffConfig};
+use kiff_dataset::{paper_k, DatasetBuilder, PaperDataset};
+use kiff_eval::table::{fmt_percent, Table};
+use kiff_eval::{mean, spearman, Ccdf};
+use kiff_graph::recall;
+use kiff_similarity::{Jaccard, Similarity, WeightedCosine};
+
+use super::Ctx;
+use crate::runner::run_kiff;
+
+/// Table IV: overhead of item-profile construction — time to build user
+/// profiles alone versus user + item profiles, against KIFF's total time.
+pub fn table4(ctx: &mut Ctx) -> String {
+    let mut table = Table::new(&["Dataset", "(UP) ms", "(UP)&(IP) ms", "delta ms", "% total"]);
+    let mut payload = Vec::new();
+    for d in PaperDataset::ALL {
+        let ds = ctx.dataset(d);
+        let triples: Vec<(u32, u32, f32)> = ds.iter_ratings().collect();
+
+        let t0 = Instant::now();
+        let mut builder = DatasetBuilder::new(ds.name(), ds.num_users(), ds.num_items());
+        builder.reserve(triples.len());
+        for &(u, i, r) in &triples {
+            builder.add_rating(u, i, r);
+        }
+        let rebuilt = builder.build();
+        let up_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let _ip = rebuilt.build_item_profiles();
+        let delta_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let total_s = run_kiff(&ds, ctx.opts(paper_k(d))).record.wall_time_s;
+        table.push_row(&[
+            d.name().to_string(),
+            format!("{up_ms:.0}"),
+            format!("{:.0}", up_ms + delta_ms),
+            format!("{delta_ms:.0}"),
+            fmt_percent(delta_ms / 1e3 / total_s),
+        ]);
+        payload.push((d.name().to_string(), up_ms, delta_ms, total_s));
+    }
+    let text = format!(
+        "Table IV: overhead of item profile construction in KIFF\n\n{}\n(Paper: item profiles cost at most 1.9% of KIFF's total running time.)\n",
+        table.render()
+    );
+    ctx.finish(
+        "table4",
+        "Overhead of item-profile construction (Table IV)",
+        text,
+        &payload,
+    )
+}
+
+/// Table V: RCS construction time, share of KIFF's total time, average
+/// |RCS| and the max scan rate the RCSs induce.
+pub fn table5(ctx: &mut Ctx) -> String {
+    let mut table = Table::new(&[
+        "Dataset",
+        "RCS const. ms",
+        "% total",
+        "avg |RCS|",
+        "max scan rate",
+    ]);
+    let mut payload = Vec::new();
+    for d in PaperDataset::ALL {
+        let ds = ctx.dataset(d);
+        let k = paper_k(d);
+        let outcome = run_kiff(&ds, ctx.opts(k));
+        let rcs = Kiff::new(KiffConfig::new(k)).counting_phase(&ds);
+        let rcs_ms = rcs.build_time.as_secs_f64() * 1e3;
+        table.push_row(&[
+            d.name().to_string(),
+            format!("{rcs_ms:.0}"),
+            fmt_percent(rcs_ms / 1e3 / outcome.record.wall_time_s),
+            format!("{:.1}", rcs.avg_len()),
+            fmt_percent(rcs.max_scan_rate()),
+        ]);
+        payload.push((
+            d.name().to_string(),
+            rcs_ms,
+            outcome.record.wall_time_s,
+            rcs.avg_len(),
+            rcs.max_scan_rate(),
+        ));
+    }
+    let text = format!(
+        "Table V: overhead of RCS construction & statistics\n\n{}\n(Paper: RCS construction is 7.5-13.1% of total time; the max scan rate closely \
+         bounds the actual scan rate of Table II.)\n",
+        table.render()
+    );
+    ctx.finish(
+        "table5",
+        "RCS construction overhead (Table V)",
+        text,
+        &payload,
+    )
+}
+
+fn truncation_stats(ctx: &mut Ctx, d: PaperDataset) -> (usize, usize, f64, Vec<usize>) {
+    let ds = ctx.dataset(d);
+    let k = paper_k(d);
+    let outcome = run_kiff(&ds, ctx.opts(k));
+    let gamma = 2 * k;
+    let cut = outcome.record.iterations * gamma;
+    let rcs = Kiff::new(KiffConfig::new(k)).counting_phase(&ds);
+    let sizes = rcs.sizes();
+    let above = sizes.iter().filter(|&&s| s > cut).count();
+    let frac = above as f64 / sizes.len().max(1) as f64;
+    (outcome.record.iterations, cut, frac, sizes)
+}
+
+/// Table VI: iterations, the truncation size `|RCS|cut = #iters × γ`, and
+/// the share of users whose RCS is truncated.
+pub fn table6(ctx: &mut Ctx) -> String {
+    let mut table = Table::new(&["Dataset", "#iters", "|RCS|cut", "%user |RCS|>cut"]);
+    let mut payload = Vec::new();
+    for d in PaperDataset::ALL {
+        let (iters, cut, frac, _) = truncation_stats(ctx, d);
+        table.push_row(&[
+            d.name().to_string(),
+            iters.to_string(),
+            cut.to_string(),
+            fmt_percent(frac),
+        ]);
+        payload.push((d.name().to_string(), iters, cut, frac));
+    }
+    let text = format!(
+        "Table VI: impact of KIFF's termination mechanism\n\n{}\n(Paper: 4.8-16.2% of users have truncated RCSs.)\n",
+        table.render()
+    );
+    ctx.finish("table6", "Impact of termination (Table VI)", text, &payload)
+}
+
+/// Fig. 6: CCDF of RCS sizes with the truncation cut-offs of Table VI.
+pub fn fig6(ctx: &mut Ctx) -> String {
+    let mut out = String::from("Fig. 6: CCDF of |RCS| with termination cut-offs\n");
+    let mut payload = Vec::new();
+    for d in PaperDataset::ALL {
+        let (_, cut, frac, sizes) = truncation_stats(ctx, d);
+        let ccdf = Ccdf::from_observations(&sizes);
+        out.push_str(&format!(
+            "\n-- {} (cut = {cut}, {} of users above) --\n",
+            d.name(),
+            fmt_percent(frac)
+        ));
+        let mut table = Table::new(&["x", "P(|RCS|>=x)"]);
+        for x in [1u64, 10, 50, 100, 500, 1000, 5000, 10000] {
+            table.push_row(&[x.to_string(), format!("{:.4}", ccdf.at(x))]);
+        }
+        table.push_row(&[format!("cut={cut}"), format!("{:.4}", ccdf.at(cut as u64))]);
+        out.push_str(&table.render());
+        payload.push((d.name().to_string(), cut, ccdf.log_samples(4)));
+    }
+    ctx.finish("fig6", "CCDF of RCS sizes (Fig. 6)", out, &payload)
+}
+
+/// Fig. 7: Spearman correlation between the RCS order (common-item counts)
+/// and the cosine / Jaccard orders, for Wikipedia users with truncated
+/// RCSs.
+pub fn fig7(ctx: &mut Ctx) -> String {
+    let d = PaperDataset::Wikipedia;
+    let (_, table6_cut, _, sizes) = truncation_stats(ctx, d);
+    let ds = ctx.dataset(d);
+    let k = paper_k(d);
+    let rcs = Kiff::new(KiffConfig::new(k)).counting_phase(&ds);
+    let cosine = WeightedCosine::fit(&ds);
+
+    // At reduced scales the termination cut can exceed every RCS (nothing
+    // is truncated); fall back to the 90th-percentile RCS size so the
+    // rank-correlation analysis still covers the heavy tail the paper
+    // plots.
+    let truncated_users = sizes.iter().filter(|&&s| s > table6_cut).count();
+    let cut = if truncated_users >= 20 {
+        table6_cut
+    } else {
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() * 9 / 10]
+    };
+
+    let mut points: Vec<(usize, f64, f64)> = Vec::new();
+    for u in 0..ds.num_users() as u32 {
+        let size = rcs.len(u);
+        if size <= cut {
+            continue;
+        }
+        let ids = rcs.rcs(u);
+        let counts: Vec<f64> = rcs
+            .counts(u)
+            .expect("counts kept")
+            .iter()
+            .map(|&c| f64::from(c))
+            .collect();
+        let cos: Vec<f64> = ids.iter().map(|&v| cosine.sim(&ds, u, v)).collect();
+        let jac: Vec<f64> = ids.iter().map(|&v| Jaccard.sim(&ds, u, v)).collect();
+        points.push((size, spearman(&counts, &cos), spearman(&counts, &jac)));
+    }
+    points.sort_unstable_by_key(|p| p.0);
+
+    let avg_cos = mean(&points.iter().map(|p| p.1).collect::<Vec<_>>());
+    let avg_jac = mean(&points.iter().map(|p| p.2).collect::<Vec<_>>());
+    let mut out = format!(
+        "Fig. 7: rank correlation between RCS order and final metrics\n\
+         (Wikipedia users with |RCS| > cut = {cut}; {} users)\n\n\
+         average Spearman vs cosine:  {avg_cos:.2}\n\
+         average Spearman vs Jaccard: {avg_jac:.2}\n\
+         (Paper: 0.63 for cosine, 0.60 for Jaccard, increasing with RCS size.)\n\n",
+        points.len()
+    );
+    // Bucketed summary (the paper plots a point cloud vs RCS size).
+    let mut table = Table::new(&["|RCS| bucket", "n", "Spearman cos", "Spearman jac"]);
+    let mut lo = cut;
+    while lo < cut * 8 {
+        let hi = lo + cut / 2;
+        let bucket: Vec<&(usize, f64, f64)> =
+            points.iter().filter(|p| p.0 > lo && p.0 <= hi).collect();
+        if !bucket.is_empty() {
+            table.push_row(&[
+                format!("{lo}-{hi}"),
+                bucket.len().to_string(),
+                format!(
+                    "{:.2}",
+                    mean(&bucket.iter().map(|p| p.1).collect::<Vec<_>>())
+                ),
+                format!(
+                    "{:.2}",
+                    mean(&bucket.iter().map(|p| p.2).collect::<Vec<_>>())
+                ),
+            ]);
+        }
+        lo = hi;
+    }
+    out.push_str(&table.render());
+    ctx.finish("fig7", "RCS rank vs metric rank (Fig. 7)", out, &points)
+}
+
+/// Table VII: recall of the initial approximation — top-k from the
+/// (unpivoted) RCS versus a random graph.
+pub fn table7(ctx: &mut Ctx) -> String {
+    let mut table = Table::new(&["Dataset", "Top k from RCS", "Random"]);
+    let mut payload = Vec::new();
+    for d in PaperDataset::ALL {
+        let ds = ctx.dataset(d);
+        let k = paper_k(d);
+        let exact = ctx.ground_truth(d, k);
+        let sim = WeightedCosine::fit(&ds);
+        let init = initial_rcs_graph(&ds, &sim, k, ctx.threads);
+        let random = kiff_baselines::random_graph(&ds, &sim, k, ctx.seed);
+        let (r_init, r_rand) = (recall(&exact, &init), recall(&exact, &random));
+        table.push_row(&[
+            d.name().to_string(),
+            format!("{r_init:.2}"),
+            format!("{r_rand:.2}"),
+        ]);
+        payload.push((d.name().to_string(), r_init, r_rand));
+    }
+    let text = format!(
+        "Table VII: impact of initialization method on initial recall\n\n{}\n(Paper: 0.54-0.82 from the RCS top-k vs 0.01-0.15 random.)\n",
+        table.render()
+    );
+    ctx.finish(
+        "table7",
+        "Initial recall: RCS top-k vs random (Table VII)",
+        text,
+        &payload,
+    )
+}

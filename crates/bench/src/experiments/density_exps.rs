@@ -1,0 +1,117 @@
+//! Density study: Table IX (the ML-1…ML-5 family) and Fig. 10 (KIFF vs
+//! NN-Descent at matched recall across densities).
+
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::density::ml_family;
+use kiff_eval::table::{fmt_percent, fmt_secs, Table};
+use kiff_graph::recall;
+
+use super::Ctx;
+use crate::runner::{ground_truth, run_kiff_with, run_nndescent};
+
+/// Table IX + Fig. 10 in one pass (they share the dataset family and the
+/// tuned-β runs).
+pub fn table9_fig10(ctx: &mut Ctx) -> String {
+    // The family is derived at the suite's scale multiplier (1.0 = the
+    // paper's 6040x3706 ML-1).
+    let scale = ctx.scale.multiplier.min(1.0);
+    let family = ml_family(scale, ctx.seed);
+    let k = 20;
+
+    // Table IX: ratings, density, avg |RCS|.
+    let mut t9 = Table::new(&["Dataset", "Ratings", "Density", "avg |RCS|"]);
+    let mut t9_payload = Vec::new();
+    for ds in &family {
+        let rcs = Kiff::new(KiffConfig::new(k)).counting_phase(ds);
+        t9.push_row(&[
+            ds.name().to_string(),
+            ds.num_ratings().to_string(),
+            fmt_percent(ds.density()),
+            format!("{:.1}", rcs.avg_len()),
+        ]);
+        t9_payload.push((
+            ds.name().to_string(),
+            ds.num_ratings(),
+            ds.density(),
+            rcs.avg_len(),
+        ));
+    }
+    let mut out = format!(
+        "Table IX: MovieLens datasets with decreasing density\n\n{}\n(Paper: densities 4.47%->0.30%, avg |RCS| 2892.7->202.5.)\n\n",
+        t9.render()
+    );
+
+    // Fig. 10: match NN-Descent's recall by tuning KIFF's β, then compare
+    // wall time and scan rate across densities.
+    let mut f10 = Table::new(&[
+        "Dataset",
+        "NND recall",
+        "NND time",
+        "NND scan",
+        "KIFF beta",
+        "KIFF recall",
+        "KIFF time",
+        "KIFF scan",
+    ]);
+    let mut f10_payload = Vec::new();
+    for ds in &family {
+        eprintln!("  fig10: {} ({} ratings)", ds.name(), ds.num_ratings());
+        let exact = ground_truth(ds, k, ctx.threads);
+        let nnd = run_nndescent(ds, ctx.opts(k));
+        let nnd_recall = recall(&exact, &nnd.graph);
+
+        // The paper sets β per dataset "so as to obtain the same recalls as
+        // NN-Descent": sweep β from loose to strict and keep the first
+        // configuration that matches.
+        let mut chosen = None;
+        for beta in [0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.001, 0.0] {
+            let outcome = run_kiff_with(ds, ctx.opts(k), None, Some(beta));
+            let r = recall(&exact, &outcome.graph);
+            if r >= nnd_recall - 0.005 || beta == 0.0 {
+                chosen = Some((beta, r, outcome));
+                break;
+            }
+        }
+        let (beta, kiff_recall, kiff) = chosen.expect("β sweep always terminates");
+        f10.push_row(&[
+            ds.name().to_string(),
+            format!("{nnd_recall:.2}"),
+            fmt_secs(nnd.record.wall_time_s),
+            fmt_percent(nnd.record.scan_rate),
+            format!("{beta}"),
+            format!("{kiff_recall:.2}"),
+            fmt_secs(kiff.record.wall_time_s),
+            fmt_percent(kiff.record.scan_rate),
+        ]);
+        f10_payload.push((
+            ds.name().to_string(),
+            ds.density(),
+            nnd_recall,
+            nnd.record.wall_time_s,
+            nnd.record.scan_rate,
+            beta,
+            kiff_recall,
+            kiff.record.wall_time_s,
+            kiff.record.scan_rate,
+        ));
+    }
+    out.push_str(&format!(
+        "Fig. 10: KIFF vs NN-Descent at matched recall across densities\n\n{}\n\
+         Expected shape (paper): NN-Descent is faster on the dense ML-1/ML-2, the \
+         two cross around ML-3 (~1.1% density), and KIFF wins on the sparse \
+         ML-4/ML-5; KIFF's scan rate falls sharply with density while \
+         NN-Descent's stays roughly flat.\n",
+        f10.render()
+    ));
+
+    let payload = serde_json::json!({
+        "table9": t9_payload,
+        "fig10": f10_payload,
+    });
+    ctx.finish(
+        "table9_fig10",
+        "Density family and matched-recall comparison (Table IX, Fig. 10)",
+        out,
+        &payload,
+    )
+}

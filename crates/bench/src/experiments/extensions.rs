@@ -1,0 +1,360 @@
+//! Beyond-paper extensions: the §VI related-work baselines measured under
+//! the paper's protocol (`ext1`), the §VII rating-threshold heuristic
+//! (`ext2`), thread scaling (`ext3`), graph-structure comparison (`ext4`)
+//! and the recall→application-utility chain (`ext5`). These have no
+//! table/figure number in the paper — EXPERIMENTS.md records them as
+//! extensions.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::{paper_k, PaperDataset};
+use kiff_eval::table::{fmt_percent, fmt_secs, Table};
+use kiff_graph::recall;
+use kiff_similarity::WeightedCosine;
+
+use super::Ctx;
+use crate::runner::{run_hyrec, run_kiff, run_l2knng, run_lsh, run_nndescent};
+
+/// ext1 — all five algorithms (NN-Descent, HyRec, LSH, L2Knng, KIFF) under
+/// the Table II protocol on the two small datasets. §VI argues LSH suits
+/// dense data and that L2Knng's pruning is inherently sequential; this
+/// extension quantifies both claims on sparse inputs.
+pub fn ext1(ctx: &mut Ctx) -> String {
+    let mut table = Table::new(&["Approach", "recall", "wall-time", "scan rate"]);
+    let mut records = Vec::new();
+    for d in [PaperDataset::Wikipedia, PaperDataset::Arxiv] {
+        let k = paper_k(d);
+        let ds = ctx.dataset(d);
+        let exact = ctx.ground_truth(d, k);
+        eprintln!("  ext1: {} (|U|={}, k={k})", d.name(), ds.num_users());
+        let opts = ctx.opts(k);
+        let outcomes = vec![
+            run_nndescent(&ds, opts).with_recall(&exact),
+            run_hyrec(&ds, opts).with_recall(&exact),
+            run_lsh(&ds, opts).with_recall(&exact),
+            run_l2knng(&ds, opts).with_recall(&exact),
+            run_kiff(&ds, opts).with_recall(&exact),
+        ];
+        table.push_row(&[format!("[{} | k={k}]", d.name()), String::new()]);
+        for o in &outcomes {
+            table.push_row(&[
+                format!("  {}", o.record.algorithm),
+                format!("{:.2}", o.record.recall),
+                fmt_secs(o.record.wall_time_s),
+                fmt_percent(o.record.scan_rate),
+            ]);
+            records.push(o.record.clone());
+        }
+    }
+    let text = format!(
+        "ext1: extended baseline comparison (adds LSH and L2Knng to Table II's protocol)\n\
+         L2Knng is exact under cosine (recall 1.00 by construction) but pays a\n\
+         sequential verification pass; LSH trades recall for a small scan rate.\n\n{}",
+        table.render()
+    );
+    ctx.finish(
+        "ext1",
+        "Extended baselines: +LSH, +L2Knng (beyond paper)",
+        text,
+        &records,
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct ThresholdRow {
+    threshold: Option<f32>,
+    avg_rcs: f64,
+    wall_time_s: f64,
+    scan_rate: f64,
+    recall: f64,
+}
+
+/// ext2 — the §VII heuristic: inserting only candidates that share
+/// *positively rated* items ("a naive threshold on multiple-ratings …
+/// reduces the RCSs' size and improves the performance of KIFF"). Run on
+/// the count-valued Gowalla-like dataset with increasing thresholds.
+pub fn ext2(ctx: &mut Ctx) -> String {
+    let d = PaperDataset::Gowalla;
+    let k = paper_k(d);
+    let ds = ctx.dataset(d);
+    let exact = ctx.ground_truth(d, k);
+    let sim = WeightedCosine::fit(&ds);
+
+    let mut table = Table::new(&["threshold", "avg |RCS|", "wall-time", "scan rate", "recall"]);
+    let mut rows = Vec::new();
+    for threshold in [None, Some(2.0f32), Some(3.0), Some(5.0)] {
+        let mut config = KiffConfig::new(k);
+        config.threads = ctx.threads;
+        config.rating_threshold = threshold;
+        let kiff = Kiff::new(config);
+        let rcs = kiff.counting_phase(&ds);
+        let avg_rcs = rcs.avg_len();
+        let result = kiff.run(&ds, &sim);
+        let r = recall(&exact, &result.graph);
+        table.push_row(&[
+            threshold.map_or("off".to_string(), |t| format!("≥ {t}")),
+            format!("{avg_rcs:.1}"),
+            fmt_secs(result.stats.total_time.as_secs_f64()),
+            fmt_percent(result.stats.scan_rate),
+            format!("{r:.3}"),
+        ]);
+        rows.push(ThresholdRow {
+            threshold,
+            avg_rcs,
+            wall_time_s: result.stats.total_time.as_secs_f64(),
+            scan_rate: result.stats.scan_rate,
+            recall: r,
+        });
+    }
+    let text = format!(
+        "ext2: §VII rating-threshold heuristic on {} (k={k}, count-valued ratings)\n\
+         Only items rated at or above the threshold contribute RCS candidates:\n\
+         RCSs shrink and the scan rate falls, at a measured recall cost.\n\n{}",
+        d.name(),
+        table.render()
+    );
+    ctx.finish(
+        "ext2",
+        "§VII rating-threshold heuristic (beyond paper)",
+        text,
+        &rows,
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct StructureRow {
+    algorithm: String,
+    recall: f64,
+    symmetry: f64,
+    max_in_degree: usize,
+    components: usize,
+    largest_component: usize,
+    mean_similarity: f64,
+}
+
+/// ext4 — structural comparison of the graphs each algorithm produces on
+/// the Wikipedia-like dataset. Greedy convergence is governed by these
+/// properties (§IV-B joins over bidirectional neighbourhoods; §II-A
+/// transitive exploration cannot cross components), yet the paper never
+/// reports them. Exact graphs anchor the comparison; approximate graphs
+/// show *how* they deviate, not just by how much recall.
+pub fn ext4(ctx: &mut Ctx) -> String {
+    use kiff_graph::summarize;
+
+    let d = PaperDataset::Wikipedia;
+    let k = paper_k(d);
+    let ds = ctx.dataset(d);
+    let exact = ctx.ground_truth(d, k);
+    let opts = ctx.opts(k);
+    eprintln!("  ext4: {} (|U|={}, k={k})", d.name(), ds.num_users());
+
+    let outcomes = vec![
+        run_nndescent(&ds, opts).with_recall(&exact),
+        run_hyrec(&ds, opts).with_recall(&exact),
+        run_lsh(&ds, opts).with_recall(&exact),
+        run_l2knng(&ds, opts).with_recall(&exact),
+        run_kiff(&ds, opts).with_recall(&exact),
+    ];
+
+    let mut table = Table::new(&[
+        "Approach", "recall", "symmetry", "max in°", "comps", "largest", "mean sim",
+    ]);
+    let mut rows = Vec::new();
+    let mut push = |name: &str, recall: f64, graph: &kiff_graph::KnnGraph| {
+        let s = summarize(graph);
+        table.push_row(&[
+            format!("  {name}"),
+            format!("{recall:.2}"),
+            fmt_percent(s.symmetry),
+            s.max_in_degree.to_string(),
+            s.components.to_string(),
+            s.largest_component.to_string(),
+            format!("{:.3}", graph.mean_similarity()),
+        ]);
+        rows.push(StructureRow {
+            algorithm: name.to_string(),
+            recall,
+            symmetry: s.symmetry,
+            max_in_degree: s.max_in_degree,
+            components: s.components,
+            largest_component: s.largest_component,
+            mean_similarity: graph.mean_similarity(),
+        });
+    };
+    push("exact", 1.0, &exact);
+    for o in &outcomes {
+        push(&o.record.algorithm, o.record.recall, &o.graph);
+    }
+
+    let text = format!(
+        "ext4: structure of the constructed graphs on {} (k={k})\n\
+         Symmetry = reciprocated edge fraction; comps = weakly connected\n\
+         components. Low-recall graphs betray themselves structurally:\n\
+         depressed mean similarity and symmetry relative to the exact graph.\n\n{}",
+        d.name(),
+        table.render()
+    );
+    ctx.finish(
+        "ext4",
+        "Structural comparison of constructed graphs (beyond paper)",
+        text,
+        &rows,
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct ThreadRow {
+    threads: usize,
+    wall_time_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct UtilityRow {
+    algorithm: String,
+    graph_recall: f64,
+    hit_rate_at_10: f64,
+    mrr_at_10: f64,
+    wall_time_s: f64,
+}
+
+/// ext5 — from graph recall to application utility. The paper's headline
+/// includes "improving the quality of the KNN approximation by 18%", with
+/// recommendation as the lead motivation (§I) — but never measures what
+/// recall buys downstream. Protocol: hold out one rating per user on a
+/// MovieLens-like dataset, build the KNN graph on the remainder with each
+/// algorithm, recommend top-10, and score hit rate / MRR of the hidden
+/// items.
+pub fn ext5(ctx: &mut Ctx) -> String {
+    use kiff_apps::{hit_rate, holdout_random, mean_reciprocal_rank};
+    use kiff_dataset::generators::{generate_planted, PlantedConfig, RatingModel};
+    use kiff_graph::exact_knn;
+
+    let k = 20;
+    // A movielens-like *scale* but with planted taste communities: a
+    // popularity-only synthetic (our ML stand-in) recommends identically
+    // under any graph, so it cannot separate the algorithms. Planted
+    // 120-item taste blocks give the neighbourhoods real signal.
+    let (full, _) = generate_planted(&PlantedConfig {
+        name: "planted-taste".to_string(),
+        num_users: 3_000,
+        num_items: 1_200,
+        communities: 10,
+        ratings_per_user: 20,
+        affinity: 0.8,
+        rating_model: RatingModel::Stars { half_steps: true },
+        seed: ctx.seed,
+    });
+    let split = holdout_random(&full, 5, ctx.seed);
+    let train = &split.train;
+    eprintln!(
+        "  ext5: planted-taste (|U|={}, held out {}, k={k})",
+        train.num_users(),
+        split.held_out.len()
+    );
+    let sim = WeightedCosine::fit(train);
+    let exact = exact_knn(train, &sim, k, ctx.threads);
+    let opts = crate::runner::RunOptions {
+        k,
+        threads: ctx.threads,
+        seed: ctx.seed,
+    };
+
+    let mut outcomes = vec![
+        run_lsh(train, opts).with_recall(&exact),
+        run_hyrec(train, opts).with_recall(&exact),
+        run_nndescent(train, opts).with_recall(&exact),
+        run_kiff(train, opts).with_recall(&exact),
+    ];
+    // The exact graph anchors the utility ceiling.
+    outcomes.push(crate::runner::RunOutcome {
+        record: kiff_eval::AlgoRunRecord {
+            algorithm: "exact".into(),
+            dataset: train.name().into(),
+            k,
+            recall: 1.0,
+            wall_time_s: 0.0,
+            scan_rate: 1.0,
+            iterations: 1,
+            preprocessing_s: 0.0,
+            candidate_selection_s: 0.0,
+            similarity_s: 0.0,
+        },
+        per_iteration: Vec::new(),
+        graph: exact.clone(),
+    });
+
+    let mut table = Table::new(&["Approach", "graph recall", "hit rate@10", "MRR@10"]);
+    let mut rows = Vec::new();
+    for o in &outcomes {
+        let hr = hit_rate(train, &o.graph, &split.held_out, 10);
+        let mrr = mean_reciprocal_rank(train, &o.graph, &split.held_out, 10);
+        table.push_row(&[
+            format!("  {}", o.record.algorithm),
+            format!("{:.2}", o.record.recall),
+            format!("{hr:.3}"),
+            format!("{mrr:.3}"),
+        ]);
+        rows.push(UtilityRow {
+            algorithm: o.record.algorithm.clone(),
+            graph_recall: o.record.recall,
+            hit_rate_at_10: hr,
+            mrr_at_10: mrr,
+            wall_time_s: o.record.wall_time_s,
+        });
+    }
+    let text = format!(
+        "ext5: graph recall vs recommendation utility (planted-taste data, k={k},\n\
+         leave-one-out, top-10). Utility saturates once the graph is good\n\
+         enough — the marginal value of exactness is measurable here.\n\n{}",
+        table.render()
+    );
+    ctx.finish(
+        "ext5",
+        "Graph recall vs recommendation utility (beyond paper)",
+        text,
+        &rows,
+    )
+}
+
+/// ext3 — thread scaling of KIFF on the Arxiv-like dataset ("all
+/// implementations are multi-threaded to parallelize the treatment of
+/// individual users", §IV). Reports wall time and speed-up vs one thread.
+pub fn ext3(ctx: &mut Ctx) -> String {
+    let d = PaperDataset::Arxiv;
+    let k = paper_k(d);
+    let ds = ctx.dataset(d);
+    let sim = WeightedCosine::fit(&ds);
+    let available = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let mut table = Table::new(&["threads", "wall-time", "speed-up"]);
+    let mut rows = Vec::new();
+    let mut base = 0.0f64;
+    let mut t = 1usize;
+    while t <= available {
+        let config = KiffConfig::new(k).with_threads(t);
+        let start = Instant::now();
+        let _ = Kiff::new(config).run(&ds, &sim);
+        let secs = start.elapsed().as_secs_f64();
+        if t == 1 {
+            base = secs;
+        }
+        let speedup = base / secs;
+        table.push_row(&[t.to_string(), fmt_secs(secs), format!("x{speedup:.2}")]);
+        rows.push(ThreadRow {
+            threads: t,
+            wall_time_s: secs,
+            speedup,
+        });
+        t *= 2;
+    }
+    let text = format!(
+        "ext3: KIFF thread scaling on {} (k={k}, {available} hardware threads)\n\n{}",
+        d.name(),
+        table.render()
+    );
+    ctx.finish("ext3", "KIFF thread scaling (beyond paper)", text, &rows)
+}

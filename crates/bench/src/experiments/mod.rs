@@ -1,0 +1,174 @@
+//! One module per paper artefact. Every experiment takes the shared
+//! [`Ctx`] (dataset + ground-truth caches, output directory) and returns
+//! the human-readable report it also writes to `results/<id>.txt` (with a
+//! machine-readable twin at `results/<id>.json`).
+
+pub mod comparison;
+pub mod convergence;
+pub mod counting_exps;
+pub mod datasets_exps;
+pub mod density_exps;
+pub mod extensions;
+pub mod sensitivity;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use serde::Serialize;
+
+use kiff_dataset::{Dataset, PaperDataset};
+use kiff_eval::{AlgoRunRecord, ExperimentRecord};
+use kiff_graph::KnnGraph;
+
+use crate::datasets::SuiteScale;
+use crate::runner::{self, RunOptions};
+
+/// Shared state across experiments in one `experiments` invocation:
+/// generated datasets and exact ground truths are cached because half the
+/// experiments need them.
+pub struct Ctx {
+    /// Where reports land.
+    pub out_dir: PathBuf,
+    /// Dataset scale.
+    pub scale: SuiteScale,
+    /// Generation / initialisation seed.
+    pub seed: u64,
+    /// Worker threads for all runs.
+    pub threads: Option<usize>,
+    datasets: HashMap<PaperDataset, Rc<Dataset>>,
+    truths: HashMap<(PaperDataset, usize), Rc<KnnGraph>>,
+    table2_cache: Option<Rc<Vec<AlgoRunRecord>>>,
+}
+
+impl Ctx {
+    /// Creates a context writing into `out_dir` (created if missing).
+    pub fn new(out_dir: PathBuf, scale: SuiteScale, seed: u64, threads: Option<usize>) -> Self {
+        std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+        Self {
+            out_dir,
+            scale,
+            seed,
+            threads,
+            datasets: HashMap::new(),
+            truths: HashMap::new(),
+            table2_cache: None,
+        }
+    }
+
+    /// The calibrated stand-in for `d` (cached).
+    pub fn dataset(&mut self, d: PaperDataset) -> Rc<Dataset> {
+        let scale = self.scale.scale_for(d);
+        let seed = self.seed;
+        Rc::clone(
+            self.datasets
+                .entry(d)
+                .or_insert_with(|| Rc::new(d.generate(scale, seed))),
+        )
+    }
+
+    /// Exact cosine ground truth for `(d, k)` (cached).
+    pub fn ground_truth(&mut self, d: PaperDataset, k: usize) -> Rc<KnnGraph> {
+        if !self.truths.contains_key(&(d, k)) {
+            let ds = self.dataset(d);
+            let gt = runner::ground_truth(&ds, k, self.threads);
+            self.truths.insert((d, k), Rc::new(gt));
+        }
+        Rc::clone(&self.truths[&(d, k)])
+    }
+
+    /// Run options for neighbourhood size `k`.
+    pub fn opts(&self, k: usize) -> RunOptions {
+        RunOptions {
+            k,
+            threads: self.threads,
+            seed: self.seed,
+        }
+    }
+
+    /// Table II records, computed once and shared with Table III / Fig. 5.
+    pub fn table2_records(&mut self) -> Rc<Vec<AlgoRunRecord>> {
+        if self.table2_cache.is_none() {
+            let records = comparison::collect_table2(self);
+            self.table2_cache = Some(Rc::new(records));
+        }
+        Rc::clone(self.table2_cache.as_ref().expect("just inserted"))
+    }
+
+    /// Writes `<id>.txt` and `<id>.json`, returning the text.
+    pub fn finish(
+        &self,
+        id: &str,
+        description: &str,
+        text: String,
+        payload: &impl Serialize,
+    ) -> String {
+        std::fs::write(self.out_dir.join(format!("{id}.txt")), &text)
+            .unwrap_or_else(|e| eprintln!("warning: cannot write {id}.txt: {e}"));
+        match ExperimentRecord::new(id, description, payload) {
+            Ok(record) => {
+                record
+                    .save(self.out_dir.join(format!("{id}.json")))
+                    .unwrap_or_else(|e| eprintln!("warning: cannot write {id}.json: {e}"));
+            }
+            Err(e) => eprintln!("warning: cannot serialise {id}: {e}"),
+        }
+        text
+    }
+}
+
+/// Every experiment id, in the paper's presentation order.
+pub const ALL: [&str; 21] = [
+    "table1",
+    "fig4",
+    "fig1",
+    "table2",
+    "table3",
+    "fig5",
+    "table4",
+    "table5",
+    "table6",
+    "fig6",
+    "fig7",
+    "table7",
+    "fig8",
+    "table8",
+    "fig9",
+    "table9_fig10",
+    "ext1",
+    "ext2",
+    "ext3",
+    "ext4",
+    "ext5",
+];
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
+    match id {
+        "table1" => Ok(datasets_exps::table1(ctx)),
+        "fig4" => Ok(datasets_exps::fig4(ctx)),
+        "fig1" => Ok(comparison::fig1(ctx)),
+        "table2" => Ok(comparison::table2(ctx)),
+        "table3" => Ok(comparison::table3(ctx)),
+        "fig5" => Ok(comparison::fig5(ctx)),
+        "table4" => Ok(counting_exps::table4(ctx)),
+        "table5" => Ok(counting_exps::table5(ctx)),
+        "table6" => Ok(counting_exps::table6(ctx)),
+        "fig6" => Ok(counting_exps::fig6(ctx)),
+        "fig7" => Ok(counting_exps::fig7(ctx)),
+        "table7" => Ok(counting_exps::table7(ctx)),
+        "fig8" => Ok(convergence::fig8(ctx)),
+        "table8" => Ok(sensitivity::table8(ctx)),
+        "fig9" => Ok(sensitivity::fig9(ctx)),
+        "table9" | "fig10" | "table9_fig10" => Ok(density_exps::table9_fig10(ctx)),
+        "ext1" => Ok(extensions::ext1(ctx)),
+        "ext2" => Ok(extensions::ext2(ctx)),
+        "ext3" => Ok(extensions::ext3(ctx)),
+        "ext4" => Ok(extensions::ext4(ctx)),
+        "ext5" => Ok(extensions::ext5(ctx)),
+        other => Err(format!(
+            "unknown experiment '{other}'; available: {}",
+            ALL.join(", ")
+        )),
+    }
+}

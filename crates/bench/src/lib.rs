@@ -1,0 +1,12 @@
+//! Shared helpers for the KIFF experiment harness and Criterion benches.
+//!
+//! The real entry point is the `experiments` binary (`src/bin/experiments.rs`)
+//! which regenerates every table and figure of the paper; the Criterion
+//! bench targets (`benches/`) reuse the same building blocks at reduced
+//! scale so `cargo bench` terminates quickly.
+
+pub mod datasets;
+pub mod experiments;
+pub mod runner;
+
+pub use datasets::{bench_dataset, paper_suite, SuiteScale};

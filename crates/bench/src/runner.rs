@@ -1,0 +1,230 @@
+//! Normalised algorithm runners shared by experiments and benches.
+
+use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, NnDescent};
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::Dataset;
+use kiff_eval::AlgoRunRecord;
+use kiff_graph::{exact_knn, recall, IterationTrace, KnnGraph, NoObserver};
+use kiff_similarity::WeightedCosine;
+
+/// Common knobs for a comparison run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Seed for random initial graphs.
+    pub seed: u64,
+}
+
+/// Output of one algorithm run, normalised across algorithms.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The constructed graph.
+    pub graph: KnnGraph,
+    /// Normalised record (recall left at 0 until ground truth is applied).
+    pub record: AlgoRunRecord,
+    /// Per-iteration traces.
+    pub per_iteration: Vec<IterationTrace>,
+}
+
+impl RunOutcome {
+    /// Fills in recall against `exact`.
+    pub fn with_recall(mut self, exact: &KnnGraph) -> Self {
+        self.record.recall = recall(exact, &self.graph);
+        self
+    }
+}
+
+/// Runs KIFF with the paper's defaults (γ = 2k, β = 0.001) under fitted
+/// cosine.
+pub fn run_kiff(dataset: &Dataset, opts: RunOptions) -> RunOutcome {
+    run_kiff_with(dataset, opts, None, None)
+}
+
+/// Runs KIFF with optional overrides of `γ` and `β`.
+pub fn run_kiff_with(
+    dataset: &Dataset,
+    opts: RunOptions,
+    gamma: Option<usize>,
+    beta: Option<f64>,
+) -> RunOutcome {
+    let sim = WeightedCosine::fit(dataset);
+    let mut config = KiffConfig::new(opts.k);
+    config.threads = opts.threads;
+    if let Some(g) = gamma {
+        config = config.with_gamma(g);
+    }
+    if let Some(b) = beta {
+        config = config.with_beta(b);
+    }
+    let result = Kiff::new(config).run_observed(dataset, &sim, &mut NoObserver);
+    let stats = &result.stats;
+    RunOutcome {
+        record: AlgoRunRecord {
+            algorithm: "KIFF".into(),
+            dataset: dataset.name().into(),
+            k: opts.k,
+            recall: 0.0,
+            wall_time_s: stats.total_time.as_secs_f64(),
+            scan_rate: stats.scan_rate,
+            iterations: stats.iterations,
+            preprocessing_s: stats.preprocessing_time().as_secs_f64(),
+            candidate_selection_s: stats.candidate_selection_time.as_secs_f64(),
+            similarity_s: stats.similarity_time.as_secs_f64(),
+        },
+        per_iteration: stats.per_iteration.clone(),
+        graph: result.graph,
+    }
+}
+
+/// Runs NN-Descent with the paper's defaults (no sampling, δ = 0.001).
+pub fn run_nndescent(dataset: &Dataset, opts: RunOptions) -> RunOutcome {
+    let sim = WeightedCosine::fit(dataset);
+    let mut config = GreedyConfig::new(opts.k);
+    config.threads = opts.threads;
+    config.seed = opts.seed;
+    let (graph, stats) = NnDescent::new(config).run(dataset, &sim);
+    RunOutcome {
+        record: AlgoRunRecord {
+            algorithm: "NN-Descent".into(),
+            dataset: dataset.name().into(),
+            k: opts.k,
+            recall: 0.0,
+            wall_time_s: stats.total_time.as_secs_f64(),
+            scan_rate: stats.scan_rate,
+            iterations: stats.iterations,
+            preprocessing_s: stats.init_time.as_secs_f64(),
+            candidate_selection_s: stats.candidate_selection_time.as_secs_f64(),
+            similarity_s: stats.similarity_time.as_secs_f64(),
+        },
+        per_iteration: stats.per_iteration.clone(),
+        graph,
+    }
+}
+
+/// Runs HyRec with the paper's defaults (r = 0, KIFF's termination).
+pub fn run_hyrec(dataset: &Dataset, opts: RunOptions) -> RunOutcome {
+    let sim = WeightedCosine::fit(dataset);
+    let mut config = GreedyConfig::new(opts.k);
+    config.threads = opts.threads;
+    config.seed = opts.seed;
+    let (graph, stats) = HyRec::new(config).run(dataset, &sim);
+    RunOutcome {
+        record: AlgoRunRecord {
+            algorithm: "HyRec".into(),
+            dataset: dataset.name().into(),
+            k: opts.k,
+            recall: 0.0,
+            wall_time_s: stats.total_time.as_secs_f64(),
+            scan_rate: stats.scan_rate,
+            iterations: stats.iterations,
+            preprocessing_s: stats.init_time.as_secs_f64(),
+            candidate_selection_s: stats.candidate_selection_time.as_secs_f64(),
+            similarity_s: stats.similarity_time.as_secs_f64(),
+        },
+        per_iteration: stats.per_iteration.clone(),
+        graph,
+    }
+}
+
+/// Runs the L2Knng-style two-phase pruning construction (§VI related
+/// work; exact under cosine). Sequential by design — see the module docs
+/// of `kiff_baselines::l2knng`.
+pub fn run_l2knng(dataset: &Dataset, opts: RunOptions) -> RunOutcome {
+    let (graph, stats) = L2Knng::new(L2KnngConfig::new(opts.k)).run(dataset);
+    RunOutcome {
+        record: AlgoRunRecord {
+            algorithm: "L2Knng".into(),
+            dataset: dataset.name().into(),
+            k: opts.k,
+            recall: 0.0,
+            wall_time_s: stats.total_time.as_secs_f64(),
+            scan_rate: stats.scan_rate,
+            iterations: 1,
+            preprocessing_s: stats.approx_time.as_secs_f64(),
+            candidate_selection_s: 0.0,
+            similarity_s: stats.verify_time.as_secs_f64(),
+        },
+        per_iteration: Vec::new(),
+        graph,
+    }
+}
+
+/// Runs LSH banding with cosine hyperplane signatures (§VI related work).
+pub fn run_lsh(dataset: &Dataset, opts: RunOptions) -> RunOutcome {
+    let sim = WeightedCosine::fit(dataset);
+    let mut config = LshConfig::new(opts.k);
+    config.threads = opts.threads;
+    config.seed = opts.seed;
+    let (graph, stats) = Lsh::new(config).run(dataset, &sim);
+    RunOutcome {
+        record: AlgoRunRecord {
+            algorithm: "LSH".into(),
+            dataset: dataset.name().into(),
+            k: opts.k,
+            recall: 0.0,
+            wall_time_s: stats.total_time.as_secs_f64(),
+            scan_rate: stats.scan_rate,
+            iterations: 1,
+            preprocessing_s: stats.signature_time.as_secs_f64(),
+            candidate_selection_s: 0.0,
+            similarity_s: stats.join_time.as_secs_f64(),
+        },
+        per_iteration: Vec::new(),
+        graph,
+    }
+}
+
+/// Exact ground truth under fitted cosine.
+pub fn ground_truth(dataset: &Dataset, k: usize, threads: Option<usize>) -> KnnGraph {
+    let sim = WeightedCosine::fit(dataset);
+    exact_knn(dataset, &sim, k, threads)
+}
+
+/// Runs all three algorithms and scores them against exact ground truth —
+/// one Table II block.
+pub fn compare_all(dataset: &Dataset, opts: RunOptions, exact: &KnnGraph) -> Vec<RunOutcome> {
+    vec![
+        run_nndescent(dataset, opts).with_recall(exact),
+        run_hyrec(dataset, opts).with_recall(exact),
+        run_kiff(dataset, opts).with_recall(exact),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::small_bench_dataset;
+
+    #[test]
+    fn compare_all_produces_scored_records() {
+        let ds = small_bench_dataset(11);
+        let opts = RunOptions {
+            k: 5,
+            threads: Some(2),
+            seed: 3,
+        };
+        let exact = ground_truth(&ds, 5, Some(2));
+        let outcomes = compare_all(&ds, opts, &exact);
+        assert_eq!(outcomes.len(), 3);
+        for o in &outcomes {
+            assert!(
+                o.record.recall > 0.3,
+                "{}: {}",
+                o.record.algorithm,
+                o.record.recall
+            );
+            assert!(o.record.wall_time_s > 0.0);
+            assert!(o.record.scan_rate > 0.0);
+            assert!(!o.per_iteration.is_empty());
+        }
+        // KIFF's headline property on sparse data: fewest similarity
+        // evaluations (lowest scan rate) with the best recall.
+        let kiff = &outcomes[2].record;
+        assert_eq!(kiff.algorithm, "KIFF");
+        assert!(kiff.scan_rate <= outcomes[0].record.scan_rate);
+        assert!(kiff.recall + 1e-9 >= outcomes[0].record.recall.min(outcomes[1].record.recall));
+    }
+}

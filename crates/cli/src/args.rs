@@ -1,0 +1,401 @@
+//! Argument parsing for the `kiff` binary.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use kiff::{Algorithm, Metric};
+use kiff_dataset::PaperDataset;
+
+/// Dataset file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// SNAP-style `user<TAB>item[<TAB>rating]` edge list.
+    SnapTsv,
+    /// MovieLens `user::item::rating::timestamp`.
+    MovieLens,
+    /// JSON dump written by `kiff_dataset::io::save_json`.
+    Json,
+}
+
+impl Format {
+    /// Infers the format from a file extension; `None` if unknown.
+    pub fn from_path(path: &std::path::Path) -> Option<Self> {
+        match path.extension()?.to_str()? {
+            "tsv" | "txt" | "edges" => Some(Format::SnapTsv),
+            "dat" => Some(Format::MovieLens),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Common options of dataset-consuming subcommands.
+#[derive(Debug, Clone)]
+pub struct InputOptions {
+    /// Dataset file.
+    pub input: PathBuf,
+    /// Explicit format (otherwise inferred from the extension).
+    pub format: Option<Format>,
+}
+
+/// Options of `kiff build`.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Dataset to load.
+    pub input: InputOptions,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Construction algorithm.
+    pub algorithm: Algorithm,
+    /// Similarity metric.
+    pub metric: Metric,
+    /// KIFF's γ (default 2k).
+    pub gamma: Option<usize>,
+    /// KIFF's β / the greedy baselines' termination threshold.
+    pub beta: Option<f64>,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// RNG seed for randomised algorithms.
+    pub seed: u64,
+    /// Where the graph edge list goes (`-` or absent = stdout).
+    pub output: Option<PathBuf>,
+}
+
+/// Options of `kiff generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateOptions {
+    /// Which calibrated preset to generate.
+    pub preset: PaperDataset,
+    /// Scale multiplier on the preset's defaults.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output file (TSV).
+    pub output: PathBuf,
+}
+
+/// Options of `kiff recommend`.
+#[derive(Debug, Clone)]
+pub struct RecommendOptions {
+    /// Dataset to load.
+    pub input: InputOptions,
+    /// User to recommend for (internal dense id).
+    pub user: u32,
+    /// Neighbourhood size for the underlying graph.
+    pub k: usize,
+    /// How many recommendations to print.
+    pub top: usize,
+}
+
+/// Options of `kiff search`.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Dataset to load.
+    pub input: InputOptions,
+    /// Query items (internal dense ids).
+    pub items: Vec<u32>,
+    /// Neighbourhood size for the underlying graph.
+    pub k: usize,
+    /// How many hits to print.
+    pub top: usize,
+}
+
+/// A parsed subcommand.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Build a KNN graph.
+    Build(BuildOptions),
+    /// Print Table-I style dataset statistics.
+    Stats(InputOptions),
+    /// Generate a synthetic dataset.
+    Generate(GenerateOptions),
+    /// Print top-N recommendations for a user.
+    Recommend(RecommendOptions),
+    /// Search the graph for a free-standing item-set query.
+    Search(SearchOptions),
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `kiff help`.
+pub const USAGE: &str = "kiff — KNN graph construction for sparse datasets (ICDE'16 reproduction)
+
+usage: kiff <command> [options]
+
+commands:
+  build      build a KNN graph from a ratings file
+             --input FILE [--format tsv|movielens|json] --k N
+             [--algorithm kiff|nndescent|hyrec|l2knng|lsh|exact]
+             [--metric cosine|binary-cosine|jaccard|weighted-jaccard|dice|adamic-adar]
+             [--gamma N] [--beta F] [--threads N] [--seed N] [--output FILE]
+  stats      print dataset statistics (Table I columns)
+             --input FILE [--format ...]
+  generate   write a synthetic dataset calibrated to a paper dataset
+             --preset wikipedia|arxiv|gowalla|dblp [--scale F] [--seed N] --output FILE
+  recommend  top-N items for a user via a KIFF graph
+             --input FILE --user ID [--k N] [--top N]
+  search     top users for an ad-hoc set of items via a KIFF graph
+             --input FILE --items 1,2,3 [--k N] [--top N]
+  help       this text
+
+The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
+
+fn value(flag: &str, iter: &mut impl Iterator<Item = String>) -> Result<String, ParseError> {
+    iter.next()
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, ParseError>
+where
+    T::Err: fmt::Display,
+{
+    raw.parse()
+        .map_err(|e| ParseError(format!("bad {flag} '{raw}': {e}")))
+}
+
+fn parse_format(raw: &str) -> Result<Format, ParseError> {
+    match raw {
+        "tsv" | "snap" => Ok(Format::SnapTsv),
+        "movielens" | "ml" | "dat" => Ok(Format::MovieLens),
+        "json" => Ok(Format::Json),
+        other => Err(ParseError(format!("unknown format '{other}'"))),
+    }
+}
+
+fn parse_algorithm(raw: &str) -> Result<Algorithm, ParseError> {
+    match raw {
+        "kiff" => Ok(Algorithm::Kiff),
+        "nndescent" | "nn-descent" => Ok(Algorithm::NnDescent),
+        "hyrec" => Ok(Algorithm::HyRec),
+        "l2knng" => Ok(Algorithm::L2Knng),
+        "lsh" => Ok(Algorithm::Lsh),
+        "exact" | "brute" => Ok(Algorithm::Exact),
+        other => Err(ParseError(format!("unknown algorithm '{other}'"))),
+    }
+}
+
+fn parse_metric(raw: &str) -> Result<Metric, ParseError> {
+    match raw {
+        "cosine" => Ok(Metric::Cosine),
+        "binary-cosine" => Ok(Metric::BinaryCosine),
+        "jaccard" => Ok(Metric::Jaccard),
+        "weighted-jaccard" => Ok(Metric::WeightedJaccard),
+        "dice" => Ok(Metric::Dice),
+        "adamic-adar" => Ok(Metric::AdamicAdar),
+        other => Err(ParseError(format!("unknown metric '{other}'"))),
+    }
+}
+
+fn parse_preset(raw: &str) -> Result<PaperDataset, ParseError> {
+    match raw {
+        "wikipedia" => Ok(PaperDataset::Wikipedia),
+        "arxiv" => Ok(PaperDataset::Arxiv),
+        "gowalla" => Ok(PaperDataset::Gowalla),
+        "dblp" => Ok(PaperDataset::Dblp),
+        other => Err(ParseError(format!("unknown preset '{other}'"))),
+    }
+}
+
+fn parse_items(raw: &str) -> Result<Vec<u32>, ParseError> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_num("--items", s.trim()))
+        .collect()
+}
+
+/// Parses `argv` (excluding the program name) into a [`Command`].
+pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+    let mut iter = argv.iter().cloned();
+    let sub = iter
+        .next()
+        .ok_or_else(|| ParseError(format!("missing command\n\n{USAGE}")))?;
+
+    // Collected flags, validated per subcommand afterwards.
+    let mut input: Option<PathBuf> = None;
+    let mut format: Option<Format> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut k: Option<usize> = None;
+    let mut algorithm = Algorithm::Kiff;
+    let mut metric = Metric::Cosine;
+    let mut gamma: Option<usize> = None;
+    let mut beta: Option<f64> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut scale = 1.0f64;
+    let mut preset: Option<PaperDataset> = None;
+    let mut user: Option<u32> = None;
+    let mut top: Option<usize> = None;
+    let mut items: Option<Vec<u32>> = None;
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--input" | "-i" => input = Some(PathBuf::from(value("--input", &mut iter)?)),
+            "--format" | "-f" => format = Some(parse_format(&value("--format", &mut iter)?)?),
+            "--output" | "-o" => output = Some(PathBuf::from(value("--output", &mut iter)?)),
+            "--k" | "-k" => k = Some(parse_num("--k", &value("--k", &mut iter)?)?),
+            "--algorithm" | "-a" => algorithm = parse_algorithm(&value("--algorithm", &mut iter)?)?,
+            "--metric" | "-m" => metric = parse_metric(&value("--metric", &mut iter)?)?,
+            "--gamma" => gamma = Some(parse_num("--gamma", &value("--gamma", &mut iter)?)?),
+            "--beta" => beta = Some(parse_num("--beta", &value("--beta", &mut iter)?)?),
+            "--threads" => threads = Some(parse_num("--threads", &value("--threads", &mut iter)?)?),
+            "--seed" => seed = parse_num("--seed", &value("--seed", &mut iter)?)?,
+            "--scale" => scale = parse_num("--scale", &value("--scale", &mut iter)?)?,
+            "--preset" => preset = Some(parse_preset(&value("--preset", &mut iter)?)?),
+            "--user" | "-u" => user = Some(parse_num("--user", &value("--user", &mut iter)?)?),
+            "--top" | "-n" => top = Some(parse_num("--top", &value("--top", &mut iter)?)?),
+            "--items" => items = Some(parse_items(&value("--items", &mut iter)?)?),
+            "--help" | "-h" => return Ok(Command::Help),
+            other => return Err(ParseError(format!("unknown option '{other}'\n\n{USAGE}"))),
+        }
+    }
+
+    let need_input = |input: Option<PathBuf>| -> Result<InputOptions, ParseError> {
+        let input = input.ok_or_else(|| ParseError("--input is required".into()))?;
+        Ok(InputOptions { input, format })
+    };
+
+    match sub.as_str() {
+        "build" => Ok(Command::Build(BuildOptions {
+            input: need_input(input)?,
+            k: k.ok_or_else(|| ParseError("--k is required".into()))?,
+            algorithm,
+            metric,
+            gamma,
+            beta,
+            threads,
+            seed,
+            output,
+        })),
+        "stats" => Ok(Command::Stats(need_input(input)?)),
+        "generate" => Ok(Command::Generate(GenerateOptions {
+            preset: preset.ok_or_else(|| ParseError("--preset is required".into()))?,
+            scale,
+            seed,
+            output: output.ok_or_else(|| ParseError("--output is required".into()))?,
+        })),
+        "recommend" => Ok(Command::Recommend(RecommendOptions {
+            input: need_input(input)?,
+            user: user.ok_or_else(|| ParseError("--user is required".into()))?,
+            k: k.unwrap_or(20),
+            top: top.unwrap_or(10),
+        })),
+        "search" => Ok(Command::Search(SearchOptions {
+            input: need_input(input)?,
+            items: items.ok_or_else(|| ParseError("--items is required".into()))?,
+            k: k.unwrap_or(20),
+            top: top.unwrap_or(10),
+        })),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_build() {
+        let cmd = parse(&argv(
+            "build --input r.tsv --k 20 --algorithm nndescent --metric jaccard \
+             --gamma 40 --beta 0.01 --threads 4 --seed 7 --output g.tsv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build(b) => {
+                assert_eq!(b.input.input, PathBuf::from("r.tsv"));
+                assert_eq!(b.k, 20);
+                assert_eq!(b.algorithm, Algorithm::NnDescent);
+                assert_eq!(b.metric, Metric::Jaccard);
+                assert_eq!(b.gamma, Some(40));
+                assert_eq!(b.beta, Some(0.01));
+                assert_eq!(b.threads, Some(4));
+                assert_eq!(b.seed, 7);
+                assert_eq!(b.output, Some(PathBuf::from("g.tsv")));
+            }
+            other => panic!("expected Build, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn build_requires_input_and_k() {
+        assert!(parse(&argv("build --k 5")).is_err());
+        assert!(parse(&argv("build --input r.tsv")).is_err());
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&argv(
+            "generate --preset gowalla --scale 0.25 --seed 3 --output g.tsv",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.preset, PaperDataset::Gowalla);
+                assert_eq!(g.scale, 0.25);
+                assert_eq!(g.seed, 3);
+            }
+            other => panic!("expected Generate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_items_list() {
+        let cmd = parse(&argv("search --input r.tsv --items 1,2,3 --top 5")).unwrap();
+        match cmd {
+            Command::Search(s) => {
+                assert_eq!(s.items, vec![1, 2, 3]);
+                assert_eq!(s.top, 5);
+                assert_eq!(s.k, 20, "default k");
+            }
+            other => panic!("expected Search, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_things() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("build --input r.tsv --k 5 --metric euclid")).is_err());
+        assert!(parse(&argv("build --input r.tsv --k 5 --algorithm magic")).is_err());
+        assert!(parse(&argv("generate --preset netflix --output x.tsv")).is_err());
+        assert!(parse(&argv("build --wat")).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(matches!(parse(&argv("help")).unwrap(), Command::Help));
+        assert!(matches!(
+            parse(&argv("build --help")).unwrap(),
+            Command::Help
+        ));
+    }
+
+    #[test]
+    fn format_inference() {
+        use std::path::Path;
+        assert_eq!(Format::from_path(Path::new("x.tsv")), Some(Format::SnapTsv));
+        assert_eq!(
+            Format::from_path(Path::new("x.dat")),
+            Some(Format::MovieLens)
+        );
+        assert_eq!(Format::from_path(Path::new("x.json")), Some(Format::Json));
+        assert_eq!(Format::from_path(Path::new("x.csv")), None);
+        assert_eq!(Format::from_path(Path::new("noext")), None);
+    }
+}

@@ -1,0 +1,395 @@
+//! Execution of parsed [`Command`]s.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::time::Instant;
+
+use kiff::prelude::*;
+use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, save_snap_tsv};
+use kiff_graph::write_edges_tsv;
+use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
+use kiff_dataset::{Dataset, DatasetStats};
+use kiff_eval::percentile;
+
+use crate::args::{
+    BuildOptions, Command, Format, GenerateOptions, InputOptions, RecommendOptions, SearchOptions,
+};
+
+/// A command-execution failure with a user-facing message.
+#[derive(Debug)]
+pub struct CommandError(String);
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<io::Error> for CommandError {
+    fn from(e: io::Error) -> Self {
+        CommandError(format!("i/o error: {e}"))
+    }
+}
+
+fn err(message: impl Into<String>) -> CommandError {
+    CommandError(message.into())
+}
+
+/// Loads a dataset according to `options` (format inferred from the
+/// extension when not given).
+pub fn load_dataset(options: &InputOptions) -> Result<Dataset, CommandError> {
+    let format = options
+        .format
+        .or_else(|| Format::from_path(&options.input))
+        .ok_or_else(|| {
+            err(format!(
+                "cannot infer format of '{}'; pass --format tsv|movielens|json",
+                options.input.display()
+            ))
+        })?;
+    let path = &options.input;
+    let dataset = match format {
+        Format::SnapTsv => {
+            load_snap_tsv(path)
+                .map_err(|e| err(format!("{}: {e}", path.display())))?
+                .0
+        }
+        Format::MovieLens => {
+            load_movielens(path)
+                .map_err(|e| err(format!("{}: {e}", path.display())))?
+                .0
+        }
+        Format::Json => load_json(path).map_err(|e| err(format!("{}: {e}", path.display())))?,
+    };
+    Ok(dataset)
+}
+
+/// Runs `command`, writing human-readable output to `out`.
+pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CommandError> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{}", crate::args::USAGE)?;
+            Ok(())
+        }
+        Command::Stats(options) => stats(options, out),
+        Command::Build(options) => build(options, out),
+        Command::Generate(options) => generate(options, out),
+        Command::Recommend(options) => recommend(options, out),
+        Command::Search(options) => search(options, out),
+    }
+}
+
+fn stats(options: &InputOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(options)?;
+    let s = DatasetStats::compute(&dataset);
+    writeln!(out, "dataset : {}", s.name)?;
+    writeln!(out, "users   : {}", s.num_users)?;
+    writeln!(out, "items   : {}", s.num_items)?;
+    writeln!(out, "ratings : {}", s.num_ratings)?;
+    writeln!(out, "density : {:.4}%", s.density_percent())?;
+    writeln!(
+        out,
+        "avg |UP|: {:.1}   (max {})",
+        s.avg_user_profile, s.max_user_profile
+    )?;
+    writeln!(
+        out,
+        "avg |IP|: {:.1}   (max {})",
+        s.avg_item_profile, s.max_item_profile
+    )?;
+    let pct = |sizes: &[usize]| -> (f64, f64, f64) {
+        let v: Vec<f64> = sizes.iter().map(|&x| x as f64).collect();
+        (
+            percentile(&v, 50.0),
+            percentile(&v, 90.0),
+            percentile(&v, 99.0),
+        )
+    };
+    let (u50, u90, u99) = pct(&user_profile_sizes(&dataset));
+    let (i50, i90, i99) = pct(&item_profile_sizes(&dataset));
+    writeln!(out, "|UP| pct: p50 {u50:.0}  p90 {u90:.0}  p99 {u99:.0}")?;
+    writeln!(out, "|IP| pct: p50 {i50:.0}  p90 {i90:.0}  p99 {i99:.0}")?;
+    Ok(())
+}
+
+fn build(options: &BuildOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(&options.input)?;
+    let mut builder = KnnGraphBuilder::new(options.k)
+        .algorithm(options.algorithm)
+        .metric(options.metric)
+        .seed(options.seed);
+    if let Some(g) = options.gamma {
+        builder = builder.gamma(g);
+    }
+    if let Some(b) = options.beta {
+        builder = builder.beta(b).termination(b);
+    }
+    if let Some(t) = options.threads {
+        builder = builder.threads(t);
+    }
+
+    let start = Instant::now();
+    let graph = builder.build(&dataset);
+    let elapsed = start.elapsed();
+
+    match &options.output {
+        Some(path) if path.as_os_str() != "-" => {
+            let mut w = BufWriter::new(File::create(path)?);
+            write_graph(&graph, &mut w)?;
+            w.flush()?;
+            writeln!(
+                out,
+                "built {}-NN graph of {} users in {elapsed:.1?} ({} edges) -> {}",
+                options.k,
+                graph.num_users(),
+                graph.num_edges(),
+                path.display()
+            )?;
+        }
+        _ => write_graph(&graph, out)?,
+    }
+    Ok(())
+}
+
+/// Writes `user<TAB>neighbor<TAB>similarity` lines in the format
+/// `kiff_graph::load_edges_tsv` round-trips exactly.
+fn write_graph(graph: &KnnGraph, w: &mut dyn Write) -> Result<(), CommandError> {
+    write_edges_tsv(graph, w)?;
+    Ok(())
+}
+
+fn generate(options: &GenerateOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    if options.scale <= 0.0 {
+        return Err(err("--scale must be positive"));
+    }
+    let dataset = options.preset.generate(options.scale, options.seed);
+    save_snap_tsv(&dataset, &options.output)?;
+    let s = DatasetStats::compute(&dataset);
+    writeln!(
+        out,
+        "generated {}: {} users, {} items, {} ratings (density {:.4}%) -> {}",
+        s.name,
+        s.num_users,
+        s.num_items,
+        s.num_ratings,
+        s.density_percent(),
+        options.output.display()
+    )?;
+    Ok(())
+}
+
+fn recommend(options: &RecommendOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(&options.input)?;
+    if options.user as usize >= dataset.num_users() {
+        return Err(err(format!(
+            "user {} out of range (dataset has {} users)",
+            options.user,
+            dataset.num_users()
+        )));
+    }
+    let graph = KnnGraphBuilder::new(options.k).build(&dataset);
+    let recommender = Recommender::new(&dataset, &graph);
+    let recs = recommender.recommend(options.user, options.top);
+    if recs.is_empty() {
+        writeln!(out, "no recommendations for user {}", options.user)?;
+        return Ok(());
+    }
+    writeln!(out, "top {} items for user {}:", recs.len(), options.user)?;
+    for (rank, r) in recs.iter().enumerate() {
+        writeln!(out, "{:>3}. item {:<8} score {:.4}", rank + 1, r.item, r.score)?;
+    }
+    Ok(())
+}
+
+fn search(options: &SearchOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(&options.input)?;
+    if options.items.is_empty() {
+        return Err(err("--items must list at least one item"));
+    }
+    let graph = KnnGraphBuilder::new(options.k).build(&dataset);
+    let searcher = GraphSearcher::new(&dataset, &graph, ProfileMetric::Cosine);
+    let query = QueryProfile::from_items(options.items.iter().copied());
+    let hits = searcher.search(&query, options.top, (options.top * 4).max(40));
+    if hits.is_empty() {
+        writeln!(out, "no users match the query items")?;
+        return Ok(());
+    }
+    writeln!(out, "top {} users for items {:?}:", hits.len(), options.items)?;
+    for (rank, h) in hits.iter().enumerate() {
+        writeln!(out, "{:>3}. user {:<8} sim {:.4}", rank + 1, h.user, h.sim)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiff-cli-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn run_str(cmdline: &str) -> Result<String, CommandError> {
+        let cmd = parse(&argv(cmdline)).expect("parse");
+        let mut out = Vec::new();
+        execute(&cmd, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    /// Writes a small SNAP file shared by the tests.
+    fn fixture() -> PathBuf {
+        let path = tmp("fixture.tsv");
+        std::fs::write(
+            &path,
+            "# toy\n0\t0\n0\t1\n1\t1\n1\t2\n2\t3\n3\t3\n2\t0\n3\t1\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn stats_prints_table1_columns() {
+        let path = fixture();
+        let out = run_str(&format!("stats --input {}", path.display())).unwrap();
+        assert!(out.contains("users   : 4"), "{out}");
+        assert!(out.contains("ratings : 8"), "{out}");
+        assert!(out.contains("density"), "{out}");
+    }
+
+    #[test]
+    fn build_writes_edge_list() {
+        let input = fixture();
+        let output = tmp("graph.tsv");
+        let out = run_str(&format!(
+            "build --input {} --k 2 --threads 1 --output {}",
+            input.display(),
+            output.display()
+        ))
+        .unwrap();
+        assert!(out.contains("built 2-NN graph of 4 users"), "{out}");
+        let graph = std::fs::read_to_string(&output).unwrap();
+        let lines: Vec<&str> = graph.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let cols: Vec<&str> = line.split('\t').collect();
+            assert_eq!(cols.len(), 3, "line '{line}'");
+            let _: u32 = cols[0].parse().unwrap();
+            let _: u32 = cols[1].parse().unwrap();
+            let s: f64 = cols[2].parse().unwrap();
+            assert!(s > 0.0);
+        }
+        std::fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn build_to_stdout_when_no_output() {
+        let input = fixture();
+        let out = run_str(&format!(
+            "build --input {} --k 1 --threads 1",
+            input.display()
+        ))
+        .unwrap();
+        assert!(out.lines().count() >= 4, "{out}");
+    }
+
+    #[test]
+    fn build_all_algorithms() {
+        let input = fixture();
+        for algo in ["kiff", "nndescent", "hyrec", "l2knng", "lsh", "exact"] {
+            let out = run_str(&format!(
+                "build --input {} --k 1 --threads 1 --algorithm {algo}",
+                input.display()
+            ))
+            .unwrap();
+            // LSH may legitimately find no bucket collisions on a 4-user
+            // toy; every other algorithm must emit edges.
+            if algo != "lsh" {
+                assert!(!out.is_empty(), "{algo}");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_roundtrips_through_stats() {
+        let output = tmp("gen.tsv");
+        let out = run_str(&format!(
+            "generate --preset wikipedia --scale 0.05 --output {}",
+            output.display()
+        ))
+        .unwrap();
+        assert!(out.contains("generated"), "{out}");
+        let stats = run_str(&format!("stats --input {}", output.display())).unwrap();
+        assert!(stats.contains("users"), "{stats}");
+        std::fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn recommend_prints_ranked_items() {
+        let input = fixture();
+        let out = run_str(&format!(
+            "recommend --input {} --user 0 --k 2 --top 3",
+            input.display()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("top") || out.contains("no recommendations"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn recommend_rejects_bad_user() {
+        let input = fixture();
+        let e = run_str(&format!("recommend --input {} --user 99", input.display()));
+        assert!(e.is_err());
+        assert!(e.unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn search_finds_raters() {
+        let input = fixture();
+        let out = run_str(&format!(
+            "search --input {} --items 0,1 --k 2 --top 3",
+            input.display()
+        ))
+        .unwrap();
+        assert!(out.contains("top"), "{out}");
+        assert!(out.contains("user"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let e = run_str("stats --input /nonexistent/nope.tsv");
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn unknown_extension_needs_format() {
+        let path = tmp("data.weird");
+        std::fs::write(&path, "0\t0\n").unwrap();
+        let e = run_str(&format!("stats --input {}", path.display()));
+        assert!(e.unwrap_err().to_string().contains("--format"));
+        let ok = run_str(&format!("stats --input {} --format tsv", path.display()));
+        assert!(ok.is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn help_contains_all_commands() {
+        let out = run_str("help").unwrap();
+        for c in ["build", "stats", "generate", "recommend", "search"] {
+            assert!(out.contains(c), "usage lacks '{c}'");
+        }
+    }
+}

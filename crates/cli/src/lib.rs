@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `kiff` command-line tool.
+//!
+//! The binary is a thin wrapper over [`run`]; all parsing and command
+//! logic lives here so it can be unit-tested. Subcommands:
+//!
+//! ```text
+//! kiff build     --input ratings.tsv --k 20 --output graph.tsv
+//! kiff stats     --input ratings.tsv
+//! kiff generate  --preset wikipedia --scale 0.5 --output ratings.tsv
+//! kiff recommend --input ratings.tsv --user 42 --top 10
+//! kiff search    --input ratings.tsv --items 3,17,256 --top 10
+//! ```
+//!
+//! Input formats are chosen by `--format` or inferred from the extension:
+//! `.tsv`/`.txt` → SNAP edge list, `.dat` → MovieLens `::`, `.json` →
+//! JSON dump. No external argument-parsing dependency: flags follow the
+//! same hand-rolled `--flag value` convention as the `experiments`
+//! harness binary.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Parses `argv` (without the program name) and executes the command,
+/// writing human-readable output to `out`. Returns an error message
+/// suitable for stderr on failure.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let command = args::parse(argv).map_err(|e| e.to_string())?;
+    commands::execute(&command, out).map_err(|e| format!("{e}"))
+}

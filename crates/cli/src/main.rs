@@ -1,0 +1,16 @@
+//! The `kiff` command-line binary. See [`kiff_cli`] for the implementation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match kiff_cli::run(&argv, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("kiff: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

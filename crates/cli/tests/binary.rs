@@ -1,0 +1,101 @@
+//! End-to-end tests of the compiled `kiff` binary: real process, real
+//! argv, real files — the contract a shell user sees.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn kiff(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_kiff"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kiff-bin-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let (ok, _, stderr) = kiff(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, stdout, _) = kiff(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("build"), "{stdout}");
+    assert!(stdout.contains("recommend"), "{stdout}");
+}
+
+#[test]
+fn generate_build_recommend_pipeline() {
+    let data = tmp("pipeline.tsv");
+    let graph = tmp("pipeline-graph.tsv");
+
+    let (ok, stdout, stderr) = kiff(&[
+        "generate",
+        "--preset",
+        "wikipedia",
+        "--scale",
+        "0.05",
+        "--output",
+        data.to_str().unwrap(),
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("generated"), "{stdout}");
+
+    let (ok, stdout, stderr) = kiff(&[
+        "build",
+        "--input",
+        data.to_str().unwrap(),
+        "--k",
+        "5",
+        "--threads",
+        "1",
+        "--output",
+        graph.to_str().unwrap(),
+    ]);
+    assert!(ok, "build failed: {stderr}");
+    assert!(stdout.contains("built 5-NN graph"), "{stdout}");
+    let edges = std::fs::read_to_string(&graph).unwrap();
+    assert!(edges.lines().filter(|l| !l.starts_with('#')).count() > 0);
+
+    let (ok, stdout, stderr) = kiff(&[
+        "recommend",
+        "--input",
+        data.to_str().unwrap(),
+        "--user",
+        "0",
+        "--top",
+        "3",
+    ]);
+    assert!(ok, "recommend failed: {stderr}");
+    assert!(
+        stdout.contains("top") || stdout.contains("no recommendations"),
+        "{stdout}"
+    );
+
+    std::fs::remove_file(data).ok();
+    std::fs::remove_file(graph).ok();
+}
+
+#[test]
+fn errors_exit_nonzero_with_message() {
+    let (ok, _, stderr) = kiff(&["stats", "--input", "/nonexistent/nope.tsv"]);
+    assert!(!ok);
+    assert!(stderr.contains("kiff:"), "stderr: {stderr}");
+
+    let (ok, _, stderr) = kiff(&["build", "--input", "x.tsv"]);
+    assert!(!ok);
+    assert!(stderr.contains("--k is required"), "stderr: {stderr}");
+}

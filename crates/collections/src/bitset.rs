@@ -1,0 +1,168 @@
+//! A fixed-capacity bitset over dense `u32` ids.
+//!
+//! Used for O(1) candidate deduplication in the refinement phases: greedy
+//! algorithms repeatedly union small neighbour lists, and a reusable bitset
+//! with explicit clearing of the touched bits is far cheaper than a hash set
+//! when ids are dense (they are: users are numbered `0..|U|`).
+
+/// Fixed-capacity bitset with O(words) construction and O(1) set/test.
+#[derive(Debug, Clone)]
+pub struct FixedBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl FixedBitSet {
+    /// Creates a bitset able to hold ids `0..capacity`, all unset.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of ids the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets `id`, returning `true` if it was previously unset.
+    ///
+    /// # Panics
+    /// Panics (in debug, via index) if `id >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        let mask = 1u64 << b;
+        let was_unset = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        was_unset
+    }
+
+    /// Tests whether `id` is set.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words[w] & (1u64 << b) != 0
+    }
+
+    /// Unsets `id`.
+    #[inline]
+    pub fn remove(&mut self, id: u32) {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words[w] &= !(1u64 << b);
+    }
+
+    /// Clears every bit (O(words)).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Clears exactly the listed ids — O(|ids|), the idiom for reusing one
+    /// bitset across many small batches without paying O(words) per batch.
+    pub fn clear_ids(&mut self, ids: &[u32]) {
+        for &id in ids {
+            self.remove(id);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((wi * 64) as u32 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut bs = FixedBitSet::new(100);
+        assert!(bs.insert(5));
+        assert!(!bs.insert(5));
+        assert!(bs.contains(5));
+        assert!(!bs.contains(6));
+    }
+
+    #[test]
+    fn boundary_ids() {
+        let mut bs = FixedBitSet::new(128);
+        assert!(bs.insert(0));
+        assert!(bs.insert(63));
+        assert!(bs.insert(64));
+        assert!(bs.insert(127));
+        assert_eq!(bs.count_ones(), 4);
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+    }
+
+    #[test]
+    fn clear_ids_only_clears_listed() {
+        let mut bs = FixedBitSet::new(200);
+        for id in [1u32, 50, 100, 150] {
+            bs.insert(id);
+        }
+        bs.clear_ids(&[50, 150]);
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![1, 100]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut bs = FixedBitSet::new(70);
+        bs.insert(69);
+        bs.clear();
+        assert_eq!(bs.count_ones(), 0);
+        assert!(!bs.contains(69));
+    }
+
+    #[test]
+    fn non_multiple_of_64_capacity() {
+        let mut bs = FixedBitSet::new(65);
+        assert!(bs.insert(64));
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![64]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        proptest! {
+            /// The bitset agrees with a BTreeSet model under inserts/removes.
+            #[test]
+            fn matches_btreeset_model(
+                ops in proptest::collection::vec((any::<bool>(), 0u32..500), 0..400)
+            ) {
+                let mut bs = FixedBitSet::new(500);
+                let mut model = BTreeSet::new();
+                for (is_insert, id) in ops {
+                    if is_insert {
+                        prop_assert_eq!(bs.insert(id), model.insert(id));
+                    } else {
+                        bs.remove(id);
+                        model.remove(&id);
+                    }
+                }
+                prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+                prop_assert_eq!(bs.count_ones(), model.len());
+            }
+        }
+    }
+}

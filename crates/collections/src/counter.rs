@@ -1,0 +1,182 @@
+//! Sparse multiplicity counters for the KIFF counting phase.
+//!
+//! Building a ranked candidate set means computing, for one user `u`, the
+//! multiset union of the item profiles of her items (Algorithm 1, line 4) —
+//! i.e. counting how many items `u` shares with every co-rater. Two
+//! strategies are provided and benchmarked against each other (see the
+//! `ablations` bench target):
+//!
+//! * [`SparseCounter`] — hash-map based; good when candidate batches are tiny.
+//! * [`count_sorted_runs`] — sort + run-length-encode; wins on the skewed,
+//!   bursty batches real datasets produce and is the default in `kiff-core`.
+
+use crate::hash::FxHashMap;
+use crate::radix::radix_sort_u32;
+
+/// Hash-based sparse counter over `u32` keys.
+///
+/// A thin wrapper around an Fx-hashed map that keeps the per-batch workflow
+/// (`add*`, `drain_sorted_by_count`, implicit reset) explicit at call sites.
+#[derive(Debug, Default, Clone)]
+pub struct SparseCounter {
+    counts: FxHashMap<u32, u32>,
+}
+
+impl SparseCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty counter with space for `cap` distinct keys.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            counts: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Increments the multiplicity of `key`.
+    #[inline]
+    pub fn add(&mut self, key: u32) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Increments every key in `keys`.
+    pub fn add_all(&mut self, keys: &[u32]) {
+        for &k in keys {
+            self.add(k);
+        }
+    }
+
+    /// Number of distinct keys seen.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no key has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Multiplicity of `key` (0 when unseen).
+    pub fn get(&self, key: u32) -> u32 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Drains the counter into `(key, count)` pairs ordered by descending
+    /// count, ties broken by ascending key — the ranked-candidate-set order.
+    pub fn drain_sorted_by_count(&mut self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.counts.drain().collect();
+        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs
+    }
+}
+
+/// Sort-based counting: sorts `keys` in place, then returns `(key, count)`
+/// pairs ordered by descending count (ties: ascending key).
+///
+/// Equivalent to feeding `keys` through [`SparseCounter`] — property-tested
+/// below — but with better cache behaviour on large batches.
+pub fn count_sorted_runs(keys: &mut [u32]) -> Vec<(u32, u32)> {
+    if keys.is_empty() {
+        return Vec::new();
+    }
+    radix_sort_u32(keys);
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut run_key = keys[0];
+    let mut run_len = 0u32;
+    for &k in keys.iter() {
+        if k == run_key {
+            run_len += 1;
+        } else {
+            pairs.push((run_key, run_len));
+            run_key = k;
+            run_len = 1;
+        }
+    }
+    pairs.push((run_key, run_len));
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_multiplicities() {
+        let mut c = SparseCounter::new();
+        c.add_all(&[3, 1, 3, 3, 2, 1]);
+        assert_eq!(c.get(3), 3);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(2), 1);
+        assert_eq!(c.get(99), 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn drain_orders_by_count_then_key() {
+        let mut c = SparseCounter::new();
+        c.add_all(&[5, 5, 9, 9, 1, 2]);
+        assert_eq!(
+            c.drain_sorted_by_count(),
+            vec![(5, 2), (9, 2), (1, 1), (2, 1)]
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sorted_runs_empty_input() {
+        let mut keys = vec![];
+        assert!(count_sorted_runs(&mut keys).is_empty());
+    }
+
+    #[test]
+    fn sorted_runs_single_run() {
+        let mut keys = vec![7, 7, 7];
+        assert_eq!(count_sorted_runs(&mut keys), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn sorted_runs_matches_hand_example() {
+        // RCS_Alice from the paper (§II-C): counts decide the rank.
+        let mut keys = vec![
+            1, 1, 1, 1, 1, 1, 1, 1, 1, 1, // Bob shares 10
+            2, 2, 2, 2, 2, 2, 2, 2, 2, // Carl shares 9
+            3, 3, 3, 3, 3, 3, 3, 3, // Dave 8
+            4, 4, 4, 4, 4, 4, // Xavier 6
+            5, 5, 5, // Yann 3
+        ];
+        assert_eq!(
+            count_sorted_runs(&mut keys),
+            vec![(1, 10), (2, 9), (3, 8), (4, 6), (5, 3)]
+        );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Hash-based and sort-based counting agree exactly.
+            #[test]
+            fn strategies_agree(keys in proptest::collection::vec(0u32..300, 0..600)) {
+                let mut hash = SparseCounter::new();
+                hash.add_all(&keys);
+                let mut keys_mut = keys.clone();
+                prop_assert_eq!(hash.drain_sorted_by_count(), count_sorted_runs(&mut keys_mut));
+            }
+
+            /// Total multiplicity equals input length.
+            #[test]
+            fn counts_sum_to_len(keys in proptest::collection::vec(any::<u32>(), 0..400)) {
+                let mut keys_mut = keys.clone();
+                let total: u64 = count_sorted_runs(&mut keys_mut)
+                    .iter()
+                    .map(|&(_, c)| u64::from(c))
+                    .sum();
+                prop_assert_eq!(total, keys.len() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! FxHash-style fast hashing.
+//!
+//! The standard library's default hasher (SipHash 1-3) is designed to resist
+//! hash-flooding attacks, which is irrelevant for internal `u32` user/item
+//! ids and measurably slow in the counting phase. This module implements the
+//! well-known Fx multiply-rotate hash (as used by rustc) so the workspace can
+//! stay dependency-free.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (a large odd constant close to 2^64 / phi).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, non-cryptographic hasher suitable for small integer keys.
+///
+/// Identical in spirit to `rustc_hash::FxHasher`: every written word is
+/// folded into the state with a rotate + xor + multiply round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one("kiff"), hash_one("kiff"));
+        assert_eq!(hash_one((1u32, 2u32)), hash_one((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        // Not a strong property, but catches degenerate implementations that
+        // drop input bits entirely.
+        let hashes: Vec<u64> = (0u32..1000).map(hash_one).collect();
+        let distinct: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(distinct.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_tail_is_significant() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn map_and_set_behave_like_std() {
+        let mut map: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..100 {
+            map.insert(i, i * 2);
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&21), Some(&42));
+
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        set.extend(0..50);
+        assert!(set.contains(&49));
+        assert!(!set.contains(&50));
+    }
+
+    #[test]
+    fn spread_across_low_bits() {
+        // Hash tables use the low bits for bucket selection; sequential keys
+        // must not collapse to a few buckets.
+        let mut buckets = [0usize; 64];
+        for i in 0u32..64_000 {
+            buckets[(hash_one(i) & 63) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(min > 0, "some bucket never hit");
+        assert!(max < 64_000 / 8, "pathological clustering: max={max}");
+    }
+}

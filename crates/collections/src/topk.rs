@@ -1,0 +1,249 @@
+//! Bounded top-k selection over a stream of scored entries.
+//!
+//! KIFF, NN-Descent and HyRec all maintain, per user, the `k` best-scored
+//! neighbours seen so far. [`BoundedTopK`] keeps the *smallest* retained
+//! score at the root of a binary min-heap so a new candidate can be accepted
+//! or rejected in `O(1)` and inserted in `O(log k)`.
+//!
+//! Entries are `(score, id)` pairs ordered primarily by score and secondarily
+//! by id (descending id loses ties), which gives the structure a total order
+//! and makes results deterministic.
+
+/// A fixed-capacity collection retaining the `k` largest `(score, id)` pairs.
+///
+/// Scores are `f64` and must not be NaN (checked in debug builds). Ties on
+/// the score are broken towards the smaller id, matching the deterministic
+/// brute-force reference used in tests.
+#[derive(Debug, Clone)]
+pub struct BoundedTopK {
+    /// Min-heap on (score, Reverse(id)): the *worst* retained entry is at
+    /// index 0.
+    heap: Vec<(f64, u32)>,
+    capacity: usize,
+}
+
+/// `a` is strictly better than `b` when its score is higher, or equal with a
+/// smaller id.
+#[inline]
+fn better(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl BoundedTopK {
+    /// Creates an empty selector retaining at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-k capacity must be positive");
+        Self {
+            heap: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of retained entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently retained.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are retained.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The worst retained entry, if any. When the selector is full, an
+    /// incoming entry must beat this to be admitted.
+    #[inline]
+    pub fn worst(&self) -> Option<(f64, u32)> {
+        self.heap.first().copied()
+    }
+
+    /// Offers `(score, id)`; returns `true` iff the entry was admitted
+    /// (displacing the previous worst when full).
+    ///
+    /// Duplicate ids are *not* detected here — callers that may offer the
+    /// same id twice must deduplicate (see `kiff-graph`'s `KnnHeap`).
+    pub fn offer(&mut self, score: f64, id: u32) -> bool {
+        debug_assert!(!score.is_nan(), "NaN scores are not orderable");
+        if self.heap.len() < self.capacity {
+            self.heap.push((score, id));
+            self.sift_up(self.heap.len() - 1);
+            true
+        } else if better((score, id), self.heap[0]) {
+            self.heap[0] = (score, id);
+            self.sift_down(0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the retained entries sorted best-first.
+    pub fn into_sorted_vec(mut self) -> Vec<(f64, u32)> {
+        self.heap.sort_unstable_by(|a, b| {
+            if better(*a, *b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        self.heap
+    }
+
+    /// Iterates over retained entries in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u32)> + '_ {
+        self.heap.iter().copied()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if better(self.heap[parent], self.heap[i]) {
+                self.heap.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < n && better(self.heap[smallest], self.heap[l]) {
+                smallest = l;
+            }
+            if r < n && better(self.heap[smallest], self.heap[r]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// Reference top-k by full sort; used by tests and as a readable spec.
+pub fn top_k_by_sort(entries: &[(f64, u32)], k: usize) -> Vec<(f64, u32)> {
+    let mut sorted = entries.to_vec();
+    sorted.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("NaN score")
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    sorted.truncate(k);
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_best_k() {
+        let mut topk = BoundedTopK::new(3);
+        for (s, id) in [(0.1, 1), (0.9, 2), (0.5, 3), (0.7, 4), (0.2, 5)] {
+            topk.offer(s, id);
+        }
+        let got = topk.into_sorted_vec();
+        assert_eq!(got, vec![(0.9, 2), (0.7, 4), (0.5, 3)]);
+    }
+
+    #[test]
+    fn rejects_worse_than_worst_when_full() {
+        let mut topk = BoundedTopK::new(2);
+        assert!(topk.offer(0.5, 1));
+        assert!(topk.offer(0.6, 2));
+        assert!(!topk.offer(0.4, 3));
+        assert_eq!(topk.len(), 2);
+        assert_eq!(topk.worst(), Some((0.5, 1)));
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_id() {
+        let mut topk = BoundedTopK::new(1);
+        topk.offer(0.5, 10);
+        // Same score, smaller id: admitted.
+        assert!(topk.offer(0.5, 3));
+        // Same score, larger id: rejected.
+        assert!(!topk.offer(0.5, 7));
+        assert_eq!(topk.into_sorted_vec(), vec![(0.5, 3)]);
+    }
+
+    #[test]
+    fn underfull_returns_all_sorted() {
+        let mut topk = BoundedTopK::new(10);
+        topk.offer(0.3, 1);
+        topk.offer(0.1, 2);
+        topk.offer(0.2, 0);
+        assert_eq!(topk.into_sorted_vec(), vec![(0.3, 1), (0.2, 0), (0.1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = BoundedTopK::new(0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The heap-based selector agrees with the sort-based spec for
+            /// any input stream and capacity.
+            #[test]
+            fn matches_sort_reference(
+                entries in proptest::collection::vec((0u32..1000, 0u32..200), 0..300),
+                k in 1usize..40,
+            ) {
+                // Map scores to a small grid so ties actually occur.
+                let entries: Vec<(f64, u32)> = entries
+                    .into_iter()
+                    .map(|(s, id)| (f64::from(s) / 64.0, id))
+                    .collect();
+                let mut topk = BoundedTopK::new(k);
+                for &(s, id) in &entries {
+                    topk.offer(s, id);
+                }
+                prop_assert_eq!(topk.into_sorted_vec(), top_k_by_sort(&entries, k));
+            }
+
+            /// `offer` returns true exactly when the retained set changes.
+            #[test]
+            fn offer_reports_admission(
+                entries in proptest::collection::vec((0u32..100, 0u32..50), 1..100),
+            ) {
+                let mut topk = BoundedTopK::new(5);
+                for (s, id) in entries {
+                    let before: Vec<_> = {
+                        let mut v: Vec<_> = topk.iter().collect();
+                        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        v
+                    };
+                    let admitted = topk.offer(f64::from(s), id);
+                    let after: Vec<_> = {
+                        let mut v: Vec<_> = topk.iter().collect();
+                        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                        v
+                    };
+                    prop_assert_eq!(admitted, before != after);
+                }
+            }
+        }
+    }
+}

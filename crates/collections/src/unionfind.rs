@@ -1,0 +1,227 @@
+//! Disjoint-set forest (union–find) with path halving and union by size.
+//!
+//! Used by the graph-analysis utilities to extract connected components
+//! of KNN graphs in near-linear time.
+
+/// A disjoint-set forest over `0..n`.
+///
+/// ```
+/// use kiff_collections::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(1, 2);
+/// assert!(uf.connected(0, 2));
+/// assert_eq!(uf.num_sets(), 2);
+/// assert_eq!(uf.set_sizes(), vec![3, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// Parent pointers; roots point at themselves.
+    parent: Vec<u32>,
+    /// Subtree sizes, valid at roots only.
+    size: Vec<u32>,
+    /// Number of disjoint sets remaining.
+    sets: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind is u32-indexed");
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// The representative of `x`'s set (path halving).
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct (union by size).
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+
+    /// Sizes of all sets, descending.
+    pub fn set_sizes(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut sizes = Vec::with_capacity(self.sets);
+        for x in 0..n as u32 {
+            if self.find(x) == x {
+                sizes.push(self.size[x as usize] as usize);
+            }
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "repeat union must be a no-op");
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.set_size(3), 2);
+        assert_eq!(uf.set_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn chains_collapse() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert_eq!(uf.set_size(0), 100);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_sizes(), Vec::<usize>::new());
+        let mut one = UnionFind::new(1);
+        assert_eq!(one.find(0), 0);
+        assert_eq!(one.num_sets(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Reference connectivity: repeated relaxation over the edge list.
+        fn naive_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+            let mut comp: Vec<u32> = (0..n as u32).collect();
+            loop {
+                let mut changed = false;
+                for &(a, b) in edges {
+                    let (ca, cb) = (comp[a as usize], comp[b as usize]);
+                    let target = ca.min(cb);
+                    if ca != target {
+                        comp[a as usize] = target;
+                        changed = true;
+                    }
+                    if cb != target {
+                        comp[b as usize] = target;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    return comp;
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Union–find agrees with a naive fixpoint computation on
+            /// random edge sets: same partition, same set count.
+            #[test]
+            fn matches_naive_reachability(
+                n in 1usize..40,
+                raw in proptest::collection::vec((0u32..40, 0u32..40), 0..80),
+            ) {
+                let edges: Vec<(u32, u32)> = raw
+                    .into_iter()
+                    .map(|(a, b)| (a % n as u32, b % n as u32))
+                    .collect();
+                let mut uf = UnionFind::new(n);
+                for &(a, b) in &edges {
+                    uf.union(a, b);
+                }
+                let reference = naive_components(n, &edges);
+                for a in 0..n as u32 {
+                    for b in 0..n as u32 {
+                        prop_assert_eq!(
+                            uf.connected(a, b),
+                            reference[a as usize] == reference[b as usize],
+                            "pair ({}, {})", a, b
+                        );
+                    }
+                }
+                let mut distinct: Vec<u32> = reference.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                prop_assert_eq!(uf.num_sets(), distinct.len());
+                // Set sizes sum to n.
+                prop_assert_eq!(uf.set_sizes().iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn union_by_size_bounds_depth() {
+        // Adversarial order still yields near-flat trees; find() after
+        // full compaction returns the same root for all members.
+        let mut uf = UnionFind::new(64);
+        for step in [1usize, 2, 4, 8, 16, 32] {
+            for i in (0..64).step_by(2 * step) {
+                if i + step < 64 {
+                    uf.union(i as u32, (i + step) as u32);
+                }
+            }
+        }
+        let root = uf.find(0);
+        for x in 0..64 {
+            assert_eq!(uf.find(x), root);
+        }
+    }
+}

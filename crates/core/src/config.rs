@@ -1,0 +1,158 @@
+//! KIFF configuration.
+
+/// Number of candidates popped from each RCS per iteration (Algorithm 1,
+/// line 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gamma {
+    /// Pop at most this many per iteration. The paper's default is `2k`.
+    Fixed(usize),
+    /// Exhaust the whole RCS in the first iteration (`γ = ∞`, §III-D): the
+    /// result is the exact KNN under the sparse axioms.
+    All,
+}
+
+impl Gamma {
+    /// The pop budget for one iteration.
+    pub fn budget(self) -> usize {
+        match self {
+            Gamma::Fixed(g) => g,
+            Gamma::All => usize::MAX,
+        }
+    }
+}
+
+/// Strategy used to count shared items while building RCSs (both produce
+/// identical output; see the `ablations` bench for the performance
+/// comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountStrategy {
+    /// Gather all candidate ids, radix-sort, run-length encode. Default —
+    /// cache-friendly on the skewed batches real datasets produce.
+    #[default]
+    SortBased,
+    /// Hash-map multiplicity counting.
+    HashBased,
+}
+
+/// Full KIFF configuration. Defaults follow §IV-D: `γ = 2k`, `β = 0.001`.
+#[derive(Debug, Clone)]
+pub struct KiffConfig {
+    /// Neighbourhood size `k`.
+    pub k: usize,
+    /// Per-iteration pop budget `γ`.
+    pub gamma: Gamma,
+    /// Termination threshold `β`: stop when changes-per-user in an
+    /// iteration drop below it. `0.0` runs until every RCS is exhausted.
+    pub beta: f64,
+    /// Worker threads (`None` = all available).
+    pub threads: Option<usize>,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+    /// Shared-item counting strategy.
+    pub count_strategy: CountStrategy,
+    /// Optional §VII heuristic: only ratings at or above this value
+    /// contribute RCS candidates (shrinks RCSs on rating-valued data).
+    pub rating_threshold: Option<f32>,
+    /// Optional §VII-style cap on RCS length (top entries by shared-item
+    /// count). Bounds memory and scan rate; `None` keeps full RCSs.
+    pub max_rcs: Option<usize>,
+}
+
+impl KiffConfig {
+    /// The paper's default parameters for neighbourhood size `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            gamma: Gamma::Fixed(2 * k),
+            beta: 0.001,
+            threads: None,
+            max_iterations: 10_000,
+            count_strategy: CountStrategy::SortBased,
+            rating_threshold: None,
+            max_rcs: None,
+        }
+    }
+
+    /// Exact mode: `γ = ∞`, `β = 0` (§III-D).
+    pub fn exact(k: usize) -> Self {
+        Self {
+            gamma: Gamma::All,
+            beta: 0.0,
+            ..Self::new(k)
+        }
+    }
+
+    /// Sets `γ`.
+    pub fn with_gamma(mut self, gamma: usize) -> Self {
+        self.gamma = Gamma::Fixed(gamma);
+        self
+    }
+
+    /// Sets `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!(beta >= 0.0 && beta.is_finite());
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables the §VII rating-threshold heuristic.
+    pub fn with_rating_threshold(mut self, threshold: f32) -> Self {
+        assert!(threshold.is_finite() && threshold > 0.0);
+        self.rating_threshold = Some(threshold);
+        self
+    }
+
+    /// Caps every RCS at its top `cap` entries by shared-item count
+    /// (the other §VII insertion limit).
+    pub fn with_max_rcs(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        self.max_rcs = Some(cap);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = KiffConfig::new(20);
+        assert_eq!(cfg.k, 20);
+        assert_eq!(cfg.gamma, Gamma::Fixed(40));
+        assert_eq!(cfg.beta, 0.001);
+        assert_eq!(cfg.count_strategy, CountStrategy::SortBased);
+    }
+
+    #[test]
+    fn exact_mode() {
+        let cfg = KiffConfig::exact(5);
+        assert_eq!(cfg.gamma, Gamma::All);
+        assert_eq!(cfg.beta, 0.0);
+        assert_eq!(cfg.gamma.budget(), usize::MAX);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = KiffConfig::new(10)
+            .with_gamma(7)
+            .with_beta(0.1)
+            .with_threads(2);
+        assert_eq!(cfg.gamma, Gamma::Fixed(7));
+        assert_eq!(cfg.beta, 0.1);
+        assert_eq!(cfg.threads, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        let _ = KiffConfig::new(0);
+    }
+}

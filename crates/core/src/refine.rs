@@ -1,0 +1,301 @@
+//! The refinement phase: greedy convergence over the Ranked Candidate Sets
+//! (Algorithm 1, lines 5–16), fully instrumented.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use kiff_dataset::Dataset;
+use kiff_graph::{KnnGraph, SharedKnn};
+use kiff_parallel::{effective_threads, parallel_for, Counter, TimeAccumulator};
+use kiff_similarity::Similarity;
+
+pub use kiff_graph::observer::{IterationObserver, IterationTrace, NoObserver};
+
+use crate::config::KiffConfig;
+use crate::counting::RankedCandidates;
+
+/// Instrumentation of a full KIFF run, matching the metrics of §IV-C.
+#[derive(Debug, Clone, Default)]
+pub struct KiffStats {
+    /// Iterations executed by the refinement loop.
+    pub iterations: usize,
+    /// Total similarity evaluations.
+    pub sim_evals: u64,
+    /// `sim_evals / (|U|·(|U|−1)/2)` — the scan rate.
+    pub scan_rate: f64,
+    /// Wall time of item-profile construction (Table IV's Δ).
+    pub item_profile_time: Duration,
+    /// Wall time of RCS construction (Table V).
+    pub rcs_time: Duration,
+    /// Aggregated worker time selecting candidates (pops + heap updates).
+    pub candidate_selection_time: Duration,
+    /// Aggregated worker time evaluating similarities.
+    pub similarity_time: Duration,
+    /// End-to-end wall time of the run (counting + refinement).
+    pub total_time: Duration,
+    /// Per-iteration traces.
+    pub per_iteration: Vec<IterationTrace>,
+    /// Average RCS length (Table V).
+    pub avg_rcs_len: f64,
+    /// Σ|RCS| — the similarity-evaluation bound.
+    pub total_rcs: usize,
+}
+
+impl KiffStats {
+    /// Preprocessing wall time: item profiles + RCS construction (the
+    /// paper's "preprocessing" bar in Fig. 5 minus dataset loading, which
+    /// is common to all approaches).
+    pub fn preprocessing_time(&self) -> Duration {
+        self.item_profile_time + self.rcs_time
+    }
+
+    /// Average number of graph updates per user per iteration (Fig. 8b).
+    pub fn updates_per_user(&self, num_users: usize) -> Vec<f64> {
+        self.per_iteration
+            .iter()
+            .map(|t| t.changes as f64 / num_users.max(1) as f64)
+            .collect()
+    }
+}
+
+/// Runs the refinement loop over pre-built RCSs, returning the graph and
+/// the loop's share of the statistics (the caller owns phase timings for
+/// the counting phase).
+pub fn refine<S: Similarity + ?Sized>(
+    dataset: &Dataset,
+    sim: &S,
+    rcs: &RankedCandidates,
+    config: &KiffConfig,
+    observer: &mut dyn IterationObserver,
+) -> (KnnGraph, KiffStats) {
+    let n = dataset.num_users();
+    let threads = effective_threads(config.threads);
+    let shared = SharedKnn::new(n, config.k);
+    // Per-user cursor into the RCS; owned by whichever worker holds the
+    // user's chunk in the current iteration (chunks are disjoint).
+    let cursors: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+
+    let sim_evals = Counter::new();
+    let changes = Counter::new();
+    let candidate_time = TimeAccumulator::new();
+    let similarity_time = TimeAccumulator::new();
+
+    let gamma = config.gamma.budget();
+    let mut stats = KiffStats::default();
+    let mut cumulative_evals = 0u64;
+
+    for iteration in 1..=config.max_iterations {
+        changes.take();
+        let evals_before = sim_evals.get();
+        let cand_before = candidate_time.total();
+        let simt_before = similarity_time.total();
+
+        parallel_for(threads, n, 32, |range| {
+            // Reusable per-chunk buffer of (candidate, similarity).
+            let mut scored: Vec<(u32, f64)> = Vec::with_capacity(gamma.min(1024));
+            for u in range {
+                let uid = u as u32;
+                // top-pop(RCS_u, γ): the RCS is a sorted list, popping is
+                // advancing the cursor.
+                let select_guard = candidate_time.start();
+                let list = rcs.rcs(uid);
+                let start = cursors[u].load(Ordering::Relaxed);
+                if start >= list.len() {
+                    continue;
+                }
+                let end = (start.saturating_add(gamma)).min(list.len());
+                cursors[u].store(end, Ordering::Relaxed);
+                let cs = &list[start..end];
+                drop(select_guard);
+
+                // Similarity evaluations — one per popped candidate.
+                similarity_time.measure(|| {
+                    scored.clear();
+                    for &v in cs {
+                        scored.push((v, sim.sim(dataset, uid, v)));
+                    }
+                });
+                sim_evals.add(cs.len() as u64);
+
+                // UPDATENN both ways (pivot symmetry, lines 10–12).
+                let _update_guard = candidate_time.start();
+                for &(v, s) in &scored {
+                    let c = shared.update(uid, v, s) + shared.update(v, uid, s);
+                    if c > 0 {
+                        changes.add(c);
+                    }
+                }
+            }
+        });
+
+        let iter_changes = changes.get();
+        let iter_evals = sim_evals.get() - evals_before;
+        cumulative_evals += iter_evals;
+        let trace = IterationTrace {
+            iteration,
+            changes: iter_changes,
+            sim_evals: iter_evals,
+            cumulative_sim_evals: cumulative_evals,
+            candidate_time: candidate_time.total() - cand_before,
+            similarity_time: similarity_time.total() - simt_before,
+        };
+        stats.per_iteration.push(trace);
+        stats.iterations = iteration;
+        observer.on_iteration(trace, &shared);
+
+        // Termination: average changes per user strictly below β (line 13;
+        // strictness makes β = 0 mean "run until every RCS is exhausted"),
+        // or exhaustion itself (no further evaluation is possible).
+        let exhausted = iter_evals == 0;
+        if exhausted || (iter_changes as f64) / (n.max(1) as f64) < config.beta {
+            break;
+        }
+    }
+
+    stats.sim_evals = cumulative_evals;
+    let possible_pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+    stats.scan_rate = if possible_pairs > 0.0 {
+        cumulative_evals as f64 / possible_pairs
+    } else {
+        0.0
+    };
+    stats.candidate_selection_time = candidate_time.total();
+    stats.similarity_time = similarity_time.total();
+    stats.avg_rcs_len = rcs.avg_len();
+    stats.total_rcs = rcs.total();
+    (shared.snapshot(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Gamma;
+    use crate::counting::{build_rcs, CountingConfig};
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+    use kiff_graph::exact_knn;
+    use kiff_similarity::WeightedCosine;
+
+    fn run(dataset: &kiff_dataset::Dataset, config: &KiffConfig) -> (KnnGraph, KiffStats) {
+        let rcs = build_rcs(
+            dataset,
+            &CountingConfig {
+                threads: config.threads,
+                ..Default::default()
+            },
+        );
+        let sim = WeightedCosine::fit(dataset);
+        refine(dataset, &sim, &rcs, config, &mut NoObserver)
+    }
+
+    #[test]
+    fn toy_refinement_finds_neighbors() {
+        let ds = figure2_toy();
+        let (graph, stats) = run(&ds, &KiffConfig::new(1).with_threads(1));
+        assert_eq!(graph.neighbors(0)[0].id, 1);
+        assert_eq!(graph.neighbors(1)[0].id, 0);
+        assert_eq!(graph.neighbors(2)[0].id, 3);
+        assert_eq!(graph.neighbors(3)[0].id, 2);
+        // Only the two sharing pairs are ever evaluated.
+        assert_eq!(stats.sim_evals, 2);
+        assert!(stats.scan_rate > 0.0 && stats.scan_rate < 1.0);
+    }
+
+    #[test]
+    fn gamma_all_equals_exact_knn() {
+        // §III-D: γ=∞ (with β=0) yields the optimal KNN under the sparse
+        // axioms.
+        let ds = generate_bipartite(&BipartiteConfig::tiny("exact", 29));
+        let sim = WeightedCosine::fit(&ds);
+        let cfg = KiffConfig {
+            gamma: Gamma::All,
+            beta: 0.0,
+            ..KiffConfig::new(5)
+        };
+        let (graph, stats) = run(&ds, &cfg);
+        let exact = exact_knn(&ds, &sim, 5, None);
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(graph.neighbors(u), exact.neighbors(u), "user {u}");
+        }
+        // One iteration drains everything; a second confirms exhaustion.
+        assert!(stats.iterations <= 2, "iterations = {}", stats.iterations);
+    }
+
+    #[test]
+    fn beta_zero_runs_to_exhaustion() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("drain", 31));
+        let cfg = KiffConfig::new(3).with_beta(0.0).with_threads(1);
+        let (_, stats) = run(&ds, &cfg);
+        // Every RCS entry is evaluated exactly once.
+        assert_eq!(stats.sim_evals as usize, stats.total_rcs);
+    }
+
+    #[test]
+    fn sim_evals_never_exceed_rcs_bound() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("bound", 37));
+        for beta in [0.0, 0.001, 0.1] {
+            let cfg = KiffConfig::new(4).with_beta(beta);
+            let (_, stats) = run(&ds, &cfg);
+            assert!(
+                stats.sim_evals as usize <= stats.total_rcs,
+                "β={beta}: {} > {}",
+                stats.sim_evals,
+                stats.total_rcs
+            );
+        }
+    }
+
+    #[test]
+    fn larger_beta_stops_earlier() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("beta", 41));
+        let (_, strict) = run(&ds, &KiffConfig::new(4).with_beta(0.0).with_threads(1));
+        let (_, loose) = run(&ds, &KiffConfig::new(4).with_beta(0.5).with_threads(1));
+        assert!(loose.sim_evals <= strict.sim_evals);
+        assert!(loose.iterations <= strict.iterations);
+    }
+
+    #[test]
+    fn traces_are_cumulative_and_consistent() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("trace", 43));
+        let (_, stats) = run(&ds, &KiffConfig::new(4).with_threads(1));
+        assert_eq!(stats.per_iteration.len(), stats.iterations);
+        let mut cum = 0;
+        for t in &stats.per_iteration {
+            cum += t.sim_evals;
+            assert_eq!(t.cumulative_sim_evals, cum);
+        }
+        assert_eq!(cum, stats.sim_evals);
+        // First iteration makes by far the most changes (RCS ordering).
+        if stats.per_iteration.len() > 1 {
+            assert!(stats.per_iteration[0].changes >= stats.per_iteration.last().unwrap().changes);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("obs", 47));
+        let rcs = build_rcs(&ds, &CountingConfig::default());
+        let sim = WeightedCosine::fit(&ds);
+        let mut seen = Vec::new();
+        let mut observer = |trace: IterationTrace, state: &SharedKnn| {
+            assert_eq!(state.num_users(), ds.num_users());
+            seen.push(trace.iteration);
+        };
+        let (_, stats) = refine(&ds, &sim, &rcs, &KiffConfig::new(3), &mut observer);
+        assert_eq!(seen, (1..=stats.iterations).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_sequential() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("par", 53));
+        let cfg_seq = KiffConfig::new(5).with_beta(0.0).with_threads(1);
+        let cfg_par = KiffConfig::new(5).with_beta(0.0).with_threads(8);
+        let (g_seq, _) = run(&ds, &cfg_seq);
+        let (g_par, _) = run(&ds, &cfg_par);
+        // With β=0 every pair is evaluated regardless of scheduling, and
+        // heap contents are order-independent for distinct ids.
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(g_seq.neighbors(u), g_par.neighbors(u), "user {u}");
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! CSR-backed bipartite dataset storage.
+
+use std::sync::OnceLock;
+
+use kiff_collections::{Csr, CsrBuilder};
+
+use crate::types::{ItemId, ProfileRef, Rating, UserId};
+
+/// A sparse user–item dataset: the labelled bipartite graph `G = (U ∪ I, E,
+/// ρ)` of §III-A.
+///
+/// User profiles are stored as CSR rows sorted by item id. Item profiles
+/// (the transpose, `IP_i = {u : i ∈ UP_u}`) are derived lazily on first use
+/// and cached — their construction cost is exactly what Table IV of the
+/// paper measures, so [`Dataset::build_item_profiles`] also exists as an
+/// explicit, uncached operation for benchmarking.
+#[derive(Debug)]
+pub struct Dataset {
+    name: String,
+    num_items: usize,
+    users: Csr,
+    items_cache: OnceLock<Csr>,
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            num_items: self.num_items,
+            users: self.users.clone(),
+            items_cache: OnceLock::new(),
+        }
+    }
+}
+
+impl Dataset {
+    /// Wraps an already-built user CSR. Prefer [`DatasetBuilder`].
+    pub fn from_users_csr(name: impl Into<String>, num_items: usize, users: Csr) -> Self {
+        Self {
+            name: name.into(),
+            num_items,
+            users,
+            items_cache: OnceLock::new(),
+        }
+    }
+
+    /// Human-readable dataset name (e.g. `"wikipedia-like"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `|U|` — number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.users.rows()
+    }
+
+    /// `|I|` — number of items.
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// `|E|` — number of ratings (edges of the bipartite graph).
+    #[inline]
+    pub fn num_ratings(&self) -> usize {
+        self.users.nnz()
+    }
+
+    /// Fraction of present edges over the complete bipartite graph:
+    /// `|E| / (|U| × |I|)` — the quantity Table I calls *density*.
+    pub fn density(&self) -> f64 {
+        let denom = self.num_users() as f64 * self.num_items as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.num_ratings() as f64 / denom
+        }
+    }
+
+    /// The profile `UP_u`: sorted items rated by `u` with their ratings.
+    #[inline]
+    pub fn user_profile(&self, u: UserId) -> ProfileRef<'_> {
+        let (items, ratings) = self.users.row_entries(u);
+        ProfileRef { items, ratings }
+    }
+
+    /// `|UP_u|`.
+    #[inline]
+    pub fn user_degree(&self, u: UserId) -> usize {
+        self.users.degree(u)
+    }
+
+    /// The raw user-side CSR.
+    pub fn users_csr(&self) -> &Csr {
+        &self.users
+    }
+
+    /// The item-side CSR (`IP_i` rows), built on first call and cached.
+    pub fn item_profiles(&self) -> &Csr {
+        self.items_cache
+            .get_or_init(|| self.users.transpose(self.num_items))
+    }
+
+    /// Builds the item profiles *without* caching — the measurable
+    /// preprocessing step of Table IV.
+    pub fn build_item_profiles(&self) -> Csr {
+        self.users.transpose(self.num_items)
+    }
+
+    /// The profile `IP_i`: sorted users who rated `i` (with ratings).
+    pub fn item_profile(&self, i: ItemId) -> ProfileRef<'_> {
+        let (items, ratings) = self.item_profiles().row_entries(i);
+        ProfileRef { items, ratings }
+    }
+
+    /// Iterates all `(user, item, rating)` triples.
+    pub fn iter_ratings(&self) -> impl Iterator<Item = (UserId, ItemId, Rating)> + '_ {
+        self.users.iter_edges()
+    }
+
+    /// Renames the dataset (used by the density-family derivation).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+/// Incremental [`Dataset`] construction from `(user, item, rating)` triples.
+///
+/// Triples may arrive in any order; duplicate `(user, item)` pairs merge by
+/// summing ratings (a repeated check-in means "visited again").
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    name: String,
+    num_items: usize,
+    csr: CsrBuilder,
+}
+
+impl DatasetBuilder {
+    /// Builder for a dataset of `num_users × num_items`.
+    pub fn new(name: impl Into<String>, num_users: usize, num_items: usize) -> Self {
+        Self {
+            name: name.into(),
+            num_items,
+            csr: CsrBuilder::new(num_users),
+        }
+    }
+
+    /// Pre-allocates space for `n` ratings.
+    pub fn reserve(&mut self, n: usize) {
+        self.csr.reserve_edges(n);
+    }
+
+    /// Records `ρ(user, item) = rating`.
+    ///
+    /// # Panics
+    /// Panics if `user` or `item` is out of the declared bounds, or the
+    /// rating is not finite and positive — the metrics of the paper
+    /// (Eq. 5–6) require non-negative similarity contributions.
+    pub fn add_rating(&mut self, user: UserId, item: ItemId, rating: Rating) {
+        assert!(
+            (item as usize) < self.num_items,
+            "item {item} out of bounds ({} items)",
+            self.num_items
+        );
+        assert!(
+            rating.is_finite() && rating > 0.0,
+            "rating must be finite and positive, got {rating}"
+        );
+        self.csr.push(user, item, rating);
+    }
+
+    /// Number of ratings recorded so far.
+    pub fn len(&self) -> usize {
+        self.csr.len()
+    }
+
+    /// Whether no rating has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.csr.is_empty()
+    }
+
+    /// Assembles the dataset.
+    pub fn build(self) -> Dataset {
+        Dataset {
+            name: self.name,
+            num_items: self.num_items,
+            users: self.csr.build(),
+            items_cache: OnceLock::new(),
+        }
+    }
+}
+
+/// Builds the paper's Figure 2 toy dataset (Alice, Bob, Carl, Dave / book,
+/// coffee, cheese, shopping). Used across the workspace's tests and docs.
+pub fn figure2_toy() -> Dataset {
+    let mut b = DatasetBuilder::new("figure2-toy", 4, 4);
+    b.add_rating(0, 0, 1.0); // Alice: book
+    b.add_rating(0, 1, 1.0); // Alice: coffee
+    b.add_rating(1, 1, 1.0); // Bob: coffee
+    b.add_rating(1, 2, 1.0); // Bob: cheese
+    b.add_rating(2, 3, 1.0); // Carl: shopping
+    b.add_rating(3, 3, 1.0); // Dave: shopping
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_dataset_dimensions() {
+        let ds = figure2_toy();
+        assert_eq!(ds.num_users(), 4);
+        assert_eq!(ds.num_items(), 4);
+        assert_eq!(ds.num_ratings(), 6);
+        assert!((ds.density() - 6.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn user_profiles_match_figure2() {
+        let ds = figure2_toy();
+        assert_eq!(ds.user_profile(0).items, &[0, 1]); // Alice: book, coffee
+        assert_eq!(ds.user_profile(1).items, &[1, 2]); // Bob: coffee, cheese
+        assert_eq!(ds.user_profile(2).items, &[3]); // Carl: shopping
+        assert_eq!(ds.user_degree(3), 1);
+    }
+
+    #[test]
+    fn item_profiles_are_the_transpose() {
+        let ds = figure2_toy();
+        assert_eq!(ds.item_profile(0).items, &[0]); // book: Alice
+        assert_eq!(ds.item_profile(1).items, &[0, 1]); // coffee: Alice, Bob
+        assert_eq!(ds.item_profile(3).items, &[2, 3]); // shopping: Carl, Dave
+    }
+
+    #[test]
+    fn item_profiles_cached_and_uncached_agree() {
+        let ds = figure2_toy();
+        assert_eq!(ds.build_item_profiles(), *ds.item_profiles());
+    }
+
+    #[test]
+    fn duplicate_ratings_merge() {
+        let mut b = DatasetBuilder::new("dup", 1, 2);
+        b.add_rating(0, 1, 2.0);
+        b.add_rating(0, 1, 3.0);
+        let ds = b.build();
+        assert_eq!(ds.num_ratings(), 1);
+        assert_eq!(ds.user_profile(0).rating(1), Some(5.0));
+    }
+
+    #[test]
+    fn clone_preserves_content() {
+        let ds = figure2_toy();
+        let _ = ds.item_profiles(); // populate cache
+        let clone = ds.clone();
+        assert_eq!(clone.num_ratings(), ds.num_ratings());
+        assert_eq!(clone.item_profile(1).items, ds.item_profile(1).items);
+    }
+
+    #[test]
+    #[should_panic(expected = "rating must be finite and positive")]
+    fn rejects_nonpositive_rating() {
+        let mut b = DatasetBuilder::new("bad", 1, 1);
+        b.add_rating(0, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_range_item() {
+        let mut b = DatasetBuilder::new("bad", 1, 1);
+        b.add_rating(0, 5, 1.0);
+    }
+
+    #[test]
+    fn iter_ratings_yields_all_triples() {
+        let ds = figure2_toy();
+        let triples: Vec<_> = ds.iter_ratings().collect();
+        assert_eq!(triples.len(), 6);
+        assert!(triples.contains(&(1, 2, 1.0)));
+    }
+}

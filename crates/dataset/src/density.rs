@@ -1,0 +1,148 @@
+//! Density-family derivation (§V-B3, Table IX).
+//!
+//! "Starting from ML-1, we progressively remove randomly chosen ratings and
+//! obtain four additional datasets (numbered ML-2 to ML-5) showing
+//! decreasing density values."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::generators::movielens::movielens_like;
+
+/// Returns a copy of `dataset` keeping exactly `target_ratings` randomly
+/// chosen ratings (all of them if the dataset is already smaller).
+///
+/// Users and items are preserved even if they end up with empty profiles,
+/// matching the paper's construction where `|U|` and `|I|` stay fixed while
+/// density drops.
+pub fn subsample_ratings(dataset: &Dataset, target_ratings: usize, seed: u64) -> Dataset {
+    let total = dataset.num_ratings();
+    if target_ratings >= total {
+        return dataset.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..total).collect();
+    // Partial Fisher–Yates: the first `target_ratings` entries are a uniform
+    // sample without replacement.
+    for i in 0..target_ratings {
+        let j = i + (rng.gen_range(0..total - i));
+        indices.swap(i, j);
+    }
+    let mut keep = vec![false; total];
+    for &idx in &indices[..target_ratings] {
+        keep[idx] = true;
+    }
+    let mut builder = DatasetBuilder::new(dataset.name(), dataset.num_users(), dataset.num_items());
+    builder.reserve(target_ratings);
+    for (pos, (u, i, r)) in dataset.iter_ratings().enumerate() {
+        if keep[pos] {
+            builder.add_rating(u, i, r);
+        }
+    }
+    builder.build()
+}
+
+/// Rating counts of the ML-1…ML-5 family (Table IX), expressed as fractions
+/// of ML-1's 1,000,209 ratings.
+pub const ML_FAMILY_FRACTIONS: [f64; 5] = [
+    1.0,
+    500_009.0 / 1_000_209.0,
+    255_188.0 / 1_000_209.0,
+    131_668.0 / 1_000_209.0,
+    68_415.0 / 1_000_209.0,
+];
+
+/// Generates the full ML-1…ML-5 density family of Table IX.
+///
+/// `scale` shrinks the starting ML-1 stand-in (1.0 = paper size); each
+/// successive dataset keeps the Table IX fraction of ML-1's ratings.
+pub fn ml_family(scale: f64, seed: u64) -> Vec<Dataset> {
+    let ml1 = movielens_like(scale, seed);
+    let base = ml1.num_ratings();
+    ML_FAMILY_FRACTIONS
+        .iter()
+        .enumerate()
+        .map(|(idx, &fraction)| {
+            let name = format!("ML-{}", idx + 1);
+            if idx == 0 {
+                ml1.clone().with_name(name)
+            } else {
+                let target = (base as f64 * fraction).round() as usize;
+                subsample_ratings(&ml1, target, seed.wrapping_add(idx as u64)).with_name(name)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::figure2_toy;
+    use crate::generators::bipartite::{generate_bipartite, BipartiteConfig};
+
+    #[test]
+    fn subsample_keeps_exact_count() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("s", 1));
+        let sub = subsample_ratings(&ds, 500, 2);
+        assert_eq!(sub.num_ratings(), 500);
+        assert_eq!(sub.num_users(), ds.num_users());
+        assert_eq!(sub.num_items(), ds.num_items());
+    }
+
+    #[test]
+    fn subsample_is_a_subset() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("sub", 3));
+        let sub = subsample_ratings(&ds, ds.num_ratings() / 3, 4);
+        for u in 0..sub.num_users() as u32 {
+            for (i, r) in sub.user_profile(u).iter() {
+                assert_eq!(ds.user_profile(u).rating(i), Some(r));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_target_returns_clone() {
+        let ds = figure2_toy();
+        let sub = subsample_ratings(&ds, 100, 5);
+        assert_eq!(sub.num_ratings(), ds.num_ratings());
+    }
+
+    #[test]
+    fn subsample_deterministic_in_seed() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("det", 6));
+        let a = subsample_ratings(&ds, 700, 9);
+        let b = subsample_ratings(&ds, 700, 9);
+        assert_eq!(a.users_csr(), b.users_csr());
+    }
+
+    #[test]
+    fn family_density_decreases() {
+        let family = ml_family(0.05, 7);
+        assert_eq!(family.len(), 5);
+        for pair in family.windows(2) {
+            assert!(
+                pair[0].density() > pair[1].density(),
+                "{} !> {}",
+                pair[0].name(),
+                pair[1].name()
+            );
+        }
+        assert_eq!(family[0].name(), "ML-1");
+        assert_eq!(family[4].name(), "ML-5");
+    }
+
+    #[test]
+    fn family_matches_table9_fractions() {
+        let family = ml_family(0.05, 8);
+        let base = family[0].num_ratings() as f64;
+        for (ds, &fraction) in family.iter().zip(ML_FAMILY_FRACTIONS.iter()) {
+            let got = ds.num_ratings() as f64 / base;
+            assert!(
+                (got - fraction).abs() < 0.01,
+                "{}: fraction {got} wanted {fraction}",
+                ds.name()
+            );
+        }
+    }
+}

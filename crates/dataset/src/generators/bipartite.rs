@@ -1,0 +1,212 @@
+//! General bipartite user–item generator with long-tailed degrees.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use kiff_collections::FxHashSet;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::generators::RatingModel;
+use crate::zipf::{power_law_degrees, Zipf};
+
+/// Configuration of the bipartite generator.
+///
+/// User profile sizes follow a bounded power law solved to hit
+/// `target_ratings / num_users` on average; item popularity follows a Zipf
+/// law with exponent `item_exponent` over a randomly permuted item order
+/// (so popular items are not clustered at low ids).
+#[derive(Debug, Clone)]
+pub struct BipartiteConfig {
+    /// Dataset name.
+    pub name: String,
+    /// `|U|`.
+    pub num_users: usize,
+    /// `|I|`.
+    pub num_items: usize,
+    /// Desired `|E|` (the realised count is within a few percent — duplicate
+    /// draws are rejected per user).
+    pub target_ratings: usize,
+    /// Smallest allowed user profile.
+    pub user_degree_min: u32,
+    /// Largest allowed user profile.
+    pub user_degree_max: u32,
+    /// Zipf exponent of item popularity (0 = uniform; ~0.7 matches the
+    /// long-tailed item profiles of Fig. 4b).
+    pub item_exponent: f64,
+    /// Rating semantics.
+    pub rating_model: RatingModel,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl BipartiteConfig {
+    /// A small smoke-test configuration used across the workspace's tests.
+    pub fn tiny(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            num_users: 300,
+            num_items: 200,
+            target_ratings: 3000,
+            user_degree_min: 1,
+            user_degree_max: 60,
+            item_exponent: 0.7,
+            rating_model: RatingModel::Binary,
+            seed,
+        }
+    }
+}
+
+/// Generates a dataset from `config`. Deterministic in the seed.
+pub fn generate_bipartite(config: &BipartiteConfig) -> Dataset {
+    assert!(config.num_users > 0 && config.num_items > 0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mean = (config.target_ratings as f64 / config.num_users as f64)
+        .max(f64::from(config.user_degree_min) + 0.5);
+    let d_max = config
+        .user_degree_max
+        .min(config.num_items as u32)
+        .max(config.user_degree_min + 1);
+    let mean = mean.min(f64::from(d_max) - 0.5);
+    let degrees = power_law_degrees(
+        config.num_users,
+        config.user_degree_min,
+        d_max,
+        mean,
+        &mut rng,
+    );
+
+    // Popularity ranks → shuffled item ids.
+    let popularity = Zipf::new(config.num_items, config.item_exponent);
+    let mut perm: Vec<u32> = (0..config.num_items as u32).collect();
+    perm.shuffle(&mut rng);
+
+    let total: usize = degrees.iter().map(|&d| d as usize).sum();
+    let mut builder = DatasetBuilder::new(&config.name, config.num_users, config.num_items);
+    builder.reserve(total);
+    let mut chosen: FxHashSet<u32> = FxHashSet::default();
+    for (u, &degree) in degrees.iter().enumerate() {
+        chosen.clear();
+        let degree = degree as usize;
+        // Rejection sampling with a generous attempt budget; the budget only
+        // binds for degrees close to |I| where collisions are frequent.
+        let mut attempts = 0usize;
+        let budget = 20 * degree + 100;
+        while chosen.len() < degree && attempts < budget {
+            attempts += 1;
+            chosen.insert(perm[popularity.sample(&mut rng)]);
+        }
+        // Top up deterministically if rejection stalled (rare).
+        let mut next = rng.gen_range(0..config.num_items as u32);
+        while chosen.len() < degree {
+            if chosen.insert(next) {
+                continue;
+            }
+            next = (next + 1) % config.num_items as u32;
+        }
+        for &item in chosen.iter() {
+            builder.add_rating(u as u32, item, config.rating_model.sample(&mut rng));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{item_profile_sizes, DatasetStats};
+
+    #[test]
+    fn respects_dimensions() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("t", 42));
+        assert_eq!(ds.num_users(), 300);
+        assert_eq!(ds.num_items(), 200);
+        assert!(ds.num_ratings() > 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = BipartiteConfig::tiny("t", 7);
+        let a = generate_bipartite(&cfg);
+        let b = generate_bipartite(&cfg);
+        assert_eq!(a.users_csr(), b.users_csr());
+        let cfg2 = BipartiteConfig {
+            seed: 8,
+            ..BipartiteConfig::tiny("t", 7)
+        };
+        let c = generate_bipartite(&cfg2);
+        assert_ne!(a.users_csr(), c.users_csr());
+    }
+
+    #[test]
+    fn hits_target_ratings_approximately() {
+        let cfg = BipartiteConfig {
+            name: "cal".into(),
+            num_users: 2000,
+            num_items: 1000,
+            target_ratings: 30_000,
+            user_degree_min: 1,
+            user_degree_max: 300,
+            item_exponent: 0.7,
+            rating_model: RatingModel::Binary,
+            seed: 1,
+        };
+        let ds = generate_bipartite(&cfg);
+        let e = ds.num_ratings() as f64;
+        assert!(
+            (e - 30_000.0).abs() / 30_000.0 < 0.15,
+            "|E| = {e}, wanted ≈ 30000"
+        );
+    }
+
+    #[test]
+    fn degrees_within_bounds() {
+        let cfg = BipartiteConfig {
+            user_degree_min: 3,
+            user_degree_max: 20,
+            ..BipartiteConfig::tiny("b", 3)
+        };
+        let ds = generate_bipartite(&cfg);
+        for u in 0..ds.num_users() as u32 {
+            let d = ds.user_degree(u);
+            assert!((3..=20).contains(&d), "user {u} degree {d}");
+        }
+    }
+
+    #[test]
+    fn item_popularity_is_skewed() {
+        let ds = generate_bipartite(&BipartiteConfig {
+            num_users: 3000,
+            num_items: 500,
+            target_ratings: 30_000,
+            ..BipartiteConfig::tiny("skew", 5)
+        });
+        let mut sizes = item_profile_sizes(&ds);
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let avg = DatasetStats::compute(&ds).avg_item_profile;
+        // The most popular item is far above average — long tail.
+        assert!(sizes[0] as f64 > 4.0 * avg, "top={} avg={avg}", sizes[0]);
+    }
+
+    #[test]
+    fn profiles_have_no_duplicate_items() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("dup", 11));
+        for u in 0..ds.num_users() as u32 {
+            let items = ds.user_profile(u).items;
+            assert!(items.windows(2).all(|w| w[0] < w[1]), "user {u}");
+        }
+    }
+
+    #[test]
+    fn count_ratings_are_integral() {
+        let cfg = BipartiteConfig {
+            rating_model: RatingModel::Counts { mean: 2.0 },
+            ..BipartiteConfig::tiny("counts", 13)
+        };
+        let ds = generate_bipartite(&cfg);
+        for (_, _, r) in ds.iter_ratings() {
+            assert!(r >= 1.0 && r.fract() == 0.0);
+        }
+    }
+}

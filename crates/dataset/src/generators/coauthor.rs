@@ -1,0 +1,246 @@
+//! Collaboration-graph generator (Arxiv- and DBLP-like datasets).
+//!
+//! In the paper's bibliographic datasets "authors play both the roles, i.e.,
+//! of users and items: if two authors u1 and u2 have co-authored a paper, u1
+//! contains u2 in her profile and vice-versa" (§IV-A1). We synthesise such
+//! data with a classic preferential-attachment paper model: papers draw
+//! 2..=`max` authors, preferring authors who have already published, which
+//! yields the heavy-tailed collaboration degrees observed in [23].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kiff_collections::FxHashMap;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::zipf::Zipf;
+
+/// Configuration of the collaboration generator.
+#[derive(Debug, Clone)]
+pub struct CoauthorConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of authors (users *and* items).
+    pub num_authors: usize,
+    /// Stop once this many distinct collaboration pairs exist.
+    pub target_pairs: usize,
+    /// Smallest paper (≥ 2 authors).
+    pub paper_size_min: usize,
+    /// Largest paper.
+    pub paper_size_max: usize,
+    /// Zipf exponent over paper sizes (higher = small papers dominate).
+    pub paper_size_exponent: f64,
+    /// Probability that an author slot is filled preferentially (by prior
+    /// publication count) rather than uniformly.
+    pub preferential_bias: f64,
+    /// Keep co-publication counts as ratings (DBLP) or collapse to binary
+    /// (Arxiv, whose dataset "does not include ratings").
+    pub weighted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CoauthorConfig {
+    /// A small smoke-test configuration.
+    pub fn tiny(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_string(),
+            num_authors: 400,
+            target_pairs: 2500,
+            paper_size_min: 2,
+            paper_size_max: 10,
+            paper_size_exponent: 1.5,
+            preferential_bias: 0.6,
+            weighted: false,
+            seed,
+        }
+    }
+}
+
+/// Generates a symmetric collaboration dataset: `|U| = |I| = num_authors`,
+/// `UP_u` = the co-authors of `u` (rated by co-publication count when
+/// `weighted`).
+pub fn generate_coauthorship(config: &CoauthorConfig) -> Dataset {
+    assert!(config.num_authors >= 2);
+    assert!(config.paper_size_min >= 2 && config.paper_size_min <= config.paper_size_max);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let size_dist = Zipf::new(
+        config.paper_size_max - config.paper_size_min + 1,
+        config.paper_size_exponent,
+    );
+
+    // Undirected pair -> co-publication count. Pairs are keyed as
+    // (min << 32) | max.
+    let mut pairs: FxHashMap<u64, u32> = FxHashMap::default();
+    // Preferential pool: every author once, plus once per authored paper.
+    let mut pool: Vec<u32> = (0..config.num_authors as u32).collect();
+    let mut paper_authors: Vec<u32> = Vec::with_capacity(config.paper_size_max);
+    // Hard cap on papers so a mis-configured target cannot loop forever.
+    let max_papers = 50 * config.target_pairs.max(1);
+    let mut papers = 0usize;
+    while pairs.len() < config.target_pairs && papers < max_papers {
+        papers += 1;
+        let size = (config.paper_size_min + size_dist.sample(&mut rng)).min(config.num_authors);
+        paper_authors.clear();
+        let mut guard = 0;
+        while paper_authors.len() < size && guard < 50 * size {
+            guard += 1;
+            let author = if rng.gen::<f64>() < config.preferential_bias {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..config.num_authors as u32)
+            };
+            if !paper_authors.contains(&author) {
+                paper_authors.push(author);
+            }
+        }
+        for (idx, &a) in paper_authors.iter().enumerate() {
+            pool.push(a);
+            for &b in &paper_authors[idx + 1..] {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                *pairs
+                    .entry(u64::from(lo) << 32 | u64::from(hi))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut builder = DatasetBuilder::new(&config.name, config.num_authors, config.num_authors);
+    builder.reserve(2 * pairs.len());
+    for (&key, &count) in pairs.iter() {
+        let (a, b) = ((key >> 32) as u32, key as u32);
+        let rating = if config.weighted { count as f32 } else { 1.0 };
+        builder.add_rating(a, b, rating);
+        builder.add_rating(b, a, rating);
+    }
+    builder.build()
+}
+
+/// Restricts the *user* side to rows whose total rating weight is at least
+/// `min_weight`, keeping the item space unchanged.
+///
+/// This mirrors the DBLP snapshot of §IV-A4, which "contains information
+/// about users with at least five co-publications" while profiles may still
+/// reference any author. Returns the filtered dataset together with the
+/// kept original user ids (new id = position).
+pub fn filter_users_by_min_weight(dataset: &Dataset, min_weight: f32) -> (Dataset, Vec<u32>) {
+    let mut kept: Vec<u32> = Vec::new();
+    for u in 0..dataset.num_users() as u32 {
+        let total: f32 = dataset.user_profile(u).ratings.iter().sum();
+        if total >= min_weight {
+            kept.push(u);
+        }
+    }
+    let mut builder = DatasetBuilder::new(dataset.name(), kept.len(), dataset.num_items());
+    for (new_u, &old_u) in kept.iter().enumerate() {
+        for (item, rating) in dataset.user_profile(old_u).iter() {
+            builder.add_rating(new_u as u32, item, rating);
+        }
+    }
+    (builder.build(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_unweighted_graph() {
+        let ds = generate_coauthorship(&CoauthorConfig::tiny("arxiv-t", 1));
+        assert_eq!(ds.num_users(), ds.num_items());
+        // Symmetry: u in UP_v iff v in UP_u, with equal ratings.
+        for u in 0..ds.num_users() as u32 {
+            for (v, r) in ds.user_profile(u).iter() {
+                assert_eq!(ds.user_profile(v).rating(u), Some(r), "asymmetric {u}-{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let ds = generate_coauthorship(&CoauthorConfig::tiny("loops", 2));
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(ds.user_profile(u).rating(u), None, "self-loop at {u}");
+        }
+    }
+
+    #[test]
+    fn unweighted_ratings_are_binary() {
+        let ds = generate_coauthorship(&CoauthorConfig::tiny("bin", 3));
+        assert!(ds.iter_ratings().all(|(_, _, r)| r == 1.0));
+    }
+
+    #[test]
+    fn weighted_ratings_reflect_copublications() {
+        let cfg = CoauthorConfig {
+            weighted: true,
+            target_pairs: 4000,
+            ..CoauthorConfig::tiny("dblp-t", 4)
+        };
+        let ds = generate_coauthorship(&cfg);
+        assert!(ds
+            .iter_ratings()
+            .all(|(_, _, r)| r >= 1.0 && r.fract() == 0.0));
+        // Preferential attachment should create at least one repeated
+        // collaboration.
+        assert!(
+            ds.iter_ratings().any(|(_, _, r)| r > 1.0),
+            "no repeated collaborations generated"
+        );
+    }
+
+    #[test]
+    fn reaches_target_pairs() {
+        let cfg = CoauthorConfig::tiny("target", 5);
+        let ds = generate_coauthorship(&cfg);
+        // Directed edges = 2 × pairs.
+        assert!(ds.num_ratings() >= 2 * cfg.target_pairs);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_coauthorship(&CoauthorConfig::tiny("d", 9));
+        let b = generate_coauthorship(&CoauthorConfig::tiny("d", 9));
+        assert_eq!(a.users_csr(), b.users_csr());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let cfg = CoauthorConfig {
+            num_authors: 2000,
+            target_pairs: 20_000,
+            ..CoauthorConfig::tiny("skew", 6)
+        };
+        let ds = generate_coauthorship(&cfg);
+        let degrees: Vec<usize> = (0..ds.num_users() as u32)
+            .map(|u| ds.user_degree(u))
+            .collect();
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max={max} mean={mean}");
+    }
+
+    #[test]
+    fn min_weight_filter_keeps_heavy_users() {
+        let cfg = CoauthorConfig {
+            weighted: true,
+            ..CoauthorConfig::tiny("filter", 7)
+        };
+        let ds = generate_coauthorship(&cfg);
+        let (filtered, kept) = filter_users_by_min_weight(&ds, 5.0);
+        assert_eq!(filtered.num_users(), kept.len());
+        assert!(filtered.num_users() < ds.num_users());
+        assert_eq!(filtered.num_items(), ds.num_items());
+        for (new_u, &old_u) in kept.iter().enumerate() {
+            assert_eq!(
+                filtered.user_profile(new_u as u32).items,
+                ds.user_profile(old_u).items
+            );
+        }
+        // Every kept user meets the threshold.
+        for u in 0..filtered.num_users() as u32 {
+            let total: f32 = filtered.user_profile(u).ratings.iter().sum();
+            assert!(total >= 5.0);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! MovieLens-1M stand-in (the ML-1 dataset of Table IX).
+//!
+//! §V-B3: "The ML dataset we use (called ML-1 …) contains 6,040 users and
+//! 3,706 items (movies), in which each user has at least made 20 ratings,
+//! with an average of 165.1 ratings per user … a density of 4.47%."
+
+use crate::dataset::Dataset;
+use crate::generators::bipartite::{generate_bipartite, BipartiteConfig};
+use crate::generators::RatingModel;
+
+/// ML-1 reference statistics from Table IX / §V-B3.
+pub const ML1_USERS: usize = 6_040;
+/// Number of movies in ML-1.
+pub const ML1_ITEMS: usize = 3_706;
+/// Number of ratings in ML-1.
+pub const ML1_RATINGS: usize = 1_000_209;
+
+/// Generates the ML-1 stand-in, optionally scaled (scale applies to users,
+/// items and ratings alike, preserving average profile sizes).
+pub fn movielens_like(scale: f64, seed: u64) -> Dataset {
+    assert!(scale > 0.0 && scale <= 4.0, "unreasonable scale {scale}");
+    let num_users = ((ML1_USERS as f64 * scale) as usize).max(10);
+    let num_items = ((ML1_ITEMS as f64 * scale) as usize).max(10);
+    let config = BipartiteConfig {
+        name: "ML-1".to_string(),
+        num_users,
+        num_items,
+        target_ratings: ((ML1_RATINGS as f64 * scale) as usize).max(num_users * 21),
+        // ML-1: every user has ≥ 20 ratings; the busiest ~2.3k.
+        user_degree_min: 20,
+        user_degree_max: (num_items as u32).min(2_314),
+        item_exponent: 0.75,
+        rating_model: RatingModel::Stars { half_steps: true },
+        seed,
+    };
+    generate_bipartite(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn full_scale_matches_ml1_statistics() {
+        let ds = movielens_like(1.0, 42);
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.num_users, ML1_USERS);
+        assert_eq!(stats.num_items, ML1_ITEMS);
+        let e = stats.num_ratings as f64;
+        assert!(
+            (e - ML1_RATINGS as f64).abs() / (ML1_RATINGS as f64) < 0.1,
+            "|E| = {e}"
+        );
+        // Paper: density 4.47%.
+        assert!(
+            (stats.density_percent() - 4.47).abs() < 0.7,
+            "density {}%",
+            stats.density_percent()
+        );
+    }
+
+    #[test]
+    fn every_user_has_at_least_20_ratings() {
+        let ds = movielens_like(0.25, 7);
+        for u in 0..ds.num_users() as u32 {
+            assert!(ds.user_degree(u) >= 20, "user {u}");
+        }
+    }
+
+    #[test]
+    fn ratings_are_half_star_grid() {
+        let ds = movielens_like(0.1, 3);
+        for (_, _, r) in ds.iter_ratings() {
+            assert!((0.5..=5.0).contains(&r));
+            assert_eq!((r * 2.0).fract(), 0.0);
+        }
+    }
+}

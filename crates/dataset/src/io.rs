@@ -1,0 +1,344 @@
+//! Dataset persistence: SNAP-style TSV edge lists, the MovieLens `::`
+//! format, and a JSON dump.
+//!
+//! The paper's datasets ship as SNAP edge lists (`user<TAB>item[<TAB>
+//! rating]`, `#` comments) and MovieLens `.dat` files
+//! (`user::item::rating::timestamp`). Loaders remap arbitrary external ids
+//! to the dense internal `0..n` ranges and report the mapping.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use kiff_collections::FxHashMap;
+
+use crate::dataset::{Dataset, DatasetBuilder};
+
+/// Errors raised while loading a dataset file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that does not parse; carries the 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Mapping from dense internal ids back to the external ids of the source
+/// file: `user_ids[internal] == external`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdMaps {
+    /// External user ids in internal order.
+    pub user_ids: Vec<u64>,
+    /// External item ids in internal order.
+    pub item_ids: Vec<u64>,
+}
+
+struct Remapper {
+    to_internal: FxHashMap<u64, u32>,
+    to_external: Vec<u64>,
+}
+
+impl Remapper {
+    fn new() -> Self {
+        Self {
+            to_internal: FxHashMap::default(),
+            to_external: Vec::new(),
+        }
+    }
+
+    fn map(&mut self, external: u64) -> u32 {
+        *self.to_internal.entry(external).or_insert_with(|| {
+            let id = self.to_external.len() as u32;
+            self.to_external.push(external);
+            id
+        })
+    }
+}
+
+fn parse_edges<R: BufRead>(
+    reader: R,
+    name: &str,
+    separator: Separator,
+) -> Result<(Dataset, IdMaps), LoadError> {
+    let mut users = Remapper::new();
+    let mut items = Remapper::new();
+    let mut triples: Vec<(u32, u32, f32)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = separator.split(trimmed);
+        let line_no = idx + 1;
+        let parse_id = |field: Option<&str>, what: &str| -> Result<u64, LoadError> {
+            field
+                .ok_or_else(|| LoadError::Parse {
+                    line: line_no,
+                    message: format!("missing {what} field"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| LoadError::Parse {
+                    line: line_no,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let user = parse_id(fields.next(), "user")?;
+        let item = parse_id(fields.next(), "item")?;
+        let rating = match fields.next() {
+            None => 1.0f32,
+            Some(text) => text.parse::<f32>().map_err(|e| LoadError::Parse {
+                line: line_no,
+                message: format!("bad rating: {e}"),
+            })?,
+        };
+        if !(rating.is_finite() && rating > 0.0) {
+            return Err(LoadError::Parse {
+                line: line_no,
+                message: format!("rating must be finite and positive, got {rating}"),
+            });
+        }
+        triples.push((users.map(user), items.map(item), rating));
+    }
+    let mut builder = DatasetBuilder::new(name, users.to_external.len(), items.to_external.len());
+    builder.reserve(triples.len());
+    for (u, i, r) in triples {
+        builder.add_rating(u, i, r);
+    }
+    Ok((
+        builder.build(),
+        IdMaps {
+            user_ids: users.to_external,
+            item_ids: items.to_external,
+        },
+    ))
+}
+
+#[derive(Clone, Copy)]
+enum Separator {
+    Whitespace,
+    DoubleColon,
+}
+
+impl Separator {
+    fn split(self, line: &str) -> Box<dyn Iterator<Item = &str> + '_> {
+        match self {
+            Separator::Whitespace => Box::new(line.split_whitespace()),
+            Separator::DoubleColon => Box::new(line.split("::")),
+        }
+    }
+}
+
+/// Loads a SNAP-style edge list: `user item [rating]` separated by
+/// whitespace, with `#`/`%` comment lines. A missing rating column means a
+/// binary dataset.
+pub fn load_snap_tsv(path: impl AsRef<Path>) -> Result<(Dataset, IdMaps), LoadError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "snap".to_string());
+    let file = BufReader::new(File::open(path)?);
+    parse_edges(file, &name, Separator::Whitespace)
+}
+
+/// Loads a MovieLens ratings file: `user::item::rating::timestamp` (the
+/// timestamp, and anything after the third field, is ignored).
+pub fn load_movielens(path: impl AsRef<Path>) -> Result<(Dataset, IdMaps), LoadError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "movielens".to_string());
+    let file = BufReader::new(File::open(path)?);
+    parse_edges(file, &name, Separator::DoubleColon)
+}
+
+/// Parses SNAP-format edges from an in-memory string (used by tests and
+/// examples that embed small datasets).
+pub fn parse_snap_str(name: &str, text: &str) -> Result<(Dataset, IdMaps), LoadError> {
+    parse_edges(text.as_bytes(), name, Separator::Whitespace)
+}
+
+/// Writes `dataset` as a SNAP-style TSV edge list (internal dense ids).
+pub fn save_snap_tsv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(
+        out,
+        "# {}: {} users, {} items, {} ratings",
+        dataset.name(),
+        dataset.num_users(),
+        dataset.num_items(),
+        dataset.num_ratings()
+    )?;
+    for (u, i, r) in dataset.iter_ratings() {
+        if r == 1.0 {
+            writeln!(out, "{u}\t{i}")?;
+        } else {
+            writeln!(out, "{u}\t{i}\t{r}")?;
+        }
+    }
+    out.flush()
+}
+
+/// Serializable dataset dump (JSON round-trip format).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DatasetDump {
+    /// Dataset name.
+    pub name: String,
+    /// `|U|`.
+    pub num_users: usize,
+    /// `|I|`.
+    pub num_items: usize,
+    /// All `(user, item, rating)` triples.
+    pub ratings: Vec<(u32, u32, f32)>,
+}
+
+impl DatasetDump {
+    /// Captures `dataset` into a dump.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self {
+            name: dataset.name().to_string(),
+            num_users: dataset.num_users(),
+            num_items: dataset.num_items(),
+            ratings: dataset.iter_ratings().collect(),
+        }
+    }
+
+    /// Rebuilds the dataset.
+    pub fn into_dataset(self) -> Dataset {
+        let mut builder = DatasetBuilder::new(self.name, self.num_users, self.num_items);
+        builder.reserve(self.ratings.len());
+        for (u, i, r) in self.ratings {
+            builder.add_rating(u, i, r);
+        }
+        builder.build()
+    }
+}
+
+/// Writes `dataset` as JSON.
+pub fn save_json(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let out = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(out, &DatasetDump::from_dataset(dataset))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Loads a dataset written by [`save_json`].
+pub fn load_json(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let file = BufReader::new(File::open(path)?);
+    let dump: DatasetDump =
+        serde_json::from_reader(file).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(dump.into_dataset())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::figure2_toy;
+
+    #[test]
+    fn parses_snap_with_comments_and_ratings() {
+        let text = "# header\n10 100\n10 200 2.5\n\n20 100 1\n% alt comment\n";
+        let (ds, ids) = parse_snap_str("t", text).unwrap();
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_items(), 2);
+        assert_eq!(ds.num_ratings(), 3);
+        assert_eq!(ids.user_ids, vec![10, 20]);
+        assert_eq!(ids.item_ids, vec![100, 200]);
+        assert_eq!(ds.user_profile(0).rating(1), Some(2.5));
+    }
+
+    #[test]
+    fn missing_rating_defaults_to_binary() {
+        let (ds, _) = parse_snap_str("b", "1 2\n3 4\n").unwrap();
+        assert!(ds.iter_ratings().all(|(_, _, r)| r == 1.0));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let err = parse_snap_str("e", "1 2\nnot numbers\n").unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nonpositive_ratings() {
+        let err = parse_snap_str("e", "1 2 -1.0\n").unwrap_err();
+        assert!(matches!(err, LoadError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn snap_round_trip_through_file() {
+        let ds = figure2_toy();
+        let dir = std::env::temp_dir().join("kiff-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.tsv");
+        save_snap_tsv(&ds, &path).unwrap();
+        let (back, _) = load_snap_tsv(&path).unwrap();
+        assert_eq!(back.num_users(), ds.num_users());
+        assert_eq!(back.num_ratings(), ds.num_ratings());
+        // Internal ids are written, so profiles survive exactly.
+        for u in 0..4u32 {
+            assert_eq!(back.user_profile(u).items, ds.user_profile(u).items);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn movielens_format_parses() {
+        let dir = std::env::temp_dir().join("kiff-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ml.dat");
+        std::fs::write(
+            &path,
+            "1::1193::5::978300760\n1::661::3::978302109\n2::1193::4::978298413\n",
+        )
+        .unwrap();
+        let (ds, ids) = load_movielens(&path).unwrap();
+        assert_eq!(ds.num_users(), 2);
+        assert_eq!(ds.num_items(), 2);
+        assert_eq!(ds.user_profile(0).rating(0), Some(5.0));
+        assert_eq!(ids.item_ids, vec![1193, 661]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = figure2_toy();
+        let dir = std::env::temp_dir().join("kiff-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        save_json(&ds, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.name(), ds.name());
+        assert_eq!(back.users_csr(), ds.users_csr());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! Dataset descriptors (Table I) and profile-size distributions (Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// The per-dataset descriptor row of Table I: sizes, density, and average
+/// profile sizes on both sides of the bipartite graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// `|U|`.
+    pub num_users: usize,
+    /// `|I|`.
+    pub num_items: usize,
+    /// `|E|`.
+    pub num_ratings: usize,
+    /// `|E| / (|U|·|I|)` as a fraction (Table I prints it as a percentage).
+    pub density: f64,
+    /// Average user profile size `|E| / |U|`.
+    pub avg_user_profile: f64,
+    /// Average item profile size `|E| / |I|`.
+    pub avg_item_profile: f64,
+    /// Largest user profile.
+    pub max_user_profile: usize,
+    /// Largest item profile.
+    pub max_item_profile: usize,
+}
+
+impl DatasetStats {
+    /// Computes the descriptor for `dataset`.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let num_users = dataset.num_users();
+        let num_items = dataset.num_items();
+        let num_ratings = dataset.num_ratings();
+        let max_user_profile = (0..num_users as u32)
+            .map(|u| dataset.user_degree(u))
+            .max()
+            .unwrap_or(0);
+        let items = dataset.item_profiles();
+        let max_item_profile = (0..num_items as u32)
+            .map(|i| items.degree(i))
+            .max()
+            .unwrap_or(0);
+        Self {
+            name: dataset.name().to_string(),
+            num_users,
+            num_items,
+            num_ratings,
+            density: dataset.density(),
+            avg_user_profile: if num_users == 0 {
+                0.0
+            } else {
+                num_ratings as f64 / num_users as f64
+            },
+            avg_item_profile: if num_items == 0 {
+                0.0
+            } else {
+                num_ratings as f64 / num_items as f64
+            },
+            max_user_profile,
+            max_item_profile,
+        }
+    }
+
+    /// Density as the percentage Table I prints.
+    pub fn density_percent(&self) -> f64 {
+        self.density * 100.0
+    }
+}
+
+/// Sizes of every user profile, `|UP_u|` for all `u` (Fig. 4a input).
+pub fn user_profile_sizes(dataset: &Dataset) -> Vec<usize> {
+    (0..dataset.num_users() as u32)
+        .map(|u| dataset.user_degree(u))
+        .collect()
+}
+
+/// Sizes of every item profile, `|IP_i|` for all `i` (Fig. 4b input).
+pub fn item_profile_sizes(dataset: &Dataset) -> Vec<usize> {
+    let items = dataset.item_profiles();
+    (0..dataset.num_items() as u32)
+        .map(|i| items.degree(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::figure2_toy;
+
+    #[test]
+    fn toy_stats() {
+        let stats = DatasetStats::compute(&figure2_toy());
+        assert_eq!(stats.num_users, 4);
+        assert_eq!(stats.num_items, 4);
+        assert_eq!(stats.num_ratings, 6);
+        assert!((stats.density - 0.375).abs() < 1e-12);
+        assert!((stats.density_percent() - 37.5).abs() < 1e-9);
+        assert!((stats.avg_user_profile - 1.5).abs() < 1e-12);
+        assert!((stats.avg_item_profile - 1.5).abs() < 1e-12);
+        assert_eq!(stats.max_user_profile, 2);
+        assert_eq!(stats.max_item_profile, 2);
+    }
+
+    #[test]
+    fn profile_size_vectors() {
+        let ds = figure2_toy();
+        assert_eq!(user_profile_sizes(&ds), vec![2, 2, 1, 1]);
+        assert_eq!(item_profile_sizes(&ds), vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn stats_serde_round_trip() {
+        let stats = DatasetStats::compute(&figure2_toy());
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: DatasetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(stats, back);
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared scalar types and the borrowed profile view.
+
+/// Dense user identifier in `0..|U|`.
+pub type UserId = u32;
+
+/// Dense item identifier in `0..|I|`.
+pub type ItemId = u32;
+
+/// Rating value `ρ(u, i)`. Binary datasets use `1.0`; count-valued datasets
+/// (check-ins, co-publications) use positive integers; star ratings use the
+/// 0.5–5.0 half-step scale.
+pub type Rating = f32;
+
+/// A borrowed view of one user (or item) profile: the rated ids, sorted
+/// ascending, with a parallel ratings slice.
+///
+/// This is the dictionary `UP_u : I → R` of §III-A flattened into two
+/// slices, which keeps similarity computations allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRef<'a> {
+    /// Sorted ids this profile rates.
+    pub items: &'a [ItemId],
+    /// Ratings parallel to `items`.
+    pub ratings: &'a [Rating],
+}
+
+impl<'a> ProfileRef<'a> {
+    /// Number of rated items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the profile rates nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(item, rating)` pairs in ascending item order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, Rating)> + 'a {
+        self.items.iter().copied().zip(self.ratings.iter().copied())
+    }
+
+    /// The rating of `item`, if present (binary search).
+    pub fn rating(&self, item: ItemId) -> Option<Rating> {
+        self.items
+            .binary_search(&item)
+            .ok()
+            .map(|idx| self.ratings[idx])
+    }
+
+    /// Euclidean norm of the rating vector (used by weighted cosine).
+    pub fn norm(&self) -> f64 {
+        self.ratings
+            .iter()
+            .map(|&r| f64::from(r) * f64::from(r))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_accessors() {
+        let items = [2u32, 5, 9];
+        let ratings = [1.0f32, 3.0, 2.0];
+        let p = ProfileRef {
+            items: &items,
+            ratings: &ratings,
+        };
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.rating(5), Some(3.0));
+        assert_eq!(p.rating(4), None);
+        assert_eq!(
+            p.iter().collect::<Vec<_>>(),
+            vec![(2, 1.0), (5, 3.0), (9, 2.0)]
+        );
+        assert!((p.norm() - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = ProfileRef {
+            items: &[],
+            ratings: &[],
+        };
+        assert!(p.is_empty());
+        assert_eq!(p.norm(), 0.0);
+        assert_eq!(p.rating(0), None);
+    }
+}

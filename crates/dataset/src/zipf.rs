@@ -1,0 +1,248 @@
+//! Discrete power-law samplers used by the synthetic dataset generators.
+//!
+//! The paper's four evaluation datasets all exhibit long-tailed profile-size
+//! distributions ("most users have very few ratings", Fig. 4, consistent
+//! with [20], [21], [22]). We reproduce that with two tools:
+//!
+//! * [`Zipf`] — rank-frequency sampling (`P(rank r) ∝ 1/r^s`) for item
+//!   popularity: a few blockbusters, a long tail;
+//! * [`power_law_degrees`] — bounded power-law degree sequences whose
+//!   exponent is solved numerically to hit a target mean, used for user
+//!   profile sizes where Table I prescribes the average.
+
+use rand::Rng;
+
+/// Cumulative-table Zipf sampler over ranks `0..n` with exponent `s ≥ 0`.
+///
+/// `s = 0` degenerates to the uniform distribution; larger `s` concentrates
+/// mass on low ranks. Sampling is one uniform draw plus a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `O(n)` time and memory.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true: `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 is the most likely).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cdf.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        // partition_point returns the first rank whose cumulative mass
+        // reaches x.
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        let total = *self.cdf.last().expect("non-empty");
+        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        (self.cdf[r] - lo) / total
+    }
+}
+
+/// Mean of the bounded power law `P(d) ∝ d^(-alpha)` over `d_min..=d_max`.
+fn bounded_power_law_mean(d_min: u32, d_max: u32, alpha: f64) -> f64 {
+    let mut mass = 0.0;
+    let mut weighted = 0.0;
+    for d in d_min..=d_max {
+        let p = f64::from(d).powf(-alpha);
+        mass += p;
+        weighted += p * f64::from(d);
+    }
+    weighted / mass
+}
+
+/// Samples `count` degrees from a bounded power law `P(d) ∝ d^(-alpha)` over
+/// `[d_min, d_max]`, with `alpha` solved by bisection so the distribution
+/// mean equals `target_mean`.
+///
+/// Returns the degree sequence; the realised sample mean fluctuates around
+/// the target (law of large numbers), which the generators accept — Table I
+/// statistics are recomputed from the generated data, not assumed.
+///
+/// # Panics
+/// Panics if the target mean is outside `(d_min, d_max)` or the bounds are
+/// inverted.
+pub fn power_law_degrees<R: Rng + ?Sized>(
+    count: usize,
+    d_min: u32,
+    d_max: u32,
+    target_mean: f64,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(d_min >= 1 && d_min <= d_max, "need 1 <= d_min <= d_max");
+    assert!(
+        target_mean > f64::from(d_min) && target_mean < f64::from(d_max),
+        "target mean {target_mean} outside ({d_min}, {d_max})"
+    );
+    // Mean is decreasing in alpha: bisection over a generous bracket.
+    let (mut lo, mut hi) = (-4.0f64, 12.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if bounded_power_law_mean(d_min, d_max, mid) > target_mean {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let alpha = 0.5 * (lo + hi);
+
+    // Build the CDF over d_min..=d_max once, then draw.
+    let mut cdf = Vec::with_capacity((d_max - d_min + 1) as usize);
+    let mut acc = 0.0;
+    for d in d_min..=d_max {
+        acc += f64::from(d).powf(-alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < x).min(cdf.len() - 1);
+            d_min + idx as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_samples_within_support() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_most_frequent() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[10]);
+        assert!(counts[0] > counts[49] * 10);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(37, 0.8);
+        let sum: f64 = (0..37).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrees_hit_target_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let degrees = power_law_degrees(50_000, 1, 1000, 17.0, &mut rng);
+        let mean = degrees.iter().map(|&d| f64::from(d)).sum::<f64>() / degrees.len() as f64;
+        assert!(
+            (mean - 17.0).abs() < 1.0,
+            "sample mean {mean} too far from 17"
+        );
+        assert!(degrees.iter().all(|&d| (1..=1000).contains(&d)));
+    }
+
+    #[test]
+    fn degrees_are_long_tailed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let degrees = power_law_degrees(50_000, 1, 2000, 20.0, &mut rng);
+        let max = *degrees.iter().max().unwrap();
+        let median = {
+            let mut d = degrees.clone();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        // Long tail: the max far exceeds the median.
+        assert!(max > median * 10, "max={max} median={median}");
+    }
+
+    #[test]
+    fn degrees_respect_min_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let degrees = power_law_degrees(10_000, 20, 2000, 165.0, &mut rng);
+        assert!(degrees.iter().all(|&d| d >= 20));
+        let mean = degrees.iter().map(|&d| f64::from(d)).sum::<f64>() / degrees.len() as f64;
+        assert!((mean - 165.0).abs() < 10.0, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_unreachable_mean() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = power_law_degrees(10, 5, 10, 20.0, &mut rng);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn zipf_sample_in_range(n in 1usize..200, s in 0.0f64..3.0, seed in any::<u64>()) {
+                let z = Zipf::new(n, s);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..100 {
+                    prop_assert!(z.sample(&mut rng) < n);
+                }
+            }
+
+            #[test]
+            fn degrees_in_bounds(
+                seed in any::<u64>(),
+                d_min in 1u32..5,
+                spread in 10u32..100,
+            ) {
+                let d_max = d_min + spread;
+                let target = f64::from(d_min) + f64::from(spread) / 4.0;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let degrees = power_law_degrees(500, d_min, d_max, target, &mut rng);
+                prop_assert!(degrees.iter().all(|&d| d >= d_min && d <= d_max));
+            }
+        }
+    }
+}

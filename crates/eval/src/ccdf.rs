@@ -1,0 +1,150 @@
+//! Complementary cumulative distribution functions.
+//!
+//! Figs 4 and 6 plot `P(X ≥ x)` of profile and RCS sizes on log-x axes.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CCDF over non-negative integer observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ccdf {
+    /// Distinct observed values, ascending.
+    values: Vec<u64>,
+    /// `probability[i] = P(X ≥ values[i])`.
+    probabilities: Vec<f64>,
+    count: usize,
+}
+
+impl Ccdf {
+    /// Builds the CCDF of `observations`.
+    pub fn from_observations(observations: &[usize]) -> Self {
+        let mut sorted: Vec<u64> = observations.iter().map(|&x| x as u64).collect();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut values = Vec::new();
+        let mut probabilities = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let v = sorted[i];
+            // P(X >= v) = fraction of observations at or after index i.
+            values.push(v);
+            probabilities.push((n - i) as f64 / n as f64);
+            while i < n && sorted[i] == v {
+                i += 1;
+            }
+        }
+        Self {
+            values,
+            probabilities,
+            count: n,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// `P(X ≥ x)`.
+    pub fn at(&self, x: u64) -> f64 {
+        // First distinct value >= x carries the probability.
+        match self.values.partition_point(|&v| v < x) {
+            i if i < self.values.len() => self.probabilities[i],
+            _ => 0.0,
+        }
+    }
+
+    /// The `(value, P(X ≥ value))` support points, ascending in value.
+    pub fn points(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.values
+            .iter()
+            .copied()
+            .zip(self.probabilities.iter().copied())
+    }
+
+    /// Samples the CCDF at logarithmically spaced x values (how the paper's
+    /// figures are drawn), returning `(x, P(X ≥ x))` rows.
+    pub fn log_samples(&self, points_per_decade: usize) -> Vec<(u64, f64)> {
+        let max = match self.values.last() {
+            Some(&m) if m >= 1 => m,
+            _ => return vec![],
+        };
+        let mut out = Vec::new();
+        let mut last_x = 0u64;
+        let decades = (max as f64).log10().ceil() as usize + 1;
+        for i in 0..=(decades * points_per_decade) {
+            let x = 10f64.powf(i as f64 / points_per_decade as f64).round() as u64;
+            if x == last_x || x > max {
+                continue;
+            }
+            last_x = x;
+            out.push((x, self.at(x)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_distribution() {
+        let ccdf = Ccdf::from_observations(&[1, 2, 2, 4]);
+        assert_eq!(ccdf.count(), 4);
+        assert_eq!(ccdf.at(0), 1.0);
+        assert_eq!(ccdf.at(1), 1.0);
+        assert_eq!(ccdf.at(2), 0.75);
+        assert_eq!(ccdf.at(3), 0.25);
+        assert_eq!(ccdf.at(4), 0.25);
+        assert_eq!(ccdf.at(5), 0.0);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let obs: Vec<usize> = (0..500).map(|i| (i * 7919) % 97).collect();
+        let ccdf = Ccdf::from_observations(&obs);
+        let probs: Vec<f64> = ccdf.points().map(|(_, p)| p).collect();
+        assert!(probs.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(probs[0], 1.0);
+    }
+
+    #[test]
+    fn log_samples_cover_range() {
+        let obs: Vec<usize> = (1..=1000).collect();
+        let ccdf = Ccdf::from_observations(&obs);
+        let samples = ccdf.log_samples(3);
+        assert!(samples.len() > 5);
+        assert_eq!(samples[0].0, 1);
+        assert!(samples.iter().all(|&(x, _)| x <= 1000));
+        // x ascending, probabilities non-increasing.
+        assert!(samples
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn empty_observations() {
+        let ccdf = Ccdf::from_observations(&[]);
+        assert_eq!(ccdf.count(), 0);
+        assert_eq!(ccdf.at(1), 0.0);
+        assert!(ccdf.log_samples(5).is_empty());
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// CCDF probabilities match the brute-force definition.
+            #[test]
+            fn matches_definition(obs in proptest::collection::vec(0usize..60, 1..200)) {
+                let ccdf = Ccdf::from_observations(&obs);
+                for x in 0u64..=61 {
+                    let expected =
+                        obs.iter().filter(|&&o| o as u64 >= x).count() as f64 / obs.len() as f64;
+                    prop_assert!((ccdf.at(x) - expected).abs() < 1e-12, "x={x}");
+                }
+            }
+        }
+    }
+}

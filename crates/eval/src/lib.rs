@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Evaluation toolkit for the KIFF reproduction.
+//!
+//! Everything the paper's evaluation section measures but that is not an
+//! algorithm: complementary cumulative distribution functions (Figs 4
+//! and 6), Spearman rank correlation (Fig. 7), ASCII table rendering in the
+//! paper's row format, and serde-serialisable experiment records written by
+//! the `experiments` binary and summarised in EXPERIMENTS.md.
+
+pub mod ccdf;
+pub mod records;
+pub mod spearman;
+pub mod summary;
+pub mod table;
+
+pub use ccdf::Ccdf;
+pub use records::{AlgoRunRecord, ExperimentRecord};
+pub use spearman::spearman;
+pub use summary::{geometric_mean, mean, percentile};
+pub use table::Table;

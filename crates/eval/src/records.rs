@@ -1,0 +1,117 @@
+//! Serialisable experiment records.
+//!
+//! The `experiments` binary writes one JSON record per experiment next to
+//! the human-readable table, so paper-vs-measured comparisons in
+//! EXPERIMENTS.md are backed by machine-checkable data.
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One algorithm run on one dataset — the Table II row shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgoRunRecord {
+    /// Algorithm name (`KIFF`, `NN-Descent`, `HyRec`).
+    pub algorithm: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Recall against exact ground truth (Eq. 4).
+    pub recall: f64,
+    /// End-to-end wall time in seconds.
+    pub wall_time_s: f64,
+    /// Scan rate (fraction, not percent).
+    pub scan_rate: f64,
+    /// Refinement iterations.
+    pub iterations: usize,
+    /// Preprocessing share of accumulated worker time.
+    pub preprocessing_s: f64,
+    /// Candidate-selection share.
+    pub candidate_selection_s: f64,
+    /// Similarity-computation share.
+    pub similarity_s: f64,
+}
+
+/// A named experiment with arbitrary JSON payload rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id (`table2`, `fig8`, …).
+    pub id: String,
+    /// Free-form description.
+    pub description: String,
+    /// Payload (experiment-specific shape).
+    pub data: serde_json::Value,
+}
+
+impl ExperimentRecord {
+    /// Creates a record with a serialisable payload.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        data: &impl Serialize,
+    ) -> serde_json::Result<Self> {
+        Ok(Self {
+            id: id.into(),
+            description: description.into(),
+            data: serde_json::to_value(data)?,
+        })
+    }
+
+    /// Writes the record as pretty JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, text)
+    }
+
+    /// Loads a record written by [`ExperimentRecord::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> AlgoRunRecord {
+        AlgoRunRecord {
+            algorithm: "KIFF".into(),
+            dataset: "Wikipedia".into(),
+            k: 20,
+            recall: 0.99,
+            wall_time_s: 4.4,
+            scan_rate: 0.0737,
+            iterations: 22,
+            preprocessing_s: 0.5,
+            candidate_selection_s: 0.4,
+            similarity_s: 3.0,
+        }
+    }
+
+    #[test]
+    fn run_record_round_trips() {
+        let rec = sample_run();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: AlgoRunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn experiment_record_save_load() {
+        let runs = vec![sample_run()];
+        let rec = ExperimentRecord::new("table2", "overall perf", &runs).unwrap();
+        let dir = std::env::temp_dir().join("kiff-eval-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table2.json");
+        rec.save(&path).unwrap();
+        let back = ExperimentRecord::load(&path).unwrap();
+        assert_eq!(back.id, "table2");
+        let rows: Vec<AlgoRunRecord> = serde_json::from_value(back.data).unwrap();
+        assert_eq!(rows, runs);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,140 @@
+//! Spearman rank correlation with tie handling.
+//!
+//! Fig. 7 correlates the order of each truncated RCS (by common-item count)
+//! with the order the final metric (cosine or Jaccard) would impose on the
+//! same users: a high coefficient means the counting phase rarely buries
+//! good candidates past the truncation point.
+
+/// Average ranks of `scores` (rank 1 = largest score; ties share the mean
+/// of their rank range — the standard "fractional ranking").
+fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rank correlation coefficient between two score vectors over
+/// the same elements, in `[-1, 1]`.
+///
+/// Computed as the Pearson correlation of the fractional ranks (correct in
+/// the presence of ties). Returns 0 when either vector is constant (no
+/// ordering information).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_order_is_one() {
+        let a = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let b = [50.0, 40.0, 30.0, 20.0, 10.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_order_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vector_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example without ties.
+        let a = [
+            106.0, 100.0, 86.0, 101.0, 99.0, 103.0, 97.0, 113.0, 112.0, 110.0,
+        ];
+        let b = [7.0, 27.0, 2.0, 50.0, 28.0, 29.0, 20.0, 12.0, 6.0, 17.0];
+        let rho = spearman(&a, &b);
+        assert!((rho - (-0.175_757_575_757)).abs() < 1e-9, "rho = {rho}");
+    }
+
+    #[test]
+    fn ties_use_fractional_ranks() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let ranks = average_ranks(&a);
+        // Largest first: 3.0 -> 1, the two 2.0s share (2+3)/2 = 2.5, 1.0 -> 4.
+        assert_eq!(ranks, vec![4.0, 2.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn short_inputs_return_zero() {
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// ρ ∈ [-1, 1], symmetric in its arguments, and ρ(a, a) = 1 for
+            /// non-constant a.
+            #[test]
+            fn axioms(
+                a in proptest::collection::vec(0u32..50, 2..60),
+                b_seed in proptest::collection::vec(0u32..50, 2..60),
+            ) {
+                let n = a.len().min(b_seed.len());
+                let a: Vec<f64> = a[..n].iter().map(|&x| f64::from(x)).collect();
+                let b: Vec<f64> = b_seed[..n].iter().map(|&x| f64::from(x)).collect();
+                let ab = spearman(&a, &b);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+                prop_assert!((ab - spearman(&b, &a)).abs() < 1e-9);
+                let distinct = a.iter().any(|&x| x != a[0]);
+                if distinct {
+                    prop_assert!((spearman(&a, &a) - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

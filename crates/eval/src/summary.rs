@@ -1,0 +1,72 @@
+//! Small statistical helpers used by the experiment reports.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean of positive values (0 for empty input).
+///
+/// Speed-up factors are ratios; Table III's "average speed-up" aggregates
+/// them — the geometric mean is the defensible aggregate, though the
+/// arithmetic mean is also reported for direct comparison with the paper.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean needs positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// The `p`-th percentile (0–100) by nearest-rank on a copy of the data.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 75.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

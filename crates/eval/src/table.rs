@@ -1,0 +1,177 @@
+//! Plain-text table rendering in the paper's row format.
+
+/// A simple right-aligned ASCII table builder.
+///
+/// ```
+/// use kiff_eval::Table;
+/// let text = Table::new(&["Approach", "recall", "wall-time (s)"])
+///     .row(&["KIFF", "0.99", "10.7"])
+///     .row(&["NN-Descent", "0.95", "41.8"])
+///     .render();
+/// assert!(text.contains("KIFF"));
+/// assert!(text.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: AsRef<str>>(headers: &[S]) -> Self {
+        Self {
+            headers: headers.iter().map(|h| h.as_ref().to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row<S: AsRef<str>>(mut self, cells: &[S]) -> Self {
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|c| c.as_ref().to_string())
+            .collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row in place (for loop bodies).
+    pub fn push_row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|c| c.as_ref().to_string())
+            .collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with a header separator; first column left-aligned, the rest
+    /// right-aligned (matching numeric tables).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            // Trailing spaces trimmed for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats seconds with adaptive precision (ms below 1 s).
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 0.0005 {
+        format!("{:.1}us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.1}ms", seconds * 1e3)
+    } else if seconds < 100.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{seconds:.1}s")
+    }
+}
+
+/// Formats a fraction as the percentage style the paper uses.
+pub fn fmt_percent(fraction: f64) -> String {
+    let pct = fraction * 100.0;
+    if pct >= 10.0 {
+        format!("{pct:.1}%")
+    } else if pct >= 0.1 {
+        format!("{pct:.2}%")
+    } else {
+        format!("{pct:.4}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = Table::new(&["name", "v"])
+            .row(&["a", "1"])
+            .row(&["longer", "22"])
+            .render();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right alignment of the numeric column.
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let t = Table::new(&["a", "b"])
+            .row(&["only-one"])
+            .row(&["x", "y", "z"]);
+        let text = t.render();
+        assert!(text.contains("only-one"));
+        assert!(!text.contains('z'));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(fmt_secs(0.0001), "100.0us");
+        assert_eq!(fmt_secs(0.5), "500.0ms");
+        assert_eq!(fmt_secs(12.345), "12.35s");
+        assert_eq!(fmt_secs(568.0), "568.0s");
+        assert_eq!(fmt_percent(0.5169), "51.7%");
+        assert_eq!(fmt_percent(0.0737), "7.37%");
+        assert_eq!(fmt_percent(0.000007), "0.0007%");
+    }
+
+    #[test]
+    fn push_row_in_place() {
+        let mut t = Table::new(&["x"]);
+        t.push_row(&["1"]);
+        t.push_row(&["2"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

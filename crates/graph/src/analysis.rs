@@ -1,0 +1,233 @@
+//! Structural analysis of KNN graphs.
+//!
+//! The greedy baselines' behaviour is governed by structural properties
+//! of the evolving KNN graph: NN-Descent joins over *bidirectional*
+//! neighbourhoods ("both in-coming and out-going neighbors", §IV-B), so
+//! in-degree skew decides its join sizes; HyRec's `r` random candidates
+//! exist because neighbours-of-neighbours convergence stalls on
+//! disconnected regions ("to avoid a local minimum"). This module
+//! quantifies those properties for any constructed graph:
+//!
+//! * [`in_degrees`] / [`GraphSummary::max_in_degree`] — hub formation;
+//! * [`symmetry`] — the fraction of edges that are reciprocated, i.e.
+//!   how much of the graph a bidirectional join actually doubles;
+//! * [`weak_components`] — connected components of the undirected
+//!   skeleton, the regions between which neighbour-of-neighbour
+//!   exploration cannot travel.
+
+use kiff_collections::UnionFind;
+use kiff_dataset::UserId;
+
+use crate::knn::KnnGraph;
+
+/// Aggregate structural description of a KNN graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Users in the graph.
+    pub num_users: usize,
+    /// Directed edges.
+    pub num_edges: usize,
+    /// Mean out-degree (`num_edges / num_users`; ≤ k).
+    pub mean_out_degree: f64,
+    /// Largest in-degree (hub intensity).
+    pub max_in_degree: usize,
+    /// Fraction of edges `u → v` with a reciprocal `v → u`.
+    pub symmetry: f64,
+    /// Number of weakly connected components (isolated users count).
+    pub components: usize,
+    /// Size of the largest weak component.
+    pub largest_component: usize,
+}
+
+/// Computes the full summary in one pass per statistic.
+///
+/// ```
+/// use kiff_graph::{summarize, KnnGraph, Neighbor};
+///
+/// let graph = KnnGraph::from_neighbors(
+///     1,
+///     vec![vec![Neighbor { id: 1, sim: 0.5 }], vec![Neighbor { id: 0, sim: 0.5 }]],
+/// );
+/// let s = summarize(&graph);
+/// assert_eq!(s.symmetry, 1.0);
+/// assert_eq!(s.components, 1);
+/// ```
+pub fn summarize(graph: &KnnGraph) -> GraphSummary {
+    let n = graph.num_users();
+    let comps = weak_components(graph);
+    GraphSummary {
+        num_users: n,
+        num_edges: graph.num_edges(),
+        mean_out_degree: if n == 0 {
+            0.0
+        } else {
+            graph.num_edges() as f64 / n as f64
+        },
+        max_in_degree: in_degrees(graph).into_iter().max().unwrap_or(0),
+        symmetry: symmetry(graph),
+        components: comps.len(),
+        largest_component: comps.first().copied().unwrap_or(0),
+    }
+}
+
+/// In-degree of every user: how many neighbourhoods it appears in.
+pub fn in_degrees(graph: &KnnGraph) -> Vec<usize> {
+    let mut degrees = vec![0usize; graph.num_users()];
+    for u in 0..graph.num_users() as UserId {
+        for n in graph.neighbors(u) {
+            degrees[n.id as usize] += 1;
+        }
+    }
+    degrees
+}
+
+/// Fraction of directed edges that are reciprocated (`u ∈ knn_v` and
+/// `v ∈ knn_u`). 0.0 on an edgeless graph.
+pub fn symmetry(graph: &KnnGraph) -> f64 {
+    let edges = graph.num_edges();
+    if edges == 0 {
+        return 0.0;
+    }
+    let mut reciprocated = 0usize;
+    for u in 0..graph.num_users() as UserId {
+        for n in graph.neighbors(u) {
+            if graph.neighbors(n.id).iter().any(|m| m.id == u) {
+                reciprocated += 1;
+            }
+        }
+    }
+    reciprocated as f64 / edges as f64
+}
+
+/// Sizes of the weakly connected components (edges read as undirected),
+/// descending. Isolated users form singleton components.
+pub fn weak_components(graph: &KnnGraph) -> Vec<usize> {
+    let mut uf = UnionFind::new(graph.num_users());
+    for u in 0..graph.num_users() as UserId {
+        for n in graph.neighbors(u) {
+            uf.union(u, n.id);
+        }
+    }
+    uf.set_sizes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Neighbor;
+
+    fn edge(id: UserId) -> Neighbor {
+        Neighbor { id, sim: 1.0 }
+    }
+
+    /// 0 ↔ 1 (reciprocated), 2 → 0 (not), 3 isolated.
+    fn sample() -> KnnGraph {
+        KnnGraph::from_neighbors(
+            2,
+            vec![vec![edge(1)], vec![edge(0)], vec![edge(0)], vec![]],
+        )
+    }
+
+    #[test]
+    fn in_degrees_count_incoming() {
+        assert_eq!(in_degrees(&sample()), vec![2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn symmetry_is_reciprocated_fraction() {
+        // Edges: 0→1, 1→0 (both reciprocated), 2→0 (not): 2/3.
+        assert!((symmetry(&sample()) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_split_isolated_users() {
+        let comps = weak_components(&sample());
+        assert_eq!(comps, vec![3, 1]); // {0,1,2} and {3}
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let s = summarize(&sample());
+        assert_eq!(s.num_users, 4);
+        assert_eq!(s.num_edges, 3);
+        assert!((s.mean_out_degree - 0.75).abs() < 1e-12);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.largest_component, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = KnnGraph::from_neighbors(1, vec![]);
+        let s = summarize(&g);
+        assert_eq!(s.num_users, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.symmetry, 0.0);
+        assert_eq!(s.mean_out_degree, 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_graph() -> impl Strategy<Value = KnnGraph> {
+            (1usize..25, proptest::collection::vec((0u32..25, 0u32..25), 0..100)).prop_map(
+                |(n, raw)| {
+                    let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
+                    for (u, v) in raw {
+                        let (u, v) = (u % n as u32, v % n as u32);
+                        if u != v && !lists[u as usize].iter().any(|e| e.id == v) {
+                            lists[u as usize].push(Neighbor {
+                                id: v,
+                                sim: 1.0 / (1.0 + f64::from(v)),
+                            });
+                        }
+                    }
+                    KnnGraph::from_neighbors(5, lists)
+                },
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Structural invariants on arbitrary graphs: component sizes
+            /// partition the users, symmetry is a fraction, in-degrees sum
+            /// to the edge count, and the summary agrees with the parts.
+            #[test]
+            fn summary_invariants(graph in arb_graph()) {
+                let s = summarize(&graph);
+                prop_assert_eq!(
+                    weak_components(&graph).iter().sum::<usize>(),
+                    s.num_users
+                );
+                prop_assert!((0.0..=1.0).contains(&s.symmetry));
+                prop_assert_eq!(in_degrees(&graph).iter().sum::<usize>(), s.num_edges);
+                prop_assert!(s.largest_component <= s.num_users);
+                prop_assert!(s.components >= 1 || s.num_users == 0);
+                prop_assert!(s.max_in_degree < s.num_users.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_graph_of_identical_profiles_is_fully_symmetric() {
+        use kiff_dataset::DatasetBuilder;
+        use kiff_similarity::WeightedCosine;
+
+        // Four identical users: everyone is everyone's neighbour, every
+        // edge reciprocated, one component.
+        let mut b = DatasetBuilder::new("sym", 4, 2);
+        for u in 0..4 {
+            b.add_rating(u, 0, 1.0);
+            b.add_rating(u, 1, 2.0);
+        }
+        let ds = b.build();
+        let g = crate::exact::exact_knn(&ds, &WeightedCosine::new(), 3, Some(1));
+        let s = summarize(&g);
+        assert!((s.symmetry - 1.0).abs() < 1e-12);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.largest_component, 4);
+        assert_eq!(s.max_in_degree, 3);
+    }
+}

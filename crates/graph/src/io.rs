@@ -1,0 +1,257 @@
+//! KNN graph persistence.
+//!
+//! Two formats:
+//!
+//! * **Edge-list TSV** — `user<TAB>neighbor<TAB>similarity`, one directed
+//!   edge per line, `#` comments. The same shape as the SNAP-style inputs
+//!   the datasets load from, so standard tooling (sort, join, gnuplot)
+//!   applies directly.
+//! * **JSON** — a self-describing dump including `k`, for programmatic
+//!   round-trips.
+//!
+//! Loading validates ids and similarity values and restores the
+//! per-neighbourhood ordering invariant (best first, ties by id).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::knn::{KnnGraph, Neighbor};
+
+/// Errors raised while reading a graph file.
+#[derive(Debug)]
+pub enum GraphLoadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed or inconsistent line; carries the 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphLoadError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphLoadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphLoadError {}
+
+impl From<io::Error> for GraphLoadError {
+    fn from(e: io::Error) -> Self {
+        GraphLoadError::Io(e)
+    }
+}
+
+/// Writes `graph` as an edge-list TSV.
+pub fn save_edges_tsv(graph: &KnnGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_edges_tsv(graph, &mut w)?;
+    w.flush()
+}
+
+/// Writes `graph` as `user<TAB>neighbor<TAB>similarity` lines to `w`.
+pub fn write_edges_tsv(graph: &KnnGraph, w: &mut (impl Write + ?Sized)) -> io::Result<()> {
+    writeln!(w, "# kiff knn graph: k={} users={}", graph.k(), graph.num_users())?;
+    for u in 0..graph.num_users() as u32 {
+        for n in graph.neighbors(u) {
+            // 17 significant digits round-trip every f64 exactly.
+            writeln!(w, "{u}\t{}\t{:.17e}", n.id, n.sim)?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads an edge-list TSV written by [`save_edges_tsv`] (or any
+/// `user<TAB>neighbor<TAB>similarity` file). `num_users` fixes the graph
+/// size — isolated users are legal and produce empty neighbourhoods; `k`
+/// is the nominal neighbourhood bound recorded in the result.
+pub fn load_edges_tsv(
+    path: impl AsRef<Path>,
+    num_users: usize,
+    k: usize,
+) -> Result<KnnGraph, GraphLoadError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut neighbors: Vec<Vec<Neighbor>> = vec![Vec::new(); num_users];
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut cols = trimmed.split('\t');
+        let (u, v, s) = match (cols.next(), cols.next(), cols.next()) {
+            (Some(u), Some(v), Some(s)) => (u, v, s),
+            _ => {
+                return Err(GraphLoadError::Parse {
+                    line: lineno,
+                    message: "expected `user<TAB>neighbor<TAB>similarity`".into(),
+                })
+            }
+        };
+        let parse_id = |raw: &str, what: &str| -> Result<u32, GraphLoadError> {
+            raw.parse().map_err(|e| GraphLoadError::Parse {
+                line: lineno,
+                message: format!("bad {what} '{raw}': {e}"),
+            })
+        };
+        let u = parse_id(u, "user")?;
+        let v = parse_id(v, "neighbor")?;
+        let sim: f64 = s.parse().map_err(|e| GraphLoadError::Parse {
+            line: lineno,
+            message: format!("bad similarity '{s}': {e}"),
+        })?;
+        if u as usize >= num_users || v as usize >= num_users {
+            return Err(GraphLoadError::Parse {
+                line: lineno,
+                message: format!("edge ({u}, {v}) outside 0..{num_users}"),
+            });
+        }
+        if u == v {
+            return Err(GraphLoadError::Parse {
+                line: lineno,
+                message: format!("self-loop at user {u}"),
+            });
+        }
+        if !sim.is_finite() || sim < 0.0 {
+            return Err(GraphLoadError::Parse {
+                line: lineno,
+                message: format!("similarity {sim} not finite and non-negative"),
+            });
+        }
+        neighbors[u as usize].push(Neighbor { id: v, sim });
+    }
+    Ok(KnnGraph::from_neighbors(k, neighbors))
+}
+
+/// Writes `graph` as JSON (`{"k": …, "neighbors": [[[id, sim], …], …]}`).
+/// Hand-rolled writer: the graph crate stays serde-free, and the format
+/// is small enough that a schema dependency buys nothing.
+pub fn save_json(graph: &KnnGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "{{\"k\":{},\"neighbors\":[", graph.k())?;
+    for u in 0..graph.num_users() as u32 {
+        if u > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "[")?;
+        for (pos, n) in graph.neighbors(u).iter().enumerate() {
+            if pos > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "[{},{:.17e}]", n.id, n.sim)?;
+        }
+        write!(w, "]")?;
+    }
+    writeln!(w, "]}}")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiff-graph-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample() -> KnnGraph {
+        KnnGraph::from_neighbors(
+            2,
+            vec![
+                vec![
+                    Neighbor {
+                        id: 1,
+                        sim: 0.123456789012345,
+                    },
+                    Neighbor { id: 2, sim: 0.5 },
+                ],
+                vec![Neighbor { id: 0, sim: 1.0 }],
+                vec![], // isolated
+            ],
+        )
+    }
+
+    #[test]
+    fn tsv_round_trip_is_exact() {
+        let graph = sample();
+        let path = tmp("roundtrip.tsv");
+        save_edges_tsv(&graph, &path).unwrap();
+        let loaded = load_edges_tsv(&path, 3, 2).unwrap();
+        assert_eq!(graph, loaded);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loader_restores_ordering() {
+        // Shuffled input: best-first per user must be restored.
+        let path = tmp("shuffled.tsv");
+        std::fs::write(&path, "0\t2\t0.1\n0\t1\t0.9\n").unwrap();
+        let g = load_edges_tsv(&path, 3, 2).unwrap();
+        assert_eq!(g.neighbors(0)[0].id, 1);
+        assert_eq!(g.neighbors(0)[1].id, 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loader_rejects_garbage() {
+        let cases = [
+            ("0\t1\n", "missing column"),
+            ("0\tx\t0.5\n", "bad neighbor"),
+            ("0\t1\tNaN\n", "NaN similarity"),
+            ("0\t1\t-0.5\n", "negative similarity"),
+            ("0\t9\t0.5\n", "out of range"),
+            ("1\t1\t0.5\n", "self loop"),
+        ];
+        for (content, what) in cases {
+            let path = tmp("bad.tsv");
+            std::fs::write(&path, content).unwrap();
+            let r = load_edges_tsv(&path, 3, 2);
+            assert!(r.is_err(), "{what} accepted");
+            let msg = r.unwrap_err().to_string();
+            assert!(msg.starts_with("line 1"), "{what}: {msg}");
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let path = tmp("comments.tsv");
+        std::fs::write(&path, "# header\n\n0\t1\t0.5\n").unwrap();
+        let g = load_edges_tsv(&path, 2, 1).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = load_edges_tsv("/nonexistent/graph.tsv", 2, 1);
+        assert!(matches!(r, Err(GraphLoadError::Io(_))));
+    }
+
+    #[test]
+    fn json_is_valid_and_complete() {
+        let graph = sample();
+        let path = tmp("graph.json");
+        save_json(&graph, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Deterministic output: neighbours best-first, 17-digit floats,
+        // the isolated user as an empty list.
+        assert_eq!(
+            text.trim_end(),
+            "{\"k\":2,\"neighbors\":[[[2,5.00000000000000000e-1],\
+             [1,1.23456789012344997e-1]],[[0,1.00000000000000000e0]],[]]}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,510 @@
+//! Bounded neighbour heaps and graph snapshots.
+
+use parking_lot::Mutex;
+
+use kiff_dataset::UserId;
+
+/// One directed KNN edge: neighbour id and its similarity to the owner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Neighbour user id.
+    pub id: UserId,
+    /// Similarity to the owning user.
+    pub sim: f64,
+}
+
+/// An entry of a [`KnnHeap`]: a neighbour plus NN-Descent's `new` flag
+/// ("to only consider new neighbors-of-neighbors during each iteration",
+/// §IV-B). KIFF ignores the flag.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapEntry {
+    /// Similarity to the heap's owner.
+    pub sim: f64,
+    /// Neighbour id.
+    pub id: UserId,
+    /// True until the entry has been sampled by NN-Descent's join step.
+    pub is_new: bool,
+}
+
+/// `a` strictly better than `b`: higher similarity, ties to smaller id.
+#[inline]
+fn better(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// The current approximation `k̂nn_u` of one user's neighbourhood: "a heap
+/// of maximum size k, with the similarity between u and its neighbors used
+/// as priority" (§III-C).
+///
+/// The worst retained entry sits at the root; duplicate ids are rejected so
+/// re-evaluated pairs cannot inflate change counts.
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    entries: Vec<HeapEntry>,
+    capacity: usize,
+}
+
+impl KnnHeap {
+    /// An empty heap retaining at most `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            entries: Vec::with_capacity(k),
+            capacity: k,
+        }
+    }
+
+    /// Maximum neighbourhood size `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of neighbours.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the neighbourhood is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The worst retained (similarity, id), if any.
+    pub fn worst(&self) -> Option<(f64, UserId)> {
+        self.entries.first().map(|e| (e.sim, e.id))
+    }
+
+    /// Whether `id` is currently a neighbour (linear scan — `k ≤ 50`).
+    pub fn contains(&self, id: UserId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// The paper's UPDATENN (Algorithm 1, lines 14–16): offers `(sim, id)`
+    /// and reports whether the neighbourhood changed.
+    ///
+    /// Duplicates are rejected; when full, the offer must beat the current
+    /// worst entry.
+    pub fn update(&mut self, sim: f64, id: UserId) -> bool {
+        debug_assert!(!sim.is_nan());
+        if self.contains(id) {
+            return false;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(HeapEntry {
+                sim,
+                id,
+                is_new: true,
+            });
+            self.sift_up(self.entries.len() - 1);
+            true
+        } else {
+            let root = self.entries[0];
+            if better((sim, id), (root.sim, root.id)) {
+                self.entries[0] = HeapEntry {
+                    sim,
+                    id,
+                    is_new: true,
+                };
+                self.sift_down(0);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Iterates entries in unspecified (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = &HeapEntry> {
+        self.entries.iter()
+    }
+
+    /// Ids of entries still flagged `new`, clearing the flag (NN-Descent's
+    /// sampling step; with full sampling every new entry is taken).
+    pub fn take_new_ids(&mut self) -> Vec<UserId> {
+        let mut ids = Vec::new();
+        for e in &mut self.entries {
+            if e.is_new {
+                e.is_new = false;
+                ids.push(e.id);
+            }
+        }
+        ids
+    }
+
+    /// Ids currently flagged `new`, without clearing (NN-Descent's sampled
+    /// variant chooses a subset before clearing via
+    /// [`KnnHeap::clear_new_flag`]).
+    pub fn new_ids(&self) -> Vec<UserId> {
+        self.entries
+            .iter()
+            .filter(|e| e.is_new)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Clears the `new` flag of `id` if present.
+    pub fn clear_new_flag(&mut self, id: UserId) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.is_new = false;
+        }
+    }
+
+    /// All current neighbour ids (unordered).
+    pub fn ids(&self) -> Vec<UserId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Neighbours sorted best-first.
+    pub fn sorted_neighbors(&self) -> Vec<Neighbor> {
+        let mut out: Vec<Neighbor> = self
+            .entries
+            .iter()
+            .map(|e| Neighbor {
+                id: e.id,
+                sim: e.sim,
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.sim
+                .partial_cmp(&a.sim)
+                .expect("NaN similarity")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let (p, c) = (self.entries[parent], self.entries[i]);
+            if better((p.sim, p.id), (c.sim, c.id)) {
+                self.entries.swap(parent, i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            for child in [l, r] {
+                if child < n {
+                    let (s, c) = (self.entries[smallest], self.entries[child]);
+                    if better((s.sim, s.id), (c.sim, c.id)) {
+                        smallest = child;
+                    }
+                }
+            }
+            if smallest == i {
+                break;
+            }
+            self.entries.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+/// The mutable, thread-shared state of a KNN construction: one lock-guarded
+/// heap per user.
+#[derive(Debug)]
+pub struct SharedKnn {
+    heaps: Vec<Mutex<KnnHeap>>,
+    k: usize,
+}
+
+impl SharedKnn {
+    /// Empty neighbourhoods for `n` users with capacity `k`.
+    pub fn new(n: usize, k: usize) -> Self {
+        Self {
+            heaps: (0..n).map(|_| Mutex::new(KnnHeap::new(k))).collect(),
+            k,
+        }
+    }
+
+    /// Neighbourhood size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.heaps.len()
+    }
+
+    /// UPDATENN on `u`'s heap; returns 1 if it changed, 0 otherwise (the
+    /// integer form matches Algorithm 1's change counting).
+    #[inline]
+    pub fn update(&self, u: UserId, v: UserId, sim: f64) -> u64 {
+        debug_assert_ne!(u, v, "self-loops are not valid KNN edges");
+        u64::from(self.heaps[u as usize].lock().update(sim, v))
+    }
+
+    /// Locks and returns `u`'s heap guard (for bulk operations by the
+    /// owner's worker).
+    pub fn lock(&self, u: UserId) -> parking_lot::MutexGuard<'_, KnnHeap> {
+        self.heaps[u as usize].lock()
+    }
+
+    /// Snapshots the current state as an immutable [`KnnGraph`].
+    pub fn snapshot(&self) -> KnnGraph {
+        let neighbors = self
+            .heaps
+            .iter()
+            .map(|h| h.lock().sorted_neighbors())
+            .collect();
+        KnnGraph {
+            k: self.k,
+            neighbors,
+        }
+    }
+}
+
+/// An immutable KNN graph: for each user, its neighbours sorted by
+/// decreasing similarity (ties by ascending id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnGraph {
+    k: usize,
+    neighbors: Vec<Vec<Neighbor>>,
+}
+
+impl KnnGraph {
+    /// Builds a graph from per-user neighbour lists (sorted on entry).
+    pub fn from_neighbors(k: usize, mut neighbors: Vec<Vec<Neighbor>>) -> Self {
+        for list in &mut neighbors {
+            list.sort_unstable_by(|a, b| {
+                b.sim
+                    .partial_cmp(&a.sim)
+                    .expect("NaN similarity")
+                    .then_with(|| a.id.cmp(&b.id))
+            });
+        }
+        Self { k, neighbors }
+    }
+
+    /// The neighbourhood size the graph was built for. Individual lists may
+    /// be shorter when fewer candidates exist.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// `u`'s neighbours, best first.
+    pub fn neighbors(&self, u: UserId) -> &[Neighbor] {
+        &self.neighbors[u as usize]
+    }
+
+    /// Total directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.iter().map(|n| n.len()).sum()
+    }
+
+    /// Mean similarity over all edges (a cheap quality proxy).
+    pub fn mean_similarity(&self) -> f64 {
+        let edges = self.num_edges();
+        if edges == 0 {
+            return 0.0;
+        }
+        self.neighbors
+            .iter()
+            .flat_map(|n| n.iter().map(|e| e.sim))
+            .sum::<f64>()
+            / edges as f64
+    }
+
+    /// In-neighbour lists: `reverse()[v]` holds every `u` with `v ∈ knn_u`.
+    /// NN-Descent's candidate generation uses the union of out- and
+    /// in-neighbours ("both in-coming and out-going neighbors", §IV-B).
+    pub fn reverse(&self) -> Vec<Vec<UserId>> {
+        let mut rev = vec![Vec::new(); self.neighbors.len()];
+        for (u, list) in self.neighbors.iter().enumerate() {
+            for n in list {
+                rev[n.id as usize].push(u as UserId);
+            }
+        }
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_keeps_best_k() {
+        let mut h = KnnHeap::new(2);
+        assert!(h.update(0.1, 1));
+        assert!(h.update(0.5, 2));
+        assert!(h.update(0.3, 3)); // evicts 0.1
+        assert!(!h.update(0.2, 4)); // worse than worst (0.3)
+        let ns = h.sorted_neighbors();
+        assert_eq!(ns.len(), 2);
+        assert_eq!(ns[0], Neighbor { id: 2, sim: 0.5 });
+        assert_eq!(ns[1], Neighbor { id: 3, sim: 0.3 });
+    }
+
+    #[test]
+    fn heap_rejects_duplicates() {
+        let mut h = KnnHeap::new(3);
+        assert!(h.update(0.5, 7));
+        assert!(!h.update(0.5, 7), "same offer must not count as a change");
+        assert!(!h.update(0.9, 7), "known id is rejected even if better");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn heap_tie_break_prefers_smaller_id() {
+        let mut h = KnnHeap::new(1);
+        h.update(0.5, 10);
+        assert!(h.update(0.5, 2));
+        assert!(!h.update(0.5, 11));
+        assert_eq!(h.sorted_neighbors()[0].id, 2);
+    }
+
+    #[test]
+    fn new_flags_cleared_once() {
+        let mut h = KnnHeap::new(4);
+        h.update(0.1, 1);
+        h.update(0.2, 2);
+        let mut fresh = h.take_new_ids();
+        fresh.sort_unstable();
+        assert_eq!(fresh, vec![1, 2]);
+        assert!(h.take_new_ids().is_empty());
+        h.update(0.3, 3);
+        assert_eq!(h.take_new_ids(), vec![3]);
+    }
+
+    #[test]
+    fn shared_knn_update_counts_changes() {
+        let shared = SharedKnn::new(3, 2);
+        assert_eq!(shared.update(0, 1, 0.5), 1);
+        assert_eq!(shared.update(0, 1, 0.5), 0);
+        assert_eq!(shared.update(1, 0, 0.5), 1);
+        let g = shared.snapshot();
+        assert_eq!(g.neighbors(0), &[Neighbor { id: 1, sim: 0.5 }]);
+        assert_eq!(g.neighbors(2), &[]);
+    }
+
+    #[test]
+    fn graph_reverse_edges() {
+        let g = KnnGraph::from_neighbors(
+            2,
+            vec![
+                vec![Neighbor { id: 1, sim: 0.9 }, Neighbor { id: 2, sim: 0.5 }],
+                vec![Neighbor { id: 2, sim: 0.8 }],
+                vec![],
+            ],
+        );
+        let rev = g.reverse();
+        assert_eq!(rev[0], Vec::<u32>::new());
+        assert_eq!(rev[1], vec![0]);
+        assert_eq!(rev[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn graph_statistics() {
+        let g = KnnGraph::from_neighbors(
+            1,
+            vec![
+                vec![Neighbor { id: 1, sim: 0.4 }],
+                vec![Neighbor { id: 0, sim: 0.6 }],
+            ],
+        );
+        assert_eq!(g.num_edges(), 2);
+        assert!((g.mean_similarity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_neighbors_sorts_lists() {
+        let g = KnnGraph::from_neighbors(
+            3,
+            vec![vec![
+                Neighbor { id: 5, sim: 0.1 },
+                Neighbor { id: 3, sim: 0.9 },
+                Neighbor { id: 4, sim: 0.9 },
+            ]],
+        );
+        let ids: Vec<u32> = g.neighbors(0).iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn concurrent_updates_preserve_invariants() {
+        use kiff_parallel::parallel_for;
+        let n = 200u32;
+        let shared = SharedKnn::new(n as usize, 5);
+        parallel_for(4, n as usize, 8, |range| {
+            for u in range {
+                for v in 0..n {
+                    if v != u as u32 {
+                        // Deterministic pseudo-similarity.
+                        let sim =
+                            f64::from((u as u32 ^ v).wrapping_mul(2_654_435_761) % 1000) / 1000.0;
+                        shared.update(u as u32, v, sim);
+                        shared.update(v, u as u32, sim);
+                    }
+                }
+            }
+        });
+        let g = shared.snapshot();
+        for u in 0..n {
+            let ns = g.neighbors(u);
+            assert_eq!(ns.len(), 5);
+            // Sorted, unique ids, no self-loop.
+            assert!(ns.windows(2).all(|w| w[0].sim >= w[1].sim));
+            let mut ids: Vec<u32> = ns.iter().map(|x| x.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 5);
+            assert!(!ids.contains(&u));
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The heap retains exactly the top-k by (sim, -id) among the
+            /// distinct offered ids. Similarities are a deterministic
+            /// function of the id, as they are in real use (sim(u, v) never
+            /// changes between offers of the same pair).
+            #[test]
+            fn heap_matches_sort_model(
+                offers in proptest::collection::vec(0u32..40, 1..200),
+                k in 1usize..12,
+            ) {
+                let sim_of = |id: u32| f64::from(id.wrapping_mul(2_654_435_761) % 16) / 16.0;
+                let mut heap = KnnHeap::new(k);
+                let mut seen = std::collections::HashMap::new();
+                for &id in &offers {
+                    let sim = sim_of(id);
+                    heap.update(sim, id);
+                    seen.entry(id).or_insert(sim);
+                }
+                let mut model: Vec<(f64, u32)> =
+                    seen.into_iter().map(|(id, sim)| (sim, id)).collect();
+                model.sort_unstable_by(|a, b| {
+                    b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1))
+                });
+                model.truncate(k);
+                let got: Vec<(f64, u32)> = heap
+                    .sorted_neighbors()
+                    .into_iter()
+                    .map(|n| (n.sim, n.id))
+                    .collect();
+                prop_assert_eq!(got, model);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared per-iteration instrumentation for iterative KNN constructions.
+//!
+//! KIFF, NN-Descent and HyRec all converge through iterations; Fig. 8 plots
+//! their per-iteration recall and update counts against the scan rate. The
+//! algorithms report through this common observer so the experiment harness
+//! can trace any of them identically.
+
+use crate::knn::SharedKnn;
+
+/// Trace of one refinement iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IterationTrace {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Neighbourhood changes during this iteration (the paper's `c`).
+    pub changes: u64,
+    /// Similarity evaluations performed during this iteration.
+    pub sim_evals: u64,
+    /// Cumulative similarity evaluations after this iteration.
+    pub cumulative_sim_evals: u64,
+    /// Worker time spent selecting candidates this iteration (Fig. 1's
+    /// per-iteration breakdown).
+    pub candidate_time: std::time::Duration,
+    /// Worker time spent evaluating similarities this iteration.
+    pub similarity_time: std::time::Duration,
+}
+
+/// Observer invoked after every iteration with the trace and the current
+/// shared state (snapshot it to measure recall, as Fig. 8a does).
+pub trait IterationObserver {
+    /// Called once per completed iteration.
+    fn on_iteration(&mut self, trace: IterationTrace, state: &SharedKnn);
+}
+
+/// No-op observer.
+pub struct NoObserver;
+
+impl IterationObserver for NoObserver {
+    fn on_iteration(&mut self, _: IterationTrace, _: &SharedKnn) {}
+}
+
+impl<F: FnMut(IterationTrace, &SharedKnn)> IterationObserver for F {
+    fn on_iteration(&mut self, trace: IterationTrace, state: &SharedKnn) {
+        self(trace, state);
+    }
+}

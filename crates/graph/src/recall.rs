@@ -1,0 +1,182 @@
+//! Tie-aware recall (Eq. 2–4 of the paper).
+//!
+//! "The recall is then obtained by comparing the similarity values of the
+//! ideal neighborhoods and those of the approximated ones" (§IV-C): an
+//! approximate neighbour counts if its similarity reaches the k-th best
+//! exact similarity. This realises Eq. (3)'s maximum over all optimal KNN
+//! sets without enumerating them — any neighbour at or above the threshold
+//! belongs to some optimal set.
+
+use kiff_similarity::SIM_EPSILON;
+
+use crate::knn::{KnnGraph, Neighbor};
+
+/// Recall of one user's approximate neighbourhood against the exact one.
+///
+/// `exact` and `approx` are sorted best-first; `k` is the target
+/// neighbourhood size. When the exact graph has fewer than `k` positive
+/// neighbours, the k-th exact similarity is 0 and missing approximate slots
+/// are vacuously correct (an empty slot "ties" the zero threshold), which
+/// matches Eq. (3)'s handling of non-unique KNN sets.
+pub fn recall_user(exact: &[Neighbor], approx: &[Neighbor], k: usize) -> f64 {
+    assert!(k > 0, "k must be positive");
+    let threshold = if exact.len() >= k {
+        exact[k - 1].sim
+    } else {
+        0.0
+    };
+    let mut matched = approx
+        .iter()
+        .take(k)
+        .filter(|n| n.sim >= threshold - SIM_EPSILON)
+        .count();
+    if threshold <= SIM_EPSILON {
+        // Zero threshold: absent entries tie trivially.
+        matched += k.saturating_sub(approx.len().min(k));
+    }
+    (matched.min(k)) as f64 / k as f64
+}
+
+/// Per-user recalls of `approx` against `exact`.
+pub fn recall_per_user(exact: &KnnGraph, approx: &KnnGraph) -> Vec<f64> {
+    assert_eq!(
+        exact.num_users(),
+        approx.num_users(),
+        "graphs cover different user sets"
+    );
+    let k = exact.k();
+    (0..exact.num_users() as u32)
+        .map(|u| recall_user(exact.neighbors(u), approx.neighbors(u), k))
+        .collect()
+}
+
+/// Average recall over all users (Eq. 4).
+pub fn recall(exact: &KnnGraph, approx: &KnnGraph) -> f64 {
+    let per_user = recall_per_user(exact, approx);
+    if per_user.is_empty() {
+        return 1.0;
+    }
+    per_user.iter().sum::<f64>() / per_user.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(id: u32, sim: f64) -> Neighbor {
+        Neighbor { id, sim }
+    }
+
+    #[test]
+    fn perfect_match_is_one() {
+        let exact = vec![nb(1, 0.9), nb(2, 0.8)];
+        assert_eq!(recall_user(&exact, &exact, 2), 1.0);
+    }
+
+    #[test]
+    fn half_match() {
+        let exact = vec![nb(1, 0.9), nb(2, 0.8)];
+        let approx = vec![nb(1, 0.9), nb(3, 0.5)];
+        assert_eq!(recall_user(&exact, &approx, 2), 0.5);
+    }
+
+    #[test]
+    fn ties_at_kth_value_are_not_penalised() {
+        // Exact kept ids {1, 2} but id 3 has the same similarity as id 2:
+        // {1, 3} is an equally optimal KNN set (Eq. 3).
+        let exact = vec![nb(1, 0.9), nb(2, 0.8)];
+        let approx = vec![nb(1, 0.9), nb(3, 0.8)];
+        assert_eq!(recall_user(&exact, &approx, 2), 1.0);
+    }
+
+    #[test]
+    fn short_exact_neighbourhood_gives_zero_threshold() {
+        // Only one positive candidate exists; any second approx slot (or
+        // its absence) is vacuously optimal.
+        let exact = vec![nb(1, 0.9)];
+        let approx_full = vec![nb(1, 0.9), nb(7, 0.0)];
+        assert_eq!(recall_user(&exact, &approx_full, 2), 1.0);
+        let approx_short = vec![nb(1, 0.9)];
+        assert_eq!(recall_user(&exact, &approx_short, 2), 1.0);
+        let approx_wrong = vec![nb(5, 0.0), nb(7, 0.0)];
+        assert_eq!(recall_user(&exact, &approx_wrong, 2), 1.0);
+    }
+
+    #[test]
+    fn missing_good_neighbor_is_penalised() {
+        let exact = vec![nb(1, 0.9), nb(2, 0.8)];
+        let approx: Vec<Neighbor> = vec![];
+        assert_eq!(recall_user(&exact, &approx, 2), 0.0);
+    }
+
+    #[test]
+    fn extra_entries_beyond_k_ignored() {
+        let exact = vec![nb(1, 0.9), nb(2, 0.8)];
+        let approx = vec![nb(3, 0.1), nb(4, 0.1), nb(1, 0.9)];
+        // Only the first k = 2 approx entries are the neighbourhood.
+        assert_eq!(recall_user(&exact, &approx, 2), 0.0);
+    }
+
+    #[test]
+    fn graph_recall_averages_users() {
+        let exact = KnnGraph::from_neighbors(1, vec![vec![nb(1, 0.9)], vec![nb(0, 0.9)]]);
+        let approx = KnnGraph::from_neighbors(1, vec![vec![nb(1, 0.9)], vec![nb(1, 0.0)]]);
+        // User 1's approx list contains a self-ish wrong entry with sim 0 <
+        // 0.9 threshold: recall 0. Average = 0.5.
+        assert_eq!(recall(&exact, &approx), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different user sets")]
+    fn mismatched_graphs_panic() {
+        let a = KnnGraph::from_neighbors(1, vec![vec![]]);
+        let b = KnnGraph::from_neighbors(1, vec![vec![], vec![]]);
+        let _ = recall(&a, &b);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Recall is always in [0, 1], and the exact graph scores 1
+            /// against itself.
+            #[test]
+            fn recall_bounds(
+                sims in proptest::collection::vec(0u32..100, 0..30),
+                k in 1usize..10,
+            ) {
+                let mut exact: Vec<Neighbor> = sims
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| nb(i as u32 + 1, f64::from(s) / 100.0))
+                    .filter(|n| n.sim > 0.0)
+                    .collect();
+                exact.sort_by(|a, b| b.sim.partial_cmp(&a.sim).unwrap());
+                let r = recall_user(&exact, &exact, k);
+                prop_assert!((0.0..=1.0).contains(&r));
+                prop_assert_eq!(r, 1.0);
+            }
+
+            /// Removing entries from the approximation can only lower (or
+            /// keep) recall.
+            #[test]
+            fn recall_monotone_in_prefix(
+                sims in proptest::collection::vec(1u32..100, 1..30),
+                k in 1usize..10,
+                cut in 0usize..30,
+            ) {
+                let mut exact: Vec<Neighbor> = sims
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| nb(i as u32 + 1, f64::from(s) / 100.0))
+                    .collect();
+                exact.sort_by(|a, b| b.sim.partial_cmp(&a.sim).unwrap());
+                let cut = cut.min(exact.len());
+                let full = recall_user(&exact, &exact, k);
+                let partial = recall_user(&exact, &exact[..cut], k);
+                prop_assert!(partial <= full + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Relaxed atomic counters and per-activity wall-clock accumulators.
+//!
+//! The paper's evaluation (§IV-C) separates every run into three activities —
+//! preprocessing, candidate selection, and similarity computation — and
+//! counts similarity evaluations to derive the *scan rate*. Workers report
+//! into these shared accumulators with relaxed atomics; totals are read once
+//! the scope has joined, so no stronger ordering is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A relaxed atomic event counter (e.g. similarity evaluations, heap
+/// changes).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero, returning the previous total.
+    pub fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Accumulates wall-clock time spent in one activity across all threads.
+///
+/// Note that with `t` busy workers, accumulated time advances up to `t×`
+/// faster than wall time; breakdowns are therefore reported as *shares* of
+/// the total accumulated time, exactly like the stacked bars of Fig. 5.
+#[derive(Debug, Default)]
+pub struct TimeAccumulator {
+    nanos: AtomicU64,
+}
+
+impl TimeAccumulator {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an elapsed duration.
+    #[inline]
+    pub fn add(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Times `f`, charging its elapsed time to this accumulator.
+    #[inline]
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add(start.elapsed());
+        out
+    }
+
+    /// RAII guard charging the time between creation and drop.
+    pub fn start(&self) -> ScopedTimer<'_> {
+        ScopedTimer {
+            acc: self,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Guard returned by [`TimeAccumulator::start`].
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    acc: &'a TimeAccumulator,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.acc.add(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::parallel_for;
+
+    #[test]
+    fn counter_accumulates_across_threads() {
+        let c = Counter::new();
+        parallel_for(4, 10_000, 64, |range| {
+            for _ in range {
+                c.incr();
+            }
+        });
+        assert_eq!(c.get(), 10_000);
+        assert_eq!(c.take(), 10_000);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_bulk_add() {
+        let c = Counter::new();
+        c.add(5);
+        c.add(7);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn accumulator_measures_nonzero_time() {
+        let t = TimeAccumulator::new();
+        let out = t.measure(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(t.total() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn scoped_timer_charges_on_drop() {
+        let t = TimeAccumulator::new();
+        {
+            let _g = t.start();
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        assert!(t.total() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn accumulator_sums_parallel_work() {
+        let t = TimeAccumulator::new();
+        parallel_for(4, 4, 1, |_range| {
+            t.measure(|| std::thread::sleep(Duration::from_millis(2)));
+        });
+        // Four sleeps of ~2ms each accumulate regardless of overlap.
+        assert!(t.total() >= Duration::from_millis(6));
+    }
+}

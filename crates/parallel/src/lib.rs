@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Minimal scoped parallel runtime for the KIFF workspace.
+//!
+//! The paper's implementations are "multi-threaded to parallelize the
+//! treatment of individual users" (§IV). All three algorithms here share the
+//! same shape: a loop over users whose iterations are independent except for
+//! synchronized heap updates. That needs nothing more than:
+//!
+//! * [`parallel_for`] — dynamically scheduled chunked parallel iteration
+//!   over an index range, built on [`std::thread::scope`];
+//! * [`parallel_fold`] — the same with per-thread accumulators merged at
+//!   the end;
+//! * [`Counter`] / [`TimeAccumulator`] — relaxed atomic counters and
+//!   per-activity wall-clock accumulators safe to update from any worker.
+//!
+//! Work is handed out through a shared atomic cursor in `grain`-sized
+//! chunks, so skewed per-user costs (ubiquitous under power-law degree
+//! distributions) cannot starve the pool.
+
+pub mod counters;
+pub mod pool;
+
+pub use counters::{Counter, ScopedTimer, TimeAccumulator};
+pub use pool::{effective_threads, parallel_fold, parallel_for};

@@ -1,0 +1,192 @@
+//! Scoped, dynamically-scheduled parallel iteration.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a requested thread count: `None` or `Some(0)` means "all
+/// available parallelism", anything else is taken literally.
+pub fn effective_threads(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `body` over every sub-range of `0..n`, splitting into `grain`-sized
+/// chunks handed to `threads` workers through a shared cursor.
+///
+/// With `threads == 1` the body runs inline on the calling thread in a
+/// single deterministic sweep — the mode used by tests that compare against
+/// sequential references.
+pub fn parallel_for<F>(threads: usize, n: usize, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    assert!(grain > 0, "grain must be positive");
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 {
+        body(0..n);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.div_ceil(grain)) {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + grain).min(n);
+                body(start..end);
+            });
+        }
+    });
+}
+
+/// Parallel fold: each worker owns an accumulator created by `init`, feeds it
+/// chunks via `fold`, and the per-worker results are combined with `merge`.
+///
+/// The merge order is unspecified; `merge` must be associative and
+/// commutative for deterministic results.
+pub fn parallel_fold<A, I, F, M>(
+    threads: usize,
+    n: usize,
+    grain: usize,
+    init: I,
+    fold: F,
+    merge: M,
+) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Range<usize>) + Sync,
+    M: Fn(A, A) -> A,
+{
+    assert!(grain > 0, "grain must be positive");
+    if n == 0 {
+        return init();
+    }
+    if threads <= 1 {
+        let mut acc = init();
+        fold(&mut acc, 0..n);
+        return acc;
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n.div_ceil(grain));
+    let accs: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = init();
+                    loop {
+                        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + grain).min(n);
+                        fold(&mut acc, start..end);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut iter = accs.into_iter();
+    let first = iter.next().expect("at least one worker");
+    iter.fold(first, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(effective_threads(Some(3)), 3);
+        assert!(effective_threads(None) >= 1);
+        assert!(effective_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 10_007; // prime, not a multiple of the grain
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(4, n, 64, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_is_one_sweep() {
+        let calls = AtomicUsize::new(0);
+        parallel_for(1, 1000, 10, |range| {
+            assert_eq!(range, 0..1000);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        parallel_for(4, 0, 16, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn grain_larger_than_n() {
+        let sum = AtomicU64::new(0);
+        parallel_for(8, 5, 1000, |range| {
+            sum.fetch_add(range.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn fold_sums_match_sequential() {
+        let n = 100_000usize;
+        for threads in [1, 2, 8] {
+            let total = parallel_fold(
+                threads,
+                n,
+                128,
+                || 0u64,
+                |acc, range| {
+                    for i in range {
+                        *acc += i as u64;
+                    }
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(total, (n as u64 - 1) * n as u64 / 2);
+        }
+    }
+
+    #[test]
+    fn fold_collects_disjoint_chunks() {
+        let parts = parallel_fold(
+            4,
+            1000,
+            37,
+            Vec::new,
+            |acc: &mut Vec<usize>, range| acc.extend(range),
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        let mut sorted = parts;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+    }
+}

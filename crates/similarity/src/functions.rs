@@ -1,0 +1,269 @@
+//! Allocation-free similarity functions over profile pairs.
+//!
+//! Each function is a pure map `(UP_u, UP_v) → [0, ∞)`; all satisfy the
+//! sparse axioms of §III-D (non-negative, zero on disjoint profiles).
+
+use kiff_dataset::ProfileRef;
+
+use crate::kernels::{for_each_shared, intersect_count};
+
+/// Binary cosine: `|A ∩ B| / √(|A|·|B|)` — cosine over presence vectors.
+pub fn binary_cosine(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let shared = intersect_count(a.items, b.items) as f64;
+    shared / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+/// Weighted cosine over rating vectors: `⟨a, b⟩ / (‖a‖·‖b‖)`.
+///
+/// The paper's evaluation metric ("we use the cosine similarity in the rest
+/// of the paper", §III-B). Ratings are positive, so the value is in
+/// `[0, 1]` and zero iff the profiles are disjoint.
+pub fn weighted_cosine(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0f64;
+    for_each_shared(a.items, b.items, |i, j| {
+        dot += f64::from(a.ratings[i]) * f64::from(b.ratings[j]);
+    });
+    if dot == 0.0 {
+        return 0.0;
+    }
+    dot / (a.norm() * b.norm())
+}
+
+/// Weighted cosine with externally precomputed norms (avoids the two norm
+/// passes per call; see [`crate::metrics::WeightedCosine::fit`]).
+pub fn weighted_cosine_with_norms(
+    a: ProfileRef<'_>,
+    b: ProfileRef<'_>,
+    norm_a: f64,
+    norm_b: f64,
+) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0f64;
+    for_each_shared(a.items, b.items, |i, j| {
+        dot += f64::from(a.ratings[i]) * f64::from(b.ratings[j]);
+    });
+    if dot == 0.0 {
+        0.0
+    } else {
+        dot / (norm_a * norm_b)
+    }
+}
+
+/// Jaccard's coefficient over item sets: `|A ∩ B| / |A ∪ B|`.
+pub fn jaccard(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let shared = intersect_count(a.items, b.items);
+    let union = a.len() + b.len() - shared;
+    shared as f64 / union as f64
+}
+
+/// Weighted (Ruzicka) Jaccard: `Σ min(aᵢ, bᵢ) / Σ max(aᵢ, bᵢ)`, missing
+/// entries counting as zero.
+pub fn weighted_jaccard(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut min_sum = 0.0f64;
+    for_each_shared(a.items, b.items, |i, j| {
+        min_sum += f64::from(a.ratings[i]).min(f64::from(b.ratings[j]));
+    });
+    // Σ max(aᵢ, bᵢ) = Σa + Σb − Σ min over shared (unshared entries
+    // contribute their full value to the max sum).
+    let total_a: f64 = a.ratings.iter().map(|&r| f64::from(r)).sum();
+    let total_b: f64 = b.ratings.iter().map(|&r| f64::from(r)).sum();
+    let max_sum = total_a + total_b - min_sum;
+    if max_sum == 0.0 {
+        0.0
+    } else {
+        min_sum / max_sum
+    }
+}
+
+/// Common-item count `|A ∩ B|` — the coarse approximation KIFF's counting
+/// phase ranks candidates by.
+pub fn common_items(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    intersect_count(a.items, b.items) as f64
+}
+
+/// Dice coefficient: `2·|A ∩ B| / (|A| + |B|)`.
+pub fn dice(a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let shared = intersect_count(a.items, b.items);
+    2.0 * shared as f64 / (a.len() + b.len()) as f64
+}
+
+/// Adamic–Adar with caller-supplied per-item weights (normally
+/// `1 / ln |IP_i|`): `Σ_{i ∈ A∩B} w(i)`.
+pub fn adamic_adar_with(a: ProfileRef<'_>, b: ProfileRef<'_>, item_weight: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    for_each_shared(a.items, b.items, |i, _| {
+        sum += item_weight[a.items[i] as usize];
+    });
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile<'a>(items: &'a [u32], ratings: &'a [f32]) -> ProfileRef<'a> {
+        ProfileRef { items, ratings }
+    }
+
+    #[test]
+    fn binary_cosine_known_values() {
+        let a = profile(&[1, 2], &[1.0, 1.0]);
+        let b = profile(&[2, 3], &[1.0, 1.0]);
+        assert!((binary_cosine(a, b) - 0.5).abs() < 1e-12); // 1/√4
+        assert_eq!(binary_cosine(a, a), 1.0);
+    }
+
+    #[test]
+    fn weighted_cosine_identical_profiles_is_one() {
+        let a = profile(&[1, 5, 9], &[2.0, 3.0, 4.0]);
+        assert!((weighted_cosine(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cosine_equals_binary_on_unit_ratings() {
+        let a = profile(&[1, 2, 7], &[1.0, 1.0, 1.0]);
+        let b = profile(&[2, 7, 8, 9], &[1.0, 1.0, 1.0, 1.0]);
+        assert!((weighted_cosine(a, b) - binary_cosine(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cosine_with_norms_matches_plain() {
+        let a = profile(&[1, 4], &[2.0, 5.0]);
+        let b = profile(&[1, 9], &[3.0, 1.0]);
+        let with = weighted_cosine_with_norms(a, b, a.norm(), b.norm());
+        assert!((with - weighted_cosine(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        let a = profile(&[1, 2, 3], &[1.0; 3]);
+        let b = profile(&[2, 3, 4, 5], &[1.0; 4]);
+        assert!((jaccard(a, b) - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(jaccard(a, a), 1.0);
+    }
+
+    #[test]
+    fn weighted_jaccard_known_values() {
+        let a = profile(&[1, 2], &[2.0, 1.0]);
+        let b = profile(&[1, 3], &[1.0, 4.0]);
+        // min-sum over shared = min(2,1)=1; denom = (3 + 5) - 1 = 7.
+        assert!((weighted_jaccard(a, b) - 1.0 / 7.0).abs() < 1e-12);
+        assert!((weighted_jaccard(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        let a = profile(&[1, 2, 3], &[1.0; 3]);
+        let b = profile(&[3, 4], &[1.0; 2]);
+        assert!((dice(a, b) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adamic_adar_uses_item_weights() {
+        let weights = vec![0.0, 0.5, 2.0, 0.25];
+        let a = profile(&[1, 2], &[1.0; 2]);
+        let b = profile(&[2, 3], &[1.0; 2]);
+        assert_eq!(adamic_adar_with(a, b, &weights), 2.0);
+        let c = profile(&[1, 2, 3], &[1.0; 3]);
+        assert_eq!(adamic_adar_with(a, c, &weights), 2.5);
+    }
+
+    #[test]
+    fn all_metrics_zero_on_disjoint_profiles() {
+        // The sparse axiom (Eq. 5) on which KIFF's pruning rests.
+        let a = profile(&[1, 2], &[2.0, 3.0]);
+        let b = profile(&[3, 4], &[1.0, 4.0]);
+        let weights = vec![1.0; 8];
+        assert_eq!(binary_cosine(a, b), 0.0);
+        assert_eq!(weighted_cosine(a, b), 0.0);
+        assert_eq!(jaccard(a, b), 0.0);
+        assert_eq!(weighted_jaccard(a, b), 0.0);
+        assert_eq!(common_items(a, b), 0.0);
+        assert_eq!(dice(a, b), 0.0);
+        assert_eq!(adamic_adar_with(a, b, &weights), 0.0);
+    }
+
+    #[test]
+    fn empty_profiles_never_nan() {
+        let e = profile(&[], &[]);
+        let a = profile(&[1], &[2.0]);
+        for f in [
+            binary_cosine,
+            weighted_cosine,
+            jaccard,
+            weighted_jaccard,
+            common_items,
+            dice,
+        ] {
+            assert_eq!(f(e, e), 0.0);
+            assert_eq!(f(e, a), 0.0);
+            assert_eq!(f(a, e), 0.0);
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeMap;
+
+        fn arb_profile() -> impl Strategy<Value = (Vec<u32>, Vec<f32>)> {
+            proptest::collection::btree_map(0u32..100, 1u32..6, 0..40).prop_map(
+                |m: BTreeMap<u32, u32>| {
+                    let items: Vec<u32> = m.keys().copied().collect();
+                    let ratings: Vec<f32> = m.values().map(|&r| r as f32).collect();
+                    (items, ratings)
+                },
+            )
+        }
+
+        proptest! {
+            /// Symmetry, non-negativity, boundedness, and the sparse axioms
+            /// (Eq. 5–6) for every normalized metric.
+            #[test]
+            fn metric_axioms(a in arb_profile(), b in arb_profile()) {
+                let pa = ProfileRef { items: &a.0, ratings: &a.1 };
+                let pb = ProfileRef { items: &b.0, ratings: &b.1 };
+                let disjoint = intersect_count(pa.items, pb.items) == 0;
+                for f in [binary_cosine, weighted_cosine, jaccard, weighted_jaccard, dice] {
+                    let ab = f(pa, pb);
+                    let ba = f(pb, pa);
+                    prop_assert!((ab - ba).abs() < 1e-12, "asymmetric");
+                    prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "out of range: {ab}");
+                    if disjoint {
+                        prop_assert_eq!(ab, 0.0);
+                    } else {
+                        prop_assert!(ab > 0.0, "shared items but zero similarity");
+                    }
+                }
+            }
+
+            /// Self-similarity is 1 for normalized metrics on non-empty
+            /// profiles.
+            #[test]
+            fn self_similarity_is_one(a in arb_profile()) {
+                prop_assume!(!a.0.is_empty());
+                let pa = ProfileRef { items: &a.0, ratings: &a.1 };
+                for f in [binary_cosine, weighted_cosine, jaccard, weighted_jaccard, dice] {
+                    prop_assert!((f(pa, pa) - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! The [`Similarity`] trait and its implementations.
+//!
+//! Graph-construction algorithms are generic over `S: Similarity` and call
+//! [`Similarity::sim`] with user ids; implementations fetch the profiles
+//! and may consult state fitted on the dataset (precomputed norms, item
+//! degree weights).
+
+use kiff_dataset::{Dataset, UserId};
+
+use crate::functions;
+
+/// An item-based similarity over users of a dataset.
+///
+/// Implementations must be non-negative. When [`Similarity::sparse_axioms`]
+/// returns `true`, the metric additionally guarantees Eq. (5)–(6) of the
+/// paper — `sim = 0` exactly when the profiles share no item — which is the
+/// precondition for KIFF's candidate pruning to be lossless (§III-D).
+pub trait Similarity: Sync {
+    /// `sim(u, v)` over `dataset`.
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64;
+
+    /// Metric name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether Eq. (5)–(6) hold (true for everything in this module).
+    fn sparse_axioms(&self) -> bool {
+        true
+    }
+}
+
+/// Cosine over presence (binary) vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCosine;
+
+impl Similarity for BinaryCosine {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        functions::binary_cosine(dataset.user_profile(u), dataset.user_profile(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "binary-cosine"
+    }
+}
+
+/// Cosine over rating vectors — the paper's evaluation metric.
+///
+/// `WeightedCosine::new()` computes norms on the fly; [`WeightedCosine::fit`]
+/// precomputes one norm per user, halving the per-pair work. The fitted
+/// instance must only be used with the dataset it was fitted on (checked by
+/// length in debug builds).
+#[derive(Debug, Clone, Default)]
+pub struct WeightedCosine {
+    norms: Option<Box<[f64]>>,
+}
+
+impl WeightedCosine {
+    /// Norm-on-the-fly variant.
+    pub fn new() -> Self {
+        Self { norms: None }
+    }
+
+    /// Precomputes per-user norms for `dataset`.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let norms = (0..dataset.num_users() as u32)
+            .map(|u| dataset.user_profile(u).norm())
+            .collect();
+        Self { norms: Some(norms) }
+    }
+}
+
+impl Similarity for WeightedCosine {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        let a = dataset.user_profile(u);
+        let b = dataset.user_profile(v);
+        match &self.norms {
+            Some(norms) => {
+                debug_assert_eq!(
+                    norms.len(),
+                    dataset.num_users(),
+                    "fitted on another dataset"
+                );
+                functions::weighted_cosine_with_norms(a, b, norms[u as usize], norms[v as usize])
+            }
+            None => functions::weighted_cosine(a, b),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Jaccard's coefficient over item sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl Similarity for Jaccard {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        functions::jaccard(dataset.user_profile(u), dataset.user_profile(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+}
+
+/// Ruzicka (weighted Jaccard) over rating vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedJaccard;
+
+impl Similarity for WeightedJaccard {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        functions::weighted_jaccard(dataset.user_profile(u), dataset.user_profile(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-jaccard"
+    }
+}
+
+/// Dice coefficient over item sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dice;
+
+impl Similarity for Dice {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        functions::dice(dataset.user_profile(u), dataset.user_profile(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+}
+
+/// Raw common-item count — KIFF's coarse counting-phase approximation
+/// exposed as a metric (unnormalized; useful for Fig. 7-style rank
+/// comparisons and ablations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonItems;
+
+impl Similarity for CommonItems {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        functions::common_items(dataset.user_profile(u), dataset.user_profile(v))
+    }
+
+    fn name(&self) -> &'static str {
+        "common-items"
+    }
+}
+
+/// Adamic–Adar: shared items weighted by `1 / ln |IP_i|`, down-weighting
+/// blockbuster items. Items rated by fewer than two users get the `ln 2`
+/// weight (they cannot be shared more cheaply).
+#[derive(Debug, Clone)]
+pub struct AdamicAdar {
+    item_weights: Box<[f64]>,
+}
+
+impl AdamicAdar {
+    /// Precomputes item weights from the dataset's item profiles.
+    pub fn fit(dataset: &Dataset) -> Self {
+        let items = dataset.item_profiles();
+        let item_weights = (0..dataset.num_items() as u32)
+            .map(|i| 1.0 / f64::from(items.degree(i).max(2) as u32).ln())
+            .collect();
+        Self { item_weights }
+    }
+
+    /// The fitted per-item weights.
+    pub fn item_weights(&self) -> &[f64] {
+        &self.item_weights
+    }
+}
+
+impl Similarity for AdamicAdar {
+    fn sim(&self, dataset: &Dataset, u: UserId, v: UserId) -> f64 {
+        debug_assert_eq!(
+            self.item_weights.len(),
+            dataset.num_items(),
+            "fitted on another dataset"
+        );
+        functions::adamic_adar_with(
+            dataset.user_profile(u),
+            dataset.user_profile(v),
+            &self.item_weights,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "adamic-adar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_dataset::DatasetBuilder;
+
+    #[test]
+    fn toy_cosine_values() {
+        let ds = figure2_toy();
+        let cos = WeightedCosine::new();
+        // Alice–Bob share coffee: 1/√(2·2) = 0.5.
+        assert!((cos.sim(&ds, 0, 1) - 0.5).abs() < 1e-12);
+        // Alice–Carl share nothing.
+        assert_eq!(cos.sim(&ds, 0, 2), 0.0);
+        // Carl–Dave both like only shopping: 1.0.
+        assert!((cos.sim(&ds, 2, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitted_cosine_matches_unfitted() {
+        let ds = figure2_toy();
+        let plain = WeightedCosine::new();
+        let fitted = WeightedCosine::fit(&ds);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert!((plain.sim(&ds, u, v) - fitted.sim(&ds, u, v)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cosine_reflects_ratings() {
+        let mut b = DatasetBuilder::new("w", 3, 3);
+        // u0 loves item0, mildly likes item1; u1 mirrors; u2 only item0.
+        b.add_rating(0, 0, 5.0);
+        b.add_rating(0, 1, 1.0);
+        b.add_rating(1, 0, 1.0);
+        b.add_rating(1, 1, 5.0);
+        b.add_rating(2, 0, 5.0);
+        let ds = b.build();
+        let cos = WeightedCosine::new();
+        // u0 is closer to u2 (aligned heavy rating) than to u1.
+        assert!(cos.sim(&ds, 0, 2) > cos.sim(&ds, 0, 1));
+    }
+
+    #[test]
+    fn adamic_adar_downweights_popular_items() {
+        let mut b = DatasetBuilder::new("aa", 4, 2);
+        // item0 is rated by everyone (popular); item1 only by users 0 and 1.
+        for u in 0..4 {
+            b.add_rating(u, 0, 1.0);
+        }
+        b.add_rating(0, 1, 1.0);
+        b.add_rating(1, 1, 1.0);
+        let ds = b.build();
+        let aa = AdamicAdar::fit(&ds);
+        // Sharing the rare item contributes more than sharing the popular
+        // one.
+        let via_both = aa.sim(&ds, 0, 1); // shares item0 and item1
+        let via_popular = aa.sim(&ds, 2, 3); // shares only item0
+        assert!(via_both > via_popular);
+        let w = aa.item_weights();
+        assert!(w[1] > w[0], "rare item must weigh more");
+    }
+
+    #[test]
+    fn all_metrics_report_sparse_axioms() {
+        let ds = figure2_toy();
+        let aa = AdamicAdar::fit(&ds);
+        let metrics: Vec<&dyn Similarity> = vec![
+            &BinaryCosine,
+            &Jaccard,
+            &WeightedJaccard,
+            &Dice,
+            &CommonItems,
+            &aa,
+        ];
+        for m in metrics {
+            assert!(m.sparse_axioms(), "{}", m.name());
+            // Disjoint pair Alice–Carl must be zero under every metric.
+            assert_eq!(m.sim(&ds, 0, 2), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let ds = figure2_toy();
+        let aa = AdamicAdar::fit(&ds);
+        let cos = WeightedCosine::new();
+        let metrics: Vec<&dyn Similarity> = vec![
+            &BinaryCosine,
+            &cos,
+            &Jaccard,
+            &WeightedJaccard,
+            &Dice,
+            &CommonItems,
+            &aa,
+        ];
+        let mut names: Vec<&str> = metrics.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

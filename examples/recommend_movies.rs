@@ -1,0 +1,61 @@
+//! User-based collaborative filtering on a MovieLens-like dataset.
+//!
+//! The paper motivates KNN graphs with recommendation (§I): once each user
+//! is connected to her k most similar peers, items those peers loved —
+//! which she has not seen — become her recommendations. This example
+//! builds the KNN graph with KIFF and derives top-5 recommendations.
+//!
+//! Run with: `cargo run --release --example recommend_movies`
+
+use kiff::prelude::*;
+use kiff_collections::FxHashMap;
+use kiff_dataset::generators::movielens_like;
+
+fn main() {
+    // A scaled-down ML-1 stand-in: ~600 users, ~370 movies, 5-star scale.
+    let dataset = movielens_like(0.1, 42);
+    println!(
+        "dataset: {} users, {} movies, {} ratings (density {:.2}%)",
+        dataset.num_users(),
+        dataset.num_items(),
+        dataset.num_ratings(),
+        dataset.density() * 100.0
+    );
+
+    // KNN graph with KIFF (k = 10, cosine over star ratings).
+    let k = 10;
+    let graph = KnnGraphBuilder::new(k).build(&dataset);
+    println!("built the {k}-NN graph with KIFF\n");
+
+    // Classic user-based CF: score unseen items by similarity-weighted
+    // neighbour ratings.
+    for user in [0u32, 7, 42] {
+        let profile = dataset.user_profile(user);
+        let mut scores: FxHashMap<u32, f64> = FxHashMap::default();
+        let mut weights: FxHashMap<u32, f64> = FxHashMap::default();
+        for neighbor in graph.neighbors(user) {
+            for (item, rating) in dataset.user_profile(neighbor.id).iter() {
+                if profile.rating(item).is_none() {
+                    *scores.entry(item).or_insert(0.0) += neighbor.sim * f64::from(rating);
+                    *weights.entry(item).or_insert(0.0) += neighbor.sim;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = scores
+            .into_iter()
+            .map(|(item, s)| (item, s / weights[&item].max(1e-9)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(5);
+
+        println!(
+            "user {user:>4} ({} rated movies) — top recommendations:",
+            profile.len()
+        );
+        for (item, predicted) in ranked {
+            println!("    movie #{item:<5} predicted rating {predicted:.2}");
+        }
+    }
+
+    println!("\nEvery candidate was reached through shared movies — no cold similarity scans.");
+}

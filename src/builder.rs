@@ -1,0 +1,241 @@
+//! High-level builder facade over the workspace's algorithms.
+
+use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, NnDescent};
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::Dataset;
+use kiff_graph::{exact_knn, KnnGraph};
+use kiff_similarity::{
+    AdamicAdar, BinaryCosine, Dice, Jaccard, Similarity, WeightedCosine, WeightedJaccard,
+};
+
+/// Which construction algorithm the builder runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// KIFF (the paper's contribution) — the default.
+    #[default]
+    Kiff,
+    /// NN-Descent (greedy baseline).
+    NnDescent,
+    /// HyRec (greedy baseline).
+    HyRec,
+    /// L2Knng-style two-phase pruning (§VI related work). Cosine-specific:
+    /// the chosen [`Metric`] is ignored and weighted cosine is used.
+    L2Knng,
+    /// LSH banding (§VI related work). Jaccard-family metrics select
+    /// MinHash signatures; everything else uses random hyperplanes.
+    Lsh,
+    /// Exact construction via the inverted index.
+    Exact,
+}
+
+/// Which similarity metric the builder applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Cosine over rating vectors (the paper's evaluation default).
+    #[default]
+    Cosine,
+    /// Cosine over binary presence vectors.
+    BinaryCosine,
+    /// Jaccard's coefficient over item sets.
+    Jaccard,
+    /// Ruzicka (weighted Jaccard).
+    WeightedJaccard,
+    /// Dice coefficient.
+    Dice,
+    /// Adamic–Adar with `1/ln|IP_i|` item weights.
+    AdamicAdar,
+}
+
+/// One-stop builder: pick an algorithm, a metric and the usual knobs, then
+/// [`KnnGraphBuilder::build`] a graph.
+///
+/// ```
+/// use kiff::KnnGraphBuilder;
+/// use kiff_dataset::dataset::figure2_toy;
+///
+/// let graph = KnnGraphBuilder::new(1).threads(1).build(&figure2_toy());
+/// assert_eq!(graph.neighbors(0)[0].id, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnGraphBuilder {
+    k: usize,
+    algorithm: Algorithm,
+    metric: Metric,
+    threads: Option<usize>,
+    gamma: Option<usize>,
+    beta: Option<f64>,
+    termination: Option<f64>,
+    seed: u64,
+}
+
+impl KnnGraphBuilder {
+    /// A builder for `k`-NN graphs with KIFF + cosine defaults.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            algorithm: Algorithm::default(),
+            metric: Metric::default(),
+            threads: None,
+            gamma: None,
+            beta: None,
+            termination: None,
+            seed: 42,
+        }
+    }
+
+    /// Selects the construction algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the similarity metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the worker thread count (default: all available).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets KIFF's `γ` (default `2k`).
+    pub fn gamma(mut self, gamma: usize) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// Sets KIFF's `β` (default `0.001`).
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = Some(beta);
+        self
+    }
+
+    /// Sets the greedy baselines' termination threshold.
+    pub fn termination(mut self, t: f64) -> Self {
+        self.termination = Some(t);
+        self
+    }
+
+    /// Seeds the baselines' random initial graphs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the KNN graph of `dataset`.
+    pub fn build(&self, dataset: &Dataset) -> KnnGraph {
+        match self.metric {
+            Metric::Cosine => self.dispatch(dataset, &WeightedCosine::fit(dataset)),
+            Metric::BinaryCosine => self.dispatch(dataset, &BinaryCosine),
+            Metric::Jaccard => self.dispatch(dataset, &Jaccard),
+            Metric::WeightedJaccard => self.dispatch(dataset, &WeightedJaccard),
+            Metric::Dice => self.dispatch(dataset, &Dice),
+            Metric::AdamicAdar => self.dispatch(dataset, &AdamicAdar::fit(dataset)),
+        }
+    }
+
+    fn dispatch<S: Similarity>(&self, dataset: &Dataset, sim: &S) -> KnnGraph {
+        match self.algorithm {
+            Algorithm::Kiff => {
+                let mut config = KiffConfig::new(self.k);
+                config.threads = self.threads;
+                if let Some(g) = self.gamma {
+                    config = config.with_gamma(g);
+                }
+                if let Some(b) = self.beta {
+                    config = config.with_beta(b);
+                }
+                Kiff::new(config).run(dataset, sim).graph
+            }
+            Algorithm::NnDescent => {
+                let mut config = GreedyConfig::new(self.k);
+                config.threads = self.threads;
+                config.seed = self.seed;
+                if let Some(t) = self.termination {
+                    config.termination = t;
+                }
+                NnDescent::new(config).run(dataset, sim).0
+            }
+            Algorithm::HyRec => {
+                let mut config = GreedyConfig::new(self.k);
+                config.threads = self.threads;
+                config.seed = self.seed;
+                if let Some(t) = self.termination {
+                    config.termination = t;
+                }
+                HyRec::new(config).run(dataset, sim).0
+            }
+            Algorithm::L2Knng => L2Knng::new(L2KnngConfig::new(self.k)).run(dataset).0,
+            Algorithm::Lsh => {
+                let mut config = match self.metric {
+                    Metric::Jaccard | Metric::WeightedJaccard | Metric::Dice => {
+                        LshConfig::minhash(self.k)
+                    }
+                    _ => LshConfig::new(self.k),
+                };
+                config.threads = self.threads;
+                config.seed = self.seed;
+                Lsh::new(config).run(dataset, sim).0
+            }
+            Algorithm::Exact => exact_knn(dataset, sim, self.k, self.threads),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+    use kiff_graph::recall;
+
+    #[test]
+    fn all_algorithms_run_on_toy() {
+        let ds = figure2_toy();
+        for algo in [
+            Algorithm::Kiff,
+            Algorithm::NnDescent,
+            Algorithm::HyRec,
+            Algorithm::L2Knng,
+            Algorithm::Lsh,
+            Algorithm::Exact,
+        ] {
+            let g = KnnGraphBuilder::new(1)
+                .algorithm(algo)
+                .threads(1)
+                .build(&ds);
+            assert_eq!(g.num_users(), 4, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn all_metrics_run() {
+        let ds = figure2_toy();
+        for metric in [
+            Metric::Cosine,
+            Metric::BinaryCosine,
+            Metric::Jaccard,
+            Metric::WeightedJaccard,
+            Metric::Dice,
+            Metric::AdamicAdar,
+        ] {
+            let g = KnnGraphBuilder::new(1).metric(metric).threads(1).build(&ds);
+            // Alice's neighbour is always Bob: the only sharing user.
+            assert_eq!(g.neighbors(0)[0].id, 1, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn kiff_matches_exact_closely() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("builder", 301));
+        let exact = KnnGraphBuilder::new(5)
+            .algorithm(Algorithm::Exact)
+            .build(&ds);
+        let kiff = KnnGraphBuilder::new(5).build(&ds);
+        assert!(recall(&exact, &kiff) > 0.95);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end pipeline tests: generate → construct → evaluate, across
+//! every dataset family and algorithm.
+
+use kiff::prelude::*;
+use kiff::{Algorithm, Metric};
+use kiff_dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+use kiff_dataset::generators::coauthor::{generate_coauthorship, CoauthorConfig};
+use kiff_dataset::generators::movielens_like;
+use kiff_dataset::PaperDataset;
+
+fn assert_valid_graph(graph: &KnnGraph, dataset: &Dataset, k: usize) {
+    assert_eq!(graph.num_users(), dataset.num_users());
+    for u in 0..dataset.num_users() as u32 {
+        let ns = graph.neighbors(u);
+        assert!(ns.len() <= k, "user {u} has {} > k neighbours", ns.len());
+        assert!(ns.windows(2).all(|w| w[0].sim >= w[1].sim), "unsorted");
+        let mut ids: Vec<u32> = ns.iter().map(|n| n.id).collect();
+        assert!(!ids.contains(&u), "self-loop at {u}");
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ns.len(), "duplicate neighbour at {u}");
+        for n in ns {
+            assert!(n.sim >= 0.0 && n.sim.is_finite());
+        }
+    }
+}
+
+#[test]
+fn kiff_on_every_generator_family() {
+    let datasets = vec![
+        generate_bipartite(&BipartiteConfig::tiny("bip", 1)),
+        generate_coauthorship(&CoauthorConfig::tiny("coa", 2)),
+        movielens_like(0.03, 3),
+        PaperDataset::Gowalla.generate(0.005, 4),
+    ];
+    for ds in &datasets {
+        let k = 5;
+        let graph = KnnGraphBuilder::new(k).build(ds);
+        assert_valid_graph(&graph, ds, k);
+        let sim = WeightedCosine::fit(ds);
+        let exact = exact_knn(ds, &sim, k, None);
+        let r = recall(&exact, &graph);
+        assert!(r > 0.9, "{}: recall {r}", ds.name());
+    }
+}
+
+#[test]
+fn every_algorithm_produces_valid_graphs() {
+    let ds = generate_bipartite(&BipartiteConfig::tiny("algos", 5));
+    for algo in [
+        Algorithm::Kiff,
+        Algorithm::NnDescent,
+        Algorithm::HyRec,
+        Algorithm::Exact,
+    ] {
+        let graph = KnnGraphBuilder::new(8).algorithm(algo).build(&ds);
+        assert_valid_graph(&graph, &ds, 8);
+    }
+}
+
+#[test]
+fn every_metric_produces_valid_graphs() {
+    let ds = movielens_like(0.02, 7);
+    for metric in [
+        Metric::Cosine,
+        Metric::BinaryCosine,
+        Metric::Jaccard,
+        Metric::WeightedJaccard,
+        Metric::Dice,
+        Metric::AdamicAdar,
+    ] {
+        let graph = KnnGraphBuilder::new(4).metric(metric).build(&ds);
+        assert_valid_graph(&graph, &ds, 4);
+    }
+}
+
+#[test]
+fn io_round_trip_preserves_knn_graph() {
+    let ds = generate_bipartite(&BipartiteConfig::tiny("io", 11));
+    let dir = std::env::temp_dir().join("kiff-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.tsv");
+    kiff_dataset::io::save_snap_tsv(&ds, &path).unwrap();
+    let (loaded, _) = kiff_dataset::io::load_snap_tsv(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // Internal ids survive the round trip, so the exact KNN graph must be
+    // identical.
+    let sim_a = WeightedCosine::fit(&ds);
+    let sim_b = WeightedCosine::fit(&loaded);
+    let a = exact_knn(&ds, &sim_a, 5, Some(1));
+    let b = exact_knn(&loaded, &sim_b, 5, Some(1));
+    for u in 0..ds.num_users() as u32 {
+        assert_eq!(a.neighbors(u), b.neighbors(u), "user {u}");
+    }
+}
+
+#[test]
+fn symmetric_dataset_yields_symmetric_top1_pairs() {
+    // On a co-authorship graph, if v is u's clear best neighbour and vice
+    // versa, both directions appear — exercised via mutual top-1 count.
+    let ds = generate_coauthorship(&CoauthorConfig::tiny("sym", 13));
+    let graph = KnnGraphBuilder::new(3).metric(Metric::Jaccard).build(&ds);
+    let mut mutual = 0;
+    let mut total = 0;
+    for u in 0..ds.num_users() as u32 {
+        if let Some(best) = graph.neighbors(u).first() {
+            total += 1;
+            if graph.neighbors(best.id).iter().any(|n| n.id == u) {
+                mutual += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    assert!(
+        mutual as f64 / total as f64 > 0.5,
+        "only {mutual}/{total} mutual pairs"
+    );
+}
+
+#[test]
+fn empty_profile_users_get_empty_neighbourhoods() {
+    // Users without ratings have zero similarity to everyone (Eq. 5):
+    // KIFF must not invent neighbours for them.
+    let mut b = DatasetBuilder::new("sparse-users", 5, 3);
+    b.add_rating(0, 0, 1.0);
+    b.add_rating(1, 0, 1.0);
+    // users 2..4 rate nothing
+    let ds = b.build();
+    let graph = KnnGraphBuilder::new(2).threads(1).build(&ds);
+    assert_eq!(graph.neighbors(0).len(), 1);
+    assert_eq!(graph.neighbors(1).len(), 1);
+    for u in 2..5 {
+        assert!(graph.neighbors(u).is_empty(), "user {u}");
+    }
+}
+
+#[test]
+fn single_user_dataset() {
+    let mut b = DatasetBuilder::new("lonely", 1, 2);
+    b.add_rating(0, 1, 3.0);
+    let ds = b.build();
+    let graph = KnnGraphBuilder::new(3).threads(1).build(&ds);
+    assert!(graph.neighbors(0).is_empty());
+    let sim = WeightedCosine::fit(&ds);
+    let exact = exact_knn(&ds, &sim, 3, Some(1));
+    assert_eq!(recall(&exact, &graph), 1.0);
+}

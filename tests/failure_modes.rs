@@ -1,0 +1,219 @@
+//! Degenerate-input and failure-injection tests: pathological datasets the
+//! algorithms must survive with correct (if trivial) output.
+
+use kiff::prelude::*;
+use kiff_core::Gamma;
+
+/// Every user rated the single same item: everyone is everyone's
+/// neighbour with similarity 1 — maximal RCS density.
+#[test]
+fn one_item_shared_by_all() {
+    let n = 50u32;
+    let mut b = DatasetBuilder::new("star-item", n as usize, 1);
+    for u in 0..n {
+        b.add_rating(u, 0, 1.0);
+    }
+    let ds = b.build();
+    let k = 5;
+    let graph = KnnGraphBuilder::new(k).threads(1).build(&ds);
+    for u in 0..n {
+        let ns = graph.neighbors(u);
+        assert_eq!(ns.len(), k, "user {u}");
+        assert!(ns.iter().all(|x| (x.sim - 1.0).abs() < 1e-12));
+    }
+    // Tie-aware recall: any k users are an optimal KNN set.
+    let sim = WeightedCosine::fit(&ds);
+    let exact = exact_knn(&ds, &sim, k, Some(1));
+    assert_eq!(recall(&exact, &graph), 1.0);
+}
+
+/// Fully disjoint profiles: nobody is anybody's neighbour.
+#[test]
+fn fully_disjoint_profiles() {
+    let n = 30usize;
+    let mut b = DatasetBuilder::new("disjoint", n, n);
+    for u in 0..n as u32 {
+        b.add_rating(u, u, 1.0);
+    }
+    let ds = b.build();
+    let graph = KnnGraphBuilder::new(3).threads(1).build(&ds);
+    for u in 0..n as u32 {
+        assert!(graph.neighbors(u).is_empty(), "user {u}");
+    }
+    let sim = WeightedCosine::fit(&ds);
+    let exact = exact_knn(&ds, &sim, 3, Some(1));
+    assert_eq!(recall(&exact, &graph), 1.0);
+}
+
+/// k larger than the population: neighbourhoods are capped at n − 1.
+#[test]
+fn k_exceeds_population() {
+    let mut b = DatasetBuilder::new("small-n", 4, 1);
+    for u in 0..4 {
+        b.add_rating(u, 0, 1.0);
+    }
+    let ds = b.build();
+    let graph = KnnGraphBuilder::new(100).threads(1).build(&ds);
+    for u in 0..4 {
+        assert_eq!(graph.neighbors(u).len(), 3);
+    }
+}
+
+/// A hub user who rated everything: appears in every RCS without
+/// overflowing anything.
+#[test]
+fn hub_user() {
+    let (n, items) = (40usize, 20usize);
+    let mut b = DatasetBuilder::new("hub", n, items);
+    for i in 0..items as u32 {
+        b.add_rating(0, i, 1.0); // the hub
+    }
+    for u in 1..n as u32 {
+        b.add_rating(u, u % items as u32, 1.0);
+    }
+    let ds = b.build();
+    let sim = WeightedCosine::fit(&ds);
+    let graph = Kiff::new(KiffConfig::exact(5).with_threads(1))
+        .run(&ds, &sim)
+        .graph;
+    // The hub shares an item with every user; every user's list contains
+    // somebody (at least the hub).
+    for u in 0..n as u32 {
+        assert!(!graph.neighbors(u).is_empty(), "user {u}");
+    }
+    assert_eq!(graph.neighbors(0).len(), 5);
+}
+
+/// Identical profiles everywhere: all similarities tie at 1.0; the
+/// deterministic tie-break (smallest id) must produce stable output.
+#[test]
+fn all_identical_profiles() {
+    let n = 25usize;
+    let mut b = DatasetBuilder::new("clones", n, 3);
+    for u in 0..n as u32 {
+        for i in 0..3 {
+            b.add_rating(u, i, 2.0);
+        }
+    }
+    let ds = b.build();
+    let sim = WeightedCosine::fit(&ds);
+    let graph = Kiff::new(KiffConfig::exact(4).with_threads(1))
+        .run(&ds, &sim)
+        .graph;
+    // User 10's neighbours are the four smallest other ids.
+    let ids: Vec<u32> = graph.neighbors(10).iter().map(|x| x.id).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+    let exact = exact_knn(&ds, &sim, 4, Some(1));
+    assert_eq!(recall(&exact, &graph), 1.0);
+}
+
+/// Gamma of 1: the slowest possible drip still converges to the same
+/// exhaustive answer when β = 0.
+#[test]
+fn gamma_one_still_exact_with_beta_zero() {
+    let mut b = DatasetBuilder::new("drip", 20, 6);
+    for u in 0..20u32 {
+        b.add_rating(u, u % 6, 1.0);
+        b.add_rating(u, (u + 1) % 6, 1.0);
+    }
+    let ds = b.build();
+    let sim = WeightedCosine::fit(&ds);
+    let mut config = KiffConfig::new(3)
+        .with_gamma(1)
+        .with_beta(0.0)
+        .with_threads(1);
+    config.max_iterations = 100_000;
+    let drip = Kiff::new(config).run(&ds, &sim);
+    let exact = Kiff::new(KiffConfig {
+        gamma: Gamma::All,
+        beta: 0.0,
+        ..KiffConfig::new(3)
+    })
+    .run(&ds, &sim);
+    for u in 0..20u32 {
+        assert_eq!(
+            drip.graph.neighbors(u),
+            exact.graph.neighbors(u),
+            "user {u}"
+        );
+    }
+    assert!(drip.stats.iterations > exact.stats.iterations);
+}
+
+/// Max-iterations cap actually caps.
+#[test]
+fn max_iterations_cap_binds() {
+    let ds = kiff_dataset::PaperDataset::Wikipedia.generate(0.05, 3);
+    let sim = WeightedCosine::fit(&ds);
+    let mut config = KiffConfig::new(5)
+        .with_gamma(1)
+        .with_beta(0.0)
+        .with_threads(1);
+    config.max_iterations = 3;
+    let result = Kiff::new(config).run(&ds, &sim);
+    assert_eq!(result.stats.iterations, 3);
+}
+
+/// Loader failure injection: malformed files report the offending line
+/// and never panic.
+#[test]
+fn loader_failure_injection() {
+    use kiff_dataset::io::{parse_snap_str, LoadError};
+    for (text, bad_line) in [
+        ("1 2\nx y\n", 2),
+        ("1\n", 1),
+        ("1 2 NaN\n", 1),
+        ("1 2 0\n", 1),
+        ("1 2 -3\n", 1),
+        ("9999999999999999999999 1\n", 1),
+    ] {
+        match parse_snap_str("bad", text) {
+            Err(LoadError::Parse { line, .. }) => assert_eq!(line, bad_line, "input {text:?}"),
+            other => panic!("expected parse error for {text:?}, got {other:?}"),
+        }
+    }
+}
+
+/// Loading a missing file surfaces the I/O error.
+#[test]
+fn loader_missing_file() {
+    let err = kiff_dataset::io::load_snap_tsv("/nonexistent/kiff-test.tsv").unwrap_err();
+    assert!(matches!(err, kiff_dataset::io::LoadError::Io(_)));
+}
+
+/// The rating-threshold heuristic (§VII) composes with the full pipeline
+/// and preserves the neighbours that rated things positively. The data
+/// must be *sparse* for the threshold to remove whole candidate pairs —
+/// on dense data every pair still shares some highly rated item (which is
+/// also why the paper pitches the heuristic for RCS-size reduction).
+#[test]
+fn rating_threshold_end_to_end() {
+    use kiff_dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+    use kiff_dataset::generators::RatingModel;
+    let ds = generate_bipartite(&BipartiteConfig {
+        rating_model: RatingModel::Stars { half_steps: true },
+        num_users: 500,
+        num_items: 400,
+        target_ratings: 4_000,
+        ..BipartiteConfig::tiny("thr-e2e", 11)
+    });
+    let sim = WeightedCosine::fit(&ds);
+    let plain = Kiff::new(KiffConfig::new(5).with_threads(1)).run(&ds, &sim);
+    let pruned = Kiff::new(
+        KiffConfig::new(5)
+            .with_threads(1)
+            .with_rating_threshold(3.0),
+    )
+    .run(&ds, &sim);
+    // The heuristic must reduce work…
+    assert!(
+        pruned.stats.total_rcs < plain.stats.total_rcs,
+        "threshold did not shrink RCSs: {} vs {}",
+        pruned.stats.total_rcs,
+        plain.stats.total_rcs
+    );
+    // …and stay a usable approximation.
+    let exact = exact_knn(&ds, &sim, 5, Some(1));
+    let r = recall(&exact, &pruned.graph);
+    assert!(r > 0.7, "threshold recall collapsed: {r}");
+}

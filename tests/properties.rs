@@ -1,0 +1,149 @@
+//! Cross-crate property-based tests on randomly generated datasets.
+
+use proptest::prelude::*;
+
+use kiff::prelude::*;
+use kiff_core::{build_rcs, CountingConfig, KiffConfig};
+use kiff_dataset::subsample_ratings;
+use kiff_graph::exact_knn_brute;
+use kiff_similarity::intersect_count;
+
+/// A small random dataset strategy: up to 40 users, 30 items.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        2usize..40,
+        2usize..30,
+        proptest::collection::vec((0u32..40, 0u32..30, 1u32..5), 1..300),
+    )
+        .prop_map(|(nu, ni, triples)| {
+            let mut b = DatasetBuilder::new("prop", nu, ni);
+            for (u, i, r) in triples {
+                b.add_rating(u % nu as u32, i % ni as u32, r as f32);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// KIFF in exact mode (γ = ∞, β = 0) equals brute force on any random
+    /// dataset — the paper's §III-D optimality claim.
+    #[test]
+    fn kiff_exact_equals_brute_force(ds in arb_dataset(), k in 1usize..8) {
+        let sim = WeightedCosine::fit(&ds);
+        let kiff = Kiff::new(KiffConfig::exact(k).with_threads(1)).run(&ds, &sim).graph;
+        let brute = exact_knn_brute(&ds, &sim, k, Some(1));
+        for u in 0..ds.num_users() as u32 {
+            prop_assert_eq!(kiff.neighbors(u), brute.neighbors(u), "user {}", u);
+        }
+    }
+
+    /// The scan rate of any KIFF run never exceeds the RCS-induced bound
+    /// (§III-D: #similarity computations ≤ Σ|RCS|).
+    #[test]
+    fn scan_rate_bounded_by_rcs(ds in arb_dataset(), k in 1usize..6) {
+        let sim = WeightedCosine::fit(&ds);
+        let result = Kiff::new(KiffConfig::new(k).with_threads(1)).run(&ds, &sim);
+        let rcs = build_rcs(&ds, &CountingConfig::default());
+        prop_assert!(result.stats.sim_evals as usize <= rcs.total());
+    }
+
+    /// Recall of KIFF with default parameters against exact ground truth
+    /// is high on any dataset (the paper's headline 0.99; small random
+    /// data occasionally dips slightly, so assert ≥ 0.9).
+    #[test]
+    fn kiff_default_recall_high(ds in arb_dataset()) {
+        let k = 3;
+        let sim = WeightedCosine::fit(&ds);
+        let exact = exact_knn(&ds, &sim, k, Some(1));
+        let graph = Kiff::new(KiffConfig::new(k).with_threads(1)).run(&ds, &sim).graph;
+        prop_assert!(recall(&exact, &graph) >= 0.9);
+    }
+
+    /// The pivoted RCSs partition the sharing pairs: the total RCS size
+    /// equals the number of user pairs with at least one shared item.
+    #[test]
+    fn rcs_total_counts_sharing_pairs(ds in arb_dataset()) {
+        let rcs = build_rcs(&ds, &CountingConfig { threads: Some(1), ..Default::default() });
+        let n = ds.num_users() as u32;
+        let mut sharing_pairs = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if intersect_count(ds.user_profile(u).items, ds.user_profile(v).items) > 0 {
+                    sharing_pairs += 1;
+                }
+            }
+        }
+        prop_assert_eq!(rcs.total(), sharing_pairs);
+    }
+
+    /// Subsampling ratings never increases density, and the subsampled
+    /// dataset still supports the full pipeline.
+    #[test]
+    fn density_family_pipeline(ds in arb_dataset(), keep_pct in 10usize..100) {
+        let target = ds.num_ratings() * keep_pct / 100;
+        let sub = subsample_ratings(&ds, target, 9);
+        prop_assert!(sub.density() <= ds.density() + 1e-12);
+        prop_assert_eq!(sub.num_users(), ds.num_users());
+        let graph = KnnGraphBuilder::new(2).threads(1).build(&sub);
+        prop_assert_eq!(graph.num_users(), sub.num_users());
+    }
+
+    /// Graph-level invariants of KIFF outputs: sorted unique neighbours,
+    /// no self-loops, similarities within the metric's range.
+    #[test]
+    fn kiff_graph_invariants(ds in arb_dataset(), k in 1usize..6) {
+        let graph = KnnGraphBuilder::new(k).threads(1).build(&ds);
+        for u in 0..ds.num_users() as u32 {
+            let ns = graph.neighbors(u);
+            prop_assert!(ns.len() <= k);
+            prop_assert!(ns.windows(2).all(|w| w[0].sim >= w[1].sim));
+            prop_assert!(ns.iter().all(|n| n.id != u));
+            prop_assert!(ns.iter().all(|n| (0.0..=1.0 + 1e-9).contains(&n.sim)));
+            let mut ids: Vec<u32> = ns.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), ns.len());
+        }
+    }
+
+    /// Recall is monotone in the quality of the approximation: the exact
+    /// graph always scores 1.0 against itself, and the empty graph can
+    /// only win via zero-similarity ties.
+    #[test]
+    fn recall_extremes(ds in arb_dataset(), k in 1usize..5) {
+        let sim = WeightedCosine::fit(&ds);
+        let exact = exact_knn(&ds, &sim, k, Some(1));
+        prop_assert_eq!(recall(&exact, &exact), 1.0);
+        let empty = KnnGraph::from_neighbors(k, vec![Vec::new(); ds.num_users()]);
+        let r = recall(&exact, &empty);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// The §VII RCS length cap yields exactly the prefix of the uncapped
+    /// ranking — never a different selection — and the induced scan rate
+    /// respects the `cap · |U|` bound.
+    #[test]
+    fn max_rcs_is_a_prefix(ds in arb_dataset(), cap in 1usize..12) {
+        let full = build_rcs(&ds, &CountingConfig { threads: Some(1), ..Default::default() });
+        let capped = build_rcs(&ds, &CountingConfig {
+            threads: Some(1),
+            max_rcs: Some(cap),
+            ..Default::default()
+        });
+        for u in 0..ds.num_users() as u32 {
+            let f = full.rcs(u);
+            let c = capped.rcs(u);
+            prop_assert!(c.len() <= cap);
+            prop_assert_eq!(c, &f[..c.len()], "user {}", u);
+        }
+        prop_assert!(capped.total() <= cap * ds.num_users());
+        // KIFF under the cap stays within the §III-D bound of the capped
+        // RCSs.
+        let sim = WeightedCosine::fit(&ds);
+        let result = Kiff::new(KiffConfig::new(3).with_threads(1).with_max_rcs(cap))
+            .run(&ds, &sim);
+        prop_assert!(result.stats.sim_evals as usize <= capped.total());
+    }
+}
