@@ -208,10 +208,7 @@ mod tests {
         b.add_rating(1, 3, 5.0);
         b.add_rating(1, 5, 1.0);
         let ds = b.build();
-        let graph = KnnGraph::from_neighbors(
-            1,
-            vec![vec![Neighbor { id: 1, sim: 1.0 }], vec![]],
-        );
+        let graph = KnnGraph::from_neighbors(1, vec![vec![Neighbor { id: 1, sim: 1.0 }], vec![]]);
         let mrr = mean_reciprocal_rank(&ds, &graph, &[(0, 3)], 5);
         // Item 3 has the higher score (5.0 > 1.0) → rank 1 → MRR 1.
         assert!((mrr - 1.0).abs() < 1e-12, "mrr = {mrr}");

@@ -12,7 +12,7 @@
 
 use std::collections::BinaryHeap;
 
-use kiff_collections::{FxHashSet, FxHashMap};
+use kiff_collections::{FxHashMap, FxHashSet};
 use kiff_dataset::{Dataset, ItemId, ProfileRef, Rating, UserId};
 use kiff_graph::KnnGraph;
 use kiff_similarity::functions;
@@ -203,9 +203,9 @@ impl<'a> GraphSearcher<'a> {
         let mut beam: Vec<Frontier> = Vec::with_capacity(ef + 1);
 
         let push = |u: UserId,
-                        visited: &mut FxHashSet<UserId>,
-                        frontier: &mut BinaryHeap<Frontier>,
-                        beam: &mut Vec<Frontier>| {
+                    visited: &mut FxHashSet<UserId>,
+                    frontier: &mut BinaryHeap<Frontier>,
+                    beam: &mut Vec<Frontier>| {
             if !visited.insert(u) {
                 return;
             }
@@ -341,7 +341,11 @@ mod tests {
         let query = QueryProfile::new(p.iter());
         let hits = searcher.search(&query, 3, 30);
         assert!(!hits.is_empty());
-        assert!((hits[0].sim - 1.0).abs() < 1e-9, "top sim = {}", hits[0].sim);
+        assert!(
+            (hits[0].sim - 1.0).abs() < 1e-9,
+            "top sim = {}",
+            hits[0].sim
+        );
     }
 
     #[test]

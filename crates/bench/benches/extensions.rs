@@ -54,7 +54,11 @@ fn bench(c: &mut Criterion) {
     // §VII insertion-limit flavour: RCS length caps.
     let mut group = c.benchmark_group("ext_max_rcs");
     group.sample_size(10);
-    for (name, cap) in [("uncapped", None), ("cap_64", Some(64)), ("cap_16", Some(16))] {
+    for (name, cap) in [
+        ("uncapped", None),
+        ("cap_64", Some(64)),
+        ("cap_16", Some(16)),
+    ] {
         group.bench_function(name, |b| {
             let mut config = KiffConfig::new(k);
             config.threads = Some(2);

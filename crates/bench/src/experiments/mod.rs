@@ -9,6 +9,7 @@ pub mod counting_exps;
 pub mod datasets_exps;
 pub mod density_exps;
 pub mod extensions;
+pub mod online;
 pub mod sensitivity;
 
 use std::collections::HashMap;
@@ -118,7 +119,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 21] = [
+pub const ALL: [&str; 22] = [
     "table1",
     "fig4",
     "fig1",
@@ -140,6 +141,7 @@ pub const ALL: [&str; 21] = [
     "ext3",
     "ext4",
     "ext5",
+    "online",
 ];
 
 /// Runs one experiment by id.
@@ -166,6 +168,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "ext3" => Ok(extensions::ext3(ctx)),
         "ext4" => Ok(extensions::ext4(ctx)),
         "ext5" => Ok(extensions::ext5(ctx)),
+        "online" => Ok(online::online(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

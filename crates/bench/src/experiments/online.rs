@@ -1,0 +1,174 @@
+//! Online-maintenance trajectory: `BENCH_online.json`.
+//!
+//! Streams the held-out 10% of an ML-4-like dataset (the MovieLens preset
+//! subsampled into the sparse regime of Table IX) through the
+//! `kiff-online` engine — one update at a time and in amortised batches —
+//! and compares against rebuilding from scratch. The machine-readable
+//! twin `BENCH_online.json` is the perf baseline future PRs must beat.
+
+use std::time::Instant;
+
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::generators::movielens::movielens_like;
+use kiff_dataset::{subsample_ratings, Dataset, DatasetBuilder};
+use kiff_graph::{exact_knn, recall};
+use kiff_online::{OnlineConfig, OnlineKnn, Update};
+use kiff_similarity::WeightedCosine;
+
+use super::Ctx;
+
+const K: usize = 10;
+const BATCH: usize = 100;
+
+/// One replay mode's outcome.
+struct Replay {
+    label: &'static str,
+    updates: u64,
+    elapsed_s: f64,
+    sim_evals_per_update: f64,
+    repaired_edges_per_update: f64,
+    recall_vs_exact: f64,
+}
+
+fn replay(
+    base: &Dataset,
+    held: &[(u32, u32, f32)],
+    batch: usize,
+    exact: &kiff_graph::KnnGraph,
+) -> Replay {
+    let mut engine = OnlineKnn::new(base, OnlineConfig::new(K));
+    let start = Instant::now();
+    let updates = held
+        .iter()
+        .map(|&(user, item, rating)| Update::AddRating { user, item, rating });
+    if batch <= 1 {
+        for update in updates {
+            engine.apply(update);
+        }
+    } else {
+        let all: Vec<Update> = updates.collect();
+        for chunk in all.chunks(batch) {
+            engine.apply_batch(chunk.iter().copied());
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let life = *engine.lifetime_stats();
+    Replay {
+        label: if batch <= 1 { "one-by-one" } else { "batched" },
+        updates: life.updates,
+        elapsed_s,
+        sim_evals_per_update: life.sim_evals_per_update(),
+        repaired_edges_per_update: life.edits_per_update(),
+        recall_vs_exact: recall(exact, &engine.graph()),
+    }
+}
+
+/// Runs the online-maintenance benchmark and writes `BENCH_online.json`.
+pub fn online(ctx: &mut Ctx) -> String {
+    // ML-4-like: the MovieLens preset subsampled to ~2.9% density.
+    let ml_scale = (0.2 * ctx.scale.multiplier).clamp(0.02, 1.0);
+    let ml1 = movielens_like(ml_scale, ctx.seed);
+    let full =
+        subsample_ratings(&ml1, ml1.num_ratings() * 13 / 100, ctx.seed).with_name("ML-4-like");
+
+    // Hold out every 10th rating as the stream.
+    let mut builder = DatasetBuilder::new("ml4-base", full.num_users(), full.num_items());
+    let mut held = Vec::new();
+    for (pos, (u, i, r)) in full.iter_ratings().enumerate() {
+        if pos % 10 == 0 {
+            held.push((u, i, r));
+        } else {
+            builder.add_rating(u, i, r);
+        }
+    }
+    let base = builder.build();
+
+    // Ground truth and the rebuild yardstick on the final dataset.
+    let sim = WeightedCosine::fit(&full);
+    let exact = exact_knn(&full, &sim, K, ctx.threads);
+    let mut rebuild_config = KiffConfig::new(K);
+    rebuild_config.threads = ctx.threads;
+    let rebuild_start = Instant::now();
+    let rebuild = Kiff::new(rebuild_config).run(&full, &sim);
+    let rebuild_s = rebuild_start.elapsed().as_secs_f64();
+    let rebuild_recall = recall(&exact, &rebuild.graph);
+
+    let runs = [
+        replay(&base, &held, 1, &exact),
+        replay(&base, &held, BATCH, &exact),
+    ];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Online maintenance on {}: {} users, {} items, {} ratings ({} streamed)\n\
+         full rebuild: {} sim evals in {rebuild_s:.3}s, recall {rebuild_recall:.4}\n\n",
+        full.name(),
+        full.num_users(),
+        full.num_items(),
+        full.num_ratings(),
+        held.len(),
+        rebuild.stats.sim_evals,
+    ));
+    for r in &runs {
+        out.push_str(&format!(
+            "{:<10}: {:.0} updates/s, {:.1} sim evals/update ({:.0}x below rebuild), \
+             {:.2} repaired edges/update, recall {:.4} ({:.3}x rebuild)\n",
+            r.label,
+            r.updates as f64 / r.elapsed_s.max(1e-9),
+            r.sim_evals_per_update,
+            rebuild.stats.sim_evals as f64 / r.sim_evals_per_update.max(1e-9),
+            r.repaired_edges_per_update,
+            r.recall_vs_exact,
+            r.recall_vs_exact / rebuild_recall.max(1e-9),
+        ));
+    }
+    out.push_str(
+        "\nExpected shape: per-update work stays orders of magnitude below one \
+         rebuild while recall lands within a few percent of it; batching trades \
+         a little recall for amortised repair.\n",
+    );
+
+    let dataset_v = serde_json::json!({
+        "name": full.name(),
+        "num_users": full.num_users(),
+        "num_items": full.num_items(),
+        "num_ratings": full.num_ratings(),
+        "streamed_updates": held.len()
+    });
+    let rebuild_v = serde_json::json!({
+        "sim_evals": rebuild.stats.sim_evals,
+        "wall_time_s": rebuild_s,
+        "recall": rebuild_recall
+    });
+    let runs_v: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "mode": r.label,
+                "updates": r.updates,
+                "updates_per_sec": r.updates as f64 / r.elapsed_s.max(1e-9),
+                "sim_evals_per_update": r.sim_evals_per_update,
+                "repaired_edges_per_update": r.repaired_edges_per_update,
+                "recall": r.recall_vs_exact
+            })
+        })
+        .collect();
+    let payload = serde_json::json!({
+        "dataset": dataset_v,
+        "k": K,
+        "rebuild": rebuild_v,
+        "runs": runs_v
+    });
+    // The named perf baseline future PRs diff against.
+    if let Ok(text) = serde_json::to_string_pretty(&payload) {
+        let path = ctx.out_dir.join("BENCH_online.json");
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| eprintln!("warning: cannot write BENCH_online.json: {e}"));
+    }
+    ctx.finish(
+        "online",
+        "Streaming maintenance vs rebuild (kiff-online)",
+        out,
+        &payload,
+    )
+}

@@ -79,3 +79,31 @@ fn table7_tiny_scale_shows_rcs_advantage() {
     assert!(stdout.contains("Top k from RCS"), "stdout: {stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn online_tiny_scale_writes_bench_baseline() {
+    let dir = std::env::temp_dir().join("kiff-cli-online");
+    std::fs::remove_dir_all(&dir).ok();
+    let (ok, stdout, stderr) = run_experiments(&[
+        "online",
+        "--scale",
+        "0.1",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Online maintenance"), "stdout: {stdout}");
+    assert!(stdout.contains("updates/s"), "stdout: {stdout}");
+    assert!(dir.join("online.txt").exists());
+    assert!(dir.join("online.json").exists());
+    let baseline = std::fs::read_to_string(dir.join("BENCH_online.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&baseline).unwrap();
+    assert!(parsed["rebuild"]["sim_evals"].as_f64().unwrap() > 0.0);
+    assert_eq!(parsed["runs"][0]["mode"], "one-by-one");
+    assert_eq!(parsed["runs"][1]["mode"], "batched");
+    std::fs::remove_dir_all(&dir).ok();
+}

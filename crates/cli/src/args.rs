@@ -100,6 +100,24 @@ pub struct SearchOptions {
     pub top: usize,
 }
 
+/// Options of `kiff update`.
+#[derive(Debug, Clone)]
+pub struct UpdateOptions {
+    /// Base dataset to load and build the initial graph from.
+    pub input: InputOptions,
+    /// TSV of streamed rating updates
+    /// (`user<TAB>item[<TAB>rating[<TAB>timestamp]]`, external ids).
+    pub updates: PathBuf,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Apply updates in batches of this size (1 = one repair per update).
+    pub batch: usize,
+    /// Online repair width (default 8k).
+    pub repair_width: Option<usize>,
+    /// Worker threads for the rebuild comparison.
+    pub threads: Option<usize>,
+}
+
 /// A parsed subcommand.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -113,6 +131,8 @@ pub enum Command {
     Recommend(RecommendOptions),
     /// Search the graph for a free-standing item-set query.
     Search(SearchOptions),
+    /// Replay streamed rating updates through the online engine.
+    Update(UpdateOptions),
     /// Print usage.
     Help,
 }
@@ -148,6 +168,10 @@ commands:
              --input FILE --user ID [--k N] [--top N]
   search     top users for an ad-hoc set of items via a KIFF graph
              --input FILE --items 1,2,3 [--k N] [--top N]
+  update     build a graph, then replay a stream of timestamped ratings
+             through the online engine and report repair cost vs rebuild
+             --input BASE --updates STREAM [--k N] [--batch N]
+             [--repair-width N] [--threads N]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -238,6 +262,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut user: Option<u32> = None;
     let mut top: Option<usize> = None;
     let mut items: Option<Vec<u32>> = None;
+    let mut updates: Option<PathBuf> = None;
+    let mut batch: Option<usize> = None;
+    let mut repair_width: Option<usize> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -256,6 +283,14 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             "--user" | "-u" => user = Some(parse_num("--user", &value("--user", &mut iter)?)?),
             "--top" | "-n" => top = Some(parse_num("--top", &value("--top", &mut iter)?)?),
             "--items" => items = Some(parse_items(&value("--items", &mut iter)?)?),
+            "--updates" => updates = Some(PathBuf::from(value("--updates", &mut iter)?)),
+            "--batch" => batch = Some(parse_num("--batch", &value("--batch", &mut iter)?)?),
+            "--repair-width" => {
+                repair_width = Some(parse_num(
+                    "--repair-width",
+                    &value("--repair-width", &mut iter)?,
+                )?)
+            }
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(ParseError(format!("unknown option '{other}'\n\n{USAGE}"))),
         }
@@ -297,6 +332,20 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             k: k.unwrap_or(20),
             top: top.unwrap_or(10),
         })),
+        "update" => {
+            let batch = batch.unwrap_or(1);
+            if batch == 0 {
+                return Err(ParseError("--batch must be positive".into()));
+            }
+            Ok(Command::Update(UpdateOptions {
+                input: need_input(input)?,
+                updates: updates.ok_or_else(|| ParseError("--updates is required".into()))?,
+                k: k.unwrap_or(20),
+                batch,
+                repair_width,
+                threads,
+            }))
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -375,6 +424,31 @@ mod tests {
         assert!(parse(&argv("build --input r.tsv --k 5 --algorithm magic")).is_err());
         assert!(parse(&argv("generate --preset netflix --output x.tsv")).is_err());
         assert!(parse(&argv("build --wat")).is_err());
+    }
+
+    #[test]
+    fn parses_update() {
+        let cmd = parse(&argv(
+            "update --input base.tsv --updates stream.tsv --k 5 --batch 20 --repair-width 64",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Update(u) => {
+                assert_eq!(u.input.input, PathBuf::from("base.tsv"));
+                assert_eq!(u.updates, PathBuf::from("stream.tsv"));
+                assert_eq!(u.k, 5);
+                assert_eq!(u.batch, 20);
+                assert_eq!(u.repair_width, Some(64));
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_requires_both_files() {
+        assert!(parse(&argv("update --updates s.tsv")).is_err());
+        assert!(parse(&argv("update --input b.tsv")).is_err());
+        assert!(parse(&argv("update --input b.tsv --updates s.tsv --batch 0")).is_err());
     }
 
     #[test]

@@ -5,15 +5,17 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
+use kiff::online::{OnlineConfig, OnlineKnn, Update};
 use kiff::prelude::*;
-use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, save_snap_tsv};
-use kiff_graph::write_edges_tsv;
+use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, load_updates_tsv, save_snap_tsv};
 use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
 use kiff_dataset::{Dataset, DatasetStats};
 use kiff_eval::percentile;
+use kiff_graph::write_edges_tsv;
 
 use crate::args::{
     BuildOptions, Command, Format, GenerateOptions, InputOptions, RecommendOptions, SearchOptions,
+    UpdateOptions,
 };
 
 /// A command-execution failure with a user-facing message.
@@ -79,7 +81,153 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CommandErro
         Command::Generate(options) => generate(options, out),
         Command::Recommend(options) => recommend(options, out),
         Command::Search(options) => search(options, out),
+        Command::Update(options) => update(options, out),
     }
+}
+
+/// Loads a dataset like [`load_dataset`], also returning the external-id
+/// maps so a replayed update stream can be joined against it.
+fn load_dataset_with_ids(
+    options: &InputOptions,
+) -> Result<(Dataset, kiff_dataset::io::IdMaps), CommandError> {
+    let format = options
+        .format
+        .or_else(|| Format::from_path(&options.input))
+        .ok_or_else(|| {
+            err(format!(
+                "cannot infer format of '{}'; pass --format tsv|movielens|json",
+                options.input.display()
+            ))
+        })?;
+    let path = &options.input;
+    match format {
+        Format::SnapTsv => load_snap_tsv(path).map_err(|e| err(format!("{}: {e}", path.display()))),
+        Format::MovieLens => {
+            load_movielens(path).map_err(|e| err(format!("{}: {e}", path.display())))
+        }
+        Format::Json => Err(err(
+            "kiff update needs external ids to join the stream against; \
+             use the tsv or movielens format for --input",
+        )),
+    }
+}
+
+fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    use kiff::collections::FxHashMap;
+
+    let (base, ids) = load_dataset_with_ids(&options.input)?;
+    let raw = load_updates_tsv(&options.updates)
+        .map_err(|e| err(format!("{}: {e}", options.updates.display())))?;
+    if raw.is_empty() {
+        return Err(err("the update stream is empty"));
+    }
+
+    // Join the stream's external ids against the base mapping; unseen ids
+    // extend the dense spaces (new users stream into the graph).
+    let mut user_map: FxHashMap<u64, u32> = ids
+        .user_ids
+        .iter()
+        .enumerate()
+        .map(|(dense, &ext)| (ext, dense as u32))
+        .collect();
+    let mut item_map: FxHashMap<u64, u32> = ids
+        .item_ids
+        .iter()
+        .enumerate()
+        .map(|(dense, &ext)| (ext, dense as u32))
+        .collect();
+    let mut new_users = 0usize;
+    let mut new_items = 0usize;
+    let stream: Vec<Update> = raw
+        .iter()
+        .map(|&(user, item, rating, _)| {
+            let next_user = user_map.len() as u32;
+            let user = *user_map.entry(user).or_insert_with(|| {
+                new_users += 1;
+                next_user
+            });
+            let next_item = item_map.len() as u32;
+            let item = *item_map.entry(item).or_insert_with(|| {
+                new_items += 1;
+                next_item
+            });
+            Update::AddRating { user, item, rating }
+        })
+        .collect();
+
+    writeln!(
+        out,
+        "base    : {} users, {} items, {} ratings",
+        base.num_users(),
+        base.num_items(),
+        base.num_ratings()
+    )?;
+    writeln!(
+        out,
+        "stream  : {} updates ({new_users} new users, {new_items} new items)",
+        stream.len()
+    )?;
+
+    // Build the initial graph, then replay.
+    let mut config = OnlineConfig::new(options.k);
+    if let Some(width) = options.repair_width {
+        config = config.with_repair_width(width);
+    }
+    let build_start = Instant::now();
+    let mut engine = OnlineKnn::new(&base, config);
+    writeln!(out, "initial build: {:?}", build_start.elapsed())?;
+
+    let replay_start = Instant::now();
+    if options.batch <= 1 {
+        for u in stream {
+            engine.apply(u);
+        }
+    } else {
+        for chunk in stream.chunks(options.batch) {
+            engine.apply_batch(chunk.iter().copied());
+        }
+    }
+    let replay_time = replay_start.elapsed();
+    let life = *engine.lifetime_stats();
+    writeln!(
+        out,
+        "replayed {} updates in {replay_time:.1?} ({:.0} updates/s, batch {})",
+        life.updates,
+        life.updates as f64 / replay_time.as_secs_f64().max(1e-9),
+        options.batch
+    )?;
+    writeln!(
+        out,
+        "work/update: {:.1} sim evals, {:.2} repaired edges, {:.2} users repaired",
+        life.sim_evals_per_update(),
+        life.edits_per_update(),
+        life.repaired_users as f64 / life.updates.max(1) as f64
+    )?;
+
+    // Compare against rebuilding from scratch on the final dataset.
+    let final_dataset = engine.data().to_dataset();
+    let mut kiff_config = kiff::core::KiffConfig::new(options.k);
+    kiff_config.threads = options.threads;
+    let rebuild_start = Instant::now();
+    let sim = kiff::similarity::WeightedCosine::fit(&final_dataset);
+    let rebuild = kiff::core::Kiff::new(kiff_config).run(&final_dataset, &sim);
+    let rebuild_time = rebuild_start.elapsed();
+    let r = recall(&rebuild.graph, &engine.graph());
+    writeln!(
+        out,
+        "full rebuild: {} sim evals in {rebuild_time:.1?}",
+        rebuild.stats.sim_evals
+    )?;
+    writeln!(out, "recall vs rebuild: {r:.4}")?;
+    let per_update = life.sim_evals_per_update();
+    if per_update > 0.0 {
+        writeln!(
+            out,
+            "per-update work is {:.0}x below one rebuild",
+            rebuild.stats.sim_evals as f64 / per_update
+        )?;
+    }
+    Ok(())
 }
 
 fn stats(options: &InputOptions, out: &mut dyn Write) -> Result<(), CommandError> {
@@ -199,7 +347,13 @@ fn recommend(options: &RecommendOptions, out: &mut dyn Write) -> Result<(), Comm
     }
     writeln!(out, "top {} items for user {}:", recs.len(), options.user)?;
     for (rank, r) in recs.iter().enumerate() {
-        writeln!(out, "{:>3}. item {:<8} score {:.4}", rank + 1, r.item, r.score)?;
+        writeln!(
+            out,
+            "{:>3}. item {:<8} score {:.4}",
+            rank + 1,
+            r.item,
+            r.score
+        )?;
     }
     Ok(())
 }
@@ -217,7 +371,12 @@ fn search(options: &SearchOptions, out: &mut dyn Write) -> Result<(), CommandErr
         writeln!(out, "no users match the query items")?;
         return Ok(());
     }
-    writeln!(out, "top {} users for items {:?}:", hits.len(), options.items)?;
+    writeln!(
+        out,
+        "top {} users for items {:?}:",
+        hits.len(),
+        options.items
+    )?;
     for (rank, h) in hits.iter().enumerate() {
         writeln!(out, "{:>3}. user {:<8} sim {:.4}", rank + 1, h.user, h.sim)?;
     }
@@ -369,6 +528,59 @@ mod tests {
     }
 
     #[test]
+    fn update_replays_a_stream() {
+        let input = fixture();
+        let updates = tmp("updates.tsv");
+        // Two known users pick up items; user 9 is brand new and arrives
+        // with two ratings. Timestamps arrive out of order on purpose.
+        std::fs::write(
+            &updates,
+            "# streamed ratings\n2\t1\t1.0\t30\n0\t2\t1.0\t10\n9\t3\t1.0\t20\n9\t1\t1.0\t40\n",
+        )
+        .unwrap();
+        let out = run_str(&format!(
+            "update --input {} --updates {} --k 2",
+            input.display(),
+            updates.display()
+        ))
+        .unwrap();
+        assert!(out.contains("stream  : 4 updates (1 new users"), "{out}");
+        assert!(out.contains("recall vs rebuild"), "{out}");
+        assert!(out.contains("per-update work"), "{out}");
+        std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn update_batched_matches_contract() {
+        let input = fixture();
+        let updates = tmp("updates-batch.tsv");
+        std::fs::write(&updates, "2\t1\n0\t2\n3\t0\n1\t3\n").unwrap();
+        let out = run_str(&format!(
+            "update --input {} --updates {} --k 2 --batch 4 --repair-width 8",
+            input.display(),
+            updates.display()
+        ))
+        .unwrap();
+        assert!(out.contains("batch 4"), "{out}");
+        assert!(out.contains("recall vs rebuild"), "{out}");
+        std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn update_rejects_empty_stream() {
+        let input = fixture();
+        let updates = tmp("updates-empty.tsv");
+        std::fs::write(&updates, "# nothing\n").unwrap();
+        let e = run_str(&format!(
+            "update --input {} --updates {}",
+            input.display(),
+            updates.display()
+        ));
+        assert!(e.unwrap_err().to_string().contains("empty"));
+        std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
     fn missing_file_is_reported() {
         let e = run_str("stats --input /nonexistent/nope.tsv");
         assert!(e.is_err());
@@ -388,7 +600,14 @@ mod tests {
     #[test]
     fn help_contains_all_commands() {
         let out = run_str("help").unwrap();
-        for c in ["build", "stats", "generate", "recommend", "search"] {
+        for c in [
+            "build",
+            "stats",
+            "generate",
+            "recommend",
+            "search",
+            "update",
+        ] {
             assert!(out.contains(c), "usage lacks '{c}'");
         }
     }

@@ -48,6 +48,14 @@ impl SparseCounter {
         }
     }
 
+    /// Adds `n` to the multiplicity of `key` in one step (bulk seeding
+    /// from a precomputed ranked candidate set).
+    pub fn add_n(&mut self, key: u32, n: u32) {
+        if n > 0 {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+    }
+
     /// Number of distinct keys seen.
     pub fn len(&self) -> usize {
         self.counts.len()
@@ -61,6 +69,43 @@ impl SparseCounter {
     /// Multiplicity of `key` (0 when unseen).
     pub fn get(&self, key: u32) -> u32 {
         self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Decrements the multiplicity of `key`, removing it at zero. Used by
+    /// the online engine to retract a shared item when a rating is deleted.
+    ///
+    /// # Panics
+    /// Panics if `key` is not currently counted — a decrement without a
+    /// matching increment is an accounting bug upstream.
+    pub fn sub(&mut self, key: u32) {
+        let count = self
+            .counts
+            .get_mut(&key)
+            .unwrap_or_else(|| panic!("sub on uncounted key {key}"));
+        *count -= 1;
+        if *count == 0 {
+            self.counts.remove(&key);
+        }
+    }
+
+    /// Iterates `(key, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// The `limit` keys with the highest counts, ordered by descending
+    /// count (ties: ascending key) — the ranked-candidate-set prefix,
+    /// without draining. A partial select keeps this `O(n + limit log
+    /// limit)` rather than sorting the whole counter.
+    pub fn top_by_count(&self, limit: usize) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        let order = |a: &(u32, u32), b: &(u32, u32)| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0));
+        if pairs.len() > limit {
+            pairs.select_nth_unstable_by(limit, order);
+            pairs.truncate(limit);
+        }
+        pairs.sort_unstable_by(order);
+        pairs
     }
 
     /// Drains the counter into `(key, count)` pairs ordered by descending
@@ -123,6 +168,37 @@ mod tests {
             vec![(5, 2), (9, 2), (1, 1), (2, 1)]
         );
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sub_retracts_and_removes_at_zero() {
+        let mut c = SparseCounter::new();
+        c.add_all(&[4, 4, 8]);
+        c.sub(4);
+        assert_eq!(c.get(4), 1);
+        c.sub(4);
+        assert_eq!(c.get(4), 0);
+        assert_eq!(c.len(), 1, "zeroed key is dropped");
+        c.sub(8);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sub on uncounted key")]
+    fn sub_on_missing_key_panics() {
+        SparseCounter::new().sub(3);
+    }
+
+    #[test]
+    fn top_by_count_is_the_ranked_prefix() {
+        let mut c = SparseCounter::new();
+        c.add_all(&[5, 5, 5, 9, 9, 1, 2, 2]);
+        assert_eq!(c.top_by_count(2), vec![(5, 3), (2, 2)]);
+        assert_eq!(c.top_by_count(3), vec![(5, 3), (2, 2), (9, 2)]);
+        // Beyond the population: everything, still ranked.
+        assert_eq!(c.top_by_count(100), vec![(5, 3), (2, 2), (9, 2), (1, 1)]);
+        // Non-destructive.
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -132,6 +132,28 @@ impl RankedCandidates {
     }
 }
 
+/// Ranks a gathered candidate multiset into `(id, shared_items)` pairs
+/// ordered by descending count (ties: ascending id) — the single-user core
+/// of the counting phase, exposed so incremental maintainers (the
+/// `kiff-online` engine) reuse exactly the batch ranking semantics.
+pub fn rank_candidate_counts(gathered: &mut [u32]) -> Vec<(u32, u32)> {
+    count_sorted_runs(gathered)
+}
+
+/// The full (unpivoted) ranked candidate set of one user, computed from
+/// the item profiles: every co-rater of `u` with its shared-item count,
+/// in RCS order. This is Algorithm 1 line 4 for a single user — the
+/// reference the `kiff-online` engine's incrementally maintained
+/// counters are audited against.
+pub fn user_candidate_counts(dataset: &Dataset, u: UserId) -> Vec<(u32, u32)> {
+    let items = dataset.item_profiles();
+    let mut gathered = Vec::new();
+    for &item in dataset.user_profile(u).items {
+        gathered.extend(items.row(item).iter().copied().filter(|&v| v != u));
+    }
+    rank_candidate_counts(&mut gathered)
+}
+
 /// Builds the Ranked Candidate Sets of `dataset`.
 ///
 /// For each user `u`, the multiset union `⊎_{i ∈ UP_u} {v ∈ IP_i | v > u}`
@@ -174,7 +196,7 @@ pub fn build_rcs(dataset: &Dataset, config: &CountingConfig) -> RankedCandidates
                                     gather.extend(co_raters.iter().copied().filter(|&v| v != u));
                                 }
                             }
-                            count_sorted_runs(gather)
+                            rank_candidate_counts(gather)
                         }
                         (CountStrategy::SortBased, Some(t)) => {
                             // §VII heuristic: only positively rated edges (on
@@ -191,7 +213,7 @@ pub fn build_rcs(dataset: &Dataset, config: &CountingConfig) -> RankedCandidates
                                     }
                                 }
                             }
-                            count_sorted_runs(gather)
+                            rank_candidate_counts(gather)
                         }
                         (CountStrategy::HashBased, threshold) => {
                             for (item, rating) in dataset.user_profile(u).iter() {

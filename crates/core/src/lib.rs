@@ -31,7 +31,9 @@ pub mod kiff;
 pub mod refine;
 
 pub use config::{CountStrategy, Gamma, KiffConfig};
-pub use counting::{build_rcs, CountingConfig, RankedCandidates};
+pub use counting::{
+    build_rcs, rank_candidate_counts, user_candidate_counts, CountingConfig, RankedCandidates,
+};
 pub use init::initial_rcs_graph;
 pub use kiff::{kiff_knn, Kiff, KiffResult};
 pub use refine::{IterationObserver, IterationTrace, KiffStats, NoObserver};

@@ -1,0 +1,382 @@
+//! Mutable delta view over an immutable CSR dataset.
+//!
+//! [`Dataset`] is deliberately frozen: CSR rows are the fastest layout for
+//! the batch algorithms, and rebuilding them per streamed rating would be
+//! `O(|E|)` per update. [`DeltaDataset`] layers a sparse overlay on top:
+//!
+//! * **user side** — mutated users' full profiles live in a hash overlay
+//!   (sorted item/rating vectors); untouched users keep serving borrowed
+//!   [`ProfileRef`]s straight from the base CSR.
+//! * **item side** — per-item *added* / *removed* rater deltas, so the
+//!   current raters of an item (the only co-rater set a single rating
+//!   update can affect) stream without rebuilding the transpose.
+//!
+//! When the overlay grows past the caller's threshold,
+//! [`DeltaDataset::compact`] folds everything back into a fresh CSR —
+//! batched re-compaction amortised across many updates, the same trade
+//! LSM trees make.
+
+use kiff_collections::{FxHashMap, FxHashSet};
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use crate::types::{ItemId, ProfileRef, Rating, UserId};
+
+/// One mutated user's complete profile (sorted by item id).
+#[derive(Debug, Clone, Default)]
+struct OverlayProfile {
+    items: Vec<ItemId>,
+    ratings: Vec<Rating>,
+}
+
+impl OverlayProfile {
+    fn from_profile(p: ProfileRef<'_>) -> Self {
+        Self {
+            items: p.items.to_vec(),
+            ratings: p.ratings.to_vec(),
+        }
+    }
+}
+
+/// A [`Dataset`] plus a mutation overlay. See the module docs.
+#[derive(Debug, Clone)]
+pub struct DeltaDataset {
+    base: Dataset,
+    num_users: usize,
+    num_items: usize,
+    num_ratings: usize,
+    overlay: FxHashMap<UserId, OverlayProfile>,
+    item_added: FxHashMap<ItemId, FxHashSet<UserId>>,
+    item_removed: FxHashMap<ItemId, FxHashSet<UserId>>,
+}
+
+impl DeltaDataset {
+    /// Wraps `base` with an empty overlay.
+    pub fn new(base: Dataset) -> Self {
+        let num_users = base.num_users();
+        let num_items = base.num_items();
+        let num_ratings = base.num_ratings();
+        // The base item profiles back every rater scan; build them once up
+        // front so the first update does not pay the transpose.
+        let _ = base.item_profiles();
+        Self {
+            base,
+            num_users,
+            num_items,
+            num_ratings,
+            overlay: FxHashMap::default(),
+            item_added: FxHashMap::default(),
+            item_removed: FxHashMap::default(),
+        }
+    }
+
+    /// Current number of users (base plus streamed additions).
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Current number of items (grows when a rating names a new item).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Current number of ratings.
+    pub fn num_ratings(&self) -> usize {
+        self.num_ratings
+    }
+
+    /// The frozen base the overlay is relative to.
+    pub fn base(&self) -> &Dataset {
+        &self.base
+    }
+
+    /// Number of users whose profiles live in the overlay — the
+    /// compaction-policy signal.
+    pub fn overlay_users(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// The current profile of `u`: overlay copy when mutated, borrowed CSR
+    /// row otherwise; empty for users added after the base was frozen and
+    /// not yet rated.
+    pub fn profile(&self, u: UserId) -> ProfileRef<'_> {
+        assert!((u as usize) < self.num_users, "user {u} out of bounds");
+        if let Some(p) = self.overlay.get(&u) {
+            ProfileRef {
+                items: &p.items,
+                ratings: &p.ratings,
+            }
+        } else if (u as usize) < self.base.num_users() {
+            self.base.user_profile(u)
+        } else {
+            ProfileRef {
+                items: &[],
+                ratings: &[],
+            }
+        }
+    }
+
+    /// Appends a user with an empty profile, returning its id.
+    pub fn add_user(&mut self) -> UserId {
+        let id = self.num_users as UserId;
+        self.num_users += 1;
+        self.overlay.insert(id, OverlayProfile::default());
+        id
+    }
+
+    /// Applies `ρ(u, i) += rating` (a repeated pair reinforces, matching
+    /// [`DatasetBuilder`]'s duplicate merge). Returns `true` when the pair
+    /// is newly rated — the case that changes shared-item counts.
+    ///
+    /// Items beyond the current bound extend the item space; users must
+    /// already exist (see [`DeltaDataset::add_user`]).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range user or a non-finite/non-positive rating.
+    pub fn add_rating(&mut self, u: UserId, i: ItemId, rating: Rating) -> bool {
+        assert!((u as usize) < self.num_users, "user {u} out of bounds");
+        assert!(
+            rating.is_finite() && rating > 0.0,
+            "rating must be finite and positive, got {rating}"
+        );
+        self.num_items = self.num_items.max(i as usize + 1);
+        let profile = self.overlay_entry(u);
+        match profile.items.binary_search(&i) {
+            Ok(pos) => {
+                profile.ratings[pos] += rating;
+                false
+            }
+            Err(pos) => {
+                profile.items.insert(pos, i);
+                profile.ratings.insert(pos, rating);
+                self.num_ratings += 1;
+                self.record_item_add(u, i);
+                true
+            }
+        }
+    }
+
+    /// Deletes the rating `(u, i)`; returns whether it existed.
+    pub fn remove_rating(&mut self, u: UserId, i: ItemId) -> bool {
+        assert!((u as usize) < self.num_users, "user {u} out of bounds");
+        if self.profile(u).rating(i).is_none() {
+            return false;
+        }
+        let profile = self.overlay_entry(u);
+        let pos = profile.items.binary_search(&i).expect("checked present");
+        profile.items.remove(pos);
+        profile.ratings.remove(pos);
+        self.num_ratings -= 1;
+        self.record_item_remove(u, i);
+        true
+    }
+
+    /// Streams the current raters of `i` (base row minus removals, plus
+    /// additions), in no particular order.
+    pub fn for_each_item_rater(&self, i: ItemId, mut f: impl FnMut(UserId)) {
+        let removed = self.item_removed.get(&i);
+        if (i as usize) < self.base.num_items() {
+            for &u in self.base.item_profiles().row(i) {
+                if !removed.is_some_and(|r| r.contains(&u)) {
+                    f(u);
+                }
+            }
+        }
+        if let Some(added) = self.item_added.get(&i) {
+            for &u in added {
+                f(u);
+            }
+        }
+    }
+
+    /// The current raters of `i` as a vector (see
+    /// [`DeltaDataset::for_each_item_rater`]).
+    pub fn item_raters(&self, i: ItemId) -> Vec<UserId> {
+        let mut out = Vec::new();
+        self.for_each_item_rater(i, |u| out.push(u));
+        out
+    }
+
+    /// Materialises the current state as a frozen [`Dataset`].
+    pub fn to_dataset(&self) -> Dataset {
+        let mut builder = DatasetBuilder::new(self.base.name(), self.num_users, self.num_items);
+        builder.reserve(self.num_ratings);
+        for u in 0..self.num_users as UserId {
+            for (i, r) in self.profile(u).iter() {
+                builder.add_rating(u, i, r);
+            }
+        }
+        builder.build()
+    }
+
+    /// Folds the overlay into a fresh base CSR (batched re-compaction).
+    /// `O(|E|)`; call when [`DeltaDataset::overlay_users`] crosses the
+    /// caller's threshold so the cost amortises over the preceding updates.
+    pub fn compact(&mut self) {
+        self.base = self.to_dataset();
+        let _ = self.base.item_profiles();
+        self.overlay.clear();
+        self.item_added.clear();
+        self.item_removed.clear();
+    }
+
+    fn overlay_entry(&mut self, u: UserId) -> &mut OverlayProfile {
+        let base_profile = if (u as usize) < self.base.num_users() {
+            Some(self.base.user_profile(u))
+        } else {
+            None
+        };
+        self.overlay.entry(u).or_insert_with(|| {
+            base_profile
+                .map(OverlayProfile::from_profile)
+                .unwrap_or_default()
+        })
+    }
+
+    /// Marks `u` as a rater of `i`, cancelling a prior removal first.
+    fn record_item_add(&mut self, u: UserId, i: ItemId) {
+        if let Some(removed) = self.item_removed.get_mut(&i) {
+            if removed.remove(&u) {
+                return;
+            }
+        }
+        self.item_added.entry(i).or_default().insert(u);
+    }
+
+    /// Marks `u` as no longer rating `i`, cancelling a prior addition
+    /// first.
+    fn record_item_remove(&mut self, u: UserId, i: ItemId) {
+        if let Some(added) = self.item_added.get_mut(&i) {
+            if added.remove(&u) {
+                return;
+            }
+        }
+        self.item_removed.entry(i).or_default().insert(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::figure2_toy;
+
+    fn raters_sorted(d: &DeltaDataset, i: ItemId) -> Vec<UserId> {
+        let mut r = d.item_raters(i);
+        r.sort_unstable();
+        r
+    }
+
+    #[test]
+    fn untouched_view_matches_base() {
+        let d = DeltaDataset::new(figure2_toy());
+        assert_eq!(d.num_users(), 4);
+        assert_eq!(d.num_items(), 4);
+        assert_eq!(d.num_ratings(), 6);
+        assert_eq!(d.profile(0).items, &[0, 1]);
+        assert_eq!(raters_sorted(&d, 1), vec![0, 1]);
+        assert_eq!(d.overlay_users(), 0);
+    }
+
+    #[test]
+    fn add_rating_updates_both_sides() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        // Carl(2) picks up coffee(1).
+        assert!(d.add_rating(2, 1, 2.0));
+        assert_eq!(d.num_ratings(), 7);
+        assert_eq!(d.profile(2).items, &[1, 3]);
+        assert_eq!(d.profile(2).rating(1), Some(2.0));
+        assert_eq!(raters_sorted(&d, 1), vec![0, 1, 2]);
+        // Untouched users still serve from the base.
+        assert_eq!(d.profile(0).items, &[0, 1]);
+    }
+
+    #[test]
+    fn duplicate_add_reinforces() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        assert!(!d.add_rating(0, 1, 3.0), "pair already rated");
+        assert_eq!(d.num_ratings(), 6, "no new edge");
+        assert_eq!(d.profile(0).rating(1), Some(4.0), "1.0 + 3.0");
+        assert_eq!(raters_sorted(&d, 1), vec![0, 1], "rater set unchanged");
+    }
+
+    #[test]
+    fn remove_rating_updates_both_sides() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        assert!(d.remove_rating(1, 1)); // Bob drops coffee
+        assert!(!d.remove_rating(1, 1), "already gone");
+        assert_eq!(d.num_ratings(), 5);
+        assert_eq!(d.profile(1).items, &[2]);
+        assert_eq!(raters_sorted(&d, 1), vec![0]);
+    }
+
+    #[test]
+    fn add_after_remove_cancels() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        assert!(d.remove_rating(0, 1));
+        assert!(d.add_rating(0, 1, 5.0));
+        assert_eq!(d.num_ratings(), 6);
+        assert_eq!(raters_sorted(&d, 1), vec![0, 1]);
+        assert_eq!(d.profile(0).rating(1), Some(5.0), "fresh value, not sum");
+    }
+
+    #[test]
+    fn new_users_and_items_grow_the_space() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        let u = d.add_user();
+        assert_eq!(u, 4);
+        assert_eq!(d.num_users(), 5);
+        assert!(d.profile(u).is_empty());
+        // Rating an unseen item grows the item space.
+        assert!(d.add_rating(u, 9, 1.0));
+        assert_eq!(d.num_items(), 10);
+        assert_eq!(d.item_raters(9), vec![4]);
+        assert!(d.item_raters(7).is_empty());
+    }
+
+    #[test]
+    fn to_dataset_round_trips_all_mutations() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        d.remove_rating(1, 2);
+        d.add_rating(2, 0, 2.0);
+        let u = d.add_user();
+        d.add_rating(u, 3, 1.0);
+        let frozen = d.to_dataset();
+        assert_eq!(frozen.num_users(), 5);
+        assert_eq!(frozen.num_ratings(), d.num_ratings());
+        assert_eq!(frozen.user_profile(1).items, &[1]);
+        assert_eq!(frozen.user_profile(2).items, &[0, 3]);
+        assert_eq!(frozen.user_profile(4).items, &[3]);
+        // The item side of the frozen dataset agrees with the live deltas.
+        for i in 0..frozen.num_items() as ItemId {
+            let mut live = d.item_raters(i);
+            live.sort_unstable();
+            assert_eq!(frozen.item_profile(i).items, &live[..], "item {i}");
+        }
+    }
+
+    #[test]
+    fn compact_clears_overlay_preserving_content() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        d.add_rating(2, 1, 2.0);
+        d.remove_rating(0, 0);
+        assert_eq!(d.overlay_users(), 2);
+        let before = d.to_dataset();
+        d.compact();
+        assert_eq!(d.overlay_users(), 0);
+        let after = d.to_dataset();
+        assert_eq!(before.num_ratings(), after.num_ratings());
+        for u in 0..before.num_users() as UserId {
+            assert_eq!(before.user_profile(u).items, after.user_profile(u).items);
+        }
+        // Still mutable after compaction (item 0 lost its only base rater
+        // above, so Dave is now alone on it).
+        assert!(d.add_rating(3, 0, 1.0));
+        assert_eq!(raters_sorted(&d, 0), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rating_unknown_user_panics() {
+        let mut d = DeltaDataset::new(figure2_toy());
+        d.add_rating(99, 0, 1.0);
+    }
+}

@@ -185,6 +185,64 @@ pub fn parse_snap_str(name: &str, text: &str) -> Result<(Dataset, IdMaps), LoadE
     parse_edges(text.as_bytes(), name, Separator::Whitespace)
 }
 
+/// One streamed rating in external-id space: `(user, item, rating,
+/// timestamp)`.
+pub type RawUpdate = (u64, u64, f32, Option<u64>);
+
+/// Loads a stream of timestamped rating updates:
+/// `user<TAB>item[<TAB>rating[<TAB>timestamp]]` with `#`/`%` comments.
+/// Ids stay external (the caller maps them against the base dataset's
+/// [`IdMaps`]); updates are sorted by timestamp (stable, so ties — and
+/// fully untimestamped files — preserve file order; a missing timestamp
+/// sorts as 0).
+pub fn load_updates_tsv(path: impl AsRef<Path>) -> Result<Vec<RawUpdate>, LoadError> {
+    let file = BufReader::new(File::open(path.as_ref())?);
+    let mut updates: Vec<RawUpdate> = Vec::new();
+    for (idx, line) in file.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let line_no = idx + 1;
+        let mut fields = trimmed.split_whitespace();
+        let parse_u64 = |field: Option<&str>, what: &str| -> Result<u64, LoadError> {
+            field
+                .ok_or_else(|| LoadError::Parse {
+                    line: line_no,
+                    message: format!("missing {what} field"),
+                })?
+                .parse::<u64>()
+                .map_err(|e| LoadError::Parse {
+                    line: line_no,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        let user = parse_u64(fields.next(), "user")?;
+        let item = parse_u64(fields.next(), "item")?;
+        let rating = match fields.next() {
+            None => 1.0f32,
+            Some(text) => text.parse::<f32>().map_err(|e| LoadError::Parse {
+                line: line_no,
+                message: format!("bad rating: {e}"),
+            })?,
+        };
+        if !(rating.is_finite() && rating > 0.0) {
+            return Err(LoadError::Parse {
+                line: line_no,
+                message: format!("rating must be finite and positive, got {rating}"),
+            });
+        }
+        let timestamp = match fields.next() {
+            None => None,
+            Some(text) => Some(parse_u64(Some(text), "timestamp")?),
+        };
+        updates.push((user, item, rating, timestamp));
+    }
+    updates.sort_by_key(|&(_, _, _, ts)| ts.unwrap_or(0));
+    Ok(updates)
+}
+
 /// Writes `dataset` as a SNAP-style TSV edge list (internal dense ids).
 pub fn save_snap_tsv(dataset: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
     let mut out = BufWriter::new(File::create(path)?);

@@ -10,6 +10,10 @@
 //! * [`Dataset`] / [`DatasetBuilder`] — CSR-backed storage of user profiles
 //!   (`UP_u`) with lazily derived item profiles (`IP_i`), the two views of
 //!   the labelled bipartite graph `G = (U ∪ I, E, ρ)` of §III-A;
+//! * [`delta`] — a mutable overlay over the frozen CSR for streaming
+//!   workloads: per-user profile copies plus per-item rater deltas, folded
+//!   back into a fresh CSR by batched re-compaction (the `kiff-online`
+//!   engine's storage layer);
 //! * [`io`] — SNAP-style TSV and MovieLens loaders/writers plus a JSON dump
 //!   format;
 //! * [`generators`] — synthetic dataset generators calibrated to the four
@@ -22,6 +26,7 @@
 //!   distributions matching Fig. 4.
 
 pub mod dataset;
+pub mod delta;
 pub mod density;
 pub mod generators;
 pub mod io;
@@ -30,6 +35,7 @@ pub mod types;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetBuilder};
+pub use delta::DeltaDataset;
 pub use density::{ml_family, subsample_ratings};
 pub use generators::presets::{paper_k, reduced_k, PaperDataset};
 pub use stats::DatasetStats;

@@ -122,10 +122,7 @@ mod tests {
 
     /// 0 ↔ 1 (reciprocated), 2 → 0 (not), 3 isolated.
     fn sample() -> KnnGraph {
-        KnnGraph::from_neighbors(
-            2,
-            vec![vec![edge(1)], vec![edge(0)], vec![edge(0)], vec![]],
-        )
+        KnnGraph::from_neighbors(2, vec![vec![edge(1)], vec![edge(0)], vec![edge(0)], vec![]])
     }
 
     #[test]
@@ -171,8 +168,11 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_graph() -> impl Strategy<Value = KnnGraph> {
-            (1usize..25, proptest::collection::vec((0u32..25, 0u32..25), 0..100)).prop_map(
-                |(n, raw)| {
+            (
+                1usize..25,
+                proptest::collection::vec((0u32..25, 0u32..25), 0..100),
+            )
+                .prop_map(|(n, raw)| {
                     let mut lists: Vec<Vec<Neighbor>> = vec![Vec::new(); n];
                     for (u, v) in raw {
                         let (u, v) = (u % n as u32, v % n as u32);
@@ -184,8 +184,7 @@ mod tests {
                         }
                     }
                     KnnGraph::from_neighbors(5, lists)
-                },
-            )
+                })
         }
 
         proptest! {

@@ -59,7 +59,12 @@ pub fn save_edges_tsv(graph: &KnnGraph, path: impl AsRef<Path>) -> io::Result<()
 
 /// Writes `graph` as `user<TAB>neighbor<TAB>similarity` lines to `w`.
 pub fn write_edges_tsv(graph: &KnnGraph, w: &mut (impl Write + ?Sized)) -> io::Result<()> {
-    writeln!(w, "# kiff knn graph: k={} users={}", graph.k(), graph.num_users())?;
+    writeln!(
+        w,
+        "# kiff knn graph: k={} users={}",
+        graph.k(),
+        graph.num_users()
+    )?;
     for u in 0..graph.num_users() as u32 {
         for n in graph.neighbors(u) {
             // 17 significant digits round-trip every f64 exactly.

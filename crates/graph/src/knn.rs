@@ -32,6 +32,53 @@ fn better(a: (f64, u32), b: (f64, u32)) -> bool {
     a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
 }
 
+/// Outcome of offering an edge to a [`KnnHeap`] — the information an
+/// incremental maintainer needs to keep reverse adjacency and change
+/// statistics consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapChange {
+    /// The offer entered the heap; `evicted` is the id it displaced when
+    /// the heap was already full.
+    Inserted {
+        /// Id evicted to make room, if any.
+        evicted: Option<UserId>,
+    },
+    /// The id is already a neighbour; the offer was ignored (use
+    /// [`KnnHeap::reprioritize`] to refresh a stale similarity).
+    AlreadyPresent,
+    /// The offer did not beat the current worst entry.
+    Rejected,
+}
+
+/// Counts of heap edits applied during one maintenance step — the
+/// per-update change statistics the online engine reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EditStats {
+    /// Edges newly inserted into some heap.
+    pub inserts: u64,
+    /// Edges evicted by a better insert.
+    pub evictions: u64,
+    /// Edges explicitly removed (similarity collapsed to zero).
+    pub removals: u64,
+    /// Stored similarities refreshed in place.
+    pub reprioritized: u64,
+}
+
+impl EditStats {
+    /// Total heap mutations.
+    pub fn total(&self) -> u64 {
+        self.inserts + self.evictions + self.removals + self.reprioritized
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &EditStats) {
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.removals += other.removals;
+        self.reprioritized += other.reprioritized;
+    }
+}
+
 /// The current approximation `k̂nn_u` of one user's neighbourhood: "a heap
 /// of maximum size k, with the similarity between u and its neighbors used
 /// as priority" (§III-C).
@@ -88,9 +135,16 @@ impl KnnHeap {
     /// Duplicates are rejected; when full, the offer must beat the current
     /// worst entry.
     pub fn update(&mut self, sim: f64, id: UserId) -> bool {
+        matches!(self.offer(sim, id), HeapChange::Inserted { .. })
+    }
+
+    /// UPDATENN with full outcome reporting: like [`KnnHeap::update`] but
+    /// returns what happened, including the evicted id — which incremental
+    /// maintainers need to keep reverse adjacency consistent.
+    pub fn offer(&mut self, sim: f64, id: UserId) -> HeapChange {
         debug_assert!(!sim.is_nan());
         if self.contains(id) {
-            return false;
+            return HeapChange::AlreadyPresent;
         }
         if self.entries.len() < self.capacity {
             self.entries.push(HeapEntry {
@@ -99,7 +153,7 @@ impl KnnHeap {
                 is_new: true,
             });
             self.sift_up(self.entries.len() - 1);
-            true
+            HeapChange::Inserted { evicted: None }
         } else {
             let root = self.entries[0];
             if better((sim, id), (root.sim, root.id)) {
@@ -109,10 +163,48 @@ impl KnnHeap {
                     is_new: true,
                 };
                 self.sift_down(0);
-                true
+                HeapChange::Inserted {
+                    evicted: Some(root.id),
+                }
             } else {
-                false
+                HeapChange::Rejected
             }
+        }
+    }
+
+    /// Removes `id` from the neighbourhood, restoring the heap property.
+    /// Returns whether it was present. Used when a deleted rating collapses
+    /// a similarity to zero (a non-sharing pair is not a valid KNN edge
+    /// under the sparse axioms).
+    pub fn remove(&mut self, id: UserId) -> bool {
+        let Some(pos) = self.entries.iter().position(|e| e.id == id) else {
+            return false;
+        };
+        self.entries.swap_remove(pos);
+        self.heapify();
+        true
+    }
+
+    /// Refreshes the stored similarity of `id` in place, restoring the
+    /// heap property; returns the previous similarity when present.
+    /// Incremental repair uses this when a profile mutation stales the
+    /// similarities of existing edges.
+    pub fn reprioritize(&mut self, id: UserId, sim: f64) -> Option<f64> {
+        debug_assert!(!sim.is_nan());
+        let entry = self.entries.iter_mut().find(|e| e.id == id)?;
+        let old = entry.sim;
+        entry.sim = sim;
+        if old != sim {
+            self.heapify();
+        }
+        Some(old)
+    }
+
+    /// Re-establishes the heap property bottom-up (`k ≤ 50`, so the O(k)
+    /// rebuild is cheaper than being clever).
+    fn heapify(&mut self) {
+        for i in (0..self.entries.len() / 2).rev() {
+            self.sift_down(i);
         }
     }
 
@@ -369,6 +461,59 @@ mod tests {
         assert!(h.update(0.5, 2));
         assert!(!h.update(0.5, 11));
         assert_eq!(h.sorted_neighbors()[0].id, 2);
+    }
+
+    #[test]
+    fn offer_reports_evictions() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.offer(0.1, 1), HeapChange::Inserted { evicted: None });
+        assert_eq!(h.offer(0.5, 2), HeapChange::Inserted { evicted: None });
+        assert_eq!(h.offer(0.3, 3), HeapChange::Inserted { evicted: Some(1) });
+        assert_eq!(h.offer(0.2, 4), HeapChange::Rejected);
+        assert_eq!(h.offer(0.9, 2), HeapChange::AlreadyPresent);
+    }
+
+    #[test]
+    fn remove_restores_heap_property() {
+        let mut h = KnnHeap::new(4);
+        for (s, id) in [(0.4, 1), (0.9, 2), (0.1, 3), (0.6, 4)] {
+            h.update(s, id);
+        }
+        assert!(h.remove(2));
+        assert!(!h.remove(2), "double remove reports absence");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.worst(), Some((0.1, 3)));
+        // Further offers still behave.
+        assert!(h.update(0.5, 5));
+        let ids: Vec<u32> = h.sorted_neighbors().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 5, 1, 3]);
+    }
+
+    #[test]
+    fn reprioritize_refreshes_in_place() {
+        let mut h = KnnHeap::new(3);
+        h.update(0.4, 1);
+        h.update(0.9, 2);
+        h.update(0.6, 3);
+        assert_eq!(h.reprioritize(2, 0.1), Some(0.9));
+        assert_eq!(h.reprioritize(42, 0.5), None);
+        assert_eq!(h.worst(), Some((0.1, 2)));
+        // A full heap now evicts the demoted entry first.
+        assert_eq!(h.offer(0.5, 5), HeapChange::Inserted { evicted: Some(2) });
+    }
+
+    #[test]
+    fn edit_stats_merge_and_total() {
+        let mut a = EditStats {
+            inserts: 1,
+            evictions: 2,
+            removals: 3,
+            reprioritized: 4,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.inserts, 2);
     }
 
     #[test]

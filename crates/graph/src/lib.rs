@@ -20,12 +20,14 @@ pub mod io;
 pub mod knn;
 pub mod observer;
 pub mod recall;
+pub mod reverse;
 
 pub use analysis::{in_degrees, summarize, symmetry, weak_components, GraphSummary};
 pub use exact::{exact_knn, exact_knn_brute};
 pub use io::{
     load_edges_tsv, save_edges_tsv, save_json as save_graph_json, write_edges_tsv, GraphLoadError,
 };
-pub use knn::{KnnGraph, KnnHeap, Neighbor, SharedKnn};
+pub use knn::{EditStats, HeapChange, KnnGraph, KnnHeap, Neighbor, SharedKnn};
 pub use observer::{IterationObserver, IterationTrace, NoObserver};
 pub use recall::{recall, recall_per_user, recall_user};
+pub use reverse::ReverseAdjacency;

@@ -1,0 +1,124 @@
+//! Incrementally maintained reverse adjacency.
+//!
+//! [`KnnGraph::reverse`] materialises in-neighbour lists once, which is
+//! the right shape for batch algorithms. The online engine instead needs
+//! the invariant *`u ∈ incoming(v)` ⇔ `v ∈ knn_u`* kept live across
+//! thousands of single-edge mutations: when a user's profile changes,
+//! every user currently pointing *at* it holds a stale similarity and must
+//! be visited (the Debatty-style propagation step). This module provides
+//! that as hash-set rows with O(1) edge add/remove.
+
+use kiff_collections::FxHashSet;
+use kiff_dataset::UserId;
+
+use crate::knn::KnnGraph;
+
+/// Live in-neighbour sets: `incoming(v)` holds every `u` with `v ∈ knn_u`.
+#[derive(Debug, Clone, Default)]
+pub struct ReverseAdjacency {
+    incoming: Vec<FxHashSet<UserId>>,
+}
+
+impl ReverseAdjacency {
+    /// Empty sets for `n` users.
+    pub fn new(n: usize) -> Self {
+        Self {
+            incoming: vec![FxHashSet::default(); n],
+        }
+    }
+
+    /// Builds the live sets matching a snapshot graph.
+    pub fn from_graph(graph: &KnnGraph) -> Self {
+        let mut rev = Self::new(graph.num_users());
+        for u in 0..graph.num_users() as UserId {
+            for n in graph.neighbors(u) {
+                rev.add(u, n.id);
+            }
+        }
+        rev
+    }
+
+    /// Number of users covered.
+    pub fn num_users(&self) -> usize {
+        self.incoming.len()
+    }
+
+    /// Appends an isolated user, returning its id.
+    pub fn push_user(&mut self) -> UserId {
+        self.incoming.push(FxHashSet::default());
+        (self.incoming.len() - 1) as UserId
+    }
+
+    /// Records the directed KNN edge `u → v`.
+    pub fn add(&mut self, u: UserId, v: UserId) {
+        self.incoming[v as usize].insert(u);
+    }
+
+    /// Retracts the directed KNN edge `u → v`; returns whether it existed.
+    pub fn remove(&mut self, u: UserId, v: UserId) -> bool {
+        self.incoming[v as usize].remove(&u)
+    }
+
+    /// The users whose neighbourhoods contain `v` (unordered).
+    pub fn in_neighbors(&self, v: UserId) -> impl Iterator<Item = UserId> + '_ {
+        self.incoming[v as usize].iter().copied()
+    }
+
+    /// `|{u : v ∈ knn_u}|`.
+    pub fn in_degree(&self, v: UserId) -> usize {
+        self.incoming[v as usize].len()
+    }
+
+    /// Whether `u → v` is recorded.
+    pub fn contains(&self, u: UserId, v: UserId) -> bool {
+        self.incoming[v as usize].contains(&u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Neighbor;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut rev = ReverseAdjacency::new(3);
+        rev.add(0, 2);
+        rev.add(1, 2);
+        assert_eq!(rev.in_degree(2), 2);
+        assert!(rev.contains(0, 2));
+        assert!(rev.remove(0, 2));
+        assert!(!rev.remove(0, 2));
+        assert_eq!(rev.in_degree(2), 1);
+        let ins: Vec<u32> = rev.in_neighbors(2).collect();
+        assert_eq!(ins, vec![1]);
+    }
+
+    #[test]
+    fn from_graph_matches_batch_reverse() {
+        let g = KnnGraph::from_neighbors(
+            2,
+            vec![
+                vec![Neighbor { id: 1, sim: 0.9 }, Neighbor { id: 2, sim: 0.5 }],
+                vec![Neighbor { id: 2, sim: 0.8 }],
+                vec![],
+            ],
+        );
+        let rev = ReverseAdjacency::from_graph(&g);
+        let batch = g.reverse();
+        for v in 0..3u32 {
+            let mut live: Vec<u32> = rev.in_neighbors(v).collect();
+            live.sort_unstable();
+            assert_eq!(live, batch[v as usize], "user {v}");
+        }
+    }
+
+    #[test]
+    fn push_user_extends() {
+        let mut rev = ReverseAdjacency::new(1);
+        assert_eq!(rev.push_user(), 1);
+        rev.add(1, 0);
+        assert_eq!(rev.in_degree(0), 1);
+        assert_eq!(rev.num_users(), 2);
+    }
+}

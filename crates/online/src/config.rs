@@ -1,0 +1,156 @@
+//! Online engine configuration.
+
+use kiff_dataset::ProfileRef;
+use kiff_similarity::functions;
+
+/// Which metric the online engine evaluates during repair.
+///
+/// Unlike the batch builders, the online engine cannot use metrics with
+/// dataset-fitted state (precomputed norms, Adamic–Adar item weights):
+/// fitted state goes stale under mutation. Every variant here is computed
+/// directly from the two live profiles, so it is always exact on the
+/// current dataset view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnlineMetric {
+    /// Cosine over rating vectors (the paper's evaluation default).
+    #[default]
+    Cosine,
+    /// Cosine over binary presence vectors.
+    BinaryCosine,
+    /// Jaccard's coefficient over item sets.
+    Jaccard,
+    /// Ruzicka (weighted Jaccard).
+    WeightedJaccard,
+    /// Dice coefficient.
+    Dice,
+}
+
+impl OnlineMetric {
+    /// Evaluates the metric on two live profiles.
+    #[inline]
+    pub fn eval(self, a: ProfileRef<'_>, b: ProfileRef<'_>) -> f64 {
+        match self {
+            OnlineMetric::Cosine => functions::weighted_cosine(a, b),
+            OnlineMetric::BinaryCosine => functions::binary_cosine(a, b),
+            OnlineMetric::Jaccard => functions::jaccard(a, b),
+            OnlineMetric::WeightedJaccard => functions::weighted_jaccard(a, b),
+            OnlineMetric::Dice => functions::dice(a, b),
+        }
+    }
+
+    /// Metric name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OnlineMetric::Cosine => "cosine",
+            OnlineMetric::BinaryCosine => "binary-cosine",
+            OnlineMetric::Jaccard => "jaccard",
+            OnlineMetric::WeightedJaccard => "weighted-jaccard",
+            OnlineMetric::Dice => "dice",
+        }
+    }
+}
+
+/// Knobs of the [`OnlineKnn`](crate::OnlineKnn) engine. Defaults follow
+/// the batch paper parameters where an analogue exists: the repair width
+/// is the online γ.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Neighbourhood size `k`.
+    pub k: usize,
+    /// How many top-ranked candidates (by live shared-item count) a repair
+    /// re-scores — the online analogue of the paper's γ. Default `8k`:
+    /// unlike the batch loop, which pops `γ = 2k` per iteration and
+    /// iterates to convergence, a repair gets one shot at the candidate
+    /// ranking, so it reads a deeper prefix.
+    pub repair_width: usize,
+    /// Cap on *additional* users repaired per `apply` beyond those a
+    /// mutation touched directly — the Debatty-style propagation budget.
+    pub max_propagation: usize,
+    /// Similarity metric.
+    pub metric: OnlineMetric,
+    /// Re-compact the delta storage once this fraction of users carries an
+    /// overlay profile. `1.0` effectively disables compaction.
+    pub compaction_threshold: f64,
+}
+
+impl OnlineConfig {
+    /// Defaults for neighbourhood size `k`: `repair_width = 8k`,
+    /// propagation budget 64, cosine, compaction at 25% overlay.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            repair_width: 8 * k,
+            max_propagation: 64,
+            metric: OnlineMetric::default(),
+            compaction_threshold: 0.25,
+        }
+    }
+
+    /// Sets the repair width (online γ).
+    pub fn with_repair_width(mut self, width: usize) -> Self {
+        assert!(width > 0, "repair width must be positive");
+        self.repair_width = width;
+        self
+    }
+
+    /// Sets the propagation budget.
+    pub fn with_max_propagation(mut self, budget: usize) -> Self {
+        self.max_propagation = budget;
+        self
+    }
+
+    /// Sets the metric.
+    pub fn with_metric(mut self, metric: OnlineMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the overlay fraction that triggers re-compaction.
+    pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        self.compaction_threshold = threshold;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_k() {
+        let cfg = OnlineConfig::new(10);
+        assert_eq!(cfg.repair_width, 80);
+        assert_eq!(cfg.metric, OnlineMetric::Cosine);
+        assert!(cfg.max_propagation > 0);
+    }
+
+    #[test]
+    fn metric_eval_matches_functions() {
+        let items = [1u32, 4, 7];
+        let ratings = [1.0f32, 2.0, 3.0];
+        let a = ProfileRef {
+            items: &items,
+            ratings: &ratings,
+        };
+        let other_items = [4u32, 7, 9];
+        let other_ratings = [2.0f32, 1.0, 5.0];
+        let b = ProfileRef {
+            items: &other_items,
+            ratings: &other_ratings,
+        };
+        assert_eq!(
+            OnlineMetric::Cosine.eval(a, b),
+            functions::weighted_cosine(a, b)
+        );
+        assert_eq!(OnlineMetric::Jaccard.eval(a, b), functions::jaccard(a, b));
+        assert!(OnlineMetric::Dice.eval(a, b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = OnlineConfig::new(0);
+    }
+}

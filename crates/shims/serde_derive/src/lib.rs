@@ -1,0 +1,147 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Hand-rolled (no `syn`/`quote` available offline): the input token
+//! stream is walked directly to extract the struct name and its named
+//! field identifiers, and the generated impl is assembled as a string.
+//! Supports exactly what the workspace derives on: non-generic structs
+//! with named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace `serde::Serialize` (value-tree based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let entries: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `serde::Deserialize` (value-tree based).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_named_struct(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let fields: String = parsed
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok(Self {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = parsed.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct NamedStruct {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts `struct Name { field: Type, ... }` from a derive input.
+fn parse_named_struct(input: TokenStream) -> Result<NamedStruct, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            _ => continue,
+        }
+    }
+    let name = name.ok_or_else(|| "derive target is not a struct".to_string())?;
+
+    // The next brace group holds the fields; generics would appear first
+    // and are unsupported.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("cannot derive for generic struct `{name}`"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("cannot derive for tuple struct `{name}`"))
+            }
+            Some(_) => continue,
+            None => return Err(format!("struct `{name}` has no body")),
+        }
+    };
+
+    // Fields: [attrs] [pub [(..)]] ident ':' type ','  — commas inside the
+    // type can only hide behind groups or `<...>`, so track angle depth.
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next(); // the [...] group
+        }
+        // Skip visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{field}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(field.to_string());
+        // Skip the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(NamedStruct { name, fields })
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("compile_error parses")
+}

@@ -70,11 +70,8 @@ fn main() {
     }
     let majority = counts.iter().copied().max().unwrap_or(0) as u32;
     let majority_label = counts.iter().position(|&c| c as u32 == majority).unwrap() as u32;
-    let baseline = test
-        .iter()
-        .filter(|&&(_, t)| t == majority_label)
-        .count() as f64
-        / test.len() as f64;
+    let baseline =
+        test.iter().filter(|&&(_, t)| t == majority_label).count() as f64 / test.len() as f64;
 
     println!("majority-class baseline accuracy: {baseline:.3}");
     println!("kNN-graph classifier accuracy:    {knn_acc:.3}");

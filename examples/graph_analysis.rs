@@ -16,7 +16,10 @@ use kiff_graph::{load_edges_tsv, save_edges_tsv, summarize};
 
 fn main() {
     let k = 10;
-    println!("{:<16} {:>7} {:>8} {:>8} {:>9} {:>11} {:>9}", "dataset", "users", "edges", "max in°", "symmetry", "components", "largest");
+    println!(
+        "{:<16} {:>7} {:>8} {:>8} {:>9} {:>11} {:>9}",
+        "dataset", "users", "edges", "max in°", "symmetry", "components", "largest"
+    );
 
     let mut wikipedia_graph = None;
     for preset in [PaperDataset::Wikipedia, PaperDataset::Arxiv] {

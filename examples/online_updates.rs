@@ -1,0 +1,116 @@
+//! Streaming maintenance vs. rebuilding from scratch.
+//!
+//! Holds out the last 10% of a MovieLens-like dataset's ratings, builds a
+//! KIFF graph on the remaining 90%, then streams the held-out ratings
+//! through the `kiff-online` engine one by one — printing what each
+//! update cost and, at the end, how close the incrementally maintained
+//! graph gets to a full batch rebuild of the final dataset at a tiny
+//! fraction of its similarity evaluations.
+//!
+//! Run with: `cargo run --release --example online_updates`
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use kiff::core::{Kiff, KiffConfig};
+use kiff::dataset::generators::movielens::movielens_like;
+use kiff::dataset::subsample_ratings;
+use kiff::dataset::DatasetBuilder;
+use kiff::graph::{exact_knn, recall};
+use kiff::online::{OnlineConfig, OnlineKnn, Update};
+use kiff::similarity::WeightedCosine;
+
+fn main() {
+    let k = 10;
+    let seed = 42;
+    // ML-4 of the paper's density family (Table IX): the MovieLens preset
+    // subsampled to ~2.9% density — the sparse regime KIFF targets.
+    let ml1 = movielens_like(0.2, seed);
+    let full = subsample_ratings(&ml1, ml1.num_ratings() * 13 / 100, seed).with_name("ML-4-like");
+    println!(
+        "dataset : {} — {} users, {} items, {} ratings",
+        full.name(),
+        full.num_users(),
+        full.num_items(),
+        full.num_ratings()
+    );
+
+    // Hold out a random 10% of the ratings as "the future".
+    let mut triples: Vec<(u32, u32, f32)> = full.iter_ratings().collect();
+    triples.shuffle(&mut StdRng::seed_from_u64(seed));
+    let split = triples.len() * 9 / 10;
+    let (past, future) = triples.split_at(split);
+    let mut builder = DatasetBuilder::new("ml-past", full.num_users(), full.num_items());
+    builder.reserve(past.len());
+    for &(u, i, r) in past {
+        builder.add_rating(u, i, r);
+    }
+    let base = builder.build();
+    println!(
+        "holdout : {} ratings stream in after the initial build\n",
+        future.len()
+    );
+
+    // Build the batch graph on the past, wrap it for streaming.
+    let build_start = Instant::now();
+    let mut engine = OnlineKnn::new(&base, OnlineConfig::new(k));
+    println!("initial KIFF build + seeding: {:?}", build_start.elapsed());
+
+    // Stream the future.
+    let stream_start = Instant::now();
+    let mut streamed = 0u64;
+    for &(u, i, r) in future {
+        let stats = engine.apply(Update::AddRating {
+            user: u,
+            item: i,
+            rating: r,
+        });
+        streamed += 1;
+        if streamed.is_multiple_of(250) {
+            println!(
+                "update {streamed:>5}: {} sim evals, {} heap edits, {} users repaired",
+                stats.sim_evals,
+                stats.edits.total(),
+                stats.repaired_users
+            );
+        }
+    }
+    let stream_time = stream_start.elapsed();
+    let life = engine.lifetime_stats();
+    println!(
+        "\nstreamed {} updates in {:?} ({:.0} updates/s)",
+        life.updates,
+        stream_time,
+        life.updates as f64 / stream_time.as_secs_f64()
+    );
+    println!(
+        "per update: {:.1} sim evals, {:.2} repaired edges",
+        life.sim_evals_per_update(),
+        life.edits_per_update()
+    );
+
+    // What would a full rebuild of the final dataset have cost?
+    let final_dataset = engine.data().to_dataset();
+    let rebuild_start = Instant::now();
+    let sim = WeightedCosine::fit(&final_dataset);
+    let rebuild = Kiff::new(KiffConfig::new(k)).run(&final_dataset, &sim);
+    let rebuild_time = rebuild_start.elapsed();
+
+    let exact = exact_knn(&final_dataset, &sim, k, None);
+    let online_recall = recall(&exact, &engine.graph());
+    let rebuild_recall = recall(&exact, &rebuild.graph);
+    println!(
+        "\nfull rebuild: {} sim evals in {:?} (recall {:.4})",
+        rebuild.stats.sim_evals, rebuild_time, rebuild_recall
+    );
+    println!("online graph: recall {online_recall:.4}");
+    println!(
+        "work per update is {:.0}x below one rebuild ({:.1} vs {} evals)",
+        rebuild.stats.sim_evals as f64 / life.sim_evals_per_update(),
+        life.sim_evals_per_update(),
+        rebuild.stats.sim_evals
+    );
+}

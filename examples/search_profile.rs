@@ -44,11 +44,7 @@ fn main() {
             let donor = (q * 31) % dataset.num_users() as u32;
             let p = dataset.user_profile(donor);
             let novel = (q * 17) % dataset.num_items() as u32;
-            QueryProfile::new(
-                p.iter()
-                    .skip(1)
-                    .chain(std::iter::once((novel, 1.0))),
-            )
+            QueryProfile::new(p.iter().skip(1).chain(std::iter::once((novel, 1.0))))
         })
         .collect();
 
@@ -81,8 +77,7 @@ fn main() {
     }
     let recall = found as f64 / total.max(1) as f64;
 
-    let visited_frac =
-        visited_total as f64 / (queries.len() * dataset.num_users()) as f64;
+    let visited_frac = visited_total as f64 / (queries.len() * dataset.num_users()) as f64;
     println!("\n{} queries, top-{k}:", queries.len());
     println!(
         "  graph walk : {walk_time:>10.1?}  recall {recall:.3}, visits {:.1}% of users/query",

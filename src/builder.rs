@@ -4,6 +4,7 @@ use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, 
 use kiff_core::{Kiff, KiffConfig};
 use kiff_dataset::Dataset;
 use kiff_graph::{exact_knn, KnnGraph};
+use kiff_online::{OnlineConfig, OnlineKnn, OnlineMetric};
 use kiff_similarity::{
     AdamicAdar, BinaryCosine, Dice, Jaccard, Similarity, WeightedCosine, WeightedJaccard,
 };
@@ -136,6 +137,45 @@ impl KnnGraphBuilder {
             Metric::Dice => self.dispatch(dataset, &Dice),
             Metric::AdamicAdar => self.dispatch(dataset, &AdamicAdar::fit(dataset)),
         }
+    }
+
+    /// Builds the graph of `dataset` with the configured algorithm, then
+    /// hands it to the [`kiff_online`] engine for streaming maintenance:
+    /// the returned [`OnlineKnn`] accepts `AddRating` / `AddUser` /
+    /// `RemoveRating` updates and keeps the graph repaired incrementally.
+    ///
+    /// ```
+    /// use kiff::KnnGraphBuilder;
+    /// use kiff::online::Update;
+    /// use kiff_dataset::dataset::figure2_toy;
+    ///
+    /// let ds = figure2_toy();
+    /// let mut live = KnnGraphBuilder::new(1).threads(1).into_online(&ds);
+    /// live.apply(Update::AddRating { user: 2, item: 1, rating: 1.0 });
+    /// assert!(!live.neighbors(2).is_empty());
+    /// ```
+    ///
+    /// # Panics
+    /// Panics for [`Metric::AdamicAdar`]: its per-item weights are fitted
+    /// on a frozen dataset and would go stale under mutation.
+    pub fn into_online(self, dataset: &Dataset) -> OnlineKnn {
+        let metric = match self.metric {
+            Metric::Cosine => OnlineMetric::Cosine,
+            Metric::BinaryCosine => OnlineMetric::BinaryCosine,
+            Metric::Jaccard => OnlineMetric::Jaccard,
+            Metric::WeightedJaccard => OnlineMetric::WeightedJaccard,
+            Metric::Dice => OnlineMetric::Dice,
+            Metric::AdamicAdar => panic!(
+                "Adamic-Adar carries dataset-fitted item weights and is not \
+                 supported by the online engine"
+            ),
+        };
+        let graph = self.build(dataset);
+        OnlineKnn::from_graph(
+            dataset,
+            &graph,
+            OnlineConfig::new(self.k).with_metric(metric),
+        )
     }
 
     fn dispatch<S: Similarity>(&self, dataset: &Dataset, sim: &S) -> KnnGraph {

@@ -52,6 +52,7 @@
 //! | [`kiff_similarity`] | cosine / Jaccard / Adamic-Adar metrics |
 //! | [`kiff_graph`] | KNN graph structures, exact KNN, recall |
 //! | [`kiff_apps`] | recommendation, classification, similarity search |
+//! | [`kiff_online`] | incremental maintenance under streaming updates |
 //! | [`kiff_eval`] | timers, scan rate, CCDF, Spearman, tables |
 //! | [`kiff_collections`] / [`kiff_parallel`] | substrate |
 
@@ -62,6 +63,7 @@ pub use kiff_core as core;
 pub use kiff_dataset as dataset;
 pub use kiff_eval as eval;
 pub use kiff_graph as graph;
+pub use kiff_online as online;
 pub use kiff_parallel as parallel;
 pub use kiff_similarity as similarity;
 
@@ -79,8 +81,9 @@ pub mod prelude {
         LshFamily,
     };
     pub use kiff_core::{Kiff, KiffConfig};
-    pub use kiff_dataset::{Dataset, DatasetBuilder};
+    pub use kiff_dataset::{Dataset, DatasetBuilder, DeltaDataset};
     pub use kiff_graph::{exact_knn, recall, KnnGraph, Neighbor};
+    pub use kiff_online::{OnlineConfig, OnlineKnn, Update};
     pub use kiff_similarity::{
         AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
         WeightedJaccard,

@@ -106,7 +106,7 @@ fn hit_rate_beats_random() {
         communities: 6,
         ratings_per_user: 14,
         affinity: 0.9,
-        ..PlantedConfig::tiny("hit", 233)
+        ..PlantedConfig::tiny("hit", 234)
     };
     let (full, labels) = generate_planted(&cfg);
 

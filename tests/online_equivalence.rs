@@ -1,0 +1,140 @@
+//! Online-vs-batch equivalence: streaming a dataset's ratings through
+//! the `kiff-online` engine must land within a small tolerance of a
+//! from-scratch KIFF rebuild — at a small fraction of the rebuild's
+//! similarity evaluations.
+
+use proptest::prelude::*;
+
+use kiff::core::{Kiff, KiffConfig};
+use kiff::dataset::generators::planted::{generate_planted, PlantedConfig};
+use kiff::dataset::{Dataset, DatasetBuilder};
+use kiff::graph::{exact_knn, recall};
+use kiff::online::{OnlineConfig, OnlineKnn, Update};
+use kiff::similarity::WeightedCosine;
+
+/// Splits `full` into a base dataset and a held-out update stream: every
+/// `holdout_every`-th rating (by iteration order) streams in later.
+fn split(full: &Dataset, holdout_every: usize) -> (Dataset, Vec<(u32, u32, f32)>) {
+    let mut builder = DatasetBuilder::new("base", full.num_users(), full.num_items());
+    let mut held = Vec::new();
+    for (pos, (u, i, r)) in full.iter_ratings().enumerate() {
+        if pos % holdout_every == 0 {
+            held.push((u, i, r));
+        } else {
+            builder.add_rating(u, i, r);
+        }
+    }
+    (builder.build(), held)
+}
+
+/// Runs the stream scenario and returns
+/// `(online_recall, rebuild_recall, online_evals_per_update, rebuild_evals)`.
+fn stream_scenario(full: &Dataset, k: usize, one_by_one: bool) -> (f64, f64, f64, u64) {
+    let (base, held) = split(full, 10);
+    assert!(!held.is_empty());
+
+    let mut engine = OnlineKnn::new(&base, OnlineConfig::new(k));
+    let updates = held
+        .iter()
+        .map(|&(user, item, rating)| Update::AddRating { user, item, rating });
+    if one_by_one {
+        for update in updates {
+            engine.apply(update);
+        }
+    } else {
+        engine.apply_batch(updates);
+    }
+
+    let final_dataset = engine.data().to_dataset();
+    assert_eq!(final_dataset.num_ratings(), full.num_ratings());
+
+    let sim = WeightedCosine::fit(&final_dataset);
+    let rebuild = Kiff::new(KiffConfig::new(k)).run(&final_dataset, &sim);
+    let exact = exact_knn(&final_dataset, &sim, k, Some(1));
+    let online_recall = recall(&exact, &engine.graph());
+    let rebuild_recall = recall(&exact, &rebuild.graph);
+    let life = engine.lifetime_stats();
+    (
+        online_recall,
+        rebuild_recall,
+        life.sim_evals_per_update(),
+        rebuild.stats.sim_evals,
+    )
+}
+
+fn planted(seed: u64, affinity: f64) -> Dataset {
+    // Large enough that the 10x work criterion is meaningful: per-update
+    // repair cost has a floor (heap + reverse + prefix re-scores) that
+    // does not shrink with the dataset, while rebuild cost grows with it.
+    generate_planted(&PlantedConfig {
+        num_users: 400,
+        num_items: 300,
+        communities: 4,
+        ratings_per_user: 12,
+        affinity,
+        ..PlantedConfig::tiny("equiv", seed)
+    })
+    .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Streaming one rating at a time reaches ≥ 0.95× the recall of a
+    /// full rebuild on the same final dataset, with per-update similarity
+    /// evaluations at least 10× below one rebuild's.
+    #[test]
+    fn one_by_one_stream_matches_rebuild(seed in 0u64..1000, k in 3usize..7) {
+        let full = planted(seed, 0.85);
+        let (online, rebuild, per_update, rebuild_evals) =
+            stream_scenario(&full, k, true);
+        prop_assert!(
+            online >= 0.95 * rebuild,
+            "online recall {online:.4} < 0.95 x rebuild recall {rebuild:.4}"
+        );
+        prop_assert!(
+            per_update * 10.0 <= rebuild_evals as f64,
+            "per-update work {per_update:.1} not 10x below rebuild {rebuild_evals}"
+        );
+    }
+
+    /// The amortised batch path meets the same bar.
+    #[test]
+    fn batched_stream_matches_rebuild(seed in 0u64..1000) {
+        let full = planted(seed, 0.8);
+        let (online, rebuild, _, _) = stream_scenario(&full, 5, false);
+        prop_assert!(
+            online >= 0.95 * rebuild,
+            "batched recall {online:.4} < 0.95 x rebuild recall {rebuild:.4}"
+        );
+    }
+
+    /// Deletions repair too: removing a slice of ratings from a live
+    /// engine converges to the rebuild of the shrunken dataset.
+    #[test]
+    fn removals_match_rebuild(seed in 0u64..1000) {
+        let k = 5;
+        let full = planted(seed, 0.85);
+        let mut engine = OnlineKnn::new(&full, OnlineConfig::new(k));
+        // Remove every 12th rating.
+        let victims: Vec<(u32, u32)> = full
+            .iter_ratings()
+            .enumerate()
+            .filter(|(pos, _)| pos % 12 == 0)
+            .map(|(_, (u, i, _))| (u, i))
+            .collect();
+        for (user, item) in victims {
+            engine.apply(Update::RemoveRating { user, item });
+        }
+        let final_dataset = engine.data().to_dataset();
+        let sim = WeightedCosine::fit(&final_dataset);
+        let rebuild = Kiff::new(KiffConfig::new(k)).run(&final_dataset, &sim);
+        let exact = exact_knn(&final_dataset, &sim, k, Some(1));
+        let online = recall(&exact, &engine.graph());
+        let batch = recall(&exact, &rebuild.graph);
+        prop_assert!(
+            online >= 0.95 * batch,
+            "post-removal recall {online:.4} < 0.95 x rebuild {batch:.4}"
+        );
+    }
+}
