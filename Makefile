@@ -1,0 +1,39 @@
+# Mirrors .github/workflows/ci.yml so contributors can reproduce gate
+# failures offline: `make ci` runs exactly what a PR must pass.
+
+CARGO ?= cargo
+BENCH_OUT ?= bench-results
+RECALL_FLOOR ?= 0.90
+
+.PHONY: ci fmt clippy build test examples doc bench-smoke clean-bench
+
+ci: fmt clippy build test examples doc bench-smoke
+
+fmt:
+	$(CARGO) fmt --check
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+examples:
+	$(CARGO) build --examples
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
+
+# The CI bench-regression gate: streaming experiments on a small
+# synthetic dataset, failing when recall-vs-rebuild drops below
+# $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
+bench-smoke:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		online sharded --scale 0.1 --threads 4 --seed 42 \
+		--recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
+
+clean-bench:
+	rm -rf $(BENCH_OUT)

@@ -117,7 +117,7 @@ impl<'a> Recommender<'a> {
     /// appreciate it, ranked by the similarity-weighted enthusiasm of
     /// their neighbours for `i`, excluding users who already rated it.
     ///
-    /// This is the *reversed CF* query of Park et al. (cited as [6] by
+    /// This is the *reversed CF* query of Park et al. (cited as \[6\] by
     /// the paper): instead of asking "what should user u see?", ask
     /// "who should see item i?" — the primitive behind push campaigns
     /// and cold-start item seeding. It exploits the same KNN graph

@@ -20,11 +20,15 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     out: PathBuf,
+    recall_floor: Option<f64>,
 }
 
 fn usage() -> String {
     format!(
         "usage: experiments <ids...|all> [--scale F] [--seed N] [--threads N] [--out DIR]\n\
+         \x20                            [--recall-floor F]\n\
+         --recall-floor fails the run when a streaming experiment's\n\
+         recall-vs-rebuild drops below F (the CI bench-regression gate)\n\
          experiments: {}",
         ALL.join(", ")
     )
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         out: PathBuf::from("results"),
+        recall_floor: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -65,6 +70,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => {
                 args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--recall-floor" => {
+                args.recall_floor = Some(
+                    iter.next()
+                        .ok_or("--recall-floor needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --recall-floor: {e}"))?,
+                );
             }
             "--help" | "-h" => return Err(usage()),
             other if other.starts_with('-') => {
@@ -98,6 +111,7 @@ fn main() -> ExitCode {
         args.seed,
         args.threads,
     );
+    ctx.recall_floor = args.recall_floor;
     let suite_start = Instant::now();
     let mut failed = false;
     for id in &args.ids {
@@ -119,6 +133,13 @@ fn main() -> ExitCode {
         suite_start.elapsed().as_secs_f64(),
         args.out.display()
     );
+    if !ctx.violations.is_empty() {
+        eprintln!("recall floor violations:");
+        for v in &ctx.violations {
+            eprintln!("  {v}");
+        }
+        failed = true;
+    }
     if failed {
         ExitCode::FAILURE
     } else {

@@ -11,19 +11,54 @@ pub mod density_exps;
 pub mod extensions;
 pub mod online;
 pub mod sensitivity;
+pub mod sharded;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::time::Instant;
 
 use serde::Serialize;
 
-use kiff_dataset::{Dataset, PaperDataset};
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::generators::movielens::movielens_like;
+use kiff_dataset::{subsample_ratings, Dataset, DatasetBuilder, PaperDataset};
 use kiff_eval::{AlgoRunRecord, ExperimentRecord};
-use kiff_graph::KnnGraph;
+use kiff_graph::{exact_knn, recall, KnnGraph};
+use kiff_similarity::WeightedCosine;
 
 use crate::datasets::SuiteScale;
 use crate::runner::{self, RunOptions};
+
+/// Neighbourhood size of the streaming experiments (`online`, `sharded`).
+pub const STREAM_K: usize = 10;
+
+/// Shared preparation of the streaming experiments: the ML-4-like
+/// dataset (MovieLens preset subsampled into the sparse regime of Table
+/// IX), its base/holdout split, the exact ground truth, the KIFF rebuild
+/// yardstick on the final dataset, and the seed graph on the base —
+/// computed once per suite invocation and cached on [`Ctx`], so running
+/// `online sharded` together (the CI bench-smoke job) pays for the
+/// expensive `exact_knn` and rebuild exactly once and the two reports
+/// compare directly by construction.
+pub struct StreamScenario {
+    /// The final dataset (base plus every streamed rating).
+    pub full: Dataset,
+    /// The base dataset the engines build on.
+    pub base: Dataset,
+    /// The held-out stream (every 10th rating of `full`).
+    pub held: Vec<(u32, u32, f32)>,
+    /// Exact cosine ground truth on `full`.
+    pub exact: KnnGraph,
+    /// Similarity evaluations of the KIFF rebuild on `full`.
+    pub rebuild_sim_evals: u64,
+    /// Wall time of that rebuild.
+    pub rebuild_s: f64,
+    /// Its recall against `exact`.
+    pub rebuild_recall: f64,
+    /// KIFF graph of `base`, seeding every replayed engine identically.
+    pub seed_graph: KnnGraph,
+}
 
 /// Shared state across experiments in one `experiments` invocation:
 /// generated datasets and exact ground truths are cached because half the
@@ -37,9 +72,17 @@ pub struct Ctx {
     pub seed: u64,
     /// Worker threads for all runs.
     pub threads: Option<usize>,
+    /// When set, the streaming experiments (`online`, `sharded`) record a
+    /// violation whenever recall-vs-rebuild falls below this ratio — the
+    /// CI bench-regression gate.
+    pub recall_floor: Option<f64>,
+    /// Recall-floor violations accumulated across experiments; the
+    /// `experiments` binary fails when any exist.
+    pub violations: Vec<String>,
     datasets: HashMap<PaperDataset, Rc<Dataset>>,
     truths: HashMap<(PaperDataset, usize), Rc<KnnGraph>>,
     table2_cache: Option<Rc<Vec<AlgoRunRecord>>>,
+    stream_cache: Option<Rc<StreamScenario>>,
 }
 
 impl Ctx {
@@ -51,9 +94,75 @@ impl Ctx {
             scale,
             seed,
             threads,
+            recall_floor: None,
+            violations: Vec::new(),
             datasets: HashMap::new(),
             truths: HashMap::new(),
             table2_cache: None,
+            stream_cache: None,
+        }
+    }
+
+    /// The streaming experiments' shared scenario (cached; see
+    /// [`StreamScenario`]).
+    pub fn stream_scenario(&mut self) -> Rc<StreamScenario> {
+        if self.stream_cache.is_none() {
+            let ml_scale = (0.2 * self.scale.multiplier).clamp(0.02, 1.0);
+            let ml1 = movielens_like(ml_scale, self.seed);
+            let full = subsample_ratings(&ml1, ml1.num_ratings() * 13 / 100, self.seed)
+                .with_name("ML-4-like");
+
+            // Hold out every 10th rating as the stream.
+            let mut builder = DatasetBuilder::new("ml4-base", full.num_users(), full.num_items());
+            let mut held = Vec::new();
+            for (pos, (u, i, r)) in full.iter_ratings().enumerate() {
+                if pos % 10 == 0 {
+                    held.push((u, i, r));
+                } else {
+                    builder.add_rating(u, i, r);
+                }
+            }
+            let base = builder.build();
+
+            let sim = WeightedCosine::fit(&full);
+            let exact = exact_knn(&full, &sim, STREAM_K, self.threads);
+            let mut rebuild_config = KiffConfig::new(STREAM_K);
+            rebuild_config.threads = self.threads;
+            let rebuild_start = Instant::now();
+            let rebuild = Kiff::new(rebuild_config).run(&full, &sim);
+            let rebuild_s = rebuild_start.elapsed().as_secs_f64();
+            let rebuild_recall = recall(&exact, &rebuild.graph);
+
+            let base_sim = WeightedCosine::fit(&base);
+            let mut seed_config = KiffConfig::new(STREAM_K);
+            seed_config.threads = self.threads;
+            let seed_graph = Kiff::new(seed_config).run(&base, &base_sim).graph;
+
+            self.stream_cache = Some(Rc::new(StreamScenario {
+                full,
+                base,
+                held,
+                exact,
+                rebuild_sim_evals: rebuild.stats.sim_evals,
+                rebuild_s,
+                rebuild_recall,
+                seed_graph,
+            }));
+        }
+        Rc::clone(self.stream_cache.as_ref().expect("just inserted"))
+    }
+
+    /// Checks a recall-vs-rebuild ratio against the configured floor,
+    /// recording a violation (and warning on stderr) when it is below.
+    pub fn enforce_recall_floor(&mut self, experiment: &str, mode: &str, ratio: f64) {
+        if let Some(floor) = self.recall_floor {
+            if ratio < floor {
+                let msg = format!(
+                    "{experiment}/{mode}: recall-vs-rebuild {ratio:.4} below floor {floor:.2}"
+                );
+                eprintln!("RECALL FLOOR VIOLATION: {msg}");
+                self.violations.push(msg);
+            }
         }
     }
 
@@ -119,7 +228,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 22] = [
+pub const ALL: [&str; 23] = [
     "table1",
     "fig4",
     "fig1",
@@ -142,6 +251,7 @@ pub const ALL: [&str; 22] = [
     "ext4",
     "ext5",
     "online",
+    "sharded",
 ];
 
 /// Runs one experiment by id.
@@ -169,6 +279,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "ext4" => Ok(extensions::ext4(ctx)),
         "ext5" => Ok(extensions::ext5(ctx)),
         "online" => Ok(online::online(ctx)),
+        "sharded" => Ok(sharded::sharded(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

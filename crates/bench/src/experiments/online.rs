@@ -1,23 +1,18 @@
 //! Online-maintenance trajectory: `BENCH_online.json`.
 //!
-//! Streams the held-out 10% of an ML-4-like dataset (the MovieLens preset
-//! subsampled into the sparse regime of Table IX) through the
-//! `kiff-online` engine — one update at a time and in amortised batches —
-//! and compares against rebuilding from scratch. The machine-readable
-//! twin `BENCH_online.json` is the perf baseline future PRs must beat.
+//! Streams the held-out 10% of an ML-4-like dataset (the shared
+//! [`StreamScenario`]) through the `kiff-online` engine — one update at a
+//! time and in amortised batches — and compares against rebuilding from
+//! scratch. The machine-readable twin `BENCH_online.json` is the perf
+//! baseline future PRs must beat.
 
 use std::time::Instant;
 
-use kiff_core::{Kiff, KiffConfig};
-use kiff_dataset::generators::movielens::movielens_like;
-use kiff_dataset::{subsample_ratings, Dataset, DatasetBuilder};
-use kiff_graph::{exact_knn, recall};
+use kiff_graph::{recall, KnnGraph};
 use kiff_online::{OnlineConfig, OnlineKnn, Update};
-use kiff_similarity::WeightedCosine;
 
-use super::Ctx;
+use super::{Ctx, StreamScenario, STREAM_K};
 
-const K: usize = 10;
 const BATCH: usize = 100;
 
 /// One replay mode's outcome.
@@ -30,15 +25,11 @@ struct Replay {
     recall_vs_exact: f64,
 }
 
-fn replay(
-    base: &Dataset,
-    held: &[(u32, u32, f32)],
-    batch: usize,
-    exact: &kiff_graph::KnnGraph,
-) -> Replay {
-    let mut engine = OnlineKnn::new(base, OnlineConfig::new(K));
+fn replay(sc: &StreamScenario, batch: usize, exact: &KnnGraph) -> Replay {
+    let mut engine = OnlineKnn::from_graph(&sc.base, &sc.seed_graph, OnlineConfig::new(STREAM_K));
     let start = Instant::now();
-    let updates = held
+    let updates = sc
+        .held
         .iter()
         .map(|&(user, item, rating)| Update::AddRating { user, item, rating });
     if batch <= 1 {
@@ -65,49 +56,21 @@ fn replay(
 
 /// Runs the online-maintenance benchmark and writes `BENCH_online.json`.
 pub fn online(ctx: &mut Ctx) -> String {
-    // ML-4-like: the MovieLens preset subsampled to ~2.9% density.
-    let ml_scale = (0.2 * ctx.scale.multiplier).clamp(0.02, 1.0);
-    let ml1 = movielens_like(ml_scale, ctx.seed);
-    let full =
-        subsample_ratings(&ml1, ml1.num_ratings() * 13 / 100, ctx.seed).with_name("ML-4-like");
-
-    // Hold out every 10th rating as the stream.
-    let mut builder = DatasetBuilder::new("ml4-base", full.num_users(), full.num_items());
-    let mut held = Vec::new();
-    for (pos, (u, i, r)) in full.iter_ratings().enumerate() {
-        if pos % 10 == 0 {
-            held.push((u, i, r));
-        } else {
-            builder.add_rating(u, i, r);
-        }
-    }
-    let base = builder.build();
-
-    // Ground truth and the rebuild yardstick on the final dataset.
-    let sim = WeightedCosine::fit(&full);
-    let exact = exact_knn(&full, &sim, K, ctx.threads);
-    let mut rebuild_config = KiffConfig::new(K);
-    rebuild_config.threads = ctx.threads;
-    let rebuild_start = Instant::now();
-    let rebuild = Kiff::new(rebuild_config).run(&full, &sim);
-    let rebuild_s = rebuild_start.elapsed().as_secs_f64();
-    let rebuild_recall = recall(&exact, &rebuild.graph);
-
-    let runs = [
-        replay(&base, &held, 1, &exact),
-        replay(&base, &held, BATCH, &exact),
-    ];
+    let sc = ctx.stream_scenario();
+    let runs = [replay(&sc, 1, &sc.exact), replay(&sc, BATCH, &sc.exact)];
+    let rebuild_recall = sc.rebuild_recall;
+    let rebuild_s = sc.rebuild_s;
 
     let mut out = String::new();
     out.push_str(&format!(
         "Online maintenance on {}: {} users, {} items, {} ratings ({} streamed)\n\
          full rebuild: {} sim evals in {rebuild_s:.3}s, recall {rebuild_recall:.4}\n\n",
-        full.name(),
-        full.num_users(),
-        full.num_items(),
-        full.num_ratings(),
-        held.len(),
-        rebuild.stats.sim_evals,
+        sc.full.name(),
+        sc.full.num_users(),
+        sc.full.num_items(),
+        sc.full.num_ratings(),
+        sc.held.len(),
+        sc.rebuild_sim_evals,
     ));
     for r in &runs {
         out.push_str(&format!(
@@ -116,11 +79,16 @@ pub fn online(ctx: &mut Ctx) -> String {
             r.label,
             r.updates as f64 / r.elapsed_s.max(1e-9),
             r.sim_evals_per_update,
-            rebuild.stats.sim_evals as f64 / r.sim_evals_per_update.max(1e-9),
+            sc.rebuild_sim_evals as f64 / r.sim_evals_per_update.max(1e-9),
             r.repaired_edges_per_update,
             r.recall_vs_exact,
             r.recall_vs_exact / rebuild_recall.max(1e-9),
         ));
+        ctx.enforce_recall_floor(
+            "online",
+            r.label,
+            r.recall_vs_exact / rebuild_recall.max(1e-9),
+        );
     }
     out.push_str(
         "\nExpected shape: per-update work stays orders of magnitude below one \
@@ -129,14 +97,14 @@ pub fn online(ctx: &mut Ctx) -> String {
     );
 
     let dataset_v = serde_json::json!({
-        "name": full.name(),
-        "num_users": full.num_users(),
-        "num_items": full.num_items(),
-        "num_ratings": full.num_ratings(),
-        "streamed_updates": held.len()
+        "name": sc.full.name(),
+        "num_users": sc.full.num_users(),
+        "num_items": sc.full.num_items(),
+        "num_ratings": sc.full.num_ratings(),
+        "streamed_updates": sc.held.len()
     });
     let rebuild_v = serde_json::json!({
-        "sim_evals": rebuild.stats.sim_evals,
+        "sim_evals": sc.rebuild_sim_evals,
         "wall_time_s": rebuild_s,
         "recall": rebuild_recall
     });
@@ -155,7 +123,7 @@ pub fn online(ctx: &mut Ctx) -> String {
         .collect();
     let payload = serde_json::json!({
         "dataset": dataset_v,
-        "k": K,
+        "k": STREAM_K,
         "rebuild": rebuild_v,
         "runs": runs_v
     });

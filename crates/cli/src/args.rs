@@ -114,7 +114,10 @@ pub struct UpdateOptions {
     pub batch: usize,
     /// Online repair width (default 8k).
     pub repair_width: Option<usize>,
-    /// Worker threads for the rebuild comparison.
+    /// Shard the engine across this many user partitions (1 = the
+    /// single-threaded engine).
+    pub shards: usize,
+    /// Worker threads for the sharded engine and rebuild comparison.
     pub threads: Option<usize>,
 }
 
@@ -171,7 +174,7 @@ commands:
   update     build a graph, then replay a stream of timestamped ratings
              through the online engine and report repair cost vs rebuild
              --input BASE --updates STREAM [--k N] [--batch N]
-             [--repair-width N] [--threads N]
+             [--repair-width N] [--shards N] [--threads N]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -265,6 +268,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut updates: Option<PathBuf> = None;
     let mut batch: Option<usize> = None;
     let mut repair_width: Option<usize> = None;
+    let mut shards: Option<usize> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -291,6 +295,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                     &value("--repair-width", &mut iter)?,
                 )?)
             }
+            "--shards" => shards = Some(parse_num("--shards", &value("--shards", &mut iter)?)?),
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(ParseError(format!("unknown option '{other}'\n\n{USAGE}"))),
         }
@@ -337,12 +342,17 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if batch == 0 {
                 return Err(ParseError("--batch must be positive".into()));
             }
+            let shards = shards.unwrap_or(1);
+            if shards == 0 {
+                return Err(ParseError("--shards must be positive".into()));
+            }
             Ok(Command::Update(UpdateOptions {
                 input: need_input(input)?,
                 updates: updates.ok_or_else(|| ParseError("--updates is required".into()))?,
                 k: k.unwrap_or(20),
                 batch,
                 repair_width,
+                shards,
                 threads,
             }))
         }
@@ -429,7 +439,8 @@ mod tests {
     #[test]
     fn parses_update() {
         let cmd = parse(&argv(
-            "update --input base.tsv --updates stream.tsv --k 5 --batch 20 --repair-width 64",
+            "update --input base.tsv --updates stream.tsv --k 5 --batch 20 --repair-width 64 \
+             --shards 4",
         ))
         .unwrap();
         match cmd {
@@ -439,7 +450,16 @@ mod tests {
                 assert_eq!(u.k, 5);
                 assert_eq!(u.batch, 20);
                 assert_eq!(u.repair_width, Some(64));
+                assert_eq!(u.shards, 4);
             }
+            other => panic!("expected Update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_defaults_to_one_shard() {
+        match parse(&argv("update --input b.tsv --updates s.tsv")).unwrap() {
+            Command::Update(u) => assert_eq!(u.shards, 1),
             other => panic!("expected Update, got {other:?}"),
         }
     }
@@ -449,6 +469,7 @@ mod tests {
         assert!(parse(&argv("update --updates s.tsv")).is_err());
         assert!(parse(&argv("update --input b.tsv")).is_err());
         assert!(parse(&argv("update --input b.tsv --updates s.tsv --batch 0")).is_err());
+        assert!(parse(&argv("update --input b.tsv --updates s.tsv --shards 0")).is_err());
     }
 
     #[test]

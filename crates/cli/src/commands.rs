@@ -5,7 +5,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
-use kiff::online::{OnlineConfig, OnlineKnn, Update};
+use kiff::online::{OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update, UpdateStats};
 use kiff::prelude::*;
 use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, load_updates_tsv, save_snap_tsv};
 use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
@@ -112,6 +112,49 @@ fn load_dataset_with_ids(
     }
 }
 
+/// The two replayable engines behind `kiff update`, behind one face.
+enum LiveEngine {
+    Single(Box<OnlineKnn>),
+    Sharded(Box<ShardedOnlineKnn>),
+}
+
+impl LiveEngine {
+    fn apply(&mut self, update: Update) -> UpdateStats {
+        match self {
+            LiveEngine::Single(e) => e.apply(update),
+            LiveEngine::Sharded(e) => e.apply(update),
+        }
+    }
+
+    fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
+        match self {
+            LiveEngine::Single(e) => e.apply_batch(updates),
+            LiveEngine::Sharded(e) => e.apply_batch(updates),
+        }
+    }
+
+    fn lifetime_stats(&self) -> &UpdateStats {
+        match self {
+            LiveEngine::Single(e) => e.lifetime_stats(),
+            LiveEngine::Sharded(e) => e.lifetime_stats(),
+        }
+    }
+
+    fn data(&self) -> &kiff::dataset::DeltaDataset {
+        match self {
+            LiveEngine::Single(e) => e.data(),
+            LiveEngine::Sharded(e) => e.data(),
+        }
+    }
+
+    fn graph(&self) -> std::sync::Arc<kiff::graph::KnnGraph> {
+        match self {
+            LiveEngine::Single(e) => e.graph(),
+            LiveEngine::Sharded(e) => e.graph(),
+        }
+    }
+}
+
 fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandError> {
     use kiff::collections::FxHashMap;
 
@@ -174,7 +217,20 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         config = config.with_repair_width(width);
     }
     let build_start = Instant::now();
-    let mut engine = OnlineKnn::new(&base, config);
+    let mut engine = if options.shards > 1 {
+        let mut shard_config = ShardConfig::new(options.shards);
+        shard_config.threads = options.threads;
+        let sharded = ShardedOnlineKnn::new(&base, config, shard_config);
+        writeln!(
+            out,
+            "shards  : {} (sizes {:?})",
+            sharded.num_shards(),
+            sharded.shard_sizes()
+        )?;
+        LiveEngine::Sharded(Box::new(sharded))
+    } else {
+        LiveEngine::Single(Box::new(OnlineKnn::new(&base, config)))
+    };
     writeln!(out, "initial build: {:?}", build_start.elapsed())?;
 
     let replay_start = Instant::now();
@@ -562,6 +618,22 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("batch 4"), "{out}");
+        assert!(out.contains("recall vs rebuild"), "{out}");
+        std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn update_sharded_replays_a_stream() {
+        let input = fixture();
+        let updates = tmp("updates-sharded.tsv");
+        std::fs::write(&updates, "2\t1\t1.0\t30\n0\t2\t1.0\t10\n9\t3\t1.0\t20\n").unwrap();
+        let out = run_str(&format!(
+            "update --input {} --updates {} --k 2 --batch 2 --shards 2 --threads 2",
+            input.display(),
+            updates.display()
+        ))
+        .unwrap();
+        assert!(out.contains("shards  : 2"), "{out}");
         assert!(out.contains("recall vs rebuild"), "{out}");
         std::fs::remove_file(updates).ok();
     }

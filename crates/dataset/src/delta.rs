@@ -232,6 +232,12 @@ impl DeltaDataset {
         })
     }
 
+    /// A read-only, copyable view of the current state — the handle shard
+    /// workers share during parallel repair (see [`DeltaView`]).
+    pub fn view(&self) -> DeltaView<'_> {
+        DeltaView { data: self }
+    }
+
     /// Marks `u` as a rater of `i`, cancelling a prior removal first.
     fn record_item_add(&mut self, u: UserId, i: ItemId) {
         if let Some(removed) = self.item_removed.get_mut(&i) {
@@ -251,6 +257,48 @@ impl DeltaDataset {
             }
         }
         self.item_removed.entry(i).or_default().insert(u);
+    }
+}
+
+/// A read-only, `Copy` view over a [`DeltaDataset`].
+///
+/// The sharded online engine mutates the dataset serially, then repairs
+/// shards in parallel; every shard worker needs to read *any* user's
+/// profile (similarity candidates cross shard boundaries) but must not be
+/// able to mutate the store. `DeltaView` is that capability split made
+/// explicit: a borrow-sized handle that is `Copy + Send + Sync` and only
+/// exposes the read side, so handing one per shard to a thread pool
+/// compiles without interior mutability or cloning the overlay.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaView<'a> {
+    data: &'a DeltaDataset,
+}
+
+impl<'a> DeltaView<'a> {
+    /// Current number of users.
+    pub fn num_users(self) -> usize {
+        self.data.num_users()
+    }
+
+    /// Current number of items.
+    pub fn num_items(self) -> usize {
+        self.data.num_items()
+    }
+
+    /// Current number of ratings.
+    pub fn num_ratings(self) -> usize {
+        self.data.num_ratings()
+    }
+
+    /// The current profile of `u` (see [`DeltaDataset::profile`]).
+    pub fn profile(self, u: UserId) -> ProfileRef<'a> {
+        self.data.profile(u)
+    }
+
+    /// Streams the current raters of `i` (see
+    /// [`DeltaDataset::for_each_item_rater`]).
+    pub fn for_each_item_rater(self, i: ItemId, f: impl FnMut(UserId)) {
+        self.data.for_each_item_rater(i, f)
     }
 }
 
@@ -371,6 +419,22 @@ mod tests {
         // above, so Dave is now alone on it).
         assert!(d.add_rating(3, 0, 1.0));
         assert_eq!(raters_sorted(&d, 0), vec![3]);
+    }
+
+    #[test]
+    fn view_reads_live_state_and_is_shareable() {
+        fn assert_shareable<T: Copy + Send + Sync>(_: T) {}
+        let mut d = DeltaDataset::new(figure2_toy());
+        d.add_rating(2, 1, 2.0);
+        let v = d.view();
+        assert_shareable(v);
+        assert_eq!(v.num_users(), 4);
+        assert_eq!(v.num_ratings(), 7);
+        assert_eq!(v.profile(2).items, &[1, 3]);
+        let mut raters = Vec::new();
+        v.for_each_item_rater(1, |u| raters.push(u));
+        raters.sort_unstable();
+        assert_eq!(raters, vec![0, 1, 2]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! contains u2 in her profile and vice-versa" (§IV-A1). We synthesise such
 //! data with a classic preferential-attachment paper model: papers draw
 //! 2..=`max` authors, preferring authors who have already published, which
-//! yields the heavy-tailed collaboration degrees observed in [23].
+//! yields the heavy-tailed collaboration degrees observed in \[23\].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -35,7 +35,7 @@ pub mod types;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetBuilder};
-pub use delta::DeltaDataset;
+pub use delta::{DeltaDataset, DeltaView};
 pub use density::{ml_family, subsample_ratings};
 pub use generators::presets::{paper_k, reduced_k, PaperDataset};
 pub use stats::DatasetStats;

@@ -2,7 +2,7 @@
 //!
 //! The paper's four evaluation datasets all exhibit long-tailed profile-size
 //! distributions ("most users have very few ratings", Fig. 4, consistent
-//! with [20], [21], [22]). We reproduce that with two tools:
+//! with \[20\], \[21\], \[22\]). We reproduce that with two tools:
 //!
 //! * [`Zipf`] — rank-frequency sampling (`P(rank r) ∝ 1/r^s`) for item
 //!   popularity: a few blockbusters, a long tail;

@@ -11,8 +11,8 @@
 //! [`exact`] builds ground truth two ways: an exhaustive `O(|U|²)` scan and
 //! an inverted-index construction that only evaluates pairs sharing an item
 //! — exact for every metric satisfying the sparse axioms of §III-D, and the
-//! property the whole KIFF idea rests on. [`recall`] implements the paper's
-//! tie-aware quality measure (Eq. 2–4).
+//! property the whole KIFF idea rests on. [`recall()`] implements the
+//! paper's tie-aware quality measure (Eq. 2–4).
 
 pub mod analysis;
 pub mod exact;
@@ -30,4 +30,4 @@ pub use io::{
 pub use knn::{EditStats, HeapChange, KnnGraph, KnnHeap, Neighbor, SharedKnn};
 pub use observer::{IterationObserver, IterationTrace, NoObserver};
 pub use recall::{recall, recall_per_user, recall_user};
-pub use reverse::ReverseAdjacency;
+pub use reverse::{ReverseAdjacency, ShardReverse};

@@ -75,6 +75,70 @@ impl ReverseAdjacency {
     }
 }
 
+/// Reverse adjacency for one *shard* of users: rows are indexed by the
+/// shard's dense local slot, contents are **global** user ids.
+///
+/// The sharded online engine partitions users across engines, and the
+/// invariant *`u ∈ incoming(v)` ⇔ `v ∈ knn_u`* crosses that partition:
+/// the owner of edge `u → v` lives on `shard(u)` while `incoming(v)`
+/// lives on `shard(v)`. Each shard keeps a `ShardReverse` covering only
+/// its owned targets; edge edits whose target lives elsewhere are routed
+/// to the owning shard as asynchronous messages and applied there. The
+/// source ids stay global because the pointing user can be anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReverse {
+    /// Row index = local slot, contents = global source ids; the slot/id
+    /// asymmetry is exactly what distinguishes this from the plain
+    /// [`ReverseAdjacency`] it delegates to.
+    rows: ReverseAdjacency,
+}
+
+impl ShardReverse {
+    /// Empty in-neighbour sets for `slots` locally-owned users.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            rows: ReverseAdjacency::new(slots),
+        }
+    }
+
+    /// Number of locally-owned slots.
+    pub fn num_slots(&self) -> usize {
+        self.rows.num_users()
+    }
+
+    /// Appends a slot for a newly-assigned user, returning its local index.
+    pub fn push_slot(&mut self) -> usize {
+        self.rows.push_user() as usize
+    }
+
+    /// Records the KNN edge `source → (local) target`.
+    pub fn add(&mut self, target_slot: usize, source: UserId) {
+        self.rows.add(source, target_slot as UserId);
+    }
+
+    /// Retracts the KNN edge `source → (local) target`; returns whether it
+    /// was recorded.
+    pub fn remove(&mut self, target_slot: usize, source: UserId) -> bool {
+        self.rows.remove(source, target_slot as UserId)
+    }
+
+    /// The global ids of users whose neighbourhoods contain the local
+    /// target (unordered).
+    pub fn in_neighbors(&self, target_slot: usize) -> impl Iterator<Item = UserId> + '_ {
+        self.rows.in_neighbors(target_slot as UserId)
+    }
+
+    /// In-degree of the local target.
+    pub fn in_degree(&self, target_slot: usize) -> usize {
+        self.rows.in_degree(target_slot as UserId)
+    }
+
+    /// Whether `source → (local) target` is recorded.
+    pub fn contains(&self, target_slot: usize, source: UserId) -> bool {
+        self.rows.contains(source, target_slot as UserId)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +175,24 @@ mod tests {
             live.sort_unstable();
             assert_eq!(live, batch[v as usize], "user {v}");
         }
+    }
+
+    #[test]
+    fn shard_reverse_round_trip() {
+        let mut rev = ShardReverse::new(2);
+        assert_eq!(rev.num_slots(), 2);
+        rev.add(0, 7);
+        rev.add(0, 1000); // sources are global ids, unbounded by slot count
+        rev.add(1, 7);
+        assert_eq!(rev.in_degree(0), 2);
+        assert!(rev.contains(0, 1000));
+        assert!(rev.remove(0, 7));
+        assert!(!rev.remove(0, 7), "double retract reports absence");
+        let ins: Vec<u32> = rev.in_neighbors(0).collect();
+        assert_eq!(ins, vec![1000]);
+        assert_eq!(rev.push_slot(), 2);
+        rev.add(2, 3);
+        assert_eq!(rev.in_degree(2), 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! consistency model documented at the crate root.
 
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 use kiff_collections::{FxHashMap, FxHashSet, SparseCounter};
 use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig};
@@ -47,6 +48,11 @@ pub struct OnlineKnn {
     heaps: Vec<KnnHeap>,
     reverse: ReverseAdjacency,
     lifetime: UpdateStats,
+    /// Cached [`OnlineKnn::graph`] snapshot, invalidated by any heap edit
+    /// or user addition. A `Mutex` (not `RefCell`) so the engine stays
+    /// `Sync` for read sharing; contention is nil — the lock is held for
+    /// an `Option` clone.
+    snapshot: Mutex<Option<Arc<KnnGraph>>>,
 }
 
 impl OnlineKnn {
@@ -99,6 +105,7 @@ impl OnlineKnn {
             reverse: ReverseAdjacency::new(n),
             heaps,
             lifetime: UpdateStats::default(),
+            snapshot: Mutex::new(None),
         };
         // Rebuild reverse adjacency from the heaps (not from `graph`: the
         // heap capacity may be smaller than the snapshot's k).
@@ -147,11 +154,29 @@ impl OnlineKnn {
     }
 
     /// Snapshots the live graph.
-    pub fn graph(&self) -> KnnGraph {
-        KnnGraph::from_neighbors(
+    ///
+    /// The snapshot is materialised on first call (`O(|E|)`) and cached;
+    /// repeated calls between mutations return the same `Arc` for free.
+    /// Any heap edit or user addition invalidates the cache, so a mixed
+    /// read/write workload pays the rebuild once per quiescent period —
+    /// a stepping stone toward the epoch-based reader scheme the roadmap
+    /// names.
+    pub fn graph(&self) -> Arc<KnnGraph> {
+        let mut cache = self.snapshot.lock().expect("snapshot lock poisoned");
+        if let Some(g) = cache.as_ref() {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(KnnGraph::from_neighbors(
             self.config.k,
             self.heaps.iter().map(KnnHeap::sorted_neighbors).collect(),
-        )
+        ));
+        *cache = Some(Arc::clone(&g));
+        g
+    }
+
+    /// Drops the cached snapshot after a state change.
+    fn invalidate_snapshot(&mut self) {
+        *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
     }
 
     /// Appends a user with an empty profile, returning its id.
@@ -161,6 +186,7 @@ impl OnlineKnn {
         self.heaps.push(KnnHeap::new(self.config.k));
         let rid = self.reverse.push_user();
         debug_assert_eq!(rid, id);
+        self.invalidate_snapshot();
         id
     }
 
@@ -173,6 +199,9 @@ impl OnlineKnn {
         let dirty = self.mutate(update, &mut stats);
         self.propagate(dirty.into_iter().collect(), &mut stats);
         self.maybe_compact(&mut stats);
+        if stats.edits.total() > 0 {
+            self.invalidate_snapshot();
+        }
         self.lifetime.merge(&stats);
         stats
     }
@@ -199,6 +228,9 @@ impl OnlineKnn {
         }
         self.propagate(dirty, &mut stats);
         self.maybe_compact(&mut stats);
+        if stats.edits.total() > 0 {
+            self.invalidate_snapshot();
+        }
         self.lifetime.merge(&stats);
         stats
     }
@@ -381,8 +413,8 @@ impl OnlineKnn {
 }
 
 /// Builds the initial batch graph with KIFF under the online metric's
-/// batch twin.
-fn batch_graph(dataset: &Dataset, k: usize, metric: OnlineMetric) -> KnnGraph {
+/// batch twin (shared with the sharded engine).
+pub(crate) fn batch_graph(dataset: &Dataset, k: usize, metric: OnlineMetric) -> KnnGraph {
     let kiff = Kiff::new(KiffConfig::new(k));
     match metric {
         OnlineMetric::Cosine => kiff.run(dataset, &sim::WeightedCosine::fit(dataset)).graph,
@@ -611,6 +643,32 @@ mod tests {
         assert!(stats.compacted, "20% threshold trips on the first overlay");
         assert_eq!(engine.data().overlay_users(), 0);
         audit(&engine);
+    }
+
+    #[test]
+    fn graph_snapshot_is_cached_until_an_edit() {
+        let mut engine = toy_engine();
+        let first = engine.graph();
+        let second = engine.graph();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "read-only period must reuse the snapshot"
+        );
+        // An update with heap edits invalidates the cache...
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        assert!(stats.edits.total() > 0);
+        let third = engine.graph();
+        assert!(!Arc::ptr_eq(&first, &third), "edit must invalidate");
+        assert!(third.neighbors(2).iter().any(|nb| nb.id == 0 || nb.id == 1));
+        // ...and so does a bare user addition (the graph grows a row).
+        engine.add_user();
+        let fourth = engine.graph();
+        assert!(!Arc::ptr_eq(&third, &fourth));
+        assert_eq!(fourth.num_users(), engine.num_users());
     }
 
     #[test]

@@ -42,11 +42,21 @@
 //! [`OnlineKnn::apply_batch`] amortises repair across many updates — the
 //! realistic serving pattern — re-scoring each touched user once against
 //! the batch-final state.
+//!
+//! # Scaling out
+//!
+//! [`ShardedOnlineKnn`] partitions users across shards (hash by default,
+//! pluggable via [`Partitioner`]) and runs the counter and repair phases
+//! on all shards in parallel, exchanging cross-shard heap and
+//! reverse-edge edits through asynchronous message queues. Same
+//! consistency model, `apply_batch` throughput scaling with cores.
 
 pub mod config;
 pub mod engine;
+pub mod sharded;
 pub mod update;
 
 pub use config::{OnlineConfig, OnlineMetric};
 pub use engine::OnlineKnn;
+pub use sharded::{HashPartitioner, ModuloPartitioner, Partitioner, ShardConfig, ShardedOnlineKnn};
 pub use update::{Update, UpdateStats};

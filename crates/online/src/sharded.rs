@@ -1,0 +1,1023 @@
+//! The [`ShardedOnlineKnn`] engine: the online KNN graph partitioned
+//! across user shards, repaired in parallel.
+//!
+//! KIFF's per-user decomposition means [`OnlineKnn`]'s state splits
+//! naturally along user boundaries: shared-item counters, neighbour heaps
+//! and repair queues are all per-user. This module exploits that split to
+//! scale `apply_batch` throughput with cores:
+//!
+//! * **Partitioning** — every user belongs to exactly one shard, decided
+//!   by a pluggable [`Partitioner`] (hash by default). A shard privately
+//!   owns its users' counters, heaps and in-neighbour sets.
+//! * **Serial mutate, parallel repair** — dataset mutations and counter
+//!   *snapshots* are applied serially (they are cheap: an overlay insert
+//!   plus one rater-list capture per update); the expensive phases —
+//!   counter maintenance and similarity re-scoring — run on all shards
+//!   concurrently through [`kiff_parallel::parallel_for_each_mut`], with
+//!   every worker reading the shared dataset through a read-only
+//!   [`DeltaView`].
+//! * **Asynchronous cross-shard repair** — a repair of user `u` may
+//!   evaluate a pair `(u, v)` whose other endpoint lives on another
+//!   shard, and `v`'s heap (plus the reverse-edge set of any user `u`'s
+//!   heap edits touch) belongs to that shard alone. Instead of locking,
+//!   the owning shard is sent a `ShardMsg` through per-shard message
+//!   queues; messages are drained at the start of the next repair round,
+//!   so a shard never blocks on another shard's heaps. Rounds repeat
+//!   until every queue and inbox is empty (quiescence), which a batch
+//!   always reaches: repairs are budget-bounded and bookkeeping messages
+//!   generate no further work.
+//!
+//! The result preserves the single-engine consistency model — counters
+//! stay exact, the graph is eventually consistent with a bounded repair
+//! radius — while distributing the repair work. A property test
+//! (`tests/sharded_equivalence.rs`) holds the sharded replay to within ε
+//! of the single-engine replay's recall on the same stream.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use kiff_collections::{FxHashMap, FxHashSet, SparseCounter};
+use kiff_core::{build_rcs, CountingConfig};
+use kiff_dataset::{Dataset, DeltaDataset, DeltaView, UserId};
+use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ShardReverse};
+use kiff_parallel::{effective_threads, parallel_for_each_mut};
+
+use crate::config::OnlineConfig;
+use crate::engine::{batch_graph, OnlineKnn};
+use crate::update::{Update, UpdateStats};
+
+/// Assigns every user to a shard. Implementations must be deterministic —
+/// routing consults the partitioner exactly once per user (at admission)
+/// and caches the result, but audits and tools recompute it.
+pub trait Partitioner: fmt::Debug + Send + Sync {
+    /// The shard (in `0..num_shards`) owning `user`.
+    fn shard_of(&self, user: UserId, num_shards: usize) -> usize;
+}
+
+/// Default partitioner: a Fibonacci multiplicative hash of the user id.
+/// Spreads dense id ranges (the common case: ids are admission order)
+/// evenly across shards with no state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn shard_of(&self, user: UserId, num_shards: usize) -> usize {
+        (user.wrapping_mul(0x9E37_79B9) >> 16) as usize % num_shards
+    }
+}
+
+/// Round-robin partitioner: `user % num_shards`. Deterministic and easy
+/// to reason about in tests and when replaying incidents; clusters less
+/// evenly than [`HashPartitioner`] when user ids carry structure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModuloPartitioner;
+
+impl Partitioner for ModuloPartitioner {
+    fn shard_of(&self, user: UserId, num_shards: usize) -> usize {
+        user as usize % num_shards
+    }
+}
+
+/// Sharding knobs of the [`ShardedOnlineKnn`] engine.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards users are partitioned across.
+    pub num_shards: usize,
+    /// Worker threads driving the shards (`None` = all available). More
+    /// threads than shards is never useful; the engine caps internally.
+    pub threads: Option<usize>,
+    /// User-to-shard assignment policy.
+    pub partitioner: Arc<dyn Partitioner>,
+}
+
+impl ShardConfig {
+    /// `num_shards` shards, hash partitioning, all available threads.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards > 0, "num_shards must be positive");
+        Self {
+            num_shards,
+            threads: None,
+            partitioner: Arc::new(HashPartitioner),
+        }
+    }
+
+    /// Sets the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the user-to-shard assignment policy.
+    pub fn with_partitioner(mut self, partitioner: Arc<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+}
+
+/// Where a user lives: its shard and its dense slot within that shard.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    shard: u32,
+    idx: u32,
+}
+
+/// One cross-shard message. Every variant is applied by the shard owning
+/// the user it names, at the start of the next repair round.
+#[derive(Debug, Clone, Copy)]
+enum ShardMsg {
+    /// A similarity freshly evaluated by another shard's repair; `owner`
+    /// is ours, and the value must land on its heap exactly as a local
+    /// evaluation would.
+    Scored {
+        owner: UserId,
+        other: UserId,
+        sim: f64,
+    },
+    /// The KNN edge `source → target` appeared on `source`'s shard;
+    /// `target` is ours and its in-neighbour set must record it.
+    ReverseAdd { target: UserId, source: UserId },
+    /// The KNN edge `source → target` was retracted on `source`'s shard.
+    ReverseRemove { target: UserId, source: UserId },
+}
+
+/// One captured counter mutation: during the batch, `user` started (or
+/// stopped) sharing one item with every user in `raters`. Captured
+/// serially at mutation time — rater sets are point-in-time — and applied
+/// by all shards in parallel, each taking the adjustments it owns. The
+/// rater list is `Arc`-shared with the repair extras so a hot item's
+/// (potentially huge) co-rater set is buffered once per update, not
+/// twice.
+#[derive(Debug)]
+struct CounterEvent {
+    user: UserId,
+    raters: Arc<Vec<UserId>>,
+    added: bool,
+}
+
+/// A shard: the private online-engine state of the users it owns.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Global ids of owned users, by local slot.
+    users: Vec<UserId>,
+    /// Live shared-item counters of owned users (keys are global ids).
+    counters: Vec<SparseCounter>,
+    /// Neighbour heaps of owned users.
+    heaps: Vec<KnnHeap>,
+    /// In-neighbour sets of owned users (sources are global ids).
+    incoming: ShardReverse,
+    /// Owned users awaiting repair this batch.
+    queue: VecDeque<UserId>,
+    /// Targeted repair candidates for queued users, as shared
+    /// point-in-time rater snapshots (one chunk per mutation).
+    extras: FxHashMap<UserId, Vec<Arc<Vec<UserId>>>>,
+    /// Owned users already repaired this batch.
+    visited: FxHashSet<UserId>,
+    /// Repairs performed this batch, against `budget`.
+    repaired: u64,
+    /// Repair budget for this batch (dirty users + propagation cap).
+    budget: u64,
+    /// Work accounting for this batch, merged into the engine's stats.
+    stats: UpdateStats,
+    /// Messages awaiting application by this shard.
+    inbox: Vec<ShardMsg>,
+    /// Messages produced this round, by destination shard.
+    outbox: Vec<Vec<ShardMsg>>,
+}
+
+impl Shard {
+    fn new(num_shards: usize) -> Self {
+        Self {
+            outbox: vec![Vec::new(); num_shards],
+            ..Self::default()
+        }
+    }
+
+    /// Admits a user, returning its local slot.
+    fn push_user(&mut self, k: usize, user: UserId) -> u32 {
+        let idx = self.users.len() as u32;
+        self.users.push(user);
+        self.counters.push(SparseCounter::new());
+        self.heaps.push(KnnHeap::new(k));
+        self.incoming.push_slot();
+        idx
+    }
+
+    /// Whether this shard still has work queued this round.
+    fn has_work(&self) -> bool {
+        !self.inbox.is_empty() || !self.queue.is_empty()
+    }
+
+    /// Applies the counter adjustments of `events` that this shard owns.
+    /// Every shard scans the full event list — the scan is a pointer walk;
+    /// the hash-map adjustments, which dominate, split `num_shards` ways.
+    fn apply_counter_events(&mut self, my: u32, events: &[CounterEvent], assign: &[Slot]) {
+        for ev in events {
+            let own = assign[ev.user as usize];
+            for &v in ev.raters.iter() {
+                if own.shard == my {
+                    let counter = &mut self.counters[own.idx as usize];
+                    if ev.added {
+                        counter.add(v);
+                    } else {
+                        counter.sub(v);
+                    }
+                    self.stats.counter_adjustments += 1;
+                }
+                let vslot = assign[v as usize];
+                if vslot.shard == my {
+                    let counter = &mut self.counters[vslot.idx as usize];
+                    if ev.added {
+                        counter.add(ev.user);
+                    } else {
+                        counter.sub(ev.user);
+                    }
+                    self.stats.counter_adjustments += 1;
+                }
+            }
+        }
+    }
+
+    /// One repair round: drain the inbox, then repair queued users within
+    /// the batch budget, emitting cross-shard messages into the outbox.
+    fn step(&mut self, my: u32, view: DeltaView<'_>, assign: &[Slot], config: &OnlineConfig) {
+        for msg in std::mem::take(&mut self.inbox) {
+            match msg {
+                ShardMsg::Scored { owner, other, sim } => {
+                    self.land(my, owner, other, sim, assign);
+                }
+                ShardMsg::ReverseAdd { target, source } => {
+                    self.incoming
+                        .add(assign[target as usize].idx as usize, source);
+                }
+                ShardMsg::ReverseRemove { target, source } => {
+                    self.incoming
+                        .remove(assign[target as usize].idx as usize, source);
+                }
+            }
+        }
+        while self.repaired < self.budget {
+            let Some(u) = self.queue.pop_front() else {
+                break;
+            };
+            if !self.visited.insert(u) {
+                continue;
+            }
+            self.repaired += 1;
+            let targeted = self.extras.remove(&u).unwrap_or_default();
+            self.repair(my, u, targeted, view, assign, config);
+        }
+        if self.repaired >= self.budget {
+            // Budget exhausted: drop the remaining cascade, exactly as the
+            // single engine's propagation loop does.
+            self.queue.clear();
+            self.extras.clear();
+        }
+    }
+
+    /// Re-scores `u` (owned) against its targeted candidates, refreshed
+    /// counter prefix, current neighbours and in-neighbours — the same
+    /// candidate set as [`OnlineKnn`]'s repair.
+    fn repair(
+        &mut self,
+        my: u32,
+        u: UserId,
+        targeted: Vec<Arc<Vec<UserId>>>,
+        view: DeltaView<'_>,
+        assign: &[Slot],
+        config: &OnlineConfig,
+    ) {
+        let slot = assign[u as usize].idx as usize;
+        let mut candidates: Vec<UserId> =
+            Vec::with_capacity(targeted.iter().map(|c| c.len()).sum());
+        for chunk in &targeted {
+            candidates.extend_from_slice(chunk);
+        }
+        if candidates.len() > config.repair_width {
+            // Deferred from the serial mutate phase: by now the counter
+            // phase has run, so live counts rank the touched co-raters.
+            // The single engine instead caps each mutation's chunk with
+            // mid-batch counts; when this cap triggers the two engines
+            // select (equally well-ranked but) different candidate
+            // subsets — the reason 1-shard equivalence is exact only
+            // while accumulated candidates stay below the width, and
+            // ε-close above it.
+            let counter = &self.counters[slot];
+            candidates.select_nth_unstable_by_key(config.repair_width, |&v| {
+                std::cmp::Reverse(counter.get(v))
+            });
+            candidates.truncate(config.repair_width);
+        }
+        candidates.extend(self.heaps[slot].ids());
+        candidates.extend(self.incoming.in_neighbors(slot));
+        candidates.extend(
+            self.counters[slot]
+                .top_by_count(config.repair_width)
+                .into_iter()
+                .map(|(v, _)| v),
+        );
+        candidates.sort_unstable();
+        candidates.dedup();
+        for v in candidates {
+            if v == u {
+                continue;
+            }
+            let s = config.metric.eval(view.profile(u), view.profile(v));
+            self.stats.sim_evals += 1;
+            self.land(my, u, v, s, assign);
+            let vslot = assign[v as usize];
+            if vslot.shard == my {
+                self.land(my, v, u, s, assign);
+            } else {
+                self.outbox[vslot.shard as usize].push(ShardMsg::Scored {
+                    owner: v,
+                    other: u,
+                    sim: s,
+                });
+            }
+        }
+    }
+
+    /// Lands an evaluated similarity on `owner`'s heap (`owner` is always
+    /// ours), routing reverse-edge edits to the shard owning the other
+    /// endpoint and enqueueing `owner` again when its neighbourhood
+    /// degraded.
+    fn land(&mut self, my: u32, owner: UserId, other: UserId, s: f64, assign: &[Slot]) {
+        let slot = assign[owner as usize].idx as usize;
+        if s <= 0.0 {
+            if self.heaps[slot].remove(other) {
+                self.retract_reverse(my, owner, other, assign);
+                self.stats.edits.removals += 1;
+                if !self.visited.contains(&owner) {
+                    self.queue.push_back(owner);
+                }
+            }
+        } else if let Some(old) = self.heaps[slot].reprioritize(other, s) {
+            if old != s {
+                self.stats.edits.reprioritized += 1;
+                if s < old && !self.visited.contains(&owner) {
+                    self.queue.push_back(owner);
+                }
+            }
+        } else if let HeapChange::Inserted { evicted } = self.heaps[slot].offer(s, other) {
+            self.stats.edits.inserts += 1;
+            self.record_reverse(my, owner, other, assign);
+            if let Some(e) = evicted {
+                self.retract_reverse(my, owner, e, assign);
+                self.stats.edits.evictions += 1;
+            }
+        }
+    }
+
+    /// Records `source → target` in the in-neighbour set of `target`,
+    /// locally or by message.
+    fn record_reverse(&mut self, my: u32, source: UserId, target: UserId, assign: &[Slot]) {
+        let tslot = assign[target as usize];
+        if tslot.shard == my {
+            self.incoming.add(tslot.idx as usize, source);
+        } else {
+            self.outbox[tslot.shard as usize].push(ShardMsg::ReverseAdd { target, source });
+        }
+    }
+
+    /// Retracts `source → target` from the in-neighbour set of `target`,
+    /// locally or by message.
+    fn retract_reverse(&mut self, my: u32, source: UserId, target: UserId, assign: &[Slot]) {
+        let tslot = assign[target as usize];
+        if tslot.shard == my {
+            self.incoming.remove(tslot.idx as usize, source);
+        } else {
+            self.outbox[tslot.shard as usize].push(ShardMsg::ReverseRemove { target, source });
+        }
+    }
+}
+
+/// A KNN graph maintained incrementally by a pool of user shards.
+///
+/// Same public contract as [`OnlineKnn`] — apply updates, read
+/// neighbourhoods, snapshot the graph — but `apply_batch` distributes
+/// repair across shards and threads. Construct via
+/// [`ShardedOnlineKnn::new`], [`ShardedOnlineKnn::from_graph`], or the
+/// facade's `KnnGraphBuilder::into_sharded`.
+#[derive(Debug)]
+pub struct ShardedOnlineKnn {
+    config: OnlineConfig,
+    shard_config: ShardConfig,
+    data: DeltaDataset,
+    /// Shard/slot of every user, fixed at admission.
+    assign: Vec<Slot>,
+    shards: Vec<Shard>,
+    lifetime: UpdateStats,
+    snapshot: Mutex<Option<Arc<KnnGraph>>>,
+}
+
+impl ShardedOnlineKnn {
+    /// Builds the initial graph with batch KIFF, then shards it for
+    /// streaming.
+    pub fn new(dataset: &Dataset, config: OnlineConfig, shards: ShardConfig) -> Self {
+        let graph = batch_graph(dataset, config.k, config.metric);
+        Self::from_graph(dataset, &graph, config, shards)
+    }
+
+    /// Shards an already-built graph (any construction algorithm) for
+    /// streaming. Counters are seeded from one unpivoted batch counting
+    /// pass, exactly like [`OnlineKnn::from_graph`].
+    pub fn from_graph(
+        dataset: &Dataset,
+        graph: &KnnGraph,
+        config: OnlineConfig,
+        shard_config: ShardConfig,
+    ) -> Self {
+        assert_eq!(
+            graph.num_users(),
+            dataset.num_users(),
+            "graph and dataset disagree on the user count"
+        );
+        let n = dataset.num_users();
+        let num_shards = shard_config.num_shards;
+        let rcs = build_rcs(
+            dataset,
+            &CountingConfig {
+                pivot: false,
+                keep_counts: true,
+                ..Default::default()
+            },
+        );
+        let mut shards: Vec<Shard> = (0..num_shards).map(|_| Shard::new(num_shards)).collect();
+        let mut assign = Vec::with_capacity(n);
+        for u in 0..n as UserId {
+            let s = shard_config.partitioner.shard_of(u, num_shards);
+            let shard = &mut shards[s];
+            let idx = shard.push_user(config.k, u);
+            assign.push(Slot {
+                shard: s as u32,
+                idx,
+            });
+            let slot = idx as usize;
+            let ids = rcs.rcs(u);
+            let counts = rcs.counts(u).expect("keep_counts set");
+            let counter = &mut shard.counters[slot];
+            for (&v, &c) in ids.iter().zip(counts) {
+                counter.add_n(v, c);
+            }
+            for nb in graph.neighbors(u) {
+                shard.heaps[slot].update(nb.sim, nb.id);
+            }
+        }
+        // Mirror the heaps into the owning shards' in-neighbour sets.
+        let mut engine = Self {
+            config,
+            shard_config,
+            data: DeltaDataset::new(dataset.clone()),
+            assign,
+            shards,
+            lifetime: UpdateStats::default(),
+            snapshot: Mutex::new(None),
+        };
+        for u in 0..n as UserId {
+            let slot = engine.assign[u as usize];
+            for id in engine.shards[slot.shard as usize].heaps[slot.idx as usize].ids() {
+                let t = engine.assign[id as usize];
+                engine.shards[t.shard as usize]
+                    .incoming
+                    .add(t.idx as usize, u);
+            }
+        }
+        engine
+    }
+
+    /// The engine's online configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// The engine's sharding configuration.
+    pub fn shard_config(&self) -> &ShardConfig {
+        &self.shard_config
+    }
+
+    /// Neighbourhood size `k`.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current number of users.
+    pub fn num_users(&self) -> usize {
+        self.data.num_users()
+    }
+
+    /// The live dataset view.
+    pub fn data(&self) -> &DeltaDataset {
+        &self.data
+    }
+
+    /// Work accumulated over the engine's lifetime.
+    pub fn lifetime_stats(&self) -> &UpdateStats {
+        &self.lifetime
+    }
+
+    /// The shard owning `u`.
+    pub fn shard_of(&self, u: UserId) -> usize {
+        self.assign[u as usize].shard as usize
+    }
+
+    /// Users owned per shard — the balance signal a rebalancer would act
+    /// on.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.users.len()).collect()
+    }
+
+    /// `u`'s current neighbours, best first.
+    pub fn neighbors(&self, u: UserId) -> Vec<Neighbor> {
+        let slot = self.assign[u as usize];
+        self.shards[slot.shard as usize].heaps[slot.idx as usize].sorted_neighbors()
+    }
+
+    /// The live shared-item count `|UP_u ∩ UP_v|` (0 when disjoint), read
+    /// from the shard owning `u`.
+    pub fn shared_count(&self, u: UserId, v: UserId) -> u32 {
+        let slot = self.assign[u as usize];
+        self.shards[slot.shard as usize].counters[slot.idx as usize].get(v)
+    }
+
+    /// Snapshots the live graph. Cached between mutations like
+    /// [`OnlineKnn::graph`].
+    pub fn graph(&self) -> Arc<KnnGraph> {
+        let mut cache = self.snapshot.lock().expect("snapshot lock poisoned");
+        if let Some(g) = cache.as_ref() {
+            return Arc::clone(g);
+        }
+        let neighbors = (0..self.num_users() as UserId)
+            .map(|u| {
+                let slot = self.assign[u as usize];
+                self.shards[slot.shard as usize].heaps[slot.idx as usize].sorted_neighbors()
+            })
+            .collect();
+        let g = Arc::new(KnnGraph::from_neighbors(self.config.k, neighbors));
+        *cache = Some(Arc::clone(&g));
+        g
+    }
+
+    /// Appends a user with an empty profile, returning its id.
+    pub fn add_user(&mut self) -> UserId {
+        let id = self.data.add_user();
+        let s = self
+            .shard_config
+            .partitioner
+            .shard_of(id, self.shards.len());
+        let idx = self.shards[s].push_user(self.config.k, id);
+        self.assign.push(Slot {
+            shard: s as u32,
+            idx,
+        });
+        *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
+        id
+    }
+
+    /// Applies one mutation. Prefer [`ShardedOnlineKnn::apply_batch`]:
+    /// single updates rarely have enough repair work to amortise the
+    /// cross-shard coordination.
+    pub fn apply(&mut self, update: Update) -> UpdateStats {
+        self.apply_batch(std::iter::once(update))
+    }
+
+    /// Applies a batch of mutations: serial dataset mutation, then
+    /// parallel counter maintenance and repair across shards, with
+    /// cross-shard work exchanged through message queues between rounds.
+    pub fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let mut events: Vec<CounterEvent> = Vec::new();
+
+        // Phase 1 (serial): mutate the dataset view, capture point-in-time
+        // rater sets, and route each dirty user to its owning shard.
+        for update in updates {
+            stats.updates += 1;
+            if let Some((user, targeted)) = self.mutate(update, &mut events) {
+                let shard = &mut self.shards[self.assign[user as usize].shard as usize];
+                match shard.extras.entry(user) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().extend(targeted);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(targeted.into_iter().collect());
+                        shard.queue.push_back(user);
+                    }
+                }
+            }
+        }
+
+        let threads = effective_threads(self.shard_config.threads).min(self.shards.len());
+        let view = self.data.view();
+        let assign = &self.assign;
+        let config = &self.config;
+
+        for shard in &mut self.shards {
+            shard.budget = shard.queue.len() as u64 + config.max_propagation as u64;
+        }
+
+        // Phase 2 (parallel): every shard applies the counter adjustments
+        // it owns.
+        parallel_for_each_mut(threads, &mut self.shards, |my, shard| {
+            shard.apply_counter_events(my as u32, &events, assign);
+        });
+
+        // Phase 3 (parallel rounds): repair until quiescence. Each round
+        // drains inboxes and queues shard-locally; produced messages are
+        // routed between rounds.
+        while self.shards.iter().any(Shard::has_work) {
+            parallel_for_each_mut(threads, &mut self.shards, |my, shard| {
+                shard.step(my as u32, view, assign, config);
+            });
+            for s in 0..self.shards.len() {
+                for d in 0..self.shards.len() {
+                    let msgs = std::mem::take(&mut self.shards[s].outbox[d]);
+                    self.shards[d].inbox.extend(msgs);
+                }
+            }
+        }
+
+        // Phase 4 (serial): merge accounting, reset per-batch state,
+        // re-compact storage if the overlay grew past the threshold.
+        for shard in &mut self.shards {
+            stats.merge(&std::mem::take(&mut shard.stats));
+            stats.repaired_users += shard.repaired;
+            shard.repaired = 0;
+            shard.visited.clear();
+        }
+        let n = self.data.num_users().max(1);
+        if (self.data.overlay_users() as f64) >= self.config.compaction_threshold * n as f64 {
+            self.data.compact();
+            stats.compacted = true;
+        }
+        if stats.edits.total() > 0 {
+            *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
+        }
+        self.lifetime.merge(&stats);
+        stats
+    }
+
+    /// Applies one mutation to the dataset view, capturing the counter
+    /// event and the dirty user with its targeted candidate chunk
+    /// (uncapped: the owning shard caps against live counts after the
+    /// counter phase; the chunk is the same `Arc` the event holds).
+    /// Mirrors [`OnlineKnn`]'s mutate step.
+    fn mutate(
+        &mut self,
+        update: Update,
+        events: &mut Vec<CounterEvent>,
+    ) -> Option<(UserId, Option<Arc<Vec<UserId>>>)> {
+        match update {
+            Update::AddRating { user, item, rating } => {
+                while (user as usize) >= self.data.num_users() {
+                    self.add_user();
+                }
+                let mut raters = self.data.item_raters(item);
+                raters.retain(|&v| v != user);
+                let raters = Arc::new(raters);
+                if self.data.add_rating(user, item, rating) {
+                    events.push(CounterEvent {
+                        user,
+                        raters: Arc::clone(&raters),
+                        added: true,
+                    });
+                }
+                Some((user, Some(raters)))
+            }
+            Update::AddUser => {
+                self.add_user();
+                None
+            }
+            Update::RemoveRating { user, item } => {
+                if (user as usize) >= self.data.num_users() || !self.data.remove_rating(user, item)
+                {
+                    return None;
+                }
+                let mut raters = self.data.item_raters(item);
+                raters.retain(|&v| v != user);
+                events.push(CounterEvent {
+                    user,
+                    raters: Arc::new(raters),
+                    added: false,
+                });
+                Some((user, None))
+            }
+        }
+    }
+
+    /// Exhaustively checks the cross-shard invariants (`O(n·k)`; tests
+    /// and tools only): every heap edge `u → v` is mirrored in the
+    /// in-neighbour set held by `v`'s shard, every recorded in-neighbour
+    /// points back, and every user's cached slot matches the partitioner.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    pub fn validate_invariants(&self) {
+        for u in 0..self.num_users() as UserId {
+            let slot = self.assign[u as usize];
+            assert_eq!(
+                slot.shard as usize,
+                self.shard_config.partitioner.shard_of(u, self.shards.len()),
+                "user {u} cached on the wrong shard"
+            );
+            let shard = &self.shards[slot.shard as usize];
+            assert_eq!(shard.users[slot.idx as usize], u, "slot map corrupt at {u}");
+            for id in shard.heaps[slot.idx as usize].ids() {
+                let t = self.assign[id as usize];
+                assert!(
+                    self.shards[t.shard as usize]
+                        .incoming
+                        .contains(t.idx as usize, u),
+                    "edge {u} -> {id} missing from shard {} incoming",
+                    t.shard
+                );
+            }
+            for w in shard.incoming.in_neighbors(slot.idx as usize) {
+                let ws = self.assign[w as usize];
+                assert!(
+                    self.shards[ws.shard as usize].heaps[ws.idx as usize].contains(u),
+                    "reverse ghost {w} -> {u}"
+                );
+            }
+        }
+    }
+}
+
+/// Conversion that preserves the live graph: wraps a single engine's
+/// state into shards (used by the builder facade's `into_sharded`).
+impl ShardedOnlineKnn {
+    /// Shards the state of a single-threaded engine. The dataset view is
+    /// re-based on the engine's current state; the graph transfers
+    /// edge-for-edge.
+    pub fn from_online(engine: &OnlineKnn, shard_config: ShardConfig) -> Self {
+        let dataset = engine.data().to_dataset();
+        let graph = engine.graph();
+        Self::from_graph(&dataset, &graph, engine.config().clone(), shard_config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_similarity::intersect_count;
+
+    fn toy(shards: usize) -> ShardedOnlineKnn {
+        ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2),
+            ShardConfig::new(shards).with_threads(2),
+        )
+    }
+
+    /// Counter + stored-similarity audit against brute force, plus the
+    /// cross-shard invariants.
+    fn audit(engine: &ShardedOnlineKnn) {
+        engine.validate_invariants();
+        let n = engine.num_users() as UserId;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let shared = intersect_count(
+                    engine.data().profile(u).items,
+                    engine.data().profile(v).items,
+                );
+                assert_eq!(
+                    engine.shared_count(u, v) as usize,
+                    shared,
+                    "counter ({u}, {v})"
+                );
+            }
+            for nb in engine.neighbors(u) {
+                let fresh = engine
+                    .config()
+                    .metric
+                    .eval(engine.data().profile(u), engine.data().profile(nb.id));
+                assert!(
+                    (nb.sim - fresh).abs() < 1e-12,
+                    "stale sim on edge {u} -> {}: stored {} fresh {fresh}",
+                    nb.id,
+                    nb.sim
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_state_matches_batch_for_any_shard_count() {
+        for shards in [1, 2, 3, 8] {
+            let engine = toy(shards);
+            assert_eq!(engine.num_shards(), shards);
+            assert_eq!(engine.shard_sizes().iter().sum::<usize>(), 4);
+            audit(&engine);
+            assert_eq!(engine.neighbors(0)[0].id, 1, "{shards} shards");
+            assert_eq!(engine.neighbors(2)[0].id, 3, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn add_rating_connects_cross_shard_pairs() {
+        // Modulo partitioning on the toy puts Carl(2) and Alice(0)/Bob(1)
+        // on different shards, so the new edges must flow through the
+        // message queue.
+        let mut engine = ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2),
+            ShardConfig::new(2)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner)),
+        );
+        assert_ne!(engine.shard_of(2), engine.shard_of(1));
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        assert_eq!(stats.updates, 1);
+        assert!(stats.sim_evals > 0);
+        assert!(stats.counter_adjustments >= 4, "two new sharing pairs");
+        audit(&engine);
+        let ids: Vec<UserId> = engine.neighbors(2).iter().map(|nb| nb.id).collect();
+        assert!(
+            ids.contains(&0) || ids.contains(&1),
+            "coffee drinkers found"
+        );
+    }
+
+    #[test]
+    fn remove_rating_severs_cross_shard_pairs() {
+        let mut engine = toy(3);
+        let stats = engine.apply(Update::RemoveRating { user: 1, item: 1 });
+        assert!(stats.edits.removals > 0);
+        audit(&engine);
+        assert!(!engine.neighbors(0).iter().any(|nb| nb.id == 1));
+        assert!(!engine.neighbors(1).iter().any(|nb| nb.id == 0));
+        // Removing it again is a no-op.
+        let stats = engine.apply(Update::RemoveRating { user: 1, item: 1 });
+        assert_eq!(stats.sim_evals, 0);
+        assert_eq!(stats.counter_adjustments, 0);
+    }
+
+    #[test]
+    fn new_users_land_on_their_shard() {
+        let mut engine = toy(2);
+        let u = engine.add_user();
+        assert_eq!(u, 4);
+        assert_eq!(
+            engine.shard_of(u),
+            HashPartitioner.shard_of(u, 2),
+            "partitioner decides placement"
+        );
+        engine.apply(Update::AddRating {
+            user: u,
+            item: 3,
+            rating: 1.0,
+        });
+        audit(&engine);
+        let ids: Vec<UserId> = engine.neighbors(u).iter().map(|nb| nb.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert!(engine.neighbors(2).iter().any(|nb| nb.id == u));
+    }
+
+    #[test]
+    fn implicit_user_growth_on_add_rating() {
+        let mut engine = toy(2);
+        engine.apply(Update::AddRating {
+            user: 6,
+            item: 0,
+            rating: 1.0,
+        });
+        assert_eq!(engine.num_users(), 7, "users 4..=6 created");
+        audit(&engine);
+        assert!(
+            engine.neighbors(6).iter().any(|nb| nb.id == 0),
+            "shares book"
+        );
+    }
+
+    #[test]
+    fn one_shard_matches_single_engine_exactly() {
+        let updates = vec![
+            Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            },
+            Update::AddRating {
+                user: 0,
+                item: 2,
+                rating: 2.0,
+            },
+            Update::RemoveRating { user: 3, item: 3 },
+        ];
+        let mut single = OnlineKnn::new(&figure2_toy(), OnlineConfig::new(2));
+        let mut sharded = toy(1);
+        let single_stats = single.apply_batch(updates.clone());
+        let sharded_stats = sharded.apply_batch(updates);
+        for u in 0..single.num_users() as UserId {
+            assert_eq!(
+                single.neighbors(u),
+                sharded.neighbors(u),
+                "user {u} diverged"
+            );
+        }
+        assert_eq!(single_stats.sim_evals, sharded_stats.sim_evals);
+        assert_eq!(
+            single_stats.counter_adjustments,
+            sharded_stats.counter_adjustments
+        );
+        audit(&sharded);
+    }
+
+    #[test]
+    fn batch_equals_sequential_on_final_neighborhoods() {
+        let updates = vec![
+            Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            },
+            Update::AddRating {
+                user: 0,
+                item: 2,
+                rating: 2.0,
+            },
+            Update::RemoveRating { user: 3, item: 3 },
+        ];
+        let mut sequential = toy(2);
+        for u in updates.clone() {
+            sequential.apply(u);
+        }
+        let mut batched = toy(2);
+        let stats = batched.apply_batch(updates);
+        assert_eq!(stats.updates, 3);
+        audit(&sequential);
+        audit(&batched);
+        for u in 0..sequential.num_users() as UserId {
+            assert_eq!(
+                sequential.neighbors(u),
+                batched.neighbors(u),
+                "user {u} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_snapshot_cached_and_invalidated() {
+        let mut engine = toy(2);
+        let first = engine.graph();
+        assert!(Arc::ptr_eq(&first, &engine.graph()));
+        engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        let second = engine.graph();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.num_users(), 4);
+    }
+
+    #[test]
+    fn from_online_preserves_the_live_graph() {
+        let mut single = OnlineKnn::new(&figure2_toy(), OnlineConfig::new(2));
+        single.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        let sharded = ShardedOnlineKnn::from_online(&single, ShardConfig::new(2));
+        for u in 0..single.num_users() as UserId {
+            assert_eq!(single.neighbors(u), sharded.neighbors(u), "user {u}");
+        }
+        audit(&sharded);
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_state() {
+        let mut engine = ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2).with_compaction_threshold(0.2),
+            ShardConfig::new(2),
+        );
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        assert!(stats.compacted, "20% threshold trips on the first overlay");
+        assert_eq!(engine.data().overlay_users(), 0);
+        audit(&engine);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_shards must be positive")]
+    fn zero_shards_rejected() {
+        let _ = ShardConfig::new(0);
+    }
+}

@@ -11,6 +11,8 @@
 //!   over an index range, built on [`std::thread::scope`];
 //! * [`parallel_fold`] — the same with per-thread accumulators merged at
 //!   the end;
+//! * [`parallel_for_each_mut`] — exclusive mutable iteration over a slice
+//!   of worker states (the sharded online engine's shard-execution step);
 //! * [`Counter`] / [`TimeAccumulator`] — relaxed atomic counters and
 //!   per-activity wall-clock accumulators safe to update from any worker.
 //!
@@ -22,4 +24,4 @@ pub mod counters;
 pub mod pool;
 
 pub use counters::{Counter, ScopedTimer, TimeAccumulator};
-pub use pool::{effective_threads, parallel_fold, parallel_for};
+pub use pool::{effective_threads, parallel_fold, parallel_for, parallel_for_each_mut};

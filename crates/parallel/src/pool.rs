@@ -47,6 +47,62 @@ where
     });
 }
 
+/// Runs `body` once over every element of `items` with exclusive mutable
+/// access, handing elements to `threads` workers through a shared cursor.
+///
+/// This is the shard-execution primitive of the sharded online engine:
+/// each element is a shard's private state, the body repairs it in place,
+/// and the shared cursor keeps skewed shards from idling the pool. With
+/// `threads == 1` the body runs inline in index order — the deterministic
+/// mode tests compare against sequential references.
+pub fn parallel_for_each_mut<T, F>(threads: usize, items: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            body(i, item);
+        }
+        return;
+    }
+    // Hand out elements through an atomic cursor over raw slots: each index
+    // is claimed exactly once, so no two workers ever hold the same element.
+    let cursor = AtomicUsize::new(0);
+    let base = SendPtr(items.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: `i < n` is claimed by exactly one worker (the
+                // fetch_add is a unique ticket), so this is the only live
+                // reference to `items[i]`; the scope outlives no borrow.
+                let item = unsafe { &mut *base.get().add(i) };
+                body(i, item);
+            });
+        }
+    });
+}
+
+/// A raw pointer wrapper that is `Sync` so scoped workers can share the
+/// slice base; safety rests on the unique-ticket cursor above. Accessed
+/// through a method so closures capture the wrapper, not the raw field.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Parallel fold: each worker owns an accumulator created by `init`, feeds it
 /// chunks via `fold`, and the per-worker results are combined with `merge`.
 ///
@@ -150,6 +206,32 @@ mod tests {
             sum.fetch_add(range.map(|i| i as u64).sum::<u64>(), Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 10); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn for_each_mut_visits_every_element_once() {
+        for threads in [1, 2, 8] {
+            let mut items: Vec<u64> = (0..257).collect();
+            parallel_for_each_mut(threads, &mut items, |i, item| {
+                assert_eq!(*item, i as u64, "threads {threads}");
+                *item += 1000;
+            });
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1000));
+        }
+    }
+
+    #[test]
+    fn for_each_mut_empty_is_noop() {
+        let mut items: Vec<u64> = Vec::new();
+        parallel_for_each_mut(4, &mut items, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn for_each_mut_single_thread_is_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        let mut items = [0u8; 9];
+        parallel_for_each_mut(1, &mut items, |i, _| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..9).collect::<Vec<_>>());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, 
 use kiff_core::{Kiff, KiffConfig};
 use kiff_dataset::Dataset;
 use kiff_graph::{exact_knn, KnnGraph};
-use kiff_online::{OnlineConfig, OnlineKnn, OnlineMetric};
+use kiff_online::{OnlineConfig, OnlineKnn, OnlineMetric, ShardConfig, ShardedOnlineKnn};
 use kiff_similarity::{
     AdamicAdar, BinaryCosine, Dice, Jaccard, Similarity, WeightedCosine, WeightedJaccard,
 };
@@ -159,6 +159,40 @@ impl KnnGraphBuilder {
     /// Panics for [`Metric::AdamicAdar`]: its per-item weights are fitted
     /// on a frozen dataset and would go stale under mutation.
     pub fn into_online(self, dataset: &Dataset) -> OnlineKnn {
+        let (graph, config) = self.online_parts(dataset);
+        OnlineKnn::from_graph(dataset, &graph, config)
+    }
+
+    /// Like [`KnnGraphBuilder::into_online`], but partitions users across
+    /// `num_shards` shards repaired in parallel (hash partitioning, all
+    /// available threads — see [`kiff_online::ShardConfig`] for custom
+    /// partitioners and thread caps via
+    /// [`ShardedOnlineKnn::from_graph`]):
+    ///
+    /// ```
+    /// use kiff::KnnGraphBuilder;
+    /// use kiff::online::Update;
+    /// use kiff_dataset::dataset::figure2_toy;
+    ///
+    /// let ds = figure2_toy();
+    /// let mut live = KnnGraphBuilder::new(1).threads(1).into_sharded(&ds, 2);
+    /// live.apply(Update::AddRating { user: 2, item: 1, rating: 1.0 });
+    /// assert!(!live.neighbors(2).is_empty());
+    /// ```
+    ///
+    /// # Panics
+    /// Panics for [`Metric::AdamicAdar`] (see
+    /// [`KnnGraphBuilder::into_online`]) and for `num_shards == 0`.
+    pub fn into_sharded(self, dataset: &Dataset, num_shards: usize) -> ShardedOnlineKnn {
+        let mut shard_config = ShardConfig::new(num_shards);
+        shard_config.threads = self.threads;
+        let (graph, config) = self.online_parts(dataset);
+        ShardedOnlineKnn::from_graph(dataset, &graph, config, shard_config)
+    }
+
+    /// Shared tail of the online conversions: the initial graph plus the
+    /// online configuration with the metric translated.
+    fn online_parts(&self, dataset: &Dataset) -> (KnnGraph, OnlineConfig) {
         let metric = match self.metric {
             Metric::Cosine => OnlineMetric::Cosine,
             Metric::BinaryCosine => OnlineMetric::BinaryCosine,
@@ -171,11 +205,7 @@ impl KnnGraphBuilder {
             ),
         };
         let graph = self.build(dataset);
-        OnlineKnn::from_graph(
-            dataset,
-            &graph,
-            OnlineConfig::new(self.k).with_metric(metric),
-        )
+        (graph, OnlineConfig::new(self.k).with_metric(metric))
     }
 
     fn dispatch<S: Similarity>(&self, dataset: &Dataset, sim: &S) -> KnnGraph {
@@ -266,6 +296,25 @@ mod tests {
             let g = KnnGraphBuilder::new(1).metric(metric).threads(1).build(&ds);
             // Alice's neighbour is always Bob: the only sharing user.
             assert_eq!(g.neighbors(0)[0].id, 1, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn into_sharded_streams_like_into_online() {
+        use kiff_online::Update;
+        let ds = figure2_toy();
+        let mut single = KnnGraphBuilder::new(2).threads(1).into_online(&ds);
+        let mut sharded = KnnGraphBuilder::new(2).threads(1).into_sharded(&ds, 2);
+        assert_eq!(sharded.num_shards(), 2);
+        let update = Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        };
+        single.apply(update);
+        sharded.apply(update);
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(single.neighbors(u), sharded.neighbors(u), "user {u}");
         }
     }
 

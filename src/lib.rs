@@ -83,7 +83,7 @@ pub mod prelude {
     pub use kiff_core::{Kiff, KiffConfig};
     pub use kiff_dataset::{Dataset, DatasetBuilder, DeltaDataset};
     pub use kiff_graph::{exact_knn, recall, KnnGraph, Neighbor};
-    pub use kiff_online::{OnlineConfig, OnlineKnn, Update};
+    pub use kiff_online::{OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update};
     pub use kiff_similarity::{
         AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
         WeightedJaccard,
