@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -27,13 +27,20 @@ examples:
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --no-deps
 
-# The CI bench-regression gate: streaming experiments on a small
-# synthetic dataset, failing when recall-vs-rebuild drops below
+# The CI bench-regression gate: streaming + hot-loop experiments on a
+# small synthetic dataset, failing when recall-vs-rebuild drops below
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded --scale 0.1 --threads 4 --seed 42 \
+		online sharded counting --scale 0.1 --threads 4 --seed 42 \
 		--recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
+
+# Counting/scoring hot-loop throughput only (BENCH_counting.json):
+# RCS construction per strategy vs the pre-rewrite pipeline, and
+# prepared vs pairwise refinement scoring.
+bench-counting:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		counting --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

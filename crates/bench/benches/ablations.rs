@@ -20,6 +20,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_rcs_strategy");
     group.sample_size(20);
     for (name, strategy) in [
+        ("dense", CountStrategy::Dense),
         ("sort_based", CountStrategy::SortBased),
         ("hash_based", CountStrategy::HashBased),
     ] {

@@ -6,6 +6,7 @@
 pub mod comparison;
 pub mod convergence;
 pub mod counting_exps;
+pub mod counting_perf;
 pub mod datasets_exps;
 pub mod density_exps;
 pub mod extensions;
@@ -228,7 +229,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 23] = [
+pub const ALL: [&str; 24] = [
     "table1",
     "fig4",
     "fig1",
@@ -252,6 +253,7 @@ pub const ALL: [&str; 23] = [
     "ext5",
     "online",
     "sharded",
+    "counting",
 ];
 
 /// Runs one experiment by id.
@@ -280,6 +282,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "ext5" => Ok(extensions::ext5(ctx)),
         "online" => Ok(online::online(ctx)),
         "sharded" => Ok(sharded::sharded(ctx)),
+        "counting" => Ok(counting_perf::counting(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -1,7 +1,7 @@
 //! Normalised algorithm runners shared by experiments and benches.
 
 use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, NnDescent};
-use kiff_core::{Kiff, KiffConfig};
+use kiff_core::{Kiff, KiffConfig, TimingMode};
 use kiff_dataset::Dataset;
 use kiff_eval::AlgoRunRecord;
 use kiff_graph::{exact_knn, recall, IterationTrace, KnnGraph, NoObserver};
@@ -51,7 +51,9 @@ pub fn run_kiff_with(
     beta: Option<f64>,
 ) -> RunOutcome {
     let sim = WeightedCosine::fit(dataset);
-    let mut config = KiffConfig::new(opts.k);
+    // Paper tables report phase breakdowns: measure every user instead of
+    // the production default's 1-in-64 sampling.
+    let mut config = KiffConfig::new(opts.k).with_timing(TimingMode::Full);
     config.threads = opts.threads;
     if let Some(g) = gamma {
         config = config.with_gamma(g);

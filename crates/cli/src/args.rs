@@ -3,6 +3,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use kiff::core::{CountStrategy, ScoringMode};
 use kiff::{Algorithm, Metric};
 use kiff_dataset::PaperDataset;
 
@@ -53,6 +54,11 @@ pub struct BuildOptions {
     pub gamma: Option<usize>,
     /// KIFF's β / the greedy baselines' termination threshold.
     pub beta: Option<f64>,
+    /// KIFF's shared-item counting strategy (default: adaptive).
+    pub count_strategy: CountStrategy,
+    /// How KIFF's refinement evaluates similarities (default: prepared
+    /// scorers).
+    pub scoring: ScoringMode,
     /// Worker threads.
     pub threads: Option<usize>,
     /// RNG seed for randomised algorithms.
@@ -163,6 +169,7 @@ commands:
              [--algorithm kiff|nndescent|hyrec|l2knng|lsh|exact]
              [--metric cosine|binary-cosine|jaccard|weighted-jaccard|dice|adamic-adar]
              [--gamma N] [--beta F] [--threads N] [--seed N] [--output FILE]
+             [--count-strategy auto|dense|sort|hash] [--scoring prepared|pairwise]
   stats      print dataset statistics (Table I columns)
              --input FILE [--format ...]
   generate   write a synthetic dataset calibrated to a paper dataset
@@ -225,6 +232,24 @@ fn parse_metric(raw: &str) -> Result<Metric, ParseError> {
     }
 }
 
+fn parse_count_strategy(raw: &str) -> Result<CountStrategy, ParseError> {
+    match raw {
+        "auto" => Ok(CountStrategy::Auto),
+        "dense" => Ok(CountStrategy::Dense),
+        "sort" | "sort-based" => Ok(CountStrategy::SortBased),
+        "hash" | "hash-based" => Ok(CountStrategy::HashBased),
+        other => Err(ParseError(format!("unknown count strategy '{other}'"))),
+    }
+}
+
+fn parse_scoring(raw: &str) -> Result<ScoringMode, ParseError> {
+    match raw {
+        "prepared" => Ok(ScoringMode::Prepared),
+        "pairwise" => Ok(ScoringMode::Pairwise),
+        other => Err(ParseError(format!("unknown scoring mode '{other}'"))),
+    }
+}
+
 fn parse_preset(raw: &str) -> Result<PaperDataset, ParseError> {
     match raw {
         "wikipedia" => Ok(PaperDataset::Wikipedia),
@@ -258,6 +283,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut metric = Metric::Cosine;
     let mut gamma: Option<usize> = None;
     let mut beta: Option<f64> = None;
+    let mut count_strategy = CountStrategy::default();
+    let mut scoring = ScoringMode::default();
     let mut threads: Option<usize> = None;
     let mut seed = 42u64;
     let mut scale = 1.0f64;
@@ -280,6 +307,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             "--metric" | "-m" => metric = parse_metric(&value("--metric", &mut iter)?)?,
             "--gamma" => gamma = Some(parse_num("--gamma", &value("--gamma", &mut iter)?)?),
             "--beta" => beta = Some(parse_num("--beta", &value("--beta", &mut iter)?)?),
+            "--count-strategy" => {
+                count_strategy = parse_count_strategy(&value("--count-strategy", &mut iter)?)?
+            }
+            "--scoring" => scoring = parse_scoring(&value("--scoring", &mut iter)?)?,
             "--threads" => threads = Some(parse_num("--threads", &value("--threads", &mut iter)?)?),
             "--seed" => seed = parse_num("--seed", &value("--seed", &mut iter)?)?,
             "--scale" => scale = parse_num("--scale", &value("--scale", &mut iter)?)?,
@@ -314,6 +345,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             metric,
             gamma,
             beta,
+            count_strategy,
+            scoring,
             threads,
             seed,
             output,
@@ -396,6 +429,31 @@ mod tests {
     fn build_requires_input_and_k() {
         assert!(parse(&argv("build --k 5")).is_err());
         assert!(parse(&argv("build --input r.tsv")).is_err());
+    }
+
+    #[test]
+    fn parses_count_strategy_and_scoring() {
+        let cmd = parse(&argv(
+            "build --input r.tsv --k 5 --count-strategy dense --scoring pairwise",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Build(b) => {
+                assert_eq!(b.count_strategy, CountStrategy::Dense);
+                assert_eq!(b.scoring, ScoringMode::Pairwise);
+            }
+            other => panic!("expected Build, got {other:?}"),
+        }
+        // Defaults: adaptive counting, prepared scorers.
+        match parse(&argv("build --input r.tsv --k 5")).unwrap() {
+            Command::Build(b) => {
+                assert_eq!(b.count_strategy, CountStrategy::Auto);
+                assert_eq!(b.scoring, ScoringMode::Prepared);
+            }
+            other => panic!("expected Build, got {other:?}"),
+        }
+        assert!(parse(&argv("build --input r.tsv --k 5 --count-strategy magic")).is_err());
+        assert!(parse(&argv("build --input r.tsv --k 5 --scoring magic")).is_err());
     }
 
     #[test]

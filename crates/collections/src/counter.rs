@@ -2,16 +2,20 @@
 //!
 //! Building a ranked candidate set means computing, for one user `u`, the
 //! multiset union of the item profiles of her items (Algorithm 1, line 4) —
-//! i.e. counting how many items `u` shares with every co-rater. Two
+//! i.e. counting how many items `u` shares with every co-rater. Three
 //! strategies are provided and benchmarked against each other (see the
-//! `ablations` bench target):
+//! `ablations` bench target and the `counting` experiment):
 //!
 //! * [`SparseCounter`] — hash-map based; good when candidate batches are tiny.
-//! * [`count_sorted_runs`] — sort + run-length-encode; wins on the skewed,
-//!   bursty batches real datasets produce and is the default in `kiff-core`.
+//! * [`count_sorted_runs`] — sort + run-length-encode; cache-friendly on
+//!   skewed, bursty batches without auxiliary state.
+//! * [`DenseCounter`] — epoch-stamped dense array over dense `u32` keys;
+//!   O(1) per increment with no hashing and no sort of the raw multiset,
+//!   the fastest option once batches carry real multiplicity. Pays O(key
+//!   universe) memory per instance, so one is kept per worker thread.
 
 use crate::hash::FxHashMap;
-use crate::radix::radix_sort_u32;
+use crate::radix::{radix_sort_u32, radix_sort_u32_with};
 
 /// Hash-based sparse counter over `u32` keys.
 ///
@@ -111,9 +115,237 @@ impl SparseCounter {
     /// Drains the counter into `(key, count)` pairs ordered by descending
     /// count, ties broken by ascending key — the ranked-candidate-set order.
     pub fn drain_sorted_by_count(&mut self) -> Vec<(u32, u32)> {
-        let mut pairs: Vec<(u32, u32)> = self.counts.drain().collect();
-        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut pairs = Vec::new();
+        self.drain_sorted_into(&mut pairs);
         pairs
+    }
+
+    /// [`SparseCounter::drain_sorted_by_count`] into a caller-owned buffer
+    /// (cleared first) — the allocation-free variant hot loops reuse.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        out.extend(self.counts.drain());
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    }
+}
+
+/// Epoch-stamped dense multiplicity counter over `u32` keys.
+///
+/// Counts live in a flat array indexed by key; a parallel stamp array
+/// records which epoch each slot was last written in, so "resetting"
+/// between batches is a single epoch increment instead of an O(universe)
+/// clear. Touched keys are recorded in first-touch order, making a full
+/// drain O(distinct).
+///
+/// This is the engine behind `CountStrategy::Dense` in `kiff-core`: one
+/// instance per worker thread, `begin()` per user, `add()` per gathered
+/// candidate, then [`DenseCounter::emit_ranked`] produces the RCS order via
+/// a counting sort over multiplicities (which are bounded by the user's
+/// degree — each rated item contributes at most one shared item per
+/// co-rater).
+#[derive(Debug, Clone)]
+pub struct DenseCounter {
+    count: Vec<u32>,
+    stamp: Vec<u32>,
+    /// Distinct keys of the current batch, in first-touch order.
+    touched: Vec<u32>,
+    /// Starts at 1: fresh slots carry stamp 0 and therefore read as
+    /// untouched even before the first [`DenseCounter::begin`].
+    epoch: u32,
+    /// Scratch histogram for [`DenseCounter::emit_ranked`]'s counting sort.
+    hist: Vec<u32>,
+    /// Radix-sort scratch for [`DenseCounter::emit_ranked`].
+    sort_scratch: Vec<u32>,
+}
+
+impl Default for DenseCounter {
+    fn default() -> Self {
+        Self {
+            count: Vec::new(),
+            stamp: Vec::new(),
+            touched: Vec::new(),
+            epoch: 1,
+            hist: Vec::new(),
+            sort_scratch: Vec::new(),
+        }
+    }
+}
+
+impl DenseCounter {
+    /// An empty counter; slots grow on demand (see [`DenseCounter::add`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty counter with slots for keys `0..capacity` preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut c = Self::default();
+        c.ensure_capacity(capacity);
+        c
+    }
+
+    /// An empty counter with only *stamp* slots for keys `0..capacity`
+    /// preallocated — the mark-only sizing configuration
+    /// ([`DenseCounter::mark`] never touches the count array, so sizing
+    /// passes pay 4 bytes per key instead of 8). Count slots still grow
+    /// on demand if [`DenseCounter::add`] is used later.
+    pub fn with_stamp_capacity(capacity: usize) -> Self {
+        let mut c = Self::default();
+        c.stamp.resize(capacity, 0);
+        c
+    }
+
+    /// Grows the slot arrays to cover keys `0..capacity`.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        if self.count.len() < capacity {
+            self.count.resize(capacity, 0);
+        }
+        // Fresh slots carry stamp 0; epoch starts at 1, so they read as
+        // untouched. Guarded separately: mark-only use grows stamps ahead
+        // of counts, and resizing must never truncate.
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+        }
+    }
+
+    /// Starts a new batch: all keys read as count 0 again.
+    pub fn begin(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wrap: hard-reset the stamps once every 2^32 batches.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Increments `key`'s multiplicity (growing the slot arrays if `key` is
+    /// beyond the current capacity).
+    #[inline]
+    pub fn add(&mut self, key: u32) {
+        let k = key as usize;
+        if k >= self.count.len() {
+            self.ensure_capacity(k + 1);
+        }
+        if self.stamp[k] == self.epoch {
+            self.count[k] += 1;
+        } else {
+            self.stamp[k] = self.epoch;
+            self.count[k] = 1;
+            self.touched.push(key);
+        }
+    }
+
+    /// Stamps `key` without maintaining its count, returning whether it
+    /// was unseen in the current batch — the distinct-only fast path of
+    /// sizing passes (no count-array traffic or allocation, no
+    /// touched-list push).
+    ///
+    /// Do not mix with [`DenseCounter::add`] inside one batch: a marked
+    /// key reads as count 0 but would not be re-registered by `add`.
+    #[inline]
+    pub fn mark(&mut self, key: u32) -> bool {
+        let k = key as usize;
+        if k >= self.stamp.len() {
+            self.stamp.resize(k + 1, 0);
+        }
+        if self.stamp[k] == self.epoch {
+            false
+        } else {
+            self.stamp[k] = self.epoch;
+            true
+        }
+    }
+
+    /// Multiplicity of `key` in the current batch (0 when untouched).
+    #[inline]
+    pub fn get(&self, key: u32) -> u32 {
+        let k = key as usize;
+        if k < self.count.len() && self.stamp[k] == self.epoch {
+            self.count[k]
+        } else {
+            0
+        }
+    }
+
+    /// Number of distinct keys in the current batch.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Writes up to `cap` `(key, count)` pairs of the current batch in RCS
+    /// order — descending count, ties by ascending key — into `ids` (and
+    /// `counts`, when provided), returning how many were written.
+    ///
+    /// Order is produced by a counting sort over multiplicities: keys are
+    /// first sorted ascending (radix over the distinct set, not the raw
+    /// multiset), bucketed by count, and emitted bucket-by-bucket from the
+    /// highest count down, each bucket preserving ascending-key order. Cost
+    /// is `O(distinct + max_count)`; `max_count` is bounded by the batch's
+    /// maximum multiplicity (the user degree, in the RCS use).
+    ///
+    /// # Panics
+    /// Panics if `ids` (or a provided `counts`) is shorter than
+    /// `min(cap, distinct)`.
+    pub fn emit_ranked(
+        &mut self,
+        cap: usize,
+        ids: &mut [u32],
+        mut counts: Option<&mut [u32]>,
+    ) -> usize {
+        let out_len = self.touched.len().min(cap);
+        if out_len == 0 {
+            return 0;
+        }
+        // Ties break by ascending key: feed keys ascending into the buckets.
+        radix_sort_u32_with(&mut self.touched, &mut self.sort_scratch);
+
+        let mut max_count = 0u32;
+        for &key in &self.touched {
+            max_count = max_count.max(self.count[key as usize]);
+        }
+        let buckets = max_count as usize + 1;
+        if self.hist.len() < buckets {
+            self.hist.resize(buckets, 0);
+        }
+        let hist = &mut self.hist[..buckets];
+        hist.fill(0);
+        for &key in &self.touched {
+            hist[self.count[key as usize] as usize] += 1;
+        }
+        // hist[c] becomes the first output slot of count c, with higher
+        // counts placed first.
+        let mut next = 0u32;
+        for c in (1..buckets).rev() {
+            let run = hist[c];
+            hist[c] = next;
+            next += run;
+        }
+        for &key in &self.touched {
+            let c = self.count[key as usize];
+            let slot = hist[c as usize] as usize;
+            hist[c as usize] += 1;
+            if slot < out_len {
+                ids[slot] = key;
+                if let Some(out_counts) = counts.as_deref_mut() {
+                    out_counts[slot] = c;
+                }
+            }
+        }
+        out_len
+    }
+
+    /// Drains the current batch into `(key, count)` pairs in RCS order —
+    /// the [`SparseCounter::drain_sorted_by_count`] twin, for tests and
+    /// one-off callers.
+    pub fn drain_sorted_by_count(&mut self) -> Vec<(u32, u32)> {
+        let n = self.distinct();
+        let mut ids = vec![0u32; n];
+        let mut counts = vec![0u32; n];
+        self.emit_ranked(n, &mut ids, Some(&mut counts));
+        self.begin();
+        ids.into_iter().zip(counts).collect()
     }
 }
 
@@ -123,11 +355,19 @@ impl SparseCounter {
 /// Equivalent to feeding `keys` through [`SparseCounter`] — property-tested
 /// below — but with better cache behaviour on large batches.
 pub fn count_sorted_runs(keys: &mut [u32]) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    count_sorted_runs_into(keys, &mut pairs);
+    pairs
+}
+
+/// [`count_sorted_runs`] into a caller-owned buffer (cleared first) — the
+/// allocation-free variant hot loops reuse.
+pub fn count_sorted_runs_into(keys: &mut [u32], pairs: &mut Vec<(u32, u32)>) {
+    pairs.clear();
     if keys.is_empty() {
-        return Vec::new();
+        return;
     }
     radix_sort_u32(keys);
-    let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut run_key = keys[0];
     let mut run_len = 0u32;
     for &k in keys.iter() {
@@ -141,7 +381,6 @@ pub fn count_sorted_runs(keys: &mut [u32]) -> Vec<(u32, u32)> {
     }
     pairs.push((run_key, run_len));
     pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    pairs
 }
 
 #[cfg(test)]
@@ -229,6 +468,85 @@ mod tests {
         );
     }
 
+    #[test]
+    fn dense_counter_counts_and_resets_by_epoch() {
+        let mut c = DenseCounter::with_capacity(16);
+        c.begin();
+        for k in [3u32, 1, 3, 3, 2, 1] {
+            c.add(k);
+        }
+        assert_eq!(c.get(3), 3);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.get(2), 1);
+        assert_eq!(c.get(9), 0);
+        assert_eq!(c.distinct(), 3);
+        // New batch: everything reads zero without clearing slots.
+        c.begin();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.distinct(), 0);
+    }
+
+    #[test]
+    fn dense_counter_usable_before_first_begin() {
+        let mut c = DenseCounter::new();
+        c.add(5);
+        c.add(5);
+        assert_eq!(c.get(5), 2);
+        assert_eq!(c.distinct(), 1);
+        assert_eq!(c.drain_sorted_by_count(), vec![(5, 2)]);
+        let mut m = DenseCounter::with_capacity(8);
+        assert!(m.mark(3));
+        assert!(!m.mark(3));
+    }
+
+    #[test]
+    fn dense_counter_grows_on_demand() {
+        let mut c = DenseCounter::new();
+        c.begin();
+        c.add(1000);
+        c.add(1000);
+        assert_eq!(c.get(1000), 2);
+        assert_eq!(c.distinct(), 1);
+    }
+
+    #[test]
+    fn dense_drain_matches_sparse_order() {
+        let keys = [5u32, 5, 9, 9, 1, 2];
+        let mut dense = DenseCounter::new();
+        dense.begin();
+        for &k in &keys {
+            dense.add(k);
+        }
+        let mut sparse = SparseCounter::new();
+        sparse.add_all(&keys);
+        assert_eq!(
+            dense.drain_sorted_by_count(),
+            sparse.drain_sorted_by_count()
+        );
+    }
+
+    #[test]
+    fn emit_ranked_caps_at_the_best_entries() {
+        let mut c = DenseCounter::new();
+        c.begin();
+        for k in [5u32, 5, 5, 9, 9, 1, 2, 2] {
+            c.add(k);
+        }
+        let mut ids = [0u32; 2];
+        let mut counts = [0u32; 2];
+        let written = c.emit_ranked(2, &mut ids, Some(&mut counts));
+        assert_eq!(written, 2);
+        assert_eq!(ids, [5, 2]);
+        assert_eq!(counts, [3, 2]);
+    }
+
+    #[test]
+    fn emit_ranked_empty_batch_writes_nothing() {
+        let mut c = DenseCounter::new();
+        c.begin();
+        assert_eq!(c.emit_ranked(10, &mut [], None), 0);
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
@@ -241,6 +559,27 @@ mod tests {
                 hash.add_all(&keys);
                 let mut keys_mut = keys.clone();
                 prop_assert_eq!(hash.drain_sorted_by_count(), count_sorted_runs(&mut keys_mut));
+            }
+
+            /// Dense counting agrees with both reference strategies across
+            /// consecutive batches (epoch reuse).
+            #[test]
+            fn dense_agrees_across_batches(
+                batches in proptest::collection::vec(
+                    proptest::collection::vec(0u32..300, 0..200), 1..4)
+            ) {
+                let mut dense = DenseCounter::new();
+                for keys in &batches {
+                    dense.begin();
+                    for &k in keys {
+                        dense.add(k);
+                    }
+                    let mut keys_mut = keys.clone();
+                    prop_assert_eq!(
+                        dense.drain_sorted_by_count(),
+                        count_sorted_runs(&mut keys_mut)
+                    );
+                }
             }
 
             /// Total multiplicity equals input length.

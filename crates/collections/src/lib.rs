@@ -16,7 +16,8 @@
 //!   workhorse of sort-based candidate counting.
 //! * [`csr`] — a compressed-sparse-row builder for bipartite adjacency.
 //! * [`bitset`] — a fixed-capacity bitset for candidate deduplication.
-//! * [`counter`] — sparse multiplicity counters (hash-based and sort-based).
+//! * [`counter`] — multiplicity counters (hash-based, sort-based, and
+//!   epoch-stamped dense).
 //! * [`unionfind`] — disjoint-set forest for component analysis.
 
 pub mod bitset;
@@ -28,7 +29,7 @@ pub mod topk;
 pub mod unionfind;
 
 pub use bitset::FixedBitSet;
-pub use counter::{count_sorted_runs, SparseCounter};
+pub use counter::{count_sorted_runs, count_sorted_runs_into, DenseCounter, SparseCounter};
 pub use csr::{Csr, CsrBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use radix::{radix_sort_u32, radix_sort_u64};

@@ -14,12 +14,23 @@
 /// small). Falls back to `sort_unstable` for tiny inputs where the counting
 /// overhead dominates.
 pub fn radix_sort_u32(data: &mut [u32]) {
+    let mut scratch = Vec::new();
+    radix_sort_u32_with(data, &mut scratch);
+}
+
+/// [`radix_sort_u32`] with a caller-owned scratch buffer (resized on
+/// demand, never shrunk) — the allocation-free variant for hot loops that
+/// sort many batches.
+pub fn radix_sort_u32_with(data: &mut [u32], scratch: &mut Vec<u32>) {
     const SMALL: usize = 64;
     if data.len() <= SMALL {
         data.sort_unstable();
         return;
     }
-    let mut scratch = vec![0u32; data.len()];
+    if scratch.len() < data.len() {
+        scratch.resize(data.len(), 0);
+    }
+    let scratch = &mut scratch[..data.len()];
     let mut src_is_data = true;
     for pass in 0..4 {
         let shift = pass * 8;
@@ -50,7 +61,7 @@ pub fn radix_sort_u32(data: &mut [u32]) {
         src_is_data = !src_is_data;
     }
     if !src_is_data {
-        data.copy_from_slice(&scratch);
+        data.copy_from_slice(scratch);
     }
 }
 

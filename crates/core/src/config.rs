@@ -21,17 +21,80 @@ impl Gamma {
     }
 }
 
-/// Strategy used to count shared items while building RCSs (both produce
-/// identical output; see the `ablations` bench for the performance
-/// comparison).
+/// Strategy used to count shared items while building RCSs.
+///
+/// All strategies produce bit-identical
+/// [`RankedCandidates`](crate::counting::RankedCandidates) (ids *and*
+/// counts) — property-tested in `tests/counting_scorers.rs`; they differ
+/// only in speed and memory (see the `ablations` bench and the `counting`
+/// experiment for measurements):
+///
+/// * [`CountStrategy::Dense`] — epoch-stamped dense counter + counting
+///   sort over multiplicities (which are bounded by the user's degree).
+///   O(1) per gathered candidate, no hashing, no sort of the raw
+///   multiset. Fastest whenever candidate batches carry real
+///   multiplicity.
+/// * [`CountStrategy::SortBased`] — gather, radix-sort, run-length
+///   encode; the reference implementation and the better choice when
+///   batches are tiny relative to the user universe (the dense counter's
+///   random accesses would miss cache for no multiplicity gain).
+/// * [`CountStrategy::HashBased`] — hash-map multiplicity counting; the
+///   second reference implementation.
+/// * [`CountStrategy::Auto`] (default) — picks [`CountStrategy::Dense`]
+///   when the dataset's average candidate-batch size amortises the dense
+///   counter's random access pattern, [`CountStrategy::SortBased`]
+///   otherwise (decided from the item-profile degree distribution in
+///   O(|I|)).
+///
+/// Memory: the flat-CSR sizing pass keeps one 4-byte-per-user stamp
+/// array per worker thread under *every* strategy; dense ranking adds a
+/// 4-byte count array. The strategies otherwise differ in ranking cost,
+/// not scratch footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CountStrategy {
-    /// Gather all candidate ids, radix-sort, run-length encode. Default —
-    /// cache-friendly on the skewed batches real datasets produce.
+    /// Choose [`CountStrategy::Dense`] or [`CountStrategy::SortBased`]
+    /// from the dataset shape.
     #[default]
+    Auto,
+    /// Epoch-stamped dense counting + counting sort by multiplicity.
+    Dense,
+    /// Gather all candidate ids, radix-sort, run-length encode.
     SortBased,
     /// Hash-map multiplicity counting.
     HashBased,
+}
+
+/// How the refinement loop evaluates similarities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Prepare a reusable scorer per user
+    /// ([`kiff_similarity::Similarity::scorer`]): the reference profile is
+    /// preprocessed once and every popped candidate scores in
+    /// `O(|UP_v|)`. Default.
+    #[default]
+    Prepared,
+    /// Pairwise [`kiff_similarity::Similarity::sim`] per candidate — the
+    /// pre-prepared-scorer behaviour, kept as the regression baseline for
+    /// the `counting` bench experiment.
+    Pairwise,
+}
+
+/// How much of the refinement loop's per-activity wall-clock
+/// instrumentation is collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimingMode {
+    /// Time 1 in 64 scheduling chunks and scale the totals by the timed
+    /// fraction of similarity evaluations — phase *shares* stay accurate
+    /// while the hot loop takes two timestamps per 64 chunks instead of
+    /// six per user. Default.
+    #[default]
+    Sampled,
+    /// Time every user (the paper-faithful breakdown; measurably slows
+    /// the loop on fast metrics).
+    Full,
+    /// No per-activity timing; the corresponding [`crate::KiffStats`]
+    /// fields stay zero.
+    Off,
 }
 
 /// Full KIFF configuration. Defaults follow §IV-D: `γ = 2k`, `β = 0.001`.
@@ -56,6 +119,11 @@ pub struct KiffConfig {
     /// Optional §VII-style cap on RCS length (top entries by shared-item
     /// count). Bounds memory and scan rate; `None` keeps full RCSs.
     pub max_rcs: Option<usize>,
+    /// How the refinement loop evaluates similarities.
+    pub scoring: ScoringMode,
+    /// How much per-activity wall-clock instrumentation refinement
+    /// collects.
+    pub timing: TimingMode,
 }
 
 impl KiffConfig {
@@ -68,9 +136,11 @@ impl KiffConfig {
             beta: 0.001,
             threads: None,
             max_iterations: 10_000,
-            count_strategy: CountStrategy::SortBased,
+            count_strategy: CountStrategy::Auto,
             rating_threshold: None,
             max_rcs: None,
+            scoring: ScoringMode::Prepared,
+            timing: TimingMode::Sampled,
         }
     }
 
@@ -116,6 +186,24 @@ impl KiffConfig {
         self.max_rcs = Some(cap);
         self
     }
+
+    /// Sets the shared-item counting strategy.
+    pub fn with_count_strategy(mut self, strategy: CountStrategy) -> Self {
+        self.count_strategy = strategy;
+        self
+    }
+
+    /// Sets how refinement evaluates similarities.
+    pub fn with_scoring(mut self, scoring: ScoringMode) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Sets the instrumentation level of the refinement loop.
+    pub fn with_timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +216,9 @@ mod tests {
         assert_eq!(cfg.k, 20);
         assert_eq!(cfg.gamma, Gamma::Fixed(40));
         assert_eq!(cfg.beta, 0.001);
-        assert_eq!(cfg.count_strategy, CountStrategy::SortBased);
+        assert_eq!(cfg.count_strategy, CountStrategy::Auto);
+        assert_eq!(cfg.scoring, ScoringMode::Prepared);
+        assert_eq!(cfg.timing, TimingMode::Sampled);
     }
 
     #[test]

@@ -1,13 +1,36 @@
 //! The counting phase: item profiles and Ranked Candidate Sets
 //! (Algorithm 1, lines 1–4).
+//!
+//! [`build_rcs`] assembles the flat CSR layout in two parallel passes
+//! with zero per-user allocation:
+//!
+//! 1. **Size** — each worker counts every user's distinct co-raters
+//!    (post pivot/threshold filters, capped by `max_rcs`) with an
+//!    epoch-stamped [`DenseCounter`]; lengths land in a shared array
+//!    through disjoint chunk ranges.
+//! 2. **Write** — a serial prefix sum turns lengths into CSR offsets,
+//!    then workers rank each user's candidates with the configured
+//!    [`CountStrategy`] and write ids (and counts) *directly* into their
+//!    final `[offsets[u], offsets[u+1])` slots of the shared output —
+//!    no per-user `Vec`, no chunk merge, no flatten copy.
+//!
+//! The pre-rewrite pipeline (gather → sort → per-user `Vec` → flatten)
+//! survives as [`build_rcs_reference`], the bit-for-bit yardstick of the
+//! agreement tests and the baseline the `counting` bench experiment
+//! measures speedups against.
 
 use std::time::Instant;
 
-use kiff_collections::{count_sorted_runs, SparseCounter};
+use kiff_collections::{
+    count_sorted_runs, count_sorted_runs_into, Csr, DenseCounter, SparseCounter,
+};
 use kiff_dataset::{Dataset, UserId};
-use kiff_parallel::{effective_threads, parallel_fold};
+use kiff_parallel::{effective_threads, parallel_fold, SharedSlice};
 
 use crate::config::CountStrategy;
+
+/// Scheduling grain of both counting passes (users per work unit).
+const GRAIN: usize = 32;
 
 /// Options for RCS construction.
 #[derive(Debug, Clone)]
@@ -47,7 +70,7 @@ impl Default for CountingConfig {
             pivot: true,
             keep_counts: false,
             threads: None,
-            strategy: CountStrategy::SortBased,
+            strategy: CountStrategy::Auto,
             rating_threshold: None,
             max_rcs: None,
         }
@@ -154,117 +177,318 @@ pub fn user_candidate_counts(dataset: &Dataset, u: UserId) -> Vec<(u32, u32)> {
     rank_candidate_counts(&mut gathered)
 }
 
+/// Visits every RCS candidate of `u` — the multiset union
+/// `⊎_{i ∈ UP_u} {v ∈ IP_i}` after the pivot / rating-threshold filters —
+/// exactly once per occurrence. The shared gather kernel of both counting
+/// passes.
+#[inline]
+fn for_each_candidate(
+    dataset: &Dataset,
+    items: &Csr,
+    u: u32,
+    pivot: bool,
+    threshold: Option<f32>,
+    mut visit: impl FnMut(u32),
+) {
+    match threshold {
+        None => {
+            for &item in dataset.user_profile(u).items {
+                let co_raters = items.row(item);
+                if pivot {
+                    // Rows are sorted: co-raters > u form a suffix.
+                    let from = co_raters.partition_point(|&v| v <= u);
+                    for &v in &co_raters[from..] {
+                        visit(v);
+                    }
+                } else {
+                    for &v in co_raters {
+                        if v != u {
+                            visit(v);
+                        }
+                    }
+                }
+            }
+        }
+        Some(t) => {
+            // §VII heuristic: only positively rated edges (on both
+            // endpoints) contribute candidates.
+            for (item, rating) in dataset.user_profile(u).iter() {
+                if rating < t {
+                    continue;
+                }
+                let (co_raters, weights) = items.row_entries(item);
+                for (&v, &w) in co_raters.iter().zip(weights) {
+                    if w >= t && ((pivot && v > u) || (!pivot && v != u)) {
+                        visit(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Resolves [`CountStrategy::Auto`] against the dataset shape: dense
+/// ranking's per-candidate random accesses into O(|U|) arrays pay off
+/// once batches carry multiplicity, gauged by the total candidate volume
+/// `Σ_i |IP_i|·(|IP_i|−1)` (computed in O(|I|) from the item-profile
+/// degrees); datasets with near-empty batches keep the sort-based
+/// ranking, whose cost tracks the tiny batch instead of the universe.
+fn resolve_strategy(strategy: CountStrategy, dataset: &Dataset, items: &Csr) -> CountStrategy {
+    match strategy {
+        CountStrategy::Auto => {
+            let n = dataset.num_users().max(1) as u64;
+            let volume: u64 = (0..dataset.num_items() as u32)
+                .map(|i| {
+                    let d = items.degree(i) as u64;
+                    d * d.saturating_sub(1)
+                })
+                .sum();
+            if volume >= 8 * n {
+                CountStrategy::Dense
+            } else {
+                CountStrategy::SortBased
+            }
+        }
+        other => other,
+    }
+}
+
+/// Per-worker scratch of the counting passes. Buffers are reused across
+/// every user the worker processes: the whole build performs zero
+/// per-user allocation.
+struct CountScratch {
+    /// Raw gathered candidate ids (sort-based ranking).
+    gather: Vec<u32>,
+    /// Ranked `(id, count)` staging (sort-/hash-based ranking).
+    pairs: Vec<(u32, u32)>,
+    /// Hash-based multiplicity counter.
+    sparse: SparseCounter,
+    /// Dense multiplicity counter (sizing pass + dense ranking).
+    dense: DenseCounter,
+}
+
+impl CountScratch {
+    /// Scratch for one worker; the dense counter is pre-sized to the user
+    /// universe when the dense strategy will use it (avoids growth
+    /// re-checks in the hot loop).
+    fn new(strategy: CountStrategy, num_users: usize) -> Self {
+        Self {
+            gather: Vec::new(),
+            pairs: Vec::new(),
+            sparse: SparseCounter::new(),
+            dense: if strategy == CountStrategy::Dense {
+                DenseCounter::with_capacity(num_users)
+            } else {
+                DenseCounter::new()
+            },
+        }
+    }
+}
+
 /// Builds the Ranked Candidate Sets of `dataset`.
 ///
 /// For each user `u`, the multiset union `⊎_{i ∈ UP_u} {v ∈ IP_i | v > u}`
-/// is counted (line 4 of Algorithm 1) and sorted by multiplicity. Work is
-/// parallel over users; item profiles must already be available (they are
-/// built on first access and their cost is accounted separately, matching
-/// Table IV vs Table V).
+/// is counted (line 4 of Algorithm 1) and ranked by multiplicity. Work is
+/// parallel over users in two flat-CSR passes (see the module docs); item
+/// profiles must already be available (they are built on first access and
+/// their cost is accounted separately, matching Table IV vs Table V).
 pub fn build_rcs(dataset: &Dataset, config: &CountingConfig) -> RankedCandidates {
     let start = Instant::now();
     let n = dataset.num_users();
     let items = dataset.item_profiles();
     let threads = effective_threads(config.threads);
-    let strategy = config.strategy;
+    let strategy = resolve_strategy(config.strategy, dataset, items);
+    let pivot = config.pivot;
+    let threshold = config.rating_threshold;
+    let cap = config.max_rcs.unwrap_or(usize::MAX);
+
+    // Pass 1: size every RCS — distinct co-raters post filters, capped.
+    // Lengths land in a shared array through disjoint chunk ranges.
+    let mut lens = vec![0u32; n];
+    {
+        let lens_out = SharedSlice::new(&mut lens);
+        parallel_fold(
+            threads,
+            n,
+            GRAIN,
+            // Mark-only sizing: stamps alone, 4 bytes per user per worker.
+            || DenseCounter::with_stamp_capacity(n),
+            |counter, range| {
+                // SAFETY: the pool hands out disjoint ranges.
+                let out = unsafe { lens_out.slice_mut(range.start, range.len()) };
+                for (u, slot) in range.zip(out.iter_mut()) {
+                    counter.begin();
+                    let mut distinct = 0usize;
+                    for_each_candidate(dataset, items, u as u32, pivot, threshold, |v| {
+                        distinct += counter.mark(v) as usize;
+                    });
+                    *slot = distinct.min(cap) as u32;
+                }
+            },
+            |a, _| a,
+        );
+    }
+
+    // Serial prefix sum: lengths become CSR offsets.
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut running = 0usize;
+    offsets.push(0);
+    for &len in &lens {
+        running += len as usize;
+        offsets.push(running);
+    }
+    let total = running;
+
+    // Pass 2: rank every user's candidates and write ids (and counts)
+    // directly into their final flat slots.
+    let mut ids = vec![0u32; total];
+    let mut counts = config.keep_counts.then(|| vec![0u32; total]);
+    {
+        let ids_out = SharedSlice::new(&mut ids);
+        let counts_out = counts.as_mut().map(|c| SharedSlice::new(c.as_mut_slice()));
+        let offsets = &offsets;
+        parallel_fold(
+            threads,
+            n,
+            GRAIN,
+            || CountScratch::new(strategy, n),
+            |scratch, range| {
+                for u in range {
+                    let off = offsets[u];
+                    let len = offsets[u + 1] - off;
+                    if len == 0 {
+                        continue;
+                    }
+                    // SAFETY: `[off, off + len)` belongs to user `u` alone.
+                    let ids_slice = unsafe { ids_out.slice_mut(off, len) };
+                    let counts_slice = counts_out
+                        .as_ref()
+                        .map(|c| unsafe { c.slice_mut(off, len) });
+                    let u = u as u32;
+                    match strategy {
+                        CountStrategy::Dense => {
+                            scratch.dense.begin();
+                            for_each_candidate(dataset, items, u, pivot, threshold, |v| {
+                                scratch.dense.add(v)
+                            });
+                            let written = scratch.dense.emit_ranked(len, ids_slice, counts_slice);
+                            debug_assert_eq!(written, len, "pass-1/pass-2 size mismatch");
+                        }
+                        CountStrategy::SortBased => {
+                            scratch.gather.clear();
+                            if threshold.is_none() && pivot {
+                                // Bulk suffix copies beat per-element pushes.
+                                for &item in dataset.user_profile(u).items {
+                                    let co_raters = items.row(item);
+                                    let from = co_raters.partition_point(|&v| v <= u);
+                                    scratch.gather.extend_from_slice(&co_raters[from..]);
+                                }
+                            } else {
+                                let gather = &mut scratch.gather;
+                                for_each_candidate(dataset, items, u, pivot, threshold, |v| {
+                                    gather.push(v)
+                                });
+                            }
+                            count_sorted_runs_into(&mut scratch.gather, &mut scratch.pairs);
+                            copy_ranked_prefix(&scratch.pairs, ids_slice, counts_slice);
+                        }
+                        CountStrategy::HashBased => {
+                            let sparse = &mut scratch.sparse;
+                            for_each_candidate(dataset, items, u, pivot, threshold, |v| {
+                                sparse.add(v)
+                            });
+                            sparse.drain_sorted_into(&mut scratch.pairs);
+                            copy_ranked_prefix(&scratch.pairs, ids_slice, counts_slice);
+                        }
+                        CountStrategy::Auto => unreachable!("resolved above"),
+                    }
+                }
+            },
+            |a, _| a,
+        );
+    }
+
+    RankedCandidates {
+        offsets,
+        ids: ids.into_boxed_slice(),
+        counts: counts.map(Vec::into_boxed_slice),
+        build_time: start.elapsed(),
+    }
+}
+
+/// Copies the best `ids.len()` ranked pairs into the output slices (the
+/// ranking is count-descending already, so the prefix is the capped RCS).
+#[inline]
+fn copy_ranked_prefix(pairs: &[(u32, u32)], ids: &mut [u32], counts: Option<&mut [u32]>) {
+    for (dst, &(id, _)) in ids.iter_mut().zip(pairs) {
+        *dst = id;
+    }
+    if let Some(counts) = counts {
+        for (dst, &(_, count)) in counts.iter_mut().zip(pairs) {
+            *dst = count;
+        }
+    }
+}
+
+/// The pre-flat-CSR reference pipeline: gather → rank → one `Vec` per
+/// user → flatten. Produces bit-identical [`RankedCandidates`] (ids,
+/// counts, offsets) to [`build_rcs`] — the agreement tests hold the two
+/// together — but allocates per user and merges worker chunks. Kept as
+/// the regression baseline of the `counting` bench experiment;
+/// [`CountStrategy::Auto`] and [`CountStrategy::Dense`] fall back to the
+/// sort-based ranking here, which predates the dense counter.
+pub fn build_rcs_reference(dataset: &Dataset, config: &CountingConfig) -> RankedCandidates {
+    let start = Instant::now();
+    let n = dataset.num_users();
+    let items = dataset.item_profiles();
+    let threads = effective_threads(config.threads);
+    let use_hash = config.strategy == CountStrategy::HashBased;
     let pivot = config.pivot;
     let threshold = config.rating_threshold;
     let max_rcs = config.max_rcs;
 
     // Each worker accumulates (user, ranked pairs) and scratch space.
     type Chunk = Vec<(u32, Vec<(u32, u32)>)>;
-    let chunks: Vec<Chunk> = vec![
-        parallel_fold(
-            threads,
-            n,
-            32,
-            || (Chunk::new(), Vec::<u32>::new(), SparseCounter::new()),
-            |(out, gather, counter), range| {
-                for u in range {
-                    let u = u as u32;
-                    let mut ranked = match (strategy, threshold) {
-                        (CountStrategy::SortBased, None) => {
-                            gather.clear();
-                            for &item in dataset.user_profile(u).items {
-                                let co_raters = items.row(item);
-                                if pivot {
-                                    // Rows are sorted: co-raters > u form a
-                                    // suffix.
-                                    let from = co_raters.partition_point(|&v| v <= u);
-                                    gather.extend_from_slice(&co_raters[from..]);
-                                } else {
-                                    gather.extend(co_raters.iter().copied().filter(|&v| v != u));
-                                }
-                            }
-                            rank_candidate_counts(gather)
-                        }
-                        (CountStrategy::SortBased, Some(t)) => {
-                            // §VII heuristic: only positively rated edges (on
-                            // both endpoints) contribute candidates.
-                            gather.clear();
-                            for (item, rating) in dataset.user_profile(u).iter() {
-                                if rating < t {
-                                    continue;
-                                }
-                                let (co_raters, weights) = items.row_entries(item);
-                                for (&v, &w) in co_raters.iter().zip(weights) {
-                                    if w >= t && ((pivot && v > u) || (!pivot && v != u)) {
-                                        gather.push(v);
-                                    }
-                                }
-                            }
-                            rank_candidate_counts(gather)
-                        }
-                        (CountStrategy::HashBased, threshold) => {
-                            for (item, rating) in dataset.user_profile(u).iter() {
-                                if threshold.is_some_and(|t| rating < t) {
-                                    continue;
-                                }
-                                let (co_raters, weights) = items.row_entries(item);
-                                for (&v, &w) in co_raters.iter().zip(weights) {
-                                    if threshold.is_some_and(|t| w < t) {
-                                        continue;
-                                    }
-                                    if (pivot && v > u) || (!pivot && v != u) {
-                                        counter.add(v);
-                                    }
-                                }
-                            }
-                            counter.drain_sorted_by_count()
-                        }
-                    };
-                    if let Some(cap) = max_rcs {
-                        // Lists are ordered by decreasing count (ties by
-                        // ascending id), so truncation keeps the best.
-                        ranked.truncate(cap);
-                    }
-                    out.push((u, ranked));
+    let (chunks, _, _) = parallel_fold(
+        threads,
+        n,
+        GRAIN,
+        || (Chunk::new(), Vec::<u32>::new(), SparseCounter::new()),
+        |(out, gather, counter), range| {
+            for u in range {
+                let u = u as u32;
+                let mut ranked = if use_hash {
+                    for_each_candidate(dataset, items, u, pivot, threshold, |v| counter.add(v));
+                    counter.drain_sorted_by_count()
+                } else {
+                    gather.clear();
+                    for_each_candidate(dataset, items, u, pivot, threshold, |v| gather.push(v));
+                    rank_candidate_counts(gather)
+                };
+                if let Some(cap) = max_rcs {
+                    // Lists are ordered by decreasing count (ties by
+                    // ascending id), so truncation keeps the best.
+                    ranked.truncate(cap);
                 }
-            },
-            |(mut a, g, c), (b, _, _)| {
-                a.extend(b);
-                (a, g, c)
-            },
-        )
-        .0,
-    ];
+                out.push((u, ranked));
+            }
+        },
+        |(mut a, g, c), (b, _, _)| {
+            a.extend(b);
+            (a, g, c)
+        },
+    );
 
-    // Assemble the flat layout.
+    // Assemble the flat layout through the per-user intermediate.
     let mut per_user: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-    for chunk in chunks {
-        for (u, ranked) in chunk {
-            per_user[u as usize] = ranked;
-        }
+    for (u, ranked) in chunks {
+        per_user[u as usize] = ranked;
     }
     let mut offsets = Vec::with_capacity(n + 1);
     offsets.push(0usize);
     let total: usize = per_user.iter().map(|r| r.len()).sum();
     let mut ids = Vec::with_capacity(total);
-    let mut counts = if config.keep_counts {
-        Some(Vec::with_capacity(total))
-    } else {
-        None
-    };
+    let mut counts = config.keep_counts.then(|| Vec::with_capacity(total));
     for ranked in &per_user {
         for &(id, count) in ranked {
             ids.push(id);
@@ -390,16 +614,42 @@ mod tests {
                 ..counted(true)
             },
         );
-        let hash = build_rcs(
-            &ds,
-            &CountingConfig {
-                strategy: CountStrategy::HashBased,
-                ..counted(true)
-            },
-        );
-        for u in 0..ds.num_users() as u32 {
-            assert_eq!(sort.rcs(u), hash.rcs(u), "user {u}");
-            assert_eq!(sort.counts(u), hash.counts(u), "user {u}");
+        for strategy in [
+            CountStrategy::HashBased,
+            CountStrategy::Dense,
+            CountStrategy::Auto,
+        ] {
+            let other = build_rcs(
+                &ds,
+                &CountingConfig {
+                    strategy,
+                    ..counted(true)
+                },
+            );
+            for u in 0..ds.num_users() as u32 {
+                assert_eq!(sort.rcs(u), other.rcs(u), "{strategy:?} user {u}");
+                assert_eq!(sort.counts(u), other.counts(u), "{strategy:?} user {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_assembly_matches_the_reference_pipeline() {
+        for seed in [11, 19, 23] {
+            let ds = generate_bipartite(&BipartiteConfig::tiny("ref", seed));
+            for max_rcs in [None, Some(5)] {
+                for pivot in [true, false] {
+                    let config = CountingConfig {
+                        max_rcs,
+                        ..counted(pivot)
+                    };
+                    let new = build_rcs(&ds, &config);
+                    let old = build_rcs_reference(&ds, &config);
+                    assert_eq!(new.offsets, old.offsets, "seed {seed}");
+                    assert_eq!(new.ids, old.ids, "seed {seed}");
+                    assert_eq!(new.counts, old.counts, "seed {seed}");
+                }
+            }
         }
     }
 

@@ -30,9 +30,10 @@ pub mod init;
 pub mod kiff;
 pub mod refine;
 
-pub use config::{CountStrategy, Gamma, KiffConfig};
+pub use config::{CountStrategy, Gamma, KiffConfig, ScoringMode, TimingMode};
 pub use counting::{
-    build_rcs, rank_candidate_counts, user_candidate_counts, CountingConfig, RankedCandidates,
+    build_rcs, build_rcs_reference, rank_candidate_counts, user_candidate_counts, CountingConfig,
+    RankedCandidates,
 };
 pub use init::initial_rcs_graph;
 pub use kiff::{kiff_knn, Kiff, KiffResult};

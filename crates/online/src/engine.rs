@@ -32,6 +32,7 @@ use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig};
 use kiff_dataset::{Dataset, DeltaDataset, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ReverseAdjacency};
 use kiff_similarity as sim;
+use kiff_similarity::ScorerWorkspace;
 
 use crate::config::{OnlineConfig, OnlineMetric};
 use crate::update::{Update, UpdateStats};
@@ -48,6 +49,11 @@ pub struct OnlineKnn {
     heaps: Vec<KnnHeap>,
     reverse: ReverseAdjacency,
     lifetime: UpdateStats,
+    /// Prepared-scorer arena: a repair preprocesses the dirty user's
+    /// profile once here, then scores every candidate in `O(|UP_v|)`.
+    scorer_ws: ScorerWorkspace,
+    /// Reusable repair staging buffer of `(candidate, similarity)`.
+    scored: Vec<(UserId, f64)>,
     /// Cached [`OnlineKnn::graph`] snapshot, invalidated by any heap edit
     /// or user addition. A `Mutex` (not `RefCell`) so the engine stays
     /// `Sync` for read sharing; contention is nil — the lock is held for
@@ -105,6 +111,8 @@ impl OnlineKnn {
             reverse: ReverseAdjacency::new(n),
             heaps,
             lifetime: UpdateStats::default(),
+            scorer_ws: ScorerWorkspace::new(),
+            scored: Vec::new(),
             snapshot: Mutex::new(None),
         };
         // Rebuild reverse adjacency from the heaps (not from `graph`: the
@@ -324,7 +332,9 @@ impl OnlineKnn {
 
     /// Re-scores `u` against its refreshed RCS prefix plus every user a
     /// stale similarity could hide in: its current neighbours and its
-    /// reverse neighbours.
+    /// reverse neighbours. `u`'s profile is prepared once (dense stamps,
+    /// hoisted norm); every candidate then scores in `O(|UP_v|)`,
+    /// reproducing [`OnlineMetric::eval`](crate::OnlineMetric) exactly.
     fn repair(
         &mut self,
         u: UserId,
@@ -344,17 +354,26 @@ impl OnlineKnn {
         );
         candidates.sort_unstable();
         candidates.dedup();
-        for v in candidates {
-            if v == u {
-                continue;
+        // Score first (the scorer borrows the workspace and the dataset
+        // view), then land the results on the heaps.
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        {
+            let scorer = self
+                .scorer_ws
+                .prepare(self.config.metric.kind(), self.data.profile(u));
+            for v in candidates {
+                if v == u {
+                    continue;
+                }
+                scored.push((v, scorer.score(self.data.profile(v))));
             }
-            let s = self
-                .config
-                .metric
-                .eval(self.data.profile(u), self.data.profile(v));
-            stats.sim_evals += 1;
+        }
+        stats.sim_evals += scored.len() as u64;
+        for &(v, s) in &scored {
             self.score_pair(u, v, s, stats, queue, visited);
         }
+        self.scored = scored;
     }
 
     /// Lands a freshly evaluated similarity on both endpoint heaps,

@@ -9,13 +9,14 @@
 //! * **Partitioning** — every user belongs to exactly one shard, decided
 //!   by a pluggable [`Partitioner`] (hash by default). A shard privately
 //!   owns its users' counters, heaps and in-neighbour sets.
-//! * **Serial mutate, parallel repair** — dataset mutations and counter
-//!   *snapshots* are applied serially (they are cheap: an overlay insert
-//!   plus one rater-list capture per update); the expensive phases —
-//!   counter maintenance and similarity re-scoring — run on all shards
-//!   concurrently through [`kiff_parallel::parallel_for_each_mut`], with
-//!   every worker reading the shared dataset through a read-only
-//!   [`DeltaView`].
+//! * **Serial mutate, parallel repair** — dataset mutations are applied
+//!   serially, and every counter adjustment is *pre-bucketed* to its
+//!   owning shard while the mutation's point-in-time rater list is in
+//!   hand; the expensive phases — counter maintenance (each shard applies
+//!   exactly its own bucket, no scan of the batch's full event list) and
+//!   similarity re-scoring — run on all shards concurrently through
+//!   [`kiff_parallel::parallel_for_each_mut`], with every worker reading
+//!   the shared dataset through a read-only [`DeltaView`].
 //! * **Asynchronous cross-shard repair** — a repair of user `u` may
 //!   evaluate a pair `(u, v)` whose other endpoint lives on another
 //!   shard, and `v`'s heap (plus the reverse-edge set of any user `u`'s
@@ -42,6 +43,7 @@ use kiff_core::{build_rcs, CountingConfig};
 use kiff_dataset::{Dataset, DeltaDataset, DeltaView, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ShardReverse};
 use kiff_parallel::{effective_threads, parallel_for_each_mut};
+use kiff_similarity::ScorerWorkspace;
 
 use crate::config::OnlineConfig;
 use crate::engine::{batch_graph, OnlineKnn};
@@ -141,18 +143,47 @@ enum ShardMsg {
     ReverseRemove { target: UserId, source: UserId },
 }
 
-/// One captured counter mutation: during the batch, `user` started (or
-/// stopped) sharing one item with every user in `raters`. Captured
-/// serially at mutation time — rater sets are point-in-time — and applied
-/// by all shards in parallel, each taking the adjustments it owns. The
-/// rater list is `Arc`-shared with the repair extras so a hot item's
-/// (potentially huge) co-rater set is buffered once per update, not
-/// twice.
+/// One counter adjustment owned by a specific shard, bucketed serially at
+/// mutation time — rater sets are point-in-time — so the parallel counter
+/// phase applies exactly its own bucket instead of every shard scanning
+/// the batch's full event list (the ROADMAP's high-shard-count
+/// follow-up).
+///
+/// Each shard holds ONE list, pushed in event order and applied in that
+/// order: counts may dip through zero transiently within a batch (an add
+/// from one update funding a sub from a later one), so per-counter
+/// operation order must match the mutation order — a phase split (all
+/// bulks, then all scatters) would panic `SparseCounter::sub` on exactly
+/// those interleavings.
+///
+/// The two sides of each `(user, rater)` pair have different shapes: the
+/// mutated user's own counter absorbs the *whole* rater list (one
+/// [`CounterAdj::Bulk`] sharing the mutation's `Arc`'d snapshot — no
+/// per-pair memory, even for hot items), while each rater's counter lives
+/// on its own shard and gets one [`CounterAdj::Scatter`] entry.
 #[derive(Debug)]
-struct CounterEvent {
-    user: UserId,
-    raters: Arc<Vec<UserId>>,
-    added: bool,
+enum CounterAdj {
+    /// The mutated user's counter gains (or loses) one shared item with
+    /// every user in `raters`.
+    Bulk {
+        /// Local slot of the mutated user's counter.
+        slot: u32,
+        /// Point-in-time co-rater snapshot (shared with the repair
+        /// extras).
+        raters: Arc<Vec<UserId>>,
+        /// Increment (a rating appeared) or decrement (one was removed).
+        added: bool,
+    },
+    /// One rater-side adjustment: the counter at local slot `slot` gains
+    /// (or loses) one shared item with `other`.
+    Scatter {
+        /// Local slot of the owned counter.
+        slot: u32,
+        /// The co-rater whose shared count moves.
+        other: UserId,
+        /// Increment (a rating appeared) or decrement (one was removed).
+        added: bool,
+    },
 }
 
 /// A shard: the private online-engine state of the users it owns.
@@ -183,6 +214,10 @@ struct Shard {
     inbox: Vec<ShardMsg>,
     /// Messages produced this round, by destination shard.
     outbox: Vec<Vec<ShardMsg>>,
+    /// Prepared-scorer arena for this shard's repairs.
+    scorer_ws: ScorerWorkspace,
+    /// Reusable repair staging buffer of `(candidate, similarity)`.
+    scored: Vec<(UserId, f64)>,
 }
 
 impl Shard {
@@ -208,29 +243,33 @@ impl Shard {
         !self.inbox.is_empty() || !self.queue.is_empty()
     }
 
-    /// Applies the counter adjustments of `events` that this shard owns.
-    /// Every shard scans the full event list — the scan is a pointer walk;
-    /// the hash-map adjustments, which dominate, split `num_shards` ways.
-    fn apply_counter_events(&mut self, my: u32, events: &[CounterEvent], assign: &[Slot]) {
-        for ev in events {
-            let own = assign[ev.user as usize];
-            for &v in ev.raters.iter() {
-                if own.shard == my {
-                    let counter = &mut self.counters[own.idx as usize];
-                    if ev.added {
-                        counter.add(v);
-                    } else {
-                        counter.sub(v);
+    /// Applies this shard's pre-bucketed counter adjustments — exactly the
+    /// ones it owns, in mutation order (see [`CounterAdj`] on why the
+    /// order matters).
+    fn apply_counter_adjustments(&mut self, bucket: &[CounterAdj]) {
+        for adj in bucket {
+            match adj {
+                CounterAdj::Bulk {
+                    slot,
+                    raters,
+                    added,
+                } => {
+                    let counter = &mut self.counters[*slot as usize];
+                    for &v in raters.iter() {
+                        if *added {
+                            counter.add(v);
+                        } else {
+                            counter.sub(v);
+                        }
                     }
-                    self.stats.counter_adjustments += 1;
+                    self.stats.counter_adjustments += raters.len() as u64;
                 }
-                let vslot = assign[v as usize];
-                if vslot.shard == my {
-                    let counter = &mut self.counters[vslot.idx as usize];
-                    if ev.added {
-                        counter.add(ev.user);
+                CounterAdj::Scatter { slot, other, added } => {
+                    let counter = &mut self.counters[*slot as usize];
+                    if *added {
+                        counter.add(*other);
                     } else {
-                        counter.sub(ev.user);
+                        counter.sub(*other);
                     }
                     self.stats.counter_adjustments += 1;
                 }
@@ -318,12 +357,24 @@ impl Shard {
         );
         candidates.sort_unstable();
         candidates.dedup();
-        for v in candidates {
-            if v == u {
-                continue;
+        // Prepared scoring: `u`'s profile is preprocessed once, each
+        // candidate scores in O(|UP_v|) — identical values to
+        // `config.metric.eval` (the audits hold both to 1e-12).
+        let mut scored = std::mem::take(&mut self.scored);
+        scored.clear();
+        {
+            let scorer = self
+                .scorer_ws
+                .prepare(config.metric.kind(), view.profile(u));
+            for v in candidates {
+                if v == u {
+                    continue;
+                }
+                scored.push((v, scorer.score(view.profile(v))));
             }
-            let s = config.metric.eval(view.profile(u), view.profile(v));
-            self.stats.sim_evals += 1;
+        }
+        self.stats.sim_evals += scored.len() as u64;
+        for &(v, s) in &scored {
             self.land(my, u, v, s, assign);
             let vslot = assign[v as usize];
             if vslot.shard == my {
@@ -336,6 +387,7 @@ impl Shard {
                 });
             }
         }
+        self.scored = scored;
     }
 
     /// Lands an evaluated similarity on `owner`'s heap (`owner` is always
@@ -591,13 +643,15 @@ impl ShardedOnlineKnn {
     /// cross-shard work exchanged through message queues between rounds.
     pub fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
         let mut stats = UpdateStats::default();
-        let mut events: Vec<CounterEvent> = Vec::new();
+        let mut adjustments: Vec<Vec<CounterAdj>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
 
-        // Phase 1 (serial): mutate the dataset view, capture point-in-time
-        // rater sets, and route each dirty user to its owning shard.
+        // Phase 1 (serial): mutate the dataset view, bucket every counter
+        // adjustment by its owning shard while the point-in-time rater set
+        // is in hand, and route each dirty user to its owning shard.
         for update in updates {
             stats.updates += 1;
-            if let Some((user, targeted)) = self.mutate(update, &mut events) {
+            if let Some((user, targeted)) = self.mutate(update, &mut adjustments) {
                 let shard = &mut self.shards[self.assign[user as usize].shard as usize];
                 match shard.extras.entry(user) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -620,10 +674,10 @@ impl ShardedOnlineKnn {
             shard.budget = shard.queue.len() as u64 + config.max_propagation as u64;
         }
 
-        // Phase 2 (parallel): every shard applies the counter adjustments
-        // it owns.
+        // Phase 2 (parallel): every shard applies exactly its own
+        // pre-bucketed counter adjustments.
         parallel_for_each_mut(threads, &mut self.shards, |my, shard| {
-            shard.apply_counter_events(my as u32, &events, assign);
+            shard.apply_counter_adjustments(&adjustments[my]);
         });
 
         // Phase 3 (parallel rounds): repair until quiescence. Each round
@@ -661,15 +715,15 @@ impl ShardedOnlineKnn {
         stats
     }
 
-    /// Applies one mutation to the dataset view, capturing the counter
-    /// event and the dirty user with its targeted candidate chunk
-    /// (uncapped: the owning shard caps against live counts after the
-    /// counter phase; the chunk is the same `Arc` the event holds).
-    /// Mirrors [`OnlineKnn`]'s mutate step.
+    /// Applies one mutation to the dataset view, bucketing its counter
+    /// adjustments by owning shard, and returns the dirty user with its
+    /// targeted candidate chunk (uncapped: the owning shard caps against
+    /// live counts after the counter phase). Mirrors [`OnlineKnn`]'s
+    /// mutate step.
     fn mutate(
         &mut self,
         update: Update,
-        events: &mut Vec<CounterEvent>,
+        adjustments: &mut [Vec<CounterAdj>],
     ) -> Option<(UserId, Option<Arc<Vec<UserId>>>)> {
         match update {
             Update::AddRating { user, item, rating } => {
@@ -680,11 +734,7 @@ impl ShardedOnlineKnn {
                 raters.retain(|&v| v != user);
                 let raters = Arc::new(raters);
                 if self.data.add_rating(user, item, rating) {
-                    events.push(CounterEvent {
-                        user,
-                        raters: Arc::clone(&raters),
-                        added: true,
-                    });
+                    Self::bucket_adjustments(&self.assign, adjustments, user, &raters, true);
                 }
                 Some((user, Some(raters)))
             }
@@ -699,13 +749,38 @@ impl ShardedOnlineKnn {
                 }
                 let mut raters = self.data.item_raters(item);
                 raters.retain(|&v| v != user);
-                events.push(CounterEvent {
-                    user,
-                    raters: Arc::new(raters),
-                    added: false,
-                });
+                let raters = Arc::new(raters);
+                Self::bucket_adjustments(&self.assign, adjustments, user, &raters, false);
                 Some((user, None))
             }
+        }
+    }
+
+    /// Routes both directions of every `(user, rater)` counter adjustment
+    /// to the shard owning each endpoint's counter: the user side as one
+    /// `Arc`-shared bulk entry, the rater side as per-pair scatters. All
+    /// entries land in event order (the caller is the serial mutate loop),
+    /// preserving per-counter operation order across the batch.
+    fn bucket_adjustments(
+        assign: &[Slot],
+        adjustments: &mut [Vec<CounterAdj>],
+        user: UserId,
+        raters: &Arc<Vec<UserId>>,
+        added: bool,
+    ) {
+        let own = assign[user as usize];
+        adjustments[own.shard as usize].push(CounterAdj::Bulk {
+            slot: own.idx,
+            raters: Arc::clone(raters),
+            added,
+        });
+        for &v in raters.iter() {
+            let vslot = assign[v as usize];
+            adjustments[vslot.shard as usize].push(CounterAdj::Scatter {
+                slot: vslot.idx,
+                other: user,
+                added,
+            });
         }
     }
 
@@ -933,6 +1008,30 @@ mod tests {
             sharded_stats.counter_adjustments
         );
         audit(&sharded);
+    }
+
+    #[test]
+    fn batched_add_then_remove_interleaves_counter_ops_safely() {
+        // Regression: Alice(0) and Carl(2) share nothing initially. In one
+        // batch Alice picks up shopping(3) (scattered add on Carl's
+        // counter) and Carl then drops shopping (bulk sub on Carl's
+        // counter, whose rater snapshot now includes Alice). Applying all
+        // bulks before all scatters would sub Carl->Alice at count 0 and
+        // panic; event-ordered application must handle it.
+        for shards in [1, 2, 4] {
+            let mut engine = toy(shards);
+            let stats = engine.apply_batch(vec![
+                Update::AddRating {
+                    user: 0,
+                    item: 3,
+                    rating: 1.0,
+                },
+                Update::RemoveRating { user: 2, item: 3 },
+            ]);
+            assert_eq!(stats.updates, 2, "{shards} shards");
+            audit(&engine);
+            assert_eq!(engine.shared_count(2, 0), 0, "{shards} shards");
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   the end;
 //! * [`parallel_for_each_mut`] — exclusive mutable iteration over a slice
 //!   of worker states (the sharded online engine's shard-execution step);
+//! * [`SharedSlice`] — disjoint-range mutable access to one shared output
+//!   slice (the flat-CSR assembly's write primitive);
 //! * [`Counter`] / [`TimeAccumulator`] — relaxed atomic counters and
 //!   per-activity wall-clock accumulators safe to update from any worker.
 //!
@@ -22,6 +24,8 @@
 
 pub mod counters;
 pub mod pool;
+pub mod shared;
 
 pub use counters::{Counter, ScopedTimer, TimeAccumulator};
 pub use pool::{effective_threads, parallel_fold, parallel_for, parallel_for_each_mut};
+pub use shared::SharedSlice;

@@ -1,0 +1,111 @@
+//! Disjoint-range shared slice writes.
+//!
+//! The flat-CSR assembly in `kiff-core` writes every user's ranked
+//! candidates directly into one shared output slice: worker threads own
+//! disjoint index ranges (derived from the per-user CSR offsets), so no
+//! two workers ever touch the same element. [`SharedSlice`] is the small
+//! unsafe cell making that pattern expressible without locks or channels:
+//! it hands out `&mut` sub-slices on the caller's promise that concurrent
+//! requests never overlap.
+
+use std::marker::PhantomData;
+
+/// A shareable view over a mutable slice that lends out disjoint
+/// sub-slices to concurrent workers.
+///
+/// The aliasing contract is the caller's: [`SharedSlice::slice_mut`] is
+/// `unsafe` and must only be called for ranges no other live borrow
+/// covers. Bounds are still checked — only the disjointness is trusted.
+#[derive(Debug)]
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper itself only stores the base pointer; element access
+// goes through `slice_mut`, whose disjointness contract makes concurrent
+// use race-free for `T: Send`.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps `slice` for disjoint concurrent writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Total number of elements behind the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lends out `start..start + len` mutably.
+    ///
+    /// # Safety
+    /// No other live borrow (from this or any thread) may overlap the
+    /// requested range for the lifetime of the returned slice.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the underlying slice.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the whole point: disjoint ranges from a shared handle
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "range {start}..{} out of bounds (len {})",
+            start + len,
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::parallel_for;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let n = 10_000;
+        let mut data = vec![0u32; n];
+        {
+            let shared = SharedSlice::new(&mut data);
+            parallel_for(4, n, 64, |range| {
+                // SAFETY: parallel_for hands out disjoint ranges.
+                let chunk = unsafe { shared.slice_mut(range.start, range.len()) };
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (range.start + i) as u32;
+                }
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn zero_length_borrow_at_end_is_fine() {
+        let mut data = [1u8, 2, 3];
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(unsafe { shared.slice_mut(3, 0) }.len(), 0);
+        assert_eq!(shared.len(), 3);
+        assert!(!shared.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let mut data = [0u8; 4];
+        let shared = SharedSlice::new(&mut data);
+        let _ = unsafe { shared.slice_mut(2, 3) };
+    }
+}

@@ -8,15 +8,20 @@
 //! coefficient, Adamic–Adar — plus the coarse common-item count KIFF's
 //! counting phase approximates similarity with.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`functions`] — allocation-free free functions over [`ProfileRef`]
 //!   pairs, built on the shared merge/galloping intersection kernels in
 //!   [`kernels`];
+//! * [`scorer`] — prepared scorers: preprocess one reference profile
+//!   (dense epoch-stamped lookup for high-degree users, pairwise fallback
+//!   for small ones), then score each candidate in `O(|UP_v|)` — the fast
+//!   path of KIFF's refinement loop and the online engines' repair;
 //! * [`Similarity`] — the object-safe trait the graph-construction
 //!   algorithms are generic over. Implementations may carry precomputed
 //!   state (per-user norms, per-item Adamic–Adar weights) keyed by the
-//!   dataset they were fitted on.
+//!   dataset they were fitted on, and hand out prepared scorers via
+//!   [`Similarity::scorer`].
 //!
 //! All provided metrics satisfy the two *sparse axioms* of §III-D used in
 //! KIFF's optimality argument (Eq. 5–6): they are non-negative, and zero
@@ -26,6 +31,7 @@
 pub mod functions;
 pub mod kernels;
 pub mod metrics;
+pub mod scorer;
 
 pub use functions::{
     adamic_adar_with, binary_cosine, common_items, dice, jaccard, weighted_cosine, weighted_jaccard,
@@ -35,6 +41,7 @@ pub use metrics::{
     AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
     WeightedJaccard,
 };
+pub use scorer::{ProfileScorer, ScoreKind, Scorer, ScorerWorkspace};
 
 use kiff_dataset::ProfileRef;
 

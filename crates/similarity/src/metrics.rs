@@ -8,6 +8,7 @@
 use kiff_dataset::{Dataset, UserId};
 
 use crate::functions;
+use crate::scorer::{PairwiseScorer, ProfileKindScorer, ScoreKind, Scorer, ScorerWorkspace};
 
 /// An item-based similarity over users of a dataset.
 ///
@@ -26,6 +27,43 @@ pub trait Similarity: Sync {
     fn sparse_axioms(&self) -> bool {
         true
     }
+
+    /// Prepares a reusable scorer for reference user `u`: preprocessing
+    /// (norms, dense profile stamps) happens once here, and every
+    /// subsequent [`Scorer::score`] call runs in `O(|UP_v|)` for the
+    /// metrics of this crate. Results equal [`Similarity::sim`] within
+    /// [`crate::SIM_EPSILON`] (exactly, for the provided metrics).
+    ///
+    /// `ws` is the per-worker preparation arena; the returned scorer
+    /// borrows it until dropped. The default implementation is a plain
+    /// pairwise fallback, so custom metrics keep working without a
+    /// prepared path.
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        let _ = ws;
+        Box::new(PairwiseScorer {
+            sim: self,
+            dataset,
+            u,
+        })
+    }
+}
+
+/// Shared tail of the stateless-metric `scorer` implementations.
+fn kind_scorer<'a>(
+    kind: ScoreKind,
+    dataset: &'a Dataset,
+    u: UserId,
+    ws: &'a mut ScorerWorkspace,
+) -> Box<dyn Scorer + 'a> {
+    Box::new(ProfileKindScorer {
+        inner: ws.prepare(kind, dataset.user_profile(u)),
+        dataset,
+    })
 }
 
 /// Cosine over presence (binary) vectors.
@@ -39,6 +77,15 @@ impl Similarity for BinaryCosine {
 
     fn name(&self) -> &'static str {
         "binary-cosine"
+    }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        kind_scorer(ScoreKind::BinaryCosine, dataset, u, ws)
     }
 }
 
@@ -88,6 +135,63 @@ impl Similarity for WeightedCosine {
     fn name(&self) -> &'static str {
         "cosine"
     }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        let norms = self.norms.as_deref();
+        let profile = dataset.user_profile(u);
+        let (inner, norm_u) = match norms {
+            Some(norms) => {
+                debug_assert_eq!(
+                    norms.len(),
+                    dataset.num_users(),
+                    "fitted on another dataset"
+                );
+                let norm_u = norms[u as usize];
+                // The fitted table supplies the reference norm: skip the
+                // norm pass `prepare` would otherwise run.
+                (
+                    ws.prepare_with_norm(ScoreKind::Cosine, profile, norm_u),
+                    Some(norm_u),
+                )
+            }
+            None => (ws.prepare(ScoreKind::Cosine, profile), None),
+        };
+        Box::new(CosineScorer {
+            inner,
+            dataset,
+            norm_u,
+            norms,
+        })
+    }
+}
+
+/// Prepared scorer of [`WeightedCosine`]: dense dot products plus either
+/// the fitted norm table or per-candidate norms, exactly mirroring
+/// [`WeightedCosine::sim`]'s two paths.
+struct CosineScorer<'a> {
+    inner: crate::scorer::ProfileScorer<'a>,
+    dataset: &'a Dataset,
+    /// Fitted norm of the reference user, when fitted.
+    norm_u: Option<f64>,
+    norms: Option<&'a [f64]>,
+}
+
+impl Scorer for CosineScorer<'_> {
+    fn score(&mut self, v: UserId) -> f64 {
+        let b = self.dataset.user_profile(v);
+        match (self.norm_u, self.norms) {
+            (Some(norm_u), Some(norms)) => {
+                self.inner
+                    .score_cosine_with_norms(b, norm_u, norms[v as usize])
+            }
+            _ => self.inner.score(b),
+        }
+    }
 }
 
 /// Jaccard's coefficient over item sets.
@@ -101,6 +205,15 @@ impl Similarity for Jaccard {
 
     fn name(&self) -> &'static str {
         "jaccard"
+    }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        kind_scorer(ScoreKind::Jaccard, dataset, u, ws)
     }
 }
 
@@ -116,6 +229,15 @@ impl Similarity for WeightedJaccard {
     fn name(&self) -> &'static str {
         "weighted-jaccard"
     }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        kind_scorer(ScoreKind::WeightedJaccard, dataset, u, ws)
+    }
 }
 
 /// Dice coefficient over item sets.
@@ -129,6 +251,15 @@ impl Similarity for Dice {
 
     fn name(&self) -> &'static str {
         "dice"
+    }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        kind_scorer(ScoreKind::Dice, dataset, u, ws)
     }
 }
 
@@ -145,6 +276,15 @@ impl Similarity for CommonItems {
 
     fn name(&self) -> &'static str {
         "common-items"
+    }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        kind_scorer(ScoreKind::CommonItems, dataset, u, ws)
     }
 }
 
@@ -188,6 +328,41 @@ impl Similarity for AdamicAdar {
 
     fn name(&self) -> &'static str {
         "adamic-adar"
+    }
+
+    fn scorer<'a>(
+        &'a self,
+        dataset: &'a Dataset,
+        u: UserId,
+        ws: &'a mut ScorerWorkspace,
+    ) -> Box<dyn Scorer + 'a> {
+        debug_assert_eq!(
+            self.item_weights.len(),
+            dataset.num_items(),
+            "fitted on another dataset"
+        );
+        Box::new(AdamicAdarScorer {
+            // CommonItems preparation: Adamic–Adar needs only the stamped
+            // reference items, no norms or totals.
+            inner: ws.prepare(ScoreKind::CommonItems, dataset.user_profile(u)),
+            dataset,
+            weights: &self.item_weights,
+        })
+    }
+}
+
+/// Prepared scorer of [`AdamicAdar`]: stamped reference items summed
+/// through the fitted per-item weights.
+struct AdamicAdarScorer<'a> {
+    inner: crate::scorer::ProfileScorer<'a>,
+    dataset: &'a Dataset,
+    weights: &'a [f64],
+}
+
+impl Scorer for AdamicAdarScorer<'_> {
+    fn score(&mut self, v: UserId) -> f64 {
+        self.inner
+            .weighted_shared(self.dataset.user_profile(v), self.weights)
     }
 }
 
@@ -273,6 +448,59 @@ mod tests {
             // Disjoint pair Alice–Carl must be zero under every metric.
             assert_eq!(m.sim(&ds, 0, 2), 0.0, "{}", m.name());
         }
+    }
+
+    #[test]
+    fn prepared_scorers_match_pairwise_sim() {
+        use kiff_dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+        let ds = generate_bipartite(&BipartiteConfig::tiny("scorer", 71));
+        let aa = AdamicAdar::fit(&ds);
+        let fitted = WeightedCosine::fit(&ds);
+        let unfitted = WeightedCosine::new();
+        let metrics: Vec<&dyn Similarity> = vec![
+            &BinaryCosine,
+            &fitted,
+            &unfitted,
+            &Jaccard,
+            &WeightedJaccard,
+            &Dice,
+            &CommonItems,
+            &aa,
+        ];
+        let n = ds.num_users() as UserId;
+        let mut ws = ScorerWorkspace::new();
+        for m in metrics {
+            for u in 0..n.min(40) {
+                let mut scorer = m.scorer(&ds, u, &mut ws);
+                for v in 0..n.min(40) {
+                    let prepared = scorer.score(v);
+                    let pairwise = m.sim(&ds, u, v);
+                    assert!(
+                        (prepared - pairwise).abs() <= crate::SIM_EPSILON,
+                        "{}: ({u},{v}) prepared {prepared} vs pairwise {pairwise}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_scorer_falls_back_to_sim() {
+        /// A custom metric without a prepared path.
+        struct Constant;
+        impl Similarity for Constant {
+            fn sim(&self, _: &Dataset, u: UserId, v: UserId) -> f64 {
+                f64::from(u + v)
+            }
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+        }
+        let ds = figure2_toy();
+        let mut ws = ScorerWorkspace::new();
+        let mut scorer = Constant.scorer(&ds, 1, &mut ws);
+        assert_eq!(scorer.score(2), 3.0);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Cross-crate properties of the counting-phase strategies and the
+//! prepared-scorer layer (the two hot paths rewritten for the flat-CSR /
+//! prepared-scorer PR):
+//!
+//! * every [`CountStrategy`] — and the retained pre-rewrite reference
+//!   pipeline — produces *identical* [`RankedCandidates`] (ids and
+//!   counts) across pivot / rating-threshold / max-RCS combinations;
+//! * every metric's prepared [`Scorer`] reproduces its pairwise
+//!   [`Similarity::sim`] within [`SIM_EPSILON`], on both the dense and
+//!   the low-degree fallback paths.
+
+use proptest::prelude::*;
+
+use kiff::prelude::*;
+use kiff_core::{build_rcs, build_rcs_reference, CountStrategy, CountingConfig};
+use kiff_similarity::{ScorerWorkspace, SIM_EPSILON};
+
+/// A small random dataset strategy: up to 40 users, 30 items, star
+/// ratings so the rating threshold has something to prune.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (
+        2usize..40,
+        2usize..30,
+        proptest::collection::vec((0u32..40, 0u32..30, 1u32..6), 1..300),
+    )
+        .prop_map(|(nu, ni, triples)| {
+            let mut b = DatasetBuilder::new("prop", nu, ni);
+            for (u, i, r) in triples {
+                b.add_rating(u % nu as u32, i % ni as u32, r as f32);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Dense, sort-based and hash-based counting — and the reference
+    /// per-user-Vec pipeline — agree entry for entry on ids *and* counts
+    /// under every pivot/threshold/cap combination.
+    #[test]
+    fn all_count_strategies_agree(
+        ds in arb_dataset(),
+        pivot in any::<bool>(),
+        threshold in 0u32..5,   // 0 = no rating threshold
+        cap in 0usize..12,      // 0 = uncapped RCSs
+    ) {
+        let config = |strategy| CountingConfig {
+            pivot,
+            keep_counts: true,
+            threads: Some(2),
+            strategy,
+            rating_threshold: (threshold > 0).then_some(threshold as f32),
+            max_rcs: (cap > 0).then_some(cap),
+        };
+        let reference = build_rcs_reference(&ds, &config(CountStrategy::SortBased));
+        for strategy in [
+            CountStrategy::Dense,
+            CountStrategy::SortBased,
+            CountStrategy::HashBased,
+            CountStrategy::Auto,
+        ] {
+            let rcs = build_rcs(&ds, &config(strategy));
+            prop_assert_eq!(rcs.num_users(), reference.num_users());
+            for u in 0..ds.num_users() as u32 {
+                prop_assert_eq!(
+                    rcs.rcs(u), reference.rcs(u),
+                    "{:?} ids diverge for user {}", strategy, u
+                );
+                prop_assert_eq!(
+                    rcs.counts(u), reference.counts(u),
+                    "{:?} counts diverge for user {}", strategy, u
+                );
+            }
+        }
+    }
+
+    /// Prepared scorers equal pairwise `sim.sim` within `SIM_EPSILON` for
+    /// every metric, over every user pair of a random dataset (covering
+    /// both the dense-stamp and the small-profile fallback paths).
+    #[test]
+    fn prepared_scorers_match_pairwise(ds in arb_dataset()) {
+        let fitted = WeightedCosine::fit(&ds);
+        let unfitted = WeightedCosine::new();
+        let aa = AdamicAdar::fit(&ds);
+        let metrics: Vec<&dyn Similarity> = vec![
+            &fitted,
+            &unfitted,
+            &BinaryCosine,
+            &Jaccard,
+            &WeightedJaccard,
+            &Dice,
+            &CommonItems,
+            &aa,
+        ];
+        let n = ds.num_users() as u32;
+        let mut ws = ScorerWorkspace::new();
+        for m in metrics {
+            for u in 0..n {
+                let mut scorer = m.scorer(&ds, u, &mut ws);
+                for v in 0..n {
+                    let prepared = scorer.score(v);
+                    let pairwise = m.sim(&ds, u, v);
+                    prop_assert!(
+                        (prepared - pairwise).abs() <= SIM_EPSILON,
+                        "{}: ({}, {}) prepared {} vs pairwise {}",
+                        m.name(), u, v, prepared, pairwise
+                    );
+                }
+            }
+        }
+    }
+
+    /// End to end: KIFF graphs are invariant under counting strategy and
+    /// scoring mode (exact mode, so the comparison is deterministic).
+    #[test]
+    fn kiff_invariant_under_strategy_and_scoring(ds in arb_dataset(), k in 1usize..6) {
+        use kiff_core::{KiffConfig, ScoringMode};
+        let sim = WeightedCosine::fit(&ds);
+        let reference = Kiff::new(KiffConfig::exact(k).with_threads(1)).run(&ds, &sim).graph;
+        for strategy in [CountStrategy::Dense, CountStrategy::HashBased] {
+            for scoring in [ScoringMode::Prepared, ScoringMode::Pairwise] {
+                let config = KiffConfig::exact(k)
+                    .with_threads(1)
+                    .with_count_strategy(strategy)
+                    .with_scoring(scoring);
+                let graph = Kiff::new(config).run(&ds, &sim).graph;
+                for u in 0..ds.num_users() as u32 {
+                    prop_assert_eq!(
+                        graph.neighbors(u), reference.neighbors(u),
+                        "{:?}/{:?} user {}", strategy, scoring, u
+                    );
+                }
+            }
+        }
+    }
+}
