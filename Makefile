@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,7 +32,7 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting --scale 0.1 --threads 4 --seed 42 \
+		online sharded counting baselines --scale 0.1 --threads 4 --seed 42 \
 		--recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
 # Counting/scoring hot-loop throughput only (BENCH_counting.json):
@@ -41,6 +41,13 @@ bench-smoke:
 bench-counting:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		counting --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
+# Baseline-suite scoring throughput only (BENCH_baselines.json):
+# prepared vs pairwise sims/sec for NN-Descent, HyRec, LSH and
+# exact_knn, with graph-identity gates per algorithm and metric.
+bench-baselines:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		baselines --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

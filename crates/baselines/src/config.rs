@@ -1,5 +1,7 @@
 //! Shared configuration for the greedy baselines.
 
+use kiff_similarity::ScoringMode;
+
 /// Parameters shared by NN-Descent and HyRec.
 #[derive(Debug, Clone)]
 pub struct GreedyConfig {
@@ -15,6 +17,10 @@ pub struct GreedyConfig {
     /// Hard cap on iterations (safety net; the paper's runs converge well
     /// before this).
     pub max_iterations: usize,
+    /// How candidate loops evaluate similarities (default: prepared
+    /// scorers — each pivot/reference profile is prepared once per batch;
+    /// both modes build identical graphs).
+    pub scoring: ScoringMode,
 }
 
 impl GreedyConfig {
@@ -26,6 +32,13 @@ impl GreedyConfig {
             threads: None,
             seed: 42,
             max_iterations: 200,
+            scoring: ScoringMode::default(),
         }
+    }
+
+    /// Sets how candidate loops evaluate similarities.
+    pub fn with_scoring(mut self, scoring: ScoringMode) -> Self {
+        self.scoring = scoring;
+        self
     }
 }

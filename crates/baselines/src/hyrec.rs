@@ -18,8 +18,8 @@ use rand::{Rng, SeedableRng};
 
 use kiff_dataset::Dataset;
 use kiff_graph::{IterationObserver, IterationTrace, KnnGraph, NoObserver, SharedKnn};
-use kiff_parallel::{effective_threads, parallel_for, Counter, TimeAccumulator};
-use kiff_similarity::Similarity;
+use kiff_parallel::{effective_threads, parallel_for, Counter, ScratchPool, TimeAccumulator};
+use kiff_similarity::{ScorerWorkspace, ScoringMode, Similarity, PREPARED_MIN_BATCH};
 
 use crate::config::GreedyConfig;
 use crate::init::random_init;
@@ -77,13 +77,15 @@ impl HyRec {
         let mut stats = GreedyStats::default();
 
         let init_start = Instant::now();
-        let init_evals = random_init(dataset, sim, &shared, self.config.seed);
+        let init_evals = random_init(dataset, sim, &shared, self.config.seed, self.config.scoring);
         stats.init_time = init_start.elapsed();
 
         let sim_evals = Counter::new();
         let changes = Counter::new();
         let candidate_time = TimeAccumulator::new();
         let similarity_time = TimeAccumulator::new();
+        // Scorer-preparation arenas, reused across chunks and iterations.
+        let workspaces: ScratchPool<ScorerWorkspace> = ScratchPool::new();
         let mut cumulative = init_evals;
 
         for iteration in 1..=self.config.max_iterations {
@@ -106,6 +108,8 @@ impl HyRec {
 
             parallel_for(threads, n, 16, |range| {
                 let mut candidates: Vec<u32> = Vec::new();
+                let mut sims: Vec<f64> = Vec::new();
+                let mut ws = workspaces.checkout();
                 for u in range {
                     let uid = u as u32;
                     let _guard = candidate_time.start();
@@ -134,9 +138,26 @@ impl HyRec {
                     candidates.retain(|&v| v != uid && frozen[u].binary_search(&v).is_err());
                     drop(_guard);
 
-                    for &v in &candidates {
-                        let s = similarity_time.measure(|| sim.sim(dataset, uid, v));
-                        sim_evals.incr();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    // The pivot is the reference of its whole candidate
+                    // set: prepared scoring preprocesses it once and
+                    // streams the set.
+                    let sim_guard = similarity_time.start();
+                    match self.config.scoring {
+                        ScoringMode::Prepared if candidates.len() >= PREPARED_MIN_BATCH => {
+                            let mut scorer = sim.scorer(dataset, uid, &mut ws);
+                            scorer.score_into(&candidates, &mut sims);
+                        }
+                        ScoringMode::Prepared | ScoringMode::Pairwise => {
+                            sims.clear();
+                            sims.extend(candidates.iter().map(|&v| sim.sim(dataset, uid, v)));
+                        }
+                    }
+                    drop(sim_guard);
+                    sim_evals.add(candidates.len() as u64);
+                    for (&v, &s) in candidates.iter().zip(sims.iter()) {
                         let c = shared.update(uid, v, s) + shared.update(v, uid, s);
                         if c > 0 {
                             changes.add(c);
@@ -236,6 +257,21 @@ mod tests {
         // §IV-D: random nodes only *slightly* improve recall (~4%); they
         // must not degrade it noticeably.
         assert!(r5 + 0.05 >= r0, "r=0: {r0}, r=5: {r5}");
+    }
+
+    #[test]
+    fn scoring_modes_build_identical_graphs() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("hp", 239));
+        let sim = WeightedCosine::fit(&ds);
+        let mut cfg = GreedyConfig::new(6);
+        cfg.threads = Some(1); // deterministic sweep: bit-for-bit equality
+        let (prepared, ps) =
+            HyRec::new(cfg.clone().with_scoring(ScoringMode::Prepared)).run(&ds, &sim);
+        let (pairwise, ws) = HyRec::new(cfg.with_scoring(ScoringMode::Pairwise)).run(&ds, &sim);
+        assert_eq!(ps.sim_evals, ws.sim_evals);
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(prepared.neighbors(u), pairwise.neighbors(u), "user {u}");
+        }
     }
 
     #[test]

@@ -7,16 +7,20 @@ use rand::{Rng, SeedableRng};
 use kiff_dataset::Dataset;
 use kiff_graph::{KnnGraph, SharedKnn};
 use kiff_parallel::Counter;
-use kiff_similarity::Similarity;
+use kiff_similarity::{ScorerWorkspace, ScoringMode, Similarity, PREPARED_MIN_BATCH};
 
 /// Fills `shared` with `k` distinct random neighbours per user, scored with
 /// the real metric (entries carry the `new` flag for NN-Descent's first
-/// join). Returns the number of similarity evaluations spent.
+/// join). Under [`ScoringMode::Prepared`] each user's profile is prepared
+/// once and all of her `k` draws stream through the prepared scorer; both
+/// modes score identically. Returns the number of similarity evaluations
+/// spent.
 pub fn random_init<S: Similarity + ?Sized>(
     dataset: &Dataset,
     sim: &S,
     shared: &SharedKnn,
     seed: u64,
+    scoring: ScoringMode,
 ) -> u64 {
     let n = dataset.num_users();
     let k = shared.k();
@@ -25,7 +29,12 @@ pub fn random_init<S: Similarity + ?Sized>(
     }
     let evals = Counter::new();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut ws = ScorerWorkspace::new();
+    // Below the batch threshold a user scores too few draws to amortise
+    // preparation — same fallback as every other call site.
+    let prepare = scoring == ScoringMode::Prepared && k.min(n - 1) >= PREPARED_MIN_BATCH;
     for u in 0..n as u32 {
+        let mut scorer = prepare.then(|| sim.scorer(dataset, u, &mut ws));
         let mut picked = 0usize;
         let mut guard = 0usize;
         let budget = 20 * k + 100;
@@ -40,7 +49,10 @@ pub fn random_init<S: Similarity + ?Sized>(
             if heap.contains(v) {
                 continue;
             }
-            let s = sim.sim(dataset, u, v);
+            let s = match scorer.as_mut() {
+                Some(scorer) => scorer.score(v),
+                None => sim.sim(dataset, u, v),
+            };
             evals.incr();
             heap.update(s, v);
             picked += 1;
@@ -57,8 +69,20 @@ pub fn random_graph<S: Similarity + ?Sized>(
     k: usize,
     seed: u64,
 ) -> KnnGraph {
+    random_graph_with(dataset, sim, k, seed, ScoringMode::default())
+}
+
+/// [`random_graph`] with an explicit [`ScoringMode`]; both modes build
+/// identical graphs.
+pub fn random_graph_with<S: Similarity + ?Sized>(
+    dataset: &Dataset,
+    sim: &S,
+    k: usize,
+    seed: u64,
+    scoring: ScoringMode,
+) -> KnnGraph {
     let shared = SharedKnn::new(dataset.num_users(), k);
-    random_init(dataset, sim, &shared, seed);
+    random_init(dataset, sim, &shared, seed, scoring);
     shared.snapshot()
 }
 
@@ -81,6 +105,15 @@ mod tests {
             d.dedup();
             assert_eq!(d.len(), 5);
         }
+    }
+
+    #[test]
+    fn scoring_modes_build_identical_graphs() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("rp", 13));
+        let sim = WeightedCosine::fit(&ds);
+        let prepared = random_graph_with(&ds, &sim, 5, 7, ScoringMode::Prepared);
+        let pairwise = random_graph_with(&ds, &sim, 5, 7, ScoringMode::Pairwise);
+        assert_eq!(prepared, pairwise);
     }
 
     #[test]

@@ -30,8 +30,8 @@ use std::time::{Duration, Instant};
 use kiff_collections::{FxHashMap, FxHashSet};
 use kiff_dataset::{Dataset, UserId};
 use kiff_graph::{KnnGraph, SharedKnn};
-use kiff_parallel::{effective_threads, parallel_fold, parallel_for, Counter};
-use kiff_similarity::Similarity;
+use kiff_parallel::{effective_threads, parallel_fold, parallel_for, Counter, ScratchPool};
+use kiff_similarity::{ScorerWorkspace, ScoringMode, Similarity, PREPARED_MIN_BATCH};
 
 /// The signature family used by [`Lsh`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +97,10 @@ pub struct LshConfig {
     pub threads: Option<usize>,
     /// Seed for the hash-derived hyperplanes/permutations.
     pub seed: u64,
+    /// How candidate pairs are scored with the real metric (default:
+    /// prepared — each bucket member is prepared once and scores all its
+    /// bucket partners; both modes build identical graphs).
+    pub scoring: ScoringMode,
 }
 
 impl LshConfig {
@@ -111,6 +115,7 @@ impl LshConfig {
             max_bucket: 512,
             threads: None,
             seed: 42,
+            scoring: ScoringMode::default(),
         }
     }
 
@@ -125,6 +130,7 @@ impl LshConfig {
             max_bucket: 512,
             threads: None,
             seed: 42,
+            scoring: ScoringMode::default(),
         }
     }
 }
@@ -276,6 +282,8 @@ impl Lsh {
         let mut seen: FxHashSet<u64> = FxHashSet::default();
         let evals = Counter::new();
         let threads = effective_threads(self.config.threads);
+        // Scorer-preparation arenas, reused across chunks and bands.
+        let workspaces: ScratchPool<ScorerWorkspace> = ScratchPool::new();
 
         for band in 0..bands {
             let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
@@ -287,8 +295,13 @@ impl Lsh {
             }
             stats.buckets += buckets.values().filter(|b| b.len() > 1).count() as u64;
 
-            // Collect this band's new pairs (dedup against prior bands).
-            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            // Collect this band's new pairs (dedup against prior bands),
+            // grouped bucket-locally by reference member: `refs[g]`
+            // scores `partners[offsets[g]..offsets[g + 1]]`, so prepared
+            // scoring preprocesses each bucket member once.
+            let mut refs: Vec<u32> = Vec::new();
+            let mut offsets: Vec<usize> = vec![0];
+            let mut partners: Vec<u32> = Vec::new();
             for bucket in buckets.values_mut() {
                 stats.largest_bucket = stats.largest_bucket.max(bucket.len());
                 if bucket.len() > max_bucket {
@@ -298,24 +311,44 @@ impl Lsh {
                     bucket.truncate(max_bucket);
                 }
                 for (idx, &a) in bucket.iter().enumerate() {
+                    let start = partners.len();
                     for &b in &bucket[idx + 1..] {
                         let key = (u64::from(a.min(b)) << 32) | u64::from(a.max(b));
                         if seen.insert(key) {
-                            pairs.push((a, b));
+                            partners.push(b);
                         }
+                    }
+                    if partners.len() > start {
+                        refs.push(a);
+                        offsets.push(partners.len());
                     }
                 }
             }
 
-            // Score the new pairs in parallel; heap updates are locked.
-            parallel_for(threads, pairs.len(), 64, |range| {
-                for idx in range {
-                    let (a, b) = pairs[idx];
-                    let s = sim.sim(dataset, a, b);
-                    evals.incr();
-                    if s > 0.0 {
-                        shared.update(a, b, s);
-                        shared.update(b, a, s);
+            // Score each reference's new partners in parallel; heap
+            // updates are locked.
+            parallel_for(threads, refs.len(), 8, |range| {
+                let mut ws = workspaces.checkout();
+                let mut sims: Vec<f64> = Vec::new();
+                for g in range {
+                    let a = refs[g];
+                    let group = &partners[offsets[g]..offsets[g + 1]];
+                    match self.config.scoring {
+                        ScoringMode::Prepared if group.len() >= PREPARED_MIN_BATCH => {
+                            let mut scorer = sim.scorer(dataset, a, &mut ws);
+                            scorer.score_into(group, &mut sims);
+                        }
+                        ScoringMode::Prepared | ScoringMode::Pairwise => {
+                            sims.clear();
+                            sims.extend(group.iter().map(|&b| sim.sim(dataset, a, b)));
+                        }
+                    }
+                    evals.add(group.len() as u64);
+                    for (&b, &s) in group.iter().zip(sims.iter()) {
+                        if s > 0.0 {
+                            shared.update(a, b, s);
+                            shared.update(b, a, s);
+                        }
                     }
                 }
             });
@@ -466,6 +499,23 @@ mod tests {
             (rate - 0.5).abs() < 0.1,
             "disjoint profiles agree at {rate}, expected ≈ 0.5"
         );
+    }
+
+    #[test]
+    fn scoring_modes_build_identical_graphs() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("lshp", 151));
+        let sim = WeightedCosine::fit(&ds);
+        let cfg = |scoring| LshConfig {
+            scoring,
+            threads: Some(1),
+            ..LshConfig::new(8)
+        };
+        let (prepared, ps) = Lsh::new(cfg(ScoringMode::Prepared)).run(&ds, &sim);
+        let (pairwise, ws) = Lsh::new(cfg(ScoringMode::Pairwise)).run(&ds, &sim);
+        assert_eq!(ps.sim_evals, ws.sim_evals);
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(prepared.neighbors(u), pairwise.neighbors(u), "user {u}");
+        }
     }
 
     #[test]

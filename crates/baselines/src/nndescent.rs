@@ -23,8 +23,8 @@ use rand::SeedableRng;
 use kiff_collections::FxHashSet;
 use kiff_dataset::Dataset;
 use kiff_graph::{IterationObserver, IterationTrace, KnnGraph, NoObserver, SharedKnn};
-use kiff_parallel::{effective_threads, parallel_for, Counter, TimeAccumulator};
-use kiff_similarity::Similarity;
+use kiff_parallel::{effective_threads, parallel_for, Counter, ScratchPool, TimeAccumulator};
+use kiff_similarity::{ScorerWorkspace, ScoringMode, Similarity, PREPARED_MIN_BATCH};
 
 use crate::config::GreedyConfig;
 use crate::init::random_init;
@@ -87,7 +87,7 @@ impl NnDescent {
 
         // Random initial k-degree graph, flagged new.
         let init_start = Instant::now();
-        let init_evals = random_init(dataset, sim, &shared, self.config.seed);
+        let init_evals = random_init(dataset, sim, &shared, self.config.seed, self.config.scoring);
         stats.init_time = init_start.elapsed();
         stats.sim_evals = init_evals;
 
@@ -95,6 +95,8 @@ impl NnDescent {
         let changes = Counter::new();
         let candidate_time = TimeAccumulator::new();
         let similarity_time = TimeAccumulator::new();
+        // Scorer-preparation arenas, reused across chunks and iterations.
+        let workspaces: ScratchPool<ScorerWorkspace> = ScratchPool::new();
         let sample_budget = self
             .sample_rate
             .map(|rho| ((rho * k as f64).ceil() as usize).max(1));
@@ -151,6 +153,9 @@ impl NnDescent {
             parallel_for(threads, n, 16, |range| {
                 let mut news: Vec<u32> = Vec::new();
                 let mut olds: Vec<u32> = Vec::new();
+                let mut partners: Vec<u32> = Vec::new();
+                let mut sims: Vec<f64> = Vec::new();
+                let mut ws = workspaces.checkout();
                 for u in range {
                     let _guard = candidate_time.start();
                     news.clear();
@@ -185,22 +190,30 @@ impl NnDescent {
                     olds.retain(|v| news.binary_search(v).is_err());
                     drop(_guard);
 
-                    // new × new (unordered pairs) and new × old.
+                    // new × new (unordered pairs) and new × old: `a` is
+                    // the reference of its whole join row, so prepared
+                    // scoring preprocesses it once and streams the row.
                     for (idx, &a) in news.iter().enumerate() {
-                        for &b in &news[idx + 1..] {
-                            let s = similarity_time.measure(|| sim.sim(dataset, a, b));
-                            sim_evals.incr();
-                            let c = shared.update(a, b, s) + shared.update(b, a, s);
-                            if c > 0 {
-                                changes.add(c);
+                        partners.clear();
+                        partners.extend_from_slice(&news[idx + 1..]);
+                        partners.extend(olds.iter().copied().filter(|&b| b != a));
+                        if partners.is_empty() {
+                            continue;
+                        }
+                        let sim_guard = similarity_time.start();
+                        match self.config.scoring {
+                            ScoringMode::Prepared if partners.len() >= PREPARED_MIN_BATCH => {
+                                let mut scorer = sim.scorer(dataset, a, &mut ws);
+                                scorer.score_into(&partners, &mut sims);
+                            }
+                            ScoringMode::Prepared | ScoringMode::Pairwise => {
+                                sims.clear();
+                                sims.extend(partners.iter().map(|&b| sim.sim(dataset, a, b)));
                             }
                         }
-                        for &b in olds.iter() {
-                            if a == b {
-                                continue;
-                            }
-                            let s = similarity_time.measure(|| sim.sim(dataset, a, b));
-                            sim_evals.incr();
+                        drop(sim_guard);
+                        sim_evals.add(partners.len() as u64);
+                        for (&b, &s) in partners.iter().zip(sims.iter()) {
                             let c = shared.update(a, b, s) + shared.update(b, a, s);
                             if c > 0 {
                                 changes.add(c);
@@ -301,6 +314,21 @@ mod tests {
             let first = stats.per_iteration[0].changes;
             let last = stats.per_iteration.last().unwrap().changes;
             assert!(first > last, "first={first} last={last}");
+        }
+    }
+
+    #[test]
+    fn scoring_modes_build_identical_graphs() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("ndp", 127));
+        let sim = WeightedCosine::fit(&ds);
+        let mut cfg = GreedyConfig::new(8);
+        cfg.threads = Some(1); // deterministic sweep: bit-for-bit equality
+        let (prepared, ps) =
+            NnDescent::new(cfg.clone().with_scoring(ScoringMode::Prepared)).run(&ds, &sim);
+        let (pairwise, ws) = NnDescent::new(cfg.with_scoring(ScoringMode::Pairwise)).run(&ds, &sim);
+        assert_eq!(ps.sim_evals, ws.sim_evals);
+        for u in 0..ds.num_users() as u32 {
+            assert_eq!(prepared.neighbors(u), pairwise.neighbors(u), "user {u}");
         }
     }
 

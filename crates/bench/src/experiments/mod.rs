@@ -3,6 +3,7 @@
 //! the human-readable report it also writes to `results/<id>.txt` (with a
 //! machine-readable twin at `results/<id>.json`).
 
+pub mod baseline_scoring;
 pub mod comparison;
 pub mod convergence;
 pub mod counting_exps;
@@ -229,7 +230,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 24] = [
+pub const ALL: [&str; 25] = [
     "table1",
     "fig4",
     "fig1",
@@ -254,6 +255,7 @@ pub const ALL: [&str; 24] = [
     "online",
     "sharded",
     "counting",
+    "baselines",
 ];
 
 /// Runs one experiment by id.
@@ -283,6 +285,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "online" => Ok(online::online(ctx)),
         "sharded" => Ok(sharded::sharded(ctx)),
         "counting" => Ok(counting_perf::counting(ctx)),
+        "baselines" => Ok(baseline_scoring::baselines(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -80,6 +80,45 @@ pub struct GenerateOptions {
     pub output: PathBuf,
 }
 
+/// Options of `kiff exact` (exact ground-truth construction).
+#[derive(Debug, Clone)]
+pub struct ExactOptions {
+    /// Dataset to load.
+    pub input: InputOptions,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Similarity metric.
+    pub metric: Metric,
+    /// How rows are scored (prepared scorers by default).
+    pub scoring: ScoringMode,
+    /// Exhaustive `O(|U|²)` scan instead of the inverted index.
+    pub brute: bool,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Where the graph edge list goes (`-` or absent = stdout).
+    pub output: Option<PathBuf>,
+}
+
+/// Options of `kiff compare` (run the algorithm suite against exact
+/// ground truth).
+#[derive(Debug, Clone)]
+pub struct CompareOptions {
+    /// Dataset to load.
+    pub input: InputOptions,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Similarity metric.
+    pub metric: Metric,
+    /// Algorithms to run (default: kiff, nndescent, hyrec, lsh).
+    pub algorithms: Vec<Algorithm>,
+    /// How every algorithm's candidate loops are scored.
+    pub scoring: ScoringMode,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// RNG seed for randomised algorithms.
+    pub seed: u64,
+}
+
 /// Options of `kiff recommend`.
 #[derive(Debug, Clone)]
 pub struct RecommendOptions {
@@ -132,6 +171,10 @@ pub struct UpdateOptions {
 pub enum Command {
     /// Build a KNN graph.
     Build(BuildOptions),
+    /// Build the exact ground-truth graph.
+    Exact(ExactOptions),
+    /// Run the algorithm suite against exact ground truth.
+    Compare(CompareOptions),
     /// Print Table-I style dataset statistics.
     Stats(InputOptions),
     /// Generate a synthetic dataset.
@@ -170,6 +213,14 @@ commands:
              [--metric cosine|binary-cosine|jaccard|weighted-jaccard|dice|adamic-adar]
              [--gamma N] [--beta F] [--threads N] [--seed N] [--output FILE]
              [--count-strategy auto|dense|sort|hash] [--scoring prepared|pairwise]
+  exact      build the exact ground-truth graph (inverted index, or
+             --brute for the exhaustive O(|U|^2) scan)
+             --input FILE --k N [--metric ...] [--scoring prepared|pairwise]
+             [--threads N] [--output FILE]
+  compare    run the algorithm suite and report recall against exact
+             ground truth, wall time and edges per algorithm
+             --input FILE --k N [--metric ...] [--algorithms kiff,nndescent,...]
+             [--scoring prepared|pairwise] [--threads N] [--seed N]
   stats      print dataset statistics (Table I columns)
              --input FILE [--format ...]
   generate   write a synthetic dataset calibrated to a paper dataset
@@ -267,6 +318,18 @@ fn parse_items(raw: &str) -> Result<Vec<u32>, ParseError> {
         .collect()
 }
 
+fn parse_algorithms(raw: &str) -> Result<Vec<Algorithm>, ParseError> {
+    let list: Vec<Algorithm> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse_algorithm(s.trim()))
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(ParseError("--algorithms must list at least one".into()));
+    }
+    Ok(list)
+}
+
 /// Parses `argv` (excluding the program name) into a [`Command`].
 pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut iter = argv.iter().cloned();
@@ -296,6 +359,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut batch: Option<usize> = None;
     let mut repair_width: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut algorithms: Option<Vec<Algorithm>> = None;
+    let mut brute = false;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -327,6 +392,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 )?)
             }
             "--shards" => shards = Some(parse_num("--shards", &value("--shards", &mut iter)?)?),
+            "--algorithms" => {
+                algorithms = Some(parse_algorithms(&value("--algorithms", &mut iter)?)?)
+            }
+            "--brute" => brute = true,
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(ParseError(format!("unknown option '{other}'\n\n{USAGE}"))),
         }
@@ -350,6 +419,31 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             threads,
             seed,
             output,
+        })),
+        "exact" => Ok(Command::Exact(ExactOptions {
+            input: need_input(input)?,
+            k: k.ok_or_else(|| ParseError("--k is required".into()))?,
+            metric,
+            scoring,
+            brute,
+            threads,
+            output,
+        })),
+        "compare" => Ok(Command::Compare(CompareOptions {
+            input: need_input(input)?,
+            k: k.ok_or_else(|| ParseError("--k is required".into()))?,
+            metric,
+            algorithms: algorithms.unwrap_or_else(|| {
+                vec![
+                    Algorithm::Kiff,
+                    Algorithm::NnDescent,
+                    Algorithm::HyRec,
+                    Algorithm::Lsh,
+                ]
+            }),
+            scoring,
+            threads,
+            seed,
         })),
         "stats" => Ok(Command::Stats(need_input(input)?)),
         "generate" => Ok(Command::Generate(GenerateOptions {
@@ -454,6 +548,58 @@ mod tests {
         }
         assert!(parse(&argv("build --input r.tsv --k 5 --count-strategy magic")).is_err());
         assert!(parse(&argv("build --input r.tsv --k 5 --scoring magic")).is_err());
+    }
+
+    #[test]
+    fn parses_exact() {
+        let cmd = parse(&argv(
+            "exact --input r.tsv --k 10 --metric jaccard --scoring pairwise --brute --threads 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Exact(e) => {
+                assert_eq!(e.k, 10);
+                assert_eq!(e.metric, Metric::Jaccard);
+                assert_eq!(e.scoring, ScoringMode::Pairwise);
+                assert!(e.brute);
+                assert_eq!(e.threads, Some(2));
+            }
+            other => panic!("expected Exact, got {other:?}"),
+        }
+        // Defaults: prepared scoring, inverted index.
+        match parse(&argv("exact --input r.tsv --k 5")).unwrap() {
+            Command::Exact(e) => {
+                assert_eq!(e.scoring, ScoringMode::Prepared);
+                assert!(!e.brute);
+            }
+            other => panic!("expected Exact, got {other:?}"),
+        }
+        assert!(parse(&argv("exact --input r.tsv")).is_err(), "needs --k");
+    }
+
+    #[test]
+    fn parses_compare() {
+        let cmd = parse(&argv(
+            "compare --input r.tsv --k 5 --algorithms nndescent,hyrec --scoring pairwise",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Compare(c) => {
+                assert_eq!(c.algorithms, vec![Algorithm::NnDescent, Algorithm::HyRec]);
+                assert_eq!(c.scoring, ScoringMode::Pairwise);
+            }
+            other => panic!("expected Compare, got {other:?}"),
+        }
+        // Default suite: kiff + the approximate baselines.
+        match parse(&argv("compare --input r.tsv --k 5")).unwrap() {
+            Command::Compare(c) => {
+                assert_eq!(c.algorithms.len(), 4);
+                assert_eq!(c.scoring, ScoringMode::Prepared);
+            }
+            other => panic!("expected Compare, got {other:?}"),
+        }
+        assert!(parse(&argv("compare --input r.tsv --k 5 --algorithms magic")).is_err());
+        assert!(parse(&argv("compare --input r.tsv --k 5 --algorithms ,")).is_err());
     }
 
     #[test]

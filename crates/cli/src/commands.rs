@@ -7,15 +7,16 @@ use std::time::Instant;
 
 use kiff::online::{OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update, UpdateStats};
 use kiff::prelude::*;
+use kiff::{Algorithm, Metric};
 use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, load_updates_tsv, save_snap_tsv};
 use kiff_dataset::stats::{item_profile_sizes, user_profile_sizes};
 use kiff_dataset::{Dataset, DatasetStats};
 use kiff_eval::percentile;
-use kiff_graph::write_edges_tsv;
+use kiff_graph::{exact_knn_brute_with, exact_knn_with, write_edges_tsv};
 
 use crate::args::{
-    BuildOptions, Command, Format, GenerateOptions, InputOptions, RecommendOptions, SearchOptions,
-    UpdateOptions,
+    BuildOptions, Command, CompareOptions, ExactOptions, Format, GenerateOptions, InputOptions,
+    RecommendOptions, SearchOptions, UpdateOptions,
 };
 
 /// A command-execution failure with a user-facing message.
@@ -78,6 +79,8 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CommandErro
         }
         Command::Stats(options) => stats(options, out),
         Command::Build(options) => build(options, out),
+        Command::Exact(options) => exact(options, out),
+        Command::Compare(options) => compare(options, out),
         Command::Generate(options) => generate(options, out),
         Command::Recommend(options) => recommend(options, out),
         Command::Search(options) => search(options, out),
@@ -367,6 +370,122 @@ fn write_graph(graph: &KnnGraph, w: &mut dyn Write) -> Result<(), CommandError> 
     Ok(())
 }
 
+/// The fitted metric object behind a [`Metric`] selector.
+fn metric_object(metric: Metric, dataset: &Dataset) -> Box<dyn Similarity> {
+    match metric {
+        Metric::Cosine => Box::new(WeightedCosine::fit(dataset)),
+        Metric::BinaryCosine => Box::new(BinaryCosine),
+        Metric::Jaccard => Box::new(Jaccard),
+        Metric::WeightedJaccard => Box::new(WeightedJaccard),
+        Metric::Dice => Box::new(Dice),
+        Metric::AdamicAdar => Box::new(AdamicAdar::fit(dataset)),
+    }
+}
+
+fn algorithm_name(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Kiff => "kiff",
+        Algorithm::NnDescent => "nndescent",
+        Algorithm::HyRec => "hyrec",
+        Algorithm::L2Knng => "l2knng",
+        Algorithm::Lsh => "lsh",
+        Algorithm::Exact => "exact",
+    }
+}
+
+fn exact(options: &ExactOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(&options.input)?;
+    let sim = metric_object(options.metric, &dataset);
+    let start = Instant::now();
+    let graph = if options.brute {
+        exact_knn_brute_with(
+            &dataset,
+            sim.as_ref(),
+            options.k,
+            options.threads,
+            options.scoring,
+        )
+    } else {
+        exact_knn_with(
+            &dataset,
+            sim.as_ref(),
+            options.k,
+            options.threads,
+            options.scoring,
+        )
+    };
+    let elapsed = start.elapsed();
+    match &options.output {
+        Some(path) if path.as_os_str() != "-" => {
+            let mut w = BufWriter::new(File::create(path)?);
+            write_graph(&graph, &mut w)?;
+            w.flush()?;
+            writeln!(
+                out,
+                "built exact {}-NN graph of {} users in {elapsed:.1?} ({} edges, {}) -> {}",
+                options.k,
+                graph.num_users(),
+                graph.num_edges(),
+                if options.brute {
+                    "brute force"
+                } else {
+                    "inverted index"
+                },
+                path.display()
+            )?;
+        }
+        _ => write_graph(&graph, out)?,
+    }
+    Ok(())
+}
+
+fn compare(options: &CompareOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    let dataset = load_dataset(&options.input)?;
+    let sim = metric_object(options.metric, &dataset);
+    let exact_start = Instant::now();
+    let exact = exact_knn_with(
+        &dataset,
+        sim.as_ref(),
+        options.k,
+        options.threads,
+        options.scoring,
+    );
+    writeln!(
+        out,
+        "exact ground truth: {} users, k={}, {:.1?}",
+        dataset.num_users(),
+        options.k,
+        exact_start.elapsed()
+    )?;
+    writeln!(
+        out,
+        "{:<12} {:>8} {:>12} {:>10}",
+        "algorithm", "recall", "time", "edges"
+    )?;
+    for &algorithm in &options.algorithms {
+        let mut builder = KnnGraphBuilder::new(options.k)
+            .algorithm(algorithm)
+            .metric(options.metric)
+            .scoring(options.scoring)
+            .seed(options.seed);
+        if let Some(t) = options.threads {
+            builder = builder.threads(t);
+        }
+        let start = Instant::now();
+        let graph = builder.build(&dataset);
+        let elapsed = start.elapsed();
+        writeln!(
+            out,
+            "{:<12} {:>8.4} {:>12.1?} {:>10}",
+            algorithm_name(algorithm),
+            recall(&exact, &graph),
+            elapsed,
+            graph.num_edges()
+        )?;
+    }
+    Ok(())
+}
+
 fn generate(options: &GenerateOptions, out: &mut dyn Write) -> Result<(), CommandError> {
     if options.scale <= 0.0 {
         return Err(err("--scale must be positive"));
@@ -538,6 +657,50 @@ mod tests {
     }
 
     #[test]
+    fn exact_writes_edge_list_and_brute_matches() {
+        let input = fixture();
+        let inverted = run_str(&format!(
+            "exact --input {} --k 2 --threads 1",
+            input.display()
+        ))
+        .unwrap();
+        assert!(inverted.lines().count() >= 4, "{inverted}");
+        let brute = run_str(&format!(
+            "exact --input {} --k 2 --threads 1 --brute",
+            input.display()
+        ))
+        .unwrap();
+        assert_eq!(inverted, brute, "inverted index must match brute force");
+        let pairwise = run_str(&format!(
+            "exact --input {} --k 2 --threads 1 --scoring pairwise",
+            input.display()
+        ))
+        .unwrap();
+        assert_eq!(inverted, pairwise, "scoring modes must agree");
+    }
+
+    #[test]
+    fn compare_reports_every_algorithm() {
+        let input = fixture();
+        let out = run_str(&format!(
+            "compare --input {} --k 1 --threads 1 --seed 7",
+            input.display()
+        ))
+        .unwrap();
+        assert!(out.contains("exact ground truth"), "{out}");
+        for algo in ["kiff", "nndescent", "hyrec", "lsh"] {
+            assert!(out.contains(algo), "missing {algo}: {out}");
+        }
+        let subset = run_str(&format!(
+            "compare --input {} --k 1 --threads 1 --algorithms kiff --scoring pairwise",
+            input.display()
+        ))
+        .unwrap();
+        assert!(subset.contains("kiff"), "{subset}");
+        assert!(!subset.contains("hyrec"), "{subset}");
+    }
+
+    #[test]
     fn generate_roundtrips_through_stats() {
         let output = tmp("gen.tsv");
         let out = run_str(&format!(
@@ -676,6 +839,8 @@ mod tests {
         let out = run_str("help").unwrap();
         for c in [
             "build",
+            "exact",
+            "compare",
             "stats",
             "generate",
             "recommend",

@@ -64,20 +64,11 @@ pub enum CountStrategy {
     HashBased,
 }
 
-/// How the refinement loop evaluates similarities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ScoringMode {
-    /// Prepare a reusable scorer per user
-    /// ([`kiff_similarity::Similarity::scorer`]): the reference profile is
-    /// preprocessed once and every popped candidate scores in
-    /// `O(|UP_v|)`. Default.
-    #[default]
-    Prepared,
-    /// Pairwise [`kiff_similarity::Similarity::sim`] per candidate — the
-    /// pre-prepared-scorer behaviour, kept as the regression baseline for
-    /// the `counting` bench experiment.
-    Pairwise,
-}
+// How candidate loops evaluate similarities. The selector lives in
+// `kiff_similarity` (it is shared by the baselines and the exact
+// constructions, which do not depend on this crate) and is re-exported
+// here because `KiffConfig` carries it.
+pub use kiff_similarity::ScoringMode;
 
 /// How much of the refinement loop's per-activity wall-clock
 /// instrumentation is collected.

@@ -7,7 +7,7 @@
 
 use kiff_dataset::Dataset;
 use kiff_graph::{KnnGraph, Neighbor};
-use kiff_similarity::Similarity;
+use kiff_similarity::{ScorerWorkspace, Similarity, PREPARED_MIN_BATCH};
 
 use crate::config::CountStrategy;
 use crate::counting::{build_rcs, CountingConfig};
@@ -15,6 +15,9 @@ use crate::counting::{build_rcs, CountingConfig};
 /// Builds the KNN approximation obtained by taking the top `k` entries of
 /// each user's full (unpivoted) Ranked Candidate Set, with their true
 /// similarities attached (recall evaluation compares similarity values).
+/// Each user's profile is prepared once ([`Similarity::scorer`]) and its
+/// RCS prefix streams through the prepared scorer — identical values to
+/// the pairwise path, as everywhere in the workspace.
 pub fn initial_rcs_graph<S: Similarity + ?Sized>(
     dataset: &Dataset,
     sim: &S,
@@ -32,14 +35,20 @@ pub fn initial_rcs_graph<S: Similarity + ?Sized>(
             max_rcs: None,
         },
     );
+    let mut ws = ScorerWorkspace::new();
     let lists: Vec<Vec<Neighbor>> = (0..dataset.num_users() as u32)
         .map(|u| {
-            rcs.rcs(u)
+            let prefix = &rcs.rcs(u)[..k.min(rcs.rcs(u).len())];
+            let mut scorer =
+                (prefix.len() >= PREPARED_MIN_BATCH).then(|| sim.scorer(dataset, u, &mut ws));
+            prefix
                 .iter()
-                .take(k)
                 .map(|&v| Neighbor {
                     id: v,
-                    sim: sim.sim(dataset, u, v),
+                    sim: match scorer.as_mut() {
+                        Some(scorer) => scorer.score(v),
+                        None => sim.sim(dataset, u, v),
+                    },
                 })
                 .collect()
         })

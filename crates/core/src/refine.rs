@@ -18,8 +18,8 @@ use std::time::{Duration, Instant};
 
 use kiff_dataset::Dataset;
 use kiff_graph::{KnnGraph, SharedKnn};
-use kiff_parallel::{effective_threads, parallel_fold, Counter, TimeAccumulator};
-use kiff_similarity::{ScorerWorkspace, Similarity};
+use kiff_parallel::{effective_threads, parallel_fold, Counter, ScratchPool, TimeAccumulator};
+use kiff_similarity::{ScorerWorkspace, Similarity, PREPARED_MIN_BATCH};
 
 pub use kiff_graph::observer::{IterationObserver, IterationTrace, NoObserver};
 
@@ -32,13 +32,6 @@ const GRAIN: usize = 32;
 /// Under [`TimingMode::Sampled`], one in this many scheduling chunks is
 /// timed.
 const TIMING_SAMPLE: usize = 64;
-
-/// Under [`ScoringMode::Prepared`], batches smaller than this score
-/// pairwise instead: preparation (profile stamping + a boxed scorer)
-/// only pays for itself across several candidates, and late iterations
-/// routinely pop one or two stragglers. Both paths compute identical
-/// similarities, so the choice is invisible in the output.
-const PREPARE_MIN_BATCH: usize = 4;
 
 /// Instrumentation of a full KIFF run, matching the metrics of §IV-C.
 #[derive(Debug, Clone, Default)]
@@ -113,6 +106,10 @@ pub fn refine<S: Similarity + ?Sized>(
     let changes = Counter::new();
     let candidate_time = TimeAccumulator::new();
     let similarity_time = TimeAccumulator::new();
+    // Scorer-preparation arenas: pooled *outside* the iteration loop, so
+    // a workspace's dense map survives across iterations instead of being
+    // rebuilt by every `parallel_fold` launch.
+    let workspaces: ScratchPool<ScorerWorkspace> = ScratchPool::new();
 
     let gamma = config.gamma.budget();
     let mut stats = KiffStats::default();
@@ -129,15 +126,16 @@ pub fn refine<S: Similarity + ?Sized>(
             threads,
             n,
             GRAIN,
-            // Per-worker state: the (candidate, similarity) staging buffer
-            // and the scorer-preparation arena, reused across chunks.
+            // Per-worker state: the similarity staging buffer and the
+            // checked-out scorer-preparation arena, reused across chunks
+            // (and, through the pool, across iterations).
             || {
                 (
-                    Vec::<(u32, f64)>::with_capacity(gamma.min(1024)),
-                    ScorerWorkspace::new(),
+                    Vec::<f64>::with_capacity(gamma.min(1024)),
+                    workspaces.checkout(),
                 )
             },
-            |(scored, ws), range| {
+            |(sims, ws), range| {
                 let timed = match config.timing {
                     TimingMode::Full => true,
                     TimingMode::Off => false,
@@ -163,23 +161,19 @@ pub fn refine<S: Similarity + ?Sized>(
 
                     // Similarity evaluations — one per popped candidate.
                     let sim_start = timed.then(Instant::now);
-                    scored.clear();
                     match config.scoring {
-                        ScoringMode::Prepared if cs.len() >= PREPARE_MIN_BATCH => {
+                        ScoringMode::Prepared if cs.len() >= PREPARED_MIN_BATCH => {
                             // One boxed scorer per user: the allocation is
-                            // amortised over >= PREPARE_MIN_BATCH candidate
+                            // amortised over >= PREPARED_MIN_BATCH candidate
                             // scorings, the price of keeping `Similarity`
                             // open for external metrics (no closed enum to
                             // dispatch through).
                             let mut scorer = sim.scorer(dataset, uid, ws);
-                            for &v in cs {
-                                scored.push((v, scorer.score(v)));
-                            }
+                            scorer.score_into(cs, sims);
                         }
                         ScoringMode::Prepared | ScoringMode::Pairwise => {
-                            for &v in cs {
-                                scored.push((v, sim.sim(dataset, uid, v)));
-                            }
+                            sims.clear();
+                            sims.extend(cs.iter().map(|&v| sim.sim(dataset, uid, v)));
                         }
                     }
                     if let Some(t0) = sim_start {
@@ -190,7 +184,7 @@ pub fn refine<S: Similarity + ?Sized>(
 
                     // UPDATENN both ways (pivot symmetry, lines 10–12).
                     let _update_guard = timed.then(|| candidate_time.start());
-                    for &(v, s) in scored.iter() {
+                    for (&v, &s) in cs.iter().zip(sims.iter()) {
                         let c = shared.update(uid, v, s) + shared.update(v, uid, s);
                         if c > 0 {
                             changes.add(c);

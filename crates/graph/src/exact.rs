@@ -12,20 +12,91 @@
 //!   `k` sharing candidates simply get shorter neighbour lists, which the
 //!   tie-aware recall treats as similarity 0 (§III-B, Eq. 3). This is the
 //!   `γ = ∞` special case of KIFF discussed in §III-D.
+//!
+//! Both are *blocked prepare-row × stream-columns kernels*: rows (users)
+//! are handed to workers in blocks, each row's reference profile is
+//! prepared once ([`Similarity::scorer`]) and every column (candidate) of
+//! that row streams through the prepared scorer in `O(|UP_v|)` — they
+//! share one `scored_row` kernel, so the brute path cannot drift from
+//! the inverted-index path. The historical per-pair [`Similarity::sim`]
+//! behaviour stays selectable through [`ScoringMode::Pairwise`] (the
+//! `*_with` variants); both modes compute bit-identical similarities and
+//! therefore identical graphs.
 
 use kiff_collections::FixedBitSet;
 use kiff_dataset::{Dataset, UserId};
 use kiff_parallel::{effective_threads, parallel_fold};
-use kiff_similarity::Similarity;
+use kiff_similarity::{ScorerWorkspace, ScoringMode, Similarity, PREPARED_MIN_BATCH};
 
 use crate::knn::{KnnGraph, KnnHeap, Neighbor};
 
-/// Exhaustive exact KNN: evaluates all `|U|·(|U|−1)/2` pairs.
+/// Per-worker scratch of the row kernels: the scorer-preparation arena
+/// and the batch similarity buffer.
+#[derive(Default)]
+struct RowScratch {
+    ws: ScorerWorkspace,
+    sims: Vec<f64>,
+}
+
+/// The shared row kernel: scores `u` against every candidate and returns
+/// its sorted `k` best sharing neighbours.
+///
+/// Under [`ScoringMode::Prepared`] (and a batch worth preparing for),
+/// `u`'s profile is prepared once and the candidates stream through the
+/// prepared scorer; otherwise each pair goes through the pairwise
+/// [`Similarity::sim`]. Identical output either way.
+fn scored_row<S: Similarity + ?Sized>(
+    dataset: &Dataset,
+    sim: &S,
+    u: UserId,
+    candidates: &[UserId],
+    k: usize,
+    scoring: ScoringMode,
+    scratch: &mut RowScratch,
+) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    match scoring {
+        ScoringMode::Prepared if candidates.len() >= PREPARED_MIN_BATCH => {
+            let mut scorer = sim.scorer(dataset, u, &mut scratch.ws);
+            scorer.score_into(candidates, &mut scratch.sims);
+            for (&v, &s) in candidates.iter().zip(scratch.sims.iter()) {
+                if s > 0.0 {
+                    heap.update(s, v);
+                }
+            }
+        }
+        ScoringMode::Prepared | ScoringMode::Pairwise => {
+            for &v in candidates {
+                let s = sim.sim(dataset, u, v);
+                if s > 0.0 {
+                    heap.update(s, v);
+                }
+            }
+        }
+    }
+    heap.sorted_neighbors()
+}
+
+/// Exhaustive exact KNN: evaluates all `|U|·(|U|−1)/2` pairs, with
+/// prepared row scoring (see [`exact_knn_brute_with`]).
 pub fn exact_knn_brute<S: Similarity + ?Sized>(
     dataset: &Dataset,
     sim: &S,
     k: usize,
     threads: Option<usize>,
+) -> KnnGraph {
+    exact_knn_brute_with(dataset, sim, k, threads, ScoringMode::default())
+}
+
+/// [`exact_knn_brute`] with an explicit [`ScoringMode`]. Both modes build
+/// identical graphs; pairwise is the regression baseline of the
+/// `baselines` bench experiment.
+pub fn exact_knn_brute_with<S: Similarity + ?Sized>(
+    dataset: &Dataset,
+    sim: &S,
+    k: usize,
+    threads: Option<usize>,
+    scoring: ScoringMode,
 ) -> KnnGraph {
     let n = dataset.num_users();
     let threads = effective_threads(threads);
@@ -33,33 +104,34 @@ pub fn exact_knn_brute<S: Similarity + ?Sized>(
         threads,
         n,
         16,
-        Vec::<(UserId, Vec<Neighbor>)>::new,
-        |acc, range| {
+        || {
+            (
+                Vec::<(UserId, Vec<Neighbor>)>::new(),
+                Vec::<UserId>::new(),
+                RowScratch::default(),
+            )
+        },
+        |(acc, cols, scratch), range| {
             for u in range {
                 let u = u as UserId;
-                let mut heap = KnnHeap::new(k);
-                for v in 0..n as UserId {
-                    if v != u {
-                        let s = sim.sim(dataset, u, v);
-                        if s > 0.0 {
-                            heap.update(s, v);
-                        }
-                    }
-                }
-                acc.push((u, heap.sorted_neighbors()));
+                // Stream every column of the row except the diagonal.
+                cols.clear();
+                cols.extend((0..n as UserId).filter(|&v| v != u));
+                acc.push((u, scored_row(dataset, sim, u, cols, k, scoring, scratch)));
             }
         },
         |mut a, b| {
-            a.extend(b);
+            a.0.extend(b.0);
             a
         },
-    );
+    )
+    .0;
     assemble(k, n, neighbors)
 }
 
 /// Inverted-index exact KNN: for each user, candidates are gathered from the
 /// item profiles of her items (both id directions, no pivot) and only those
-/// are evaluated.
+/// are evaluated, with prepared row scoring (see [`exact_knn_with`]).
 ///
 /// # Panics
 /// Panics if the metric does not satisfy the sparse axioms — the
@@ -69,6 +141,21 @@ pub fn exact_knn<S: Similarity + ?Sized>(
     sim: &S,
     k: usize,
     threads: Option<usize>,
+) -> KnnGraph {
+    exact_knn_with(dataset, sim, k, threads, ScoringMode::default())
+}
+
+/// [`exact_knn`] with an explicit [`ScoringMode`]. Both modes build
+/// identical graphs.
+///
+/// # Panics
+/// Panics if the metric does not satisfy the sparse axioms.
+pub fn exact_knn_with<S: Similarity + ?Sized>(
+    dataset: &Dataset,
+    sim: &S,
+    k: usize,
+    threads: Option<usize>,
+    scoring: ScoringMode,
 ) -> KnnGraph {
     assert!(
         sim.sparse_axioms(),
@@ -88,12 +175,12 @@ pub fn exact_knn<S: Similarity + ?Sized>(
                 Vec::<(UserId, Vec<Neighbor>)>::new(),
                 FixedBitSet::new(n),
                 Vec::<UserId>::new(),
+                RowScratch::default(),
             )
         },
-        |(acc, seen, touched), range| {
+        |(acc, seen, touched, scratch), range| {
             for u in range {
                 let u = u as UserId;
-                let mut heap = KnnHeap::new(k);
                 // Gather each co-rater exactly once via the reusable bitset.
                 touched.clear();
                 for &item in dataset.user_profile(u).items {
@@ -103,14 +190,9 @@ pub fn exact_knn<S: Similarity + ?Sized>(
                         }
                     }
                 }
-                for &v in touched.iter() {
-                    let s = sim.sim(dataset, u, v);
-                    if s > 0.0 {
-                        heap.update(s, v);
-                    }
-                }
+                let row = scored_row(dataset, sim, u, touched, k, scoring, scratch);
                 seen.clear_ids(touched);
-                acc.push((u, heap.sorted_neighbors()));
+                acc.push((u, row));
             }
         },
         |mut a, b| {
@@ -160,6 +242,20 @@ mod tests {
                 // direct equality should hold.
                 assert_eq!(fast.neighbors(u), brute.neighbors(u), "user {u}, k={k}");
             }
+        }
+    }
+
+    #[test]
+    fn prepared_and_pairwise_build_identical_graphs() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("sc", 19));
+        let sim = WeightedCosine::fit(&ds);
+        for k in [1, 5] {
+            let prepared = exact_knn_with(&ds, &sim, k, Some(2), ScoringMode::Prepared);
+            let pairwise = exact_knn_with(&ds, &sim, k, Some(2), ScoringMode::Pairwise);
+            assert_eq!(prepared, pairwise, "inverted, k={k}");
+            let brute_p = exact_knn_brute_with(&ds, &sim, k, Some(2), ScoringMode::Prepared);
+            let brute_w = exact_knn_brute_with(&ds, &sim, k, Some(2), ScoringMode::Pairwise);
+            assert_eq!(brute_p, brute_w, "brute, k={k}");
         }
     }
 

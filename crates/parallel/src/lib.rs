@@ -15,6 +15,9 @@
 //!   of worker states (the sharded online engine's shard-execution step);
 //! * [`SharedSlice`] — disjoint-range mutable access to one shared output
 //!   slice (the flat-CSR assembly's write primitive);
+//! * [`ScratchPool`] — a checkout pool of reusable scratch objects
+//!   (scorer workspaces, gather buffers) whose capacity survives across
+//!   chunks and driver iterations;
 //! * [`Counter`] / [`TimeAccumulator`] — relaxed atomic counters and
 //!   per-activity wall-clock accumulators safe to update from any worker.
 //!
@@ -24,8 +27,10 @@
 
 pub mod counters;
 pub mod pool;
+pub mod scratch;
 pub mod shared;
 
 pub use counters::{Counter, ScopedTimer, TimeAccumulator};
 pub use pool::{effective_threads, parallel_fold, parallel_for, parallel_for_each_mut};
+pub use scratch::{ScratchGuard, ScratchPool};
 pub use shared::SharedSlice;

@@ -1,0 +1,150 @@
+//! A checkout pool of reusable per-worker scratch state.
+//!
+//! The hot loops of this workspace hand work to short-lived scoped
+//! workers in `grain`-sized chunks ([`crate::parallel_for`] /
+//! [`crate::parallel_fold`]). Scratch objects that amortise across work —
+//! a scorer's dense preparation map, gather buffers — would be recreated
+//! per chunk (or per `parallel_for` *call*, when a driver loop launches
+//! one per iteration) if declared inside the worker closure, because the
+//! closure is `Fn` and cannot own mutable state.
+//!
+//! [`ScratchPool`] fixes that: the driver owns the pool across the whole
+//! run, workers [`ScratchPool::checkout`] an object at the top of each
+//! chunk (one mutex pop, amortised over the chunk) and the RAII
+//! [`ScratchGuard`] returns it on drop — so an object's internal
+//! capacity keeps growing across chunks, closures *and* iterations. The
+//! pool never holds more objects than the peak number of concurrent
+//! workers.
+
+use std::sync::Mutex;
+
+/// A pool of reusable scratch objects, created on demand via `Default`.
+///
+/// ```
+/// use kiff_parallel::{parallel_for, ScratchPool};
+///
+/// let pool: ScratchPool<Vec<usize>> = ScratchPool::new();
+/// for _iteration in 0..3 {
+///     parallel_for(4, 100, 16, |range| {
+///         let mut buf = pool.checkout(); // capacity survives iterations
+///         buf.clear();
+///         buf.extend(range);
+///     });
+/// }
+/// assert!(pool.pooled() >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    items: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool; objects are default-created at first checkout.
+    pub fn new() -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Borrows a scratch object: a previously returned one when
+    /// available (warm capacity), a fresh `T::default()` otherwise. The
+    /// guard returns it to the pool on drop.
+    pub fn checkout(&self) -> ScratchGuard<'_, T> {
+        let item = self
+            .items
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            pool: self,
+            item: Some(item),
+        }
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// Number of idle objects currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.items.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// RAII handle to a checked-out scratch object; derefs to `T` and
+/// returns it to the pool on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a, T> {
+    pool: &'a ScratchPool<T>,
+    item: Option<T>,
+}
+
+impl<T> std::ops::Deref for ScratchGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("taken only on drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("taken only on drop")
+    }
+}
+
+impl<T> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            if let Ok(mut items) = self.pool.items.lock() {
+                items.push(item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_objects() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        {
+            let mut a = pool.checkout();
+            a.push(7);
+            a.reserve(1000);
+        }
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.checkout();
+        // Same object, same capacity; contents are the caller's business.
+        assert!(b.capacity() >= 1000);
+        assert_eq!(b.as_slice(), [7]);
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_objects() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        let a = pool.checkout();
+        let mut b = pool.checkout();
+        b.push(1);
+        assert!(a.is_empty());
+        drop(a);
+        drop(b);
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_scoped_workers() {
+        let pool: ScratchPool<Vec<usize>> = ScratchPool::new();
+        crate::parallel_for(4, 1000, 16, |range| {
+            let mut buf = pool.checkout();
+            buf.clear();
+            buf.extend(range);
+            assert!(!buf.is_empty());
+        });
+        // At most one parked object per worker ever ran concurrently.
+        let parked = pool.pooled();
+        assert!((1..=4).contains(&parked), "parked = {parked}");
+    }
+}

@@ -41,7 +41,9 @@ pub use metrics::{
     AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
     WeightedJaccard,
 };
-pub use scorer::{ProfileScorer, ScoreKind, Scorer, ScorerWorkspace};
+pub use scorer::{
+    ProfileScorer, ScoreKind, Scorer, ScorerWorkspace, ScoringMode, PREPARED_MIN_BATCH,
+};
 
 use kiff_dataset::ProfileRef;
 

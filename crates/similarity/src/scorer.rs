@@ -40,6 +40,43 @@ use crate::functions;
 /// setup; measured in the `counting` bench experiment).
 const DENSE_MIN_DEGREE: usize = 8;
 
+/// Candidate-batch size below which callers should skip preparation and
+/// score pairwise instead: preparing (profile stamping + a boxed scorer)
+/// only pays for itself across several candidates. Both paths compute
+/// identical similarities, so the choice is invisible in the output —
+/// `refine`, the baselines and `exact_knn` all use this threshold.
+pub const PREPARED_MIN_BATCH: usize = 4;
+
+/// How a candidate loop evaluates similarities against its reference
+/// node.
+///
+/// Every algorithm in the workspace — KIFF's refinement, NN-Descent's
+/// local joins, HyRec's neighbour-of-neighbour scans, LSH's bucket
+/// joins, the random initialisation and the exact constructions — scores
+/// one *reference* user against a stream of candidates, and accepts this
+/// selector:
+///
+/// * [`ScoringMode::Prepared`] (default) prepares the reference once per
+///   node through [`crate::Similarity::scorer`] and scores each
+///   candidate in `O(|UP_v|)`;
+/// * [`ScoringMode::Pairwise`] re-merges both raw profiles per candidate
+///   through [`crate::Similarity::sim`] — the historical behaviour, kept
+///   as the regression baseline for the `counting` and `baselines` bench
+///   experiments.
+///
+/// Both modes compute bit-identical similarities for every metric in
+/// this crate, so they build identical graphs (property-tested in
+/// `tests/counting_scorers.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Prepare a reusable scorer per reference node; each candidate
+    /// scores in `O(|UP_v|)`. Default.
+    #[default]
+    Prepared,
+    /// Pairwise [`crate::Similarity::sim`] per candidate.
+    Pairwise,
+}
+
 /// Metric selector for profile-level prepared scoring. Mirrors the
 /// stateless metrics of [`crate::functions`]; dataset-fitted state
 /// (cosine norms, Adamic–Adar weights) is layered on by the
@@ -340,6 +377,19 @@ impl ProfileScorer<'_> {
 pub trait Scorer {
     /// Similarity of the prepared user against `v`.
     fn score(&mut self, v: UserId) -> f64;
+
+    /// Scores every candidate in one pass, overwriting `out` with one
+    /// similarity per candidate (same order). The node-centric batch
+    /// entry point of the graph algorithms: one virtual call per
+    /// candidate *list* instead of per candidate, and implementations
+    /// keep the prepared reference hot across the whole batch.
+    fn score_into(&mut self, candidates: &[UserId], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(candidates.len());
+        for &v in candidates {
+            out.push(self.score(v));
+        }
+    }
 }
 
 /// The trait-level fallback scorer: pairwise [`crate::Similarity::sim`]

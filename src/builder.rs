@@ -3,7 +3,7 @@
 use kiff_baselines::{GreedyConfig, HyRec, L2Knng, L2KnngConfig, Lsh, LshConfig, NnDescent};
 use kiff_core::{CountStrategy, Kiff, KiffConfig, ScoringMode};
 use kiff_dataset::Dataset;
-use kiff_graph::{exact_knn, KnnGraph};
+use kiff_graph::{exact_knn_with, KnnGraph};
 use kiff_online::{OnlineConfig, OnlineKnn, OnlineMetric, ShardConfig, ShardedOnlineKnn};
 use kiff_similarity::{
     AdamicAdar, BinaryCosine, Dice, Jaccard, Similarity, WeightedCosine, WeightedJaccard,
@@ -138,8 +138,10 @@ impl KnnGraphBuilder {
         self
     }
 
-    /// Sets how KIFF's refinement evaluates similarities (default:
-    /// prepared scorers; see [`ScoringMode`]). Ignored by the baselines.
+    /// Sets how every algorithm's candidate loops evaluate similarities
+    /// (default: prepared scorers; see [`ScoringMode`]). Applies to KIFF's
+    /// refinement, the greedy baselines' joins, LSH's bucket scoring and
+    /// the exact construction alike; both modes build identical graphs.
     pub fn scoring(mut self, scoring: ScoringMode) -> Self {
         self.scoring = scoring;
         self
@@ -242,7 +244,7 @@ impl KnnGraphBuilder {
                 Kiff::new(config).run(dataset, sim).graph
             }
             Algorithm::NnDescent => {
-                let mut config = GreedyConfig::new(self.k);
+                let mut config = GreedyConfig::new(self.k).with_scoring(self.scoring);
                 config.threads = self.threads;
                 config.seed = self.seed;
                 if let Some(t) = self.termination {
@@ -251,7 +253,7 @@ impl KnnGraphBuilder {
                 NnDescent::new(config).run(dataset, sim).0
             }
             Algorithm::HyRec => {
-                let mut config = GreedyConfig::new(self.k);
+                let mut config = GreedyConfig::new(self.k).with_scoring(self.scoring);
                 config.threads = self.threads;
                 config.seed = self.seed;
                 if let Some(t) = self.termination {
@@ -269,9 +271,10 @@ impl KnnGraphBuilder {
                 };
                 config.threads = self.threads;
                 config.seed = self.seed;
+                config.scoring = self.scoring;
                 Lsh::new(config).run(dataset, sim).0
             }
-            Algorithm::Exact => exact_knn(dataset, sim, self.k, self.threads),
+            Algorithm::Exact => exact_knn_with(dataset, sim, self.k, self.threads, self.scoring),
         }
     }
 }
@@ -360,6 +363,35 @@ mod tests {
                         "{strategy:?}/{scoring:?} user {u}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scoring_mode_is_invisible_for_every_algorithm() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("builder-scoring", 311));
+        for algo in [
+            Algorithm::Kiff,
+            Algorithm::NnDescent,
+            Algorithm::HyRec,
+            Algorithm::Lsh,
+            Algorithm::Exact,
+        ] {
+            let build = |scoring| {
+                KnnGraphBuilder::new(4)
+                    .algorithm(algo)
+                    .threads(1)
+                    .scoring(scoring)
+                    .build(&ds)
+            };
+            let prepared = build(ScoringMode::Prepared);
+            let pairwise = build(ScoringMode::Pairwise);
+            for u in 0..ds.num_users() as u32 {
+                assert_eq!(
+                    prepared.neighbors(u),
+                    pairwise.neighbors(u),
+                    "{algo:?} user {u}"
+                );
             }
         }
     }

@@ -7,13 +7,20 @@
 //!   counts) across pivot / rating-threshold / max-RCS combinations;
 //! * every metric's prepared [`Scorer`] reproduces its pairwise
 //!   [`Similarity::sim`] within [`SIM_EPSILON`], on both the dense and
-//!   the low-degree fallback paths.
+//!   the low-degree fallback paths;
+//! * every *algorithm* of the comparison suite — NN-Descent, HyRec, LSH,
+//!   the random initialisation and both exact constructions — builds the
+//!   identical graph under [`ScoringMode::Prepared`] and
+//!   [`ScoringMode::Pairwise`], across metric families.
 
 use proptest::prelude::*;
 
 use kiff::prelude::*;
+use kiff::{Algorithm, KnnGraphBuilder, Metric};
+use kiff_baselines::random_graph_with;
 use kiff_core::{build_rcs, build_rcs_reference, CountStrategy, CountingConfig};
-use kiff_similarity::{ScorerWorkspace, SIM_EPSILON};
+use kiff_graph::{exact_knn_brute_with, exact_knn_with};
+use kiff_similarity::{ScorerWorkspace, ScoringMode, SIM_EPSILON};
 
 /// A small random dataset strategy: up to 40 users, 30 items, star
 /// ratings so the rating threshold has something to prune.
@@ -109,6 +116,51 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Every baseline algorithm builds the identical graph under
+    /// prepared and pairwise scoring, for every metric family
+    /// (single-threaded, so greedy runs are deterministic sweeps and the
+    /// comparison is bit for bit).
+    #[test]
+    fn baselines_invariant_under_scoring(ds in arb_dataset(), k in 1usize..6, seed in 0u64..1000) {
+        for metric in [Metric::Cosine, Metric::Jaccard, Metric::AdamicAdar] {
+            for algorithm in [
+                Algorithm::NnDescent,
+                Algorithm::HyRec,
+                Algorithm::Lsh,
+                Algorithm::Exact,
+            ] {
+                let build = |scoring| KnnGraphBuilder::new(k)
+                    .algorithm(algorithm)
+                    .metric(metric)
+                    .scoring(scoring)
+                    .seed(seed)
+                    .threads(1)
+                    .build(&ds);
+                let prepared = build(ScoringMode::Prepared);
+                let pairwise = build(ScoringMode::Pairwise);
+                for u in 0..ds.num_users() as u32 {
+                    prop_assert_eq!(
+                        prepared.neighbors(u), pairwise.neighbors(u),
+                        "{:?}/{:?} user {}", algorithm, metric, u
+                    );
+                }
+            }
+        }
+        // The pieces the builder facade does not reach: the standalone
+        // random graph and the brute-force exact construction.
+        let sim = WeightedCosine::fit(&ds);
+        let rg_p = random_graph_with(&ds, &sim, k, seed, ScoringMode::Prepared);
+        let rg_w = random_graph_with(&ds, &sim, k, seed, ScoringMode::Pairwise);
+        prop_assert_eq!(rg_p, rg_w, "random init diverged");
+        let br_p = exact_knn_brute_with(&ds, &sim, k, Some(1), ScoringMode::Prepared);
+        let br_w = exact_knn_brute_with(&ds, &sim, k, Some(1), ScoringMode::Pairwise);
+        prop_assert_eq!(&br_p, &br_w, "brute exact diverged");
+        // And the brute path must agree with the shared-kernel inverted
+        // index (the Eq. 5-6 equivalence the kernel refactor preserves).
+        let inv = exact_knn_with(&ds, &sim, k, Some(1), ScoringMode::Prepared);
+        prop_assert_eq!(&br_p, &inv, "brute vs inverted diverged");
     }
 
     /// End to end: KIFF graphs are invariant under counting strategy and
