@@ -81,7 +81,6 @@ impl HyRec {
         stats.init_time = init_start.elapsed();
 
         let sim_evals = Counter::new();
-        let changes = Counter::new();
         let candidate_time = TimeAccumulator::new();
         let similarity_time = TimeAccumulator::new();
         // Scorer-preparation arenas, reused across chunks and iterations.
@@ -89,7 +88,6 @@ impl HyRec {
         let mut cumulative = init_evals;
 
         for iteration in 1..=self.config.max_iterations {
-            changes.take();
             let before = sim_evals.get();
             let cand_before = candidate_time.total();
             let simt_before = similarity_time.total();
@@ -158,15 +156,32 @@ impl HyRec {
                     drop(sim_guard);
                     sim_evals.add(candidates.len() as u64);
                     for (&v, &s) in candidates.iter().zip(sims.iter()) {
-                        let c = shared.update(uid, v, s) + shared.update(v, uid, s);
-                        if c > 0 {
-                            changes.add(c);
-                        }
+                        shared.update(uid, v, s);
+                        shared.update(v, uid, s);
                     }
                 }
             });
 
-            let iter_changes = changes.get();
+            // Serial accounting: changes = edges that entered some heap
+            // this iteration, diffed against the frozen snapshot. Counting
+            // concurrent `update` returns instead would make termination
+            // depend on offer interleaving (an offer can be accepted then
+            // evicted in one schedule, rejected in another); the diff is
+            // interleaving-independent, so parallel runs are bit-identical
+            // to serial ones. Deliberate semantic shift (serial runs
+            // too): β now reads *net* changes, so intra-iteration churn
+            // no longer delays termination.
+            let diff_guard = candidate_time.start();
+            let mut iter_changes = 0u64;
+            for u in 0..n as u32 {
+                let heap = shared.lock(u);
+                iter_changes += heap
+                    .iter()
+                    .filter(|e| frozen[u as usize].binary_search(&e.id).is_err())
+                    .count() as u64;
+            }
+            drop(diff_guard);
+
             let iter_evals = sim_evals.get() - before;
             cumulative += iter_evals;
             let trace = IterationTrace {
@@ -264,13 +279,39 @@ mod tests {
         let ds = generate_bipartite(&BipartiteConfig::tiny("hp", 239));
         let sim = WeightedCosine::fit(&ds);
         let mut cfg = GreedyConfig::new(6);
-        cfg.threads = Some(1); // deterministic sweep: bit-for-bit equality
+        cfg.threads = Some(2); // parallel runs are deterministic sweeps too
         let (prepared, ps) =
             HyRec::new(cfg.clone().with_scoring(ScoringMode::Prepared)).run(&ds, &sim);
         let (pairwise, ws) = HyRec::new(cfg.with_scoring(ScoringMode::Pairwise)).run(&ds, &sim);
         assert_eq!(ps.sim_evals, ws.sim_evals);
         for u in 0..ds.num_users() as u32 {
             assert_eq!(prepared.neighbors(u), pairwise.neighbors(u), "user {u}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        // Diff-based change counting makes the iteration count — and so
+        // the whole run — independent of offer interleaving.
+        let ds = generate_bipartite(&BipartiteConfig::tiny("hz", 241));
+        let sim = WeightedCosine::fit(&ds);
+        let run = |threads: usize| {
+            let mut cfg = GreedyConfig::new(6);
+            cfg.threads = Some(threads);
+            HyRec::new(cfg).run(&ds, &sim)
+        };
+        let (serial, s_stats) = run(1);
+        for threads in [2, 4] {
+            let (parallel, p_stats) = run(threads);
+            assert_eq!(s_stats.iterations, p_stats.iterations, "{threads} threads");
+            assert_eq!(s_stats.sim_evals, p_stats.sim_evals, "{threads} threads");
+            for u in 0..ds.num_users() as u32 {
+                assert_eq!(
+                    serial.neighbors(u),
+                    parallel.neighbors(u),
+                    "{threads} threads, user {u}"
+                );
+            }
         }
     }
 

@@ -13,6 +13,26 @@
 //! once) and `new × old`, updating both endpoints' heaps. Termination
 //! follows the original publication: stop when the number of updates in an
 //! iteration drops below `δ·n·k`.
+//!
+//! # Determinism under parallelism
+//!
+//! Heap contents after a join phase are permutation-invariant (the heap
+//! keeps the top-k under the total order (sim, −id)), but two quantities
+//! written *during* concurrent joins are not: the per-update change count
+//! (an offer can be accepted-then-evicted in one interleaving and
+//! rejected outright in another) and the `new` flags (an entry evicted
+//! and re-inserted is re-flagged). Both are therefore derived serially
+//! *after* each join phase from a membership diff against the
+//! pre-iteration heaps — id-ordered admission plus diff-based accounting
+//! make every run bit-identical regardless of thread count, which is what
+//! lets the scoring-identity gates run parallel.
+//!
+//! Note the deliberate semantic shift, which applies to serial runs too:
+//! the termination criterion now reads *net* changes — an offer accepted
+//! and evicted within the same iteration no longer counts — so
+//! churn-heavy datasets can terminate an iteration earlier than under
+//! the original per-update counting (a stricter reading of "number of
+//! updates", and the price of determinism).
 
 use std::time::Instant;
 
@@ -92,7 +112,6 @@ impl NnDescent {
         stats.sim_evals = init_evals;
 
         let sim_evals = Counter::new();
-        let changes = Counter::new();
         let candidate_time = TimeAccumulator::new();
         let similarity_time = TimeAccumulator::new();
         // Scorer-preparation arenas, reused across chunks and iterations.
@@ -103,16 +122,19 @@ impl NnDescent {
         let mut cumulative = init_evals;
 
         for iteration in 1..=self.config.max_iterations {
-            changes.take();
             let before = sim_evals.get();
             let cand_before = candidate_time.total();
             let simt_before = similarity_time.total();
 
             // Phase 1: per-user new/old extraction (flag handling).
-            // Sequential — O(n·k) and deterministic.
+            // Sequential — O(n·k) and deterministic. `before_sets` /
+            // `keep_new` freeze the pre-join membership and the flags
+            // surviving sampling, for the diff-based accounting below.
             let guard = candidate_time.start();
             let mut new_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
             let mut old_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut before_sets: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+            let mut keep_new: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
             let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(iteration as u64));
             for u in 0..n as u32 {
                 let mut heap = shared.lock(u);
@@ -127,6 +149,9 @@ impl NnDescent {
                 for &id in &fresh {
                     heap.clear_new_flag(id);
                 }
+                before_sets[u as usize] = heap.ids().into_iter().collect();
+                // Unsampled news keep their flag for a later iteration.
+                keep_new[u as usize] = heap.new_ids().into_iter().collect();
                 let news: FxHashSet<u32> = fresh.iter().copied().collect();
                 old_lists[u as usize] = heap
                     .ids()
@@ -214,16 +239,34 @@ impl NnDescent {
                         drop(sim_guard);
                         sim_evals.add(partners.len() as u64);
                         for (&b, &s) in partners.iter().zip(sims.iter()) {
-                            let c = shared.update(a, b, s) + shared.update(b, a, s);
-                            if c > 0 {
-                                changes.add(c);
-                            }
+                            shared.update(a, b, s);
+                            shared.update(b, a, s);
                         }
                     }
                 }
             });
 
-            let iter_changes = changes.get();
+            // Serial accounting pass: count the edges that entered each
+            // heap this iteration and retag the `new` flags from the
+            // membership diff — interleaving-independent (see the module
+            // docs), so parallel runs are bit-identical to serial ones.
+            let diff_guard = candidate_time.start();
+            let mut iter_changes = 0u64;
+            for u in 0..n as u32 {
+                let mut heap = shared.lock(u);
+                let before_set = &before_sets[u as usize];
+                let keep = &keep_new[u as usize];
+                heap.retag_new(|id| {
+                    if before_set.contains(&id) {
+                        keep.contains(&id)
+                    } else {
+                        true
+                    }
+                });
+                iter_changes += heap.iter().filter(|e| !before_set.contains(&e.id)).count() as u64;
+            }
+            drop(diff_guard);
+
             let iter_evals = sim_evals.get() - before;
             cumulative += iter_evals;
             let trace = IterationTrace {
@@ -322,13 +365,40 @@ mod tests {
         let ds = generate_bipartite(&BipartiteConfig::tiny("ndp", 127));
         let sim = WeightedCosine::fit(&ds);
         let mut cfg = GreedyConfig::new(8);
-        cfg.threads = Some(1); // deterministic sweep: bit-for-bit equality
+        cfg.threads = Some(2); // parallel runs are deterministic sweeps too
         let (prepared, ps) =
             NnDescent::new(cfg.clone().with_scoring(ScoringMode::Prepared)).run(&ds, &sim);
         let (pairwise, ws) = NnDescent::new(cfg.with_scoring(ScoringMode::Pairwise)).run(&ds, &sim);
         assert_eq!(ps.sim_evals, ws.sim_evals);
         for u in 0..ds.num_users() as u32 {
             assert_eq!(prepared.neighbors(u), pairwise.neighbors(u), "user {u}");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        // The diff-based change counting and post-join flag retagging
+        // make the whole run interleaving-independent: any thread count
+        // produces the serial graph, iteration count and eval count.
+        let ds = generate_bipartite(&BipartiteConfig::tiny("ndq", 131));
+        let sim = WeightedCosine::fit(&ds);
+        let run = |threads: usize| {
+            let mut cfg = GreedyConfig::new(8);
+            cfg.threads = Some(threads);
+            NnDescent::new(cfg).run(&ds, &sim)
+        };
+        let (serial, s_stats) = run(1);
+        for threads in [2, 4] {
+            let (parallel, p_stats) = run(threads);
+            assert_eq!(s_stats.iterations, p_stats.iterations, "{threads} threads");
+            assert_eq!(s_stats.sim_evals, p_stats.sim_evals, "{threads} threads");
+            for u in 0..ds.num_users() as u32 {
+                assert_eq!(
+                    serial.neighbors(u),
+                    parallel.neighbors(u),
+                    "{threads} threads, user {u}"
+                );
+            }
         }
     }
 

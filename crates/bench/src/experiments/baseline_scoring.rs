@@ -16,10 +16,12 @@
 //! * the identity must hold for every metric family, not just the cosine
 //!   the timings use (spot-checked with Jaccard and Adamic–Adar).
 //!
-//! Runs are single-threaded: identical graphs are only guaranteed for a
-//! deterministic sweep (parallel greedy runs resolve similarity ties by
-//! arrival order), and a fixed thread count keeps the sims/sec ratio —
-//! the number the acceptance gate reads — scheduling-noise-free.
+//! Runs use the suite's thread count: the greedy baselines now derive
+//! change counts and NN flags from post-join membership diffs, so a
+//! parallel run is the same deterministic sweep as a serial one and the
+//! identity gates hold at any thread count (the ROADMAP's tie-break
+//! follow-up). Prepared and pairwise are always timed at the *same*
+//! thread count, so the speedup ratio the gate reads stays meaningful.
 
 use std::time::{Duration, Instant};
 
@@ -105,11 +107,12 @@ fn run_algorithm(
     sim: &kiff_similarity::WeightedCosine,
     algorithm: Algorithm,
     seed: u64,
+    threads: Option<usize>,
     scoring: ScoringMode,
 ) -> (KnnGraph, Option<u64>) {
     use kiff_baselines::{GreedyConfig, HyRec, Lsh, LshConfig, NnDescent};
     let mut greedy = GreedyConfig::new(K).with_scoring(scoring);
-    greedy.threads = Some(1);
+    greedy.threads = threads;
     greedy.seed = seed;
     match algorithm {
         Algorithm::NnDescent => {
@@ -122,14 +125,14 @@ fn run_algorithm(
         }
         Algorithm::Lsh => {
             let mut config = LshConfig::new(K);
-            config.threads = Some(1);
+            config.threads = threads;
             config.seed = seed;
             config.scoring = scoring;
             let (graph, stats) = Lsh::new(config).run(ds, sim);
             (graph, Some(stats.sim_evals))
         }
         Algorithm::Exact => (
-            kiff_graph::exact_knn_with(ds, sim, K, Some(1), scoring),
+            kiff_graph::exact_knn_with(ds, sim, K, threads, scoring),
             None,
         ),
         other => unreachable!("not part of the baseline suite: {other:?}"),
@@ -152,22 +155,43 @@ pub fn baselines(ctx: &mut Ctx) -> String {
         .map(|u| kiff_core::user_candidate_counts(&ds, u).len() as u64)
         .sum();
 
+    // Multi-threaded like every other gate: parallel greedy runs are
+    // deterministic sweeps since the membership-diff accounting landed.
+    let threads = ctx.threads;
     let build = |algorithm: Algorithm, metric: Metric, scoring: ScoringMode| {
-        KnnGraphBuilder::new(K)
+        let mut b = KnnGraphBuilder::new(K)
             .algorithm(algorithm)
             .metric(metric)
             .scoring(scoring)
-            .seed(seed)
-            .threads(1)
-            .build(&ds)
+            .seed(seed);
+        if let Some(t) = threads {
+            b = b.threads(t);
+        }
+        b.build(&ds)
     };
 
     let mut runs: Vec<AlgoRun> = Vec::new();
     for (algorithm, label) in ALGORITHMS {
-        let (pairwise_t, (pairwise_graph, pairwise_evals)) =
-            time_best(|| run_algorithm(&ds, &cosine, algorithm, seed, ScoringMode::Pairwise));
-        let (prepared_t, (prepared_graph, prepared_evals)) =
-            time_best(|| run_algorithm(&ds, &cosine, algorithm, seed, ScoringMode::Prepared));
+        let (pairwise_t, (pairwise_graph, pairwise_evals)) = time_best(|| {
+            run_algorithm(
+                &ds,
+                &cosine,
+                algorithm,
+                seed,
+                threads,
+                ScoringMode::Pairwise,
+            )
+        });
+        let (prepared_t, (prepared_graph, prepared_evals)) = time_best(|| {
+            run_algorithm(
+                &ds,
+                &cosine,
+                algorithm,
+                seed,
+                threads,
+                ScoringMode::Prepared,
+            )
+        });
         let pairwise_s = pairwise_t.as_secs_f64().max(1e-9);
         let prepared_s = prepared_t.as_secs_f64().max(1e-9);
         // Both modes must score the same pair set; identical graphs (the
@@ -209,7 +233,7 @@ pub fn baselines(ctx: &mut Ctx) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "Baseline-suite scoring on {}: {} users, {} items, {} ratings\n\
-         (k={K}, cosine, single-threaded, best of {REPS}; prepared = one \
+         (k={K}, cosine, {} thread(s), best of {REPS}; prepared = one \
          reference preparation per candidate batch, pairwise = per-pair \
          profile merge)\n\n\
          {:>10}  {:>9}  {:>9}  {:>8}  {:>13}  {}\n",
@@ -217,6 +241,7 @@ pub fn baselines(ctx: &mut Ctx) -> String {
         ds.num_users(),
         ds.num_items(),
         ds.num_ratings(),
+        threads.map_or_else(|| "all".to_string(), |t| t.to_string()),
         "algorithm",
         "pairwise",
         "prepared",

@@ -12,6 +12,7 @@ pub mod datasets_exps;
 pub mod density_exps;
 pub mod extensions;
 pub mod online;
+pub mod rebalance;
 pub mod sensitivity;
 pub mod sharded;
 
@@ -230,7 +231,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 25] = [
+pub const ALL: [&str; 26] = [
     "table1",
     "fig4",
     "fig1",
@@ -256,6 +257,7 @@ pub const ALL: [&str; 25] = [
     "sharded",
     "counting",
     "baselines",
+    "rebalance",
 ];
 
 /// Runs one experiment by id.
@@ -286,6 +288,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "sharded" => Ok(sharded::sharded(ctx)),
         "counting" => Ok(counting_perf::counting(ctx)),
         "baselines" => Ok(baseline_scoring::baselines(ctx)),
+        "rebalance" => Ok(rebalance::rebalance(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

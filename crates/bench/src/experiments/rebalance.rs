@@ -1,0 +1,332 @@
+//! Shard rebalancing under skew: `BENCH_rebalance.json`.
+//!
+//! Replays a *skewed* stream — Zipf-distributed ratings over a
+//! planted-community population plus a tail of brand-new users joining
+//! the hot community — through [`ShardedOnlineKnn`] at a fixed shard
+//! count, in four configurations:
+//!
+//! * `hash` — the default spread placement (balanced sizes, but
+//!   co-raters scattered: the cross-shard message baseline);
+//! * `community` — [`CommunityPartitioner`] seeded from the base
+//!   dataset's co-rating structure (must send measurably fewer
+//!   cross-shard messages than `hash`: a **hard gate**);
+//! * `range-skewed` — range sharding with growing ids and no rebalancer:
+//!   every new user lands on the tail shard, demonstrating the imbalance
+//!   (reported, not gated);
+//! * `range-rebalanced` — the same placement with the rebalancer
+//!   ([`RebalanceConfig`]) active: the max/min shard-size ratio must
+//!   stay ≤ 2.0 (**hard gate**) and recall-vs-rebuild must clear the
+//!   suite's floor (the bench-smoke `--recall-floor` gate).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kiff_core::{Kiff, KiffConfig};
+use kiff_dataset::generators::planted::{generate_planted, PlantedConfig};
+use kiff_dataset::zipf::Zipf;
+use kiff_dataset::Dataset;
+use kiff_graph::{exact_knn, recall, KnnGraph};
+use kiff_online::{
+    CommunityPartitioner, HashPartitioner, OnlineConfig, Partitioner, RangePartitioner,
+    RebalanceConfig, ShardConfig, ShardedOnlineKnn, Update,
+};
+use kiff_similarity::WeightedCosine;
+
+use super::Ctx;
+
+const K: usize = 10;
+const SHARDS: usize = 4;
+const BATCH: usize = 256;
+/// The balance bound the rebalanced run is gated on.
+const MAX_RATIO: f64 = 2.0;
+
+/// Planted communities twice as numerous as the shards, so community
+/// placement is a real packing problem.
+fn rebalance_dataset(multiplier: f64, seed: u64) -> Dataset {
+    let m = multiplier.clamp(0.05, 2.0);
+    let users = ((2400.0 * m) as usize).max(240);
+    generate_planted(&PlantedConfig {
+        name: "bench-rebalance".to_string(),
+        num_users: users,
+        num_items: (users * 4) / 5,
+        communities: 2 * SHARDS,
+        ratings_per_user: 12,
+        affinity: 0.85,
+        ..PlantedConfig::tiny("bench-rebalance", seed)
+    })
+    .0
+}
+
+/// Zipf-skewed arrivals over existing users plus a new-user tail joining
+/// the hot community — deterministic in the seed. Same shape as
+/// `zipf_stream` in `tests/shard_stress.rs` (which pins the claims this
+/// experiment gates, at test scale); the hot-block modulus differs only
+/// because each file's dataset has a different community count.
+fn skewed_stream(ds: &Dataset, seed: u64) -> Vec<Update> {
+    let n = ds.num_users() as u32;
+    let items = ds.num_items() as u32;
+    let updates = 2 * ds.num_users();
+    let new_users = (ds.num_users() / 2) as u32;
+    let user_dist = Zipf::new(n as usize, 1.1);
+    let item_dist = Zipf::new(items as usize, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(updates + 3 * new_users as usize);
+    for _ in 0..updates {
+        stream.push(Update::AddRating {
+            user: user_dist.sample(&mut rng) as u32,
+            item: item_dist.sample(&mut rng) as u32,
+            rating: 1.0,
+        });
+    }
+    for i in 0..new_users {
+        for j in 0..3u32 {
+            stream.push(Update::AddRating {
+                user: n + i,
+                // The hot community's item block.
+                item: (i * 11 + j * 5) % (items / (2 * SHARDS as u32)),
+                rating: 1.0,
+            });
+        }
+    }
+    stream
+}
+
+struct RebalanceRun {
+    label: &'static str,
+    elapsed_s: f64,
+    updates_per_sec: f64,
+    cross_messages: u64,
+    migrations: u64,
+    size_ratio: f64,
+    recall_vs_exact: f64,
+}
+
+fn replay(
+    base: &Dataset,
+    stream: &[Update],
+    threads: Option<usize>,
+    label: &'static str,
+    partitioner: Arc<dyn Partitioner>,
+    rebalance: Option<RebalanceConfig>,
+    exact: &KnnGraph,
+) -> RebalanceRun {
+    let mut config = ShardConfig {
+        threads,
+        ..ShardConfig::new(SHARDS)
+    }
+    .with_partitioner(partitioner);
+    if let Some(r) = rebalance {
+        config = config.with_rebalance(r);
+    }
+    let mut engine = ShardedOnlineKnn::new(base, OnlineConfig::new(K), config);
+    let start = Instant::now();
+    for chunk in stream.chunks(BATCH) {
+        engine.apply_batch(chunk.iter().copied());
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    engine.validate_invariants();
+    let sizes = engine.shard_sizes();
+    let max = *sizes.iter().max().expect("shards") as f64;
+    let min = (*sizes.iter().min().expect("shards")).max(1) as f64;
+    let life = *engine.lifetime_stats();
+    RebalanceRun {
+        label,
+        elapsed_s,
+        updates_per_sec: life.updates as f64 / elapsed_s.max(1e-9),
+        cross_messages: engine.cross_shard_messages(),
+        migrations: engine.migrations_total(),
+        size_ratio: max / min,
+        recall_vs_exact: recall(exact, &engine.graph()),
+    }
+}
+
+/// Runs the rebalancing benchmark and writes `BENCH_rebalance.json`.
+pub fn rebalance(ctx: &mut Ctx) -> String {
+    let base = rebalance_dataset(ctx.scale.multiplier, ctx.seed);
+    let stream = skewed_stream(&base, ctx.seed);
+
+    // Ground truth and the rebuild yardstick on the final dataset (the
+    // replay outcome is partitioner-independent: same updates, same
+    // eventual profiles).
+    let final_users = stream
+        .iter()
+        .map(|u| match *u {
+            Update::AddRating { user, .. } => user as usize + 1,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+        .max(base.num_users());
+    let mut probe =
+        kiff_dataset::DatasetBuilder::new("bench-rebalance-final", final_users, base.num_items());
+    for (u, i, r) in base.iter_ratings() {
+        probe.add_rating(u, i, r);
+    }
+    for update in &stream {
+        if let Update::AddRating { user, item, rating } = *update {
+            probe.add_rating(user, item, rating);
+        }
+    }
+    let full = probe.build();
+    let sim = WeightedCosine::fit(&full);
+    let exact = exact_knn(&full, &sim, K, ctx.threads);
+    let mut rebuild_config = KiffConfig::new(K);
+    rebuild_config.threads = ctx.threads;
+    let rebuild = Kiff::new(rebuild_config).run(&full, &sim);
+    let rebuild_recall = recall(&exact, &rebuild.graph);
+
+    let range = RangePartitioner::for_population(base.num_users(), SHARDS);
+    let runs = vec![
+        replay(
+            &base,
+            &stream,
+            ctx.threads,
+            "hash",
+            Arc::new(HashPartitioner),
+            None,
+            &exact,
+        ),
+        replay(
+            &base,
+            &stream,
+            ctx.threads,
+            "community",
+            Arc::new(CommunityPartitioner::from_dataset(&base, SHARDS)),
+            None,
+            &exact,
+        ),
+        replay(
+            &base,
+            &stream,
+            ctx.threads,
+            "range-skewed",
+            Arc::new(range),
+            None,
+            &exact,
+        ),
+        replay(
+            &base,
+            &stream,
+            ctx.threads,
+            "range-rebalanced",
+            Arc::new(range),
+            Some(RebalanceConfig::new(MAX_RATIO)),
+            &exact,
+        ),
+    ];
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Shard rebalancing under skew on {}: {} users + {} streamed \
+         updates ({} shards, k={K}, batch {BATCH})\n\
+         full rebuild recall {rebuild_recall:.4}\n\n\
+         {:>17}  {:>9}  {:>11}  {:>10}  {:>9}  {:>7}  {:>7}\n",
+        base.name(),
+        base.num_users(),
+        stream.len(),
+        SHARDS,
+        "configuration",
+        "updates/s",
+        "cross-msgs",
+        "migrations",
+        "sizeratio",
+        "recall",
+        "vs-rbld",
+    ));
+    for r in &runs {
+        out.push_str(&format!(
+            "{:>17}  {:>9.0}  {:>11}  {:>10}  {:>9.2}  {:>7.4}  {:>7.3}\n",
+            r.label,
+            r.updates_per_sec,
+            r.cross_messages,
+            r.migrations,
+            r.size_ratio,
+            r.recall_vs_exact,
+            r.recall_vs_exact / rebuild_recall.max(1e-9),
+        ));
+    }
+    out.push_str(
+        "\nExpected shape: community placement cuts cross-shard messages \
+         vs hash; range sharding without a rebalancer lets the new-user \
+         tail blow the size ratio past the bound; the rebalancer restores \
+         it to <= 2.0 at unchanged recall.\n",
+    );
+
+    // Hard gates.
+    let hash_msgs = runs[0].cross_messages;
+    let community_msgs = runs[1].cross_messages;
+    if community_msgs >= hash_msgs {
+        let msg = format!(
+            "rebalance/community: cross-shard messages {community_msgs} not below \
+             hash baseline {hash_msgs}"
+        );
+        eprintln!("CROSS-TRAFFIC VIOLATION: {msg}");
+        out.push_str(&format!("VIOLATION: {msg}\n"));
+        ctx.violations.push(msg);
+    }
+    let rebalanced = &runs[3];
+    if rebalanced.size_ratio > MAX_RATIO {
+        let msg = format!(
+            "rebalance/range-rebalanced: shard size ratio {:.2} above the {MAX_RATIO} bound",
+            rebalanced.size_ratio
+        );
+        eprintln!("BALANCE VIOLATION: {msg}");
+        out.push_str(&format!("VIOLATION: {msg}\n"));
+        ctx.violations.push(msg);
+    }
+    ctx.enforce_recall_floor(
+        "rebalance",
+        "range-rebalanced",
+        rebalanced.recall_vs_exact / rebuild_recall.max(1e-9),
+    );
+
+    let runs_v: Vec<serde_json::Value> = runs
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "configuration": r.label,
+                "wall_time_s": r.elapsed_s,
+                "updates_per_sec": r.updates_per_sec,
+                "cross_shard_messages": r.cross_messages,
+                "migrations": r.migrations,
+                "shard_size_ratio": r.size_ratio,
+                "recall": r.recall_vs_exact,
+                "recall_vs_rebuild": r.recall_vs_exact / rebuild_recall.max(1e-9)
+            })
+        })
+        .collect();
+    let dataset_v = serde_json::json!({
+        "name": base.name(),
+        "num_users": base.num_users(),
+        "num_items": base.num_items(),
+        "num_ratings": base.num_ratings(),
+        "streamed_updates": stream.len()
+    });
+    let rebuild_v = serde_json::json!({ "recall": rebuild_recall });
+    let payload = serde_json::json!({
+        "dataset": dataset_v,
+        "k": K,
+        "shards": SHARDS,
+        "batch": BATCH,
+        "max_size_ratio": MAX_RATIO,
+        "rebuild": rebuild_v,
+        "runs": runs_v,
+        "cross_message_reduction_vs_hash":
+            1.0 - community_msgs as f64 / hash_msgs.max(1) as f64
+    });
+    // The named perf baseline future PRs diff against.
+    if let Ok(text) = serde_json::to_string_pretty(&payload) {
+        let path = ctx.out_dir.join("BENCH_rebalance.json");
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| eprintln!("warning: cannot write BENCH_rebalance.json: {e}"));
+    }
+    ctx.finish(
+        "rebalance",
+        "Shard rebalancing + community-aware partitioning under a skewed stream",
+        out,
+        &payload,
+    )
+}

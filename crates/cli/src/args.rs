@@ -162,8 +162,26 @@ pub struct UpdateOptions {
     /// Shard the engine across this many user partitions (1 = the
     /// single-threaded engine).
     pub shards: usize,
+    /// User-to-shard placement policy of the sharded engine.
+    pub partitioner: PartitionerChoice,
+    /// When set, enable live shard rebalancing with this max/min
+    /// shard-size ratio bound.
+    pub rebalance: Option<f64>,
     /// Worker threads for the sharded engine and rebuild comparison.
     pub threads: Option<usize>,
+}
+
+/// `--partitioner` values of `kiff update`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionerChoice {
+    /// Fibonacci-hash spread (the default).
+    #[default]
+    Hash,
+    /// Round-robin `user % shards`.
+    Modulo,
+    /// Community-aware: co-raters share a shard (seeded from the base
+    /// dataset's co-rating structure).
+    Community,
 }
 
 /// A parsed subcommand.
@@ -233,6 +251,7 @@ commands:
              through the online engine and report repair cost vs rebuild
              --input BASE --updates STREAM [--k N] [--batch N]
              [--repair-width N] [--shards N] [--threads N]
+             [--partitioner hash|modulo|community] [--rebalance RATIO]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -248,6 +267,17 @@ where
 {
     raw.parse()
         .map_err(|e| ParseError(format!("bad {flag} '{raw}': {e}")))
+}
+
+fn parse_partitioner(raw: &str) -> Result<PartitionerChoice, ParseError> {
+    match raw {
+        "hash" => Ok(PartitionerChoice::Hash),
+        "modulo" => Ok(PartitionerChoice::Modulo),
+        "community" => Ok(PartitionerChoice::Community),
+        other => Err(ParseError(format!(
+            "unknown partitioner '{other}' (expected hash, modulo or community)"
+        ))),
+    }
 }
 
 fn parse_format(raw: &str) -> Result<Format, ParseError> {
@@ -359,6 +389,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut batch: Option<usize> = None;
     let mut repair_width: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut partitioner = PartitionerChoice::default();
+    let mut rebalance: Option<f64> = None;
     let mut algorithms: Option<Vec<Algorithm>> = None;
     let mut brute = false;
 
@@ -392,6 +424,12 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 )?)
             }
             "--shards" => shards = Some(parse_num("--shards", &value("--shards", &mut iter)?)?),
+            "--partitioner" => {
+                partitioner = parse_partitioner(&value("--partitioner", &mut iter)?)?
+            }
+            "--rebalance" => {
+                rebalance = Some(parse_num("--rebalance", &value("--rebalance", &mut iter)?)?)
+            }
             "--algorithms" => {
                 algorithms = Some(parse_algorithms(&value("--algorithms", &mut iter)?)?)
             }
@@ -473,6 +511,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if shards == 0 {
                 return Err(ParseError("--shards must be positive".into()));
             }
+            if let Some(r) = rebalance {
+                if r.is_nan() || r <= 1.0 {
+                    return Err(ParseError("--rebalance ratio must exceed 1.0".into()));
+                }
+            }
+            // The single-engine path (shards = 1) has no placement or
+            // rebalancing; reject rather than silently ignore the flags.
+            if shards == 1 && (partitioner != PartitionerChoice::Hash || rebalance.is_some()) {
+                return Err(ParseError(
+                    "--partitioner/--rebalance require --shards > 1".into(),
+                ));
+            }
             Ok(Command::Update(UpdateOptions {
                 input: need_input(input)?,
                 updates: updates.ok_or_else(|| ParseError("--updates is required".into()))?,
@@ -480,6 +530,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 batch,
                 repair_width,
                 shards,
+                partitioner,
+                rebalance,
                 threads,
             }))
         }
@@ -644,7 +696,7 @@ mod tests {
     fn parses_update() {
         let cmd = parse(&argv(
             "update --input base.tsv --updates stream.tsv --k 5 --batch 20 --repair-width 64 \
-             --shards 4",
+             --shards 4 --partitioner community --rebalance 2.0",
         ))
         .unwrap();
         match cmd {
@@ -655,6 +707,8 @@ mod tests {
                 assert_eq!(u.batch, 20);
                 assert_eq!(u.repair_width, Some(64));
                 assert_eq!(u.shards, 4);
+                assert_eq!(u.partitioner, PartitionerChoice::Community);
+                assert_eq!(u.rebalance, Some(2.0));
             }
             other => panic!("expected Update, got {other:?}"),
         }
@@ -663,7 +717,11 @@ mod tests {
     #[test]
     fn update_defaults_to_one_shard() {
         match parse(&argv("update --input b.tsv --updates s.tsv")).unwrap() {
-            Command::Update(u) => assert_eq!(u.shards, 1),
+            Command::Update(u) => {
+                assert_eq!(u.shards, 1);
+                assert_eq!(u.partitioner, PartitionerChoice::Hash);
+                assert_eq!(u.rebalance, None);
+            }
             other => panic!("expected Update, got {other:?}"),
         }
     }
@@ -674,6 +732,34 @@ mod tests {
         assert!(parse(&argv("update --input b.tsv")).is_err());
         assert!(parse(&argv("update --input b.tsv --updates s.tsv --batch 0")).is_err());
         assert!(parse(&argv("update --input b.tsv --updates s.tsv --shards 0")).is_err());
+        assert!(
+            parse(&argv(
+                "update --input b.tsv --updates s.tsv --partitioner nope"
+            ))
+            .is_err(),
+            "unknown partitioner rejected"
+        );
+        assert!(
+            parse(&argv(
+                "update --input b.tsv --updates s.tsv --shards 2 --rebalance 1.0"
+            ))
+            .is_err(),
+            "degenerate rebalance ratio rejected"
+        );
+        assert!(
+            parse(&argv(
+                "update --input b.tsv --updates s.tsv --partitioner community"
+            ))
+            .is_err(),
+            "placement flags without shards rejected, not ignored"
+        );
+        assert!(
+            parse(&argv(
+                "update --input b.tsv --updates s.tsv --rebalance 2.0"
+            ))
+            .is_err(),
+            "rebalance without shards rejected, not ignored"
+        );
     }
 
     #[test]

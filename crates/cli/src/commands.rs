@@ -5,7 +5,10 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::time::Instant;
 
-use kiff::online::{OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update, UpdateStats};
+use kiff::online::{
+    CommunityPartitioner, ModuloPartitioner, OnlineConfig, OnlineKnn, RebalanceConfig, ShardConfig,
+    ShardedOnlineKnn, Update, UpdateStats,
+};
 use kiff::prelude::*;
 use kiff::{Algorithm, Metric};
 use kiff_dataset::io::{load_json, load_movielens, load_snap_tsv, load_updates_tsv, save_snap_tsv};
@@ -16,7 +19,7 @@ use kiff_graph::{exact_knn_brute_with, exact_knn_with, write_edges_tsv};
 
 use crate::args::{
     BuildOptions, Command, CompareOptions, ExactOptions, Format, GenerateOptions, InputOptions,
-    RecommendOptions, SearchOptions, UpdateOptions,
+    PartitionerChoice, RecommendOptions, SearchOptions, UpdateOptions,
 };
 
 /// A command-execution failure with a user-facing message.
@@ -223,12 +226,29 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
     let mut engine = if options.shards > 1 {
         let mut shard_config = ShardConfig::new(options.shards);
         shard_config.threads = options.threads;
+        shard_config = match options.partitioner {
+            PartitionerChoice::Hash => shard_config,
+            PartitionerChoice::Modulo => {
+                shard_config.with_partitioner(std::sync::Arc::new(ModuloPartitioner))
+            }
+            PartitionerChoice::Community => shard_config.with_partitioner(std::sync::Arc::new(
+                CommunityPartitioner::from_dataset(&base, options.shards),
+            )),
+        };
+        if let Some(ratio) = options.rebalance {
+            shard_config = shard_config.with_rebalance(RebalanceConfig::new(ratio));
+        }
         let sharded = ShardedOnlineKnn::new(&base, config, shard_config);
         writeln!(
             out,
-            "shards  : {} (sizes {:?})",
+            "shards  : {} ({:?} partitioner, sizes {:?}{})",
             sharded.num_shards(),
-            sharded.shard_sizes()
+            options.partitioner,
+            sharded.shard_sizes(),
+            match options.rebalance {
+                Some(r) => format!(", rebalance at ratio {r}"),
+                None => String::new(),
+            }
         )?;
         LiveEngine::Sharded(Box::new(sharded))
     } else {
@@ -262,6 +282,15 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         life.edits_per_update(),
         life.repaired_users as f64 / life.updates.max(1) as f64
     )?;
+    if let LiveEngine::Sharded(sharded) = &engine {
+        writeln!(
+            out,
+            "cross-shard: {} messages, {} migrations (final sizes {:?})",
+            sharded.cross_shard_messages(),
+            sharded.migrations_total(),
+            sharded.shard_sizes()
+        )?;
+    }
 
     // Compare against rebuilding from scratch on the final dataset.
     let final_dataset = engine.data().to_dataset();
@@ -799,6 +828,25 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("shards  : 2"), "{out}");
+        assert!(out.contains("recall vs rebuild"), "{out}");
+        std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn update_sharded_with_community_partitioner_and_rebalance() {
+        let input = fixture();
+        let updates = tmp("updates-rebalance.tsv");
+        std::fs::write(&updates, "2\t1\t1.0\t30\n0\t2\t1.0\t10\n9\t3\t1.0\t20\n").unwrap();
+        let out = run_str(&format!(
+            "update --input {} --updates {} --k 2 --batch 2 --shards 2 --threads 2 \
+             --partitioner community --rebalance 2.0",
+            input.display(),
+            updates.display()
+        ))
+        .unwrap();
+        assert!(out.contains("Community partitioner"), "{out}");
+        assert!(out.contains("rebalance at ratio 2"), "{out}");
+        assert!(out.contains("cross-shard:"), "{out}");
         assert!(out.contains("recall vs rebuild"), "{out}");
         std::fs::remove_file(updates).ok();
     }

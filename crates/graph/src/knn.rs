@@ -244,6 +244,17 @@ impl KnnHeap {
         }
     }
 
+    /// Rewrites every entry's `new` flag as `is_new(id)`. NN-Descent's
+    /// deterministic parallel mode retags heaps *after* each concurrent
+    /// join phase from a serial membership diff, because flags written
+    /// during the joins depend on offer interleaving (an entry evicted
+    /// and re-inserted keeps `new`, one never displaced does not).
+    pub fn retag_new(&mut self, mut is_new: impl FnMut(UserId) -> bool) {
+        for e in &mut self.entries {
+            e.is_new = is_new(e.id);
+        }
+    }
+
     /// All current neighbour ids (unordered).
     pub fn ids(&self) -> Vec<UserId> {
         self.entries.iter().map(|e| e.id).collect()

@@ -73,6 +73,20 @@ impl ReverseAdjacency {
     pub fn contains(&self, u: UserId, v: UserId) -> bool {
         self.incoming[v as usize].contains(&u)
     }
+
+    /// Takes `u`'s in-neighbour set out of the structure by swapping the
+    /// last row into its place (the caller owns the re-indexing of the
+    /// displaced row). Building block of shard migration.
+    pub fn swap_remove_row(&mut self, u: UserId) -> FxHashSet<UserId> {
+        self.incoming.swap_remove(u as usize)
+    }
+
+    /// Appends a pre-built in-neighbour row, returning its id. The inverse
+    /// of [`ReverseAdjacency::swap_remove_row`].
+    pub fn push_row(&mut self, row: FxHashSet<UserId>) -> UserId {
+        self.incoming.push(row);
+        (self.incoming.len() - 1) as UserId
+    }
 }
 
 /// Reverse adjacency for one *shard* of users: rows are indexed by the
@@ -137,6 +151,20 @@ impl ShardReverse {
     pub fn contains(&self, target_slot: usize, source: UserId) -> bool {
         self.rows.contains(source, target_slot as UserId)
     }
+
+    /// Detaches the in-neighbour row of the local target, swapping the
+    /// shard's last slot into its place — the shard-migration primitive.
+    /// The caller must re-index whichever user occupied the last slot.
+    pub fn detach_slot(&mut self, target_slot: usize) -> FxHashSet<UserId> {
+        self.rows.swap_remove_row(target_slot as UserId)
+    }
+
+    /// Attaches a detached in-neighbour row as a new local slot, returning
+    /// its index. The inverse of [`ShardReverse::detach_slot`], applied on
+    /// the migration's destination shard.
+    pub fn attach_slot(&mut self, row: FxHashSet<UserId>) -> usize {
+        self.rows.push_row(row) as usize
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +221,29 @@ mod tests {
         assert_eq!(rev.push_slot(), 2);
         rev.add(2, 3);
         assert_eq!(rev.in_degree(2), 1);
+    }
+
+    #[test]
+    fn detach_attach_round_trip() {
+        let mut rev = ShardReverse::new(3);
+        rev.add(0, 10);
+        rev.add(1, 11);
+        rev.add(1, 12);
+        rev.add(2, 13);
+        // Detaching slot 0 swaps the last slot (2) into its place.
+        let row = rev.detach_slot(0);
+        let mut sources: Vec<u32> = row.iter().copied().collect();
+        sources.sort_unstable();
+        assert_eq!(sources, vec![10]);
+        assert_eq!(rev.num_slots(), 2);
+        assert!(rev.contains(0, 13), "last slot swapped into the hole");
+        assert!(rev.contains(1, 11));
+        // Attaching on another shard restores the row verbatim.
+        let mut dest = ShardReverse::new(1);
+        let slot = dest.attach_slot(row);
+        assert_eq!(slot, 1);
+        assert!(dest.contains(1, 10));
+        assert_eq!(dest.in_degree(1), 1);
     }
 
     #[test]

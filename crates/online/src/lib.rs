@@ -50,6 +50,10 @@
 //! on all shards in parallel, exchanging cross-shard heap and
 //! reverse-edge edits through asynchronous message queues. Same
 //! consistency model, `apply_batch` throughput scaling with cores.
+//! Skewed streams are handled live: a [`RebalanceConfig`]-driven
+//! rebalancer migrates users out of overloaded shards during quiescent
+//! periods, and [`CommunityPartitioner`] co-locates co-raters to cut
+//! cross-shard message volume (see [`sharded`] for the mechanics).
 
 pub mod config;
 pub mod engine;
@@ -58,5 +62,8 @@ pub mod update;
 
 pub use config::{OnlineConfig, OnlineMetric};
 pub use engine::OnlineKnn;
-pub use sharded::{HashPartitioner, ModuloPartitioner, Partitioner, ShardConfig, ShardedOnlineKnn};
+pub use sharded::{
+    CommunityPartitioner, HashPartitioner, ModuloPartitioner, Partitioner, RangePartitioner,
+    RebalanceConfig, RebalanceStats, ShardConfig, ShardedOnlineKnn,
+};
 pub use update::{Update, UpdateStats};

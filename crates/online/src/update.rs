@@ -47,6 +47,12 @@ pub struct UpdateStats {
     /// Users re-scored against their candidate prefix (repair + Debatty
     /// propagation through reverse neighbours).
     pub repaired_users: u64,
+    /// Cross-shard messages sent (always 0 for the single engine): the
+    /// coordination cost a community-aware partitioner minimises.
+    pub cross_messages: u64,
+    /// Users migrated between shards (rebalancer moves plus requested
+    /// migrations applied during the call; 0 for the single engine).
+    pub migrations: u64,
     /// Whether this call ended with a delta-storage re-compaction.
     pub compacted: bool,
 }
@@ -59,6 +65,8 @@ impl UpdateStats {
         self.counter_adjustments += other.counter_adjustments;
         self.edits.merge(&other.edits);
         self.repaired_users += other.repaired_users;
+        self.cross_messages += other.cross_messages;
+        self.migrations += other.migrations;
         self.compacted |= other.compacted;
     }
 
@@ -98,6 +106,8 @@ mod tests {
                 reprioritized: 3,
             },
             repaired_users: 2,
+            cross_messages: 5,
+            migrations: 1,
             compacted: false,
         };
         let b = UpdateStats {
@@ -109,6 +119,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.updates, 4);
         assert_eq!(a.sim_evals, 12);
+        assert_eq!(a.cross_messages, 5);
+        assert_eq!(a.migrations, 1);
         assert!(a.compacted);
         assert!((a.sim_evals_per_update() - 3.0).abs() < 1e-12);
         assert!((a.edits_per_update() - 1.5).abs() < 1e-12);

@@ -181,6 +181,173 @@ fn loader_missing_file() {
     assert!(matches!(err, kiff_dataset::io::LoadError::Io(_)));
 }
 
+mod rebalancing {
+    //! Rebalancing edge cases: migrations racing in-flight cross-shard
+    //! messages, shards emptied to zero users, and deletions landing on a
+    //! user whose migration is pending.
+
+    use std::sync::Arc;
+
+    use kiff::dataset::dataset::figure2_toy;
+    use kiff::online::{
+        ModuloPartitioner, OnlineConfig, RebalanceConfig, ShardConfig, ShardedOnlineKnn, Update,
+    };
+    use kiff::similarity::intersect_count;
+
+    /// Counter + stored-similarity audit against brute force, plus the
+    /// engine's own cross-shard invariants.
+    fn audit(engine: &ShardedOnlineKnn) {
+        engine.validate_invariants();
+        let n = engine.num_users() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    let shared = intersect_count(
+                        engine.data().profile(u).items,
+                        engine.data().profile(v).items,
+                    );
+                    assert_eq!(engine.shared_count(u, v) as usize, shared, "({u}, {v})");
+                }
+            }
+            for nb in engine.neighbors(u) {
+                let fresh = engine
+                    .config()
+                    .metric
+                    .eval(engine.data().profile(u), engine.data().profile(nb.id));
+                assert!(
+                    (nb.sim - fresh).abs() < 1e-12,
+                    "stale edge {u} -> {}",
+                    nb.id
+                );
+            }
+        }
+    }
+
+    fn modulo_engine(shards: usize) -> ShardedOnlineKnn {
+        ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2),
+            ShardConfig::new(shards)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner)),
+        )
+    }
+
+    /// A user migrates while cross-shard messages naming it are still in
+    /// flight: the batch dirties Carl (who straddles shards with the
+    /// coffee drinkers), a pending migration moves him between repair
+    /// rounds, and the rerouted messages must land exactly once on the
+    /// new owner.
+    #[test]
+    fn migration_with_in_flight_messages() {
+        let mut engine = modulo_engine(2);
+        let from = engine.shard_of(2);
+        engine.request_migration(2, 1 - from);
+        let stats = engine.apply_batch(vec![
+            // Carl joins the coffee drinkers on the other shard — the
+            // repair exchanges Scored/ReverseAdd messages for him.
+            Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            },
+            Update::AddRating {
+                user: 0,
+                item: 2,
+                rating: 2.0,
+            },
+        ]);
+        assert_eq!(stats.migrations, 1);
+        assert!(stats.cross_messages > 0, "nothing was in flight");
+        assert_eq!(engine.shard_of(2), 1 - from);
+        audit(&engine);
+        let ids: Vec<u32> = engine.neighbors(2).iter().map(|nb| nb.id).collect();
+        assert!(ids.contains(&0) || ids.contains(&1), "repair completed");
+    }
+
+    /// Migrating the only user of a shard leaves it empty; the engine —
+    /// and a subsequent rebalance cycle dividing by the (floored) minimum
+    /// size — must keep working, and the user must be able to come back.
+    #[test]
+    fn migrating_the_only_user_of_a_shard() {
+        // Modulo over 4 shards: shard 3 owns exactly Dave (user 3).
+        let mut engine = modulo_engine(4);
+        assert_eq!(engine.shard_sizes()[3], 1);
+        assert!(engine.migrate_user(3, 0));
+        assert_eq!(engine.shard_sizes()[3], 0, "shard 3 emptied");
+        audit(&engine);
+        // Updates for the moved user repair on the new shard.
+        let stats = engine.apply(Update::AddRating {
+            user: 3,
+            item: 0,
+            rating: 1.0,
+        });
+        assert!(stats.sim_evals > 0);
+        audit(&engine);
+        // And the empty shard can be repopulated.
+        assert!(engine.migrate_user(3, 3));
+        assert_eq!(engine.shard_sizes()[3], 1);
+        audit(&engine);
+    }
+
+    /// A `RemoveRating` arrives for a user whose migration is pending in
+    /// the same batch: counters are adjusted on the admission shard
+    /// (phase 2 precedes migration), the repair runs on the target shard,
+    /// and no state is lost in between.
+    #[test]
+    fn remove_rating_for_a_user_mid_migration() {
+        let mut engine = modulo_engine(2);
+        let from = engine.shard_of(1);
+        engine.request_migration(1, 1 - from);
+        // Bob drops coffee: his edge to Alice must dissolve on whichever
+        // shard ends up owning him.
+        let stats = engine.apply_batch(vec![Update::RemoveRating { user: 1, item: 1 }]);
+        assert_eq!(stats.migrations, 1);
+        assert!(stats.edits.removals > 0);
+        assert_eq!(engine.shard_of(1), 1 - from);
+        audit(&engine);
+        assert!(!engine.neighbors(0).iter().any(|nb| nb.id == 1));
+        assert!(!engine.neighbors(1).iter().any(|nb| nb.id == 0));
+        // Removing again is a no-op even after the move.
+        let stats = engine.apply(Update::RemoveRating { user: 1, item: 1 });
+        assert_eq!(stats.counter_adjustments, 0);
+    }
+
+    /// An empty shard never deadlocks the rebalancer: the ratio check
+    /// floors the minimum at 1 and pulls users in rather than dividing by
+    /// zero.
+    #[test]
+    fn rebalancer_handles_empty_shards() {
+        let ds = figure2_toy();
+        let mut engine = ShardedOnlineKnn::new(
+            &ds,
+            OnlineConfig::new(2),
+            ShardConfig::new(4)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner))
+                .with_rebalance(RebalanceConfig::new(2.0)),
+        );
+        // Concentrate everyone on shard 0, leaving three empty shards.
+        for u in 0..4 {
+            engine.migrate_user(u, 0);
+        }
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        // 4 users vs floored minimum 1 violates the 2.0 bound: the cycle
+        // must spread users back out.
+        assert!(stats.migrations > 0, "rebalancer ignored the empty shards");
+        let sizes = engine.shard_sizes();
+        assert!(
+            *sizes.iter().max().unwrap() <= 2,
+            "still concentrated: {sizes:?}"
+        );
+        audit(&engine);
+    }
+}
+
 /// The rating-threshold heuristic (§VII) composes with the full pipeline
 /// and preserves the neighbours that rated things positively. The data
 /// must be *sparse* for the threshold to remove whole candidate pairs —

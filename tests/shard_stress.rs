@@ -1,0 +1,190 @@
+//! Skew stress: deterministic power-law (Zipf) streams that unbalance a
+//! fixed-at-admission sharding, pinning the two rebalancing claims:
+//!
+//! * with the [`Rebalancer`](kiff::online::RebalanceConfig) active, the
+//!   `shard_sizes()` max/min ratio stays under the configured bound on a
+//!   stream that provably blows past it without rebalancing;
+//! * on the same stream, [`CommunityPartitioner`] sends strictly fewer
+//!   cross-shard messages than [`HashPartitioner`] — co-locating
+//!   co-raters is what the message queues stop paying for.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kiff::dataset::generators::planted::{generate_planted, PlantedConfig};
+use kiff::dataset::zipf::Zipf;
+use kiff::dataset::Dataset;
+use kiff::online::{
+    CommunityPartitioner, HashPartitioner, OnlineConfig, Partitioner, RangePartitioner,
+    RebalanceConfig, ShardConfig, ShardedOnlineKnn, Update,
+};
+
+const SHARDS: usize = 4;
+const MAX_RATIO: f64 = 2.0;
+
+fn planted(seed: u64) -> Dataset {
+    generate_planted(&PlantedConfig {
+        num_users: 240,
+        num_items: 200,
+        communities: SHARDS,
+        ratings_per_user: 10,
+        affinity: 0.9,
+        ..PlantedConfig::tiny("shard-stress", seed)
+    })
+    .0
+}
+
+/// A power-law arrival stream: `updates` ratings whose users are drawn
+/// Zipf-skewed over the population (hot users dominate), plus
+/// `new_users` brand-new users appended with small hot-block profiles —
+/// the growth pattern that floods a range-sharded tail. The bench's
+/// `rebalance` experiment replays the same shape at benchmark scale
+/// (`crates/bench/src/experiments/rebalance.rs`); keep the two in step.
+fn zipf_stream(ds: &Dataset, updates: usize, new_users: u32, seed: u64) -> Vec<Update> {
+    let n = ds.num_users() as u32;
+    let items = ds.num_items() as u32;
+    let user_dist = Zipf::new(n as usize, 1.1);
+    let item_dist = Zipf::new(items as usize, 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(updates + 3 * new_users as usize);
+    for _ in 0..updates {
+        stream.push(Update::AddRating {
+            user: user_dist.sample(&mut rng) as u32,
+            item: item_dist.sample(&mut rng) as u32,
+            rating: 1.0,
+        });
+    }
+    for i in 0..new_users {
+        for j in 0..3u32 {
+            stream.push(Update::AddRating {
+                user: n + i,
+                item: (i * 11 + j * 5) % (items / SHARDS as u32),
+                rating: 1.0,
+            });
+        }
+    }
+    stream
+}
+
+fn replay(
+    base: &Dataset,
+    stream: &[Update],
+    partitioner: Arc<dyn Partitioner>,
+    rebalance: Option<RebalanceConfig>,
+) -> ShardedOnlineKnn {
+    let mut config = ShardConfig::new(SHARDS)
+        .with_threads(2)
+        .with_partitioner(partitioner);
+    if let Some(r) = rebalance {
+        config = config.with_rebalance(r);
+    }
+    let mut engine = ShardedOnlineKnn::new(base, OnlineConfig::new(5), config);
+    for chunk in stream.chunks(64) {
+        engine.apply_batch(chunk.iter().copied());
+    }
+    engine.validate_invariants();
+    engine
+}
+
+fn size_ratio(engine: &ShardedOnlineKnn) -> f64 {
+    let sizes = engine.shard_sizes();
+    let max = *sizes.iter().max().expect("shards") as f64;
+    let min = (*sizes.iter().min().expect("shards")).max(1) as f64;
+    max / min
+}
+
+/// Range sharding + growing ids: without the rebalancer the tail shard
+/// hoards every new user and the size ratio blows past the bound; with
+/// it, the ratio stays under the bound and the graph state stays
+/// consistent.
+#[test]
+fn rebalancer_bounds_shard_size_ratio_under_zipf_growth() {
+    let base = planted(7);
+    let stream = zipf_stream(&base, 600, 120, 7);
+    let range = RangePartitioner::for_population(base.num_users(), SHARDS);
+
+    let skewed = replay(&base, &stream, Arc::new(range), None);
+    assert!(
+        size_ratio(&skewed) > MAX_RATIO,
+        "stream too tame to test the bound: ratio {:.2}, sizes {:?}",
+        size_ratio(&skewed),
+        skewed.shard_sizes()
+    );
+    assert_eq!(skewed.migrations_total(), 0, "no rebalancer, no moves");
+
+    let balanced = replay(
+        &base,
+        &stream,
+        Arc::new(range),
+        Some(RebalanceConfig::new(MAX_RATIO)),
+    );
+    assert!(
+        size_ratio(&balanced) <= MAX_RATIO,
+        "rebalancer missed the bound: ratio {:.2}, sizes {:?}",
+        size_ratio(&balanced),
+        balanced.shard_sizes()
+    );
+    let rb = balanced.rebalance_stats();
+    assert!(rb.cycles > 0 && rb.migrations > 0, "{rb:?}");
+    // Same stream, same ratings — rebalancing moved ownership only.
+    assert_eq!(
+        balanced.data().num_ratings(),
+        skewed.data().num_ratings(),
+        "migration lost ratings"
+    );
+}
+
+/// Community-aware placement sends strictly fewer cross-shard messages
+/// than hash placement on the same Zipf stream.
+#[test]
+fn community_partitioner_beats_hash_on_cross_traffic() {
+    let base = planted(11);
+    let stream = zipf_stream(&base, 800, 0, 11);
+
+    let hash = replay(&base, &stream, Arc::new(HashPartitioner), None);
+    let community = replay(
+        &base,
+        &stream,
+        Arc::new(CommunityPartitioner::from_dataset(&base, SHARDS)),
+        None,
+    );
+    assert_eq!(
+        hash.data().num_ratings(),
+        community.data().num_ratings(),
+        "replays diverged"
+    );
+    let (h, c) = (
+        hash.cross_shard_messages(),
+        community.cross_shard_messages(),
+    );
+    assert!(h > 0, "hash run never crossed shards — stream too tame");
+    assert!(
+        c < h,
+        "community partitioner did not cut cross traffic: community {c} vs hash {h}"
+    );
+}
+
+/// The per-shard cross-traffic counters sum to the engine total, and a
+/// community layout concentrates what little traffic remains.
+#[test]
+fn cross_traffic_counters_are_consistent() {
+    let base = planted(13);
+    let stream = zipf_stream(&base, 300, 10, 13);
+    let engine = replay(
+        &base,
+        &stream,
+        Arc::new(CommunityPartitioner::from_dataset(&base, SHARDS)),
+        Some(RebalanceConfig::new(MAX_RATIO)),
+    );
+    assert_eq!(
+        engine.shard_cross_traffic().iter().sum::<u64>(),
+        engine.cross_shard_messages(),
+        "per-shard counters must sum to the lifetime total"
+    );
+    assert_eq!(
+        engine.lifetime_stats().cross_messages,
+        engine.cross_shard_messages()
+    );
+}
