@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,8 +32,8 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting baselines rebalance --scale 0.1 --threads 4 \
-		--seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
+		online sharded counting baselines rebalance telemetry --scale 0.1 \
+		--threads 4 --seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
 # Counting/scoring hot-loop throughput only (BENCH_counting.json):
 # RCS construction per strategy vs the pre-rewrite pipeline, and
@@ -56,6 +56,13 @@ bench-rebalance:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		rebalance --scale 0.1 --threads 4 --seed 42 \
 		--recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
+
+# Telemetry overhead only (BENCH_telemetry.json): instrumented vs
+# disabled-registry replay throughput (gated within 3%), plus the
+# per-shard repair p99 and sims/update readouts from the registry.
+bench-telemetry:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		telemetry --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

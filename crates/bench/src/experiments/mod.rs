@@ -15,6 +15,7 @@ pub mod online;
 pub mod rebalance;
 pub mod sensitivity;
 pub mod sharded;
+pub mod telemetry;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -231,7 +232,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 26] = [
+pub const ALL: [&str; 27] = [
     "table1",
     "fig4",
     "fig1",
@@ -258,6 +259,7 @@ pub const ALL: [&str; 26] = [
     "counting",
     "baselines",
     "rebalance",
+    "telemetry",
 ];
 
 /// Runs one experiment by id.
@@ -289,6 +291,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "counting" => Ok(counting_perf::counting(ctx)),
         "baselines" => Ok(baseline_scoring::baselines(ctx)),
         "rebalance" => Ok(rebalance::rebalance(ctx)),
+        "telemetry" => Ok(telemetry::telemetry(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

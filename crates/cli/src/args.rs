@@ -4,6 +4,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use kiff::core::{CountStrategy, ScoringMode};
+use kiff::telemetry::MetricsFormat;
 use kiff::{Algorithm, Metric};
 use kiff_dataset::PaperDataset;
 
@@ -65,6 +66,11 @@ pub struct BuildOptions {
     pub seed: u64,
     /// Where the graph edge list goes (`-` or absent = stdout).
     pub output: Option<PathBuf>,
+    /// When set, capture a telemetry snapshot of the build into this
+    /// file (never interleaved with the human-readable output).
+    pub metrics_out: Option<PathBuf>,
+    /// Exporter rendering `--metrics-out` (default json).
+    pub metrics_format: MetricsFormat,
 }
 
 /// Options of `kiff generate`.
@@ -117,6 +123,11 @@ pub struct CompareOptions {
     pub threads: Option<usize>,
     /// RNG seed for randomised algorithms.
     pub seed: u64,
+    /// When set, capture one telemetry snapshot spanning every
+    /// algorithm of the suite into this file.
+    pub metrics_out: Option<PathBuf>,
+    /// Exporter rendering `--metrics-out` (default json).
+    pub metrics_format: MetricsFormat,
 }
 
 /// Options of `kiff recommend`.
@@ -169,6 +180,11 @@ pub struct UpdateOptions {
     pub rebalance: Option<f64>,
     /// Worker threads for the sharded engine and rebuild comparison.
     pub threads: Option<usize>,
+    /// When set, capture the replay's telemetry (per-shard counters,
+    /// repair latency histograms) into this file.
+    pub metrics_out: Option<PathBuf>,
+    /// Exporter rendering `--metrics-out` (default json).
+    pub metrics_format: MetricsFormat,
 }
 
 /// `--partitioner` values of `kiff update`.
@@ -231,6 +247,7 @@ commands:
              [--metric cosine|binary-cosine|jaccard|weighted-jaccard|dice|adamic-adar]
              [--gamma N] [--beta F] [--threads N] [--seed N] [--output FILE]
              [--count-strategy auto|dense|sort|hash] [--scoring prepared|pairwise]
+             [--metrics-out FILE [--metrics-format json|prom]]
   exact      build the exact ground-truth graph (inverted index, or
              --brute for the exhaustive O(|U|^2) scan)
              --input FILE --k N [--metric ...] [--scoring prepared|pairwise]
@@ -239,6 +256,7 @@ commands:
              ground truth, wall time and edges per algorithm
              --input FILE --k N [--metric ...] [--algorithms kiff,nndescent,...]
              [--scoring prepared|pairwise] [--threads N] [--seed N]
+             [--metrics-out FILE [--metrics-format json|prom]]
   stats      print dataset statistics (Table I columns)
              --input FILE [--format ...]
   generate   write a synthetic dataset calibrated to a paper dataset
@@ -252,6 +270,7 @@ commands:
              --input BASE --updates STREAM [--k N] [--batch N]
              [--repair-width N] [--shards N] [--threads N]
              [--partitioner hash|modulo|community] [--rebalance RATIO]
+             [--metrics-out FILE [--metrics-format json|prom]]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -278,6 +297,14 @@ fn parse_partitioner(raw: &str) -> Result<PartitionerChoice, ParseError> {
             "unknown partitioner '{other}' (expected hash, modulo or community)"
         ))),
     }
+}
+
+fn parse_metrics_format(raw: &str) -> Result<MetricsFormat, ParseError> {
+    MetricsFormat::parse(raw).ok_or_else(|| {
+        ParseError(format!(
+            "unknown metrics format '{raw}' (expected json or prom)"
+        ))
+    })
 }
 
 fn parse_format(raw: &str) -> Result<Format, ParseError> {
@@ -393,6 +420,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut rebalance: Option<f64> = None;
     let mut algorithms: Option<Vec<Algorithm>> = None;
     let mut brute = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut metrics_format: Option<MetricsFormat> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -434,15 +463,39 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 algorithms = Some(parse_algorithms(&value("--algorithms", &mut iter)?)?)
             }
             "--brute" => brute = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(value("--metrics-out", &mut iter)?))
+            }
+            "--metrics-format" => {
+                metrics_format = Some(parse_metrics_format(&value(
+                    "--metrics-format",
+                    &mut iter,
+                )?)?)
+            }
             "--help" | "-h" => return Ok(Command::Help),
             other => return Err(ParseError(format!("unknown option '{other}'\n\n{USAGE}"))),
         }
+    }
+
+    if metrics_format.is_some() && metrics_out.is_none() {
+        return Err(ParseError("--metrics-format requires --metrics-out".into()));
     }
 
     let need_input = |input: Option<PathBuf>| -> Result<InputOptions, ParseError> {
         let input = input.ok_or_else(|| ParseError("--input is required".into()))?;
         Ok(InputOptions { input, format })
     };
+
+    // Telemetry capture is wired through build/compare/update only;
+    // reject rather than silently ignore the flag elsewhere.
+    fn no_metrics(sub: &str, metrics_out: &Option<PathBuf>) -> Result<(), ParseError> {
+        if metrics_out.is_some() {
+            return Err(ParseError(format!(
+                "--metrics-out is not supported by '{sub}'"
+            )));
+        }
+        Ok(())
+    }
 
     match sub.as_str() {
         "build" => Ok(Command::Build(BuildOptions {
@@ -457,16 +510,21 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             threads,
             seed,
             output,
+            metrics_out,
+            metrics_format: metrics_format.unwrap_or_default(),
         })),
-        "exact" => Ok(Command::Exact(ExactOptions {
-            input: need_input(input)?,
-            k: k.ok_or_else(|| ParseError("--k is required".into()))?,
-            metric,
-            scoring,
-            brute,
-            threads,
-            output,
-        })),
+        "exact" => {
+            no_metrics("exact", &metrics_out)?;
+            Ok(Command::Exact(ExactOptions {
+                input: need_input(input)?,
+                k: k.ok_or_else(|| ParseError("--k is required".into()))?,
+                metric,
+                scoring,
+                brute,
+                threads,
+                output,
+            }))
+        }
         "compare" => Ok(Command::Compare(CompareOptions {
             input: need_input(input)?,
             k: k.ok_or_else(|| ParseError("--k is required".into()))?,
@@ -482,26 +540,40 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             scoring,
             threads,
             seed,
+            metrics_out,
+            metrics_format: metrics_format.unwrap_or_default(),
         })),
-        "stats" => Ok(Command::Stats(need_input(input)?)),
-        "generate" => Ok(Command::Generate(GenerateOptions {
-            preset: preset.ok_or_else(|| ParseError("--preset is required".into()))?,
-            scale,
-            seed,
-            output: output.ok_or_else(|| ParseError("--output is required".into()))?,
-        })),
-        "recommend" => Ok(Command::Recommend(RecommendOptions {
-            input: need_input(input)?,
-            user: user.ok_or_else(|| ParseError("--user is required".into()))?,
-            k: k.unwrap_or(20),
-            top: top.unwrap_or(10),
-        })),
-        "search" => Ok(Command::Search(SearchOptions {
-            input: need_input(input)?,
-            items: items.ok_or_else(|| ParseError("--items is required".into()))?,
-            k: k.unwrap_or(20),
-            top: top.unwrap_or(10),
-        })),
+        "stats" => {
+            no_metrics("stats", &metrics_out)?;
+            Ok(Command::Stats(need_input(input)?))
+        }
+        "generate" => {
+            no_metrics("generate", &metrics_out)?;
+            Ok(Command::Generate(GenerateOptions {
+                preset: preset.ok_or_else(|| ParseError("--preset is required".into()))?,
+                scale,
+                seed,
+                output: output.ok_or_else(|| ParseError("--output is required".into()))?,
+            }))
+        }
+        "recommend" => {
+            no_metrics("recommend", &metrics_out)?;
+            Ok(Command::Recommend(RecommendOptions {
+                input: need_input(input)?,
+                user: user.ok_or_else(|| ParseError("--user is required".into()))?,
+                k: k.unwrap_or(20),
+                top: top.unwrap_or(10),
+            }))
+        }
+        "search" => {
+            no_metrics("search", &metrics_out)?;
+            Ok(Command::Search(SearchOptions {
+                input: need_input(input)?,
+                items: items.ok_or_else(|| ParseError("--items is required".into()))?,
+                k: k.unwrap_or(20),
+                top: top.unwrap_or(10),
+            }))
+        }
         "update" => {
             let batch = batch.unwrap_or(1);
             if batch == 0 {
@@ -533,6 +605,8 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 partitioner,
                 rebalance,
                 threads,
+                metrics_out,
+                metrics_format: metrics_format.unwrap_or_default(),
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -760,6 +834,73 @@ mod tests {
             .is_err(),
             "rebalance without shards rejected, not ignored"
         );
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        match parse(&argv(
+            "build --input r.tsv --k 5 --metrics-out m.prom --metrics-format prom",
+        ))
+        .unwrap()
+        {
+            Command::Build(b) => {
+                assert_eq!(b.metrics_out, Some(PathBuf::from("m.prom")));
+                assert_eq!(b.metrics_format, MetricsFormat::Prometheus);
+            }
+            other => panic!("expected Build, got {other:?}"),
+        }
+        // Default format is json; the flags ride on compare and update too.
+        match parse(&argv("compare --input r.tsv --k 5 --metrics-out m.json")).unwrap() {
+            Command::Compare(c) => {
+                assert_eq!(c.metrics_out, Some(PathBuf::from("m.json")));
+                assert_eq!(c.metrics_format, MetricsFormat::Json);
+            }
+            other => panic!("expected Compare, got {other:?}"),
+        }
+        match parse(&argv(
+            "update --input b.tsv --updates s.tsv --metrics-out m.json",
+        ))
+        .unwrap()
+        {
+            Command::Update(u) => {
+                assert_eq!(u.metrics_out, Some(PathBuf::from("m.json")));
+                assert_eq!(u.metrics_format, MetricsFormat::Json);
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+        match parse(&argv("build --input r.tsv --k 5")).unwrap() {
+            Command::Build(b) => assert_eq!(b.metrics_out, None),
+            other => panic!("expected Build, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_flags_are_validated() {
+        assert!(
+            parse(&argv("build --input r.tsv --k 5 --metrics-format prom")).is_err(),
+            "format without a destination rejected"
+        );
+        assert!(
+            parse(&argv(
+                "build --input r.tsv --k 5 --metrics-out m --metrics-format yaml"
+            ))
+            .is_err(),
+            "unknown exporter rejected"
+        );
+        for sub in [
+            "stats --input r.tsv",
+            "exact --input r.tsv --k 5",
+            "generate --preset dblp --output g.tsv",
+            "recommend --input r.tsv --user 0",
+            "search --input r.tsv --items 1",
+        ] {
+            let e = parse(&argv(&format!("{sub} --metrics-out m.json")));
+            assert!(e.is_err(), "{sub} must reject --metrics-out");
+            assert!(
+                e.unwrap_err().to_string().contains("not supported"),
+                "{sub}"
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::path::Path;
 use std::time::Instant;
 
 use kiff::online::{
@@ -21,6 +22,7 @@ use crate::args::{
     BuildOptions, Command, CompareOptions, ExactOptions, Format, GenerateOptions, InputOptions,
     PartitionerChoice, RecommendOptions, SearchOptions, UpdateOptions,
 };
+use crate::report::UpdateReport;
 
 /// A command-execution failure with a user-facing message.
 #[derive(Debug)]
@@ -42,6 +44,20 @@ impl From<io::Error> for CommandError {
 
 fn err(message: impl Into<String>) -> CommandError {
     CommandError(message.into())
+}
+
+/// Writes a rendered telemetry snapshot to its own file (`--metrics-out`),
+/// returning the snapshot so callers can also summarise it; metrics never
+/// share a stream with human-readable output.
+fn write_metrics(
+    path: &Path,
+    registry: &Registry,
+    format: MetricsFormat,
+) -> Result<TelemetrySnapshot, CommandError> {
+    let snapshot = registry.snapshot();
+    std::fs::write(path, kiff::telemetry::export::render(&snapshot, format))
+        .map_err(|e| err(format!("{}: {e}", path.display())))?;
+    Ok(snapshot)
 }
 
 /// Loads a dataset according to `options` (format inferred from the
@@ -204,21 +220,18 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         })
         .collect();
 
-    writeln!(
-        out,
-        "base    : {} users, {} items, {} ratings",
-        base.num_users(),
-        base.num_items(),
-        base.num_ratings()
-    )?;
-    writeln!(
-        out,
-        "stream  : {} updates ({new_users} new users, {new_items} new items)",
-        stream.len()
-    )?;
+    // Everything human-readable funnels through the report and is
+    // written once at the end, so stdout can never interleave with the
+    // metrics file.
+    let mut report = UpdateReport::new();
+    report.base(base.num_users(), base.num_items(), base.num_ratings());
+    report.stream(stream.len(), new_users, new_items);
 
-    // Build the initial graph, then replay.
-    let mut config = OnlineConfig::new(options.k);
+    // Build the initial graph, then replay. The engine records into
+    // `registry` (its own enabled registry when no export is wanted, so
+    // the sharded engine's derived cross-traffic stays live).
+    let registry = Registry::new();
+    let mut config = OnlineConfig::new(options.k).with_telemetry(registry.clone());
     if let Some(width) = options.repair_width {
         config = config.with_repair_width(width);
     }
@@ -239,22 +252,17 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
             shard_config = shard_config.with_rebalance(RebalanceConfig::new(ratio));
         }
         let sharded = ShardedOnlineKnn::new(&base, config, shard_config);
-        writeln!(
-            out,
-            "shards  : {} ({:?} partitioner, sizes {:?}{})",
+        report.shards(
             sharded.num_shards(),
             options.partitioner,
-            sharded.shard_sizes(),
-            match options.rebalance {
-                Some(r) => format!(", rebalance at ratio {r}"),
-                None => String::new(),
-            }
-        )?;
+            &sharded.shard_sizes(),
+            options.rebalance,
+        );
         LiveEngine::Sharded(Box::new(sharded))
     } else {
         LiveEngine::Single(Box::new(OnlineKnn::new(&base, config)))
     };
-    writeln!(out, "initial build: {:?}", build_start.elapsed())?;
+    report.initial_build(build_start.elapsed());
 
     let replay_start = Instant::now();
     if options.batch <= 1 {
@@ -268,28 +276,22 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
     }
     let replay_time = replay_start.elapsed();
     let life = *engine.lifetime_stats();
-    writeln!(
-        out,
-        "replayed {} updates in {replay_time:.1?} ({:.0} updates/s, batch {})",
-        life.updates,
-        life.updates as f64 / replay_time.as_secs_f64().max(1e-9),
-        options.batch
-    )?;
-    writeln!(
-        out,
-        "work/update: {:.1} sim evals, {:.2} repaired edges, {:.2} users repaired",
-        life.sim_evals_per_update(),
-        life.edits_per_update(),
-        life.repaired_users as f64 / life.updates.max(1) as f64
-    )?;
+    report.replay(&life, replay_time, options.batch);
     if let LiveEngine::Sharded(sharded) = &engine {
-        writeln!(
-            out,
-            "cross-shard: {} messages, {} migrations (final sizes {:?})",
+        report.cross_shard(
             sharded.cross_shard_messages(),
             sharded.migrations_total(),
-            sharded.shard_sizes()
-        )?;
+            &sharded.shard_sizes(),
+        );
+    }
+
+    // Export the replay's telemetry before the rebuild below muddies it
+    // with unrelated construction work.
+    if let Some(path) = &options.metrics_out {
+        let snapshot = write_metrics(path, &registry, options.metrics_format)?;
+        let instruments =
+            snapshot.counters.len() + snapshot.gauges.len() + snapshot.histograms.len();
+        report.metrics_written(path, options.metrics_format, instruments);
     }
 
     // Compare against rebuilding from scratch on the final dataset.
@@ -301,20 +303,13 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
     let rebuild = kiff::core::Kiff::new(kiff_config).run(&final_dataset, &sim);
     let rebuild_time = rebuild_start.elapsed();
     let r = recall(&rebuild.graph, &engine.graph());
-    writeln!(
-        out,
-        "full rebuild: {} sim evals in {rebuild_time:.1?}",
-        rebuild.stats.sim_evals
-    )?;
-    writeln!(out, "recall vs rebuild: {r:.4}")?;
-    let per_update = life.sim_evals_per_update();
-    if per_update > 0.0 {
-        writeln!(
-            out,
-            "per-update work is {:.0}x below one rebuild",
-            rebuild.stats.sim_evals as f64 / per_update
-        )?;
-    }
+    report.rebuild(
+        rebuild.stats.sim_evals,
+        rebuild_time,
+        r,
+        life.sim_evals_per_update(),
+    );
+    report.write_to(out)?;
     Ok(())
 }
 
@@ -368,11 +363,18 @@ fn build(options: &BuildOptions, out: &mut dyn Write) -> Result<(), CommandError
     if let Some(t) = options.threads {
         builder = builder.threads(t);
     }
+    let registry = options.metrics_out.as_ref().map(|_| Registry::new());
+    if let Some(r) = &registry {
+        builder = builder.telemetry(r.clone());
+    }
 
     let start = Instant::now();
     let graph = builder.build(&dataset);
     let elapsed = start.elapsed();
 
+    if let (Some(path), Some(r)) = (&options.metrics_out, &registry) {
+        write_metrics(path, r, options.metrics_format)?;
+    }
     match &options.output {
         Some(path) if path.as_os_str() != "-" => {
             let mut w = BufWriter::new(File::create(path)?);
@@ -491,6 +493,9 @@ fn compare(options: &CompareOptions, out: &mut dyn Write) -> Result<(), CommandE
         "{:<12} {:>8} {:>12} {:>10}",
         "algorithm", "recall", "time", "edges"
     )?;
+    // One registry spans the whole suite, so the export shows how much
+    // similarity work each family of algorithms performed side by side.
+    let registry = options.metrics_out.as_ref().map(|_| Registry::new());
     for &algorithm in &options.algorithms {
         let mut builder = KnnGraphBuilder::new(options.k)
             .algorithm(algorithm)
@@ -499,6 +504,9 @@ fn compare(options: &CompareOptions, out: &mut dyn Write) -> Result<(), CommandE
             .seed(options.seed);
         if let Some(t) = options.threads {
             builder = builder.threads(t);
+        }
+        if let Some(r) = &registry {
+            builder = builder.telemetry(r.clone());
         }
         let start = Instant::now();
         let graph = builder.build(&dataset);
@@ -511,6 +519,9 @@ fn compare(options: &CompareOptions, out: &mut dyn Write) -> Result<(), CommandE
             elapsed,
             graph.num_edges()
         )?;
+    }
+    if let (Some(path), Some(r)) = (&options.metrics_out, &registry) {
+        write_metrics(path, r, options.metrics_format)?;
     }
     Ok(())
 }
@@ -849,6 +860,53 @@ mod tests {
         assert!(out.contains("cross-shard:"), "{out}");
         assert!(out.contains("recall vs rebuild"), "{out}");
         std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn build_exports_metrics_to_their_own_file() {
+        let input = fixture();
+        let metrics = tmp("metrics.json");
+        let out = run_str(&format!(
+            "build --input {} --k 2 --threads 1 --metrics-out {}",
+            input.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        // The edge list still goes to stdout; the snapshot to the file.
+        assert!(out.lines().count() >= 4, "{out}");
+        assert!(!out.contains("\"counters\""), "metrics leaked: {out}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"enabled\": true"), "{m}");
+        assert!(m.contains("\"core.refine.sims\""), "{m}");
+        assert!(m.contains("\"core.phase.total_ns\""), "{m}");
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn update_exports_prometheus_metrics_without_interleaving() {
+        let input = fixture();
+        let updates = tmp("updates-metrics.tsv");
+        std::fs::write(&updates, "2\t1\t1.0\t30\n0\t2\t1.0\t10\n9\t3\t1.0\t20\n").unwrap();
+        let metrics = tmp("metrics.prom");
+        let out = run_str(&format!(
+            "update --input {} --updates {} --k 2 --batch 2 --shards 2 --threads 2 \
+             --metrics-out {} --metrics-format prom",
+            input.display(),
+            updates.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(out.contains("telemetry: "), "{out}");
+        assert!(out.contains("recall vs rebuild"), "{out}");
+        assert!(!out.contains("# TYPE"), "metrics leaked into stdout: {out}");
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            m.contains("# TYPE kiff_shard_0_cross_messages counter"),
+            "{m}"
+        );
+        assert!(m.contains("kiff_online_apply_ns"), "{m}");
+        std::fs::remove_file(updates).ok();
+        std::fs::remove_file(metrics).ok();
     }
 
     #[test]

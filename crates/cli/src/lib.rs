@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod report;
 
 pub use args::{parse, Command, ParseError};
 

@@ -1,5 +1,7 @@
 //! KIFF configuration.
 
+use kiff_telemetry::Registry;
+
 /// Number of candidates popped from each RCS per iteration (Algorithm 1,
 /// line 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,12 @@ pub struct KiffConfig {
     /// How much per-activity wall-clock instrumentation refinement
     /// collects.
     pub timing: TimingMode,
+    /// Telemetry registry the run records into (`core.refine.*`
+    /// counters, `core.phase.*_ns` histograms, `similarity.*` scorer
+    /// counters). Each config starts with its own enabled registry;
+    /// share one across layers with
+    /// [`KiffConfig::with_telemetry`].
+    pub telemetry: Registry,
 }
 
 impl KiffConfig {
@@ -132,6 +140,7 @@ impl KiffConfig {
             max_rcs: None,
             scoring: ScoringMode::Prepared,
             timing: TimingMode::Sampled,
+            telemetry: Registry::new(),
         }
     }
 
@@ -193,6 +202,16 @@ impl KiffConfig {
     /// Sets the instrumentation level of the refinement loop.
     pub fn with_timing(mut self, timing: TimingMode) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Records the run into `registry` (shared, not copied): pass the
+    /// same registry to several configs/engines to aggregate one
+    /// unified snapshot across layers, or a
+    /// [`Registry::disabled`] one to reduce recording to a single
+    /// relaxed load per instrument operation.
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = registry;
         self
     }
 }

@@ -61,13 +61,19 @@ impl Kiff {
         observer: &mut dyn IterationObserver,
     ) -> KiffResult {
         let total_start = Instant::now();
+        let tele = &self.config.telemetry;
+        let total_span = tele.histogram("core.phase.total_ns").span();
 
         // Counting phase. Item profiles are timed separately (Table IV)
         // from RCS construction (Table V).
         let ip_start = Instant::now();
-        let _ = dataset.item_profiles();
+        {
+            let _span = tele.histogram("core.phase.item_profiles_ns").span();
+            let _ = dataset.item_profiles();
+        }
         let item_profile_time = ip_start.elapsed();
 
+        let rcs_span = tele.histogram("core.phase.rcs_ns").span();
         let rcs = build_rcs(
             dataset,
             &CountingConfig {
@@ -79,9 +85,11 @@ impl Kiff {
                 max_rcs: self.config.max_rcs,
             },
         );
+        rcs_span.finish();
 
         // Refinement phase.
         let (graph, mut stats) = refine(dataset, sim, &rcs, &self.config, observer);
+        total_span.finish();
         stats.item_profile_time = item_profile_time;
         stats.rcs_time = rcs.build_time;
         stats.total_time = total_start.elapsed();
@@ -154,6 +162,43 @@ mod tests {
         let ds = figure2_toy();
         let graph = kiff_knn(&ds, 1);
         assert_eq!(graph.neighbors(2)[0].id, 3);
+    }
+
+    #[test]
+    fn telemetry_registry_mirrors_stats() {
+        let ds = generate_bipartite(&BipartiteConfig::tiny("tele", 71));
+        let sim = WeightedCosine::fit(&ds);
+        let registry = kiff_telemetry::Registry::new();
+        let result = Kiff::new(KiffConfig::new(5).with_telemetry(registry.clone())).run(&ds, &sim);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("core.refine.sims"),
+            Some(result.stats.sim_evals),
+            "registry sims disagree with KiffStats"
+        );
+        assert_eq!(
+            snap.counter("core.refine.iterations"),
+            Some(result.stats.iterations as u64)
+        );
+        assert_eq!(
+            snap.counter("core.refine.heap_offers"),
+            Some(2 * result.stats.sim_evals)
+        );
+        for phase in [
+            "core.phase.item_profiles_ns",
+            "core.phase.rcs_ns",
+            "core.phase.refine_ns",
+            "core.phase.total_ns",
+        ] {
+            assert_eq!(snap.histogram(phase).unwrap().count, 1, "{phase}");
+        }
+        // Prepared scoring routed through the instrumented workspaces.
+        assert!(snap.counter("similarity.scores").unwrap_or(0) > 0);
+        // A disabled registry records nothing but still runs correctly.
+        let off = kiff_telemetry::Registry::disabled();
+        let result2 = Kiff::new(KiffConfig::new(5).with_telemetry(off.clone())).run(&ds, &sim);
+        assert_eq!(result2.stats.sim_evals, result.stats.sim_evals);
+        assert_eq!(off.snapshot().counter("core.refine.sims"), Some(0));
     }
 
     #[test]

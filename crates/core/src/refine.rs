@@ -34,6 +34,15 @@ const GRAIN: usize = 32;
 const TIMING_SAMPLE: usize = 64;
 
 /// Instrumentation of a full KIFF run, matching the metrics of §IV-C.
+///
+/// The same quantities (and more) are recorded into the run's
+/// [`kiff_telemetry::Registry`] ([`KiffConfig::telemetry`]): the
+/// `core.refine.sims` / `core.refine.heap_offers` /
+/// `core.refine.iterations` counters and the `core.phase.*_ns`
+/// histograms subsume this struct's timing fields with exportable,
+/// cross-layer instruments — prefer the registry when aggregating over
+/// several runs or layers; `KiffStats` remains the per-run return
+/// value.
 #[derive(Debug, Clone, Default)]
 pub struct KiffStats {
     /// Iterations executed by the refinement loop.
@@ -106,10 +115,20 @@ pub fn refine<S: Similarity + ?Sized>(
     let changes = Counter::new();
     let candidate_time = TimeAccumulator::new();
     let similarity_time = TimeAccumulator::new();
+    // Telemetry handles, resolved once outside the hot loop; with a
+    // disabled registry each record below costs one relaxed load.
+    let tele = &config.telemetry;
+    let tele_sims = tele.counter("core.refine.sims");
+    let tele_offers = tele.counter("core.refine.heap_offers");
+    let tele_changes = tele.counter("core.refine.heap_updates");
+    let tele_iterations = tele.counter("core.refine.iterations");
+    let refine_span = tele.histogram("core.phase.refine_ns").span();
     // Scorer-preparation arenas: pooled *outside* the iteration loop, so
     // a workspace's dense map survives across iterations instead of being
     // rebuilt by every `parallel_fold` launch.
-    let workspaces: ScratchPool<ScorerWorkspace> = ScratchPool::new();
+    let ws_registry = tele.clone();
+    let workspaces: ScratchPool<ScorerWorkspace> =
+        ScratchPool::with_init(move || ScorerWorkspace::with_telemetry(&ws_registry));
 
     let gamma = config.gamma.budget();
     let mut stats = KiffStats::default();
@@ -181,6 +200,10 @@ pub fn refine<S: Similarity + ?Sized>(
                         timed_evals.add(cs.len() as u64);
                     }
                     sim_evals.add(cs.len() as u64);
+                    tele_sims.add(cs.len() as u64);
+                    // Every evaluated candidate is offered to both heaps
+                    // (pivot symmetry).
+                    tele_offers.add(2 * cs.len() as u64);
 
                     // UPDATENN both ways (pivot symmetry, lines 10–12).
                     let _update_guard = timed.then(|| candidate_time.start());
@@ -198,6 +221,8 @@ pub fn refine<S: Similarity + ?Sized>(
         let iter_changes = changes.get();
         let iter_evals = sim_evals.get() - evals_before;
         cumulative_evals += iter_evals;
+        tele_iterations.incr();
+        tele_changes.add(iter_changes);
         // Rescale this iteration's sampled measurements by its own timed
         // fraction so traces stay commensurate with the run totals (which
         // are rescaled by the overall coverage below).
@@ -257,6 +282,7 @@ pub fn refine<S: Similarity + ?Sized>(
     stats.similarity_time = scale(similarity_time.total());
     stats.avg_rcs_len = rcs.avg_len();
     stats.total_rcs = rcs.total();
+    refine_span.finish();
     (shared.snapshot(), stats)
 }
 

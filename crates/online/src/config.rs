@@ -2,6 +2,7 @@
 
 use kiff_dataset::ProfileRef;
 use kiff_similarity::{functions, ScoreKind};
+use kiff_telemetry::Registry;
 
 /// Which metric the online engine evaluates during repair.
 ///
@@ -84,6 +85,12 @@ pub struct OnlineConfig {
     /// Re-compact the delta storage once this fraction of users carries an
     /// overlay profile. `1.0` effectively disables compaction.
     pub compaction_threshold: f64,
+    /// Telemetry registry the engine records into (`online.*` apply and
+    /// repair instruments, per-shard `shard.N.*` instruments, and the
+    /// `similarity.*` scorer counters). Each config starts with its own
+    /// enabled registry; share one across engines with
+    /// [`OnlineConfig::with_telemetry`].
+    pub telemetry: Registry,
 }
 
 impl OnlineConfig {
@@ -97,6 +104,7 @@ impl OnlineConfig {
             max_propagation: 64,
             metric: OnlineMetric::default(),
             compaction_threshold: 0.25,
+            telemetry: Registry::new(),
         }
     }
 
@@ -123,6 +131,19 @@ impl OnlineConfig {
     pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
         self.compaction_threshold = threshold;
+        self
+    }
+
+    /// Records the engine into `registry` (shared, not copied). Pass the
+    /// same registry to several engines — or to a batch
+    /// [`KiffConfig`](kiff_core::KiffConfig) — to aggregate one snapshot
+    /// across layers, or a [`Registry::disabled`] one to reduce every
+    /// instrument operation to a single relaxed load. Note the sharded
+    /// engine *derives* its cross-shard traffic accounting from this
+    /// registry, so a disabled registry also zeroes those derived
+    /// statistics (see `ShardedOnlineKnn::shard_cross_traffic`).
+    pub fn with_telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = registry;
         self
     }
 }

@@ -33,6 +33,7 @@ use kiff_dataset::{Dataset, DeltaDataset, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ReverseAdjacency};
 use kiff_similarity as sim;
 use kiff_similarity::ScorerWorkspace;
+use kiff_telemetry::{Counter, Histogram};
 
 use crate::config::{OnlineConfig, OnlineMetric};
 use crate::update::{Update, UpdateStats};
@@ -59,6 +60,13 @@ pub struct OnlineKnn {
     /// `Sync` for read sharing; contention is nil — the lock is held for
     /// an `Option` clone.
     snapshot: Mutex<Option<Arc<KnnGraph>>>,
+    /// `online.apply_ns`: wall-clock of each `apply`/`apply_batch` call.
+    apply_ns: Histogram,
+    /// `online.repair_ns`: wall-clock of each single-user repair.
+    repair_ns: Histogram,
+    /// `online.sims`: repair similarity evaluations (the registry twin of
+    /// [`UpdateStats::sim_evals`]).
+    tele_sims: Counter,
 }
 
 impl OnlineKnn {
@@ -104,6 +112,11 @@ impl OnlineKnn {
             }
             heaps.push(heap);
         }
+        let tele = &config.telemetry;
+        let apply_ns = tele.histogram("online.apply_ns");
+        let repair_ns = tele.histogram("online.repair_ns");
+        let tele_sims = tele.counter("online.sims");
+        let scorer_ws = ScorerWorkspace::with_telemetry(tele);
         let mut engine = Self {
             config,
             data: DeltaDataset::new(dataset.clone()),
@@ -111,9 +124,12 @@ impl OnlineKnn {
             reverse: ReverseAdjacency::new(n),
             heaps,
             lifetime: UpdateStats::default(),
-            scorer_ws: ScorerWorkspace::new(),
+            scorer_ws,
             scored: Vec::new(),
             snapshot: Mutex::new(None),
+            apply_ns,
+            repair_ns,
+            tele_sims,
         };
         // Rebuild reverse adjacency from the heaps (not from `graph`: the
         // heap capacity may be smaller than the snapshot's k).
@@ -200,6 +216,7 @@ impl OnlineKnn {
 
     /// Applies one mutation and repairs the graph around it.
     pub fn apply(&mut self, update: Update) -> UpdateStats {
+        let _span = self.apply_ns.span();
         let mut stats = UpdateStats {
             updates: 1,
             ..Default::default()
@@ -219,6 +236,7 @@ impl OnlineKnn {
     /// user touched by many ratings in the batch is re-scored a single
     /// time against the final state, amortising repair.
     pub fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
+        let _span = self.apply_ns.span();
         let mut stats = UpdateStats::default();
         let mut dirty: Vec<(UserId, Vec<UserId>)> = Vec::new();
         let mut slot: FxHashMap<UserId, usize> = FxHashMap::default();
@@ -328,6 +346,9 @@ impl OnlineKnn {
             self.repair(u, targeted, stats, &mut queue, &mut visited);
         }
         stats.repaired_users += repaired;
+        // Scorers batch their per-candidate tally in the workspace; the
+        // engine outlives snapshots, so publish it at batch end.
+        self.scorer_ws.flush_telemetry();
     }
 
     /// Re-scores `u` against its refreshed RCS prefix plus every user a
@@ -343,6 +364,7 @@ impl OnlineKnn {
         queue: &mut VecDeque<UserId>,
         visited: &mut FxHashSet<UserId>,
     ) {
+        let span = self.repair_ns.span();
         let mut candidates = targeted;
         candidates.extend(self.heaps[u as usize].ids());
         candidates.extend(self.reverse.in_neighbors(u));
@@ -370,10 +392,12 @@ impl OnlineKnn {
             }
         }
         stats.sim_evals += scored.len() as u64;
+        self.tele_sims.add(scored.len() as u64);
         for &(v, s) in &scored {
             self.score_pair(u, v, s, stats, queue, visited);
         }
         self.scored = scored;
+        span.finish();
     }
 
     /// Lands a freshly evaluated similarity on both endpoint heaps,
@@ -688,6 +712,42 @@ mod tests {
         let fourth = engine.graph();
         assert!(!Arc::ptr_eq(&third, &fourth));
         assert_eq!(fourth.num_users(), engine.num_users());
+    }
+
+    #[test]
+    fn telemetry_mirrors_update_stats() {
+        let registry = kiff_telemetry::Registry::new();
+        let mut engine = OnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2).with_telemetry(registry.clone()),
+        );
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("online.sims"), Some(stats.sim_evals));
+        assert_eq!(snap.histogram("online.apply_ns").unwrap().count, 1);
+        assert_eq!(
+            snap.histogram("online.repair_ns").unwrap().count,
+            stats.repaired_users
+        );
+        // Repair scoring flows through the instrumented workspace.
+        assert!(snap.counter("similarity.scores").unwrap_or(0) >= stats.sim_evals);
+        // A disabled registry records nothing but repairs identically.
+        let off = kiff_telemetry::Registry::disabled();
+        let mut quiet = OnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2).with_telemetry(off.clone()),
+        );
+        let stats2 = quiet.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        assert_eq!(stats2.sim_evals, stats.sim_evals);
+        assert_eq!(off.snapshot().counter("online.sims"), Some(0));
     }
 
     #[test]

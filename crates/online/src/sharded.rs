@@ -73,6 +73,7 @@ use kiff_dataset::{Dataset, DeltaDataset, DeltaView, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ShardReverse};
 use kiff_parallel::{effective_threads, parallel_for_each_mut};
 use kiff_similarity::ScorerWorkspace;
+use kiff_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::config::OnlineConfig;
 use crate::engine::{batch_graph, OnlineKnn};
@@ -499,6 +500,13 @@ struct UserShardState {
     extras: Vec<Arc<Vec<UserId>>>,
 }
 
+/// One in this many repairs is timed into `shard.N.repair_ns`. Repair
+/// latency is the hottest per-event instrument in the stack; sampling
+/// keeps the enabled-registry cost inside the telemetry bench's 3%
+/// overhead gate while a uniform 1-in-8 sample still estimates the
+/// same latency distribution (and its p99).
+const SPAN_SAMPLE: u64 = 8;
+
 /// A shard: the private online-engine state of the users it owns.
 #[derive(Debug, Default)]
 struct Shard {
@@ -527,12 +535,29 @@ struct Shard {
     inbox: Vec<ShardMsg>,
     /// Messages produced this round, by destination shard.
     outbox: Vec<Vec<ShardMsg>>,
-    /// Cross-shard messages sent this batch (reset at batch end) — the
-    /// per-shard cross-traffic signal the rebalancer and the partitioner
-    /// benchmarks read.
-    cross_batch: u64,
-    /// Cross-shard messages sent over the shard's lifetime.
-    cross_total: u64,
+    /// `shard.N.cross_messages`: cross-shard messages sent over the
+    /// shard's lifetime — the single source of truth for cross-traffic;
+    /// the rebalancer, [`ShardedOnlineKnn::shard_cross_traffic`] and the
+    /// per-batch [`UpdateStats::cross_messages`] delta all read it.
+    /// Flushed in bulk at batch end, before any of those reads.
+    cross_messages: Counter,
+    /// Messages sent this batch, not yet flushed into `cross_messages`:
+    /// [`Shard::send`] sits inside the repair loop, so it bumps this
+    /// plain field and phase 4 publishes the batch's total in one `add`.
+    pending_cross: u64,
+    /// `shard.N.repairs`: single-user repairs performed (lifetime).
+    /// Flushed in bulk at batch end — exact at every snapshot point but
+    /// never touched inside the repair loop.
+    tele_repairs: Counter,
+    /// `online.sims`: similarity evaluations, shared with every other
+    /// shard (same registry cell), mirroring the engine-wide
+    /// `UpdateStats::sim_evals` total. Flushed in bulk at batch end.
+    tele_sims: Counter,
+    /// `shard.N.repair_ns`: repair wall-clock latency, sampled 1 in
+    /// [`SPAN_SAMPLE`] repairs.
+    repair_ns: Histogram,
+    /// `shard.N.queue_depth`: repair-queue depth at the last round end.
+    queue_depth: Gauge,
     /// Prepared-scorer arena for this shard's repairs.
     scorer_ws: ScorerWorkspace,
     /// Reusable repair staging buffer of `(candidate, similarity)`.
@@ -540,9 +565,15 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(num_shards: usize) -> Self {
+    fn new(num_shards: usize, my: usize, tele: &Registry) -> Self {
         Self {
             outbox: vec![Vec::new(); num_shards],
+            cross_messages: tele.counter(&format!("shard.{my}.cross_messages")),
+            tele_repairs: tele.counter(&format!("shard.{my}.repairs")),
+            tele_sims: tele.counter("online.sims"),
+            repair_ns: tele.histogram(&format!("shard.{my}.repair_ns")),
+            queue_depth: tele.gauge(&format!("shard.{my}.queue_depth")),
+            scorer_ws: ScorerWorkspace::with_telemetry(tele),
             ..Self::default()
         }
     }
@@ -563,10 +594,10 @@ impl Shard {
     }
 
     /// Queues a cross-shard message, counting it toward the shard's
-    /// cross-traffic.
+    /// cross-traffic (`shard.N.cross_messages`).
     fn send(&mut self, dest: usize, msg: ShardMsg) {
         self.outbox[dest].push(msg);
-        self.cross_batch += 1;
+        self.pending_cross += 1;
     }
 
     /// Extracts `user`'s complete per-shard state (swap-remove: the last
@@ -684,7 +715,19 @@ impl Shard {
             }
             self.repaired += 1;
             let targeted = self.extras.remove(&u).unwrap_or_default();
-            self.repair(my, u, targeted, view, assign, config);
+            // Time 1 in SPAN_SAMPLE repairs: a clock pair plus a
+            // histogram record on *every* repair is measurable against
+            // the telemetry bench's 3% overhead gate, while the p99 of
+            // a uniform sample estimates the same distribution. The
+            // repairs counter itself stays exact — it is flushed in
+            // bulk at batch end alongside the sims counter.
+            if self.repaired % SPAN_SAMPLE == 1 {
+                let span = self.repair_ns.span();
+                self.repair(my, u, targeted, view, assign, config);
+                span.finish();
+            } else {
+                self.repair(my, u, targeted, view, assign, config);
+            }
         }
         if self.repaired >= self.budget {
             // Budget exhausted: drop the remaining cascade, exactly as the
@@ -692,6 +735,7 @@ impl Shard {
             self.queue.clear();
             self.extras.clear();
         }
+        self.queue_depth.set(self.queue.len() as i64);
     }
 
     /// Re-scores `u` (owned) against its targeted candidates, refreshed
@@ -858,6 +902,14 @@ pub struct ShardedOnlineKnn {
     migrations_total: u64,
     lifetime: UpdateStats,
     snapshot: Mutex<Option<Arc<KnnGraph>>>,
+    /// `online.apply_ns`: wall-clock of each `apply_batch` call.
+    apply_ns: Histogram,
+    /// `online.repair_round_ns`: wall-clock of each parallel repair
+    /// round (inbox drain + budgeted repairs across all shards).
+    repair_round_ns: Histogram,
+    /// `online.migrations`: users migrated between shards, all causes —
+    /// the registry twin of [`ShardedOnlineKnn::migrations_total`].
+    tele_migrations: Counter,
 }
 
 impl ShardedOnlineKnn {
@@ -892,7 +944,9 @@ impl ShardedOnlineKnn {
                 ..Default::default()
             },
         );
-        let mut shards: Vec<Shard> = (0..num_shards).map(|_| Shard::new(num_shards)).collect();
+        let mut shards: Vec<Shard> = (0..num_shards)
+            .map(|s| Shard::new(num_shards, s, &config.telemetry))
+            .collect();
         let mut assign = Vec::with_capacity(n);
         for u in 0..n as UserId {
             let s = shard_config.partitioner.shard_of(u, num_shards);
@@ -915,6 +969,10 @@ impl ShardedOnlineKnn {
         }
         // Mirror the heaps into the owning shards' in-neighbour sets.
         let rebalancer = shard_config.rebalance.clone().map(Rebalancer::new);
+        let tele = &config.telemetry;
+        let apply_ns = tele.histogram("online.apply_ns");
+        let repair_round_ns = tele.histogram("online.repair_round_ns");
+        let tele_migrations = tele.counter("online.migrations");
         let mut engine = Self {
             config,
             shard_config,
@@ -926,6 +984,9 @@ impl ShardedOnlineKnn {
             migrations_total: 0,
             lifetime: UpdateStats::default(),
             snapshot: Mutex::new(None),
+            apply_ns,
+            repair_round_ns,
+            tele_migrations,
         };
         for u in 0..n as UserId {
             let slot = engine.assign[u as usize];
@@ -986,16 +1047,19 @@ impl ShardedOnlineKnn {
     }
 
     /// Cross-shard messages each shard has sent over its lifetime — the
-    /// per-shard cross-traffic counter; high senders are poorly co-located
-    /// with their users' neighbours.
+    /// per-shard cross-traffic signal; high senders are poorly co-located
+    /// with their users' neighbours. Read from the `shard.N.cross_messages`
+    /// telemetry counters (reads 0 when the engine was built with a
+    /// [`kiff_telemetry::Registry::disabled`] registry).
     pub fn shard_cross_traffic(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.cross_total).collect()
+        self.shards.iter().map(|s| s.cross_messages.get()).collect()
     }
 
     /// Total cross-shard messages sent over the engine's lifetime — the
-    /// coordination cost a community-aware partitioner minimises.
+    /// coordination cost a community-aware partitioner minimises. The sum
+    /// of [`ShardedOnlineKnn::shard_cross_traffic`].
     pub fn cross_shard_messages(&self) -> u64 {
-        self.lifetime.cross_messages
+        self.shards.iter().map(|s| s.cross_messages.get()).sum()
     }
 
     /// Lifetime accounting of the rebalancer (all zeros when rebalancing
@@ -1073,7 +1137,12 @@ impl ShardedOnlineKnn {
     /// parallel counter maintenance and repair across shards, with
     /// cross-shard work exchanged through message queues between rounds.
     pub fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
+        let _span = self.apply_ns.span();
         let mut stats = UpdateStats::default();
+        // Lifetime cross-traffic totals before this batch: the per-batch
+        // cross_messages figure is the counters' delta across the batch
+        // (the counters, not a parallel field, are the source of truth).
+        let cross_before: Vec<u64> = self.shards.iter().map(|s| s.cross_messages.get()).collect();
         let mut adjustments: Vec<Vec<CounterAdj>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
 
@@ -1122,12 +1191,14 @@ impl ShardedOnlineKnn {
                 break;
             }
             if has_work {
+                let round_span = self.repair_round_ns.span();
                 let view = self.data.view();
                 let assign = &self.assign;
                 let config = &self.config;
                 parallel_for_each_mut(threads, &mut self.shards, |my, shard| {
                     shard.step(my as u32, view, assign, config);
                 });
+                round_span.finish();
                 for s in 0..self.shards.len() {
                     for d in 0..self.shards.len() {
                         let msgs = std::mem::take(&mut self.shards[s].outbox[d]);
@@ -1141,12 +1212,22 @@ impl ShardedOnlineKnn {
         // Phase 4 (serial): merge accounting, reset per-batch state,
         // rebalance if the batch skewed the shards, re-compact storage if
         // the overlay grew past the threshold.
-        for shard in &mut self.shards {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            // Publish the batch's accumulated telemetry in one add per
+            // instrument — shards outlive snapshots, so flushing here
+            // (the serial phase) keeps every exported counter exact
+            // without a single shared-cell RMW inside the repair loop.
+            shard.tele_repairs.add(shard.repaired);
+            shard.tele_sims.add(shard.stats.sim_evals);
+            if shard.pending_cross > 0 {
+                shard
+                    .cross_messages
+                    .add(std::mem::take(&mut shard.pending_cross));
+            }
+            shard.scorer_ws.flush_telemetry();
             stats.merge(&std::mem::take(&mut shard.stats));
             stats.repaired_users += shard.repaired;
-            stats.cross_messages += shard.cross_batch;
-            shard.cross_total += shard.cross_batch;
-            shard.cross_batch = 0;
+            stats.cross_messages += shard.cross_messages.get() - cross_before[s];
             shard.repaired = 0;
             shard.visited.clear();
         }
@@ -1287,6 +1368,7 @@ impl ShardedOnlineKnn {
         };
         self.shards[target].inbox.extend(carried);
         self.migrations_total += 1;
+        self.tele_migrations.incr();
         true
     }
 
@@ -1353,7 +1435,13 @@ impl ShardedOnlineKnn {
             // Donor: largest shard, ties broken toward the heavier
             // cross-traffic sender (worse co-location), then lower id.
             let donor = (0..sizes.len())
-                .max_by_key(|&s| (sizes[s], self.shards[s].cross_total, std::cmp::Reverse(s)))
+                .max_by_key(|&s| {
+                    (
+                        sizes[s],
+                        self.shards[s].cross_messages.get(),
+                        std::cmp::Reverse(s),
+                    )
+                })
                 .expect(">0 shards");
             let recipient = (0..sizes.len())
                 .min_by_key(|&s| (sizes[s], s))
@@ -1909,6 +1997,79 @@ mod tests {
             rating: 2.0,
         });
         assert_eq!(stats.cross_messages, 0, "coffee update stayed local");
+    }
+
+    #[test]
+    fn telemetry_counters_are_the_cross_traffic_source_of_truth() {
+        let registry = Registry::new();
+        let mut engine = ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2).with_telemetry(registry.clone()),
+            ShardConfig::new(2)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner)),
+        );
+        let stats = engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        assert!(stats.cross_messages > 0, "endpoints straddle shards");
+        let snap = registry.snapshot();
+        // The legacy accessors re-derive from the per-shard counters.
+        assert_eq!(
+            snap.counter_sum_matching("shard.", ".cross_messages"),
+            stats.cross_messages
+        );
+        assert_eq!(engine.cross_shard_messages(), stats.cross_messages);
+        assert_eq!(
+            engine.shard_cross_traffic().iter().sum::<u64>(),
+            stats.cross_messages
+        );
+        assert_eq!(
+            snap.counter_sum_matching("shard.", ".repairs"),
+            stats.repaired_users
+        );
+        assert_eq!(snap.counter("online.sims"), Some(stats.sim_evals));
+        assert!(snap.histogram("online.repair_round_ns").unwrap().count > 0);
+        assert_eq!(snap.histogram("online.apply_ns").unwrap().count, 1);
+        assert_eq!(snap.counter("online.migrations"), Some(0));
+        let target = 1 - engine.shard_of(0);
+        assert!(engine.migrate_user(0, target));
+        assert_eq!(registry.snapshot().counter("online.migrations"), Some(1));
+        assert_eq!(engine.migrations_total(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_zeroes_derived_traffic_but_preserves_the_graph() {
+        let update = Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        };
+        let shards = || {
+            ShardConfig::new(2)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner))
+        };
+        let mut on = ShardedOnlineKnn::new(&figure2_toy(), OnlineConfig::new(2), shards());
+        let mut off = ShardedOnlineKnn::new(
+            &figure2_toy(),
+            OnlineConfig::new(2).with_telemetry(Registry::disabled()),
+            shards(),
+        );
+        let on_stats = on.apply(update);
+        let off_stats = off.apply(update);
+        // The graphs agree edge-for-edge; only the derived traffic
+        // accounting goes dark under the disabled fast path.
+        for u in 0..on.num_users() as UserId {
+            assert_eq!(on.neighbors(u), off.neighbors(u), "user {u} diverged");
+        }
+        assert_eq!(on_stats.sim_evals, off_stats.sim_evals);
+        assert!(on_stats.cross_messages > 0);
+        assert_eq!(off_stats.cross_messages, 0);
+        assert_eq!(off.cross_shard_messages(), 0);
+        audit(&off);
     }
 
     #[test]

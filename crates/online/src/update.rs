@@ -33,6 +33,16 @@ pub enum Update {
 /// Work performed by one `apply`/`apply_batch` call — the serving-cost
 /// counters a capacity model needs (scan-rate analogue of §IV-C, but per
 /// update instead of per construction).
+///
+/// The [`kiff_telemetry::Registry`] the engine records into (see
+/// `OnlineConfig::telemetry`) carries the lifetime twins of these
+/// per-call figures plus latency distributions the struct cannot hold:
+/// `online.sims` mirrors [`UpdateStats::sim_evals`], `online.migrations`
+/// mirrors [`UpdateStats::migrations`], the per-batch
+/// [`UpdateStats::cross_messages`] is *derived* from the per-shard
+/// `shard.N.cross_messages` counters (their delta across the batch), and
+/// `online.apply_ns` / `online.repair_ns` / `shard.N.repair_ns`
+/// histograms time what these counters only count.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct UpdateStats {
     /// Mutations applied (1 for `apply`, the batch length for
@@ -48,7 +58,10 @@ pub struct UpdateStats {
     /// propagation through reverse neighbours).
     pub repaired_users: u64,
     /// Cross-shard messages sent (always 0 for the single engine): the
-    /// coordination cost a community-aware partitioner minimises.
+    /// coordination cost a community-aware partitioner minimises. For
+    /// the sharded engine this is the per-batch delta of the
+    /// `shard.N.cross_messages` telemetry counters, so it reads 0 when
+    /// the engine records into a disabled registry.
     pub cross_messages: u64,
     /// Users migrated between shards (rebalancer moves plus requested
     /// migrations applied during the call; 0 for the single engine).

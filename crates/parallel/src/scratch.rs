@@ -18,7 +18,8 @@
 
 use std::sync::Mutex;
 
-/// A pool of reusable scratch objects, created on demand via `Default`.
+/// A pool of reusable scratch objects, created on demand via `Default`
+/// (or a custom factory, see [`ScratchPool::with_init`]).
 ///
 /// ```
 /// use kiff_parallel::{parallel_for, ScratchPool};
@@ -33,9 +34,24 @@ use std::sync::Mutex;
 /// }
 /// assert!(pool.pooled() >= 1);
 /// ```
-#[derive(Debug, Default)]
 pub struct ScratchPool<T> {
     items: Mutex<Vec<T>>,
+    init: Option<Box<dyn Fn() -> T + Send + Sync>>,
+}
+
+impl<T> std::fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("pooled", &self.pooled())
+            .field("custom_init", &self.init.is_some())
+            .finish()
+    }
+}
+
+impl<T: Default> Default for ScratchPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T: Default> ScratchPool<T> {
@@ -43,19 +59,24 @@ impl<T: Default> ScratchPool<T> {
     pub fn new() -> Self {
         Self {
             items: Mutex::new(Vec::new()),
+            init: None,
         }
     }
 
     /// Borrows a scratch object: a previously returned one when
-    /// available (warm capacity), a fresh `T::default()` otherwise. The
-    /// guard returns it to the pool on drop.
+    /// available (warm capacity), a fresh one otherwise (from the
+    /// [`ScratchPool::with_init`] factory when set, else
+    /// `T::default()`). The guard returns it to the pool on drop.
     pub fn checkout(&self) -> ScratchGuard<'_, T> {
         let item = self
             .items
             .lock()
             .expect("scratch pool poisoned")
             .pop()
-            .unwrap_or_default();
+            .unwrap_or_else(|| match &self.init {
+                Some(init) => init(),
+                None => T::default(),
+            });
         ScratchGuard {
             pool: self,
             item: Some(item),
@@ -64,6 +85,16 @@ impl<T: Default> ScratchPool<T> {
 }
 
 impl<T> ScratchPool<T> {
+    /// An empty pool whose objects are created by `init` — for scratch
+    /// state that needs construction context (e.g. scorer workspaces
+    /// carrying telemetry handles).
+    pub fn with_init(init: impl Fn() -> T + Send + Sync + 'static) -> Self {
+        Self {
+            items: Mutex::new(Vec::new()),
+            init: Some(Box::new(init)),
+        }
+    }
+
     /// Number of idle objects currently parked in the pool.
     pub fn pooled(&self) -> usize {
         self.items.lock().expect("scratch pool poisoned").len()
@@ -132,6 +163,21 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn with_init_uses_the_factory() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::with_init(|| vec![42]);
+        {
+            let fresh = pool.checkout();
+            assert_eq!(fresh.as_slice(), [42]);
+        }
+        // Returned objects are reused as-is, not re-initialised.
+        let mut again = pool.checkout();
+        assert_eq!(again.as_slice(), [42]);
+        again.push(7);
+        drop(again);
+        assert_eq!(pool.checkout().as_slice(), [42, 7]);
     }
 
     #[test]

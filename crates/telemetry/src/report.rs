@@ -1,0 +1,133 @@
+//! Human-readable pretty-printer for a [`TelemetrySnapshot`].
+
+use std::fmt;
+
+use crate::TelemetrySnapshot;
+
+/// Pretty-prints a snapshot as aligned text sections (one per
+/// instrument kind), for terminal reports. Histogram time values are
+/// left in their recorded unit (the stack records nanoseconds under
+/// `*_ns` names) — the printer scales `*_ns` columns to the most
+/// readable unit per row.
+///
+/// ```
+/// use kiff_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// registry.counter("core.refine.sims").add(12);
+/// let text = registry.snapshot().report().to_string();
+/// assert!(text.contains("core.refine.sims"));
+/// ```
+#[derive(Debug)]
+pub struct TelemetryReport<'a> {
+    snapshot: &'a TelemetrySnapshot,
+}
+
+impl<'a> TelemetryReport<'a> {
+    /// A report over `snapshot` (see [`TelemetrySnapshot::report`]).
+    pub fn new(snapshot: &'a TelemetrySnapshot) -> Self {
+        Self { snapshot }
+    }
+}
+
+/// Scales a nanosecond value to a human unit.
+fn fmt_nanos(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a histogram column: nanosecond instruments get scaled,
+/// plain-valued ones print raw.
+fn fmt_value(name: &str, v: u64) -> String {
+    if name.ends_with("_ns") {
+        fmt_nanos(v)
+    } else {
+        v.to_string()
+    }
+}
+
+impl fmt::Display for TelemetryReport<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot;
+        writeln!(
+            f,
+            "telemetry ({})",
+            if snap.enabled { "enabled" } else { "disabled" }
+        )?;
+        let name_width = snap
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(snap.gauges.iter().map(|g| g.name.len()))
+            .chain(snap.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max(10);
+        if !snap.counters.is_empty() {
+            writeln!(f, "  counters:")?;
+            for c in &snap.counters {
+                writeln!(f, "    {:<name_width$}  {:>12}", c.name, c.value)?;
+            }
+        }
+        if !snap.gauges.is_empty() {
+            writeln!(f, "  gauges:")?;
+            for g in &snap.gauges {
+                writeln!(f, "    {:<name_width$}  {:>12}", g.name, g.value)?;
+            }
+        }
+        if !snap.histograms.is_empty() {
+            writeln!(f, "  histograms:")?;
+            writeln!(
+                f,
+                "    {:<name_width$}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "", "count", "p50", "p95", "p99", "max"
+            )?;
+            for h in &snap.histograms {
+                writeln!(
+                    f,
+                    "    {:<name_width$}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_value(&h.name, h.p50),
+                    fmt_value(&h.name, h.p95),
+                    fmt_value(&h.name, h.p99),
+                    fmt_value(&h.name, h.max),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn report_lists_every_section() {
+        let registry = Registry::new();
+        registry.counter("a.count").add(3);
+        registry.gauge("b.level").set(5);
+        registry.histogram("c.lat_ns").record(2_000_000);
+        let text = registry.snapshot().report().to_string();
+        assert!(text.contains("telemetry (enabled)"), "{text}");
+        assert!(text.contains("counters:"), "{text}");
+        assert!(text.contains("a.count"), "{text}");
+        assert!(text.contains("gauges:"), "{text}");
+        assert!(text.contains("histograms:"), "{text}");
+        assert!(text.contains("ms"), "nanos scaled: {text}");
+    }
+
+    #[test]
+    fn empty_report_is_one_line() {
+        let text = Registry::disabled().snapshot().report().to_string();
+        assert_eq!(text.trim(), "telemetry (disabled)");
+    }
+}

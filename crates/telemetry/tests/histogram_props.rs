@@ -1,0 +1,106 @@
+//! Property tests for the log-bucket histogram: bucket placement,
+//! quantile accuracy (within one bucket of the exact order statistic),
+//! and lossless concurrent recording.
+
+use kiff_telemetry::{bucket_of, bucket_upper_bound, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value lands in the bucket whose range contains it: at most
+    /// the bucket's upper bound, and above the previous bucket's.
+    #[test]
+    fn values_land_in_the_right_bucket(v in any::<u64>()) {
+        let b = bucket_of(v);
+        prop_assert!(b < HISTOGRAM_BUCKETS);
+        prop_assert!(v <= bucket_upper_bound(b), "{v} above bucket {b}");
+        if b > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(b - 1),
+                "{v} also fits bucket {}", b - 1
+            );
+        }
+    }
+
+    /// Recording a batch distributes it across buckets exactly: each
+    /// bucket's count equals the number of values mapping onto it, and
+    /// count/sum/max match the inputs.
+    #[test]
+    fn recorded_batch_is_fully_bucketed(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let buckets = h.bucket_counts();
+        for (i, &count) in buckets.iter().enumerate() {
+            let expected = values.iter().filter(|&&v| bucket_of(v) == i).count() as u64;
+            prop_assert_eq!(count, expected, "bucket {}", i);
+        }
+    }
+
+    /// Quantile estimates are within one bucket of the exact order
+    /// statistic — in fact in the *same* bucket, since the estimate is
+    /// the upper bound of the bucket holding the exact value's rank.
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..10_000_000, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let estimate = h.quantile(q);
+        let diff = bucket_of(estimate) as i64 - bucket_of(exact) as i64;
+        prop_assert!(
+            diff.abs() <= 1,
+            "estimate {} (bucket {}) vs exact {} (bucket {}) at q={}",
+            estimate, bucket_of(estimate), exact, bucket_of(exact), q
+        );
+        prop_assert!(estimate >= exact, "upper-bound estimate below exact");
+    }
+
+    /// Concurrent recording from N threads loses no counts: totals and
+    /// per-bucket counts both equal the union of every thread's batch.
+    #[test]
+    fn concurrent_recording_is_lossless(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..400),
+            2..7,
+        ),
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("h");
+        std::thread::scope(|scope| {
+            for batch in &batches {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for &v in batch {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let all: Vec<u64> = batches.iter().flatten().copied().collect();
+        prop_assert_eq!(h.count(), all.len() as u64);
+        prop_assert_eq!(h.sum(), all.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *all.iter().max().unwrap());
+        let buckets = h.bucket_counts();
+        for (i, &count) in buckets.iter().enumerate() {
+            let expected = all.iter().filter(|&&v| bucket_of(v) == i).count() as u64;
+            prop_assert_eq!(count, expected, "bucket {}", i);
+        }
+    }
+}

@@ -13,6 +13,7 @@ use kiff_online::{
 use kiff_similarity::{
     AdamicAdar, BinaryCosine, Dice, Jaccard, Similarity, WeightedCosine, WeightedJaccard,
 };
+use kiff_telemetry::Registry;
 
 /// Which construction algorithm the builder runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +77,7 @@ pub struct KnnGraphBuilder {
     scoring: ScoringMode,
     partitioner: Option<Arc<dyn Partitioner>>,
     rebalance: Option<RebalanceConfig>,
+    telemetry: Option<Registry>,
 }
 
 impl KnnGraphBuilder {
@@ -95,6 +97,7 @@ impl KnnGraphBuilder {
             scoring: ScoringMode::default(),
             partitioner: None,
             rebalance: None,
+            telemetry: None,
         }
     }
 
@@ -164,6 +167,22 @@ impl KnnGraphBuilder {
     /// paths.
     pub fn rebalance(mut self, config: RebalanceConfig) -> Self {
         self.rebalance = Some(config);
+        self
+    }
+
+    /// Records every phase the builder drives into `registry`: KIFF's
+    /// `core.*` counting/refinement instruments and `similarity.*`
+    /// scorer counters during [`KnnGraphBuilder::build`], plus the
+    /// `online.*` and per-shard `shard.N.*` instruments when the result
+    /// is handed to [`KnnGraphBuilder::into_online`] /
+    /// [`KnnGraphBuilder::into_sharded`] — one unified snapshot across
+    /// layers. By default each layer keeps its own private (enabled)
+    /// registry; pass [`kiff_telemetry::Registry::disabled`] to reduce
+    /// every instrument operation to a single relaxed load. The greedy
+    /// baselines only record `similarity.*` through their shared scorer
+    /// workspaces.
+    pub fn telemetry(mut self, registry: Registry) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -260,7 +279,11 @@ impl KnnGraphBuilder {
             ),
         };
         let graph = self.build(dataset);
-        (graph, OnlineConfig::new(self.k).with_metric(metric))
+        let mut config = OnlineConfig::new(self.k).with_metric(metric);
+        if let Some(t) = &self.telemetry {
+            config = config.with_telemetry(t.clone());
+        }
+        (graph, config)
     }
 
     fn dispatch<S: Similarity>(&self, dataset: &Dataset, sim: &S) -> KnnGraph {
@@ -270,6 +293,9 @@ impl KnnGraphBuilder {
                     .with_count_strategy(self.count_strategy)
                     .with_scoring(self.scoring);
                 config.threads = self.threads;
+                if let Some(t) = &self.telemetry {
+                    config = config.with_telemetry(t.clone());
+                }
                 if let Some(g) = self.gamma {
                     config = config.with_gamma(g);
                 }
@@ -452,6 +478,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn telemetry_spans_batch_and_online_layers() {
+        use kiff_online::Update;
+        let ds = figure2_toy();
+        let registry = Registry::new();
+        let mut live = KnnGraphBuilder::new(2)
+            .threads(1)
+            .telemetry(registry.clone())
+            .into_sharded(&ds, 2);
+        live.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        let snap = registry.snapshot();
+        // One registry, every layer: batch construction, online repair,
+        // per-shard accounting, prepared scoring.
+        assert!(snap.counter("core.refine.sims").unwrap_or(0) > 0);
+        assert_eq!(snap.histogram("core.phase.total_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("online.apply_ns").unwrap().count, 1);
+        assert!(snap.counter_sum_matching("shard.", ".repairs") > 0);
+        assert!(snap.counter("similarity.scores").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! | [`kiff_apps`] | recommendation, classification, similarity search |
 //! | [`kiff_online`] | incremental maintenance under streaming updates |
 //! | [`kiff_eval`] | timers, scan rate, CCDF, Spearman, tables |
+//! | [`kiff_telemetry`] | counters, gauges, latency histograms, exporters |
 //! | [`kiff_collections`] / [`kiff_parallel`] | substrate |
 
 pub use kiff_apps as apps;
@@ -66,6 +67,7 @@ pub use kiff_graph as graph;
 pub use kiff_online as online;
 pub use kiff_parallel as parallel;
 pub use kiff_similarity as similarity;
+pub use kiff_telemetry as telemetry;
 
 pub mod builder;
 
@@ -88,4 +90,5 @@ pub mod prelude {
         AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
         WeightedJaccard,
     };
+    pub use kiff_telemetry::{MetricsFormat, Registry, TelemetrySnapshot};
 }

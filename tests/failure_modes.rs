@@ -384,3 +384,93 @@ fn rating_threshold_end_to_end() {
     let r = recall(&exact, &pruned.graph);
     assert!(r > 0.7, "threshold recall collapsed: {r}");
 }
+
+mod telemetry {
+    //! Telemetry accounting under mid-batch migration. Requested
+    //! migrations execute *between the repair rounds* of the next
+    //! `apply_batch`, so a user can be dirtied, repaired on its old
+    //! shard, moved, and repaired again on its new shard — all inside
+    //! one batch. The per-shard `shard.N.repairs` counters are flushed
+    //! from plain per-batch tallies at batch end, and a migration must
+    //! neither carry the old shard's tally along (double count once both
+    //! shards flush) nor drop the queued repair the user had in flight
+    //! when it moved.
+
+    use std::sync::Arc;
+
+    use kiff::dataset::generators::bipartite::{generate_bipartite, BipartiteConfig};
+    use kiff::online::{ModuloPartitioner, OnlineConfig, ShardConfig, ShardedOnlineKnn, Update};
+    use kiff::telemetry::Registry;
+
+    #[test]
+    fn mid_batch_migration_neither_drops_nor_double_counts_repairs() {
+        let base = generate_bipartite(&BipartiteConfig::tiny("failure-modes", 41));
+        let registry = Registry::new();
+        let shards = 3;
+        let mut engine = ShardedOnlineKnn::new(
+            &base,
+            OnlineConfig::new(5).with_telemetry(registry.clone()),
+            ShardConfig::new(shards)
+                .with_threads(2)
+                .with_partitioner(Arc::new(ModuloPartitioner)),
+        );
+        let users = engine.num_users() as u32;
+        let items = engine.data().num_items() as u32;
+
+        let mut total_repaired = 0u64;
+        let mut total_sims = 0u64;
+        let mut total_migrations = 0u64;
+        for round in 0..12u32 {
+            // The mover is also the first user dirtied by the batch, so
+            // its repair is in flight when the migration executes between
+            // repair rounds. Rotate movers so every shard both donates
+            // and receives.
+            let mover = round % users;
+            let target = (engine.shard_of(mover) + 1) % shards;
+            engine.request_migration(mover, target);
+            let batch: Vec<Update> = (0..16)
+                .map(|i| Update::AddRating {
+                    user: (mover + i) % users,
+                    item: (round * 7 + i) % items,
+                    rating: 1.0 + (i % 5) as f32,
+                })
+                .collect();
+            let stats = engine.apply_batch(batch);
+            assert_eq!(stats.migrations, 1, "round {round}: requested move ran");
+            assert_eq!(
+                engine.shard_of(mover),
+                target,
+                "round {round}: mover landed"
+            );
+            total_repaired += stats.repaired_users;
+            total_sims += stats.sim_evals;
+            total_migrations += stats.migrations;
+
+            // Whichever shard performed each repair owns it in the
+            // registry: the per-shard sums must reconcile exactly with
+            // the engine's own batch accounting — a dropped in-flight
+            // repair leaves the sum short, a tally carried along with the
+            // migrating user overshoots.
+            let snap = registry.snapshot();
+            assert_eq!(
+                snap.counter_sum_matching("shard.", ".repairs"),
+                total_repaired,
+                "round {round}: per-shard repair sum diverged"
+            );
+            assert_eq!(
+                snap.counter("online.sims"),
+                Some(total_sims),
+                "round {round}: similarity count diverged"
+            );
+            assert_eq!(snap.counter("online.migrations"), Some(total_migrations));
+            assert_eq!(
+                snap.counter_sum_matching("shard.", ".cross_messages"),
+                engine.cross_shard_messages(),
+                "round {round}: cross-traffic counters diverged"
+            );
+        }
+        assert!(total_repaired > 0, "batches must have repaired someone");
+        assert_eq!(engine.migrations_total(), total_migrations);
+        engine.validate_invariants();
+    }
+}
