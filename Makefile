@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,7 +32,7 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting baselines rebalance telemetry --scale 0.1 \
+		online sharded counting baselines rebalance telemetry serve --scale 0.1 \
 		--threads 4 --seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
 # Counting/scoring hot-loop throughput only (BENCH_counting.json):
@@ -63,6 +63,13 @@ bench-rebalance:
 bench-telemetry:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		telemetry --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
+# Serving layer only (BENCH_serve.json): TCP query throughput under
+# concurrent update load against a durable daemon, and crash recovery
+# (snapshot + WAL tail) timed against a full rebuild (gated >= 5x).
+bench-serve:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		serve --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

@@ -97,7 +97,11 @@ pub fn mean_reciprocal_rank(
     if held_out.is_empty() {
         return 0.0;
     }
-    let recommender = Recommender::new(dataset, graph);
+    let recommender = Recommender::new(
+        std::sync::Arc::new(dataset.clone()),
+        std::sync::Arc::new(graph.clone()),
+    )
+    .expect("graph and dataset disagree on the user count");
     let total: f64 = held_out
         .iter()
         .map(|&(u, hidden)| {

@@ -16,7 +16,10 @@
 //! protocol, so graph quality (recall) can be traced through to
 //! application quality.
 
+use std::sync::Arc;
+
 use kiff_collections::FxHashMap;
+use kiff_core::KiffError;
 use kiff_dataset::{Dataset, ItemId, UserId};
 use kiff_graph::KnnGraph;
 
@@ -33,35 +36,100 @@ pub struct Recommendation {
 /// A user-based collaborative-filtering recommender over `(dataset,
 /// graph)`.
 ///
+/// Owns `Arc` snapshots of both sides, so one can be built per request
+/// from a live engine's [`graph()`](kiff_graph::KnnGraph) snapshot
+/// without lifetime gymnastics — the shape the `kiff-serve` daemon
+/// needs. Cloning is cheap (two `Arc` bumps).
+///
 /// ```
+/// use std::sync::Arc;
 /// use kiff_apps::Recommender;
 /// use kiff_core::kiff_knn;
 /// use kiff_dataset::dataset::figure2_toy;
 ///
-/// let ds = figure2_toy();
-/// let graph = kiff_knn(&ds, 1);
-/// let rec = Recommender::new(&ds, &graph);
+/// let ds = Arc::new(figure2_toy());
+/// let graph = Arc::new(kiff_knn(&ds, 1));
+/// let rec = Recommender::new(ds, graph).unwrap();
 /// // Alice's neighbour Bob likes cheese (item 2), which Alice lacks.
 /// assert_eq!(rec.recommend(0, 5)[0].item, 2);
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct Recommender<'a> {
-    dataset: &'a Dataset,
-    graph: &'a KnnGraph,
+#[derive(Debug, Clone)]
+pub struct Recommender {
+    dataset: Arc<Dataset>,
+    graph: Arc<KnnGraph>,
 }
 
-impl<'a> Recommender<'a> {
-    /// Wraps a dataset and a KNN graph built over its users.
+impl Recommender {
+    /// Wraps a dataset and a KNN graph built over its users, or
+    /// [`KiffError::Mismatch`] when they disagree on the user count.
+    pub fn new(dataset: Arc<Dataset>, graph: Arc<KnnGraph>) -> Result<Self, KiffError> {
+        if dataset.num_users() != graph.num_users() {
+            return Err(KiffError::Mismatch {
+                detail: format!(
+                    "graph has {} users, dataset has {}",
+                    graph.num_users(),
+                    dataset.num_users()
+                ),
+            });
+        }
+        Ok(Self { dataset, graph })
+    }
+
+    /// Pre-PR-7 borrowing constructor, kept as a migration shim: clones
+    /// both sides into fresh `Arc`s (an `O(|E|)` copy per call).
     ///
     /// # Panics
     /// If the graph was built over a different number of users.
-    pub fn new(dataset: &'a Dataset, graph: &'a KnnGraph) -> Self {
-        assert_eq!(
-            dataset.num_users(),
-            graph.num_users(),
-            "graph and dataset disagree on |U|"
-        );
-        Self { dataset, graph }
+    #[doc(hidden)]
+    #[deprecated(note = "build over Arc snapshots via Recommender::new")]
+    pub fn from_refs(dataset: &Dataset, graph: &KnnGraph) -> Self {
+        Self::new(Arc::new(dataset.clone()), Arc::new(graph.clone()))
+            .expect("graph and dataset disagree on |U|")
+    }
+
+    /// Bounds-checked [`Recommender::recommend`]: errors on an unknown
+    /// user instead of panicking — the daemon's request path.
+    pub fn try_recommend(&self, u: UserId, n: usize) -> Result<Vec<Recommendation>, KiffError> {
+        self.check_user(u)?;
+        Ok(self.recommend(u, n))
+    }
+
+    /// Bounds-checked [`Recommender::predict_rating`]: errors on an
+    /// unknown user or item; `Ok(None)` still means "no neighbour with
+    /// positive similarity rated the item".
+    pub fn try_predict(&self, u: UserId, i: ItemId) -> Result<Option<f64>, KiffError> {
+        self.check_user(u)?;
+        self.check_item(i)?;
+        Ok(self.predict_rating(u, i))
+    }
+
+    /// Bounds-checked [`Recommender::audience`]: errors on an unknown
+    /// item instead of silently returning an empty ranking.
+    pub fn try_audience(&self, i: ItemId, n: usize) -> Result<Vec<(UserId, f64)>, KiffError> {
+        self.check_item(i)?;
+        Ok(self.audience(i, n))
+    }
+
+    fn check_user(&self, u: UserId) -> Result<(), KiffError> {
+        if (u as usize) < self.dataset.num_users() {
+            Ok(())
+        } else {
+            Err(KiffError::UnknownUser {
+                user: u,
+                num_users: self.dataset.num_users(),
+            })
+        }
+    }
+
+    fn check_item(&self, i: ItemId) -> Result<(), KiffError> {
+        if (i as usize) < self.dataset.num_items() {
+            Ok(())
+        } else {
+            Err(KiffError::UnknownItem {
+                item: i,
+                num_items: self.dataset.num_items(),
+            })
+        }
     }
 
     /// Top-`n` items for `u`: items rated by `u`'s neighbours but not by
@@ -182,7 +250,10 @@ pub fn hit_rate(
     if held_out.is_empty() {
         return 0.0;
     }
-    let rec = Recommender::new(dataset, graph);
+    // One-shot evaluation: the clone into owning `Arc`s is paid once for
+    // the whole held-out sweep.
+    let rec = Recommender::new(Arc::new(dataset.clone()), Arc::new(graph.clone()))
+        .expect("graph and dataset disagree on |U|");
     let hits = held_out
         .iter()
         .filter(|&&(u, i)| rec.recommend(u, n).iter().any(|r| r.item == i))
@@ -195,6 +266,10 @@ mod tests {
     use super::*;
     use kiff_dataset::DatasetBuilder;
     use kiff_graph::{KnnGraph, Neighbor};
+
+    fn rec_over(ds: &Dataset, graph: &KnnGraph) -> Recommender {
+        Recommender::new(Arc::new(ds.clone()), Arc::new(graph.clone())).unwrap()
+    }
 
     /// Three users: 0 and 1 near-identical, 2 disjoint. Item 3 is rated
     /// only by user 1.
@@ -221,7 +296,7 @@ mod tests {
     #[test]
     fn recommends_unseen_neighbour_items() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         let top = rec.recommend(0, 3);
         assert_eq!(top.len(), 1, "only item 3 is new to user 0");
         assert_eq!(top[0].item, 3);
@@ -231,7 +306,7 @@ mod tests {
     #[test]
     fn never_recommends_rated_items() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         for u in 0..3 {
             let own = ds.user_profile(u);
             for r in rec.recommend(u, 10) {
@@ -243,7 +318,7 @@ mod tests {
     #[test]
     fn predicts_weighted_mean() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         // User 0's only neighbour (sim 0.9) rated item 3 with 5.0.
         assert!((rec.predict_rating(0, 3).unwrap() - 5.0).abs() < 1e-12);
         // Nobody in user 2's (empty) neighbourhood rated anything.
@@ -255,7 +330,7 @@ mod tests {
     #[test]
     fn audience_is_reverse_of_recommend() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         // Item 3 is rated only by user 1; user 0 (1's neighbour) is its
         // audience. Users 1 (already rated) and 2 (no neighbours) are not.
         let audience = rec.audience(3, 5);
@@ -270,14 +345,14 @@ mod tests {
     #[test]
     fn audience_of_unrated_item_is_empty() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         assert!(rec.audience(2, 5).is_empty(), "item 2 has no raters");
     }
 
     #[test]
     fn isolated_user_gets_nothing() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         assert!(rec.recommend(2, 5).is_empty());
     }
 
@@ -293,7 +368,7 @@ mod tests {
     #[test]
     fn coverage_counts_distinct_items() {
         let (ds, graph) = small();
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         // Items 0, 1, 3 are recommendable (between users 0 and 1); 5 items
         // total. Item 3 → user 0; items 0,1 are rated by both, nothing for
         // user 1 except… user 1 already has 0,1,3; user 0 lacks 3.
@@ -302,11 +377,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "disagree")]
     fn rejects_mismatched_graph() {
         let (ds, _) = small();
         let graph = KnnGraph::from_neighbors(1, vec![vec![]]);
-        let _ = Recommender::new(&ds, &graph);
+        let err = Recommender::new(Arc::new(ds), Arc::new(graph)).unwrap_err();
+        assert!(matches!(err, KiffError::Mismatch { .. }));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn try_variants_type_their_errors() {
+        let (ds, graph) = small();
+        let rec = rec_over(&ds, &graph);
+        assert!(matches!(
+            rec.try_recommend(99, 3).unwrap_err(),
+            KiffError::UnknownUser { user: 99, .. }
+        ));
+        assert!(matches!(
+            rec.try_predict(0, 99).unwrap_err(),
+            KiffError::UnknownItem { item: 99, .. }
+        ));
+        assert!(matches!(
+            rec.try_audience(99, 3).unwrap_err(),
+            KiffError::UnknownItem { item: 99, .. }
+        ));
+        // In-range calls defer to the plain methods.
+        assert_eq!(rec.try_recommend(0, 3).unwrap(), rec.recommend(0, 3));
+        assert_eq!(rec.try_predict(0, 3).unwrap(), rec.predict_rating(0, 3));
     }
 
     #[test]
@@ -324,7 +421,7 @@ mod tests {
         let (ds, labels) = generate_planted(&cfg);
         let sim = WeightedCosine::fit(&ds);
         let graph = Kiff::new(KiffConfig::new(8)).run(&ds, &sim).graph;
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         let block = cfg.num_items / cfg.communities;
         let mut home = 0usize;
         let mut total = 0usize;

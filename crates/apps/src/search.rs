@@ -11,8 +11,10 @@
 //! improve the current result set.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use kiff_collections::{FxHashMap, FxHashSet};
+use kiff_core::KiffError;
 use kiff_dataset::{Dataset, ItemId, ProfileRef, Rating, UserId};
 use kiff_graph::KnnGraph;
 use kiff_similarity::functions;
@@ -129,44 +131,83 @@ impl PartialOrd for Frontier {
 
 /// A greedy best-first searcher over `(dataset, graph)`.
 ///
+/// Owns `Arc` snapshots of both sides, so one can be built per request
+/// from a live engine's graph snapshot without lifetime gymnastics —
+/// the shape the `kiff-serve` daemon needs. Cloning is cheap (two
+/// `Arc` bumps).
+///
 /// ```
+/// use std::sync::Arc;
 /// use kiff_apps::{GraphSearcher, ProfileMetric, QueryProfile};
 /// use kiff_core::kiff_knn;
 /// use kiff_dataset::dataset::figure2_toy;
 ///
-/// let ds = figure2_toy();
-/// let graph = kiff_knn(&ds, 1);
-/// let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+/// let ds = Arc::new(figure2_toy());
+/// let graph = Arc::new(kiff_knn(&ds, 1));
+/// let searcher = GraphSearcher::new(ds, graph, ProfileMetric::Cosine).unwrap();
 /// // A visitor who likes coffee (item 1) matches Alice and Bob.
 /// let hits = searcher.search(&QueryProfile::from_items([1]), 2, 10);
 /// assert_eq!(hits.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct GraphSearcher<'a> {
-    dataset: &'a Dataset,
-    graph: &'a KnnGraph,
+#[derive(Debug, Clone)]
+pub struct GraphSearcher {
+    dataset: Arc<Dataset>,
+    graph: Arc<KnnGraph>,
     metric: ProfileMetric,
     /// Maximum seed users drawn from the query's item profiles.
     max_seeds: usize,
 }
 
-impl<'a> GraphSearcher<'a> {
-    /// Wraps a dataset and a KNN graph built over its users.
-    ///
-    /// # Panics
-    /// If the graph was built over a different number of users.
-    pub fn new(dataset: &'a Dataset, graph: &'a KnnGraph, metric: ProfileMetric) -> Self {
-        assert_eq!(
-            dataset.num_users(),
-            graph.num_users(),
-            "graph and dataset disagree on |U|"
-        );
-        Self {
+impl GraphSearcher {
+    /// Wraps a dataset and a KNN graph built over its users, or
+    /// [`KiffError::Mismatch`] when they disagree on the user count.
+    pub fn new(
+        dataset: Arc<Dataset>,
+        graph: Arc<KnnGraph>,
+        metric: ProfileMetric,
+    ) -> Result<Self, KiffError> {
+        if dataset.num_users() != graph.num_users() {
+            return Err(KiffError::Mismatch {
+                detail: format!(
+                    "graph has {} users, dataset has {}",
+                    graph.num_users(),
+                    dataset.num_users()
+                ),
+            });
+        }
+        Ok(Self {
             dataset,
             graph,
             metric,
             max_seeds: 8,
+        })
+    }
+
+    /// Pre-PR-7 borrowing constructor, kept as a migration shim: clones
+    /// both sides into fresh `Arc`s (an `O(|E|)` copy per call).
+    ///
+    /// # Panics
+    /// If the graph was built over a different number of users.
+    #[doc(hidden)]
+    #[deprecated(note = "build over Arc snapshots via GraphSearcher::new")]
+    pub fn from_refs(dataset: &Dataset, graph: &KnnGraph, metric: ProfileMetric) -> Self {
+        Self::new(Arc::new(dataset.clone()), Arc::new(graph.clone()), metric)
+            .expect("graph and dataset disagree on |U|")
+    }
+
+    /// [`GraphSearcher::search`] with the empty-query case reported as
+    /// [`KiffError::EmptyQuery`] instead of a silently empty result —
+    /// the daemon's request path.
+    pub fn try_search(
+        &self,
+        query: &QueryProfile,
+        k: usize,
+        ef: usize,
+    ) -> Result<Vec<SearchResult>, KiffError> {
+        if query.is_empty() {
+            return Err(KiffError::EmptyQuery);
         }
+        Ok(self.search(query, k, ef))
     }
 
     /// Overrides the seed budget (default 8).
@@ -332,10 +373,38 @@ mod tests {
         (ds, graph)
     }
 
+    fn searcher_over(ds: &Dataset, graph: &KnnGraph, metric: ProfileMetric) -> GraphSearcher {
+        GraphSearcher::new(Arc::new(ds.clone()), Arc::new(graph.clone()), metric).unwrap()
+    }
+
+    #[test]
+    fn mismatched_graph_is_an_error() {
+        let (ds, _) = searchable(29);
+        let graph = KnnGraph::from_neighbors(1, vec![vec![]]);
+        let err =
+            GraphSearcher::new(Arc::new(ds), Arc::new(graph), ProfileMetric::Cosine).unwrap_err();
+        assert!(matches!(err, KiffError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn empty_query_is_a_typed_error() {
+        let (ds, graph) = searchable(53);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
+        let err = searcher
+            .try_search(&QueryProfile::new(std::iter::empty()), 5, 20)
+            .unwrap_err();
+        assert!(matches!(err, KiffError::EmptyQuery));
+        // Non-empty queries pass through to the plain search path.
+        let hits = searcher
+            .try_search(&QueryProfile::new(ds.user_profile(0).iter()), 3, 30)
+            .unwrap();
+        assert!(!hits.is_empty());
+    }
+
     #[test]
     fn finds_own_profile() {
         let (ds, graph) = searchable(31);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         // Query = user 5's exact profile; top hit must have similarity 1.
         let p = ds.user_profile(5);
         let query = QueryProfile::new(p.iter());
@@ -351,7 +420,7 @@ mod tests {
     #[test]
     fn walk_matches_brute_force_closely() {
         let (ds, graph) = searchable(37);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         let mut agree = 0usize;
         let mut total = 0usize;
         for u in (0..ds.num_users() as u32).step_by(29) {
@@ -373,7 +442,7 @@ mod tests {
     #[test]
     fn results_sorted_and_positive() {
         let (ds, graph) = searchable(41);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Jaccard);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Jaccard);
         let query = QueryProfile::new(ds.user_profile(0).iter());
         let hits = searcher.search(&query, 10, 40);
         for w in hits.windows(2) {
@@ -385,7 +454,7 @@ mod tests {
     #[test]
     fn empty_query_returns_nothing() {
         let (ds, graph) = searchable(43);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         let query = QueryProfile::new(std::iter::empty());
         assert!(searcher.search(&query, 5, 20).is_empty());
     }
@@ -399,7 +468,7 @@ mod tests {
         b.add_rating(3, 1, 1.0);
         let ds = b.build();
         let graph = kiff_graph::exact_knn(&ds, &WeightedCosine::new(), 2, None);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         // Item 9 is rated by nobody: seeds fall back, zero-sim hits are
         // filtered out.
         let query = QueryProfile::from_items([9]);
@@ -418,7 +487,7 @@ mod tests {
     #[test]
     fn larger_beam_never_hurts() {
         let (ds, graph) = searchable(47);
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         let query = QueryProfile::new(ds.user_profile(7).iter());
         let narrow = searcher.search(&query, 5, 5);
         let wide = searcher.search(&query, 5, 100);

@@ -14,6 +14,7 @@ pub mod extensions;
 pub mod online;
 pub mod rebalance;
 pub mod sensitivity;
+pub mod serve;
 pub mod sharded;
 pub mod telemetry;
 
@@ -232,7 +233,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 27] = [
+pub const ALL: [&str; 28] = [
     "table1",
     "fig4",
     "fig1",
@@ -260,6 +261,7 @@ pub const ALL: [&str; 27] = [
     "baselines",
     "rebalance",
     "telemetry",
+    "serve",
 ];
 
 /// Runs one experiment by id.
@@ -292,6 +294,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "baselines" => Ok(baseline_scoring::baselines(ctx)),
         "rebalance" => Ok(rebalance::rebalance(ctx)),
         "telemetry" => Ok(telemetry::telemetry(ctx)),
+        "serve" => Ok(serve::serve(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -187,6 +187,34 @@ pub struct UpdateOptions {
     pub metrics_format: MetricsFormat,
 }
 
+/// Options of `kiff serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Base dataset to load and build the initial graph from (the
+    /// recovery *seed* — keep it stable across restarts of the same
+    /// data directory).
+    pub input: InputOptions,
+    /// Neighbourhood size.
+    pub k: usize,
+    /// Similarity metric of the initial build.
+    pub metric: Metric,
+    /// Address to listen on (`host:port`; port 0 = ephemeral).
+    pub addr: String,
+    /// Directory for the WAL and snapshots. Absent = volatile daemon
+    /// (queries and updates work, nothing survives a restart).
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot after this many persisted updates (0 = only on
+    /// explicit `snapshot` requests and graceful shutdown).
+    pub snapshot_every: Option<u64>,
+    /// Shard the engine across this many user partitions.
+    pub shards: usize,
+    /// Worker threads for the initial build and the sharded engine.
+    pub threads: Option<usize>,
+    /// When set, write the bound address (`host:port`) to this file
+    /// once the listener is up — for scripts that pass port 0.
+    pub addr_file: Option<PathBuf>,
+}
+
 /// `--partitioner` values of `kiff update`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionerChoice {
@@ -219,6 +247,8 @@ pub enum Command {
     Search(SearchOptions),
     /// Replay streamed rating updates through the online engine.
     Update(UpdateOptions),
+    /// Run the query daemon.
+    Serve(ServeOptions),
     /// Print usage.
     Help,
 }
@@ -271,6 +301,12 @@ commands:
              [--repair-width N] [--shards N] [--threads N]
              [--partitioner hash|modulo|community] [--rebalance RATIO]
              [--metrics-out FILE [--metrics-format json|prom]]
+  serve      build a graph, then answer queries and accept updates over
+             a TCP socket; with --data-dir, persist updates to a WAL and
+             periodic snapshots and recover from them on restart
+             --input SEED [--k N] [--metric ...] [--addr HOST:PORT]
+             [--data-dir DIR] [--snapshot-every N] [--shards N]
+             [--threads N] [--addr-file FILE]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -422,6 +458,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut brute = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut metrics_format: Option<MetricsFormat> = None;
+    let mut addr: Option<String> = None;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut snapshot_every: Option<u64> = None;
+    let mut addr_file: Option<PathBuf> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -463,6 +503,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 algorithms = Some(parse_algorithms(&value("--algorithms", &mut iter)?)?)
             }
             "--brute" => brute = true,
+            "--addr" => addr = Some(value("--addr", &mut iter)?),
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir", &mut iter)?)),
+            "--snapshot-every" => {
+                snapshot_every = Some(parse_num(
+                    "--snapshot-every",
+                    &value("--snapshot-every", &mut iter)?,
+                )?)
+            }
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file", &mut iter)?)),
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(value("--metrics-out", &mut iter)?))
             }
@@ -607,6 +656,27 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 threads,
                 metrics_out,
                 metrics_format: metrics_format.unwrap_or_default(),
+            }))
+        }
+        "serve" => {
+            no_metrics("serve", &metrics_out)?;
+            let shards = shards.unwrap_or(1);
+            if shards == 0 {
+                return Err(ParseError("--shards must be positive".into()));
+            }
+            if data_dir.is_none() && snapshot_every.is_some() {
+                return Err(ParseError("--snapshot-every requires --data-dir".into()));
+            }
+            Ok(Command::Serve(ServeOptions {
+                input: need_input(input)?,
+                k: k.unwrap_or(20),
+                metric,
+                addr: addr.unwrap_or_else(|| "127.0.0.1:7407".into()),
+                data_dir,
+                snapshot_every,
+                shards,
+                threads,
+                addr_file,
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -901,6 +971,53 @@ mod tests {
                 "{sub}"
             );
         }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(&argv(
+            "serve --input base.tsv --k 10 --metric jaccard --addr 0.0.0.0:9000 \
+             --data-dir /tmp/kiff --snapshot-every 500 --shards 2 --threads 4 \
+             --addr-file /tmp/addr.txt",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.input.input, PathBuf::from("base.tsv"));
+                assert_eq!(s.k, 10);
+                assert_eq!(s.metric, Metric::Jaccard);
+                assert_eq!(s.addr, "0.0.0.0:9000");
+                assert_eq!(s.data_dir, Some(PathBuf::from("/tmp/kiff")));
+                assert_eq!(s.snapshot_every, Some(500));
+                assert_eq!(s.shards, 2);
+                assert_eq!(s.threads, Some(4));
+                assert_eq!(s.addr_file, Some(PathBuf::from("/tmp/addr.txt")));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_defaults_and_validation() {
+        match parse(&argv("serve --input base.tsv")).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.k, 20, "default k");
+                assert_eq!(s.addr, "127.0.0.1:7407", "default address");
+                assert_eq!(s.data_dir, None, "volatile by default");
+                assert_eq!(s.shards, 1);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        assert!(parse(&argv("serve")).is_err(), "needs --input");
+        assert!(parse(&argv("serve --input b.tsv --shards 0")).is_err());
+        assert!(
+            parse(&argv("serve --input b.tsv --snapshot-every 10")).is_err(),
+            "snapshot cadence without a data dir rejected, not ignored"
+        );
+        assert!(
+            parse(&argv("serve --input b.tsv --metrics-out m.json")).is_err(),
+            "metrics travel over the wire, not to a file"
+        );
     }
 
     #[test]

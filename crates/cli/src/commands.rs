@@ -4,11 +4,14 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
+
+use kiff::core::KiffError;
 
 use kiff::online::{
     CommunityPartitioner, ModuloPartitioner, OnlineConfig, OnlineKnn, RebalanceConfig, ShardConfig,
-    ShardedOnlineKnn, Update, UpdateStats,
+    ShardedOnlineKnn, Update,
 };
 use kiff::prelude::*;
 use kiff::{Algorithm, Metric};
@@ -20,17 +23,34 @@ use kiff_graph::{exact_knn_brute_with, exact_knn_with, write_edges_tsv};
 
 use crate::args::{
     BuildOptions, Command, CompareOptions, ExactOptions, Format, GenerateOptions, InputOptions,
-    PartitionerChoice, RecommendOptions, SearchOptions, UpdateOptions,
+    PartitionerChoice, RecommendOptions, SearchOptions, ServeOptions, UpdateOptions,
 };
 use crate::report::UpdateReport;
 
-/// A command-execution failure with a user-facing message.
+/// A command-execution failure with a user-facing message and the
+/// process exit code the binary should terminate with.
+///
+/// Usage and argument errors keep the traditional code `1`; failures
+/// that originate as a typed [`KiffError`] carry its
+/// [`exit_code`](KiffError::exit_code) so scripts can branch on the
+/// failure class (2 = unknown id, 3 = empty profile/query, 4 = i/o,
+/// 5 = corrupt/mismatch, 6 = protocol, 7 = remote).
 #[derive(Debug)]
-pub struct CommandError(String);
+pub struct CommandError {
+    message: String,
+    code: u8,
+}
+
+impl CommandError {
+    /// The process exit code for this failure.
+    pub fn exit_code(&self) -> u8 {
+        self.code
+    }
+}
 
 impl fmt::Display for CommandError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -38,12 +58,27 @@ impl std::error::Error for CommandError {}
 
 impl From<io::Error> for CommandError {
     fn from(e: io::Error) -> Self {
-        CommandError(format!("i/o error: {e}"))
+        CommandError {
+            message: format!("i/o error: {e}"),
+            code: KiffError::from(e).exit_code(),
+        }
+    }
+}
+
+impl From<KiffError> for CommandError {
+    fn from(e: KiffError) -> Self {
+        CommandError {
+            code: e.exit_code(),
+            message: e.to_string(),
+        }
     }
 }
 
 fn err(message: impl Into<String>) -> CommandError {
-    CommandError(message.into())
+    CommandError {
+        message: message.into(),
+        code: 1,
+    }
 }
 
 /// Writes a rendered telemetry snapshot to its own file (`--metrics-out`),
@@ -104,6 +139,7 @@ pub fn execute(command: &Command, out: &mut dyn Write) -> Result<(), CommandErro
         Command::Recommend(options) => recommend(options, out),
         Command::Search(options) => search(options, out),
         Command::Update(options) => update(options, out),
+        Command::Serve(options) => serve(options, out),
     }
 }
 
@@ -131,49 +167,6 @@ fn load_dataset_with_ids(
             "kiff update needs external ids to join the stream against; \
              use the tsv or movielens format for --input",
         )),
-    }
-}
-
-/// The two replayable engines behind `kiff update`, behind one face.
-enum LiveEngine {
-    Single(Box<OnlineKnn>),
-    Sharded(Box<ShardedOnlineKnn>),
-}
-
-impl LiveEngine {
-    fn apply(&mut self, update: Update) -> UpdateStats {
-        match self {
-            LiveEngine::Single(e) => e.apply(update),
-            LiveEngine::Sharded(e) => e.apply(update),
-        }
-    }
-
-    fn apply_batch(&mut self, updates: impl IntoIterator<Item = Update>) -> UpdateStats {
-        match self {
-            LiveEngine::Single(e) => e.apply_batch(updates),
-            LiveEngine::Sharded(e) => e.apply_batch(updates),
-        }
-    }
-
-    fn lifetime_stats(&self) -> &UpdateStats {
-        match self {
-            LiveEngine::Single(e) => e.lifetime_stats(),
-            LiveEngine::Sharded(e) => e.lifetime_stats(),
-        }
-    }
-
-    fn data(&self) -> &kiff::dataset::DeltaDataset {
-        match self {
-            LiveEngine::Single(e) => e.data(),
-            LiveEngine::Sharded(e) => e.data(),
-        }
-    }
-
-    fn graph(&self) -> std::sync::Arc<kiff::graph::KnnGraph> {
-        match self {
-            LiveEngine::Single(e) => e.graph(),
-            LiveEngine::Sharded(e) => e.graph(),
-        }
     }
 }
 
@@ -235,8 +228,12 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
     if let Some(width) = options.repair_width {
         config = config.with_repair_width(width);
     }
+    // Both engines ride behind `&mut dyn KnnEngine`; the concrete
+    // sharded handle stays reachable for its shard-only statistics.
+    let mut single: Option<OnlineKnn> = None;
+    let mut sharded: Option<ShardedOnlineKnn> = None;
     let build_start = Instant::now();
-    let mut engine = if options.shards > 1 {
+    let engine: &mut dyn KnnEngine = if options.shards > 1 {
         let mut shard_config = ShardConfig::new(options.shards);
         shard_config.threads = options.threads;
         shard_config = match options.partitioner {
@@ -251,16 +248,16 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         if let Some(ratio) = options.rebalance {
             shard_config = shard_config.with_rebalance(RebalanceConfig::new(ratio));
         }
-        let sharded = ShardedOnlineKnn::new(&base, config, shard_config);
+        let s = ShardedOnlineKnn::new(&base, config, shard_config);
         report.shards(
-            sharded.num_shards(),
+            s.num_shards(),
             options.partitioner,
-            &sharded.shard_sizes(),
+            &s.shard_sizes(),
             options.rebalance,
         );
-        LiveEngine::Sharded(Box::new(sharded))
+        sharded.insert(s)
     } else {
-        LiveEngine::Single(Box::new(OnlineKnn::new(&base, config)))
+        single.insert(OnlineKnn::new(&base, config))
     };
     report.initial_build(build_start.elapsed());
 
@@ -271,13 +268,17 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         }
     } else {
         for chunk in stream.chunks(options.batch) {
-            engine.apply_batch(chunk.iter().copied());
+            engine.apply_batch(chunk.to_vec());
         }
     }
     let replay_time = replay_start.elapsed();
-    let life = *engine.lifetime_stats();
+    let life = *engine.stats();
     report.replay(&life, replay_time, options.batch);
-    if let LiveEngine::Sharded(sharded) = &engine {
+    // Materialise the engine reads now so the `dyn` borrow of the
+    // concrete engines ends before the shard-only reporting below.
+    let final_dataset = engine.data().to_dataset();
+    let live_graph = engine.graph();
+    if let Some(sharded) = &sharded {
         report.cross_shard(
             sharded.cross_shard_messages(),
             sharded.migrations_total(),
@@ -295,14 +296,13 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
     }
 
     // Compare against rebuilding from scratch on the final dataset.
-    let final_dataset = engine.data().to_dataset();
     let mut kiff_config = kiff::core::KiffConfig::new(options.k);
     kiff_config.threads = options.threads;
     let rebuild_start = Instant::now();
     let sim = kiff::similarity::WeightedCosine::fit(&final_dataset);
     let rebuild = kiff::core::Kiff::new(kiff_config).run(&final_dataset, &sim);
     let rebuild_time = rebuild_start.elapsed();
-    let r = recall(&rebuild.graph, &engine.graph());
+    let r = recall(&rebuild.graph, &live_graph);
     report.rebuild(
         rebuild.stats.sim_evals,
         rebuild_time,
@@ -310,6 +310,88 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
         life.sim_evals_per_update(),
     );
     report.write_to(out)?;
+    Ok(())
+}
+
+fn serve(options: &ServeOptions, out: &mut dyn Write) -> Result<(), CommandError> {
+    use kiff::serve::{recover, EngineHost, Server, StoreConfig};
+
+    let dataset = load_dataset(&options.input)?;
+    let mut builder = KnnGraphBuilder::new(options.k).metric(options.metric);
+    if let Some(threads) = options.threads {
+        builder = builder.threads(threads);
+    }
+    let build_start = Instant::now();
+    let graph = builder.build(&dataset);
+    writeln!(
+        out,
+        "built k={} graph over {} users in {:.2?}",
+        options.k,
+        dataset.num_users(),
+        build_start.elapsed()
+    )?;
+
+    let registry = Registry::new();
+    let config = OnlineConfig::new(options.k).with_telemetry(registry.clone());
+    let shard_config = (options.shards > 1).then(|| {
+        let mut sc = ShardConfig::new(options.shards);
+        sc.threads = options.threads;
+        sc
+    });
+
+    let (engine, store) = match &options.data_dir {
+        Some(dir) => {
+            let mut cfg = StoreConfig::new(dir);
+            if let Some(every) = options.snapshot_every {
+                cfg = cfg.with_snapshot_every(every);
+            }
+            let recovered = recover(&cfg, &dataset, Some(&graph), config, shard_config)?;
+            let torn = if recovered.truncated {
+                " (torn WAL tail truncated)"
+            } else {
+                ""
+            };
+            match recovered.snapshot_seq {
+                Some(seq) => writeln!(
+                    out,
+                    "recovered snapshot seq {seq} + {} WAL update(s){torn} from {}",
+                    recovered.replayed,
+                    dir.display()
+                )?,
+                None if recovered.replayed > 0 => writeln!(
+                    out,
+                    "replayed {} WAL update(s){torn} from {}",
+                    recovered.replayed,
+                    dir.display()
+                )?,
+                None => writeln!(out, "fresh data directory {}", dir.display())?,
+            }
+            (recovered.engine, Some(recovered.store))
+        }
+        None => {
+            writeln!(
+                out,
+                "no --data-dir: running volatile, updates are lost on exit"
+            )?;
+            let engine: Box<dyn KnnEngine> = match shard_config {
+                Some(sc) => Box::new(ShardedOnlineKnn::from_graph(&dataset, &graph, config, sc)),
+                None => Box::new(OnlineKnn::from_graph(&dataset, &graph, config)),
+            };
+            (engine, None)
+        }
+    };
+
+    let host = EngineHost::new(engine, store, registry);
+    let server = Server::bind(&options.addr, host)?;
+    let bound = server.local_addr();
+    if let Some(path) = &options.addr_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| err(format!("{}: {e}", path.display())))?;
+    }
+    writeln!(out, "serving on {bound} (send `shutdown` to stop)")?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "daemon stopped")?;
     Ok(())
 }
 
@@ -548,16 +630,9 @@ fn generate(options: &GenerateOptions, out: &mut dyn Write) -> Result<(), Comman
 
 fn recommend(options: &RecommendOptions, out: &mut dyn Write) -> Result<(), CommandError> {
     let dataset = load_dataset(&options.input)?;
-    if options.user as usize >= dataset.num_users() {
-        return Err(err(format!(
-            "user {} out of range (dataset has {} users)",
-            options.user,
-            dataset.num_users()
-        )));
-    }
     let graph = KnnGraphBuilder::new(options.k).build(&dataset);
-    let recommender = Recommender::new(&dataset, &graph);
-    let recs = recommender.recommend(options.user, options.top);
+    let recommender = Recommender::new(Arc::new(dataset), Arc::new(graph))?;
+    let recs = recommender.try_recommend(options.user, options.top)?;
     if recs.is_empty() {
         writeln!(out, "no recommendations for user {}", options.user)?;
         return Ok(());
@@ -577,13 +652,10 @@ fn recommend(options: &RecommendOptions, out: &mut dyn Write) -> Result<(), Comm
 
 fn search(options: &SearchOptions, out: &mut dyn Write) -> Result<(), CommandError> {
     let dataset = load_dataset(&options.input)?;
-    if options.items.is_empty() {
-        return Err(err("--items must list at least one item"));
-    }
     let graph = KnnGraphBuilder::new(options.k).build(&dataset);
-    let searcher = GraphSearcher::new(&dataset, &graph, ProfileMetric::Cosine);
+    let searcher = GraphSearcher::new(Arc::new(dataset), Arc::new(graph), ProfileMetric::Cosine)?;
     let query = QueryProfile::from_items(options.items.iter().copied());
-    let hits = searcher.search(&query, options.top, (options.top * 4).max(40));
+    let hits = searcher.try_search(&query, options.top, (options.top * 4).max(40))?;
     if hits.is_empty() {
         writeln!(out, "no users match the query items")?;
         return Ok(());
@@ -773,7 +845,9 @@ mod tests {
         let input = fixture();
         let e = run_str(&format!("recommend --input {} --user 99", input.display()));
         assert!(e.is_err());
-        assert!(e.unwrap_err().to_string().contains("out of range"));
+        let e = e.unwrap_err();
+        assert!(e.to_string().contains("unknown user 99"), "{e}");
+        assert_eq!(e.exit_code(), 2, "unknown ids map to exit code 2");
     }
 
     #[test]
@@ -809,6 +883,56 @@ mod tests {
         assert!(out.contains("recall vs rebuild"), "{out}");
         assert!(out.contains("per-update work"), "{out}");
         std::fs::remove_file(updates).ok();
+    }
+
+    #[test]
+    fn serve_answers_over_tcp_and_shuts_down() {
+        let input = fixture();
+        let addr_file = tmp("serve-addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let cmdline = format!(
+            "serve --input {} --k 2 --addr 127.0.0.1:0 --addr-file {}",
+            input.display(),
+            addr_file.display()
+        );
+        let daemon = std::thread::spawn(move || run_str(&cmdline));
+
+        // The daemon writes its ephemeral port once the listener is up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never published its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let mut client = kiff::serve::Client::connect(&addr).expect("connect");
+        client.ping().expect("ping");
+        let nbrs = client.neighbors(0).expect("neighbors");
+        assert!(!nbrs.is_empty(), "user 0 has neighbours");
+        let applied = client
+            .update(&[Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            }])
+            .expect("update");
+        assert_eq!(applied, 1);
+        let e = client.neighbors(99).unwrap_err();
+        assert_eq!(e.exit_code(), 7, "server-side failures surface as remote");
+        client.shutdown().expect("shutdown");
+        let out = daemon.join().expect("join").expect("serve run");
+        assert!(out.contains("serving on "), "{out}");
+        assert!(out.contains("volatile"), "{out}");
+        assert!(out.contains("daemon stopped"), "{out}");
+        std::fs::remove_file(&addr_file).ok();
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub use args::{parse, Command, ParseError};
 /// writing human-readable output to `out`. Returns an error message
 /// suitable for stderr on failure.
 pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
-    let command = args::parse(argv).map_err(|e| e.to_string())?;
-    commands::execute(&command, out).map_err(|e| format!("{e}"))
+    run_with_code(argv, out).map_err(|(message, _)| message)
+}
+
+/// Like [`run`], but on failure also returns the process exit code the
+/// binary should terminate with: `1` for usage errors, and the stable
+/// [`KiffError::exit_code`](kiff::core::KiffError::exit_code) classes
+/// (2–7) for typed engine, persistence, and protocol failures.
+pub fn run_with_code(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), (String, u8)> {
+    let command = args::parse(argv).map_err(|e| (e.to_string(), 1))?;
+    commands::execute(&command, out).map_err(|e| (e.to_string(), e.exit_code()))
 }

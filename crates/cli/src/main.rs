@@ -6,11 +6,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    match kiff_cli::run(&argv, &mut out) {
+    match kiff_cli::run_with_code(&argv, &mut out) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err((message, code)) => {
             eprintln!("kiff: {message}");
-            ExitCode::FAILURE
+            ExitCode::from(code)
         }
     }
 }

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod counting;
+pub mod error;
 pub mod init;
 pub mod kiff;
 pub mod refine;
@@ -35,6 +36,7 @@ pub use counting::{
     build_rcs, build_rcs_reference, rank_candidate_counts, user_candidate_counts, CountingConfig,
     RankedCandidates,
 };
+pub use error::KiffError;
 pub use init::initial_rcs_graph;
 pub use kiff::{kiff_knn, Kiff, KiffResult};
 pub use refine::{IterationObserver, IterationTrace, KiffStats, NoObserver};

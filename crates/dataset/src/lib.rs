@@ -16,6 +16,8 @@
 //!   engine's storage layer);
 //! * [`io`] — SNAP-style TSV and MovieLens loaders/writers plus a JSON dump
 //!   format;
+//! * [`codec`] — a versioned binary dataset codec for snapshot
+//!   persistence (bit-exact rating round-trips, validated on load);
 //! * [`generators`] — synthetic dataset generators calibrated to the four
 //!   evaluation datasets of the paper (Table I) and the MovieLens-1M family
 //!   (Table IX), used here because the original public datasets cannot be
@@ -25,6 +27,7 @@
 //! * [`stats`] — dataset descriptors matching Table I and profile-size
 //!   distributions matching Fig. 4.
 
+pub mod codec;
 pub mod dataset;
 pub mod delta;
 pub mod density;

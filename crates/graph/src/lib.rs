@@ -15,6 +15,7 @@
 //! paper's tie-aware quality measure (Eq. 2–4).
 
 pub mod analysis;
+pub mod codec;
 pub mod exact;
 pub mod io;
 pub mod knn;

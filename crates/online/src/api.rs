@@ -1,0 +1,219 @@
+//! [`KnnEngine`]: the unified façade over both live engines.
+//!
+//! PRs 1–5 grew two engines with the same surface — [`OnlineKnn`] and
+//! [`ShardedOnlineKnn`] — and every consumer (the CLI `update` replay,
+//! the bench harness, now the serving daemon) duplicated a two-armed
+//! enum to dispatch between them. This trait is that surface, made
+//! object-safe so a daemon can own a `Box<dyn KnnEngine + Send>` chosen
+//! at startup.
+//!
+//! Two deliberate deviations from the inherent methods:
+//!
+//! - [`KnnEngine::neighbors`] returns `Result` instead of panicking on
+//!   an out-of-range user: a daemon must answer a bad request with an
+//!   error frame, not die. The inherent panicking methods remain for
+//!   in-process callers that already hold the invariant.
+//! - [`KnnEngine::apply_batch`] takes a `Vec` (not `impl IntoIterator`)
+//!   because generic methods are not object-safe.
+
+use std::sync::Arc;
+
+use kiff_core::KiffError;
+use kiff_dataset::{DeltaDataset, UserId};
+use kiff_graph::{KnnGraph, Neighbor};
+
+use crate::engine::OnlineKnn;
+use crate::sharded::ShardedOnlineKnn;
+use crate::update::{Update, UpdateStats};
+
+/// A live KNN engine: queryable, updatable, snapshottable.
+///
+/// Implemented by [`OnlineKnn`] and [`ShardedOnlineKnn`]; consumers that
+/// work with either take `&mut dyn KnnEngine` (or a generic bound) and
+/// stop caring which one they were handed.
+pub trait KnnEngine: Send {
+    /// Neighbourhood size `k`.
+    fn k(&self) -> usize;
+
+    /// Current number of users.
+    fn len(&self) -> usize;
+
+    /// Whether the engine tracks no users yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `u`'s current neighbours, best first, or
+    /// [`KiffError::UnknownUser`] when `u` is out of range.
+    fn neighbors(&self, u: UserId) -> Result<Vec<Neighbor>, KiffError>;
+
+    /// Snapshots the live graph (cached between mutations).
+    fn graph(&self) -> Arc<KnnGraph>;
+
+    /// The live dataset view.
+    fn data(&self) -> &DeltaDataset;
+
+    /// Applies one mutation and repairs the graph around it.
+    fn apply(&mut self, update: Update) -> UpdateStats;
+
+    /// Applies a batch of mutations with a single amortised repair pass.
+    fn apply_batch(&mut self, updates: Vec<Update>) -> UpdateStats;
+
+    /// Work accumulated over the engine's lifetime.
+    fn stats(&self) -> &UpdateStats;
+
+    /// The engine's shared-item counters, exported for snapshot
+    /// persistence, or `None` when the engine cannot export them (a
+    /// restore then falls back to recounting from the dataset, which
+    /// yields the same values — counting is exact — just slower).
+    fn counters_snapshot(&self) -> Option<Vec<Vec<(UserId, u32)>>> {
+        None
+    }
+}
+
+/// Bounds-checks a user id against the engine size.
+fn check_user(u: UserId, num_users: usize) -> Result<(), KiffError> {
+    if (u as usize) < num_users {
+        Ok(())
+    } else {
+        Err(KiffError::UnknownUser { user: u, num_users })
+    }
+}
+
+impl KnnEngine for OnlineKnn {
+    fn k(&self) -> usize {
+        OnlineKnn::k(self)
+    }
+
+    fn len(&self) -> usize {
+        self.num_users()
+    }
+
+    fn neighbors(&self, u: UserId) -> Result<Vec<Neighbor>, KiffError> {
+        check_user(u, self.num_users())?;
+        Ok(OnlineKnn::neighbors(self, u))
+    }
+
+    fn graph(&self) -> Arc<KnnGraph> {
+        OnlineKnn::graph(self)
+    }
+
+    fn data(&self) -> &DeltaDataset {
+        OnlineKnn::data(self)
+    }
+
+    fn apply(&mut self, update: Update) -> UpdateStats {
+        OnlineKnn::apply(self, update)
+    }
+
+    fn apply_batch(&mut self, updates: Vec<Update>) -> UpdateStats {
+        OnlineKnn::apply_batch(self, updates)
+    }
+
+    fn stats(&self) -> &UpdateStats {
+        self.lifetime_stats()
+    }
+
+    fn counters_snapshot(&self) -> Option<Vec<Vec<(UserId, u32)>>> {
+        Some(OnlineKnn::counters_snapshot(self))
+    }
+}
+
+impl KnnEngine for ShardedOnlineKnn {
+    fn k(&self) -> usize {
+        ShardedOnlineKnn::k(self)
+    }
+
+    fn len(&self) -> usize {
+        self.num_users()
+    }
+
+    fn neighbors(&self, u: UserId) -> Result<Vec<Neighbor>, KiffError> {
+        check_user(u, self.num_users())?;
+        Ok(ShardedOnlineKnn::neighbors(self, u))
+    }
+
+    fn graph(&self) -> Arc<KnnGraph> {
+        ShardedOnlineKnn::graph(self)
+    }
+
+    fn data(&self) -> &DeltaDataset {
+        ShardedOnlineKnn::data(self)
+    }
+
+    fn apply(&mut self, update: Update) -> UpdateStats {
+        ShardedOnlineKnn::apply(self, update)
+    }
+
+    fn apply_batch(&mut self, updates: Vec<Update>) -> UpdateStats {
+        ShardedOnlineKnn::apply_batch(self, updates)
+    }
+
+    fn stats(&self) -> &UpdateStats {
+        self.lifetime_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OnlineConfig;
+    use crate::sharded::ShardConfig;
+    use kiff_dataset::dataset::figure2_toy;
+
+    fn engines() -> Vec<Box<dyn KnnEngine>> {
+        let ds = figure2_toy();
+        vec![
+            Box::new(OnlineKnn::new(&ds, OnlineConfig::new(2))),
+            Box::new(ShardedOnlineKnn::new(
+                &ds,
+                OnlineConfig::new(2),
+                ShardConfig::new(2),
+            )),
+        ]
+    }
+
+    #[test]
+    fn both_engines_serve_the_same_trait() {
+        for mut engine in engines() {
+            assert_eq!(engine.k(), 2);
+            assert_eq!(engine.len(), 4);
+            assert!(!engine.is_empty());
+            let nbrs = engine.neighbors(0).expect("user 0 exists");
+            assert_eq!(nbrs[0].id, 1, "Alice's nearest is Bob");
+            let stats = engine.apply(Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            });
+            assert_eq!(stats.updates, 1);
+            assert_eq!(engine.stats().updates, 1);
+            let stats = engine.apply_batch(vec![
+                Update::AddUser,
+                Update::AddRating {
+                    user: 4,
+                    item: 0,
+                    rating: 2.0,
+                },
+            ]);
+            assert_eq!(stats.updates, 2);
+            assert_eq!(engine.len(), 5);
+            assert_eq!(engine.graph().num_users(), 5);
+            assert_eq!(engine.data().num_users(), 5);
+        }
+    }
+
+    #[test]
+    fn unknown_user_is_an_error_not_a_panic() {
+        for engine in engines() {
+            let err = engine.neighbors(99).unwrap_err();
+            match err {
+                kiff_core::KiffError::UnknownUser { user, num_users } => {
+                    assert_eq!(user, 99);
+                    assert_eq!(num_users, 4);
+                }
+                other => panic!("expected UnknownUser, got {other}"),
+            }
+        }
+    }
+}

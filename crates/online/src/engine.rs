@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use kiff_collections::{FxHashMap, FxHashSet, SparseCounter};
-use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig};
+use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig, KiffError};
 use kiff_dataset::{Dataset, DeltaDataset, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ReverseAdjacency};
 use kiff_similarity as sim;
@@ -96,7 +96,6 @@ impl OnlineKnn {
             },
         );
         let mut counters = Vec::with_capacity(n);
-        let mut heaps = Vec::with_capacity(n);
         for u in 0..n as UserId {
             let ids = rcs.rcs(u);
             let counts = rcs.counts(u).expect("keep_counts set");
@@ -105,7 +104,78 @@ impl OnlineKnn {
                 counter.add_n(v, c);
             }
             counters.push(counter);
+        }
+        Self::assemble(dataset, graph, counters, config)
+    }
 
+    /// Restores an engine from persisted state: the compacted dataset, the
+    /// graph snapshot, and the exported shared-item counters (see
+    /// [`OnlineKnn::counters_snapshot`]) — pure deserialization, no
+    /// counting pass, which is what makes snapshot recovery beat a
+    /// rebuild by a wide margin.
+    ///
+    /// Validates that the three sections agree on the user count and that
+    /// counter keys stay in range; inconsistencies surface as
+    /// [`KiffError::Corrupt`].
+    pub fn from_snapshot(
+        dataset: &Dataset,
+        graph: &KnnGraph,
+        counter_rows: Vec<Vec<(UserId, u32)>>,
+        config: OnlineConfig,
+    ) -> Result<Self, KiffError> {
+        let n = dataset.num_users();
+        if graph.num_users() != n || counter_rows.len() != n {
+            return Err(KiffError::corrupt(
+                "engine snapshot",
+                format!(
+                    "user counts disagree: dataset {n}, graph {}, counters {}",
+                    graph.num_users(),
+                    counter_rows.len()
+                ),
+            ));
+        }
+        let mut counters = Vec::with_capacity(n);
+        for (u, row) in counter_rows.into_iter().enumerate() {
+            let mut counter = SparseCounter::with_capacity(row.len());
+            for (v, c) in row {
+                if v as usize >= n || v as usize == u {
+                    return Err(KiffError::corrupt(
+                        "engine snapshot",
+                        format!("counter row {u} references invalid co-rater {v}"),
+                    ));
+                }
+                counter.add_n(v, c);
+            }
+            counters.push(counter);
+        }
+        Ok(Self::assemble(dataset, graph, counters, config))
+    }
+
+    /// Exports the live shared-item counters as per-user `(co_rater,
+    /// count)` rows sorted by co-rater id — the deterministic form the
+    /// snapshot codec persists and [`OnlineKnn::from_snapshot`] accepts.
+    pub fn counters_snapshot(&self) -> Vec<Vec<(UserId, u32)>> {
+        self.counters
+            .iter()
+            .map(|counter| {
+                let mut row: Vec<(UserId, u32)> = counter.iter().collect();
+                row.sort_unstable_by_key(|&(v, _)| v);
+                row
+            })
+            .collect()
+    }
+
+    /// Shared tail of the constructors: wire counters + graph-seeded
+    /// heaps + reverse adjacency into an engine.
+    fn assemble(
+        dataset: &Dataset,
+        graph: &KnnGraph,
+        counters: Vec<SparseCounter>,
+        config: OnlineConfig,
+    ) -> Self {
+        let n = dataset.num_users();
+        let mut heaps = Vec::with_capacity(n);
+        for u in 0..n as UserId {
             let mut heap = KnnHeap::new(config.k);
             for nb in graph.neighbors(u) {
                 heap.update(nb.sim, nb.id);
@@ -287,10 +357,14 @@ impl OnlineKnn {
                 }
                 if raters.len() > self.config.repair_width {
                     // Partial select: only the best shared counts matter,
-                    // and repair dedups/sorts candidates again anyway.
+                    // and repair dedups/sorts candidates again anyway. The
+                    // id tie-break makes the kept *set* independent of the
+                    // rater iteration order, which differs between a live
+                    // overlay and a compacted (or snapshot-restored) base
+                    // — snapshot+replay must equal uninterrupted replay.
                     let counter = &self.counters[user as usize];
                     raters.select_nth_unstable_by_key(self.config.repair_width, |&v| {
-                        std::cmp::Reverse(counter.get(v))
+                        (std::cmp::Reverse(counter.get(v)), v)
                     });
                     raters.truncate(self.config.repair_width);
                 }

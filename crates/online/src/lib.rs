@@ -55,11 +55,20 @@
 //! periods, and [`CommunityPartitioner`] co-locates co-raters to cut
 //! cross-shard message volume (see [`sharded`] for the mechanics).
 
+//!
+//! # One façade over both engines
+//!
+//! Consumers that work with either engine — the serving daemon, the CLI
+//! replay, the bench harness — dispatch through the object-safe
+//! [`KnnEngine`] trait instead of duplicating per-engine code paths.
+
+pub mod api;
 pub mod config;
 pub mod engine;
 pub mod sharded;
 pub mod update;
 
+pub use api::KnnEngine;
 pub use config::{OnlineConfig, OnlineMetric};
 pub use engine::OnlineKnn;
 pub use sharded::{

@@ -1,0 +1,195 @@
+//! A blocking client for the `kiff-serve` wire protocol.
+//!
+//! One request in flight per connection: [`Client::request`] writes a
+//! frame and blocks for the answer. Server-side failures come back as
+//! [`KiffError::Remote`] carrying the server's error `kind` tag, so a
+//! caller can still branch on the failure class across the wire.
+
+use std::net::TcpStream;
+
+use kiff_core::KiffError;
+use kiff_graph::Neighbor;
+use kiff_online::Update;
+use serde_json::Value;
+
+use crate::wire::{read_frame, write_frame, Request};
+
+/// A connected client.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+fn protocol(msg: impl Into<String>) -> KiffError {
+    KiffError::Protocol(msg.into())
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Self, KiffError> {
+        let stream = TcpStream::connect(addr).map_err(KiffError::Io)?;
+        stream.set_nodelay(true).map_err(KiffError::Io)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends `request` and returns the decoded response body. An
+    /// `"ok": false` response is mapped to [`KiffError::Remote`].
+    pub fn request(&mut self, request: &Request) -> Result<Value, KiffError> {
+        write_frame(&mut self.stream, &request.to_value())?;
+        let response = read_frame(&mut self.stream)?
+            .ok_or_else(|| protocol("server closed the connection"))?;
+        let ok = response
+            .get("ok")
+            .and_then(Value::as_bool)
+            .ok_or_else(|| protocol("response missing `ok`"))?;
+        if ok {
+            return Ok(response);
+        }
+        let error = response.get("error");
+        let kind = error
+            .and_then(|e| e.get("kind"))
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_string();
+        let message = error
+            .and_then(|e| e.get("message"))
+            .and_then(Value::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string();
+        Err(KiffError::Remote { kind, message })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), KiffError> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// `user`'s current neighbours, best first.
+    pub fn neighbors(&mut self, user: u32) -> Result<Vec<Neighbor>, KiffError> {
+        let response = self.request(&Request::Neighbors { user })?;
+        response
+            .get("neighbors")
+            .and_then(Value::as_array)
+            .ok_or_else(|| protocol("response missing `neighbors`"))?
+            .iter()
+            .map(|nb| {
+                let id = nb
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| protocol("neighbor missing `id`"))?
+                    as u32;
+                let sim = nb
+                    .get("sim")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| protocol("neighbor missing `sim`"))?;
+                Ok(Neighbor { id, sim })
+            })
+            .collect()
+    }
+
+    /// Top-`top` item recommendations for `user`, as `(item, score)`.
+    pub fn recommend(&mut self, user: u32, top: usize) -> Result<Vec<(u32, f64)>, KiffError> {
+        let response = self.request(&Request::Recommend { user, top })?;
+        pairs(&response, "recommendations", "item", "score")
+    }
+
+    /// Predicted rating of `item` by `user` (`None` = no basis).
+    pub fn predict(&mut self, user: u32, item: u32) -> Result<Option<f64>, KiffError> {
+        let response = self.request(&Request::Predict { user, item })?;
+        match response
+            .field("prediction")
+            .map_err(|_| protocol("response missing `prediction`"))?
+        {
+            Value::Null => Ok(None),
+            v => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| protocol("non-numeric prediction")),
+        }
+    }
+
+    /// The `top` users most interested in `item`, as `(user, score)`.
+    pub fn audience(&mut self, item: u32, top: usize) -> Result<Vec<(u32, f64)>, KiffError> {
+        let response = self.request(&Request::Audience { item, top })?;
+        pairs(&response, "audience", "user", "score")
+    }
+
+    /// Users most similar to the ad-hoc profile `items`.
+    pub fn search(
+        &mut self,
+        items: &[(u32, f32)],
+        top: usize,
+    ) -> Result<Vec<(u32, f64)>, KiffError> {
+        let response = self.request(&Request::Search {
+            items: items.to_vec(),
+            top,
+        })?;
+        pairs(&response, "hits", "user", "sim")
+    }
+
+    /// Applies `updates` (persisted server-side first); returns the
+    /// number applied.
+    pub fn update(&mut self, updates: &[Update]) -> Result<u64, KiffError> {
+        let response = self.request(&Request::Update {
+            updates: updates.to_vec(),
+        })?;
+        response
+            .get("applied")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| protocol("response missing `applied`"))
+    }
+
+    /// Engine lifetime statistics as a raw JSON object.
+    pub fn stats(&mut self) -> Result<Value, KiffError> {
+        self.request(&Request::Stats)
+    }
+
+    /// The daemon's telemetry snapshot as a raw JSON object.
+    pub fn metrics(&mut self) -> Result<Value, KiffError> {
+        let response = self.request(&Request::Metrics)?;
+        response
+            .get("metrics")
+            .cloned()
+            .ok_or_else(|| protocol("response missing `metrics`"))
+    }
+
+    /// Forces a snapshot; returns the covered sequence number.
+    pub fn snapshot(&mut self) -> Result<u64, KiffError> {
+        let response = self.request(&Request::Snapshot)?;
+        response
+            .get("seq")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| protocol("response missing `seq`"))
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), KiffError> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+fn pairs(
+    response: &Value,
+    field: &str,
+    key: &str,
+    value: &str,
+) -> Result<Vec<(u32, f64)>, KiffError> {
+    response
+        .get(field)
+        .and_then(Value::as_array)
+        .ok_or_else(|| protocol(format!("response missing `{field}`")))?
+        .iter()
+        .map(|entry| {
+            let k = entry
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| protocol(format!("entry missing `{key}`")))?
+                as u32;
+            let v = entry
+                .get(value)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| protocol(format!("entry missing `{value}`")))?;
+            Ok((k, v))
+        })
+        .collect()
+}

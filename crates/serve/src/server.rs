@@ -1,0 +1,472 @@
+//! The TCP daemon: accept loop, per-connection workers, request
+//! dispatch, and graceful shutdown.
+//!
+//! One [`EngineHost`] owns the engine and its persistence behind a
+//! mutex: the engines are `&mut`-update structures, so the daemon
+//! serialises access rather than pretending to share them. Query
+//! handlers borrow cheap `Arc` snapshots of the dataset and graph
+//! (rebuilt lazily after each update batch), so a recommend request
+//! never clones the dataset while holding the lock longer than the
+//! actual scoring takes.
+//!
+//! Shutdown is cooperative: the `shutdown` op flips an atomic flag,
+//! and the flipping connection pokes the accept loop with a throwaway
+//! connect so it observes the flag without waiting for a real client.
+//! Connection readers poll the flag between 100 ms read timeouts. On a
+//! graceful exit the host takes a final snapshot when the WAL has
+//! advanced past the last one.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use kiff_apps::{GraphSearcher, ProfileMetric, QueryProfile, Recommender};
+use kiff_core::KiffError;
+use kiff_dataset::Dataset;
+use kiff_graph::KnnGraph;
+use kiff_online::KnnEngine;
+use kiff_telemetry::Registry;
+use serde_json::Value;
+
+use crate::store::Store;
+use crate::wire::{self, Request, MAX_FRAME};
+
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// The engine, its persistence, and the query-time view cache.
+pub struct EngineHost {
+    engine: Box<dyn KnnEngine>,
+    store: Option<Store>,
+    telemetry: Registry,
+    views: Option<(Arc<Dataset>, Arc<KnnGraph>)>,
+}
+
+impl EngineHost {
+    /// Wraps `engine` (and optionally its durable `store`) for serving.
+    pub fn new(engine: Box<dyn KnnEngine>, store: Option<Store>, telemetry: Registry) -> Self {
+        Self {
+            engine,
+            store,
+            telemetry,
+            views: None,
+        }
+    }
+
+    /// Read-only access to the engine (tests compare served answers
+    /// against direct calls).
+    pub fn engine(&self) -> &dyn KnnEngine {
+        self.engine.as_ref()
+    }
+
+    /// The dataset/graph snapshots the application-layer handlers run
+    /// over, rebuilt lazily after a mutation.
+    fn views(&mut self) -> (Arc<Dataset>, Arc<KnnGraph>) {
+        if self.views.is_none() {
+            let dataset = Arc::new(self.engine.data().to_dataset());
+            let graph = self.engine.graph();
+            self.views = Some((dataset, graph));
+        }
+        self.views.clone().expect("just installed")
+    }
+
+    fn recommender(&mut self) -> Result<Recommender, KiffError> {
+        let (dataset, graph) = self.views();
+        Recommender::new(dataset, graph)
+    }
+
+    /// Dispatches one request. `Shutdown` is handled by the connection
+    /// loop before this point; it answers like `Ping` here.
+    pub fn handle(&mut self, request: &Request) -> Result<Value, KiffError> {
+        match request {
+            Request::Ping | Request::Shutdown => Ok(serde_json::json!({"ok": true})),
+            Request::Neighbors { user } => {
+                let neighbors: Vec<Value> = self
+                    .engine
+                    .neighbors(*user)?
+                    .iter()
+                    .map(|nb| serde_json::json!({"id": nb.id, "sim": nb.sim}))
+                    .collect();
+                Ok(serde_json::json!({"ok": true, "neighbors": neighbors}))
+            }
+            Request::Recommend { user, top } => {
+                let recs: Vec<Value> = self
+                    .recommender()?
+                    .try_recommend(*user, *top)?
+                    .iter()
+                    .map(|r| serde_json::json!({"item": r.item, "score": r.score}))
+                    .collect();
+                Ok(serde_json::json!({"ok": true, "recommendations": recs}))
+            }
+            Request::Predict { user, item } => {
+                let prediction = self.recommender()?.try_predict(*user, *item)?;
+                let prediction = match prediction {
+                    Some(p) => Value::Number(p),
+                    None => Value::Null,
+                };
+                Ok(serde_json::json!({"ok": true, "prediction": prediction}))
+            }
+            Request::Audience { item, top } => {
+                let audience: Vec<Value> = self
+                    .recommender()?
+                    .try_audience(*item, *top)?
+                    .iter()
+                    .map(|(u, score)| serde_json::json!({"user": *u, "score": *score}))
+                    .collect();
+                Ok(serde_json::json!({"ok": true, "audience": audience}))
+            }
+            Request::Search { items, top } => {
+                let (dataset, graph) = self.views();
+                let searcher = GraphSearcher::new(dataset, graph, ProfileMetric::Cosine)?;
+                let query = QueryProfile::new(items.iter().copied());
+                let ef = (top * 4).max(40);
+                let hits: Vec<Value> = searcher
+                    .try_search(&query, *top, ef)?
+                    .iter()
+                    .map(|h| serde_json::json!({"user": h.user, "sim": h.sim}))
+                    .collect();
+                Ok(serde_json::json!({"ok": true, "hits": hits}))
+            }
+            Request::Update { updates } => {
+                let seq = match &mut self.store {
+                    Some(store) => {
+                        let seq = store.append(updates)?;
+                        Value::Number(seq as f64)
+                    }
+                    None => Value::Null,
+                };
+                let stats = self.engine.apply_batch(updates.clone());
+                self.views = None;
+                if let Some(store) = &mut self.store {
+                    store.maybe_snapshot(self.engine.as_ref())?;
+                }
+                Ok(serde_json::json!({
+                    "ok": true,
+                    "applied": stats.updates,
+                    "seq": seq,
+                    "sim_evals": stats.sim_evals,
+                    "repaired_users": stats.repaired_users
+                }))
+            }
+            Request::Stats => {
+                let stats = self.engine.stats();
+                let seq = match &self.store {
+                    Some(store) => Value::Number(store.seq() as f64),
+                    None => Value::Null,
+                };
+                Ok(serde_json::json!({
+                    "ok": true,
+                    "users": self.engine.len(),
+                    "k": self.engine.k(),
+                    "seq": seq,
+                    "updates": stats.updates,
+                    "sim_evals": stats.sim_evals,
+                    "repaired_users": stats.repaired_users,
+                    "migrations": stats.migrations,
+                    "cross_messages": stats.cross_messages
+                }))
+            }
+            Request::Metrics => {
+                let text = kiff_telemetry::export::to_json(&self.telemetry.snapshot());
+                let metrics: Value = serde_json::from_str(&text)
+                    .map_err(|e| KiffError::Protocol(format!("metrics render: {e}")))?;
+                Ok(serde_json::json!({"ok": true, "metrics": metrics}))
+            }
+            Request::Snapshot => match &mut self.store {
+                Some(store) => {
+                    store.snapshot(self.engine.as_ref())?;
+                    Ok(serde_json::json!({"ok": true, "seq": store.seq()}))
+                }
+                None => Err(KiffError::Protocol(
+                    "daemon is running without a data dir; nothing to snapshot".into(),
+                )),
+            },
+        }
+    }
+
+    /// Final snapshot on graceful shutdown, when the WAL advanced.
+    fn final_snapshot(&mut self) -> Result<(), KiffError> {
+        if let Some(store) = &mut self.store {
+            if store.dirty() {
+                store.snapshot(self.engine.as_ref())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Shared {
+    host: Mutex<EngineHost>,
+    shutdown: AtomicBool,
+    telemetry: Registry,
+    addr: SocketAddr,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, host: EngineHost) -> Result<Self, KiffError> {
+        let telemetry = host.telemetry.clone();
+        let listener = TcpListener::bind(addr).map_err(KiffError::Io)?;
+        let addr = listener.local_addr().map_err(KiffError::Io)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(Shared {
+                host: Mutex::new(host),
+                shutdown: AtomicBool::new(false),
+                telemetry,
+                addr,
+            }),
+        })
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until a client sends `shutdown`. Consumes
+    /// the server; returns once every connection worker has drained.
+    pub fn run(self) -> Result<(), KiffError> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let shared = Arc::clone(&self.shared);
+                    workers.push(std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &shared);
+                    }));
+                }
+                Err(e) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    return Err(KiffError::Io(e));
+                }
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.shared
+            .host
+            .lock()
+            .expect("engine host lock poisoned")
+            .final_snapshot()
+    }
+}
+
+enum Framed {
+    Value(Value),
+    Eof,
+    ShuttingDown,
+}
+
+/// Fills `buf` from `stream`, polling the shutdown flag on every read
+/// timeout. `allow_eof` treats EOF *before the first byte* as clean.
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    allow_eof: bool,
+) -> Result<Option<bool>, KiffError> {
+    use std::io::Read as _;
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(Some(false));
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_eof {
+                    return Ok(Some(true));
+                }
+                return Err(KiffError::Protocol("connection closed mid-frame".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(KiffError::Io(e)),
+        }
+    }
+    Ok(None)
+}
+
+/// Reads one frame, interruptible by the shutdown flag.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Framed, KiffError> {
+    let mut header = [0u8; 4];
+    match fill(stream, &mut header, shutdown, true)? {
+        Some(true) => return Ok(Framed::Eof),
+        Some(false) => return Ok(Framed::ShuttingDown),
+        None => {}
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(KiffError::Protocol(format!(
+            "frame of {len} bytes exceeds {MAX_FRAME}"
+        )));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    if fill(stream, &mut bytes, shutdown, false)?.is_some() {
+        return Ok(Framed::ShuttingDown);
+    }
+    let text =
+        String::from_utf8(bytes).map_err(|_| KiffError::Protocol("frame is not UTF-8".into()))?;
+    serde_json::from_str(&text)
+        .map(Framed::Value)
+        .map_err(|e| KiffError::Protocol(e.to_string()))
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffError> {
+    stream
+        .set_read_timeout(Some(READ_POLL))
+        .map_err(KiffError::Io)?;
+    let queue_depth = shared.telemetry.gauge("serve.queue_depth");
+    let requests = shared.telemetry.counter("serve.requests");
+    let errors = shared.telemetry.counter("serve.errors");
+
+    loop {
+        let value = match read_frame_interruptible(&mut stream, &shared.shutdown)? {
+            Framed::Value(v) => v,
+            Framed::Eof | Framed::ShuttingDown => return Ok(()),
+        };
+        requests.incr();
+        queue_depth.add(1);
+        let started = Instant::now();
+        let (response, op, shutdown) = match Request::from_value(&value) {
+            Ok(request) => {
+                let shutdown = matches!(request, Request::Shutdown);
+                let response = {
+                    let mut host = shared.host.lock().expect("engine host lock poisoned");
+                    host.handle(&request)
+                };
+                let op = request.op();
+                match response {
+                    Ok(mut body) => {
+                        if shutdown {
+                            shared.shutdown.store(true, Ordering::SeqCst);
+                            if let Value::Object(entries) = &mut body {
+                                entries.push(("stopping".into(), Value::Bool(true)));
+                            }
+                        }
+                        (body, op, shutdown)
+                    }
+                    Err(e) => {
+                        errors.incr();
+                        (wire::error_value(&e), op, false)
+                    }
+                }
+            }
+            Err(e) => {
+                errors.incr();
+                (wire::error_value(&e), "invalid", false)
+            }
+        };
+        shared
+            .telemetry
+            .histogram(&format!("serve.request_ns.{op}"))
+            .record(started.elapsed().as_nanos() as u64);
+        queue_depth.add(-1);
+        wire::write_frame(&mut stream, &response)?;
+        if shutdown {
+            // Poke the accept loop so it observes the flag.
+            if let Ok(mut poke) = TcpStream::connect(shared.addr) {
+                let _ = poke.write_all(&[]);
+            }
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_online::{OnlineConfig, OnlineKnn, Update};
+
+    fn spawn_toy_server() -> (std::thread::JoinHandle<Result<(), KiffError>>, SocketAddr) {
+        let ds = figure2_toy();
+        let reg = Registry::new();
+        let config = OnlineConfig::new(2).with_telemetry(reg.clone());
+        let engine = Box::new(OnlineKnn::new(&ds, config));
+        let host = EngineHost::new(engine, None, reg);
+        let server = Server::bind("127.0.0.1:0", host).unwrap();
+        let addr = server.local_addr();
+        (std::thread::spawn(move || server.run()), addr)
+    }
+
+    #[test]
+    fn serves_queries_updates_and_shuts_down() {
+        let (handle, addr) = spawn_toy_server();
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        client.ping().unwrap();
+
+        // Alice's nearest neighbour is Bob, exactly as in-process.
+        let nbrs = client.neighbors(0).unwrap();
+        assert_eq!(nbrs[0].id, 1);
+
+        let recs = client.recommend(0, 3).unwrap();
+        assert!(!recs.is_empty(), "Alice gets recommendations");
+
+        let err = client.neighbors(99).unwrap_err();
+        match err {
+            KiffError::Remote { kind, .. } => assert_eq!(kind, "unknown_user"),
+            other => panic!("expected Remote, got {other}"),
+        }
+
+        // Update over the wire, then observe the graph move.
+        let applied = client
+            .update(&[Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 2.0,
+            }])
+            .unwrap();
+        assert_eq!(applied, 1);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.get("updates").and_then(Value::as_u64), Some(1));
+
+        let metrics = client.metrics().unwrap();
+        assert!(metrics.get("counters").is_some(), "telemetry surfaces");
+
+        // A second concurrent client works while the first idles.
+        let mut other = Client::connect(&addr.to_string()).unwrap();
+        other.ping().unwrap();
+        drop(other);
+
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn snapshot_without_a_data_dir_is_a_protocol_error() {
+        let (handle, addr) = spawn_toy_server();
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let err = client.snapshot().unwrap_err();
+        match err {
+            KiffError::Remote { kind, .. } => assert_eq!(kind, "protocol"),
+            other => panic!("expected Remote, got {other}"),
+        }
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

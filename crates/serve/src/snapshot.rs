@@ -1,0 +1,291 @@
+//! Point-in-time engine snapshots.
+//!
+//! A snapshot freezes everything recovery needs to resume without a
+//! rebuild: the compacted dataset, the KNN graph (raw `f64` bits, so a
+//! restored engine's heaps are bit-identical), and — optionally — the
+//! per-user shared-item counters. Counters are a pure speed
+//! optimisation: recounting them from the dataset yields the same
+//! values (counting is exact), just slower, so a reader missing the
+//! section still recovers correctly via `OnlineKnn::from_graph`.
+//!
+//! ```text
+//! magic    b"KIFS"
+//! version  u16 (currently 1)
+//! seq      u64      — the WAL sequence this snapshot covers (1..=seq)
+//! dataset  kiff_dataset::codec block (b"KIFD")
+//! graph    kiff_graph::codec block (b"KIFG")
+//! counters u8 presence flag; when 1: per user u32 len,
+//!          then len × (u32 co-rater id, u32 shared-item count)
+//! ```
+//!
+//! Files are named `snap-{seq:016}.kifs` and written via a `.tmp` +
+//! `fsync` + atomic rename, so a crash mid-write leaves no torn
+//! snapshot behind — only the previous one.
+
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use kiff_core::KiffError;
+use kiff_dataset::{Dataset, UserId};
+use kiff_graph::KnnGraph;
+
+const MAGIC: &[u8; 4] = b"KIFS";
+const VERSION: u16 = 1;
+
+/// A decoded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The WAL sequence number this snapshot covers (updates `1..=seq`).
+    pub seq: u64,
+    /// The compacted dataset at the snapshot point.
+    pub dataset: Dataset,
+    /// The KNN graph at the snapshot point, bit-identical to the writer's.
+    pub graph: KnnGraph,
+    /// Per-user shared-item counters, when the writer exported them.
+    pub counters: Option<Vec<Vec<(UserId, u32)>>>,
+}
+
+fn corrupt(detail: impl Into<String>) -> KiffError {
+    KiffError::corrupt("snapshot", detail)
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut buf = [0u8; 2];
+    r.read_exact(&mut buf)?;
+    Ok(u16::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// The canonical file name for the snapshot covering `seq`.
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snap-{seq:016}.kifs")
+}
+
+/// Writes a snapshot of (`dataset`, `graph`, `counters`) covering WAL
+/// sequence `seq` into `dir`, atomically. Returns the final path.
+pub fn save_snapshot(
+    dir: &Path,
+    seq: u64,
+    dataset: &Dataset,
+    graph: &KnnGraph,
+    counters: Option<&[Vec<(UserId, u32)>]>,
+) -> Result<PathBuf, KiffError> {
+    fs::create_dir_all(dir).map_err(KiffError::Io)?;
+    let final_path = dir.join(snapshot_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_name(seq)));
+
+    let file = File::create(&tmp_path).map_err(KiffError::Io)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC).map_err(KiffError::Io)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(KiffError::Io)?;
+    w.write_all(&seq.to_le_bytes()).map_err(KiffError::Io)?;
+    kiff_dataset::codec::write_dataset(&mut w, dataset).map_err(KiffError::Io)?;
+    kiff_graph::codec::write_graph(&mut w, graph).map_err(KiffError::Io)?;
+    match counters {
+        Some(rows) => {
+            if rows.len() != dataset.num_users() {
+                return Err(corrupt(format!(
+                    "{} counter rows for {} users",
+                    rows.len(),
+                    dataset.num_users()
+                )));
+            }
+            w.write_all(&[1]).map_err(KiffError::Io)?;
+            // One write per row: counters dominate the file, and
+            // per-field writes cost more than the encoding itself.
+            let mut buf: Vec<u8> = Vec::new();
+            for row in rows {
+                buf.clear();
+                buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for &(v, c) in row {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+                w.write_all(&buf).map_err(KiffError::Io)?;
+            }
+        }
+        None => w.write_all(&[0]).map_err(KiffError::Io)?,
+    }
+    let file = w.into_inner().map_err(|e| KiffError::Io(e.into()))?;
+    file.sync_all().map_err(KiffError::Io)?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path).map_err(KiffError::Io)?;
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Reads and validates the snapshot at `path`.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, KiffError> {
+    let file = File::open(path).map_err(KiffError::Io)?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(KiffError::from)?;
+    if &magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = read_u16(&mut r).map_err(KiffError::from)?;
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let seq = read_u64(&mut r).map_err(KiffError::from)?;
+    let dataset = kiff_dataset::codec::read_dataset(&mut r).map_err(KiffError::from)?;
+    let graph = kiff_graph::codec::read_graph(&mut r).map_err(KiffError::from)?;
+    if graph.num_users() != dataset.num_users() {
+        return Err(corrupt(format!(
+            "graph covers {} users, dataset {}",
+            graph.num_users(),
+            dataset.num_users()
+        )));
+    }
+
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag).map_err(KiffError::from)?;
+    let counters = match flag[0] {
+        0 => None,
+        1 => {
+            let n = dataset.num_users();
+            let mut rows = Vec::with_capacity(n);
+            // Bulk-read each row: recovery time is dominated by this
+            // section, and two `read_exact` calls per pair cost more
+            // than the decoding itself.
+            let mut buf: Vec<u8> = Vec::new();
+            for u in 0..n {
+                let len = read_u32(&mut r).map_err(KiffError::from)? as usize;
+                if len > n {
+                    return Err(corrupt(format!("user {u} has {len} counter entries")));
+                }
+                buf.resize(len * 8, 0);
+                r.read_exact(&mut buf).map_err(KiffError::from)?;
+                let mut row = Vec::with_capacity(len);
+                for pair in buf.chunks_exact(8) {
+                    let v = u32::from_le_bytes(pair[0..4].try_into().expect("4-byte chunk"));
+                    let c = u32::from_le_bytes(pair[4..8].try_into().expect("4-byte chunk"));
+                    row.push((v, c));
+                }
+                rows.push(row);
+            }
+            Some(rows)
+        }
+        other => return Err(corrupt(format!("bad counters flag {other}"))),
+    };
+    Ok(Snapshot {
+        seq,
+        dataset,
+        graph,
+        counters,
+    })
+}
+
+/// The newest complete snapshot in `dir`, as `(seq, path)`.
+pub fn latest_snapshot(dir: &Path) -> Result<Option<(u64, PathBuf)>, KiffError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in fs::read_dir(dir).map_err(KiffError::Io)? {
+        let entry = entry.map_err(KiffError::Io)?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".kifs"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(b, _)| seq > *b) {
+                best = Some((seq, entry.path()));
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_graph::Neighbor;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiff-snap-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn toy_graph() -> KnnGraph {
+        KnnGraph::from_neighbors(
+            2,
+            vec![
+                vec![Neighbor { id: 1, sim: 0.5 }],
+                vec![Neighbor { id: 0, sim: 0.5 }],
+                vec![Neighbor { id: 3, sim: 1.0 }],
+                vec![Neighbor { id: 2, sim: 1.0 }],
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trips_with_and_without_counters() {
+        let dir = tmp("rt");
+        let ds = figure2_toy();
+        let graph = toy_graph();
+        let counters = vec![
+            vec![(1u32, 1u32)],
+            vec![(0, 1), (2, 1)],
+            vec![(1, 1)],
+            vec![],
+        ];
+
+        save_snapshot(&dir, 7, &ds, &graph, Some(&counters)).unwrap();
+        let snap = load_snapshot(&dir.join(snapshot_name(7))).unwrap();
+        assert_eq!(snap.seq, 7);
+        assert_eq!(snap.dataset.num_ratings(), ds.num_ratings());
+        assert_eq!(snap.graph, graph);
+        assert_eq!(snap.counters.as_deref(), Some(&counters[..]));
+
+        save_snapshot(&dir, 9, &ds, &graph, None).unwrap();
+        let snap = load_snapshot(&dir.join(snapshot_name(9))).unwrap();
+        assert!(snap.counters.is_none());
+
+        let (seq, path) = latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(seq, 9);
+        assert!(path.ends_with(snapshot_name(9)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let dir = tmp("bad");
+        let ds = figure2_toy();
+        let graph = toy_graph();
+        let path = save_snapshot(&dir, 1, &ds, &graph, None).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] = b'?';
+        fs::write(&path, &bytes).unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, KiffError::Corrupt { .. }), "{err}");
+        assert_eq!(err.exit_code(), 5);
+
+        // A torn .tmp file is never picked up as a snapshot.
+        fs::write(dir.join("snap-0000000000000002.kifs.tmp"), b"torn").unwrap();
+        assert_eq!(latest_snapshot(&dir).unwrap().unwrap().0, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

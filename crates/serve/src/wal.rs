@@ -1,0 +1,521 @@
+//! Write-ahead log of [`Update`] events.
+//!
+//! Every mutation batch the daemon accepts is appended here *before* it
+//! is applied to the engine, so a crash between acknowledgement and the
+//! next snapshot loses nothing. The log is a sequence of segment files
+//! (`wal-{first_seq:016}.log`) of self-checking records:
+//!
+//! ```text
+//! record  = u32 payload length (LE) · u32 CRC-32 of payload (LE) · payload
+//! payload = u64 seq (LE) · u8 tag · fields
+//! tag 0   = AddRating    (u32 user, u32 item, u32 f32-bits rating)
+//! tag 1   = AddUser      (no fields)
+//! tag 2   = RemoveRating (u32 user, u32 item)
+//! ```
+//!
+//! Bit 7 of the tag marks the *first record of an appended batch*. The
+//! engine's repair pass is amortised per batch, so the graph state
+//! depends on where batch boundaries fell — replay groups records by
+//! these marks ([`WalReplay::batches`]) and re-applies them with the
+//! original boundaries, which is what makes recovery bit-identical to
+//! the uninterrupted run.
+//!
+//! Sequence numbers start at 1 and increase by one per update — they are
+//! the global ordering the snapshots cut through (a snapshot at seq `S`
+//! covers updates `1..=S`; recovery replays strictly greater). The file
+//! is `sync_data`ed once per appended batch, not per record.
+//!
+//! Replay is deliberately forgiving at the tail: a record that is
+//! truncated, fails its CRC, carries a malformed payload, or breaks the
+//! sequence run marks the end of the log — everything before it is
+//! recovered, everything after is discarded. That is exactly the state a
+//! `kill -9` mid-append leaves behind.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use kiff_core::KiffError;
+use kiff_online::Update;
+use kiff_telemetry::Registry;
+
+/// Rotate to a fresh segment once the current one exceeds this size.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Largest accepted record payload; anything bigger is corruption.
+const MAX_PAYLOAD: u32 = 64;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:016}.log")
+}
+
+/// Sorted list of `(first_seq, path)` for every WAL segment in `dir`
+/// (empty when the directory does not exist yet).
+fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, KiffError> {
+    let mut found = Vec::new();
+    if !dir.exists() {
+        return Ok(found);
+    }
+    for entry in fs::read_dir(dir).map_err(KiffError::Io)? {
+        let entry = entry.map_err(KiffError::Io)?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable();
+    Ok(found)
+}
+
+/// Tag bit marking the first record of an appended batch.
+const BATCH_HEAD: u8 = 0x80;
+
+fn encode(seq: u64, update: &Update, batch_head: bool) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(17);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    let head = if batch_head { BATCH_HEAD } else { 0 };
+    match update {
+        Update::AddRating { user, item, rating } => {
+            payload.push(head);
+            payload.extend_from_slice(&user.to_le_bytes());
+            payload.extend_from_slice(&item.to_le_bytes());
+            payload.extend_from_slice(&rating.to_bits().to_le_bytes());
+        }
+        Update::AddUser => payload.push(1 | head),
+        Update::RemoveRating { user, item } => {
+            payload.push(2 | head);
+            payload.extend_from_slice(&user.to_le_bytes());
+            payload.extend_from_slice(&item.to_le_bytes());
+        }
+    }
+    let mut record = Vec::with_capacity(8 + payload.len());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&crc32(&payload).to_le_bytes());
+    record.extend_from_slice(&payload);
+    record
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(u64, Update, bool)> {
+    let seq = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    let raw_tag = *payload.get(8)?;
+    let batch_head = raw_tag & BATCH_HEAD != 0;
+    let tag = raw_tag & !BATCH_HEAD;
+    let rest = &payload[9..];
+    let le_u32 = |b: &[u8], at: usize| -> Option<u32> {
+        Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?))
+    };
+    let update = match tag {
+        0 if rest.len() == 12 => Update::AddRating {
+            user: le_u32(rest, 0)?,
+            item: le_u32(rest, 4)?,
+            rating: f32::from_bits(le_u32(rest, 8)?),
+        },
+        1 if rest.is_empty() => Update::AddUser,
+        2 if rest.len() == 8 => Update::RemoveRating {
+            user: le_u32(rest, 0)?,
+            item: le_u32(rest, 4)?,
+        },
+        _ => return None,
+    };
+    Some((seq, update, batch_head))
+}
+
+/// Length of the structurally valid record prefix of a segment.
+fn valid_len(bytes: &[u8]) -> usize {
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let Some(header) = bytes.get(at..at + 8) else {
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            break;
+        }
+        let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc || decode_payload(payload).is_none() {
+            break;
+        }
+        at += 8 + len as usize;
+    }
+    at
+}
+
+/// The outcome of scanning a WAL directory.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Recovered `(seq, update, batch_head)` triples with
+    /// `seq > after_seq`, in order. `batch_head` marks the first record
+    /// of each originally appended batch.
+    pub updates: Vec<(u64, Update, bool)>,
+    /// The sequence number the next appended update will carry.
+    pub next_seq: u64,
+    /// Whether an invalid record cut the scan short (crash tail).
+    pub truncated: bool,
+}
+
+impl WalReplay {
+    /// The recovered updates regrouped into their original append
+    /// batches, in order. Re-applying these batch-by-batch reproduces
+    /// the uninterrupted engine exactly — the repair pass is amortised
+    /// per batch, so boundaries are state, not just framing.
+    pub fn batches(self) -> Vec<Vec<Update>> {
+        let mut batches: Vec<Vec<Update>> = Vec::new();
+        for (_, update, head) in self.updates {
+            if head || batches.is_empty() {
+                batches.push(Vec::new());
+            }
+            batches.last_mut().expect("just pushed").push(update);
+        }
+        batches
+    }
+}
+
+/// An appendable write-ahead log rooted at a directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    file: File,
+    segment_len: u64,
+    segment_bytes: u64,
+    next_seq: u64,
+    telemetry: Registry,
+}
+
+impl Wal {
+    /// Opens (or starts) the log in `dir`, appending to the newest
+    /// segment. `next_seq` must come from a prior [`Wal::replay`] (or be
+    /// 1 for a fresh directory). A corrupt tail left by a crash is
+    /// truncated away first, so appended records always follow the last
+    /// valid one.
+    pub fn open(dir: &Path, next_seq: u64, telemetry: Registry) -> Result<Self, KiffError> {
+        fs::create_dir_all(dir).map_err(KiffError::Io)?;
+        let segments = segments(dir)?;
+        let path = match segments.last() {
+            Some((first, path)) if *first <= next_seq => path.clone(),
+            _ => dir.join(segment_name(next_seq)),
+        };
+        if let Ok(bytes) = fs::read(&path) {
+            let keep = valid_len(&bytes);
+            if keep < bytes.len() {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(KiffError::Io)?;
+                f.set_len(keep as u64).map_err(KiffError::Io)?;
+                f.sync_data().map_err(KiffError::Io)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(KiffError::Io)?;
+        let segment_len = file.metadata().map_err(KiffError::Io)?.len();
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            file,
+            segment_len,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            next_seq,
+            telemetry,
+        })
+    }
+
+    /// Overrides the segment rotation threshold (tests use tiny ones).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// The sequence number the next appended update will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends `updates` as consecutive records and flushes them to disk
+    /// with a single `sync_data`. Returns the sequence number of the
+    /// last appended update.
+    pub fn append_batch(&mut self, updates: &[Update]) -> Result<u64, KiffError> {
+        if updates.is_empty() {
+            return Ok(self.next_seq.saturating_sub(1));
+        }
+        if self.segment_len >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let mut buf = Vec::with_capacity(updates.len() * 25);
+        for (i, update) in updates.iter().enumerate() {
+            buf.extend_from_slice(&encode(self.next_seq, update, i == 0));
+            self.next_seq += 1;
+        }
+        self.file.write_all(&buf).map_err(KiffError::Io)?;
+        self.file.sync_data().map_err(KiffError::Io)?;
+        self.segment_len += buf.len() as u64;
+        self.telemetry
+            .counter("wal.appends")
+            .add(updates.len() as u64);
+        self.telemetry.counter("wal.fsyncs").incr();
+        Ok(self.next_seq - 1)
+    }
+
+    fn rotate(&mut self) -> Result<(), KiffError> {
+        let path = self.dir.join(segment_name(self.next_seq));
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(KiffError::Io)?;
+        self.segment_len = 0;
+        Ok(())
+    }
+
+    /// Deletes every segment whose records are all `<= through_seq`
+    /// (they are covered by a snapshot). The newest segment is always
+    /// kept: it holds, or will hold, the live tail.
+    pub fn prune(&mut self, through_seq: u64) -> Result<usize, KiffError> {
+        let segments = segments(&self.dir)?;
+        let mut removed = 0;
+        // Segment i's records all precede segment i+1's first_seq.
+        for window in segments.windows(2) {
+            let (_, ref path) = window[0];
+            let (next_first, _) = window[1];
+            if next_first <= through_seq + 1 {
+                fs::remove_file(path).map_err(KiffError::Io)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Scans every segment in `dir` and returns the updates with
+    /// `seq > after_seq`. Stops at the first invalid or out-of-order
+    /// record (see the module docs); sequence numbers must form one
+    /// contiguous run across segment boundaries.
+    pub fn replay(
+        dir: &Path,
+        after_seq: u64,
+        telemetry: &Registry,
+    ) -> Result<WalReplay, KiffError> {
+        let mut updates = Vec::new();
+        let mut next_seq = after_seq + 1;
+        let mut expected: Option<u64> = None;
+        let mut truncated = false;
+
+        'segments: for (_, path) in segments(dir)? {
+            let mut bytes = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(KiffError::Io)?;
+            let mut at = 0usize;
+            while at < bytes.len() {
+                let Some(header) = bytes.get(at..at + 8) else {
+                    truncated = true;
+                    break 'segments;
+                };
+                let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+                let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+                if len > MAX_PAYLOAD {
+                    truncated = true;
+                    break 'segments;
+                }
+                let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
+                    truncated = true;
+                    break 'segments;
+                };
+                if crc32(payload) != crc {
+                    truncated = true;
+                    break 'segments;
+                }
+                let Some((seq, update, head)) = decode_payload(payload) else {
+                    truncated = true;
+                    break 'segments;
+                };
+                if expected.is_some_and(|e| seq != e) {
+                    truncated = true;
+                    break 'segments;
+                }
+                expected = Some(seq + 1);
+                at += 8 + len as usize;
+                if seq > after_seq {
+                    if seq != next_seq + updates.len() as u64 {
+                        // A gap between the snapshot point and the log:
+                        // replaying would skip updates silently.
+                        return Err(KiffError::corrupt(
+                            "wal",
+                            format!("expected seq {next_seq}, found {seq}"),
+                        ));
+                    }
+                    updates.push((seq, update, head));
+                }
+            }
+        }
+        next_seq += updates.len() as u64;
+        if truncated {
+            telemetry.counter("wal.truncated").incr();
+        }
+        telemetry.counter("wal.replayed").add(updates.len() as u64);
+        Ok(WalReplay {
+            updates,
+            next_seq,
+            truncated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiff-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    fn add(user: u32, item: u32, rating: f32) -> Update {
+        Update::AddRating { user, item, rating }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp("round-trip");
+        let reg = Registry::new();
+        let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
+        let batch = vec![
+            add(0, 1, 2.5),
+            Update::AddUser,
+            Update::RemoveRating { user: 0, item: 1 },
+        ];
+        assert_eq!(wal.append_batch(&batch).unwrap(), 3);
+        assert_eq!(wal.append_batch(&[add(4, 4, 1.0)]).unwrap(), 4);
+
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.next_seq, 5);
+        let seqs: Vec<u64> = replay.updates.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        assert_eq!(replay.updates[0].1, batch[0]);
+        assert_eq!(replay.updates[2].1, batch[2]);
+        let heads: Vec<bool> = replay.updates.iter().map(|(_, _, h)| *h).collect();
+        assert_eq!(heads, vec![true, false, false, true], "batch heads marked");
+        assert_eq!(
+            Wal::replay(&dir, 0, &reg).unwrap().batches(),
+            vec![batch.clone(), vec![add(4, 4, 1.0)]],
+            "replay regroups the original append batches"
+        );
+
+        // Replay after a snapshot point skips the prefix.
+        let tail = Wal::replay(&dir, 3, &reg).unwrap();
+        assert_eq!(tail.updates.len(), 1);
+        assert_eq!(tail.updates[0].0, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_spans_them() {
+        let dir = tmp("rotate");
+        let reg = Registry::new();
+        let mut wal = Wal::open(&dir, 1, reg.clone())
+            .unwrap()
+            .with_segment_bytes(1);
+        for i in 0..5u32 {
+            wal.append_batch(&[add(i, i, 1.0)]).unwrap();
+        }
+        assert!(segments(&dir).unwrap().len() >= 4, "tiny threshold rotates");
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert_eq!(replay.updates.len(), 5);
+        assert_eq!(replay.next_seq, 6);
+
+        // Pruning through seq 3 removes segments fully covered by it.
+        let before = segments(&dir).unwrap().len();
+        let removed = wal.prune(3).unwrap();
+        assert!(removed >= 2, "removed {removed} of {before}");
+        let after = Wal::replay(&dir, 3, &reg).unwrap();
+        assert_eq!(after.updates.len(), 2, "tail survives pruning");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_recovers_to_last_valid_record() {
+        let dir = tmp("corrupt");
+        let reg = Registry::new();
+        let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0), add(1, 1, 1.0), add(2, 2, 1.0)])
+            .unwrap();
+        drop(wal);
+
+        let (_, path) = segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of the last record: CRC now fails.
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.updates.len(), 2, "first two records survive");
+        assert_eq!(replay.next_seq, 3);
+
+        // Truncated mid-record (a torn write) behaves the same.
+        bytes.truncate(n - 3);
+        fs::write(&path, &bytes).unwrap();
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.updates.len(), 2);
+
+        // Reopening drops the torn tail, so new appends replay cleanly.
+        let mut wal = Wal::open(&dir, replay.next_seq, reg.clone()).unwrap();
+        wal.append_batch(&[add(9, 9, 1.0)]).unwrap();
+        let healed = Wal::replay(&dir, 0, &reg).unwrap();
+        assert!(!healed.truncated);
+        assert_eq!(healed.updates.len(), 3);
+        assert_eq!(healed.updates[2].0, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_the_sequence() {
+        let dir = tmp("reopen");
+        let reg = Registry::new();
+        let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0)]).unwrap();
+        drop(wal);
+
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        let mut wal = Wal::open(&dir, replay.next_seq, reg.clone()).unwrap();
+        assert_eq!(wal.next_seq(), 2);
+        wal.append_batch(&[add(1, 1, 1.0)]).unwrap();
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert_eq!(replay.updates.len(), 2);
+        assert_eq!(reg.snapshot().counter("wal.fsyncs"), Some(2));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

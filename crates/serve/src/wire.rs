@@ -1,0 +1,400 @@
+//! The length-prefixed JSON wire protocol.
+//!
+//! Frames are `u32` little-endian byte length + UTF-8 JSON. Requests
+//! carry an `"op"` discriminator; responses carry `"ok": true` plus
+//! op-specific fields, or `"ok": false` with an `"error"` object whose
+//! `kind` is the server-side [`KiffError::kind`] tag:
+//!
+//! ```text
+//! → {"op":"neighbors","user":3}
+//! ← {"ok":true,"neighbors":[{"id":1,"sim":0.5}, …]}
+//! → {"op":"neighbors","user":99}
+//! ← {"ok":false,"error":{"kind":"unknown_user","message":"…"}}
+//! ```
+//!
+//! JSON (rather than a binary encoding) keeps the protocol debuggable
+//! with a five-line script; the framing keeps it unambiguous over a
+//! stream. Updates use a tagged representation mirroring
+//! [`Update`]:
+//! `{"type":"add_rating","user":u,"item":i,"rating":r}`,
+//! `{"type":"add_user"}`, `{"type":"remove_rating","user":u,"item":i}`.
+
+use std::io::{Read, Write};
+
+use kiff_core::KiffError;
+use kiff_online::Update;
+use serde_json::Value;
+
+/// Frames larger than this are rejected as a protocol error — nothing
+/// the protocol legitimately carries comes close.
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// `user`'s current neighbour list.
+    Neighbors {
+        /// Queried user.
+        user: u32,
+    },
+    /// Top-`top` item recommendations for `user`.
+    Recommend {
+        /// Target user.
+        user: u32,
+        /// List length.
+        top: usize,
+    },
+    /// Predicted rating of `item` by `user`.
+    Predict {
+        /// Target user.
+        user: u32,
+        /// Target item.
+        item: u32,
+    },
+    /// The `top` users most interested in `item`.
+    Audience {
+        /// Target item.
+        item: u32,
+        /// List length.
+        top: usize,
+    },
+    /// Profile search: users most similar to an ad-hoc profile.
+    Search {
+        /// `(item, rating)` pairs of the query profile.
+        items: Vec<(u32, f32)>,
+        /// Result length.
+        top: usize,
+    },
+    /// Apply a batch of updates (persisted to the WAL first).
+    Update {
+        /// The mutations, in order.
+        updates: Vec<Update>,
+    },
+    /// Engine lifetime statistics.
+    Stats,
+    /// Telemetry snapshot of the daemon's registry.
+    Metrics,
+    /// Force a snapshot now.
+    Snapshot,
+    /// Graceful daemon shutdown.
+    Shutdown,
+}
+
+fn protocol(msg: impl Into<String>) -> KiffError {
+    KiffError::Protocol(msg.into())
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, KiffError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| protocol(format!("missing or invalid `{key}`")))
+}
+
+fn get_top(v: &Value, default: usize) -> Result<usize, KiffError> {
+    match v.get("top") {
+        None => Ok(default),
+        Some(t) => t
+            .as_u64()
+            .map(|n| n as usize)
+            .ok_or_else(|| protocol("invalid `top`")),
+    }
+}
+
+/// Converts one [`Update`] to its wire representation.
+pub fn update_to_value(update: &Update) -> Value {
+    match update {
+        Update::AddRating { user, item, rating } => serde_json::json!({
+            "type": "add_rating",
+            "user": *user,
+            "item": *item,
+            "rating": *rating
+        }),
+        Update::AddUser => serde_json::json!({"type": "add_user"}),
+        Update::RemoveRating { user, item } => serde_json::json!({
+            "type": "remove_rating",
+            "user": *user,
+            "item": *item
+        }),
+    }
+}
+
+/// Parses one wire update object.
+pub fn update_from_value(v: &Value) -> Result<Update, KiffError> {
+    let kind = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| protocol("update missing `type`"))?;
+    match kind {
+        "add_rating" => {
+            let rating =
+                v.get("rating")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| protocol("missing or invalid `rating`"))? as f32;
+            if !rating.is_finite() || rating <= 0.0 {
+                return Err(protocol(format!("rating {rating} must be finite positive")));
+            }
+            Ok(Update::AddRating {
+                user: get_u32(v, "user")?,
+                item: get_u32(v, "item")?,
+                rating,
+            })
+        }
+        "add_user" => Ok(Update::AddUser),
+        "remove_rating" => Ok(Update::RemoveRating {
+            user: get_u32(v, "user")?,
+            item: get_u32(v, "item")?,
+        }),
+        other => Err(protocol(format!("unknown update type `{other}`"))),
+    }
+}
+
+impl Request {
+    /// Parses a decoded request frame.
+    pub fn from_value(v: &Value) -> Result<Self, KiffError> {
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| protocol("request missing `op`"))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "neighbors" => Ok(Request::Neighbors {
+                user: get_u32(v, "user")?,
+            }),
+            "recommend" => Ok(Request::Recommend {
+                user: get_u32(v, "user")?,
+                top: get_top(v, 10)?,
+            }),
+            "predict" => Ok(Request::Predict {
+                user: get_u32(v, "user")?,
+                item: get_u32(v, "item")?,
+            }),
+            "audience" => Ok(Request::Audience {
+                item: get_u32(v, "item")?,
+                top: get_top(v, 10)?,
+            }),
+            "search" => {
+                let items = v
+                    .get("items")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| protocol("missing `items`"))?
+                    .iter()
+                    .map(|pair| {
+                        let item = pair
+                            .get("item")
+                            .and_then(Value::as_u64)
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| protocol("search item missing `item`"))?;
+                        let rating =
+                            pair.get("rating").and_then(Value::as_f64).unwrap_or(1.0) as f32;
+                        Ok((item, rating))
+                    })
+                    .collect::<Result<Vec<_>, KiffError>>()?;
+                Ok(Request::Search {
+                    items,
+                    top: get_top(v, 10)?,
+                })
+            }
+            "update" => {
+                let updates = v
+                    .get("updates")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| protocol("missing `updates`"))?
+                    .iter()
+                    .map(update_from_value)
+                    .collect::<Result<Vec<_>, KiffError>>()?;
+                Ok(Request::Update { updates })
+            }
+            "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(protocol(format!("unknown op `{other}`"))),
+        }
+    }
+
+    /// The wire representation of this request.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Ping => serde_json::json!({"op": "ping"}),
+            Request::Neighbors { user } => {
+                serde_json::json!({"op": "neighbors", "user": *user})
+            }
+            Request::Recommend { user, top } => {
+                serde_json::json!({"op": "recommend", "user": *user, "top": *top})
+            }
+            Request::Predict { user, item } => {
+                serde_json::json!({"op": "predict", "user": *user, "item": *item})
+            }
+            Request::Audience { item, top } => {
+                serde_json::json!({"op": "audience", "item": *item, "top": *top})
+            }
+            Request::Search { items, top } => {
+                let items: Vec<Value> = items
+                    .iter()
+                    .map(|(i, r)| serde_json::json!({"item": *i, "rating": *r}))
+                    .collect();
+                serde_json::json!({"op": "search", "items": items, "top": *top})
+            }
+            Request::Update { updates } => {
+                let updates: Vec<Value> = updates.iter().map(update_to_value).collect();
+                serde_json::json!({"op": "update", "updates": updates})
+            }
+            Request::Stats => serde_json::json!({"op": "stats"}),
+            Request::Metrics => serde_json::json!({"op": "metrics"}),
+            Request::Snapshot => serde_json::json!({"op": "snapshot"}),
+            Request::Shutdown => serde_json::json!({"op": "shutdown"}),
+        }
+    }
+
+    /// The op name, used as the telemetry histogram label.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Neighbors { .. } => "neighbors",
+            Request::Recommend { .. } => "recommend",
+            Request::Predict { .. } => "predict",
+            Request::Audience { .. } => "audience",
+            Request::Search { .. } => "search",
+            Request::Update { .. } => "update",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Snapshot => "snapshot",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// An error response frame for `err`.
+pub fn error_value(err: &KiffError) -> Value {
+    let error = serde_json::json!({
+        "kind": err.kind(),
+        "message": err.to_string()
+    });
+    serde_json::json!({"ok": false, "error": error})
+}
+
+/// Writes one frame: `u32` LE length + JSON bytes.
+pub fn write_frame<W: Write>(w: &mut W, value: &Value) -> Result<(), KiffError> {
+    let text = serde_json::to_string(value).map_err(|e| protocol(e.to_string()))?;
+    let bytes = text.as_bytes();
+    let len = u32::try_from(bytes.len()).map_err(|_| protocol("frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(protocol(format!(
+            "frame of {len} bytes exceeds {MAX_FRAME}"
+        )));
+    }
+    w.write_all(&len.to_le_bytes()).map_err(KiffError::Io)?;
+    w.write_all(bytes).map_err(KiffError::Io)?;
+    w.flush().map_err(KiffError::Io)?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Value>, KiffError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut header[filled..]).map_err(KiffError::Io)?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(protocol("connection closed mid-frame"));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return Err(protocol(format!(
+            "frame of {len} bytes exceeds {MAX_FRAME}"
+        )));
+    }
+    let mut bytes = vec![0u8; len as usize];
+    r.read_exact(&mut bytes).map_err(KiffError::Io)?;
+    let text = String::from_utf8(bytes).map_err(|_| protocol("frame is not UTF-8"))?;
+    serde_json::from_str(&text)
+        .map(Some)
+        .map_err(|e| protocol(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let requests = vec![
+            Request::Ping,
+            Request::Neighbors { user: 3 },
+            Request::Recommend { user: 1, top: 5 },
+            Request::Predict { user: 2, item: 9 },
+            Request::Audience { item: 4, top: 2 },
+            Request::Search {
+                items: vec![(1, 2.0), (7, 1.0)],
+                top: 3,
+            },
+            Request::Update {
+                updates: vec![
+                    Update::AddRating {
+                        user: 0,
+                        item: 1,
+                        rating: 2.5,
+                    },
+                    Update::AddUser,
+                    Update::RemoveRating { user: 0, item: 1 },
+                ],
+            },
+            Request::Stats,
+            Request::Metrics,
+            Request::Snapshot,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let back = Request::from_value(&req.to_value()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        let v = Request::Neighbors { user: 7 }.to_value();
+        write_frame(&mut buf, &v).unwrap();
+        write_frame(&mut buf, &serde_json::json!({"ok": true})).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), v);
+        assert!(read_frame(&mut r).unwrap().is_some());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for text in [
+            r#"{"user":1}"#,
+            r#"{"op":"warp"}"#,
+            r#"{"op":"neighbors"}"#,
+            r#"{"op":"update","updates":[{"type":"add_rating","user":1,"item":2,"rating":-1}]}"#,
+        ] {
+            let v: Value = serde_json::from_str(text).unwrap();
+            let err = Request::from_value(&v).unwrap_err();
+            assert!(matches!(err, KiffError::Protocol(_)), "{text}: {err}");
+            assert_eq!(err.exit_code(), 6);
+        }
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_rejected() {
+        let mut bytes = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"xx");
+        assert!(read_frame(&mut bytes.as_slice()).is_err());
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &serde_json::json!({"ok": true})).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = buf.as_slice();
+        assert!(read_frame(&mut r).is_err(), "mid-frame EOF is an error");
+    }
+}

@@ -33,8 +33,13 @@ fn main() {
         result.stats.total_time,
         result.stats.scan_rate * 100.0
     );
-    let searcher =
-        GraphSearcher::new(&dataset, &result.graph, ProfileMetric::Cosine).with_max_seeds(16);
+    let searcher = GraphSearcher::new(
+        std::sync::Arc::new(dataset.clone()),
+        std::sync::Arc::new(result.graph.clone()),
+        ProfileMetric::Cosine,
+    )
+    .expect("graph was built over this dataset")
+    .with_max_seeds(16);
 
     // Synthesise query profiles from existing users with a twist: drop
     // one item, add one unseen item — a "new visitor" resembling, but not

@@ -55,6 +55,7 @@
 //! | [`kiff_online`] | incremental maintenance under streaming updates |
 //! | [`kiff_eval`] | timers, scan rate, CCDF, Spearman, tables |
 //! | [`kiff_telemetry`] | counters, gauges, latency histograms, exporters |
+//! | [`kiff_serve`] | query daemon: wire protocol, WAL, snapshots, recovery |
 //! | [`kiff_collections`] / [`kiff_parallel`] | substrate |
 
 pub use kiff_apps as apps;
@@ -66,6 +67,7 @@ pub use kiff_eval as eval;
 pub use kiff_graph as graph;
 pub use kiff_online as online;
 pub use kiff_parallel as parallel;
+pub use kiff_serve as serve;
 pub use kiff_similarity as similarity;
 pub use kiff_telemetry as telemetry;
 
@@ -82,10 +84,13 @@ pub mod prelude {
         hyrec::HyRec, nndescent::NnDescent, GreedyConfig, L2Knng, L2KnngConfig, Lsh, LshConfig,
         LshFamily,
     };
-    pub use kiff_core::{Kiff, KiffConfig};
+    pub use kiff_core::{Kiff, KiffConfig, KiffError};
     pub use kiff_dataset::{Dataset, DatasetBuilder, DeltaDataset};
     pub use kiff_graph::{exact_knn, recall, KnnGraph, Neighbor};
-    pub use kiff_online::{OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update};
+    pub use kiff_online::{
+        KnnEngine, OnlineConfig, OnlineKnn, ShardConfig, ShardedOnlineKnn, Update,
+    };
+    pub use kiff_serve::{Client, EngineHost, Server, StoreConfig};
     pub use kiff_similarity::{
         AdamicAdar, BinaryCosine, CommonItems, Dice, Jaccard, Similarity, WeightedCosine,
         WeightedJaccard,

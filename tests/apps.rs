@@ -8,6 +8,25 @@ use kiff_apps::{accuracy, hit_rate};
 use kiff_dataset::generators::{generate_planted, PlantedConfig};
 use kiff_dataset::ItemId;
 
+/// Builds a [`Recommender`] over borrowed data by cloning into the
+/// `Arc` snapshots the owning constructor expects.
+fn rec_over(ds: &Dataset, graph: &KnnGraph) -> Recommender {
+    Recommender::new(
+        std::sync::Arc::new(ds.clone()),
+        std::sync::Arc::new(graph.clone()),
+    )
+    .expect("graph and dataset agree")
+}
+
+fn searcher_over(ds: &Dataset, graph: &KnnGraph, metric: ProfileMetric) -> GraphSearcher {
+    GraphSearcher::new(
+        std::sync::Arc::new(ds.clone()),
+        std::sync::Arc::new(graph.clone()),
+        metric,
+    )
+    .expect("graph and dataset agree")
+}
+
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (
         3usize..30,
@@ -33,7 +52,7 @@ proptest! {
     fn recommendations_well_formed(ds in arb_dataset(), n in 1usize..8) {
         let sim = WeightedCosine::fit(&ds);
         let graph = Kiff::new(KiffConfig::new(3).with_threads(1)).run(&ds, &sim).graph;
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         for u in 0..ds.num_users() as u32 {
             let recs = rec.recommend(u, n);
             prop_assert!(recs.len() <= n);
@@ -58,7 +77,7 @@ proptest! {
     fn predictions_within_rating_range(ds in arb_dataset()) {
         let sim = WeightedCosine::fit(&ds);
         let graph = Kiff::new(KiffConfig::new(3).with_threads(1)).run(&ds, &sim).graph;
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for (_, _, r) in ds.iter_ratings() {
             lo = lo.min(f64::from(r));
@@ -80,7 +99,7 @@ proptest! {
     fn search_self_query_tops_at_one(ds in arb_dataset()) {
         let sim = WeightedCosine::fit(&ds);
         let graph = Kiff::new(KiffConfig::new(3).with_threads(1)).run(&ds, &sim).graph;
-        let searcher = GraphSearcher::new(&ds, &graph, ProfileMetric::Cosine);
+        let searcher = searcher_over(&ds, &graph, ProfileMetric::Cosine);
         for u in 0..ds.num_users() as u32 {
             let p = ds.user_profile(u);
             if p.is_empty() {
@@ -197,7 +216,7 @@ fn apps_accept_any_algorithm_graph() {
             .algorithm(algo)
             .threads(1)
             .build(&ds);
-        let rec = Recommender::new(&ds, &graph);
+        let rec = rec_over(&ds, &graph);
         // Every user must get well-formed output (possibly empty for LSH).
         for u in (0..ds.num_users() as u32).step_by(37) {
             let recs = rec.recommend(u, 5);

@@ -474,3 +474,150 @@ mod telemetry {
         engine.validate_invariants();
     }
 }
+
+/// Failure injection against the persistence layer: torn and corrupted
+/// WAL records must cost only the damaged suffix, never the prefix and
+/// never a panic.
+mod persistence {
+    use std::path::PathBuf;
+
+    use kiff::prelude::*;
+    use kiff::serve::{recover, StoreConfig};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiff-failure-persist-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn seed() -> Dataset {
+        let mut b = DatasetBuilder::new("persist-seed", 6, 8);
+        for u in 0..6u32 {
+            for j in 0..3u32 {
+                b.add_rating(u, (u * 2 + j) % 8, 1.0 + j as f32);
+            }
+        }
+        b.build()
+    }
+
+    fn stream() -> Vec<Update> {
+        (0..12u32)
+            .map(|i| Update::AddRating {
+                user: i % 6,
+                item: (i * 5) % 8,
+                rating: 1.0 + (i % 3) as f32,
+            })
+            .collect()
+    }
+
+    /// Logs the stream one update per batch, then damages the newest
+    /// segment's tail in two ways. Recovery must report the truncation
+    /// and land exactly on the state of a run that stopped right before
+    /// the damaged record.
+    #[test]
+    fn damaged_wal_tail_recovers_to_the_last_valid_record() {
+        for (tag, damage) in [
+            (
+                "bitflip",
+                &(|bytes: &mut Vec<u8>| {
+                    let n = bytes.len();
+                    bytes[n - 1] ^= 0xff; // CRC of the last record now fails
+                }) as &dyn Fn(&mut Vec<u8>),
+            ),
+            ("torn", &|bytes: &mut Vec<u8>| {
+                let n = bytes.len();
+                bytes.truncate(n - 3); // a write cut off mid-record
+            }),
+        ] {
+            let dir = scratch(tag);
+            let ds = seed();
+            let stream = stream();
+            let cfg = StoreConfig::new(&dir).with_snapshot_every(0);
+            let rec = recover(&cfg, &ds, None, OnlineConfig::new(2), None).unwrap();
+            let (mut engine, mut store) = (rec.engine, rec.store);
+            for u in &stream {
+                store.append(std::slice::from_ref(u)).unwrap();
+                engine.apply_batch(vec![*u]);
+            }
+            drop((engine, store));
+
+            // Damage the single segment's tail.
+            let segment = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .find(|p| p.extension().is_some_and(|x| x == "log"))
+                .expect("a WAL segment exists");
+            let mut bytes = std::fs::read(&segment).unwrap();
+            damage(&mut bytes);
+            std::fs::write(&segment, &bytes).unwrap();
+
+            // The run the recovery must reproduce: everything but the
+            // damaged final record.
+            let mut reference = OnlineKnn::new(&ds, OnlineConfig::new(2));
+            for u in &stream[..stream.len() - 1] {
+                reference.apply_batch(vec![*u]);
+            }
+
+            let rec = recover(&cfg, &ds, None, OnlineConfig::new(2), None).unwrap();
+            assert!(rec.truncated, "{tag}: the damage must be reported");
+            assert_eq!(rec.replayed, stream.len() as u64 - 1, "{tag}");
+            assert_eq!(
+                rec.engine.graph().as_ref(),
+                reference.graph().as_ref(),
+                "{tag}: recovered graph diverged from the undamaged prefix"
+            );
+
+            // The daemon keeps going: appends after the heal replay
+            // cleanly (the torn tail was truncated away on reopen).
+            let (mut engine, mut store) = (rec.engine, rec.store);
+            let extra = Update::AddRating {
+                user: 0,
+                item: 7,
+                rating: 5.0,
+            };
+            store.append(&[extra]).unwrap();
+            engine.apply_batch(vec![extra]);
+            drop((engine, store));
+            let rec = recover(&cfg, &ds, None, OnlineConfig::new(2), None).unwrap();
+            assert!(!rec.truncated, "{tag}: the heal is permanent");
+            assert_eq!(rec.replayed, stream.len() as u64, "{tag}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// A corrupt snapshot is a hard error (it cannot be silently
+    /// ignored — the WAL before it may already be pruned), and it says
+    /// which artefact is at fault.
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = scratch("snap");
+        let ds = seed();
+        let cfg = StoreConfig::new(&dir).with_snapshot_every(0);
+        let rec = recover(&cfg, &ds, None, OnlineConfig::new(2), None).unwrap();
+        let (mut engine, mut store) = (rec.engine, rec.store);
+        store.append(&stream()).unwrap();
+        engine.apply_batch(stream());
+        store.snapshot(engine.as_ref()).unwrap();
+        drop((engine, store));
+
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "kifs"))
+            .expect("a snapshot exists");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes[3] ^= 0xff; // break the magic
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let err = match recover(&cfg, &ds, None, OnlineConfig::new(2), None) {
+            Err(e) => e,
+            Ok(_) => panic!("a corrupt snapshot must fail recovery"),
+        };
+        assert_eq!(err.exit_code(), 5, "corruption class");
+        assert!(err.to_string().contains("snapshot"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
