@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve bench-faults clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,7 +32,7 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting baselines rebalance telemetry serve --scale 0.1 \
+		online sharded counting baselines rebalance telemetry serve faults --scale 0.1 \
 		--threads 4 --seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
 # Counting/scoring hot-loop throughput only (BENCH_counting.json):
@@ -70,6 +70,14 @@ bench-telemetry:
 bench-serve:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		serve --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
+# Fault tolerance only (BENCH_faults.json): the self-healing client
+# under a ~1% injected fault rate (success rate >= 0.999 and bounded
+# p99, both gated), plus degraded-mode recovery time and the
+# exactly-once bit-exactness check.
+bench-faults:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		faults --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

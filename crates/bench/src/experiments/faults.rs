@@ -1,0 +1,453 @@
+//! Fault-tolerance benchmark: `BENCH_faults.json`.
+//!
+//! The robustness counterpart to the `serve` experiment: the same kind
+//! of durable daemon, but driven through the [`SelfHealingClient`]
+//! while seeded-deterministic failpoints (see [`kiff_core::fault`])
+//! inject a ~1% fault rate into the WAL fsync path and the socket in
+//! both directions. Three phases:
+//!
+//! 1. **Clean baseline.** The workload — update batches interleaved
+//!    with `neighbors` queries — against an unfaulted daemon, for the
+//!    latency yardstick.
+//! 2. **Faulted run.** The identical workload with failpoints armed.
+//!    Every operation goes through the self-healing retry discipline
+//!    (reconnect, backoff, idempotent batch replay). Gates: success
+//!    rate `>= MIN_SUCCESS_RATE` (**hard**), client-observed p99 —
+//!    retries, backoff and reconnects included — `<= MAX_P99_US`
+//!    (**hard**), and the recovered state must be bit-exact against a
+//!    fault-free in-process replay of the acknowledged batches with
+//!    the applied high-water mark at the last batch id — the
+//!    exactly-once gate (**hard**).
+//! 3. **Forced outage.** The WAL is held down (`wal.fsync` firing on
+//!    every probe) until the daemon reports degraded, then released;
+//!    the time until the background recovery task reports `healthy`
+//!    again is gated `<= MAX_RECOVERY_MS` (**hard**).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use kiff_core::fault::{self, points, Trigger};
+use kiff_dataset::generators::planted::{generate_planted, PlantedConfig};
+use kiff_dataset::zipf::Zipf;
+use kiff_dataset::Dataset;
+use kiff_online::{OnlineConfig, OnlineKnn, Update};
+use kiff_serve::{
+    recover, Client, EngineHost, RetryPolicy, SelfHealingClient, Server, ServerConfig, StoreConfig,
+};
+use kiff_telemetry::Registry;
+
+use super::{Ctx, STREAM_K};
+
+const BATCH: usize = 8;
+/// Injected fault probability on the WAL fsync path.
+const WAL_FAULT_P: f64 = 0.01;
+/// Injected fault probability per socket direction.
+const NET_FAULT_P: f64 = 0.005;
+/// Hard gate: operations that succeed within the retry budget.
+const MIN_SUCCESS_RATE: f64 = 0.999;
+/// Hard gate: client-observed p99 under faults, retries included.
+const MAX_P99_US: f64 = 250_000.0;
+/// Hard gate: degraded-to-healthy after the WAL is released.
+const MAX_RECOVERY_MS: f64 = 2_000.0;
+
+/// Smaller than the `serve` population: the subject here is the retry
+/// discipline, not raw throughput, and three daemons run per pass.
+fn faults_dataset(multiplier: f64, seed: u64) -> Dataset {
+    let m = multiplier.clamp(0.05, 2.0);
+    let users = ((6_000.0 * m) as usize).max(800);
+    generate_planted(&PlantedConfig {
+        name: "bench-faults".to_string(),
+        num_users: users,
+        num_items: (users * 4) / 5,
+        communities: 8,
+        ratings_per_user: 20,
+        affinity: 0.8,
+        ..PlantedConfig::tiny("bench-faults", seed)
+    })
+    .0
+}
+
+/// Zipf-skewed update batches, deterministic in the seed.
+fn faults_stream(ds: &Dataset, seed: u64, batches: usize) -> Vec<Vec<Update>> {
+    let user_dist = Zipf::new(ds.num_users(), 1.1);
+    let item_dist = Zipf::new(ds.num_items(), 0.8);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            (0..BATCH)
+                .map(|_| Update::AddRating {
+                    user: user_dist.sample(&mut rng) as u32,
+                    item: item_dist.sample(&mut rng) as u32,
+                    rating: 1.0,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kiff-bench-faults-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn p99_us(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)]
+}
+
+struct DriveOutcome {
+    ok: u64,
+    failed: u64,
+    latencies_us: Vec<f64>,
+    retries: u64,
+    reconnects: u64,
+    /// The acknowledged batches, in acknowledgement order — the input
+    /// to the fault-free reference replay.
+    acked: Vec<Vec<Update>>,
+}
+
+/// Pushes the workload through a self-healing client: one update batch,
+/// then two `neighbors` probes, per round.
+fn drive(client: &mut SelfHealingClient, stream: &[Vec<Update>], users: u32) -> DriveOutcome {
+    let mut out = DriveOutcome {
+        ok: 0,
+        failed: 0,
+        latencies_us: Vec::new(),
+        retries: 0,
+        reconnects: 0,
+        acked: Vec::new(),
+    };
+    for (i, batch) in stream.iter().enumerate() {
+        let t = Instant::now();
+        let applied = client.update(batch).is_ok();
+        out.latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+        if applied {
+            out.ok += 1;
+            out.acked.push(batch.clone());
+        } else {
+            out.failed += 1;
+        }
+        for probe in 0..2u32 {
+            let user = (i as u32 * 7 + probe * 13) % users;
+            let t = Instant::now();
+            let got = client.neighbors(user).is_ok();
+            out.latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            if got {
+                out.ok += 1;
+            } else {
+                out.failed += 1;
+            }
+        }
+    }
+    out.retries = client.retries();
+    out.reconnects = client.reconnects();
+    out
+}
+
+/// One daemon lifecycle: recover in `dir`, serve, drive, wait until
+/// healthy, shut down, and recover once more for the final state.
+struct Daemon {
+    addr: String,
+    handle: std::thread::JoinHandle<Result<(), kiff_core::KiffError>>,
+}
+
+fn spawn_daemon(dir: &PathBuf, base: &Dataset, k: usize) -> Daemon {
+    let cfg = StoreConfig::new(dir).with_snapshot_every(0);
+    let registry = Registry::new();
+    let config = OnlineConfig::new(k).with_telemetry(registry.clone());
+    let rec = recover(&cfg, base, None, config, None).expect("fresh scratch directory recovers");
+    let host = EngineHost::new(rec.engine, Some(rec.store), registry);
+    let server_config = ServerConfig {
+        recovery_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind_with("127.0.0.1:0", host, server_config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    Daemon { addr, handle }
+}
+
+fn shutdown_daemon(daemon: Daemon) {
+    for _ in 0..50 {
+        match Client::connect(&daemon.addr) {
+            Ok(mut c) => {
+                if c.shutdown().is_ok() {
+                    break;
+                }
+            }
+            Err(_) => break, // already down
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon
+        .handle
+        .join()
+        .expect("daemon thread")
+        .expect("clean daemon exit");
+}
+
+fn retry_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(3),
+        max_delay: Duration::from_millis(50),
+        seed,
+    }
+}
+
+/// Runs the fault-tolerance benchmark and writes `BENCH_faults.json`.
+pub fn faults(ctx: &mut Ctx) -> String {
+    let base = faults_dataset(ctx.scale.multiplier, ctx.seed);
+    let batches = ((150.0 * ctx.scale.multiplier.clamp(0.05, 2.0)) as usize).max(60);
+    let stream = faults_stream(&base, ctx.seed, batches);
+    let users = base.num_users() as u32;
+    let config = || OnlineConfig::new(STREAM_K);
+
+    // Phase 1: clean baseline for the latency yardstick.
+    let clean_dir = scratch("clean");
+    let daemon = spawn_daemon(&clean_dir, &base, STREAM_K);
+    let mut client =
+        SelfHealingClient::connect(&daemon.addr, retry_policy(ctx.seed)).expect("connect clean");
+    let mut clean = drive(&mut client, &stream, users);
+    drop(client);
+    shutdown_daemon(daemon);
+    std::fs::remove_dir_all(&clean_dir).ok();
+    let clean_p99 = p99_us(&mut clean.latencies_us);
+    assert_eq!(clean.failed, 0, "the clean run must not fail");
+
+    // Phase 2: the same workload under a ~1% injected fault rate. The
+    // failpoints are scoped to this daemon's WAL directory and socket,
+    // and seeded so the fire pattern reproduces run-to-run.
+    let fault_dir = scratch("faulted");
+    let fault_scope = fault_dir.to_string_lossy().into_owned();
+    let daemon = spawn_daemon(&fault_dir, &base, STREAM_K);
+    let mut client =
+        SelfHealingClient::connect(&daemon.addr, retry_policy(ctx.seed)).expect("connect faulted");
+    fault::arm_scoped(
+        points::WAL_FSYNC,
+        Trigger::Prob {
+            p: WAL_FAULT_P,
+            seed: ctx.seed,
+        },
+        &fault_scope,
+    );
+    fault::arm_scoped(
+        points::NET_READ,
+        Trigger::Prob {
+            p: NET_FAULT_P,
+            seed: ctx.seed ^ 1,
+        },
+        &daemon.addr,
+    );
+    fault::arm_scoped(
+        points::NET_WRITE,
+        Trigger::Prob {
+            p: NET_FAULT_P,
+            seed: ctx.seed ^ 2,
+        },
+        &daemon.addr,
+    );
+    let mut faulted = drive(&mut client, &stream, users);
+    let faulted_p99 = p99_us(&mut faulted.latencies_us);
+    let total_ops = faulted.ok + faulted.failed;
+    let success_rate = faulted.ok as f64 / total_ops.max(1) as f64;
+
+    // The daemon must settle back to healthy after the stream.
+    let settle = Instant::now();
+    let settled = loop {
+        match client.health() {
+            Ok(h) if h.status == "healthy" => break true,
+            _ if settle.elapsed() > Duration::from_secs(5) => break false,
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    };
+
+    // Phase 3: forced outage. Hold the WAL down until a write fails
+    // (degraded), release it, and time the flip back to healthy.
+    fault::arm_scoped(points::WAL_APPEND, Trigger::Always, &fault_scope);
+    let mut prober = Client::connect(&daemon.addr).expect("prober connects");
+    let outage_batch = faulted.acked.len() as u64 + 1;
+    let refused = prober.update_batch(&stream[0], outage_batch).is_err();
+    let healing = Instant::now();
+    fault::disarm(points::WAL_APPEND);
+    fault::disarm(points::WAL_FSYNC); // release the probabilistic fault too
+    let mut recovery_ms = f64::INFINITY;
+    while healing.elapsed() < Duration::from_secs(10) {
+        if let Ok(h) = prober.health() {
+            if h.status == "healthy" {
+                recovery_ms = healing.elapsed().as_secs_f64() * 1e3;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    drop(prober);
+    drop(client);
+
+    let fault_counters: Vec<(String, u64, u64)> = fault::counters()
+        .into_iter()
+        .map(|c| (c.name, c.checks, c.fires))
+        .collect();
+    let injected: u64 = fault_counters.iter().map(|(_, _, fires)| fires).sum();
+
+    shutdown_daemon(daemon);
+    fault::disarm_all();
+
+    // Exactly-once: recover the faulted store and compare bit-exactly
+    // against a fault-free in-process replay of the acknowledged
+    // batches; the high-water mark must sit at the last batch id (the
+    // refused outage batch must have left no trace).
+    let cfg = StoreConfig::new(&fault_dir).with_snapshot_every(0);
+    let rec = recover(&cfg, &base, None, config(), None).expect("faulted store recovers");
+    let mut reference = OnlineKnn::new(&base, config());
+    for batch in &faulted.acked {
+        reference.apply_batch(batch.clone());
+    }
+    let bit_exact = rec.engine.graph().as_ref() == reference.graph().as_ref();
+    let hwm_exact = rec.store.batch_hwm() == faulted.acked.len() as u64;
+    std::fs::remove_dir_all(&fault_dir).ok();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fault-tolerance benchmark on {}: {} users, {} update batches of {BATCH} \
+         + {} queries, ~{:.1}% injected fault rate\n\n\
+         phase 1: clean baseline\n\
+         {:>24}: {clean_p99:>10.0} us\n\n\
+         phase 2: faulted run (wal.fsync p={WAL_FAULT_P}, net.read/net.write p={NET_FAULT_P})\n\
+         {:>24}: {:>10} of {total_ops} ops ({success_rate:.5}, gate >= {MIN_SUCCESS_RATE})\n\
+         {:>24}: {faulted_p99:>10.0} us ({:.1}x clean, gate <= {MAX_P99_US:.0} us)\n\
+         {:>24}: {:>10} retries, {} reconnects, {injected} faults fired\n\
+         {:>24}: {:>10}\n\n",
+        base.name(),
+        base.num_users(),
+        stream.len(),
+        2 * stream.len(),
+        100.0 * WAL_FAULT_P,
+        "op p99",
+        "succeeded",
+        faulted.ok,
+        "faulted op p99",
+        faulted_p99 / clean_p99.max(1e-9),
+        "self-healing",
+        faulted.retries,
+        faulted.reconnects,
+        "settled healthy",
+        settled,
+    ));
+    out.push_str(&format!(
+        "phase 3: forced WAL outage\n\
+         {:>24}: {:>10}\n\
+         {:>24}: {recovery_ms:>10.1} ms (gate <= {MAX_RECOVERY_MS:.0})\n\n\
+         exactly-once: bit_exact={bit_exact} hwm_exact={hwm_exact} \
+         (hwm {} == acked {})\n",
+        "degraded on write",
+        refused,
+        "degraded -> healthy",
+        rec.store.batch_hwm(),
+        faulted.acked.len(),
+    ));
+
+    let mut fail = |msg: String| {
+        eprintln!("FAULTS VIOLATION: {msg}");
+        out.push_str(&format!("VIOLATION: {msg}\n"));
+        ctx.violations.push(msg);
+    };
+    if success_rate < MIN_SUCCESS_RATE {
+        fail(format!(
+            "faults/success: {success_rate:.5} below {MIN_SUCCESS_RATE} \
+             ({} of {total_ops} ops failed past the retry budget)",
+            faulted.failed
+        ));
+    }
+    // Absolute bound, relaxed to 10x the clean baseline at scales
+    // where a single heavy batch already takes longer than the bound.
+    let p99_bound = MAX_P99_US.max(10.0 * clean_p99);
+    if faulted_p99 > p99_bound {
+        fail(format!(
+            "faults/latency: faulted p99 {faulted_p99:.0} us above {p99_bound:.0} us \
+             (max({MAX_P99_US:.0}, 10x clean {clean_p99:.0}))"
+        ));
+    }
+    if !settled || !refused || recovery_ms > MAX_RECOVERY_MS {
+        fail(format!(
+            "faults/recovery: settled={settled} refused={refused} \
+             degraded->healthy {recovery_ms:.1} ms (gate <= {MAX_RECOVERY_MS:.0})"
+        ));
+    }
+    if !bit_exact || !hwm_exact {
+        fail(format!(
+            "faults/exactly-once: bit_exact={bit_exact} hwm_exact={hwm_exact} \
+             (hwm {} vs {} acked batches)",
+            rec.store.batch_hwm(),
+            faulted.acked.len()
+        ));
+    }
+
+    let dataset_v = serde_json::json!({
+        "name": base.name(),
+        "num_users": base.num_users(),
+        "num_items": base.num_items(),
+        "update_batches": stream.len(),
+        "batch": BATCH
+    });
+    let rates_v = serde_json::json!({ "wal_fsync_p": WAL_FAULT_P, "net_p": NET_FAULT_P });
+    let clean_v = serde_json::json!({ "p99_us": clean_p99, "ops": clean.ok });
+    let faulted_v = serde_json::json!({
+        "ops": total_ops,
+        "succeeded": faulted.ok,
+        "success_rate": success_rate,
+        "min_success_rate": MIN_SUCCESS_RATE,
+        "p99_us": faulted_p99,
+        "max_p99_us": MAX_P99_US,
+        "p99_bound_us": p99_bound,
+        "p99_vs_clean": faulted_p99 / clean_p99.max(1e-9),
+        "retries": faulted.retries,
+        "reconnects": faulted.reconnects,
+        "settled_healthy": settled
+    });
+    let outage_v = serde_json::json!({
+        "refused_while_degraded": refused,
+        "recovery_ms": recovery_ms,
+        "max_recovery_ms": MAX_RECOVERY_MS
+    });
+    let exactly_once_v = serde_json::json!({
+        "bit_exact": bit_exact,
+        "batch_hwm": rec.store.batch_hwm(),
+        "acked_batches": faulted.acked.len()
+    });
+    let failpoints_v = fault_counters
+        .iter()
+        .map(|(name, checks, fires)| {
+            serde_json::json!({ "name": name, "checks": checks, "fires": fires })
+        })
+        .collect::<Vec<_>>();
+    let payload = serde_json::json!({
+        "dataset": dataset_v,
+        "fault_rate": rates_v,
+        "clean": clean_v,
+        "faulted": faulted_v,
+        "outage": outage_v,
+        "exactly_once": exactly_once_v,
+        "failpoints": failpoints_v
+    });
+    if let Ok(text) = serde_json::to_string_pretty(&payload) {
+        let path = ctx.out_dir.join("BENCH_faults.json");
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| eprintln!("warning: cannot write BENCH_faults.json: {e}"));
+    }
+    ctx.finish(
+        "faults",
+        "Fault tolerance: self-healing client under injected faults; degraded-mode recovery",
+        out,
+        &payload,
+    )
+}

@@ -11,6 +11,7 @@ pub mod counting_perf;
 pub mod datasets_exps;
 pub mod density_exps;
 pub mod extensions;
+pub mod faults;
 pub mod online;
 pub mod rebalance;
 pub mod sensitivity;
@@ -233,7 +234,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 28] = [
+pub const ALL: [&str; 29] = [
     "table1",
     "fig4",
     "fig1",
@@ -262,6 +263,7 @@ pub const ALL: [&str; 28] = [
     "rebalance",
     "telemetry",
     "serve",
+    "faults",
 ];
 
 /// Runs one experiment by id.
@@ -295,6 +297,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "rebalance" => Ok(rebalance::rebalance(ctx)),
         "telemetry" => Ok(telemetry::telemetry(ctx)),
         "serve" => Ok(serve::serve(ctx)),
+        "faults" => Ok(faults::faults(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -180,7 +180,7 @@ pub fn serve(ctx: &mut Ctx) -> String {
     let mut applied = 0usize;
     let mut snapped = false;
     for chunk in stream.chunks(BATCH) {
-        store.append(chunk).expect("append batch");
+        store.append(chunk, 0).expect("append batch");
         engine.apply_batch(chunk.to_vec());
         applied += chunk.len();
         if !snapped && applied >= snap_at {

@@ -213,6 +213,15 @@ pub struct ServeOptions {
     /// When set, write the bound address (`host:port`) to this file
     /// once the listener is up — for scripts that pass port 0.
     pub addr_file: Option<PathBuf>,
+    /// Maximum concurrently processed requests before the daemon sheds
+    /// load with a typed `overloaded` error (0 = unbounded).
+    pub max_inflight: usize,
+    /// When the data directory cannot be opened or recovered, serve
+    /// queries read-only instead of exiting.
+    pub degraded_ok: bool,
+    /// Failpoint spec (`name=trigger[%scope],...`) armed at startup on
+    /// top of `KIFF_FAILPOINTS` — chaos drills against a live daemon.
+    pub failpoints: Option<String>,
 }
 
 /// `--partitioner` values of `kiff update`.
@@ -306,7 +315,8 @@ commands:
              periodic snapshots and recover from them on restart
              --input SEED [--k N] [--metric ...] [--addr HOST:PORT]
              [--data-dir DIR] [--snapshot-every N] [--shards N]
-             [--threads N] [--addr-file FILE]
+             [--threads N] [--addr-file FILE] [--max-inflight N]
+             [--degraded-ok] [--failpoints SPEC]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -462,6 +472,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut data_dir: Option<PathBuf> = None;
     let mut snapshot_every: Option<u64> = None;
     let mut addr_file: Option<PathBuf> = None;
+    let mut max_inflight: Option<usize> = None;
+    let mut degraded_ok = false;
+    let mut failpoints: Option<String> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -512,6 +525,14 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 )?)
             }
             "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file", &mut iter)?)),
+            "--max-inflight" => {
+                max_inflight = Some(parse_num(
+                    "--max-inflight",
+                    &value("--max-inflight", &mut iter)?,
+                )?)
+            }
+            "--degraded-ok" => degraded_ok = true,
+            "--failpoints" => failpoints = Some(value("--failpoints", &mut iter)?),
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(value("--metrics-out", &mut iter)?))
             }
@@ -667,6 +688,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if data_dir.is_none() && snapshot_every.is_some() {
                 return Err(ParseError("--snapshot-every requires --data-dir".into()));
             }
+            if degraded_ok && data_dir.is_none() {
+                return Err(ParseError("--degraded-ok requires --data-dir".into()));
+            }
+            if let Some(spec) = &failpoints {
+                // Surface a malformed spec as a usage error now, not a
+                // startup crash after the graph build.
+                kiff::core::fault::parse_spec(spec)
+                    .map_err(|e| ParseError(format!("bad --failpoints: {e}")))?;
+            }
             Ok(Command::Serve(ServeOptions {
                 input: need_input(input)?,
                 k: k.unwrap_or(20),
@@ -677,6 +707,9 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 shards,
                 threads,
                 addr_file,
+                max_inflight: max_inflight.unwrap_or(0),
+                degraded_ok,
+                failpoints,
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -978,7 +1011,8 @@ mod tests {
         let cmd = parse(&argv(
             "serve --input base.tsv --k 10 --metric jaccard --addr 0.0.0.0:9000 \
              --data-dir /tmp/kiff --snapshot-every 500 --shards 2 --threads 4 \
-             --addr-file /tmp/addr.txt",
+             --addr-file /tmp/addr.txt --max-inflight 64 --degraded-ok \
+             --failpoints wal.fsync=prob:0.01@7,net.write=nth:3%127.0.0.1",
         ))
         .unwrap();
         match cmd {
@@ -992,6 +1026,12 @@ mod tests {
                 assert_eq!(s.shards, 2);
                 assert_eq!(s.threads, Some(4));
                 assert_eq!(s.addr_file, Some(PathBuf::from("/tmp/addr.txt")));
+                assert_eq!(s.max_inflight, 64);
+                assert!(s.degraded_ok);
+                assert_eq!(
+                    s.failpoints.as_deref(),
+                    Some("wal.fsync=prob:0.01@7,net.write=nth:3%127.0.0.1")
+                );
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -1005,6 +1045,9 @@ mod tests {
                 assert_eq!(s.addr, "127.0.0.1:7407", "default address");
                 assert_eq!(s.data_dir, None, "volatile by default");
                 assert_eq!(s.shards, 1);
+                assert_eq!(s.max_inflight, 0, "unbounded by default");
+                assert!(!s.degraded_ok);
+                assert_eq!(s.failpoints, None);
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -1017,6 +1060,14 @@ mod tests {
         assert!(
             parse(&argv("serve --input b.tsv --metrics-out m.json")).is_err(),
             "metrics travel over the wire, not to a file"
+        );
+        assert!(
+            parse(&argv("serve --input b.tsv --degraded-ok")).is_err(),
+            "read-only fallback is about persistence; it needs --data-dir"
+        );
+        assert!(
+            parse(&argv("serve --input b.tsv --failpoints wal.fsync=banana")).is_err(),
+            "a malformed failpoint spec is a usage error, not a late crash"
         );
     }
 

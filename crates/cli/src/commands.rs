@@ -314,7 +314,27 @@ fn update(options: &UpdateOptions, out: &mut dyn Write) -> Result<(), CommandErr
 }
 
 fn serve(options: &ServeOptions, out: &mut dyn Write) -> Result<(), CommandError> {
-    use kiff::serve::{recover, EngineHost, Server, StoreConfig};
+    use kiff::core::fault;
+    use kiff::serve::{recover, EngineHost, Server, ServerConfig, StoreConfig};
+
+    // Arm chaos failpoints before anything they could fire on: the env
+    // spec first (fleet-wide drills), then the flag (per-daemon).
+    let armed = fault::arm_from_env()?
+        + match &options.failpoints {
+            Some(spec) => fault::arm_from_spec(spec)?,
+            None => 0,
+        };
+    if armed > 0 {
+        // `off` entries count as armed (they neutralise an env spec)
+        // but are not live, so the list can be shorter than the count.
+        let live = fault::armed();
+        let live = if live.is_empty() {
+            "none live".to_string()
+        } else {
+            live.join(", ")
+        };
+        writeln!(out, "armed {armed} failpoint(s): {live}")?;
+    }
 
     let dataset = load_dataset(&options.input)?;
     let mut builder = KnnGraphBuilder::new(options.k).metric(options.metric);
@@ -339,54 +359,98 @@ fn serve(options: &ServeOptions, out: &mut dyn Write) -> Result<(), CommandError
         sc
     });
 
+    // The volatile engine over the freshly built graph: the no-data-dir
+    // path, and the `--degraded-ok` read-only fallback.
+    let volatile =
+        |config: OnlineConfig, shard_config: Option<ShardConfig>| -> Box<dyn KnnEngine> {
+            match shard_config {
+                Some(sc) => Box::new(ShardedOnlineKnn::from_graph(&dataset, &graph, config, sc)),
+                None => Box::new(OnlineKnn::from_graph(&dataset, &graph, config)),
+            }
+        };
+
+    let mut read_only = false;
     let (engine, store) = match &options.data_dir {
         Some(dir) => {
             let mut cfg = StoreConfig::new(dir);
             if let Some(every) = options.snapshot_every {
                 cfg = cfg.with_snapshot_every(every);
             }
-            let recovered = recover(&cfg, &dataset, Some(&graph), config, shard_config)?;
-            let torn = if recovered.truncated {
-                " (torn WAL tail truncated)"
-            } else {
-                ""
-            };
-            match recovered.snapshot_seq {
-                Some(seq) => writeln!(
-                    out,
-                    "recovered snapshot seq {seq} + {} WAL update(s){torn} from {}",
-                    recovered.replayed,
-                    dir.display()
-                )?,
-                None if recovered.replayed > 0 => writeln!(
-                    out,
-                    "replayed {} WAL update(s){torn} from {}",
-                    recovered.replayed,
-                    dir.display()
-                )?,
-                None => writeln!(out, "fresh data directory {}", dir.display())?,
+            match recover(
+                &cfg,
+                &dataset,
+                Some(&graph),
+                config.clone(),
+                shard_config.clone(),
+            ) {
+                Ok(recovered) => {
+                    let torn = if recovered.truncated {
+                        " (torn WAL tail truncated)"
+                    } else {
+                        ""
+                    };
+                    match recovered.snapshot_seq {
+                        Some(seq) => writeln!(
+                            out,
+                            "recovered snapshot seq {seq} + {} WAL update(s){torn} from {}",
+                            recovered.replayed,
+                            dir.display()
+                        )?,
+                        None if recovered.replayed > 0 => writeln!(
+                            out,
+                            "replayed {} WAL update(s){torn} from {}",
+                            recovered.replayed,
+                            dir.display()
+                        )?,
+                        None => writeln!(out, "fresh data directory {}", dir.display())?,
+                    }
+                    (recovered.engine, Some(recovered.store))
+                }
+                Err(e) if options.degraded_ok => {
+                    // Persistence is unusable but the operator asked to
+                    // keep answering queries: serve the freshly built
+                    // graph read-only (writes refuse with a typed
+                    // `unavailable`) instead of exiting.
+                    writeln!(
+                        out,
+                        "WARNING: {}: {e}; --degraded-ok set, serving read-only",
+                        dir.display()
+                    )?;
+                    read_only = true;
+                    (volatile(config, shard_config), None)
+                }
+                Err(e) => return Err(e.into()),
             }
-            (recovered.engine, Some(recovered.store))
         }
         None => {
             writeln!(
                 out,
                 "no --data-dir: running volatile, updates are lost on exit"
             )?;
-            let engine: Box<dyn KnnEngine> = match shard_config {
-                Some(sc) => Box::new(ShardedOnlineKnn::from_graph(&dataset, &graph, config, sc)),
-                None => Box::new(OnlineKnn::from_graph(&dataset, &graph, config)),
-            };
-            (engine, None)
+            (volatile(config, shard_config), None)
         }
     };
 
-    let host = EngineHost::new(engine, store, registry);
-    let server = Server::bind(&options.addr, host)?;
+    let mut host = EngineHost::new(engine, store, registry);
+    if read_only {
+        host = host.read_only();
+    }
+    let server_config = ServerConfig {
+        max_inflight: options.max_inflight,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind_with(&options.addr, host, server_config)?;
     let bound = server.local_addr();
     if let Some(path) = &options.addr_file {
         std::fs::write(path, format!("{bound}\n"))
             .map_err(|e| err(format!("{}: {e}", path.display())))?;
+    }
+    if options.max_inflight > 0 {
+        writeln!(
+            out,
+            "shedding beyond {} concurrent request(s)",
+            options.max_inflight
+        )?;
     }
     writeln!(out, "serving on {bound} (send `shutdown` to stop)")?;
     out.flush()?;
@@ -933,6 +997,70 @@ mod tests {
         assert!(out.contains("volatile"), "{out}");
         assert!(out.contains("daemon stopped"), "{out}");
         std::fs::remove_file(&addr_file).ok();
+    }
+
+    #[test]
+    fn serve_degraded_ok_survives_broken_data_dir() {
+        let input = fixture();
+        let addr_file = tmp("serve-degraded-addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        // A regular file where a directory is expected: recovery fails,
+        // but --degraded-ok keeps the daemon up read-only.
+        let bad_dir = tmp("serve-degraded-datadir");
+        std::fs::remove_dir_all(&bad_dir).ok();
+        std::fs::remove_file(&bad_dir).ok();
+        std::fs::write(&bad_dir, "not a directory").unwrap();
+        let cmdline = format!(
+            "serve --input {} --k 2 --addr 127.0.0.1:0 --addr-file {} \
+             --data-dir {} --degraded-ok --max-inflight 8",
+            input.display(),
+            addr_file.display(),
+            bad_dir.display()
+        );
+        let daemon = std::thread::spawn(move || run_str(&cmdline));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "degraded daemon never published its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let mut client = kiff::serve::Client::connect(&addr).expect("connect");
+        let nbrs = client.neighbors(0).expect("reads still serve");
+        assert!(!nbrs.is_empty(), "user 0 has neighbours");
+        let e = client
+            .update(&[Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            }])
+            .unwrap_err();
+        assert_eq!(e.exit_code(), 7, "refusal surfaces as a remote error");
+        assert!(e.to_string().contains("unavailable"), "{e}");
+        assert!(e.is_retryable(), "unavailable is retryable: {e}");
+        let health = client.health().expect("health");
+        assert_ne!(health.status, "healthy", "read-only mode is not healthy");
+        client.shutdown().expect("shutdown");
+        let out = daemon.join().expect("join").expect("serve run");
+        assert!(
+            out.contains("--degraded-ok set, serving read-only"),
+            "{out}"
+        );
+        assert!(
+            out.contains("shedding beyond 8 concurrent request(s)"),
+            "{out}"
+        );
+        std::fs::remove_file(&addr_file).ok();
+        std::fs::remove_file(&bad_dir).ok();
     }
 
     #[test]

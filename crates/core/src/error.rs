@@ -55,11 +55,32 @@ pub enum KiffError {
     },
     /// A malformed or unsupported wire-protocol request.
     Protocol(String),
+    /// The daemon is in read-only degraded mode (its WAL is failing):
+    /// queries keep serving, but the named write operation was refused.
+    /// Retryable — a background task keeps probing the WAL and flips
+    /// the daemon back to healthy once fsync succeeds again.
+    Unavailable {
+        /// The refused operation (e.g. `"update"`, `"snapshot"`).
+        op: String,
+        /// Why the daemon is degraded (the original WAL failure).
+        detail: String,
+    },
+    /// The daemon shed this request because its bounded in-flight limit
+    /// was already saturated. Retryable after backoff.
+    Overloaded {
+        /// In-flight requests at the moment of shedding.
+        inflight: usize,
+        /// The configured in-flight limit.
+        limit: usize,
+    },
     /// An error reported by a remote `kiff-serve` daemon, carrying the
-    /// wire `kind` tag of the server-side variant.
+    /// wire `kind` tag of the server-side variant and the failing op so
+    /// callers can branch on `unavailable` vs `overloaded` vs `corrupt`.
     Remote {
         /// The server-side [`KiffError::kind`] tag.
         kind: String,
+        /// The wire op that failed (e.g. `"update"`), when known.
+        op: String,
         /// The server-side error message.
         message: String,
     },
@@ -86,7 +107,29 @@ impl KiffError {
             KiffError::Corrupt { .. } => "corrupt",
             KiffError::Mismatch { .. } => "mismatch",
             KiffError::Protocol(_) => "protocol",
+            KiffError::Unavailable { .. } => "unavailable",
+            KiffError::Overloaded { .. } => "overloaded",
             KiffError::Remote { .. } => "remote",
+        }
+    }
+
+    /// Whether retrying the same operation (after backoff, possibly on
+    /// a fresh connection) can plausibly succeed.
+    ///
+    /// `Io` covers torn connections and transient disk errors;
+    /// `Unavailable` clears when the daemon's WAL recovers;
+    /// `Overloaded` clears when in-flight load drains. A `Remote` error
+    /// is retryable exactly when its server-side class is — so the
+    /// self-healing client applies one policy on both sides of the
+    /// wire. Everything else (bad request, corruption, protocol
+    /// violation) would fail identically on retry.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            KiffError::Io(_) | KiffError::Unavailable { .. } | KiffError::Overloaded { .. } => true,
+            KiffError::Remote { kind, .. } => {
+                matches!(kind.as_str(), "io" | "unavailable" | "overloaded")
+            }
+            _ => false,
         }
     }
 
@@ -104,6 +147,8 @@ impl KiffError {
     /// | 5    | [`Corrupt`](KiffError::Corrupt), [`Mismatch`](KiffError::Mismatch) |
     /// | 6    | [`Protocol`](KiffError::Protocol) |
     /// | 7    | [`Remote`](KiffError::Remote) |
+    /// | 8    | [`Unavailable`](KiffError::Unavailable) |
+    /// | 9    | [`Overloaded`](KiffError::Overloaded) |
     pub fn exit_code(&self) -> u8 {
         match self {
             KiffError::UnknownUser { .. } | KiffError::UnknownItem { .. } => 2,
@@ -112,6 +157,8 @@ impl KiffError {
             KiffError::Corrupt { .. } | KiffError::Mismatch { .. } => 5,
             KiffError::Protocol(_) => 6,
             KiffError::Remote { .. } => 7,
+            KiffError::Unavailable { .. } => 8,
+            KiffError::Overloaded { .. } => 9,
         }
     }
 }
@@ -135,8 +182,21 @@ impl fmt::Display for KiffError {
             }
             KiffError::Mismatch { detail } => write!(f, "mismatch: {detail}"),
             KiffError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            KiffError::Remote { kind, message } => {
-                write!(f, "server error ({kind}): {message}")
+            KiffError::Unavailable { op, detail } => {
+                write!(f, "{op} unavailable (daemon degraded): {detail}")
+            }
+            KiffError::Overloaded { inflight, limit } => {
+                write!(
+                    f,
+                    "overloaded: {inflight} requests in flight (limit {limit})"
+                )
+            }
+            KiffError::Remote { kind, op, message } => {
+                if op.is_empty() {
+                    write!(f, "server error ({kind}): {message}")
+                } else {
+                    write!(f, "server error ({kind}) on {op}: {message}")
+                }
             }
         }
     }
@@ -185,6 +245,46 @@ mod tests {
         );
         assert_eq!(KiffError::corrupt("snapshot", "bad magic").exit_code(), 5);
         assert_eq!(KiffError::Protocol("nope".into()).exit_code(), 6);
+        let unavailable = KiffError::Unavailable {
+            op: "update".into(),
+            detail: "wal fsync failing".into(),
+        };
+        assert_eq!(unavailable.exit_code(), 8);
+        assert_eq!(unavailable.kind(), "unavailable");
+        let overloaded = KiffError::Overloaded {
+            inflight: 64,
+            limit: 64,
+        };
+        assert_eq!(overloaded.exit_code(), 9);
+        assert_eq!(overloaded.kind(), "overloaded");
+    }
+
+    #[test]
+    fn retryability_tracks_the_error_class_across_the_wire() {
+        assert!(KiffError::Io(std::io::Error::other("torn")).is_retryable());
+        assert!(KiffError::Unavailable {
+            op: "update".into(),
+            detail: "degraded".into(),
+        }
+        .is_retryable());
+        assert!(KiffError::Overloaded {
+            inflight: 9,
+            limit: 8,
+        }
+        .is_retryable());
+        assert!(!KiffError::EmptyQuery.is_retryable());
+        assert!(!KiffError::corrupt("wal record", "crc").is_retryable());
+
+        let remote = |kind: &str| KiffError::Remote {
+            kind: kind.into(),
+            op: "update".into(),
+            message: "m".into(),
+        };
+        assert!(remote("unavailable").is_retryable());
+        assert!(remote("overloaded").is_retryable());
+        assert!(remote("io").is_retryable());
+        assert!(!remote("unknown_user").is_retryable());
+        assert!(!remote("corrupt").is_retryable());
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! Deterministic failpoint injection for the serving stack.
+//!
+//! Production inference stacks fail at the edges — a full disk mid-fsync,
+//! a client killed mid-frame, a torn snapshot rename — and those paths
+//! are exactly the ones ordinary tests never execute. This module gives
+//! every layer a shared registry of **named injection points**: a call
+//! site asks [`check`] whether the failpoint with its name should fire,
+//! and an armed trigger answers with an injected I/O error the caller
+//! propagates exactly as it would a real one. The chaos harness
+//! (`tests/serve_faults.rs`), the `faults` bench experiment, and
+//! `kiff serve --failpoints` all drive the same registry.
+//!
+//! # Injection points
+//!
+//! The canonical names live in [`points`]:
+//!
+//! | name | fired from |
+//! |------|-----------|
+//! | `wal.append`      | WAL record write, before bytes hit the file |
+//! | `wal.fsync`       | WAL `sync_data`, incl. the reopen health probe |
+//! | `snapshot.write`  | snapshot `.tmp` streaming |
+//! | `snapshot.rename` | the atomic `.tmp` → final rename |
+//! | `net.read`        | server-side frame read (connection killed) |
+//! | `net.write`       | server-side response write (connection killed) |
+//!
+//! # Triggers
+//!
+//! A failpoint is armed with a [`Trigger`]:
+//!
+//! * `always` — every check fires.
+//! * `nth:N` — exactly the `N`-th check fires (one-shot).
+//! * `every:N` — every `N`-th check fires.
+//! * `prob:P@SEED` — each check fires with probability `P`, drawn from a
+//!   seeded xorshift stream, so a given seed produces the *same* fire
+//!   pattern on every run (deterministic chaos).
+//!
+//! # Scopes
+//!
+//! An armed failpoint may carry a **scope** — a substring that must occur
+//! in the checking call site's context string (the WAL directory, the
+//! listener address) for the trigger to be evaluated at all. Scoped
+//! arming lets concurrent tests inject faults into *their* daemon
+//! without perturbing a neighbour's, and lets an operator target one
+//! store among many. Multiple scopes of the same name coexist.
+//!
+//! # Cost
+//!
+//! When nothing is armed, [`check`] is a single relaxed atomic load —
+//! cheap enough to leave the checks compiled into release builds (the
+//! same trick the telemetry registry uses for its disabled fast path).
+//! Checks and fires are counted per failpoint; [`counters`] exposes them
+//! for the daemon's `fault.*` telemetry instruments.
+//!
+//! # Arming
+//!
+//! Programmatic ([`arm`], [`arm_scoped`]) or via the `KIFF_FAILPOINTS`
+//! environment variable ([`arm_from_env`]), whose value is a spec like
+//! `wal.fsync=prob:0.01@42,snapshot.rename=nth:3` (see [`arm_from_spec`]
+//! for the grammar). The registry is process-global: arming is for
+//! tests, benchmarks, and drills — never default production paths.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::error::KiffError;
+
+/// Canonical failpoint names used across the serving stack.
+pub mod points {
+    /// WAL record write, before the bytes reach the segment file.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// WAL `sync_data` — the per-batch durability fsync and the reopen
+    /// health probe.
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// Snapshot `.tmp` streaming write.
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// The atomic `.tmp` → final snapshot rename.
+    pub const SNAPSHOT_RENAME: &str = "snapshot.rename";
+    /// Server-side frame read; firing kills that connection.
+    pub const NET_READ: &str = "net.read";
+    /// Server-side response write; firing kills that connection.
+    pub const NET_WRITE: &str = "net.write";
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Never fires (keeps counters readable after a disarm).
+    Off,
+    /// Every check fires.
+    Always,
+    /// Exactly the `n`-th check (1-based) fires, once.
+    Nth(u64),
+    /// Every `n`-th check fires.
+    Every(u64),
+    /// Each check fires with probability `p`, drawn from a seeded
+    /// deterministic stream.
+    Prob {
+        /// Fire probability in `[0, 1]`.
+        p: f64,
+        /// Stream seed; the same seed reproduces the same fire pattern.
+        seed: u64,
+    },
+}
+
+/// One armed entry: a trigger plus its (optional) scope and counters.
+#[derive(Debug)]
+struct Entry {
+    trigger: Trigger,
+    scope: Option<String>,
+    checks: u64,
+    fires: u64,
+    rng: u64,
+}
+
+/// Check/fire counts of one failpoint name, aggregated over its scopes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCounter {
+    /// The failpoint name.
+    pub name: String,
+    /// Trigger evaluations since the failpoint was first armed.
+    pub checks: u64,
+    /// How many of those checks fired.
+    pub fires: u64,
+}
+
+/// Number of entries with a live (non-`Off`) trigger; the fast path.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+fn table() -> &'static Mutex<HashMap<String, Vec<Entry>>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, Vec<Entry>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_table() -> MutexGuard<'static, HashMap<String, Vec<Entry>>> {
+    // A panic while holding the registry lock (impossible in the code
+    // below, but cheap to defend) must not wedge every future check.
+    table().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One step of the shared xorshift64* PRNG; also used by the
+/// self-healing client's deterministic backoff jitter.
+#[inline]
+pub fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// FNV-1a over the name, to decorrelate per-failpoint `prob` streams
+/// that share a seed.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn seed_rng(trigger: &Trigger, name: &str) -> u64 {
+    match trigger {
+        Trigger::Prob { seed, .. } => (seed ^ name_hash(name)) | 1,
+        _ => 1,
+    }
+}
+
+/// Arms `name` globally (no scope) with `trigger`, replacing any
+/// previous unscoped entry. Counters of a re-armed entry restart.
+pub fn arm(name: &str, trigger: Trigger) {
+    arm_entry(name, trigger, None);
+}
+
+/// Arms `name` with `trigger`, firing only for checks whose context
+/// string contains `scope` (e.g. a store directory or listener address).
+/// Entries with different scopes coexist; re-arming an existing scope
+/// replaces it.
+pub fn arm_scoped(name: &str, trigger: Trigger, scope: impl Into<String>) {
+    arm_entry(name, trigger, Some(scope.into()));
+}
+
+fn arm_entry(name: &str, trigger: Trigger, scope: Option<String>) {
+    let mut table = lock_table();
+    let entries = table.entry(name.to_string()).or_default();
+    let rng = seed_rng(&trigger, name);
+    let live = trigger != Trigger::Off;
+    if let Some(entry) = entries.iter_mut().find(|e| e.scope == scope) {
+        let was_live = entry.trigger != Trigger::Off;
+        entry.trigger = trigger;
+        entry.rng = rng;
+        entry.checks = 0;
+        entry.fires = 0;
+        match (was_live, live) {
+            (false, true) => {
+                ARMED.fetch_add(1, Ordering::SeqCst);
+            }
+            (true, false) => {
+                ARMED.fetch_sub(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    } else {
+        entries.push(Entry {
+            trigger,
+            scope,
+            checks: 0,
+            fires: 0,
+            rng,
+        });
+        if live {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Disarms every entry of `name` (all scopes). Counters stay readable
+/// via [`counters`] until [`reset`].
+pub fn disarm(name: &str) {
+    let mut table = lock_table();
+    if let Some(entries) = table.get_mut(name) {
+        for entry in entries.iter_mut() {
+            if entry.trigger != Trigger::Off {
+                entry.trigger = Trigger::Off;
+                ARMED.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Disarms every failpoint (counters stay readable).
+pub fn disarm_all() {
+    let mut table = lock_table();
+    for entries in table.values_mut() {
+        for entry in entries.iter_mut() {
+            if entry.trigger != Trigger::Off {
+                entry.trigger = Trigger::Off;
+                ARMED.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// Disarms everything and clears all counters.
+pub fn reset() {
+    let mut table = lock_table();
+    for entries in table.values_mut() {
+        for entry in entries.iter_mut() {
+            if entry.trigger != Trigger::Off {
+                ARMED.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    table.clear();
+}
+
+/// Names currently armed with a live trigger.
+pub fn armed() -> Vec<String> {
+    let table = lock_table();
+    let mut names: Vec<String> = table
+        .iter()
+        .filter(|(_, entries)| entries.iter().any(|e| e.trigger != Trigger::Off))
+        .map(|(name, _)| name.clone())
+        .collect();
+    names.sort_unstable();
+    names
+}
+
+/// Per-failpoint check/fire counters (aggregated over scopes), sorted
+/// by name — the source of the daemon's `fault.*` instruments.
+pub fn counters() -> Vec<FaultCounter> {
+    let table = lock_table();
+    let mut out: Vec<FaultCounter> = table
+        .iter()
+        .map(|(name, entries)| FaultCounter {
+            name: name.clone(),
+            checks: entries.iter().map(|e| e.checks).sum(),
+            fires: entries.iter().map(|e| e.fires).sum(),
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Checks the unscoped failpoint `name`; see [`check_ctx`].
+pub fn check(name: &str) -> Result<(), KiffError> {
+    check_ctx(name, "")
+}
+
+/// Asks whether failpoint `name` should fire for a call site whose
+/// context string is `ctx` (a store directory, a listener address, …).
+///
+/// Returns an injected [`KiffError::Io`] when an armed trigger fires;
+/// `Ok(())` otherwise — including always when nothing is armed, at the
+/// cost of one relaxed atomic load.
+pub fn check_ctx(name: &str, ctx: &str) -> Result<(), KiffError> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return Ok(());
+    }
+    let mut table = lock_table();
+    let Some(entries) = table.get_mut(name) else {
+        return Ok(());
+    };
+    for entry in entries.iter_mut() {
+        if entry.trigger == Trigger::Off {
+            continue;
+        }
+        if let Some(scope) = &entry.scope {
+            if !ctx.contains(scope.as_str()) {
+                continue;
+            }
+        }
+        entry.checks += 1;
+        let fire = match &entry.trigger {
+            Trigger::Off => false,
+            Trigger::Always => true,
+            Trigger::Nth(n) => entry.checks == *n,
+            Trigger::Every(n) => *n > 0 && entry.checks % *n == 0,
+            Trigger::Prob { p, .. } => {
+                let draw = (xorshift64(&mut entry.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                draw < *p
+            }
+        };
+        if fire {
+            entry.fires += 1;
+            return Err(KiffError::Io(std::io::Error::other(format!(
+                "failpoint {name} fired (injected)"
+            ))));
+        }
+    }
+    Ok(())
+}
+
+/// Parses one trigger spec: `off`, `always`, `nth:N`, `every:N`,
+/// `prob:P` or `prob:P@SEED`.
+pub fn parse_trigger(spec: &str) -> Result<Trigger, KiffError> {
+    let bad = |detail: String| KiffError::Protocol(format!("failpoint trigger `{spec}`: {detail}"));
+    match spec.split_once(':') {
+        None => match spec {
+            "off" => Ok(Trigger::Off),
+            "always" => Ok(Trigger::Always),
+            other => Err(bad(format!("unknown mode `{other}`"))),
+        },
+        Some(("nth", n)) => n
+            .parse::<u64>()
+            .map(Trigger::Nth)
+            .map_err(|e| bad(e.to_string())),
+        Some(("every", n)) => n
+            .parse::<u64>()
+            .map(Trigger::Every)
+            .map_err(|e| bad(e.to_string())),
+        Some(("prob", rest)) => {
+            let (p, seed) = match rest.split_once('@') {
+                Some((p, seed)) => (p, seed.parse::<u64>().map_err(|e| bad(e.to_string()))?),
+                None => (rest, 42),
+            };
+            let p: f64 = p
+                .parse()
+                .map_err(|e: std::num::ParseFloatError| bad(e.to_string()))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(bad(format!("probability {p} outside [0, 1]")));
+            }
+            Ok(Trigger::Prob { p, seed })
+        }
+        Some((mode, _)) => Err(bad(format!("unknown mode `{mode}`"))),
+    }
+}
+
+/// Arms failpoints from a comma-separated spec:
+///
+/// ```text
+/// spec    = point ("," point)*
+/// point   = name "=" trigger ["%" scope]
+/// trigger = "off" | "always" | "nth:" N | "every:" N | "prob:" P ["@" SEED]
+/// ```
+///
+/// e.g. `wal.fsync=prob:0.01@42,snapshot.rename=nth:3%/var/lib/kiff`.
+/// Returns the number of points armed.
+pub fn arm_from_spec(spec: &str) -> Result<usize, KiffError> {
+    let points = parse_spec(spec)?;
+    let armed = points.len();
+    for (name, trigger, scope) in points {
+        arm_entry(&name, trigger, scope);
+    }
+    Ok(armed)
+}
+
+/// Parses a spec (same grammar as [`arm_from_spec`]) without arming
+/// anything — a dry run for validating user input up front.
+pub fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger, Option<String>)>, KiffError> {
+    let mut points = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, rest) = part.split_once('=').ok_or_else(|| {
+            KiffError::Protocol(format!("failpoint spec `{part}` is missing `=`"))
+        })?;
+        let (trigger_spec, scope) = match rest.split_once('%') {
+            Some((t, s)) => (t, Some(s.to_string())),
+            None => (rest, None),
+        };
+        let trigger = parse_trigger(trigger_spec)?;
+        points.push((name.trim().to_string(), trigger, scope));
+    }
+    Ok(points)
+}
+
+/// Arms failpoints from the `KIFF_FAILPOINTS` environment variable, if
+/// set; returns the number armed (0 when unset or empty).
+pub fn arm_from_env() -> Result<usize, KiffError> {
+    match std::env::var("KIFF_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => arm_from_spec(&spec),
+        _ => Ok(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and other modules' tests may run
+    // concurrently, so every test here uses its own unique names/scopes.
+
+    #[test]
+    fn unarmed_checks_are_free_and_ok() {
+        assert!(check("fault.test.never-armed").is_ok());
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        arm("fault.test.nth", Trigger::Nth(3));
+        let fired: Vec<bool> = (0..6).map(|_| check("fault.test.nth").is_err()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        let c = counters()
+            .into_iter()
+            .find(|c| c.name == "fault.test.nth")
+            .unwrap();
+        assert_eq!((c.checks, c.fires), (6, 1));
+        disarm("fault.test.nth");
+    }
+
+    #[test]
+    fn prob_streams_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            arm("fault.test.prob", Trigger::Prob { p: 0.3, seed });
+            (0..64).map(|_| check("fault.test.prob").is_err()).collect()
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same fire pattern");
+        assert_ne!(a, c, "different seed diverges");
+        assert!(a.iter().any(|&f| f), "p=0.3 fires within 64 draws");
+        assert!(!a.iter().all(|&f| f), "p=0.3 spares some draws");
+        disarm("fault.test.prob");
+    }
+
+    #[test]
+    fn scopes_isolate_contexts_and_coexist() {
+        arm_scoped("fault.test.scope", Trigger::Always, "/store-a");
+        assert!(check_ctx("fault.test.scope", "/tmp/store-b/wal").is_ok());
+        assert!(check_ctx("fault.test.scope", "/tmp/store-a/wal").is_err());
+        // A second scope of the same name operates independently.
+        arm_scoped("fault.test.scope", Trigger::Nth(1), "/store-b");
+        assert!(check_ctx("fault.test.scope", "/tmp/store-b/wal").is_err());
+        assert!(check_ctx("fault.test.scope", "/tmp/store-b/wal").is_ok());
+        assert!(check_ctx("fault.test.scope", "/tmp/store-a/wal").is_err());
+        disarm("fault.test.scope");
+        assert!(check_ctx("fault.test.scope", "/tmp/store-a/wal").is_ok());
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let n = arm_from_spec(
+            "fault.test.spec1=always, fault.test.spec2=nth:4, \
+             fault.test.spec3=prob:0.5@9%scope-x",
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+        assert!(check("fault.test.spec1").is_err());
+        assert!(check_ctx("fault.test.spec3", "no-match").is_ok());
+        assert!(armed().iter().any(|n| n == "fault.test.spec2"));
+        for name in ["fault.test.spec1", "fault.test.spec2", "fault.test.spec3"] {
+            disarm(name);
+        }
+
+        assert!(arm_from_spec("nope").is_err(), "missing `=`");
+        assert!(arm_from_spec("x=warp").is_err(), "unknown mode");
+        assert!(arm_from_spec("x=prob:1.5").is_err(), "p outside [0,1]");
+        assert!(
+            parse_trigger("every:0").is_ok(),
+            "every:0 parses (never fires)"
+        );
+    }
+
+    #[test]
+    fn injected_errors_are_io_class() {
+        arm("fault.test.kind", Trigger::Always);
+        let err = check("fault.test.kind").unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(err.to_string().contains("fault.test.kind"));
+        disarm("fault.test.kind");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod config;
 pub mod counting;
 pub mod error;
+pub mod fault;
 pub mod init;
 pub mod kiff;
 pub mod refine;

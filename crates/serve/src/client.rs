@@ -1,12 +1,36 @@
-//! A blocking client for the `kiff-serve` wire protocol.
+//! Clients for the `kiff-serve` wire protocol.
 //!
-//! One request in flight per connection: [`Client::request`] writes a
-//! frame and blocks for the answer. Server-side failures come back as
-//! [`KiffError::Remote`] carrying the server's error `kind` tag, so a
-//! caller can still branch on the failure class across the wire.
+//! [`Client`] is the raw blocking connection: one request in flight,
+//! [`Client::request`] writes a frame and blocks for the answer.
+//! Server-side failures come back as [`KiffError::Remote`] carrying the
+//! server's error `kind` tag *and* the failing op, so a caller can
+//! branch on the failure class — `unavailable` vs `overloaded` vs
+//! `corrupt` — across the wire.
+//!
+//! [`SelfHealingClient`] wraps it with the retry discipline a client of
+//! a degradable daemon needs:
+//!
+//! * **Backoff** — exponential with deterministic seeded jitter
+//!   ([`RetryPolicy`]); the same seed reproduces the same retry timing,
+//!   which keeps chaos tests replayable.
+//! * **Reconnect** — a torn connection (server killed it, network blip)
+//!   is dropped and redialled on the next attempt.
+//! * **Idempotent writes** — every update batch carries a
+//!   client-assigned id from a monotonic counter seeded off the
+//!   server's applied high-water mark (via `health`) at connect. If an
+//!   acknowledgement is lost and the batch is retried, the server
+//!   recognises the id and answers `deduped` instead of applying it
+//!   twice — the exactly-once half of the fault-tolerance story,
+//!   proven by the chaos proptest in `tests/serve_faults.rs`.
+//!
+//! Only [`KiffError::is_retryable`] failures are retried: a malformed
+//! request or an unknown user fails identically every time and is
+//! returned immediately.
 
 use std::net::TcpStream;
+use std::time::Duration;
 
+use kiff_core::fault::xorshift64;
 use kiff_core::KiffError;
 use kiff_graph::Neighbor;
 use kiff_online::Update;
@@ -24,6 +48,32 @@ fn protocol(msg: impl Into<String>) -> KiffError {
     KiffError::Protocol(msg.into())
 }
 
+/// A decoded `health` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Health {
+    /// `healthy`, `degraded`, or `recovering`.
+    pub status: String,
+    /// Last persisted sequence (`None` on a storeless daemon).
+    pub seq: Option<u64>,
+    /// Applied-batch high-water mark (0 = no batch ids seen).
+    pub batch_hwm: u64,
+    /// Seconds since the last successful WAL append.
+    pub wal_age_secs: Option<u64>,
+    /// Seconds since the last snapshot.
+    pub snapshot_age_secs: Option<u64>,
+}
+
+/// A decoded `update` acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Updates applied by this request (0 when deduped).
+    pub applied: u64,
+    /// Whether the server recognised the batch id as already applied.
+    pub deduped: bool,
+    /// The WAL sequence after the batch (`None` on a storeless daemon).
+    pub seq: Option<u64>,
+}
+
 impl Client {
     /// Connects to a daemon at `addr` (`host:port`).
     pub fn connect(addr: &str) -> Result<Self, KiffError> {
@@ -36,8 +86,14 @@ impl Client {
     /// `"ok": false` response is mapped to [`KiffError::Remote`].
     pub fn request(&mut self, request: &Request) -> Result<Value, KiffError> {
         write_frame(&mut self.stream, &request.to_value())?;
-        let response = read_frame(&mut self.stream)?
-            .ok_or_else(|| protocol("server closed the connection"))?;
+        let response = read_frame(&mut self.stream)?.ok_or_else(|| {
+            // The server vanished between our frame and its answer — a
+            // transport failure the self-healing client must retry.
+            KiffError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
         let ok = response
             .get("ok")
             .and_then(Value::as_bool)
@@ -51,12 +107,17 @@ impl Client {
             .and_then(Value::as_str)
             .unwrap_or("unknown")
             .to_string();
+        let op = error
+            .and_then(|e| e.get("op"))
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string();
         let message = error
             .and_then(|e| e.get("message"))
             .and_then(Value::as_str)
             .unwrap_or("unspecified server error")
             .to_string();
-        Err(KiffError::Remote { kind, message })
+        Err(KiffError::Remote { kind, op, message })
     }
 
     /// Liveness probe.
@@ -130,18 +191,54 @@ impl Client {
     /// Applies `updates` (persisted server-side first); returns the
     /// number applied.
     pub fn update(&mut self, updates: &[Update]) -> Result<u64, KiffError> {
+        self.update_batch(updates, 0).map(|ack| ack.applied)
+    }
+
+    /// Applies `updates` carrying the idempotence id `batch` (0 = none).
+    pub fn update_batch(&mut self, updates: &[Update], batch: u64) -> Result<UpdateAck, KiffError> {
         let response = self.request(&Request::Update {
             updates: updates.to_vec(),
+            batch,
         })?;
-        response
+        let applied = response
             .get("applied")
             .and_then(Value::as_u64)
-            .ok_or_else(|| protocol("response missing `applied`"))
+            .ok_or_else(|| protocol("response missing `applied`"))?;
+        let deduped = response
+            .get("deduped")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let seq = response.get("seq").and_then(Value::as_u64);
+        Ok(UpdateAck {
+            applied,
+            deduped,
+            seq,
+        })
     }
 
     /// Engine lifetime statistics as a raw JSON object.
     pub fn stats(&mut self) -> Result<Value, KiffError> {
         self.request(&Request::Stats)
+    }
+
+    /// The daemon's health tristate plus progress marks.
+    pub fn health(&mut self) -> Result<Health, KiffError> {
+        let response = self.request(&Request::Health)?;
+        let status = response
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or_else(|| protocol("response missing `status`"))?
+            .to_string();
+        Ok(Health {
+            status,
+            seq: response.get("seq").and_then(Value::as_u64),
+            batch_hwm: response
+                .get("batch_hwm")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            wal_age_secs: response.get("wal_age_secs").and_then(Value::as_u64),
+            snapshot_age_secs: response.get("snapshot_age_secs").and_then(Value::as_u64),
+        })
     }
 
     /// The daemon's telemetry snapshot as a raw JSON object.
@@ -192,4 +289,211 @@ fn pairs(
             Ok((k, v))
         })
         .collect()
+}
+
+/// Retry discipline for [`SelfHealingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Jitter seed — the same seed reproduces the same retry timing.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 42,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based): exponential,
+    /// capped at `max_delay`, scaled by a deterministic jitter in
+    /// `[0.5, 1.0)` drawn from `rng`. Jitter decorrelates a fleet of
+    /// clients hammering a recovering daemon; determinism keeps a given
+    /// seed's schedule replayable.
+    pub fn delay(&self, retry: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_delay);
+        let jitter = 0.5 + 0.5 * ((xorshift64(rng) >> 11) as f64 / (1u64 << 53) as f64);
+        capped.mul_f64(jitter)
+    }
+}
+
+/// A client that survives daemon degradation, overload, and torn
+/// connections (see the module docs for the full discipline).
+#[derive(Debug)]
+pub struct SelfHealingClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<Client>,
+    next_batch: u64,
+    rng: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+impl SelfHealingClient {
+    /// Connects to `addr` and seeds the batch-id counter just past the
+    /// server's applied high-water mark, so this client's ids never
+    /// collide with batches a previous client already landed.
+    pub fn connect(addr: &str, policy: RetryPolicy) -> Result<Self, KiffError> {
+        let rng = policy.seed | 1;
+        let mut client = Self {
+            addr: addr.to_string(),
+            policy,
+            conn: None,
+            next_batch: 1,
+            rng,
+            retries: 0,
+            reconnects: 0,
+        };
+        let health = client.health()?;
+        client.next_batch = health.batch_hwm + 1;
+        Ok(client)
+    }
+
+    /// Retries attempted so far (observability for tests and benches).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnects performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The id the next update batch will carry.
+    pub fn next_batch(&self) -> u64 {
+        self.next_batch
+    }
+
+    fn conn(&mut self) -> Result<&mut Client, KiffError> {
+        if self.conn.is_none() {
+            self.conn = Some(Client::connect(&self.addr)?);
+            self.reconnects += 1;
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Runs `f` against a live connection, retrying retryable failures
+    /// with backoff and reconnecting after transport errors. The final
+    /// error is returned once attempts are exhausted.
+    fn with_retry<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Client) -> Result<T, KiffError>,
+    ) -> Result<T, KiffError> {
+        let mut retry = 0u32;
+        loop {
+            let result = match self.conn() {
+                Ok(conn) => f(conn),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            // A Remote error means the server answered — the connection
+            // is fine; anything else (io, protocol) means the stream
+            // state is unknown, so redial.
+            if !matches!(err, KiffError::Remote { .. }) {
+                self.conn = None;
+            }
+            retry += 1;
+            if !err.is_retryable() || retry >= self.policy.max_attempts {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(self.policy.delay(retry, &mut self.rng));
+        }
+    }
+
+    /// Applies `updates` exactly once: the batch carries a fresh id, and
+    /// a retry after a lost acknowledgement is deduped server-side. The
+    /// counter only advances after success, so a batch that exhausts its
+    /// retries can be re-submitted under the same id.
+    pub fn update(&mut self, updates: &[Update]) -> Result<UpdateAck, KiffError> {
+        let batch = self.next_batch;
+        let ack = self.with_retry(|c| c.update_batch(updates, batch))?;
+        self.next_batch = batch + 1;
+        Ok(ack)
+    }
+
+    /// Liveness probe, with retry.
+    pub fn ping(&mut self) -> Result<(), KiffError> {
+        self.with_retry(Client::ping)
+    }
+
+    /// `user`'s neighbours, with retry.
+    pub fn neighbors(&mut self, user: u32) -> Result<Vec<Neighbor>, KiffError> {
+        self.with_retry(|c| c.neighbors(user))
+    }
+
+    /// Recommendations, with retry.
+    pub fn recommend(&mut self, user: u32, top: usize) -> Result<Vec<(u32, f64)>, KiffError> {
+        self.with_retry(|c| c.recommend(user, top))
+    }
+
+    /// Rating prediction, with retry.
+    pub fn predict(&mut self, user: u32, item: u32) -> Result<Option<f64>, KiffError> {
+        self.with_retry(|c| c.predict(user, item))
+    }
+
+    /// Daemon health, with retry.
+    pub fn health(&mut self) -> Result<Health, KiffError> {
+        self.with_retry(Client::health)
+    }
+
+    /// Engine statistics, with retry.
+    pub fn stats(&mut self) -> Result<Value, KiffError> {
+        self.with_retry(Client::stats)
+    }
+
+    /// Telemetry snapshot, with retry.
+    pub fn metrics(&mut self) -> Result<Value, KiffError> {
+        self.with_retry(Client::metrics)
+    }
+
+    /// Graceful shutdown — *not* retried: after a transport failure the
+    /// daemon may already be stopping, and a redial would just hang on
+    /// a dead listener.
+    pub fn shutdown(&mut self) -> Result<(), KiffError> {
+        self.conn()?.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let mut rng_a = policy.seed | 1;
+        let mut rng_b = policy.seed | 1;
+        let a: Vec<Duration> = (1..=7).map(|r| policy.delay(r, &mut rng_a)).collect();
+        let b: Vec<Duration> = (1..=7).map(|r| policy.delay(r, &mut rng_b)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        // Jitter keeps every delay within [0.5, 1.0) of the exponential.
+        for (i, d) in a.iter().enumerate() {
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << i)
+                .min(policy.max_delay);
+            assert!(*d >= exp.mul_f64(0.5) && *d < exp, "retry {}: {d:?}", i + 1);
+        }
+        // The cap binds from retry 7 on (10ms * 2^6 = 640ms > 500ms).
+        assert!(a[6] <= policy.max_delay);
+    }
 }

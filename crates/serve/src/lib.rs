@@ -11,8 +11,8 @@
 //! | [`wal`]  | append-only log of updates, CRC-checked, segment-rotated |
 //! | [`snapshot`] | atomic point-in-time dumps of dataset + graph + counters |
 //! | [`store`] | the WAL + snapshot lifecycle; [`store::recover`] |
-//! | [`server`] | the TCP daemon: [`server::Server`], [`server::EngineHost`] |
-//! | [`client`] | a blocking [`client::Client`] with typed helpers |
+//! | [`server`] | the TCP daemon: [`server::Server`], [`server::EngineHost`], degraded mode, load shedding |
+//! | [`client`] | a blocking [`client::Client`] and a [`client::SelfHealingClient`] |
 //!
 //! The durability contract: an acknowledged update is on disk (WAL,
 //! fsynced per batch) before it is applied, and recovery — newest
@@ -20,8 +20,20 @@
 //! would have had, *exactly*: the online engine's repair is
 //! deterministic under replay, and because repair is amortised *per
 //! batch*, the WAL marks each append's first record so recovery
-//! re-applies the tail with the original batch boundaries. A torn WAL
-//! tail (crash mid-append) recovers to the last valid record.
+//! re-applies the tail with the original batch boundaries. Batches are
+//! atomic — each carries a commit marker on its last record, and a torn
+//! tail (crash or failed fsync mid-append) drops the whole uncommitted
+//! batch, never a prefix. An *un*acknowledged batch is therefore never
+//! half-applied, and a retried batch (client-assigned id, deduped
+//! against the applied high-water mark) is never double-applied.
+//!
+//! The fault-tolerance contract on top of it: a WAL failure flips the
+//! daemon into read-only degraded mode — queries keep serving, writes
+//! return typed `Unavailable`, a background task heals the WAL and
+//! flips back — and overload sheds with typed `Overloaded` instead of
+//! queueing unboundedly. `tests/serve_faults.rs` drives proptest fault
+//! schedules (via [`kiff_core::fault`]) through live daemons to prove
+//! recovered state stays bit-exact and no batch applies twice.
 //!
 //! ```no_run
 //! use kiff_online::{KnnEngine, OnlineConfig, OnlineKnn};
@@ -47,9 +59,9 @@ pub mod store;
 pub mod wal;
 pub mod wire;
 
-pub use client::Client;
-pub use server::{EngineHost, Server};
+pub use client::{Client, Health, RetryPolicy, SelfHealingClient, UpdateAck};
+pub use server::{EngineHost, Server, ServerConfig};
 pub use snapshot::{latest_snapshot, load_snapshot, save_snapshot, Snapshot};
-pub use store::{recover, Recovered, Store, StoreConfig};
+pub use store::{recover, Appended, Recovered, Store, StoreConfig};
 pub use wal::{Wal, WalReplay};
 pub use wire::Request;

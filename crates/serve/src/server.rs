@@ -1,5 +1,5 @@
 //! The TCP daemon: accept loop, per-connection workers, request
-//! dispatch, and graceful shutdown.
+//! dispatch, graceful degradation, and shutdown.
 //!
 //! One [`EngineHost`] owns the engine and its persistence behind a
 //! mutex: the engines are `&mut`-update structures, so the daemon
@@ -9,20 +9,47 @@
 //! never clones the dataset while holding the lock longer than the
 //! actual scoring takes.
 //!
+//! # Graceful degradation
+//!
+//! A WAL append or fsync failure must not take queries down with it —
+//! the live engine is untouched and the failed batch was never
+//! acknowledged. The daemon instead enters **read-only degraded mode**:
+//! queries keep serving, writes come back as a typed
+//! [`KiffError::Unavailable`], and a background recovery thread retries
+//! [`Store::reopen_wal`] until the disk accepts an fsync again, flipping
+//! the daemon back to healthy. The `health` op reports the current
+//! state (`healthy | degraded | recovering`) plus sequence, applied-
+//! batch high-water mark, and WAL/snapshot ages.
+//!
+//! # Overload shedding
+//!
+//! [`ServerConfig::max_inflight`] bounds concurrently processed
+//! requests; beyond it the daemon answers [`KiffError::Overloaded`]
+//! immediately (counted in `serve.shed`) instead of queueing without
+//! bound on the host mutex. Shed responses are cheap — no engine lock
+//! is touched — so a saturated daemon stays responsive enough to tell
+//! clients to back off.
+//!
 //! Shutdown is cooperative: the `shutdown` op flips an atomic flag,
 //! and the flipping connection pokes the accept loop with a throwaway
 //! connect so it observes the flag without waiting for a real client.
-//! Connection readers poll the flag between 100 ms read timeouts. On a
-//! graceful exit the host takes a final snapshot when the WAL has
-//! advanced past the last one.
+//! Connection readers poll the flag between 100 ms read timeouts and
+//! drain their in-flight request before exiting; `run` joins every
+//! worker. On a graceful exit the host takes a final snapshot when the
+//! WAL has advanced past the last one.
+//!
+//! The `net.read` / `net.write` failpoints ([`kiff_core::fault`]) fire
+//! here, scoped by the listener address; a fired point kills only that
+//! connection, exactly like a real peer reset.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use kiff_apps::{GraphSearcher, ProfileMetric, QueryProfile, Recommender};
+use kiff_core::fault::{self, points};
 use kiff_core::KiffError;
 use kiff_dataset::Dataset;
 use kiff_graph::KnnGraph;
@@ -30,10 +57,33 @@ use kiff_online::KnnEngine;
 use kiff_telemetry::Registry;
 use serde_json::Value;
 
-use crate::store::Store;
+use crate::store::{Appended, Store};
 use crate::wire::{self, Request, MAX_FRAME};
 
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently processed requests before shedding
+    /// (`0` = unbounded).
+    pub max_inflight: usize,
+    /// Per-connection write timeout: a client that stops draining its
+    /// socket is disconnected instead of wedging a worker forever.
+    pub write_timeout: Duration,
+    /// How often the degraded-mode recovery thread retries the WAL.
+    pub recovery_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 0,
+            write_timeout: Duration::from_secs(10),
+            recovery_interval: Duration::from_millis(50),
+        }
+    }
+}
 
 /// The engine, its persistence, and the query-time view cache.
 pub struct EngineHost {
@@ -41,6 +91,10 @@ pub struct EngineHost {
     store: Option<Store>,
     telemetry: Registry,
     views: Option<(Arc<Dataset>, Arc<KnnGraph>)>,
+    read_only: bool,
+    /// True while the recovery thread has a reopen attempt in flight —
+    /// the `recovering` leg of the health tristate.
+    recovering: Arc<AtomicBool>,
 }
 
 impl EngineHost {
@@ -51,13 +105,51 @@ impl EngineHost {
             store,
             telemetry,
             views: None,
+            read_only: false,
+            recovering: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// Marks the host permanently read-only: queries serve, every write
+    /// is refused as `Unavailable`. The `--degraded-ok` fallback when
+    /// persistence could not be opened at startup.
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
     }
 
     /// Read-only access to the engine (tests compare served answers
     /// against direct calls).
     pub fn engine(&self) -> &dyn KnnEngine {
         self.engine.as_ref()
+    }
+
+    /// Whether writes are currently refused (permanent read-only mode
+    /// or a poisoned WAL awaiting recovery).
+    pub fn is_degraded(&self) -> bool {
+        self.read_only || self.store.as_ref().is_some_and(Store::is_poisoned)
+    }
+
+    fn health_status(&self) -> &'static str {
+        if !self.is_degraded() {
+            "healthy"
+        } else if self.recovering.load(Ordering::SeqCst) {
+            "recovering"
+        } else {
+            "degraded"
+        }
+    }
+
+    fn unavailable(&self, op: &str) -> KiffError {
+        let detail = if self.read_only {
+            "daemon is read-only (started with --degraded-ok after a persistence failure)".into()
+        } else {
+            "wal is poisoned by a failed append; recovery in progress".to_string()
+        };
+        KiffError::Unavailable {
+            op: op.into(),
+            detail,
+        }
     }
 
     /// The dataset/graph snapshots the application-layer handlers run
@@ -128,12 +220,37 @@ impl EngineHost {
                     .collect();
                 Ok(serde_json::json!({"ok": true, "hits": hits}))
             }
-            Request::Update { updates } => {
+            Request::Update { updates, batch } => {
+                if self.is_degraded() {
+                    return Err(self.unavailable("update"));
+                }
                 let seq = match &mut self.store {
-                    Some(store) => {
-                        let seq = store.append(updates)?;
-                        Value::Number(seq as f64)
-                    }
+                    Some(store) => match store.append(updates, *batch) {
+                        Ok(Appended::Applied { seq }) => Value::Number(seq as f64),
+                        Ok(Appended::Duplicate { seq }) => {
+                            // The batch already landed in a previous
+                            // life; acknowledge without re-applying so a
+                            // retried write is idempotent.
+                            return Ok(serde_json::json!({
+                                "ok": true,
+                                "applied": 0,
+                                "deduped": true,
+                                "seq": Value::Number(seq as f64)
+                            }));
+                        }
+                        Err(e) => {
+                            // The WAL is now poisoned; this and every
+                            // following write is refused until the
+                            // recovery thread heals it. The batch was
+                            // never acknowledged, so the client retries
+                            // it — nothing is lost.
+                            self.telemetry.gauge("serve.degraded").set(1);
+                            return Err(KiffError::Unavailable {
+                                op: "update".into(),
+                                detail: e.to_string(),
+                            });
+                        }
+                    },
                     None => Value::Null,
                 };
                 let stats = self.engine.apply_batch(updates.clone());
@@ -167,26 +284,74 @@ impl EngineHost {
                     "cross_messages": stats.cross_messages
                 }))
             }
+            Request::Health => {
+                let (seq, hwm, wal_age, snap_age) = match &self.store {
+                    Some(store) => (
+                        Value::Number(store.seq() as f64),
+                        Value::Number(store.batch_hwm() as f64),
+                        Value::Number(store.wal_age_secs() as f64),
+                        Value::Number(store.snapshot_age_secs() as f64),
+                    ),
+                    None => (Value::Null, Value::Number(0.0), Value::Null, Value::Null),
+                };
+                Ok(serde_json::json!({
+                    "ok": true,
+                    "status": self.health_status(),
+                    "seq": seq,
+                    "batch_hwm": hwm,
+                    "wal_age_secs": wal_age,
+                    "snapshot_age_secs": snap_age
+                }))
+            }
             Request::Metrics => {
                 let text = kiff_telemetry::export::to_json(&self.telemetry.snapshot());
                 let metrics: Value = serde_json::from_str(&text)
                     .map_err(|e| KiffError::Protocol(format!("metrics render: {e}")))?;
                 Ok(serde_json::json!({"ok": true, "metrics": metrics}))
             }
-            Request::Snapshot => match &mut self.store {
-                Some(store) => {
-                    store.snapshot(self.engine.as_ref())?;
-                    Ok(serde_json::json!({"ok": true, "seq": store.seq()}))
+            Request::Snapshot => {
+                if self.is_degraded() {
+                    return Err(self.unavailable("snapshot"));
                 }
-                None => Err(KiffError::Protocol(
-                    "daemon is running without a data dir; nothing to snapshot".into(),
-                )),
-            },
+                match &mut self.store {
+                    Some(store) => {
+                        store.snapshot(self.engine.as_ref())?;
+                        Ok(serde_json::json!({"ok": true, "seq": store.seq()}))
+                    }
+                    None => Err(KiffError::Protocol(
+                        "daemon is running without a data dir; nothing to snapshot".into(),
+                    )),
+                }
+            }
+        }
+    }
+
+    /// One degraded-mode recovery attempt; returns whether the host is
+    /// healthy afterwards.
+    fn try_recover_wal(&mut self) -> bool {
+        let Some(store) = &mut self.store else {
+            return true;
+        };
+        if !store.is_poisoned() {
+            self.telemetry.gauge("serve.degraded").set(0);
+            return true;
+        }
+        self.telemetry.counter("serve.wal_recover_attempts").incr();
+        if store.reopen_wal().is_ok() {
+            self.telemetry.gauge("serve.degraded").set(0);
+            true
+        } else {
+            false
         }
     }
 
     /// Final snapshot on graceful shutdown, when the WAL advanced.
+    /// Skipped while degraded — everything committed is already durable
+    /// in the WAL, and a poisoned store cannot prune safely anyway.
     fn final_snapshot(&mut self) -> Result<(), KiffError> {
+        if self.is_degraded() {
+            return Ok(());
+        }
         if let Some(store) = &mut self.store {
             if store.dirty() {
                 store.snapshot(self.engine.as_ref())?;
@@ -199,8 +364,21 @@ impl EngineHost {
 struct Shared {
     host: Mutex<EngineHost>,
     shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    config: ServerConfig,
     telemetry: Registry,
     addr: SocketAddr,
+    net_ctx: String,
+}
+
+impl Shared {
+    fn lock_host(&self) -> std::sync::MutexGuard<'_, EngineHost> {
+        // A worker that panicked while holding the lock (a bug, but one
+        // that must not cascade) leaves the engine in a valid state:
+        // handle() mutates through &mut with no partial commits visible
+        // after unwind, so serving beats poisoning the whole daemon.
+        self.host.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A bound, not-yet-running daemon.
@@ -210,8 +388,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// default [`ServerConfig`].
     pub fn bind(addr: &str, host: EngineHost) -> Result<Self, KiffError> {
+        Self::bind_with(addr, host, ServerConfig::default())
+    }
+
+    /// Binds `addr` with explicit tuning knobs.
+    pub fn bind_with(
+        addr: &str,
+        host: EngineHost,
+        config: ServerConfig,
+    ) -> Result<Self, KiffError> {
         let telemetry = host.telemetry.clone();
         let listener = TcpListener::bind(addr).map_err(KiffError::Io)?;
         let addr = listener.local_addr().map_err(KiffError::Io)?;
@@ -220,8 +408,11 @@ impl Server {
             shared: Arc::new(Shared {
                 host: Mutex::new(host),
                 shutdown: AtomicBool::new(false),
+                inflight: AtomicUsize::new(0),
+                config,
                 telemetry,
                 addr,
+                net_ctx: addr.to_string(),
             }),
         })
     }
@@ -234,6 +425,29 @@ impl Server {
     /// Runs the accept loop until a client sends `shutdown`. Consumes
     /// the server; returns once every connection worker has drained.
     pub fn run(self) -> Result<(), KiffError> {
+        let recovery = {
+            // Background self-healing: while the WAL is poisoned, retry
+            // reopening it so the daemon flips back from degraded to
+            // healthy without operator intervention.
+            let shared = Arc::clone(&self.shared);
+            let recovering = Arc::clone(&shared.lock_host().recovering);
+            std::thread::spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(shared.config.recovery_interval);
+                    let degraded = shared
+                        .lock_host()
+                        .store
+                        .as_ref()
+                        .is_some_and(Store::is_poisoned);
+                    if !degraded {
+                        continue;
+                    }
+                    recovering.store(true, Ordering::SeqCst);
+                    shared.lock_host().try_recover_wal();
+                    recovering.store(false, Ordering::SeqCst);
+                }
+            })
+        };
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -258,11 +472,8 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
-        self.shared
-            .host
-            .lock()
-            .expect("engine host lock poisoned")
-            .final_snapshot()
+        let _ = recovery.join();
+        self.shared.lock_host().final_snapshot()
     }
 }
 
@@ -335,15 +546,48 @@ fn read_frame_interruptible(
         .map_err(|e| KiffError::Protocol(e.to_string()))
 }
 
+/// RAII slot in the bounded in-flight window.
+struct InflightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Claims an in-flight slot, or reports how oversubscribed the daemon
+/// is. Claiming happens *before* waiting on the host mutex, so requests
+/// queued behind a slow batch shed deterministically.
+fn claim_slot(shared: &Shared) -> Result<InflightSlot<'_>, KiffError> {
+    let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    let limit = shared.config.max_inflight;
+    if limit > 0 && inflight > limit {
+        shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        shared.telemetry.counter("serve.shed").incr();
+        return Err(KiffError::Overloaded { inflight, limit });
+    }
+    Ok(InflightSlot(&shared.inflight))
+}
+
 fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffError> {
     stream
         .set_read_timeout(Some(READ_POLL))
         .map_err(KiffError::Io)?;
+    // A peer that stops draining its socket must not pin this worker
+    // (and the response buffer) forever.
+    if !shared.config.write_timeout.is_zero() {
+        stream
+            .set_write_timeout(Some(shared.config.write_timeout))
+            .map_err(KiffError::Io)?;
+    }
     let queue_depth = shared.telemetry.gauge("serve.queue_depth");
     let requests = shared.telemetry.counter("serve.requests");
     let errors = shared.telemetry.counter("serve.errors");
 
     loop {
+        // An armed net.read failpoint kills the connection exactly like
+        // a peer reset — the error stays connection-scoped.
+        fault::check_ctx(points::NET_READ, &shared.net_ctx)?;
         let value = match read_frame_interruptible(&mut stream, &shared.shutdown)? {
             Framed::Value(v) => v,
             Framed::Eof | Framed::ShuttingDown => return Ok(()),
@@ -353,12 +597,12 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffE
         let started = Instant::now();
         let (response, op, shutdown) = match Request::from_value(&value) {
             Ok(request) => {
-                let shutdown = matches!(request, Request::Shutdown);
-                let response = {
-                    let mut host = shared.host.lock().expect("engine host lock poisoned");
-                    host.handle(&request)
-                };
                 let op = request.op();
+                let shutdown = matches!(request, Request::Shutdown);
+                let response = claim_slot(shared).and_then(|_slot| {
+                    let mut host = shared.lock_host();
+                    host.handle(&request)
+                });
                 match response {
                     Ok(mut body) => {
                         if shutdown {
@@ -371,13 +615,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffE
                     }
                     Err(e) => {
                         errors.incr();
-                        (wire::error_value(&e), op, false)
+                        (wire::error_value(&e, op), op, false)
                     }
                 }
             }
             Err(e) => {
                 errors.incr();
-                (wire::error_value(&e), "invalid", false)
+                (wire::error_value(&e, ""), "invalid", false)
             }
         };
         shared
@@ -385,14 +629,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffE
             .histogram(&format!("serve.request_ns.{op}"))
             .record(started.elapsed().as_nanos() as u64);
         queue_depth.add(-1);
-        wire::write_frame(&mut stream, &response)?;
+        let written = fault::check_ctx(points::NET_WRITE, &shared.net_ctx)
+            .and_then(|()| wire::write_frame(&mut stream, &response));
         if shutdown {
-            // Poke the accept loop so it observes the flag.
+            // Poke the accept loop so it observes the flag — even when
+            // the ack write failed: the flag is already set, and
+            // skipping the poke would leave the daemon wedged in
+            // `accept` with the client convinced it is stopping.
             if let Ok(mut poke) = TcpStream::connect(shared.addr) {
                 let _ = poke.write_all(&[]);
             }
-            return Ok(());
+            return written;
         }
+        written?;
     }
 }
 
@@ -429,7 +678,10 @@ mod tests {
 
         let err = client.neighbors(99).unwrap_err();
         match err {
-            KiffError::Remote { kind, .. } => assert_eq!(kind, "unknown_user"),
+            KiffError::Remote { kind, op, .. } => {
+                assert_eq!(kind, "unknown_user");
+                assert_eq!(op, "neighbors", "failing op crosses the wire");
+            }
             other => panic!("expected Remote, got {other}"),
         }
 
@@ -447,6 +699,11 @@ mod tests {
 
         let metrics = client.metrics().unwrap();
         assert!(metrics.get("counters").is_some(), "telemetry surfaces");
+
+        // Health on a storeless daemon: healthy, no seq.
+        let health = client.health().unwrap();
+        assert_eq!(health.status, "healthy");
+        assert_eq!(health.batch_hwm, 0);
 
         // A second concurrent client works while the first idles.
         let mut other = Client::connect(&addr.to_string()).unwrap();
@@ -466,6 +723,34 @@ mod tests {
             KiffError::Remote { kind, .. } => assert_eq!(kind, "protocol"),
             other => panic!("expected Remote, got {other}"),
         }
+        client.shutdown().unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn read_only_host_serves_queries_but_refuses_writes() {
+        let ds = figure2_toy();
+        let reg = Registry::new();
+        let config = OnlineConfig::new(2).with_telemetry(reg.clone());
+        let engine = Box::new(OnlineKnn::new(&ds, config));
+        let host = EngineHost::new(engine, None, reg).read_only();
+        let server = Server::bind("127.0.0.1:0", host).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        assert_eq!(client.neighbors(0).unwrap()[0].id, 1, "queries serve");
+        let err = client.update(&[Update::AddUser]).unwrap_err();
+        match &err {
+            KiffError::Remote { kind, op, .. } => {
+                assert_eq!(kind, "unavailable");
+                assert_eq!(op, "update");
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        assert!(err.is_retryable(), "unavailable invites a retry");
+        assert_eq!(client.health().unwrap().status, "degraded");
+
         client.shutdown().unwrap();
         handle.join().unwrap().unwrap();
     }

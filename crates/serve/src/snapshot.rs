@@ -10,34 +10,47 @@
 //!
 //! ```text
 //! magic    b"KIFS"
-//! version  u16 (currently 1)
+//! version  u16 (currently 2)
 //! seq      u64      — the WAL sequence this snapshot covers (1..=seq)
+//! hwm      u64      — applied-batch high-water mark (version ≥ 2)
 //! dataset  kiff_dataset::codec block (b"KIFD")
 //! graph    kiff_graph::codec block (b"KIFG")
 //! counters u8 presence flag; when 1: per user u32 len,
 //!          then len × (u32 co-rater id, u32 shared-item count)
 //! ```
 //!
+//! Version 2 added the applied-batch high-water mark: once a snapshot
+//! lets the WAL prune segments, the hwm is the only surviving proof
+//! that a client-retried batch was already applied — losing it would
+//! re-open the double-apply window the WAL's commit markers close.
+//! Version-1 files still load (with `batch_hwm = 0`).
+//!
 //! Files are named `snap-{seq:016}.kifs` and written via a `.tmp` +
 //! `fsync` + atomic rename, so a crash mid-write leaves no torn
-//! snapshot behind — only the previous one.
+//! snapshot behind — only the previous one. The `snapshot.write` and
+//! `snapshot.rename` failpoints ([`kiff_core::fault`]) fire here,
+//! scoped by the snapshot directory path.
 
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
+use kiff_core::fault::{self, points};
 use kiff_core::KiffError;
 use kiff_dataset::{Dataset, UserId};
 use kiff_graph::KnnGraph;
 
 const MAGIC: &[u8; 4] = b"KIFS";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// A decoded snapshot.
 #[derive(Debug)]
 pub struct Snapshot {
     /// The WAL sequence number this snapshot covers (updates `1..=seq`).
     pub seq: u64,
+    /// Highest client-assigned batch id applied at the snapshot point
+    /// (0 in version-1 files, which predate batch ids).
+    pub batch_hwm: u64,
     /// The compacted dataset at the snapshot point.
     pub dataset: Dataset,
     /// The KNN graph at the snapshot point, bit-identical to the writer's.
@@ -74,54 +87,71 @@ pub fn snapshot_name(seq: u64) -> String {
 }
 
 /// Writes a snapshot of (`dataset`, `graph`, `counters`) covering WAL
-/// sequence `seq` into `dir`, atomically. Returns the final path.
+/// sequence `seq` with applied-batch high-water mark `batch_hwm` into
+/// `dir`, atomically. Returns the final path.
 pub fn save_snapshot(
     dir: &Path,
     seq: u64,
+    batch_hwm: u64,
     dataset: &Dataset,
     graph: &KnnGraph,
     counters: Option<&[Vec<(UserId, u32)>]>,
 ) -> Result<PathBuf, KiffError> {
     fs::create_dir_all(dir).map_err(KiffError::Io)?;
+    let ctx = dir.to_string_lossy();
     let final_path = dir.join(snapshot_name(seq));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_name(seq)));
 
-    let file = File::create(&tmp_path).map_err(KiffError::Io)?;
-    let mut w = BufWriter::new(file);
-    w.write_all(MAGIC).map_err(KiffError::Io)?;
-    w.write_all(&VERSION.to_le_bytes()).map_err(KiffError::Io)?;
-    w.write_all(&seq.to_le_bytes()).map_err(KiffError::Io)?;
-    kiff_dataset::codec::write_dataset(&mut w, dataset).map_err(KiffError::Io)?;
-    kiff_graph::codec::write_graph(&mut w, graph).map_err(KiffError::Io)?;
-    match counters {
-        Some(rows) => {
-            if rows.len() != dataset.num_users() {
-                return Err(corrupt(format!(
-                    "{} counter rows for {} users",
-                    rows.len(),
-                    dataset.num_users()
-                )));
-            }
-            w.write_all(&[1]).map_err(KiffError::Io)?;
-            // One write per row: counters dominate the file, and
-            // per-field writes cost more than the encoding itself.
-            let mut buf: Vec<u8> = Vec::new();
-            for row in rows {
-                buf.clear();
-                buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
-                for &(v, c) in row {
-                    buf.extend_from_slice(&v.to_le_bytes());
-                    buf.extend_from_slice(&c.to_le_bytes());
+    // A fault anywhere before the rename leaves only the .tmp file,
+    // which `latest_snapshot` never picks up — clean it up on the way
+    // out so a retried snapshot starts fresh.
+    let write_result = (|| -> Result<(), KiffError> {
+        fault::check_ctx(points::SNAPSHOT_WRITE, &ctx)?;
+        let file = File::create(&tmp_path).map_err(KiffError::Io)?;
+        let mut w = BufWriter::new(file);
+        w.write_all(MAGIC).map_err(KiffError::Io)?;
+        w.write_all(&VERSION.to_le_bytes()).map_err(KiffError::Io)?;
+        w.write_all(&seq.to_le_bytes()).map_err(KiffError::Io)?;
+        w.write_all(&batch_hwm.to_le_bytes())
+            .map_err(KiffError::Io)?;
+        kiff_dataset::codec::write_dataset(&mut w, dataset).map_err(KiffError::Io)?;
+        kiff_graph::codec::write_graph(&mut w, graph).map_err(KiffError::Io)?;
+        match counters {
+            Some(rows) => {
+                if rows.len() != dataset.num_users() {
+                    return Err(corrupt(format!(
+                        "{} counter rows for {} users",
+                        rows.len(),
+                        dataset.num_users()
+                    )));
                 }
-                w.write_all(&buf).map_err(KiffError::Io)?;
+                w.write_all(&[1]).map_err(KiffError::Io)?;
+                // One write per row: counters dominate the file, and
+                // per-field writes cost more than the encoding itself.
+                let mut buf: Vec<u8> = Vec::new();
+                for row in rows {
+                    buf.clear();
+                    buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                    for &(v, c) in row {
+                        buf.extend_from_slice(&v.to_le_bytes());
+                        buf.extend_from_slice(&c.to_le_bytes());
+                    }
+                    w.write_all(&buf).map_err(KiffError::Io)?;
+                }
             }
+            None => w.write_all(&[0]).map_err(KiffError::Io)?,
         }
-        None => w.write_all(&[0]).map_err(KiffError::Io)?,
+        let file = w.into_inner().map_err(|e| KiffError::Io(e.into()))?;
+        file.sync_all().map_err(KiffError::Io)?;
+        drop(file);
+        fault::check_ctx(points::SNAPSHOT_RENAME, &ctx)?;
+        fs::rename(&tmp_path, &final_path).map_err(KiffError::Io)?;
+        Ok(())
+    })();
+    if let Err(e) = write_result {
+        let _ = fs::remove_file(&tmp_path);
+        return Err(e);
     }
-    let file = w.into_inner().map_err(|e| KiffError::Io(e.into()))?;
-    file.sync_all().map_err(KiffError::Io)?;
-    drop(file);
-    fs::rename(&tmp_path, &final_path).map_err(KiffError::Io)?;
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
@@ -139,12 +169,18 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, KiffError> {
         return Err(corrupt(format!("bad magic {magic:?}")));
     }
     let version = read_u16(&mut r).map_err(KiffError::from)?;
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(corrupt(format!(
-            "unsupported version {version} (expected {VERSION})"
+            "unsupported version {version} (expected 1..={VERSION})"
         )));
     }
     let seq = read_u64(&mut r).map_err(KiffError::from)?;
+    // Version 1 predates batch-id dedup; an hwm of 0 dedupes nothing.
+    let batch_hwm = if version >= 2 {
+        read_u64(&mut r).map_err(KiffError::from)?
+    } else {
+        0
+    };
     let dataset = kiff_dataset::codec::read_dataset(&mut r).map_err(KiffError::from)?;
     let graph = kiff_graph::codec::read_graph(&mut r).map_err(KiffError::from)?;
     if graph.num_users() != dataset.num_users() {
@@ -187,6 +223,7 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, KiffError> {
     };
     Ok(Snapshot {
         seq,
+        batch_hwm,
         dataset,
         graph,
         counters,
@@ -253,14 +290,15 @@ mod tests {
             vec![],
         ];
 
-        save_snapshot(&dir, 7, &ds, &graph, Some(&counters)).unwrap();
+        save_snapshot(&dir, 7, 41, &ds, &graph, Some(&counters)).unwrap();
         let snap = load_snapshot(&dir.join(snapshot_name(7))).unwrap();
         assert_eq!(snap.seq, 7);
+        assert_eq!(snap.batch_hwm, 41);
         assert_eq!(snap.dataset.num_ratings(), ds.num_ratings());
         assert_eq!(snap.graph, graph);
         assert_eq!(snap.counters.as_deref(), Some(&counters[..]));
 
-        save_snapshot(&dir, 9, &ds, &graph, None).unwrap();
+        save_snapshot(&dir, 9, 0, &ds, &graph, None).unwrap();
         let snap = load_snapshot(&dir.join(snapshot_name(9))).unwrap();
         assert!(snap.counters.is_none());
 
@@ -271,11 +309,55 @@ mod tests {
     }
 
     #[test]
+    fn version1_files_load_with_zero_hwm() {
+        let dir = tmp("v1");
+        let ds = figure2_toy();
+        let graph = toy_graph();
+        let path = save_snapshot(&dir, 3, 17, &ds, &graph, None).unwrap();
+        // Rewrite the file as version 1: drop the 8-byte hwm field.
+        let bytes = fs::read(&path).unwrap();
+        let mut v1 = Vec::with_capacity(bytes.len() - 8);
+        v1.extend_from_slice(&bytes[..4]);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&bytes[6..14]); // seq
+        v1.extend_from_slice(&bytes[22..]); // skip hwm
+        fs::write(&path, &v1).unwrap();
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.seq, 3);
+        assert_eq!(snap.batch_hwm, 0, "v1 predates batch ids");
+        assert_eq!(snap.graph, graph);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_write_leaves_no_tmp_and_no_snapshot() {
+        use kiff_core::fault::{self, points, Trigger};
+        let dir = tmp("faulted");
+        let ds = figure2_toy();
+        let graph = toy_graph();
+        let scope = dir.to_string_lossy().into_owned();
+
+        fault::arm_scoped(points::SNAPSHOT_RENAME, Trigger::Nth(1), scope.clone());
+        let err = save_snapshot(&dir, 5, 1, &ds, &graph, None).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert_eq!(latest_snapshot(&dir).unwrap(), None, "no torn snapshot");
+        assert!(
+            fs::read_dir(&dir).unwrap().next().is_none(),
+            ".tmp cleaned up"
+        );
+        // The retry goes through untouched.
+        save_snapshot(&dir, 5, 1, &ds, &graph, None).unwrap();
+        assert_eq!(latest_snapshot(&dir).unwrap().unwrap().0, 5);
+        fault::disarm(points::SNAPSHOT_RENAME);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corruption_is_a_typed_error() {
         let dir = tmp("bad");
         let ds = figure2_toy();
         let graph = toy_graph();
-        let path = save_snapshot(&dir, 1, &ds, &graph, None).unwrap();
+        let path = save_snapshot(&dir, 1, 0, &ds, &graph, None).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         bytes[0] = b'?';
         fs::write(&path, &bytes).unwrap();

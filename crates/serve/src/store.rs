@@ -19,6 +19,7 @@
 //! this property over arbitrary streams and snapshot points.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use kiff_core::KiffError;
 use kiff_dataset::Dataset;
@@ -70,7 +71,27 @@ pub struct Store {
     wal: Wal,
     snapshot_every: u64,
     last_snapshot_seq: u64,
+    batch_hwm: u64,
+    last_append_at: Instant,
+    last_snapshot_at: Instant,
     telemetry: Registry,
+}
+
+/// What [`Store::append`] did with a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Appended {
+    /// The batch was durably logged; the engine must now apply it.
+    Applied {
+        /// Sequence number of the batch's last update.
+        seq: u64,
+    },
+    /// The batch id was at or below the applied high-water mark — a
+    /// client retry of a batch that already landed. The engine must
+    /// *not* apply it again.
+    Duplicate {
+        /// The store's current sequence, unchanged.
+        seq: u64,
+    },
 }
 
 /// What [`recover`] reconstructed.
@@ -121,7 +142,7 @@ pub fn recover(
     shards: Option<ShardConfig>,
 ) -> Result<Recovered, KiffError> {
     let telemetry = config.telemetry.clone();
-    let (mut engine, after_seq, snapshot_seq) = match latest_snapshot(&cfg.dir)? {
+    let (mut engine, after_seq, snapshot_seq, snapshot_hwm) = match latest_snapshot(&cfg.dir)? {
         Some((seq, path)) => {
             let snap = load_snapshot(&path)?;
             let engine = build_engine(
@@ -131,17 +152,21 @@ pub fn recover(
                 config,
                 shards.as_ref(),
             )?;
-            (engine, seq, Some(seq))
+            (engine, seq, Some(seq), snap.batch_hwm)
         }
         None => {
             let engine = build_engine(seed, seed_graph, None, config, shards.as_ref())?;
-            (engine, 0, None)
+            (engine, 0, None, 0)
         }
     };
 
     let replay = Wal::replay(&cfg.dir, after_seq, &telemetry)?;
     let replayed = replay.updates.len() as u64;
     let (next_seq, truncated) = (replay.next_seq, replay.truncated);
+    // The dedup mark must survive both paths: WAL pruning (snapshot hwm)
+    // and snapshots that predate the latest committed batches (replay
+    // hwm). Take the max.
+    let batch_hwm = snapshot_hwm.max(replay.batch_hwm);
     // Re-apply with the *original* batch boundaries: repair is amortised
     // per batch, so the boundaries are part of the replayed state.
     for batch in replay.batches() {
@@ -157,6 +182,9 @@ pub fn recover(
             wal,
             snapshot_every: cfg.snapshot_every,
             last_snapshot_seq: after_seq,
+            batch_hwm,
+            last_append_at: Instant::now(),
+            last_snapshot_at: Instant::now(),
             telemetry,
         },
         snapshot_seq,
@@ -181,12 +209,49 @@ impl Store {
         &self.dir
     }
 
+    /// Highest client-assigned batch id applied so far (0 = none).
+    pub fn batch_hwm(&self) -> u64 {
+        self.batch_hwm
+    }
+
+    /// Whether a failed append has poisoned the WAL (writes must be
+    /// refused until [`Store::reopen_wal`] succeeds).
+    pub fn is_poisoned(&self) -> bool {
+        self.wal.is_poisoned()
+    }
+
+    /// Attempts to heal a poisoned WAL (see [`Wal::reopen`]).
+    pub fn reopen_wal(&mut self) -> Result<(), KiffError> {
+        self.wal.reopen()
+    }
+
+    /// Seconds since the last successful WAL append (or recovery).
+    pub fn wal_age_secs(&self) -> u64 {
+        self.last_append_at.elapsed().as_secs()
+    }
+
+    /// Seconds since the last snapshot (or recovery).
+    pub fn snapshot_age_secs(&self) -> u64 {
+        self.last_snapshot_at.elapsed().as_secs()
+    }
+
     /// Durably appends `updates` to the WAL (one fsync), *before* they
-    /// are applied to the engine. Returns the last assigned sequence.
-    pub fn append(&mut self, updates: &[Update]) -> Result<u64, KiffError> {
-        let seq = self.wal.append_batch(updates)?;
+    /// are applied to the engine.
+    ///
+    /// `batch_id` is the client-assigned id (0 = none): ids at or below
+    /// the applied high-water mark are retries of batches that already
+    /// landed and come back as [`Appended::Duplicate`] without touching
+    /// the log — the idempotence half of the self-healing client.
+    pub fn append(&mut self, updates: &[Update], batch_id: u64) -> Result<Appended, KiffError> {
+        if batch_id != 0 && batch_id <= self.batch_hwm {
+            self.telemetry.counter("store.deduped").incr();
+            return Ok(Appended::Duplicate { seq: self.seq() });
+        }
+        let seq = self.wal.append_batch(updates, batch_id)?;
+        self.batch_hwm = self.batch_hwm.max(batch_id);
+        self.last_append_at = Instant::now();
         self.telemetry.gauge("store.seq").set(seq as i64);
-        Ok(seq)
+        Ok(Appended::Applied { seq })
     }
 
     /// Whether the WAL holds updates not yet covered by a snapshot.
@@ -207,8 +272,16 @@ impl Store {
         let dataset = engine.data().to_dataset();
         let graph = engine.graph();
         let counters = engine.counters_snapshot();
-        let path = save_snapshot(&self.dir, seq, &dataset, &graph, counters.as_deref())?;
+        let path = save_snapshot(
+            &self.dir,
+            seq,
+            self.batch_hwm,
+            &dataset,
+            &graph,
+            counters.as_deref(),
+        )?;
         self.last_snapshot_seq = seq;
+        self.last_snapshot_at = Instant::now();
         self.wal.prune(seq)?;
         self.telemetry.counter("snapshot.saved").incr();
         self.telemetry.gauge("snapshot.seq").set(seq as i64);
@@ -274,7 +347,7 @@ mod tests {
         let rec = recover(&cfg, &seed, None, OnlineConfig::new(2), None).unwrap();
         let (mut engine, mut store) = (rec.engine, rec.store);
         for (i, chunk) in stream.chunks(4).enumerate() {
-            store.append(chunk).unwrap();
+            store.append(chunk, 0).unwrap();
             engine.apply_batch(chunk.to_vec());
             if i == 2 {
                 store.snapshot(engine.as_ref()).unwrap();
@@ -305,7 +378,7 @@ mod tests {
         let stream = stream();
         let mut snapped = 0;
         for chunk in stream.chunks(3) {
-            store.append(chunk).unwrap();
+            store.append(chunk, 0).unwrap();
             engine.apply_batch(chunk.to_vec());
             if store.maybe_snapshot(engine.as_ref()).unwrap().is_some() {
                 snapped += 1;
@@ -325,7 +398,7 @@ mod tests {
         let rec = recover(&cfg, &seed, None, OnlineConfig::new(2), shards.clone()).unwrap();
         let (mut engine, mut store) = (rec.engine, rec.store);
         let stream = stream();
-        store.append(&stream).unwrap();
+        store.append(&stream, 0).unwrap();
         engine.apply_batch(stream.clone());
         store.snapshot(engine.as_ref()).unwrap();
         let expected = engine.graph();

@@ -7,34 +7,52 @@
 //!
 //! ```text
 //! record  = u32 payload length (LE) · u32 CRC-32 of payload (LE) · payload
-//! payload = u64 seq (LE) · u8 tag · fields
+//! payload = u64 seq (LE) · u8 tag · fields · [u64 batch id, commit only]
 //! tag 0   = AddRating    (u32 user, u32 item, u32 f32-bits rating)
 //! tag 1   = AddUser      (no fields)
 //! tag 2   = RemoveRating (u32 user, u32 item)
 //! ```
 //!
-//! Bit 7 of the tag marks the *first record of an appended batch*. The
-//! engine's repair pass is amortised per batch, so the graph state
-//! depends on where batch boundaries fell — replay groups records by
-//! these marks ([`WalReplay::batches`]) and re-applies them with the
-//! original boundaries, which is what makes recovery bit-identical to
-//! the uninterrupted run.
+//! Bit 7 of the tag marks the *first* record of an appended batch; bit 6
+//! marks the *last* and turns the record into the batch's **commit
+//! marker**, carrying the client-assigned batch id (0 when the writer
+//! had none). Batches are atomic: replay applies only batches whose
+//! commit marker survived — a torn tail drops the whole partial batch,
+//! never a prefix of one. That matters twice over: the engine's repair
+//! pass is amortised per batch, so graph state depends on where batch
+//! boundaries fell ([`WalReplay::batches`] re-applies them with the
+//! original boundaries, keeping recovery bit-identical to the
+//! uninterrupted run); and the committed batch ids form a high-water
+//! mark ([`WalReplay::batch_hwm`]) the server dedupes retried client
+//! batches against — a half-written batch must not advance it, or the
+//! client's retry would be wrongly dropped.
 //!
 //! Sequence numbers start at 1 and increase by one per update — they are
 //! the global ordering the snapshots cut through (a snapshot at seq `S`
 //! covers updates `1..=S`; recovery replays strictly greater). The file
-//! is `sync_data`ed once per appended batch, not per record.
+//! is `sync_data`ed once per appended batch, not per record. An append
+//! whose write or fsync fails leaves the in-memory sequence untouched
+//! and **poisons** the log — the bytes on disk past the last committed
+//! batch are unknown (an fsync error may leave them readable anyway),
+//! so further appends are refused until [`Wal::reopen`] physically
+//! truncates the uncommitted tail and re-probes the disk. This is the
+//! mechanism behind the daemon's read-only degraded mode.
 //!
 //! Replay is deliberately forgiving at the tail: a record that is
-//! truncated, fails its CRC, carries a malformed payload, or breaks the
-//! sequence run marks the end of the log — everything before it is
-//! recovered, everything after is discarded. That is exactly the state a
-//! `kill -9` mid-append leaves behind.
+//! truncated, fails its CRC, carries a malformed payload, breaks the
+//! sequence run, or belongs to an uncommitted batch marks the end of the
+//! log — everything before it is recovered, everything after is
+//! discarded. That is exactly the state a `kill -9` mid-append leaves
+//! behind.
+//!
+//! The `wal.append` and `wal.fsync` failpoints ([`kiff_core::fault`])
+//! fire here, scoped by the WAL directory path.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
+use kiff_core::fault::{self, points};
 use kiff_core::KiffError;
 use kiff_online::Update;
 use kiff_telemetry::Registry;
@@ -87,24 +105,35 @@ fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, KiffError> {
 
 /// Tag bit marking the first record of an appended batch.
 const BATCH_HEAD: u8 = 0x80;
+/// Tag bit marking the last record of a batch — the commit marker. The
+/// payload gains a trailing u64 batch id; replay drops batches whose
+/// commit marker did not survive.
+const BATCH_COMMIT: u8 = 0x40;
+const TAG_MASK: u8 = !(BATCH_HEAD | BATCH_COMMIT);
 
-fn encode(seq: u64, update: &Update, batch_head: bool) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(17);
+fn encode(seq: u64, update: &Update, batch_head: bool, commit: Option<u64>) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(29);
     payload.extend_from_slice(&seq.to_le_bytes());
-    let head = if batch_head { BATCH_HEAD } else { 0 };
+    let mut marks = if batch_head { BATCH_HEAD } else { 0 };
+    if commit.is_some() {
+        marks |= BATCH_COMMIT;
+    }
     match update {
         Update::AddRating { user, item, rating } => {
-            payload.push(head);
+            payload.push(marks);
             payload.extend_from_slice(&user.to_le_bytes());
             payload.extend_from_slice(&item.to_le_bytes());
             payload.extend_from_slice(&rating.to_bits().to_le_bytes());
         }
-        Update::AddUser => payload.push(1 | head),
+        Update::AddUser => payload.push(1 | marks),
         Update::RemoveRating { user, item } => {
-            payload.push(2 | head);
+            payload.push(2 | marks);
             payload.extend_from_slice(&user.to_le_bytes());
             payload.extend_from_slice(&item.to_le_bytes());
         }
+    }
+    if let Some(batch_id) = commit {
+        payload.extend_from_slice(&batch_id.to_le_bytes());
     }
     let mut record = Vec::with_capacity(8 + payload.len());
     record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -113,12 +142,25 @@ fn encode(seq: u64, update: &Update, batch_head: bool) -> Vec<u8> {
     record
 }
 
-fn decode_payload(payload: &[u8]) -> Option<(u64, Update, bool)> {
+/// One decoded record: sequence, update, batch-head flag, and — on the
+/// batch's commit marker — the batch id.
+fn decode_payload(payload: &[u8]) -> Option<(u64, Update, bool, Option<u64>)> {
     let seq = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
     let raw_tag = *payload.get(8)?;
     let batch_head = raw_tag & BATCH_HEAD != 0;
-    let tag = raw_tag & !BATCH_HEAD;
-    let rest = &payload[9..];
+    let committed = raw_tag & BATCH_COMMIT != 0;
+    let tag = raw_tag & TAG_MASK;
+    let mut rest = &payload[9..];
+    let commit = if committed {
+        if rest.len() < 8 {
+            return None;
+        }
+        let (fields, id) = rest.split_at(rest.len() - 8);
+        rest = fields;
+        Some(u64::from_le_bytes(id.try_into().ok()?))
+    } else {
+        None
+    };
     let le_u32 = |b: &[u8], at: usize| -> Option<u32> {
         Some(u32::from_le_bytes(b.get(at..at + 4)?.try_into().ok()?))
     };
@@ -135,12 +177,16 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, Update, bool)> {
         },
         _ => return None,
     };
-    Some((seq, update, batch_head))
+    Some((seq, update, batch_head, commit))
 }
 
-/// Length of the structurally valid record prefix of a segment.
-fn valid_len(bytes: &[u8]) -> usize {
+/// Length of the *committed* record prefix of a segment: structurally
+/// valid records up to and including the last surviving batch-commit
+/// marker. Records of a batch whose commit never made it to disk are
+/// part of the discarded tail.
+fn committed_len(bytes: &[u8]) -> usize {
     let mut at = 0usize;
+    let mut committed = 0usize;
     while at < bytes.len() {
         let Some(header) = bytes.get(at..at + 8) else {
             break;
@@ -153,25 +199,38 @@ fn valid_len(bytes: &[u8]) -> usize {
         let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
             break;
         };
-        if crc32(payload) != crc || decode_payload(payload).is_none() {
+        if crc32(payload) != crc {
             break;
         }
+        let Some((_, _, _, commit)) = decode_payload(payload) else {
+            break;
+        };
         at += 8 + len as usize;
+        if commit.is_some() {
+            committed = at;
+        }
     }
-    at
+    committed
 }
 
 /// The outcome of scanning a WAL directory.
 #[derive(Debug)]
 pub struct WalReplay {
     /// Recovered `(seq, update, batch_head)` triples with
-    /// `seq > after_seq`, in order. `batch_head` marks the first record
-    /// of each originally appended batch.
+    /// `seq > after_seq`, in order, restricted to *committed* batches.
+    /// `batch_head` marks the first record of each appended batch.
     pub updates: Vec<(u64, Update, bool)>,
-    /// The sequence number the next appended update will carry.
+    /// The sequence number the next appended update will carry — the
+    /// last committed seq plus one, so a dropped partial batch's
+    /// numbers are reused.
     pub next_seq: u64,
-    /// Whether an invalid record cut the scan short (crash tail).
+    /// Whether an invalid record or an uncommitted batch cut the scan
+    /// short (crash tail).
     pub truncated: bool,
+    /// Highest client-assigned batch id among *all* committed batches
+    /// scanned (not just those past `after_seq`); 0 when none carried
+    /// one. The server's double-apply guard for retried client batches.
+    pub batch_hwm: u64,
 }
 
 impl WalReplay {
@@ -195,19 +254,22 @@ impl WalReplay {
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
+    ctx: String,
     file: File,
     segment_len: u64,
     segment_bytes: u64,
     next_seq: u64,
+    poisoned: bool,
     telemetry: Registry,
 }
 
 impl Wal {
     /// Opens (or starts) the log in `dir`, appending to the newest
     /// segment. `next_seq` must come from a prior [`Wal::replay`] (or be
-    /// 1 for a fresh directory). A corrupt tail left by a crash is
-    /// truncated away first, so appended records always follow the last
-    /// valid one.
+    /// 1 for a fresh directory). The uncommitted tail left by a crash —
+    /// torn records *and* whole batches missing their commit marker —
+    /// is truncated away first, so appended records always follow the
+    /// last committed one.
     pub fn open(dir: &Path, next_seq: u64, telemetry: Registry) -> Result<Self, KiffError> {
         fs::create_dir_all(dir).map_err(KiffError::Io)?;
         let segments = segments(dir)?;
@@ -216,7 +278,7 @@ impl Wal {
             _ => dir.join(segment_name(next_seq)),
         };
         if let Ok(bytes) = fs::read(&path) {
-            let keep = valid_len(&bytes);
+            let keep = committed_len(&bytes);
             if keep < bytes.len() {
                 let f = OpenOptions::new()
                     .write(true)
@@ -234,10 +296,12 @@ impl Wal {
         let segment_len = file.metadata().map_err(KiffError::Io)?.len();
         Ok(Self {
             dir: dir.to_path_buf(),
+            ctx: dir.to_string_lossy().into_owned(),
             file,
             segment_len,
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             next_seq,
+            poisoned: false,
             telemetry,
         })
     }
@@ -253,29 +317,88 @@ impl Wal {
         self.next_seq
     }
 
-    /// Appends `updates` as consecutive records and flushes them to disk
-    /// with a single `sync_data`. Returns the sequence number of the
-    /// last appended update.
-    pub fn append_batch(&mut self, updates: &[Update]) -> Result<u64, KiffError> {
+    /// Whether a failed append has poisoned the log (see [`Wal::reopen`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Appends `updates` as one atomic batch — consecutive records whose
+    /// last carries the commit marker and `batch_id` (0 = no client id)
+    /// — and flushes them with a single `sync_data`. Returns the
+    /// sequence number of the last appended update.
+    ///
+    /// On failure nothing logical changes: the in-memory sequence stays
+    /// put, the half-written bytes carry no commit marker (replay and
+    /// reopen discard them), and the log is poisoned until a successful
+    /// [`Wal::reopen`].
+    pub fn append_batch(&mut self, updates: &[Update], batch_id: u64) -> Result<u64, KiffError> {
         if updates.is_empty() {
             return Ok(self.next_seq.saturating_sub(1));
+        }
+        if self.poisoned {
+            return Err(KiffError::Io(std::io::Error::other(
+                "wal is poisoned by a failed append; reopen required",
+            )));
         }
         if self.segment_len >= self.segment_bytes {
             self.rotate()?;
         }
-        let mut buf = Vec::with_capacity(updates.len() * 25);
+        // Build the whole batch before touching any state, so a failure
+        // below leaves `next_seq` ready to reuse the same numbers.
+        let mut buf = Vec::with_capacity(updates.len() * 37);
+        let last = updates.len() - 1;
         for (i, update) in updates.iter().enumerate() {
-            buf.extend_from_slice(&encode(self.next_seq, update, i == 0));
-            self.next_seq += 1;
+            let commit = (i == last).then_some(batch_id);
+            buf.extend_from_slice(&encode(self.next_seq + i as u64, update, i == 0, commit));
         }
-        self.file.write_all(&buf).map_err(KiffError::Io)?;
-        self.file.sync_data().map_err(KiffError::Io)?;
+        let result = fault::check_ctx(points::WAL_APPEND, &self.ctx)
+            .and_then(|()| self.file.write_all(&buf).map_err(KiffError::Io))
+            .and_then(|()| fault::check_ctx(points::WAL_FSYNC, &self.ctx))
+            .and_then(|()| self.file.sync_data().map_err(KiffError::Io));
+        if let Err(e) = result {
+            self.poisoned = true;
+            self.telemetry.counter("wal.append_errors").incr();
+            return Err(e);
+        }
+        self.next_seq += updates.len() as u64;
         self.segment_len += buf.len() as u64;
         self.telemetry
             .counter("wal.appends")
             .add(updates.len() as u64);
         self.telemetry.counter("wal.fsyncs").incr();
         Ok(self.next_seq - 1)
+    }
+
+    /// Heals a poisoned log: physically truncates the segment back to
+    /// the committed length, re-probes the disk with an fsync, and
+    /// reopens the append handle. Fails (and stays poisoned) while the
+    /// underlying disk — or an armed `wal.fsync` failpoint — still
+    /// refuses to sync; the daemon's degraded-mode recovery loop calls
+    /// this until it succeeds.
+    pub fn reopen(&mut self) -> Result<(), KiffError> {
+        let segments = segments(&self.dir)?;
+        let path = match segments.last() {
+            Some((_, path)) => path.clone(),
+            None => self.dir.join(segment_name(self.next_seq)),
+        };
+        let f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(KiffError::Io)?;
+        f.set_len(self.segment_len).map_err(KiffError::Io)?;
+        fault::check_ctx(points::WAL_FSYNC, &self.ctx)?;
+        f.sync_data().map_err(KiffError::Io)?;
+        drop(f);
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(KiffError::Io)?;
+        self.poisoned = false;
+        self.telemetry.counter("wal.reopens").incr();
+        Ok(())
     }
 
     fn rotate(&mut self) -> Result<(), KiffError> {
@@ -307,18 +430,21 @@ impl Wal {
         Ok(removed)
     }
 
-    /// Scans every segment in `dir` and returns the updates with
-    /// `seq > after_seq`. Stops at the first invalid or out-of-order
-    /// record (see the module docs); sequence numbers must form one
-    /// contiguous run across segment boundaries.
+    /// Scans every segment in `dir` and returns the updates of committed
+    /// batches with `seq > after_seq`. Stops at the first invalid or
+    /// out-of-order record and drops any trailing uncommitted batch (see
+    /// the module docs); sequence numbers must form one contiguous run
+    /// across segment boundaries.
     pub fn replay(
         dir: &Path,
         after_seq: u64,
         telemetry: &Registry,
     ) -> Result<WalReplay, KiffError> {
         let mut updates = Vec::new();
+        let mut pending: Vec<(u64, Update, bool)> = Vec::new();
         let mut next_seq = after_seq + 1;
         let mut expected: Option<u64> = None;
+        let mut batch_hwm = 0u64;
         let mut truncated = false;
 
         'segments: for (_, path) in segments(dir)? {
@@ -346,7 +472,7 @@ impl Wal {
                     truncated = true;
                     break 'segments;
                 }
-                let Some((seq, update, head)) = decode_payload(payload) else {
+                let Some((seq, update, head, commit)) = decode_payload(payload) else {
                     truncated = true;
                     break 'segments;
                 };
@@ -354,20 +480,40 @@ impl Wal {
                     truncated = true;
                     break 'segments;
                 }
+                if head && !pending.is_empty() {
+                    // The previous batch never committed mid-log; only a
+                    // failed tail truncation produces this. Nothing past
+                    // it can be trusted.
+                    truncated = true;
+                    break 'segments;
+                }
                 expected = Some(seq + 1);
                 at += 8 + len as usize;
                 if seq > after_seq {
-                    if seq != next_seq + updates.len() as u64 {
+                    if seq != next_seq + updates.len() as u64 + pending.len() as u64 {
                         // A gap between the snapshot point and the log:
                         // replaying would skip updates silently.
                         return Err(KiffError::corrupt(
                             "wal",
-                            format!("expected seq {next_seq}, found {seq}"),
+                            format!(
+                                "expected seq {}, found {seq}",
+                                next_seq + updates.len() as u64 + pending.len() as u64
+                            ),
                         ));
                     }
-                    updates.push((seq, update, head));
+                    pending.push((seq, update, head));
+                }
+                if let Some(batch_id) = commit {
+                    updates.append(&mut pending);
+                    batch_hwm = batch_hwm.max(batch_id);
                 }
             }
+        }
+        if !pending.is_empty() {
+            // A batch whose commit marker never hit the disk: drop it
+            // whole, so its sequence numbers get reused by the retry.
+            truncated = true;
+            pending.clear();
         }
         next_seq += updates.len() as u64;
         if truncated {
@@ -378,6 +524,7 @@ impl Wal {
             updates,
             next_seq,
             truncated,
+            batch_hwm,
         })
     }
 }
@@ -385,6 +532,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kiff_core::fault::Trigger;
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -414,12 +562,13 @@ mod tests {
             Update::AddUser,
             Update::RemoveRating { user: 0, item: 1 },
         ];
-        assert_eq!(wal.append_batch(&batch).unwrap(), 3);
-        assert_eq!(wal.append_batch(&[add(4, 4, 1.0)]).unwrap(), 4);
+        assert_eq!(wal.append_batch(&batch, 11).unwrap(), 3);
+        assert_eq!(wal.append_batch(&[add(4, 4, 1.0)], 12).unwrap(), 4);
 
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         assert!(!replay.truncated);
         assert_eq!(replay.next_seq, 5);
+        assert_eq!(replay.batch_hwm, 12, "highest committed batch id");
         let seqs: Vec<u64> = replay.updates.iter().map(|(s, _, _)| *s).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4]);
         assert_eq!(replay.updates[0].1, batch[0]);
@@ -432,10 +581,12 @@ mod tests {
             "replay regroups the original append batches"
         );
 
-        // Replay after a snapshot point skips the prefix.
+        // Replay after a snapshot point skips the prefix but still sees
+        // every committed batch id.
         let tail = Wal::replay(&dir, 3, &reg).unwrap();
         assert_eq!(tail.updates.len(), 1);
         assert_eq!(tail.updates[0].0, 4);
+        assert_eq!(tail.batch_hwm, 12);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -447,7 +598,7 @@ mod tests {
             .unwrap()
             .with_segment_bytes(1);
         for i in 0..5u32 {
-            wal.append_batch(&[add(i, i, 1.0)]).unwrap();
+            wal.append_batch(&[add(i, i, 1.0)], 0).unwrap();
         }
         assert!(segments(&dir).unwrap().len() >= 4, "tiny threshold rotates");
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
@@ -464,40 +615,129 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_tail_recovers_to_last_valid_record() {
+    fn corrupt_tail_drops_the_whole_uncommitted_batch() {
         let dir = tmp("corrupt");
         let reg = Registry::new();
         let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
-        wal.append_batch(&[add(0, 0, 1.0), add(1, 1, 1.0), add(2, 2, 1.0)])
+        wal.append_batch(&[add(7, 7, 1.0)], 1).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0), add(1, 1, 1.0), add(2, 2, 1.0)], 2)
             .unwrap();
         drop(wal);
 
         let (_, path) = segments(&dir).unwrap().pop().unwrap();
         let mut bytes = fs::read(&path).unwrap();
-        // Flip a payload byte of the last record: CRC now fails.
+        // Flip a payload byte of the last record: its CRC fails, the
+        // commit marker is lost, and the whole second batch — not just
+        // its tail record — must vanish. Batches are atomic.
         let n = bytes.len();
         bytes[n - 1] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
 
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         assert!(replay.truncated);
-        assert_eq!(replay.updates.len(), 2, "first two records survive");
-        assert_eq!(replay.next_seq, 3);
+        assert_eq!(replay.updates.len(), 1, "only the committed batch survives");
+        assert_eq!(replay.next_seq, 2, "partial batch seqs are reusable");
+        assert_eq!(
+            replay.batch_hwm, 1,
+            "uncommitted batch id does not advance hwm"
+        );
 
         // Truncated mid-record (a torn write) behaves the same.
         bytes.truncate(n - 3);
         fs::write(&path, &bytes).unwrap();
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         assert!(replay.truncated);
-        assert_eq!(replay.updates.len(), 2);
+        assert_eq!(replay.updates.len(), 1);
 
-        // Reopening drops the torn tail, so new appends replay cleanly.
+        // Reopening drops the torn tail; the retry reuses seqs 2..=4 and
+        // replays cleanly.
         let mut wal = Wal::open(&dir, replay.next_seq, reg.clone()).unwrap();
-        wal.append_batch(&[add(9, 9, 1.0)]).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0), add(1, 1, 1.0), add(2, 2, 1.0)], 2)
+            .unwrap();
         let healed = Wal::replay(&dir, 0, &reg).unwrap();
         assert!(!healed.truncated);
-        assert_eq!(healed.updates.len(), 3);
-        assert_eq!(healed.updates[2].0, 3);
+        assert_eq!(healed.updates.len(), 4);
+        assert_eq!(healed.updates[3].0, 4);
+        assert_eq!(healed.batch_hwm, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_until_reopen_and_loses_nothing() {
+        let dir = tmp("poison");
+        let reg = Registry::new();
+        let scope = dir.to_string_lossy().into_owned();
+        let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0)], 1).unwrap();
+
+        // Arm the fsync failpoint for this directory only: the append
+        // writes its bytes but the sync fails, so the batch must not
+        // exist logically.
+        fault::arm_scoped(points::WAL_FSYNC, Trigger::Nth(1), scope.clone());
+        let err = wal
+            .append_batch(&[add(1, 1, 1.0), add(2, 2, 1.0)], 2)
+            .unwrap_err();
+        assert_eq!(err.kind(), "io");
+        assert!(wal.is_poisoned());
+        assert_eq!(wal.next_seq(), 2, "failed append advances nothing");
+
+        // While poisoned, further appends are refused outright.
+        assert!(wal.append_batch(&[add(3, 3, 1.0)], 3).is_err());
+
+        // The unacknowledged batch's bytes physically landed before the
+        // fsync failed, so a crash *now* would recover it — which is
+        // safe: the ack was lost, the client retries under the same id,
+        // and the recovered hwm dedupes the retry. (Had the bytes not
+        // survived, the retry would apply instead. Either way, exactly
+        // once.)
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert_eq!(replay.updates.len(), 3);
+        assert_eq!(replay.batch_hwm, 2);
+
+        // The live process instead heals by truncating back to what it
+        // *knows* is durable; the retried batch then lands on the same
+        // sequence numbers.
+        wal.reopen().unwrap();
+        assert!(!wal.is_poisoned());
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert_eq!(
+            replay.updates.len(),
+            1,
+            "reopen discarded the unsynced tail"
+        );
+        assert_eq!(
+            wal.append_batch(&[add(1, 1, 1.0), add(2, 2, 1.0)], 2)
+                .unwrap(),
+            3
+        );
+        let replay = Wal::replay(&dir, 0, &reg).unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.updates.len(), 3);
+        assert_eq!(replay.batch_hwm, 2);
+        assert_eq!(reg.snapshot().counter("wal.reopens"), Some(1));
+        fault::disarm(points::WAL_FSYNC);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_stays_poisoned_while_fsync_keeps_failing() {
+        let dir = tmp("stuck");
+        let reg = Registry::new();
+        let scope = dir.to_string_lossy().into_owned();
+        let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0)], 1).unwrap();
+
+        fault::arm_scoped(points::WAL_FSYNC, Trigger::Nth(1), scope.clone());
+        assert!(wal.append_batch(&[add(1, 1, 1.0)], 2).is_err());
+        // The reopen probe hits the same failing disk.
+        fault::arm_scoped(points::WAL_FSYNC, Trigger::Nth(1), scope.clone());
+        assert!(wal.reopen().is_err());
+        assert!(wal.is_poisoned());
+        // Once the disk recovers, reopen heals.
+        wal.reopen().unwrap();
+        assert!(!wal.is_poisoned());
+        assert_eq!(wal.append_batch(&[add(1, 1, 1.0)], 2).unwrap(), 2);
+        fault::disarm(points::WAL_FSYNC);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -506,13 +746,13 @@ mod tests {
         let dir = tmp("reopen");
         let reg = Registry::new();
         let mut wal = Wal::open(&dir, 1, reg.clone()).unwrap();
-        wal.append_batch(&[add(0, 0, 1.0)]).unwrap();
+        wal.append_batch(&[add(0, 0, 1.0)], 0).unwrap();
         drop(wal);
 
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         let mut wal = Wal::open(&dir, replay.next_seq, reg.clone()).unwrap();
         assert_eq!(wal.next_seq(), 2);
-        wal.append_batch(&[add(1, 1, 1.0)]).unwrap();
+        wal.append_batch(&[add(1, 1, 1.0)], 0).unwrap();
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         assert_eq!(replay.updates.len(), 2);
         assert_eq!(reg.snapshot().counter("wal.fsyncs"), Some(2));

@@ -71,9 +71,16 @@ pub enum Request {
     Update {
         /// The mutations, in order.
         updates: Vec<Update>,
+        /// Client-assigned batch id for idempotent retry (0 = none).
+        /// Ids at or below the server's applied high-water mark are
+        /// acknowledged without re-applying.
+        batch: u64,
     },
     /// Engine lifetime statistics.
     Stats,
+    /// Daemon health: `healthy | degraded | recovering`, current seq,
+    /// applied-batch high-water mark, and WAL/snapshot ages.
+    Health,
     /// Telemetry snapshot of the daemon's registry.
     Metrics,
     /// Force a snapshot now.
@@ -205,9 +212,14 @@ impl Request {
                     .iter()
                     .map(update_from_value)
                     .collect::<Result<Vec<_>, KiffError>>()?;
-                Ok(Request::Update { updates })
+                let batch = match v.get("batch") {
+                    None => 0,
+                    Some(b) => b.as_u64().ok_or_else(|| protocol("invalid `batch`"))?,
+                };
+                Ok(Request::Update { updates, batch })
             }
             "stats" => Ok(Request::Stats),
+            "health" => Ok(Request::Health),
             "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
             "shutdown" => Ok(Request::Shutdown),
@@ -238,11 +250,16 @@ impl Request {
                     .collect();
                 serde_json::json!({"op": "search", "items": items, "top": *top})
             }
-            Request::Update { updates } => {
+            Request::Update { updates, batch } => {
                 let updates: Vec<Value> = updates.iter().map(update_to_value).collect();
-                serde_json::json!({"op": "update", "updates": updates})
+                if *batch == 0 {
+                    serde_json::json!({"op": "update", "updates": updates})
+                } else {
+                    serde_json::json!({"op": "update", "updates": updates, "batch": *batch})
+                }
             }
             Request::Stats => serde_json::json!({"op": "stats"}),
+            Request::Health => serde_json::json!({"op": "health"}),
             Request::Metrics => serde_json::json!({"op": "metrics"}),
             Request::Snapshot => serde_json::json!({"op": "snapshot"}),
             Request::Shutdown => serde_json::json!({"op": "shutdown"}),
@@ -260,6 +277,7 @@ impl Request {
             Request::Search { .. } => "search",
             Request::Update { .. } => "update",
             Request::Stats => "stats",
+            Request::Health => "health",
             Request::Metrics => "metrics",
             Request::Snapshot => "snapshot",
             Request::Shutdown => "shutdown",
@@ -267,10 +285,14 @@ impl Request {
     }
 }
 
-/// An error response frame for `err`.
-pub fn error_value(err: &KiffError) -> Value {
+/// An error response frame for `err` failing op `op` (`""` when the
+/// request never parsed far enough to know). Clients rebuild a
+/// [`KiffError::Remote`] from all three fields, so the error class —
+/// `unavailable` vs `overloaded` vs `corrupt` — survives the wire.
+pub fn error_value(err: &KiffError, op: &str) -> Value {
     let error = serde_json::json!({
         "kind": err.kind(),
+        "op": op,
         "message": err.to_string()
     });
     serde_json::json!({"ok": false, "error": error})
@@ -302,7 +324,13 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Value>, KiffError> {
             if filled == 0 {
                 return Ok(None);
             }
-            return Err(protocol("connection closed mid-frame"));
+            // A transport failure, not a protocol violation: the peer
+            // (or a fault) tore the connection mid-frame. `Io` keeps it
+            // retryable for the self-healing client.
+            return Err(KiffError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            )));
         }
         filled += n;
     }
@@ -346,8 +374,14 @@ mod tests {
                     Update::AddUser,
                     Update::RemoveRating { user: 0, item: 1 },
                 ],
+                batch: 0,
+            },
+            Request::Update {
+                updates: vec![Update::AddUser],
+                batch: 42,
             },
             Request::Stats,
+            Request::Health,
             Request::Metrics,
             Request::Snapshot,
             Request::Shutdown,
@@ -396,5 +430,17 @@ mod tests {
         buf.truncate(buf.len() - 2);
         let mut r = buf.as_slice();
         assert!(read_frame(&mut r).is_err(), "mid-frame EOF is an error");
+    }
+
+    #[test]
+    fn error_envelope_carries_kind_and_op() {
+        let err = KiffError::Unavailable {
+            op: "update".into(),
+            detail: "wal degraded".into(),
+        };
+        let v = error_value(&err, "update");
+        assert_eq!(v["ok"], serde_json::json!(false));
+        assert_eq!(v["error"]["kind"], serde_json::json!("unavailable"));
+        assert_eq!(v["error"]["op"], serde_json::json!("update"));
     }
 }

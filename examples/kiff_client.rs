@@ -5,18 +5,24 @@
 //! snapshot persistence in a scratch directory, then walks the typed
 //! [`kiff::serve::Client`] through the whole wire surface: neighbours,
 //! recommendations, predictions, durable updates, a forced snapshot,
-//! stats, and telemetry. Finally it kills the daemon, recovers a second
-//! one from the same directory, and shows the streamed ratings survived.
+//! stats, and telemetry. A chaos interlude arms a `net.write` failpoint
+//! so the daemon's ack dies mid-flight, and a [`SelfHealingClient`]
+//! retries the batch across a fresh connection without double-applying
+//! it. Finally it kills the daemon, recovers a second one from the same
+//! directory, and shows the streamed ratings survived.
 //!
 //! Against a real daemon (`kiff serve --input ... --data-dir ...`), skip
 //! the spawning and just `Client::connect("host:port")`.
 //!
 //! Run with: `cargo run --release --example kiff_client`
 
+use kiff::core::fault::{self, points, Trigger};
 use kiff::dataset::generators::movielens::movielens_like;
 use kiff::online::{OnlineConfig, Update};
 use kiff::prelude::*;
-use kiff::serve::{recover, Client, EngineHost, Server, StoreConfig};
+use kiff::serve::{
+    recover, Client, EngineHost, RetryPolicy, SelfHealingClient, Server, StoreConfig,
+};
 use kiff::telemetry::Registry;
 
 fn spawn_daemon(
@@ -89,6 +95,45 @@ fn main() {
         .and_then(|c| c.get("serve.requests"))
         .cloned();
     println!("requests served so far (from telemetry): {request_count:?}");
+
+    // Chaos interlude: kill the ack of the next write on the wire and
+    // let the self-healing client ride it out. The batch carries a
+    // client-assigned id, so when the ack dies after the daemon already
+    // applied it, the retry dedupes against the WAL high-water mark
+    // instead of double-applying.
+    let mut healing =
+        SelfHealingClient::connect(&addr, RetryPolicy::default()).expect("self-healing connect");
+    fault::arm_scoped(points::NET_WRITE, Trigger::Nth(1), &addr);
+    let ack = healing
+        .update(&[Update::AddRating {
+            user: 1,
+            item: 2,
+            rating: 4.0,
+        }])
+        .expect("update survives the torn connection");
+    println!(
+        "\nchaos   : ack killed mid-flight; {} retr{}, {} reconnect(s), \
+         batch {} (applied {})",
+        healing.retries(),
+        if healing.retries() == 1 { "y" } else { "ies" },
+        healing.reconnects(),
+        if ack.deduped {
+            "deduped — first attempt had landed"
+        } else {
+            "applied on the retry"
+        },
+        ack.applied
+    );
+    assert!(
+        healing.reconnects() >= 1,
+        "the torn connection forced a reconnect"
+    );
+    let health = healing.health().expect("health");
+    println!(
+        "health  : {} at seq {:?}, batch high-water mark {}",
+        health.status, health.seq, health.batch_hwm
+    );
+    fault::disarm(points::NET_WRITE);
 
     // Stop the daemon, then recover a second one from the same
     // directory: the update streamed above is still there.

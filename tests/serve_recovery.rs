@@ -92,7 +92,7 @@ proptest! {
         let mut applied = 0usize;
         let mut snapped = false;
         for chunk in stream.chunks(batch) {
-            store.append(chunk).unwrap();
+            store.append(chunk, 0).unwrap();
             engine.apply_batch(chunk.to_vec());
             applied += chunk.len();
             if !snapped && applied >= cut {
@@ -138,7 +138,7 @@ fn kill_without_snapshot_loses_nothing() {
     let rec = recover(&cfg, &seed, None, OnlineConfig::new(3), None).unwrap();
     let (mut engine, mut store) = (rec.engine, rec.store);
     for chunk in stream.chunks(4) {
-        store.append(chunk).unwrap();
+        store.append(chunk, 0).unwrap();
         engine.apply_batch(chunk.to_vec());
     }
     drop((engine, store)); // no snapshot, no goodbye
@@ -180,7 +180,7 @@ fn recovered_daemon_matches_in_process_over_tcp() {
     let rec = recover(&cfg, &seed, Some(&graph), config(), None).unwrap();
     let (mut engine, mut store) = (rec.engine, rec.store);
     for (i, chunk) in stream.chunks(6).enumerate() {
-        store.append(chunk).unwrap();
+        store.append(chunk, 0).unwrap();
         engine.apply_batch(chunk.to_vec());
         if i == 1 {
             store.snapshot(engine.as_ref()).unwrap();
