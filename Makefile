@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve bench-faults clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve bench-faults bench-failover chaos clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,7 +32,8 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting baselines rebalance telemetry serve faults --scale 0.1 \
+		online sharded counting baselines rebalance telemetry serve faults failover \
+		--scale 0.1 \
 		--threads 4 --seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
 # Counting/scoring hot-loop throughput only (BENCH_counting.json):
@@ -78,6 +79,19 @@ bench-serve:
 bench-faults:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		faults --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
+# Replication only (BENCH_failover.json): primary/replica WAL shipping
+# (replica read p99 <= 2x primary, steady-state lag <= 1 batch, both
+# gated), a forced failover with client-observed unavailability <= 2s,
+# and the exactly-once bit-exactness check across the kill.
+bench-failover:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		failover --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
+# The chaos suite: proptest fault schedules and replication failovers
+# against live daemons, with failpoints at elevated probability.
+chaos:
+	$(CARGO) test --test serve_faults --test serve_replica
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

@@ -11,6 +11,7 @@ pub mod counting_perf;
 pub mod datasets_exps;
 pub mod density_exps;
 pub mod extensions;
+pub mod failover;
 pub mod faults;
 pub mod online;
 pub mod rebalance;
@@ -234,7 +235,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 29] = [
+pub const ALL: [&str; 30] = [
     "table1",
     "fig4",
     "fig1",
@@ -264,6 +265,7 @@ pub const ALL: [&str; 29] = [
     "telemetry",
     "serve",
     "faults",
+    "failover",
 ];
 
 /// Runs one experiment by id.
@@ -298,6 +300,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "telemetry" => Ok(telemetry::telemetry(ctx)),
         "serve" => Ok(serve::serve(ctx)),
         "faults" => Ok(faults::faults(ctx)),
+        "failover" => Ok(failover::failover(ctx)),
         other => Err(format!(
             "unknown experiment '{other}'; available: {}",
             ALL.join(", ")

@@ -222,6 +222,17 @@ pub struct ServeOptions {
     /// Failpoint spec (`name=trigger[%scope],...`) armed at startup on
     /// top of `KIFF_FAILPOINTS` — chaos drills against a live daemon.
     pub failpoints: Option<String>,
+    /// Replication channel to listen on (`host:port`; port 0 =
+    /// ephemeral). Enables replication; absent = standalone daemon.
+    pub repl_listen: Option<String>,
+    /// Start as a replica of this primary (its *client* address).
+    /// Absent with `--repl-listen` = start as the primary.
+    pub replica_of: Option<String>,
+    /// Client addresses of every group member, polled during elections.
+    pub peers: Vec<String>,
+    /// Replication heartbeat interval in milliseconds (default 500);
+    /// a primary silent for four intervals triggers an election.
+    pub heartbeat_ms: Option<u64>,
 }
 
 /// `--partitioner` values of `kiff update`.
@@ -317,6 +328,8 @@ commands:
              [--data-dir DIR] [--snapshot-every N] [--shards N]
              [--threads N] [--addr-file FILE] [--max-inflight N]
              [--degraded-ok] [--failpoints SPEC]
+             [--repl-listen HOST:PORT [--replica-of HOST:PORT]
+              [--peers HOST:PORT,...] [--heartbeat-ms N]]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -414,6 +427,19 @@ fn parse_preset(raw: &str) -> Result<PaperDataset, ParseError> {
     }
 }
 
+fn parse_peers(raw: &str) -> Result<Vec<String>, ParseError> {
+    let list: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if list.is_empty() {
+        return Err(ParseError("--peers must list at least one address".into()));
+    }
+    Ok(list)
+}
+
 fn parse_items(raw: &str) -> Result<Vec<u32>, ParseError> {
     raw.split(',')
         .filter(|s| !s.is_empty())
@@ -475,6 +501,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut max_inflight: Option<usize> = None;
     let mut degraded_ok = false;
     let mut failpoints: Option<String> = None;
+    let mut repl_listen: Option<String> = None;
+    let mut replica_of: Option<String> = None;
+    let mut peers: Option<Vec<String>> = None;
+    let mut heartbeat_ms: Option<u64> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -533,6 +563,15 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             }
             "--degraded-ok" => degraded_ok = true,
             "--failpoints" => failpoints = Some(value("--failpoints", &mut iter)?),
+            "--repl-listen" => repl_listen = Some(value("--repl-listen", &mut iter)?),
+            "--replica-of" => replica_of = Some(value("--replica-of", &mut iter)?),
+            "--peers" => peers = Some(parse_peers(&value("--peers", &mut iter)?)?),
+            "--heartbeat-ms" => {
+                heartbeat_ms = Some(parse_num(
+                    "--heartbeat-ms",
+                    &value("--heartbeat-ms", &mut iter)?,
+                )?)
+            }
             "--metrics-out" => {
                 metrics_out = Some(PathBuf::from(value("--metrics-out", &mut iter)?))
             }
@@ -697,6 +736,22 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 kiff::core::fault::parse_spec(spec)
                     .map_err(|e| ParseError(format!("bad --failpoints: {e}")))?;
             }
+            if repl_listen.is_none() && (replica_of.is_some() || peers.is_some()) {
+                return Err(ParseError(
+                    "--replica-of/--peers require --repl-listen".into(),
+                ));
+            }
+            if heartbeat_ms.is_some() && repl_listen.is_none() {
+                return Err(ParseError("--heartbeat-ms requires --repl-listen".into()));
+            }
+            if heartbeat_ms == Some(0) {
+                return Err(ParseError("--heartbeat-ms must be positive".into()));
+            }
+            if repl_listen.is_some() && data_dir.is_none() {
+                // The replica stream is WAL-backed; a volatile daemon
+                // has nothing to ship.
+                return Err(ParseError("--repl-listen requires --data-dir".into()));
+            }
             Ok(Command::Serve(ServeOptions {
                 input: need_input(input)?,
                 k: k.unwrap_or(20),
@@ -710,6 +765,10 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 max_inflight: max_inflight.unwrap_or(0),
                 degraded_ok,
                 failpoints,
+                repl_listen,
+                replica_of,
+                peers: peers.unwrap_or_default(),
+                heartbeat_ms,
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -1068,6 +1127,78 @@ mod tests {
         assert!(
             parse(&argv("serve --input b.tsv --failpoints wal.fsync=banana")).is_err(),
             "a malformed failpoint spec is a usage error, not a late crash"
+        );
+    }
+
+    #[test]
+    fn parses_serve_replication() {
+        let cmd = parse(&argv(
+            "serve --input base.tsv --data-dir /tmp/kiff --repl-listen 0.0.0.0:9001 \
+             --replica-of 10.0.0.1:7407 --peers 10.0.0.1:7407,10.0.0.2:7407 \
+             --heartbeat-ms 250",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.repl_listen.as_deref(), Some("0.0.0.0:9001"));
+                assert_eq!(s.replica_of.as_deref(), Some("10.0.0.1:7407"));
+                assert_eq!(s.peers, vec!["10.0.0.1:7407", "10.0.0.2:7407"]);
+                assert_eq!(s.heartbeat_ms, Some(250));
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // Standalone default: no replication at all.
+        match parse(&argv("serve --input base.tsv")).unwrap() {
+            Command::Serve(s) => {
+                assert_eq!(s.repl_listen, None);
+                assert_eq!(s.replica_of, None);
+                assert!(s.peers.is_empty());
+                assert_eq!(s.heartbeat_ms, None);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_replication_flags_are_validated() {
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --replica-of 10.0.0.1:7407"
+            ))
+            .is_err(),
+            "--replica-of without --repl-listen rejected, not ignored"
+        );
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --peers 10.0.0.1:7407"
+            ))
+            .is_err(),
+            "--peers without --repl-listen rejected"
+        );
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --heartbeat-ms 100"
+            ))
+            .is_err(),
+            "--heartbeat-ms without --repl-listen rejected"
+        );
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --repl-listen :0 --heartbeat-ms 0"
+            ))
+            .is_err(),
+            "a zero heartbeat would mean instant elections"
+        );
+        assert!(
+            parse(&argv("serve --input b.tsv --repl-listen 127.0.0.1:0")).is_err(),
+            "replication ships the WAL; it needs --data-dir"
+        );
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --repl-listen :0 --peers ,"
+            ))
+            .is_err(),
+            "empty peer list rejected"
         );
     }
 

@@ -435,12 +435,30 @@ fn serve(options: &ServeOptions, out: &mut dyn Write) -> Result<(), CommandError
     if read_only {
         host = host.read_only();
     }
+    let replication = options.repl_listen.as_ref().map(|listen| {
+        let mut rc = kiff::serve::ReplicationConfig::new(listen).with_peers(options.peers.clone());
+        if let Some(primary) = &options.replica_of {
+            rc = rc.replica_of(primary);
+        }
+        if let Some(ms) = options.heartbeat_ms {
+            rc = rc.with_heartbeat(std::time::Duration::from_millis(ms));
+        }
+        rc
+    });
     let server_config = ServerConfig {
         max_inflight: options.max_inflight,
+        replication,
         ..ServerConfig::default()
     };
     let server = Server::bind_with(&options.addr, host, server_config)?;
     let bound = server.local_addr();
+    if let Some(repl) = server.repl_addr() {
+        let role = match &options.replica_of {
+            Some(primary) => format!("replica of {primary}"),
+            None => "primary".to_string(),
+        };
+        writeln!(out, "replication on {repl} ({role})")?;
+    }
     if let Some(path) = &options.addr_file {
         std::fs::write(path, format!("{bound}\n"))
             .map_err(|e| err(format!("{}: {e}", path.display())))?;

@@ -73,6 +73,14 @@ pub enum KiffError {
         /// The configured in-flight limit.
         limit: usize,
     },
+    /// A write was sent to a replica. Replicas serve reads but refuse
+    /// mutations; the carried leader hint (the primary's client
+    /// address, when the replica knows it) lets a failover-aware client
+    /// re-route instead of blindly retrying the same endpoint.
+    NotPrimary {
+        /// Client address of the current primary, when known.
+        leader: Option<String>,
+    },
     /// An error reported by a remote `kiff-serve` daemon, carrying the
     /// wire `kind` tag of the server-side variant and the failing op so
     /// callers can branch on `unavailable` vs `overloaded` vs `corrupt`.
@@ -109,6 +117,7 @@ impl KiffError {
             KiffError::Protocol(_) => "protocol",
             KiffError::Unavailable { .. } => "unavailable",
             KiffError::Overloaded { .. } => "overloaded",
+            KiffError::NotPrimary { .. } => "not_primary",
             KiffError::Remote { .. } => "remote",
         }
     }
@@ -118,16 +127,24 @@ impl KiffError {
     ///
     /// `Io` covers torn connections and transient disk errors;
     /// `Unavailable` clears when the daemon's WAL recovers;
-    /// `Overloaded` clears when in-flight load drains. A `Remote` error
-    /// is retryable exactly when its server-side class is — so the
-    /// self-healing client applies one policy on both sides of the
+    /// `Overloaded` clears when in-flight load drains; `NotPrimary`
+    /// clears by retrying against the hinted leader (the failover
+    /// client re-routes rather than re-sending blindly). A `Remote`
+    /// error is retryable exactly when its server-side class is — so
+    /// the self-healing client applies one policy on both sides of the
     /// wire. Everything else (bad request, corruption, protocol
     /// violation) would fail identically on retry.
     pub fn is_retryable(&self) -> bool {
         match self {
-            KiffError::Io(_) | KiffError::Unavailable { .. } | KiffError::Overloaded { .. } => true,
+            KiffError::Io(_)
+            | KiffError::Unavailable { .. }
+            | KiffError::Overloaded { .. }
+            | KiffError::NotPrimary { .. } => true,
             KiffError::Remote { kind, .. } => {
-                matches!(kind.as_str(), "io" | "unavailable" | "overloaded")
+                matches!(
+                    kind.as_str(),
+                    "io" | "unavailable" | "overloaded" | "not_primary"
+                )
             }
             _ => false,
         }
@@ -149,6 +166,7 @@ impl KiffError {
     /// | 7    | [`Remote`](KiffError::Remote) |
     /// | 8    | [`Unavailable`](KiffError::Unavailable) |
     /// | 9    | [`Overloaded`](KiffError::Overloaded) |
+    /// | 10   | [`NotPrimary`](KiffError::NotPrimary) |
     pub fn exit_code(&self) -> u8 {
         match self {
             KiffError::UnknownUser { .. } | KiffError::UnknownItem { .. } => 2,
@@ -159,6 +177,7 @@ impl KiffError {
             KiffError::Remote { .. } => 7,
             KiffError::Unavailable { .. } => 8,
             KiffError::Overloaded { .. } => 9,
+            KiffError::NotPrimary { .. } => 10,
         }
     }
 }
@@ -191,6 +210,10 @@ impl fmt::Display for KiffError {
                     "overloaded: {inflight} requests in flight (limit {limit})"
                 )
             }
+            KiffError::NotPrimary { leader } => match leader {
+                Some(addr) => write!(f, "not primary: writes go to the leader at {addr}"),
+                None => write!(f, "not primary: leader unknown, rediscover via health"),
+            },
             KiffError::Remote { kind, op, message } => {
                 if op.is_empty() {
                     write!(f, "server error ({kind}): {message}")
@@ -257,6 +280,12 @@ mod tests {
         };
         assert_eq!(overloaded.exit_code(), 9);
         assert_eq!(overloaded.kind(), "overloaded");
+        let not_primary = KiffError::NotPrimary {
+            leader: Some("127.0.0.1:7407".into()),
+        };
+        assert_eq!(not_primary.exit_code(), 10);
+        assert_eq!(not_primary.kind(), "not_primary");
+        assert!(not_primary.to_string().contains("127.0.0.1:7407"));
     }
 
     #[test]
@@ -280,9 +309,11 @@ mod tests {
             op: "update".into(),
             message: "m".into(),
         };
+        assert!(KiffError::NotPrimary { leader: None }.is_retryable());
         assert!(remote("unavailable").is_retryable());
         assert!(remote("overloaded").is_retryable());
         assert!(remote("io").is_retryable());
+        assert!(remote("not_primary").is_retryable());
         assert!(!remote("unknown_user").is_retryable());
         assert!(!remote("corrupt").is_retryable());
     }

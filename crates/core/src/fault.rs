@@ -22,6 +22,9 @@
 //! | `snapshot.rename` | the atomic `.tmp` → final rename |
 //! | `net.read`        | server-side frame read (connection killed) |
 //! | `net.write`       | server-side response write (connection killed) |
+//! | `repl.stream`     | primary→replica replication frame send |
+//! | `repl.ack`        | replica-side replication ack write |
+//! | `repl.heartbeat`  | primary heartbeat send (suppressed when fired) |
 //!
 //! # Triggers
 //!
@@ -80,6 +83,15 @@ pub mod points {
     pub const NET_READ: &str = "net.read";
     /// Server-side response write; firing kills that connection.
     pub const NET_WRITE: &str = "net.write";
+    /// Replication frame send on the primary → replica stream; firing
+    /// tears that replication connection (the replica re-handshakes).
+    pub const REPL_STREAM: &str = "repl.stream";
+    /// Replica-side ack write; firing loses the ack and makes the
+    /// primary treat the replica as lagging or dead.
+    pub const REPL_ACK: &str = "repl.ack";
+    /// Primary heartbeat send; firing suppresses heartbeats so replicas
+    /// see a silent primary and start failure detection.
+    pub const REPL_HEARTBEAT: &str = "repl.heartbeat";
 }
 
 /// When an armed failpoint fires.

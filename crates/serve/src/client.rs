@@ -61,6 +61,15 @@ pub struct Health {
     pub wal_age_secs: Option<u64>,
     /// Seconds since the last snapshot.
     pub snapshot_age_secs: Option<u64>,
+    /// `primary` or `replica` (`None` on a standalone daemon).
+    pub role: Option<String>,
+    /// Replication leadership epoch (0 when standalone).
+    pub epoch: u64,
+    /// Batches the daemon lags behind its primary (0 on the primary:
+    /// its deepest per-replica queue).
+    pub replication_lag: u64,
+    /// The daemon's replication-channel address, when replicating.
+    pub repl_addr: Option<String>,
 }
 
 /// A decoded `update` acknowledgement.
@@ -117,6 +126,15 @@ impl Client {
             .and_then(Value::as_str)
             .unwrap_or("unspecified server error")
             .to_string();
+        if kind == "not_primary" {
+            // Rebuild the typed refusal so a failover-aware caller can
+            // read the leader hint without string-matching the message.
+            let leader = error
+                .and_then(|e| e.get("leader"))
+                .and_then(Value::as_str)
+                .map(String::from);
+            return Err(KiffError::NotPrimary { leader });
+        }
         Err(KiffError::Remote { kind, op, message })
     }
 
@@ -238,6 +256,19 @@ impl Client {
                 .unwrap_or(0),
             wal_age_secs: response.get("wal_age_secs").and_then(Value::as_u64),
             snapshot_age_secs: response.get("snapshot_age_secs").and_then(Value::as_u64),
+            role: response
+                .get("role")
+                .and_then(Value::as_str)
+                .map(String::from),
+            epoch: response.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+            replication_lag: response
+                .get("replication_lag_batches")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            repl_addr: response
+                .get("repl_addr")
+                .and_then(Value::as_str)
+                .map(String::from),
         })
     }
 
@@ -342,7 +373,11 @@ pub struct SelfHealingClient {
     rng: u64,
     retries: u64,
     reconnects: u64,
+    delays: Vec<Duration>,
 }
+
+/// Most recent backoff delays kept in [`SelfHealingClient::delay_log`].
+const DELAY_LOG_CAP: usize = 64;
 
 impl SelfHealingClient {
     /// Connects to `addr` and seeds the batch-id counter just past the
@@ -358,6 +393,7 @@ impl SelfHealingClient {
             rng,
             retries: 0,
             reconnects: 0,
+            delays: Vec::new(),
         };
         let health = client.health()?;
         client.next_batch = health.batch_hwm + 1;
@@ -377,6 +413,13 @@ impl SelfHealingClient {
     /// The id the next update batch will carry.
     pub fn next_batch(&self) -> u64 {
         self.next_batch
+    }
+
+    /// The most recent backoff delays slept (newest last, capped at 64
+    /// entries) — lets tests assert the schedule resets after a success
+    /// and replays exactly under a fixed seed.
+    pub fn delay_log(&self) -> &[Duration] {
+        &self.delays
     }
 
     fn conn(&mut self) -> Result<&mut Client, KiffError> {
@@ -415,7 +458,12 @@ impl SelfHealingClient {
                 return Err(err);
             }
             self.retries += 1;
-            std::thread::sleep(self.policy.delay(retry, &mut self.rng));
+            let delay = self.policy.delay(retry, &mut self.rng);
+            if self.delays.len() == DELAY_LOG_CAP {
+                self.delays.remove(0);
+            }
+            self.delays.push(delay);
+            std::thread::sleep(delay);
         }
     }
 
@@ -473,6 +521,285 @@ impl SelfHealingClient {
     }
 }
 
+/// A client for a whole replication group: it discovers the leader via
+/// each endpoint's `health`, routes writes to it, optionally spreads
+/// reads round-robin across every reachable daemon, and fails over
+/// automatically.
+///
+/// On [`KiffError::NotPrimary`] the carried leader hint re-routes the
+/// very next attempt; on a transport error the leader is re-discovered
+/// from scratch (it may have just died). The batch-id counter is
+/// seeded **once**, from the first leader's applied high-water mark,
+/// and only ever moves forward — so a batch retried across a failover
+/// reuses its original id and the new leader's dedup high-water mark
+/// makes the write exactly-once even when the ack was lost mid-kill.
+#[derive(Debug)]
+pub struct FailoverClient {
+    endpoints: Vec<String>,
+    policy: RetryPolicy,
+    spread_reads: bool,
+    leader: Option<String>,
+    // Survives `leader = None` forgets, so a crash-failover (forget →
+    // rediscover) still counts as a leader change.
+    last_leader: Option<String>,
+    conn: Option<Client>,
+    read_conns: Vec<Option<Client>>,
+    next_read: usize,
+    next_batch: u64,
+    rng: u64,
+    retries: u64,
+    failovers: u64,
+}
+
+impl FailoverClient {
+    /// Connects to a group given its client-port `endpoints`, finds the
+    /// leader, and seeds the batch-id counter past its applied
+    /// high-water mark.
+    pub fn connect(endpoints: &[String], policy: RetryPolicy) -> Result<Self, KiffError> {
+        let rng = policy.seed | 1;
+        let mut client = Self {
+            endpoints: endpoints.to_vec(),
+            policy,
+            spread_reads: false,
+            leader: None,
+            last_leader: None,
+            conn: None,
+            read_conns: endpoints.iter().map(|_| None).collect(),
+            next_read: 0,
+            next_batch: 1,
+            rng,
+            retries: 0,
+            failovers: 0,
+        };
+        let health = client.with_write_retry(Client::health)?;
+        client.next_batch = client.next_batch.max(health.batch_hwm + 1);
+        Ok(client)
+    }
+
+    /// Spreads read ops round-robin across every endpoint instead of
+    /// pinning them to the leader. Replica reads may trail the leader
+    /// by the reported replication lag.
+    pub fn spread_reads(mut self, spread: bool) -> Self {
+        self.spread_reads = spread;
+        self
+    }
+
+    /// The client address writes currently route to, if known.
+    pub fn leader(&self) -> Option<&str> {
+        self.leader.as_deref()
+    }
+
+    /// Leader changes observed since connect.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Retries attempted so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The id the next update batch will carry.
+    pub fn next_batch(&self) -> u64 {
+        self.next_batch
+    }
+
+    fn note_leader(&mut self, addr: String) {
+        if self.last_leader.as_deref().is_some_and(|old| old != addr) {
+            self.failovers += 1;
+        }
+        if self.leader.as_deref() != Some(addr.as_str()) {
+            self.conn = None;
+        }
+        self.last_leader = Some(addr.clone());
+        self.leader = Some(addr);
+    }
+
+    /// Polls every endpoint's `health` and elects the answer with the
+    /// newest epoch whose role is `primary` (a standalone daemon —
+    /// no role — also counts: the group may not be replicated yet).
+    fn discover(&mut self) -> Result<(), KiffError> {
+        let mut best: Option<(u64, String)> = None;
+        for addr in self.endpoints.clone() {
+            let Ok(mut probe) = Client::connect(&addr) else {
+                continue;
+            };
+            let Ok(health) = probe.health() else {
+                continue;
+            };
+            let leads = matches!(health.role.as_deref(), Some("primary") | None);
+            let newer = match &best {
+                Some((epoch, _)) => health.epoch > *epoch,
+                None => true,
+            };
+            if leads && newer {
+                best = Some((health.epoch, addr));
+            }
+        }
+        match best {
+            Some((_, addr)) => {
+                self.note_leader(addr);
+                Ok(())
+            }
+            None => Err(KiffError::Unavailable {
+                op: "discover".into(),
+                detail: "no primary reachable on any endpoint".into(),
+            }),
+        }
+    }
+
+    fn leader_conn(&mut self) -> Result<&mut Client, KiffError> {
+        if self.leader.is_none() {
+            self.discover()?;
+        }
+        if self.conn.is_none() {
+            let addr = self.leader.clone().expect("discovered above");
+            match Client::connect(&addr) {
+                Ok(conn) => self.conn = Some(conn),
+                Err(e) => {
+                    // The believed leader is unreachable; forget it so
+                    // the next attempt re-discovers.
+                    self.leader = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    fn backoff(&mut self, retry: u32) {
+        self.retries += 1;
+        std::thread::sleep(self.policy.delay(retry, &mut self.rng));
+    }
+
+    /// Runs `f` against the leader, following `NotPrimary` hints and
+    /// re-discovering after transport failures.
+    fn with_write_retry<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Client) -> Result<T, KiffError>,
+    ) -> Result<T, KiffError> {
+        let mut retry = 0u32;
+        loop {
+            let result = match self.leader_conn() {
+                Ok(conn) => f(conn),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            match &err {
+                KiffError::NotPrimary { leader } => {
+                    self.conn = None;
+                    match leader {
+                        Some(addr) => self.note_leader(addr.clone()),
+                        None => self.leader = None,
+                    }
+                }
+                // The server answered; the connection and leadership
+                // are fine — the failure is the op's own.
+                KiffError::Remote { .. } => {}
+                // Transport trouble: the leader may be the casualty.
+                _ => {
+                    self.conn = None;
+                    self.leader = None;
+                }
+            }
+            retry += 1;
+            if !err.is_retryable() || retry >= self.policy.max_attempts {
+                return Err(err);
+            }
+            self.backoff(retry);
+        }
+    }
+
+    /// Runs `f` against some live endpoint (round-robin when read
+    /// spreading is on, the leader otherwise).
+    fn with_read_retry<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Client) -> Result<T, KiffError>,
+    ) -> Result<T, KiffError> {
+        if !self.spread_reads {
+            return self.with_write_retry(f);
+        }
+        let mut retry = 0u32;
+        loop {
+            let mut last_err = None;
+            for _ in 0..self.endpoints.len() {
+                let i = self.next_read % self.endpoints.len();
+                self.next_read = self.next_read.wrapping_add(1);
+                if self.read_conns[i].is_none() {
+                    match Client::connect(&self.endpoints[i]) {
+                        Ok(conn) => self.read_conns[i] = Some(conn),
+                        Err(e) => {
+                            last_err = Some(e);
+                            continue;
+                        }
+                    }
+                }
+                match f(self.read_conns[i].as_mut().expect("just connected")) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => {
+                        if !matches!(e, KiffError::Remote { .. }) {
+                            self.read_conns[i] = None;
+                        }
+                        if !e.is_retryable() {
+                            return Err(e);
+                        }
+                        last_err = Some(e);
+                    }
+                }
+            }
+            let err = last_err.unwrap_or(KiffError::Unavailable {
+                op: "read".into(),
+                detail: "no endpoints configured".into(),
+            });
+            retry += 1;
+            if !err.is_retryable() || retry >= self.policy.max_attempts {
+                return Err(err);
+            }
+            self.backoff(retry);
+        }
+    }
+
+    /// Applies `updates` exactly once across failovers: the id is
+    /// assigned up front and the counter advances only after success,
+    /// so a batch replayed against a new leader is deduped by the
+    /// replicated high-water mark.
+    pub fn update(&mut self, updates: &[Update]) -> Result<UpdateAck, KiffError> {
+        let batch = self.next_batch;
+        let ack = self.with_write_retry(|c| c.update_batch(updates, batch))?;
+        self.next_batch = batch + 1;
+        Ok(ack)
+    }
+
+    /// `user`'s neighbours, from any live endpoint.
+    pub fn neighbors(&mut self, user: u32) -> Result<Vec<Neighbor>, KiffError> {
+        self.with_read_retry(|c| c.neighbors(user))
+    }
+
+    /// Recommendations, from any live endpoint.
+    pub fn recommend(&mut self, user: u32, top: usize) -> Result<Vec<(u32, f64)>, KiffError> {
+        self.with_read_retry(|c| c.recommend(user, top))
+    }
+
+    /// Rating prediction, from any live endpoint.
+    pub fn predict(&mut self, user: u32, item: u32) -> Result<Option<f64>, KiffError> {
+        self.with_read_retry(|c| c.predict(user, item))
+    }
+
+    /// The leader's health (goes to the leader even when reads spread:
+    /// callers use it for authoritative seq/hwm marks).
+    pub fn health(&mut self) -> Result<Health, KiffError> {
+        self.with_write_retry(Client::health)
+    }
+
+    /// Engine statistics from the leader.
+    pub fn stats(&mut self) -> Result<Value, KiffError> {
+        self.with_write_retry(Client::stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,5 +822,79 @@ mod tests {
         }
         // The cap binds from retry 7 on (10ms * 2^6 = 640ms > 500ms).
         assert!(a[6] <= policy.max_delay);
+    }
+
+    use crate::server::{EngineHost, Server};
+    use kiff_core::fault::{self, points, Trigger};
+    use kiff_dataset::dataset::figure2_toy;
+    use kiff_online::{OnlineConfig, OnlineKnn};
+    use kiff_telemetry::Registry;
+
+    fn spawn_toy_daemon() -> (std::thread::JoinHandle<Result<(), KiffError>>, String) {
+        let ds = figure2_toy();
+        let reg = Registry::new();
+        let config = OnlineConfig::new(2).with_telemetry(reg.clone());
+        let engine = Box::new(OnlineKnn::new(&ds, config));
+        let host = EngineHost::new(engine, None, reg);
+        let server = Server::bind("127.0.0.1:0", host).unwrap();
+        let addr = server.local_addr().to_string();
+        (std::thread::spawn(move || server.run()), addr)
+    }
+
+    fn fast_policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(16),
+            seed,
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_resets_after_success() {
+        let (daemon, addr) = spawn_toy_daemon();
+        let policy = fast_policy(7);
+        let mut client = SelfHealingClient::connect(&addr, policy.clone()).unwrap();
+        for round in 0..2usize {
+            // One torn response per round: the ping retries once, then
+            // lands on a fresh connection.
+            fault::arm_scoped(points::NET_WRITE, Trigger::Nth(1), &addr);
+            client.ping().unwrap();
+            assert_eq!(client.delay_log().len(), round + 1, "one retry per tear");
+        }
+        // Both sleeps used retry number 1: the success between them
+        // reset the exponential, so each delay is jittered off the base
+        // step, never the doubled one.
+        for d in client.delay_log() {
+            assert!(
+                *d >= policy.base_delay.mul_f64(0.5) && *d < policy.base_delay,
+                "{d:?} is not a first-retry delay"
+            );
+        }
+        client.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn seeded_jitter_replays_across_identical_schedules() {
+        let (daemon, addr) = spawn_toy_daemon();
+        let run = |addr: &str| {
+            let mut client = SelfHealingClient::connect(addr, fast_policy(99)).unwrap();
+            for _ in 0..3 {
+                fault::arm_scoped(points::NET_WRITE, Trigger::Nth(1), addr);
+                client.ping().unwrap();
+            }
+            client.delay_log().to_vec()
+        };
+        let first = run(&addr);
+        let second = run(&addr);
+        assert_eq!(first.len(), 3);
+        assert_eq!(
+            first, second,
+            "same seed and fault schedule must sleep identically"
+        );
+        let mut c = Client::connect(&addr).unwrap();
+        c.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
     }
 }

@@ -12,7 +12,8 @@
 //! | [`snapshot`] | atomic point-in-time dumps of dataset + graph + counters |
 //! | [`store`] | the WAL + snapshot lifecycle; [`store::recover`] |
 //! | [`server`] | the TCP daemon: [`server::Server`], [`server::EngineHost`], degraded mode, load shedding |
-//! | [`client`] | a blocking [`client::Client`] and a [`client::SelfHealingClient`] |
+//! | [`client`] | a blocking [`client::Client`], a [`client::SelfHealingClient`], and a multi-endpoint [`client::FailoverClient`] |
+//! | [`replication`] | primary/replica WAL shipping, epoch fencing, automatic failover |
 //!
 //! The durability contract: an acknowledged update is on disk (WAL,
 //! fsynced per batch) before it is applied, and recovery — newest
@@ -53,13 +54,15 @@
 //! ```
 
 pub mod client;
+pub mod replication;
 pub mod server;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 pub mod wire;
 
-pub use client::{Client, Health, RetryPolicy, SelfHealingClient, UpdateAck};
+pub use client::{Client, FailoverClient, Health, RetryPolicy, SelfHealingClient, UpdateAck};
+pub use replication::{ReplState, ReplicationConfig, Role};
 pub use server::{EngineHost, Server, ServerConfig};
 pub use snapshot::{latest_snapshot, load_snapshot, save_snapshot, Snapshot};
 pub use store::{recover, Appended, Recovered, Store, StoreConfig};

@@ -1,0 +1,1420 @@
+//! Primary/replica WAL shipping with automatic failover.
+//!
+//! One daemon is the **primary**: it accepts writes, appends them to
+//! its WAL, applies them to its engine, and streams every committed
+//! batch to each configured replica over a dedicated replication
+//! channel before acknowledging the client (semi-synchronous
+//! replication with a bounded ack wait). **Replicas** apply the stream
+//! through the same [`crate::server::EngineHost`] path as local
+//! recovery, serve every read op, and refuse writes with a typed
+//! [`KiffError::NotPrimary`] carrying a leader hint.
+//!
+//! # Wire format
+//!
+//! The replication channel reuses the WAL's frame header — `u32 len LE
+//! · u32 crc32 LE · payload` (decoded by the same helper as WAL replay
+//! and recovery) — with a JSON payload per frame:
+//!
+//! | `t`         | direction         | fields                                          |
+//! |-------------|-------------------|-------------------------------------------------|
+//! | `hello`     | primary → replica | `epoch`, `seq` (primary applied), `advertise`   |
+//! | `hello_ack` | replica → primary | `epoch`, `seq` (replica applied)                |
+//! | `not_leader`| replica → primary | `epoch`, optional `leader` hint                 |
+//! | `batch`     | primary → replica | `epoch`, `first_seq`, `batch`, `lag`, `updates` |
+//! | `heartbeat` | primary → replica | `epoch`, `seq`, `lag`                           |
+//! | `ack`       | replica → primary | `epoch`, `seq`                                  |
+//!
+//! The exchange is strict request/response: every `batch` and
+//! `heartbeat` gets exactly one `ack` (or `not_leader`, which closes
+//! the stream).
+//!
+//! # Epoch fencing
+//!
+//! Leadership is guarded by a monotonic **epoch** persisted in
+//! snapshots (format v3). A replica accepts an inbound stream iff the
+//! sender's epoch is newer than its own, or equal while it is still a
+//! replica; anything staler is answered with `not_leader` and closed.
+//! Promotion bumps the epoch and snapshots it *before* the new primary
+//! acknowledges any write, so a partitioned old primary's late frames
+//! are rejected even across a replica restart. A primary that sees a
+//! higher epoch anywhere — an inbound hello, a `not_leader` answer, a
+//! peer's health — demotes itself back to replica.
+//!
+//! # Failover
+//!
+//! Replicas detect a dead primary by silence: no frame for four
+//! heartbeat intervals triggers an election. The candidate polls every
+//! peer's `health` over the normal client port; it promotes only if no
+//! live primary with a current epoch answers and no other replica is
+//! further ahead (ties break toward the lexicographically smallest
+//! advertised address). Because acknowledged writes were replicated
+//! semi-synchronously, the winner owns every acked batch, and
+//! [`crate::client::FailoverClient`] replays un-acked batch ids
+//! against the new leader where the applied-batch high-water mark
+//! dedups them — exactly-once across a primary kill.
+//!
+//! A known limit, shared with every semi-sync design: an old primary
+//! that crashed with *un-replicated, un-acked* suffix batches diverges
+//! from the new timeline and must be re-seeded from a fresh data dir
+//! before rejoining; `serve.repl_diverged` counts the refusal.
+//!
+//! The `repl.stream`, `repl.ack`, and `repl.heartbeat` failpoints
+//! ([`kiff_core::fault`]) cut batch frames, replica acks, and
+//! heartbeats respectively — the chaos tests drive every failover path
+//! through them.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kiff_core::fault::{self, points};
+use kiff_core::KiffError;
+use kiff_online::Update;
+use kiff_telemetry::Registry;
+use serde_json::{json, Value};
+
+use crate::client::Client;
+use crate::server::Shared;
+use crate::wal::{crc32, decode_frame_header, Wal};
+use crate::wire::{self, MAX_FRAME};
+
+/// How often blocked reads wake up to poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+/// Bound on handshake and per-frame ack waits.
+const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Bound on the graceful-shutdown final drain: how long a dying
+/// primary keeps retrying to land WAL batches its replicas are still
+/// missing before giving up on them.
+const FINAL_DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+/// Heartbeat intervals of silence before a replica suspects the
+/// primary is dead and starts an election.
+const SUSPECT_AFTER: u32 = 4;
+
+/// Replication tuning for one daemon.
+#[derive(Debug, Clone)]
+pub struct ReplicationConfig {
+    /// Address the replication channel listens on (`host:port`,
+    /// `:0` for ephemeral).
+    pub repl_listen: String,
+    /// Client address of the initial primary (`None` = start as the
+    /// primary).
+    pub replica_of: Option<String>,
+    /// Client addresses of every daemon in the group (self included or
+    /// not — self is skipped), used for streaming targets, failure
+    /// detection, and elections.
+    pub peers: Vec<String>,
+    /// Heartbeat interval; a replica suspects the primary after four
+    /// silent intervals.
+    pub heartbeat: Duration,
+    /// How long a write waits for each live replica's ack before
+    /// giving up on it for this batch (counted, not fatal).
+    pub ack_timeout: Duration,
+}
+
+impl ReplicationConfig {
+    /// Replication listening on `repl_listen`, primary role, no peers,
+    /// 500 ms heartbeat, 1 s ack wait.
+    pub fn new(repl_listen: impl Into<String>) -> Self {
+        Self {
+            repl_listen: repl_listen.into(),
+            replica_of: None,
+            peers: Vec::new(),
+            heartbeat: Duration::from_millis(500),
+            ack_timeout: Duration::from_secs(1),
+        }
+    }
+
+    /// Starts as a replica of the primary at `addr` (client address).
+    pub fn replica_of(mut self, addr: impl Into<String>) -> Self {
+        self.replica_of = Some(addr.into());
+        self
+    }
+
+    /// Sets the peer list (client addresses).
+    pub fn with_peers(mut self, peers: Vec<String>) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Sets the heartbeat interval.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Sets the per-replica ack wait.
+    pub fn with_ack_timeout(mut self, ack_timeout: Duration) -> Self {
+        self.ack_timeout = ack_timeout;
+        self
+    }
+}
+
+/// A daemon's current replication role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes and streams them to replicas.
+    Primary,
+    /// Applies the primary's stream; refuses writes with
+    /// [`KiffError::NotPrimary`].
+    Replica,
+}
+
+impl Role {
+    /// The string the `health` op reports (`primary` | `replica`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Replica => "replica",
+        }
+    }
+}
+
+/// One committed batch queued for a replica connection.
+pub(crate) struct ReplBatch {
+    epoch: u64,
+    first_seq: u64,
+    batch_id: u64,
+    updates: Arc<Vec<Update>>,
+    ack: SyncSender<()>,
+}
+
+struct Subscriber {
+    tx: mpsc::Sender<ReplBatch>,
+    depth: Arc<AtomicU64>,
+}
+
+/// Shared replication state: role, epoch, leader hint, lag, and the
+/// publish hub feeding per-replica streaming threads.
+pub struct ReplState {
+    config: ReplicationConfig,
+    repl_addr: String,
+    advertise: String,
+    role: Mutex<Role>,
+    epoch: AtomicU64,
+    leader_hint: Mutex<Option<String>>,
+    lag: AtomicU64,
+    last_frame: Mutex<Instant>,
+    subscribers: Mutex<Vec<Subscriber>>,
+    telemetry: Registry,
+}
+
+fn relock<'a, T>(
+    guard: Result<std::sync::MutexGuard<'a, T>, PoisonError<std::sync::MutexGuard<'a, T>>>,
+) -> std::sync::MutexGuard<'a, T> {
+    guard.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ReplState {
+    pub(crate) fn new(
+        config: ReplicationConfig,
+        repl_addr: String,
+        advertise: String,
+        epoch: u64,
+        telemetry: Registry,
+    ) -> Self {
+        let role = if config.replica_of.is_some() {
+            Role::Replica
+        } else {
+            Role::Primary
+        };
+        telemetry
+            .gauge("serve.role")
+            .set(matches!(role, Role::Primary) as i64);
+        let leader_hint = match role {
+            Role::Primary => Some(advertise.clone()),
+            Role::Replica => config.replica_of.clone(),
+        };
+        Self {
+            config,
+            repl_addr,
+            advertise,
+            role: Mutex::new(role),
+            epoch: AtomicU64::new(epoch),
+            leader_hint: Mutex::new(leader_hint),
+            lag: AtomicU64::new(0),
+            last_frame: Mutex::new(Instant::now()),
+            subscribers: Mutex::new(Vec::new()),
+            telemetry,
+        }
+    }
+
+    /// The daemon's current role.
+    pub fn role(&self) -> Role {
+        *relock(self.role.lock())
+    }
+
+    /// The current leadership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Where this daemon believes writes should go: its own client
+    /// address while primary, the last primary that streamed to it (or
+    /// that an election discovered) while replica.
+    pub fn leader_hint(&self) -> Option<String> {
+        relock(self.leader_hint.lock()).clone()
+    }
+
+    /// The replication channel's actually-bound address.
+    pub fn repl_addr(&self) -> &str {
+        &self.repl_addr
+    }
+
+    /// The client address this daemon advertises as a leader hint.
+    pub fn advertise(&self) -> &str {
+        &self.advertise
+    }
+
+    /// Replication lag in batches: on the primary the deepest
+    /// per-replica queue, on a replica the primary's last reported
+    /// queue depth toward it.
+    pub fn lag(&self) -> u64 {
+        match self.role() {
+            Role::Primary => relock(self.subscribers.lock())
+                .iter()
+                .map(|s| s.depth.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0),
+            Role::Replica => self.lag.load(Ordering::SeqCst),
+        }
+    }
+
+    fn heartbeat(&self) -> Duration {
+        self.config.heartbeat
+    }
+
+    fn set_role(&self, role: Role) {
+        *relock(self.role.lock()) = role;
+        self.telemetry
+            .gauge("serve.role")
+            .set(matches!(role, Role::Primary) as i64);
+    }
+
+    fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    fn set_leader_hint(&self, hint: Option<String>) {
+        *relock(self.leader_hint.lock()) = hint;
+    }
+
+    fn set_lag(&self, lag: u64) {
+        self.lag.store(lag, Ordering::SeqCst);
+        self.telemetry
+            .gauge("serve.replication_lag_batches")
+            .set(lag as i64);
+    }
+
+    fn touch(&self) {
+        *relock(self.last_frame.lock()) = Instant::now();
+    }
+
+    fn silent_for(&self) -> Duration {
+        relock(self.last_frame.lock()).elapsed()
+    }
+
+    /// Peers to stream to / poll in an election: the configured peer
+    /// list plus the initial primary, minus ourselves.
+    fn other_peers(&self) -> Vec<String> {
+        let mut peers = self.config.peers.clone();
+        if let Some(primary) = &self.config.replica_of {
+            if !peers.contains(primary) {
+                peers.push(primary.clone());
+            }
+        }
+        peers.retain(|p| p != &self.advertise);
+        peers
+    }
+
+    /// Registers a new streaming connection with the publish hub.
+    fn subscribe(&self) -> (Receiver<ReplBatch>, Arc<AtomicU64>) {
+        let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicU64::new(0));
+        relock(self.subscribers.lock()).push(Subscriber {
+            tx,
+            depth: Arc::clone(&depth),
+        });
+        (rx, depth)
+    }
+
+    /// Publishes a committed batch to every live streaming connection
+    /// and waits (bounded by `ack_timeout`) for each to confirm the
+    /// replica applied it — the semi-synchronous half of the
+    /// durability story. Called with the host mutex held, so batches
+    /// reach every replica in commit order.
+    pub(crate) fn publish_and_wait(&self, first_seq: u64, batch_id: u64, updates: &[Update]) {
+        let epoch = self.epoch();
+        let shared = Arc::new(updates.to_vec());
+        let mut acks: Vec<Receiver<()>> = Vec::new();
+        {
+            let mut subs = relock(self.subscribers.lock());
+            subs.retain_mut(|s| {
+                let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+                let batch = ReplBatch {
+                    epoch,
+                    first_seq,
+                    batch_id,
+                    updates: Arc::clone(&shared),
+                    ack: ack_tx,
+                };
+                match s.tx.send(batch) {
+                    Ok(()) => {
+                        s.depth.fetch_add(1, Ordering::SeqCst);
+                        acks.push(ack_rx);
+                        true
+                    }
+                    // The streaming thread exited; drop the dead
+                    // subscription — the supervisor will redial.
+                    Err(_) => false,
+                }
+            });
+        }
+        let deadline = Instant::now() + self.config.ack_timeout;
+        for rx in acks {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if rx.recv_timeout(left).is_err() {
+                self.telemetry.counter("serve.repl_ack_timeouts").incr();
+            }
+        }
+        self.telemetry
+            .gauge("serve.replication_lag_batches")
+            .set(self.lag() as i64);
+    }
+}
+
+// ---------------------------------------------------------------- framing
+
+/// Writes one replication frame: `u32 len LE · u32 crc32 LE · JSON`.
+pub fn write_frame(stream: &mut TcpStream, frame: &Value) -> Result<(), KiffError> {
+    let text = serde_json::to_string(frame)
+        .map_err(|e| KiffError::Protocol(format!("replication frame encode: {e}")))?;
+    let bytes = text.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .ok()
+        .filter(|len| *len <= MAX_FRAME)
+        .ok_or_else(|| KiffError::Protocol("replication frame too large".into()))?;
+    let mut buf = Vec::with_capacity(8 + bytes.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&crc32(bytes).to_le_bytes());
+    buf.extend_from_slice(bytes);
+    stream.write_all(&buf).map_err(KiffError::Io)?;
+    stream.flush().map_err(KiffError::Io)
+}
+
+/// Reads one replication frame, blocking until it arrives (a stream
+/// read timeout surfaces as an `Io` error). The checksum is verified
+/// before the JSON is parsed.
+pub fn read_frame(stream: &mut TcpStream) -> Result<Value, KiffError> {
+    let mut header = [0u8; 8];
+    stream.read_exact(&mut header).map_err(KiffError::Io)?;
+    decode_and_read(&header, |buf| stream.read_exact(buf).map_err(KiffError::Io))
+}
+
+fn decode_and_read(
+    header: &[u8; 8],
+    mut read_body: impl FnMut(&mut [u8]) -> Result<(), KiffError>,
+) -> Result<Value, KiffError> {
+    let (len, crc) = decode_frame_header(header, MAX_FRAME)
+        .ok_or_else(|| KiffError::corrupt("replication stream", "oversized or short frame"))?;
+    let mut bytes = vec![0u8; len as usize];
+    read_body(&mut bytes)?;
+    if crc32(&bytes) != crc {
+        return Err(KiffError::corrupt(
+            "replication stream",
+            "frame checksum mismatch",
+        ));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| KiffError::corrupt("replication stream", "frame is not UTF-8"))?;
+    serde_json::from_str(&text).map_err(|e| KiffError::Protocol(format!("replication frame: {e}")))
+}
+
+enum ReplRead {
+    Frame(Value),
+    /// The peer closed the stream cleanly (EOF before a header byte).
+    Eof,
+    /// The daemon is shutting down.
+    Stop,
+    /// The deadline passed with no complete frame.
+    Deadline,
+}
+
+/// Reads one frame, polling `shutdown` (and `deadline`, if any) while
+/// the stream is idle. The stream must carry a short read timeout.
+fn read_frame_poll(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    deadline: Option<Instant>,
+) -> Result<ReplRead, KiffError> {
+    let mut header = [0u8; 8];
+    match fill_poll(stream, &mut header, shutdown, deadline, true)? {
+        Fill::Done => {}
+        Fill::Eof => return Ok(ReplRead::Eof),
+        Fill::Stop => return Ok(ReplRead::Stop),
+        Fill::Deadline => return Ok(ReplRead::Deadline),
+    }
+    let value = decode_and_read(&header, |buf| {
+        match fill_poll(stream, buf, shutdown, deadline, false)? {
+            Fill::Done => Ok(()),
+            Fill::Eof | Fill::Stop | Fill::Deadline => Err(KiffError::Protocol(
+                "replication stream closed mid-frame".into(),
+            )),
+        }
+    })?;
+    Ok(ReplRead::Frame(value))
+}
+
+enum Fill {
+    Done,
+    Eof,
+    Stop,
+    Deadline,
+}
+
+fn fill_poll(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    deadline: Option<Instant>,
+    allow_eof: bool,
+) -> Result<Fill, KiffError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(Fill::Stop);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(Fill::Deadline);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_eof {
+                    return Ok(Fill::Eof);
+                }
+                return Err(KiffError::Protocol(
+                    "replication stream closed mid-frame".into(),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(KiffError::Io(e)),
+        }
+    }
+    Ok(Fill::Done)
+}
+
+fn frame_type(frame: &Value) -> &str {
+    frame.get("t").and_then(Value::as_str).unwrap_or("")
+}
+
+fn field_u64(frame: &Value, key: &str) -> u64 {
+    frame.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn field_str(frame: &Value, key: &str) -> Option<String> {
+    frame.get(key).and_then(Value::as_str).map(String::from)
+}
+
+fn not_leader_frame(repl: &ReplState) -> Value {
+    let leader = match repl.leader_hint() {
+        Some(addr) => Value::String(addr),
+        None => Value::Null,
+    };
+    json!({"t": "not_leader", "epoch": repl.epoch(), "leader": leader})
+}
+
+// ------------------------------------------------------------ thread entry
+
+/// Spawns the replication threads for a configured daemon: the
+/// replication-channel acceptor (every role), the primary-side
+/// streaming supervisor, and the replica-side failure monitor. All
+/// three poll the shutdown flag; `Server::run` joins them.
+pub(crate) fn spawn_replication(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+) -> Vec<JoinHandle<()>> {
+    let repl = shared.repl.clone().expect("replication state installed");
+    let mut handles = Vec::new();
+    {
+        let shared = Arc::clone(shared);
+        let repl = Arc::clone(&repl);
+        handles.push(std::thread::spawn(move || {
+            run_acceptor(&shared, &repl, listener);
+        }));
+    }
+    {
+        let shared = Arc::clone(shared);
+        let repl = Arc::clone(&repl);
+        handles.push(std::thread::spawn(move || {
+            run_supervisor(&shared, &repl);
+        }));
+    }
+    {
+        let shared = Arc::clone(shared);
+        handles.push(std::thread::spawn(move || {
+            run_monitor(&shared, &repl);
+        }));
+    }
+    handles
+}
+
+/// Sleeps up to `total`, waking early when `shutdown` flips.
+fn sleep_poll(shutdown: &AtomicBool, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !shutdown.load(Ordering::SeqCst) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(POLL));
+    }
+}
+
+// -------------------------------------------------------- inbound (replica)
+
+fn run_acceptor(shared: &Arc<Shared>, repl: &Arc<ReplState>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let repl = Arc::clone(repl);
+                conns.push(std::thread::spawn(move || {
+                    if run_inbound(&shared, &repl, stream).is_err() {
+                        shared.telemetry.counter("serve.repl_conn_drops").incr();
+                    }
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        conns.retain(|c| !c.is_finished());
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+/// Steps down to `epoch`, persisting the fence. Takes the host lock.
+fn adopt(shared: &Shared, repl: &ReplState, epoch: u64, hint: Option<String>) {
+    let mut host = shared.lock_host();
+    if epoch <= repl.epoch() {
+        return;
+    }
+    if host.adopt_epoch(epoch).is_err() {
+        // The fence could not be persisted (disk trouble); stay on the
+        // old epoch — the stream will be refused and retried.
+        return;
+    }
+    let was_primary = repl.role() == Role::Primary;
+    repl.set_epoch(epoch);
+    repl.set_role(Role::Replica);
+    repl.set_leader_hint(hint);
+    repl.touch();
+    if was_primary {
+        shared.telemetry.counter("serve.demotions").incr();
+    }
+}
+
+/// Serves one inbound replication stream: handshake with epoch
+/// fencing, then apply `batch`/`heartbeat` frames until EOF, shutdown,
+/// or a stale epoch.
+fn run_inbound(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    mut stream: TcpStream,
+) -> Result<(), KiffError> {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(POLL)).map_err(KiffError::Io)?;
+    stream
+        .set_write_timeout(Some(EXCHANGE_TIMEOUT))
+        .map_err(KiffError::Io)?;
+    let hello = match read_frame_poll(
+        &mut stream,
+        &shared.shutdown,
+        Some(Instant::now() + EXCHANGE_TIMEOUT),
+    )? {
+        ReplRead::Frame(v) => v,
+        _ => return Ok(()),
+    };
+    if frame_type(&hello) != "hello" {
+        return Err(KiffError::Protocol(format!(
+            "replication stream opened with {:?}, expected hello",
+            frame_type(&hello)
+        )));
+    }
+    let h_epoch = field_u64(&hello, "epoch");
+    let accept =
+        h_epoch > repl.epoch() || (h_epoch == repl.epoch() && repl.role() == Role::Replica);
+    if !accept {
+        shared.telemetry.counter("serve.repl_fenced").incr();
+        let _ = write_frame(&mut stream, &not_leader_frame(repl));
+        return Ok(());
+    }
+    if h_epoch > repl.epoch() {
+        adopt(shared, repl, h_epoch, field_str(&hello, "advertise"));
+        if repl.epoch() < h_epoch {
+            // adopt failed; refuse the stream rather than apply frames
+            // from an epoch we could not fence.
+            let _ = write_frame(&mut stream, &not_leader_frame(repl));
+            return Ok(());
+        }
+    } else if let Some(advertise) = field_str(&hello, "advertise") {
+        repl.set_leader_hint(Some(advertise));
+    }
+    repl.touch();
+    let applied = shared.lock_host().store_seq();
+    write_frame(
+        &mut stream,
+        &json!({"t": "hello_ack", "epoch": repl.epoch(), "seq": applied}),
+    )?;
+    loop {
+        let frame = match read_frame_poll(&mut stream, &shared.shutdown, None)? {
+            ReplRead::Frame(v) => v,
+            ReplRead::Eof | ReplRead::Stop | ReplRead::Deadline => return Ok(()),
+        };
+        let f_epoch = field_u64(&frame, "epoch");
+        if f_epoch < repl.epoch() {
+            // A stale primary kept streaming across our promotion (or a
+            // newer epoch we adopted elsewhere): fence it off.
+            shared.telemetry.counter("serve.repl_fenced").incr();
+            let _ = write_frame(&mut stream, &not_leader_frame(repl));
+            return Ok(());
+        }
+        if f_epoch > repl.epoch() {
+            adopt(shared, repl, f_epoch, repl.leader_hint());
+        }
+        let seq = match frame_type(&frame) {
+            "batch" => {
+                repl.touch();
+                repl.set_lag(field_u64(&frame, "lag"));
+                let first_seq = field_u64(&frame, "first_seq");
+                let batch_id = field_u64(&frame, "batch");
+                let updates: Vec<Update> = frame
+                    .get("updates")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| KiffError::Protocol("batch frame missing updates".into()))?
+                    .iter()
+                    .map(wire::update_from_value)
+                    .collect::<Result<_, _>>()?;
+                shared
+                    .lock_host()
+                    .apply_replicated(first_seq, batch_id, &updates)?
+            }
+            "heartbeat" => {
+                repl.touch();
+                repl.set_lag(field_u64(&frame, "lag"));
+                shared.lock_host().store_seq()
+            }
+            other => {
+                return Err(KiffError::Protocol(format!(
+                    "unexpected replication frame {other:?}"
+                )));
+            }
+        };
+        // An armed repl.ack failpoint kills the connection before the
+        // ack leaves — the primary re-sends after redialling and the
+        // seq check deduplicates, exactly like a real torn ack.
+        fault::check_ctx(points::REPL_ACK, repl.repl_addr())?;
+        write_frame(
+            &mut stream,
+            &json!({"t": "ack", "epoch": repl.epoch(), "seq": seq}),
+        )?;
+    }
+}
+
+// ------------------------------------------------------- outbound (primary)
+
+/// What a peer's `health` told us, trimmed to election needs.
+struct PeerHealth {
+    role: Option<String>,
+    epoch: u64,
+    seq: u64,
+    repl_addr: Option<String>,
+}
+
+fn poll_health(addr: &str) -> Result<PeerHealth, KiffError> {
+    let mut client = Client::connect(addr)?;
+    let health = client.health()?;
+    Ok(PeerHealth {
+        role: health.role,
+        epoch: health.epoch,
+        seq: health.seq.unwrap_or(0),
+        repl_addr: health.repl_addr,
+    })
+}
+
+/// Primary-side supervisor: keeps one streaming connection per peer
+/// alive while this daemon leads, discovering each peer's replication
+/// address through its client-port `health`.
+fn run_supervisor(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
+    let mut conns: HashMap<String, (Arc<AtomicBool>, JoinHandle<()>)> = HashMap::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if repl.role() == Role::Primary {
+            for peer in repl.other_peers() {
+                if conns
+                    .get(&peer)
+                    .is_some_and(|(alive, _)| alive.load(Ordering::SeqCst))
+                {
+                    continue;
+                }
+                if let Some((_, handle)) = conns.remove(&peer) {
+                    let _ = handle.join();
+                }
+                let Ok(health) = poll_health(&peer) else {
+                    continue;
+                };
+                if health.epoch > repl.epoch() {
+                    // The group moved on without us; step down.
+                    adopt(shared, repl, health.epoch, Some(peer.clone()));
+                    break;
+                }
+                let Some(peer_repl) = health.repl_addr else {
+                    continue;
+                };
+                let alive = Arc::new(AtomicBool::new(true));
+                let handle = {
+                    let shared = Arc::clone(shared);
+                    let repl = Arc::clone(repl);
+                    let alive = Arc::clone(&alive);
+                    std::thread::spawn(move || {
+                        if run_outbound(&shared, &repl, &peer_repl).is_err() {
+                            shared.telemetry.counter("serve.repl_conn_drops").incr();
+                        }
+                        alive.store(false, Ordering::SeqCst);
+                    })
+                };
+                conns.insert(peer, (alive, handle));
+            }
+        }
+        sleep_poll(&shared.shutdown, repl.heartbeat());
+    }
+    for (_, (_, handle)) in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Streams the WAL to one replica: hello/ack handshake, catch-up from
+/// disk, then live batches from the publish hub with heartbeats while
+/// idle. Returns when the connection drops, the daemon stops leading,
+/// or shutdown begins.
+fn run_outbound(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    peer_repl: &str,
+) -> Result<(), KiffError> {
+    // Subscribe *before* reading the WAL so no batch committed during
+    // catch-up can fall between the replay and the live stream; the
+    // seq check below drops the overlap.
+    let (rx, depth) = repl.subscribe();
+    let mut stream = TcpStream::connect(peer_repl).map_err(KiffError::Io)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(POLL)).map_err(KiffError::Io)?;
+    stream
+        .set_write_timeout(Some(EXCHANGE_TIMEOUT))
+        .map_err(KiffError::Io)?;
+    let my_seq = shared.lock_host().store_seq();
+    write_frame(
+        &mut stream,
+        &json!({
+            "t": "hello",
+            "epoch": repl.epoch(),
+            "seq": my_seq,
+            "advertise": repl.advertise().to_string()
+        }),
+    )?;
+    let ack = match read_frame_poll(
+        &mut stream,
+        &shared.shutdown,
+        Some(Instant::now() + EXCHANGE_TIMEOUT),
+    )? {
+        ReplRead::Frame(v) => v,
+        _ => return Ok(()),
+    };
+    match frame_type(&ack) {
+        "hello_ack" => {}
+        "not_leader" => {
+            handle_not_leader(shared, repl, &ack);
+            return Ok(());
+        }
+        other => {
+            return Err(KiffError::Protocol(format!(
+                "expected hello_ack, got {other:?}"
+            )));
+        }
+    }
+    let replica_seq = field_u64(&ack, "seq");
+    if replica_seq > my_seq {
+        // The replica holds a diverged suffix (it outlived an older
+        // timeline); refuse to stream rather than corrupt it.
+        shared.telemetry.counter("serve.repl_diverged").incr();
+        return Err(KiffError::Protocol(format!(
+            "replica at {peer_repl} applied seq {replica_seq} > primary seq {my_seq}; re-seed it"
+        )));
+    }
+    let mut last_sent = replica_seq;
+    if replica_seq < my_seq {
+        let dir = shared
+            .lock_host()
+            .store_dir()
+            .ok_or_else(|| KiffError::Protocol("replication requires a data dir".into()))?;
+        // WAL segments are immutable once written, so catch-up reads
+        // them without the host lock; writes continuing in parallel
+        // land in the subscription instead.
+        let replay = Wal::replay(&dir, replica_seq, &shared.telemetry)?;
+        for (first_seq, batch_id, updates) in replay.batches_with_ids() {
+            if first_seq <= last_sent {
+                continue;
+            }
+            match send_batch(
+                &mut stream,
+                shared,
+                repl,
+                peer_repl,
+                repl.epoch(),
+                first_seq,
+                batch_id,
+                &updates,
+                depth.load(Ordering::SeqCst),
+                &shared.shutdown,
+            )? {
+                BatchOutcome::Acked => last_sent = first_seq + updates.len() as u64 - 1,
+                BatchOutcome::NotLeader => return Ok(()),
+            }
+        }
+        shared.telemetry.counter("serve.repl_catchups").incr();
+    }
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Drain batches already published so every acked write is
+            // on the replica before a graceful exit. The ack reads poll
+            // a never-set stop — the real flag is already up, and these
+            // frames must still complete (bounded by EXCHANGE_TIMEOUT).
+            let drain_stop = AtomicBool::new(false);
+            while let Ok(batch) = rx.try_recv() {
+                if forward_batch(
+                    &mut stream,
+                    shared,
+                    repl,
+                    peer_repl,
+                    &batch,
+                    &depth,
+                    &mut last_sent,
+                    &drain_stop,
+                )? == BatchOutcome::NotLeader
+                {
+                    return Ok(());
+                }
+            }
+            return Ok(());
+        }
+        if repl.role() != Role::Primary {
+            return Ok(());
+        }
+        match rx.recv_timeout(repl.heartbeat()) {
+            Ok(batch) => {
+                if forward_batch(
+                    &mut stream,
+                    shared,
+                    repl,
+                    peer_repl,
+                    &batch,
+                    &depth,
+                    &mut last_sent,
+                    &shared.shutdown,
+                )? == BatchOutcome::NotLeader
+                {
+                    return Ok(());
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // An armed repl.heartbeat failpoint suppresses the
+                // heartbeat — the replica sees silence and, enough
+                // intervals later, starts an election.
+                if fault::check_ctx(points::REPL_HEARTBEAT, peer_repl).is_err() {
+                    shared
+                        .telemetry
+                        .counter("serve.repl_heartbeats_suppressed")
+                        .incr();
+                    continue;
+                }
+                write_frame(
+                    &mut stream,
+                    &json!({
+                        "t": "heartbeat",
+                        "epoch": repl.epoch(),
+                        "seq": last_sent,
+                        "lag": depth.load(Ordering::SeqCst)
+                    }),
+                )?;
+                match await_ack(&mut stream, &shared.shutdown)? {
+                    AckOutcome::Ack => {}
+                    AckOutcome::NotLeader(frame) => {
+                        handle_not_leader(shared, repl, &frame);
+                        return Ok(());
+                    }
+                    AckOutcome::Gone => return Ok(()),
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+enum BatchOutcome {
+    Acked,
+    NotLeader,
+}
+
+/// Sends one hub batch, settling its depth slot and publisher ack.
+#[allow(clippy::too_many_arguments)]
+fn forward_batch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    peer_repl: &str,
+    batch: &ReplBatch,
+    depth: &Arc<AtomicU64>,
+    last_sent: &mut u64,
+    stop: &AtomicBool,
+) -> Result<BatchOutcome, KiffError> {
+    let result = if batch.first_seq <= *last_sent {
+        // Already shipped during catch-up.
+        Ok(BatchOutcome::Acked)
+    } else {
+        send_batch(
+            stream,
+            shared,
+            repl,
+            peer_repl,
+            batch.epoch,
+            batch.first_seq,
+            batch.batch_id,
+            &batch.updates,
+            depth.load(Ordering::SeqCst).saturating_sub(1),
+            stop,
+        )
+    };
+    depth.fetch_sub(1, Ordering::SeqCst);
+    match &result {
+        Ok(BatchOutcome::Acked) => {
+            *last_sent = (*last_sent).max(batch.first_seq + batch.updates.len() as u64 - 1);
+            let _ = batch.ack.send(());
+        }
+        Ok(BatchOutcome::NotLeader) | Err(_) => {}
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn send_batch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    peer_repl: &str,
+    epoch: u64,
+    first_seq: u64,
+    batch_id: u64,
+    updates: &[Update],
+    lag: u64,
+    stop: &AtomicBool,
+) -> Result<BatchOutcome, KiffError> {
+    // An armed repl.stream failpoint tears the connection before the
+    // frame leaves — the batch stays queued WAL-side and ships on the
+    // next redial's catch-up.
+    fault::check_ctx(points::REPL_STREAM, peer_repl)?;
+    let updates_json: Vec<Value> = updates.iter().map(wire::update_to_value).collect();
+    write_frame(
+        stream,
+        &json!({
+            "t": "batch",
+            "epoch": epoch,
+            "first_seq": first_seq,
+            "batch": batch_id,
+            "lag": lag,
+            "updates": updates_json
+        }),
+    )?;
+    match await_ack(stream, stop)? {
+        AckOutcome::Ack => Ok(BatchOutcome::Acked),
+        AckOutcome::NotLeader(frame) => {
+            handle_not_leader(shared, repl, &frame);
+            Ok(BatchOutcome::NotLeader)
+        }
+        AckOutcome::Gone => Err(KiffError::Protocol(
+            "replication stream closed awaiting ack".into(),
+        )),
+    }
+}
+
+enum AckOutcome {
+    Ack,
+    NotLeader(Value),
+    Gone,
+}
+
+fn await_ack(stream: &mut TcpStream, stop: &AtomicBool) -> Result<AckOutcome, KiffError> {
+    match read_frame_poll(stream, stop, Some(Instant::now() + EXCHANGE_TIMEOUT))? {
+        ReplRead::Frame(frame) => match frame_type(&frame) {
+            "ack" => Ok(AckOutcome::Ack),
+            "not_leader" => Ok(AckOutcome::NotLeader(frame)),
+            other => Err(KiffError::Protocol(format!("expected ack, got {other:?}"))),
+        },
+        ReplRead::Eof | ReplRead::Stop => Ok(AckOutcome::Gone),
+        ReplRead::Deadline => Err(KiffError::Protocol("replication ack timed out".into())),
+    }
+}
+
+fn handle_not_leader(shared: &Arc<Shared>, repl: &Arc<ReplState>, frame: &Value) {
+    let epoch = field_u64(frame, "epoch");
+    if epoch > repl.epoch() {
+        adopt(shared, repl, epoch, field_str(frame, "leader"));
+    }
+}
+
+/// Bounded last-chance drain on graceful shutdown, called by
+/// `Server::run` after every worker and replication thread has joined
+/// (so the WAL can no longer advance). A stream torn moments before
+/// the flag flipped leaves acked batches only in this WAL — the
+/// supervisor had no time to redial — so a leading daemon re-dials
+/// each lagging peer and ships the missing tail from disk, retrying
+/// torn attempts until [`FINAL_DRAIN_TIMEOUT`].
+pub(crate) fn final_drain(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
+    if repl.role() != Role::Primary {
+        return;
+    }
+    let my_seq = shared.lock_host().store_seq();
+    let deadline = Instant::now() + FINAL_DRAIN_TIMEOUT;
+    for peer in repl.other_peers() {
+        while Instant::now() < deadline {
+            // Unreachable peer, a peer that moved the group to a newer
+            // epoch, or one already caught up: nothing left to ship.
+            let Ok(health) = poll_health(&peer) else {
+                break;
+            };
+            if health.epoch > repl.epoch() || health.seq >= my_seq {
+                break;
+            }
+            let Some(peer_repl) = health.repl_addr else {
+                break;
+            };
+            if final_catch_up(shared, repl, &peer_repl, my_seq).is_err() {
+                // Torn mid-drain (a failpoint or a real reset); the
+                // next round restarts from the peer's new ack point.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One catch-up dial for [`final_drain`]: hello at our current seq,
+/// then every WAL batch past the replica's ack point. Runs with the
+/// shutdown flag already set, so frame reads poll a local never-set
+/// stop and rely on the `EXCHANGE_TIMEOUT` deadlines instead.
+fn final_catch_up(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    peer_repl: &str,
+    my_seq: u64,
+) -> Result<(), KiffError> {
+    let stop = AtomicBool::new(false);
+    let mut stream = TcpStream::connect(peer_repl).map_err(KiffError::Io)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(POLL)).map_err(KiffError::Io)?;
+    stream
+        .set_write_timeout(Some(EXCHANGE_TIMEOUT))
+        .map_err(KiffError::Io)?;
+    write_frame(
+        &mut stream,
+        &json!({
+            "t": "hello",
+            "epoch": repl.epoch(),
+            "seq": my_seq,
+            "advertise": repl.advertise().to_string()
+        }),
+    )?;
+    let ack = match read_frame_poll(&mut stream, &stop, Some(Instant::now() + EXCHANGE_TIMEOUT))? {
+        ReplRead::Frame(v) => v,
+        _ => return Ok(()),
+    };
+    match frame_type(&ack) {
+        "hello_ack" => {}
+        "not_leader" => {
+            handle_not_leader(shared, repl, &ack);
+            return Ok(());
+        }
+        other => {
+            return Err(KiffError::Protocol(format!(
+                "expected hello_ack, got {other:?}"
+            )));
+        }
+    }
+    let mut last_sent = field_u64(&ack, "seq");
+    if last_sent >= my_seq {
+        return Ok(());
+    }
+    let dir = shared
+        .lock_host()
+        .store_dir()
+        .ok_or_else(|| KiffError::Protocol("replication requires a data dir".into()))?;
+    let replay = Wal::replay(&dir, last_sent, &shared.telemetry)?;
+    for (first_seq, batch_id, updates) in replay.batches_with_ids() {
+        if first_seq <= last_sent {
+            continue;
+        }
+        match send_batch(
+            &mut stream,
+            shared,
+            repl,
+            peer_repl,
+            repl.epoch(),
+            first_seq,
+            batch_id,
+            &updates,
+            0,
+            &stop,
+        )? {
+            BatchOutcome::Acked => last_sent = first_seq + updates.len() as u64 - 1,
+            BatchOutcome::NotLeader => return Ok(()),
+        }
+    }
+    shared.telemetry.counter("serve.repl_catchups").incr();
+    Ok(())
+}
+
+// ------------------------------------------------------ failover (monitor)
+
+/// Replica-side failure monitor: after four silent heartbeat intervals
+/// it polls every peer's `health`; if no live primary with a current
+/// epoch answers and no other replica is further ahead, it promotes —
+/// bumping the epoch and snapshotting the fence before taking writes.
+fn run_monitor(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        sleep_poll(&shared.shutdown, repl.heartbeat());
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if repl.role() != Role::Replica {
+            continue;
+        }
+        if repl.silent_for() < repl.heartbeat() * SUSPECT_AFTER {
+            continue;
+        }
+        shared.telemetry.counter("serve.elections").incr();
+        let mut found_leader = false;
+        let mut rivals: Vec<(u64, String)> = Vec::new();
+        for peer in repl.other_peers() {
+            let Ok(health) = poll_health(&peer) else {
+                continue;
+            };
+            if health.role.as_deref() == Some("primary") && health.epoch >= repl.epoch() {
+                // The primary is alive (we just could not hear it) or a
+                // rival already won; wait for its stream.
+                if health.epoch > repl.epoch() {
+                    adopt(shared, repl, health.epoch, Some(peer.clone()));
+                } else {
+                    repl.set_leader_hint(Some(peer.clone()));
+                    repl.touch();
+                }
+                found_leader = true;
+                break;
+            }
+            if health.role.as_deref() == Some("replica") {
+                rivals.push((health.seq, peer));
+            }
+        }
+        if found_leader {
+            continue;
+        }
+        let my_seq = shared.lock_host().store_seq();
+        let me = repl.advertise().to_string();
+        // Deterministic election: the reachable replica with the most
+        // applied WAL wins; ties break to the smallest address. Both
+        // sides compute the same winner from the same health polls.
+        let wins = rivals
+            .iter()
+            .all(|(seq, addr)| *seq < my_seq || (*seq == my_seq && *addr > me));
+        if !wins {
+            continue;
+        }
+        let mut host = shared.lock_host();
+        if repl.role() != Role::Replica {
+            continue;
+        }
+        let new_epoch = repl.epoch() + 1;
+        // Persist the fence before the first write of the new reign:
+        // promote() snapshots the bumped epoch, so even if we crash and
+        // recover, the old primary's frames stay fenced.
+        if host.promote(new_epoch).is_err() {
+            shared.telemetry.counter("serve.promote_failures").incr();
+            continue;
+        }
+        repl.set_epoch(new_epoch);
+        repl.set_role(Role::Primary);
+        repl.set_leader_hint(Some(me));
+        repl.set_lag(0);
+        shared.telemetry.counter("serve.promotions").incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_covers_every_knob() {
+        let config = ReplicationConfig::new("127.0.0.1:0")
+            .replica_of("127.0.0.1:9001")
+            .with_peers(vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()])
+            .with_heartbeat(Duration::from_millis(50))
+            .with_ack_timeout(Duration::from_millis(200));
+        assert_eq!(config.replica_of.as_deref(), Some("127.0.0.1:9001"));
+        assert_eq!(config.peers.len(), 2);
+        assert_eq!(config.heartbeat, Duration::from_millis(50));
+        assert_eq!(config.ack_timeout, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn repl_state_tracks_role_epoch_and_leader_hint() {
+        let config = ReplicationConfig::new("127.0.0.1:0").replica_of("127.0.0.1:9001");
+        let state = ReplState::new(
+            config,
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9002".into(),
+            3,
+            Registry::new(),
+        );
+        assert_eq!(state.role(), Role::Replica);
+        assert_eq!(state.epoch(), 3);
+        assert_eq!(state.leader_hint().as_deref(), Some("127.0.0.1:9001"));
+        state.set_epoch(4);
+        state.set_role(Role::Primary);
+        state.set_leader_hint(Some("127.0.0.1:9002".into()));
+        assert_eq!(state.role(), Role::Primary);
+        assert_eq!(state.epoch(), 4);
+        assert_eq!(Role::Primary.as_str(), "primary");
+        assert_eq!(Role::Replica.as_str(), "replica");
+    }
+
+    #[test]
+    fn other_peers_includes_primary_and_skips_self() {
+        let config = ReplicationConfig::new("127.0.0.1:0")
+            .replica_of("127.0.0.1:9001")
+            .with_peers(vec![
+                "127.0.0.1:9001".into(),
+                "127.0.0.1:9002".into(),
+                "127.0.0.1:9003".into(),
+            ]);
+        let state = ReplState::new(
+            config,
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9002".into(),
+            0,
+            Registry::new(),
+        );
+        let peers = state.other_peers();
+        assert!(peers.contains(&"127.0.0.1:9001".to_string()));
+        assert!(peers.contains(&"127.0.0.1:9003".to_string()));
+        assert!(
+            !peers.contains(&"127.0.0.1:9002".to_string()),
+            "self skipped"
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_socket_pair() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut stream,
+                &json!({"t": "heartbeat", "epoch": 7u64, "seq": 42u64, "lag": 1u64}),
+            )
+            .unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert_eq!(frame_type(&frame), "heartbeat");
+        assert_eq!(field_u64(&frame, "epoch"), 7);
+        assert_eq!(field_u64(&frame, "seq"), 42);
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_by_checksum() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let body = br#"{"t":"ack","seq":1}"#;
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&(crc32(body) ^ 0xdead_beef).to_le_bytes());
+            buf.extend_from_slice(body);
+            stream.write_all(&buf).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_frame(&mut stream).unwrap_err();
+        assert_eq!(err.kind(), "corrupt");
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn publish_to_a_dead_subscriber_prunes_it_without_blocking() {
+        let state = ReplState::new(
+            ReplicationConfig::new("127.0.0.1:0").with_ack_timeout(Duration::from_millis(20)),
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9000".into(),
+            0,
+            Registry::new(),
+        );
+        let (rx, _depth) = state.subscribe();
+        drop(rx);
+        let started = Instant::now();
+        state.publish_and_wait(1, 1, &[Update::AddUser]);
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "dead subscriber must not cost an ack timeout"
+        );
+        assert!(relock(state.subscribers.lock()).is_empty(), "pruned");
+    }
+
+    #[test]
+    fn publish_waits_for_live_subscriber_acks() {
+        let state = Arc::new(ReplState::new(
+            ReplicationConfig::new("127.0.0.1:0").with_ack_timeout(Duration::from_secs(2)),
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9000".into(),
+            0,
+            Registry::new(),
+        ));
+        let (rx, depth) = state.subscribe();
+        let worker = std::thread::spawn(move || {
+            let batch = rx.recv().unwrap();
+            assert_eq!(batch.first_seq, 5);
+            assert_eq!(batch.batch_id, 9);
+            depth.fetch_sub(1, Ordering::SeqCst);
+            batch.ack.send(()).unwrap();
+        });
+        state.publish_and_wait(5, 9, &[Update::AddUser]);
+        worker.join().unwrap();
+        assert_eq!(state.lag(), 0, "acked batch leaves no lag");
+    }
+}

@@ -44,6 +44,7 @@
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -53,10 +54,11 @@ use kiff_core::fault::{self, points};
 use kiff_core::KiffError;
 use kiff_dataset::Dataset;
 use kiff_graph::KnnGraph;
-use kiff_online::KnnEngine;
+use kiff_online::{KnnEngine, Update};
 use kiff_telemetry::Registry;
 use serde_json::Value;
 
+use crate::replication::{self, ReplState, ReplicationConfig, Role};
 use crate::store::{Appended, Store};
 use crate::wire::{self, Request, MAX_FRAME};
 
@@ -73,6 +75,9 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// How often the degraded-mode recovery thread retries the WAL.
     pub recovery_interval: Duration,
+    /// Primary/replica WAL shipping (`None` = standalone daemon). See
+    /// [`crate::replication`].
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +86,7 @@ impl Default for ServerConfig {
             max_inflight: 0,
             write_timeout: Duration::from_secs(10),
             recovery_interval: Duration::from_millis(50),
+            replication: None,
         }
     }
 }
@@ -95,6 +101,9 @@ pub struct EngineHost {
     /// True while the recovery thread has a reopen attempt in flight —
     /// the `recovering` leg of the health tristate.
     recovering: Arc<AtomicBool>,
+    /// Replication state when the daemon is part of a group; gates the
+    /// write path on role and publishes committed batches.
+    repl: Option<Arc<ReplState>>,
 }
 
 impl EngineHost {
@@ -107,7 +116,88 @@ impl EngineHost {
             views: None,
             read_only: false,
             recovering: Arc::new(AtomicBool::new(false)),
+            repl: None,
         }
+    }
+
+    /// Installs replication state (done by [`Server::bind_with`] when
+    /// [`ServerConfig::replication`] is set).
+    pub(crate) fn set_replication(&mut self, repl: Arc<ReplState>) {
+        self.repl = Some(repl);
+    }
+
+    /// Last persisted sequence (0 without a store).
+    pub(crate) fn store_seq(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::seq)
+    }
+
+    /// The store's data directory, for lock-free WAL catch-up reads.
+    pub(crate) fn store_dir(&self) -> Option<PathBuf> {
+        self.store.as_ref().map(|s| s.dir().to_path_buf())
+    }
+
+    /// The store's current leadership epoch (0 without a store).
+    pub(crate) fn store_epoch(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::epoch)
+    }
+
+    /// Applies one replicated batch from the primary's stream: seq
+    /// continuity is enforced (a gap closes the stream so the primary
+    /// redials and catches up), duplicates from the catch-up overlap
+    /// are acked without re-applying, and everything else goes through
+    /// the same WAL-then-engine path as a local write. Returns the
+    /// applied sequence.
+    pub(crate) fn apply_replicated(
+        &mut self,
+        first_seq: u64,
+        batch_id: u64,
+        updates: &[Update],
+    ) -> Result<u64, KiffError> {
+        if updates.is_empty() {
+            return Ok(self.store_seq());
+        }
+        let seq = self.store_seq();
+        let last = first_seq + updates.len() as u64 - 1;
+        if last <= seq {
+            return Ok(seq);
+        }
+        if first_seq != seq + 1 {
+            return Err(KiffError::Protocol(format!(
+                "replication gap: batch starts at {first_seq}, applied through {seq}"
+            )));
+        }
+        let store = self
+            .store
+            .as_mut()
+            .ok_or_else(|| KiffError::Protocol("replication requires a data dir".into()))?;
+        let seq = match store.append(updates, batch_id)? {
+            Appended::Applied { seq } => seq,
+            Appended::Duplicate { seq } => return Ok(seq),
+        };
+        self.engine.apply_batch(updates.to_vec());
+        self.views = None;
+        if let Some(store) = &mut self.store {
+            store.maybe_snapshot(self.engine.as_ref())?;
+        }
+        Ok(seq)
+    }
+
+    /// Promotion fence: persists `new_epoch` in a snapshot *before*
+    /// the caller starts acknowledging writes under it, so the old
+    /// primary's frames stay rejected even across a restart.
+    pub(crate) fn promote(&mut self, new_epoch: u64) -> Result<(), KiffError> {
+        let store = self
+            .store
+            .as_mut()
+            .ok_or_else(|| KiffError::Protocol("replication requires a data dir".into()))?;
+        store.set_epoch(new_epoch);
+        store.snapshot(self.engine.as_ref())?;
+        Ok(())
+    }
+
+    /// Adopts a newer leader's epoch (demotion path), persisting it.
+    pub(crate) fn adopt_epoch(&mut self, epoch: u64) -> Result<(), KiffError> {
+        self.promote(epoch)
     }
 
     /// Marks the host permanently read-only: queries serve, every write
@@ -221,12 +311,26 @@ impl EngineHost {
                 Ok(serde_json::json!({"ok": true, "hits": hits}))
             }
             Request::Update { updates, batch } => {
+                if let Some(repl) = &self.repl {
+                    if repl.role() != Role::Primary {
+                        // Typed refusal with a leader hint so a
+                        // failover-aware client can re-route instead of
+                        // treating this as a dead end.
+                        return Err(KiffError::NotPrimary {
+                            leader: repl.leader_hint(),
+                        });
+                    }
+                }
                 if self.is_degraded() {
                     return Err(self.unavailable("update"));
                 }
+                let mut applied_seq = None;
                 let seq = match &mut self.store {
                     Some(store) => match store.append(updates, *batch) {
-                        Ok(Appended::Applied { seq }) => Value::Number(seq as f64),
+                        Ok(Appended::Applied { seq }) => {
+                            applied_seq = Some(seq);
+                            Value::Number(seq as f64)
+                        }
                         Ok(Appended::Duplicate { seq }) => {
                             // The batch already landed in a previous
                             // life; acknowledge without re-applying so a
@@ -255,6 +359,17 @@ impl EngineHost {
                 };
                 let stats = self.engine.apply_batch(updates.clone());
                 self.views = None;
+                if let (Some(repl), Some(last_seq)) =
+                    (&self.repl, applied_seq.filter(|_| !updates.is_empty()))
+                {
+                    // Semi-synchronous shipping: the batch reaches every
+                    // live replica (bounded wait per replica) before the
+                    // client sees the ack, so an acked write survives
+                    // losing the primary. Runs under the host mutex, so
+                    // replicas receive batches in commit order.
+                    let first_seq = last_seq + 1 - updates.len() as u64;
+                    repl.publish_and_wait(first_seq, *batch, updates);
+                }
                 if let Some(store) = &mut self.store {
                     store.maybe_snapshot(self.engine.as_ref())?;
                 }
@@ -294,14 +409,29 @@ impl EngineHost {
                     ),
                     None => (Value::Null, Value::Number(0.0), Value::Null, Value::Null),
                 };
-                Ok(serde_json::json!({
+                let mut body = serde_json::json!({
                     "ok": true,
                     "status": self.health_status(),
                     "seq": seq,
                     "batch_hwm": hwm,
                     "wal_age_secs": wal_age,
                     "snapshot_age_secs": snap_age
-                }))
+                });
+                if let Some(repl) = &self.repl {
+                    // Role, epoch, lag, and the replication address:
+                    // everything a failover-aware client needs to find
+                    // the leader and spread reads.
+                    if let Value::Object(entries) = &mut body {
+                        entries.push(("role".into(), Value::String(repl.role().as_str().into())));
+                        entries.push(("epoch".into(), Value::Number(repl.epoch() as f64)));
+                        entries.push((
+                            "replication_lag_batches".into(),
+                            Value::Number(repl.lag() as f64),
+                        ));
+                        entries.push(("repl_addr".into(), Value::String(repl.repl_addr().into())));
+                    }
+                }
+                Ok(body)
             }
             Request::Metrics => {
                 let text = kiff_telemetry::export::to_json(&self.telemetry.snapshot());
@@ -361,18 +491,19 @@ impl EngineHost {
     }
 }
 
-struct Shared {
-    host: Mutex<EngineHost>,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) host: Mutex<EngineHost>,
+    pub(crate) shutdown: AtomicBool,
     inflight: AtomicUsize,
     config: ServerConfig,
-    telemetry: Registry,
+    pub(crate) telemetry: Registry,
     addr: SocketAddr,
     net_ctx: String,
+    pub(crate) repl: Option<Arc<ReplState>>,
 }
 
 impl Shared {
-    fn lock_host(&self) -> std::sync::MutexGuard<'_, EngineHost> {
+    pub(crate) fn lock_host(&self) -> std::sync::MutexGuard<'_, EngineHost> {
         // A worker that panicked while holding the lock (a bug, but one
         // that must not cascade) leaves the engine in a valid state:
         // handle() mutates through &mut with no partial commits visible
@@ -384,6 +515,7 @@ impl Shared {
 /// A bound, not-yet-running daemon.
 pub struct Server {
     listener: TcpListener,
+    repl_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
@@ -403,8 +535,31 @@ impl Server {
         let telemetry = host.telemetry.clone();
         let listener = TcpListener::bind(addr).map_err(KiffError::Io)?;
         let addr = listener.local_addr().map_err(KiffError::Io)?;
+        let mut host = host;
+        let (repl_listener, repl) = match &config.replication {
+            Some(rc) => {
+                if host.store.is_none() {
+                    return Err(KiffError::Protocol(
+                        "replication requires a data dir (the replica stream is WAL-backed)".into(),
+                    ));
+                }
+                let repl_listener = TcpListener::bind(&rc.repl_listen).map_err(KiffError::Io)?;
+                let repl_addr = repl_listener.local_addr().map_err(KiffError::Io)?;
+                let state = Arc::new(ReplState::new(
+                    rc.clone(),
+                    repl_addr.to_string(),
+                    addr.to_string(),
+                    host.store_epoch(),
+                    telemetry.clone(),
+                ));
+                host.set_replication(Arc::clone(&state));
+                (Some(repl_listener), Some(state))
+            }
+            None => (None, None),
+        };
         Ok(Self {
             listener,
+            repl_listener,
             shared: Arc::new(Shared {
                 host: Mutex::new(host),
                 shutdown: AtomicBool::new(false),
@@ -413,6 +568,7 @@ impl Server {
                 telemetry,
                 addr,
                 net_ctx: addr.to_string(),
+                repl,
             }),
         })
     }
@@ -422,9 +578,20 @@ impl Server {
         self.shared.addr
     }
 
+    /// The replication channel's bound address, when configured.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+    }
+
     /// Runs the accept loop until a client sends `shutdown`. Consumes
     /// the server; returns once every connection worker has drained.
-    pub fn run(self) -> Result<(), KiffError> {
+    pub fn run(mut self) -> Result<(), KiffError> {
+        let repl_threads = match self.repl_listener.take() {
+            Some(listener) => replication::spawn_replication(&self.shared, listener),
+            None => Vec::new(),
+        };
         let recovery = {
             // Background self-healing: while the WAL is poisoned, retry
             // reopening it so the daemon flips back from degraded to
@@ -471,6 +638,17 @@ impl Server {
         }
         for worker in workers {
             let _ = worker.join();
+        }
+        // Replication drains before the final snapshot: outbound
+        // streaming threads flush every batch already acknowledged to a
+        // client, then a bounded final pass re-dials any peer a torn
+        // stream left lagging, so a graceful primary exit leaves no
+        // acked write behind on its replicas.
+        for thread in repl_threads {
+            let _ = thread.join();
+        }
+        if let Some(repl) = &self.shared.repl {
+            replication::final_drain(&self.shared, repl);
         }
         let _ = recovery.join();
         self.shared.lock_host().final_snapshot()
@@ -570,6 +748,10 @@ fn claim_slot(shared: &Shared) -> Result<InflightSlot<'_>, KiffError> {
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), KiffError> {
+    // Request/response framing is latency-bound, not throughput-bound:
+    // without nodelay, Nagle holds small response frames for the
+    // peer's delayed ACK (~40ms per request once quickack wears off).
+    let _ = stream.set_nodelay(true);
     stream
         .set_read_timeout(Some(READ_POLL))
         .map_err(KiffError::Io)?;

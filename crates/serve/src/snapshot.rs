@@ -10,9 +10,10 @@
 //!
 //! ```text
 //! magic    b"KIFS"
-//! version  u16 (currently 2)
+//! version  u16 (currently 3)
 //! seq      u64      — the WAL sequence this snapshot covers (1..=seq)
 //! hwm      u64      — applied-batch high-water mark (version ≥ 2)
+//! epoch    u64      — replication leadership epoch (version ≥ 3)
 //! dataset  kiff_dataset::codec block (b"KIFD")
 //! graph    kiff_graph::codec block (b"KIFG")
 //! counters u8 presence flag; when 1: per user u32 len,
@@ -23,7 +24,10 @@
 //! lets the WAL prune segments, the hwm is the only surviving proof
 //! that a client-retried batch was already applied — losing it would
 //! re-open the double-apply window the WAL's commit markers close.
-//! Version-1 files still load (with `batch_hwm = 0`).
+//! Version 3 added the replication leadership epoch: a promoted replica
+//! bumps it and snapshots immediately, so the fence against the old
+//! primary's late frames survives a restart. Version-1 and -2 files
+//! still load (with `batch_hwm = 0` / `epoch = 0` respectively).
 //!
 //! Files are named `snap-{seq:016}.kifs` and written via a `.tmp` +
 //! `fsync` + atomic rename, so a crash mid-write leaves no torn
@@ -41,7 +45,7 @@ use kiff_dataset::{Dataset, UserId};
 use kiff_graph::KnnGraph;
 
 const MAGIC: &[u8; 4] = b"KIFS";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// A decoded snapshot.
 #[derive(Debug)]
@@ -51,6 +55,9 @@ pub struct Snapshot {
     /// Highest client-assigned batch id applied at the snapshot point
     /// (0 in version-1 files, which predate batch ids).
     pub batch_hwm: u64,
+    /// Replication leadership epoch at the snapshot point (0 in
+    /// version-1/-2 files, which predate replication).
+    pub epoch: u64,
     /// The compacted dataset at the snapshot point.
     pub dataset: Dataset,
     /// The KNN graph at the snapshot point, bit-identical to the writer's.
@@ -87,12 +94,14 @@ pub fn snapshot_name(seq: u64) -> String {
 }
 
 /// Writes a snapshot of (`dataset`, `graph`, `counters`) covering WAL
-/// sequence `seq` with applied-batch high-water mark `batch_hwm` into
-/// `dir`, atomically. Returns the final path.
+/// sequence `seq` with applied-batch high-water mark `batch_hwm` and
+/// replication leadership epoch `epoch` into `dir`, atomically. Returns
+/// the final path.
 pub fn save_snapshot(
     dir: &Path,
     seq: u64,
     batch_hwm: u64,
+    epoch: u64,
     dataset: &Dataset,
     graph: &KnnGraph,
     counters: Option<&[Vec<(UserId, u32)>]>,
@@ -114,6 +123,7 @@ pub fn save_snapshot(
         w.write_all(&seq.to_le_bytes()).map_err(KiffError::Io)?;
         w.write_all(&batch_hwm.to_le_bytes())
             .map_err(KiffError::Io)?;
+        w.write_all(&epoch.to_le_bytes()).map_err(KiffError::Io)?;
         kiff_dataset::codec::write_dataset(&mut w, dataset).map_err(KiffError::Io)?;
         kiff_graph::codec::write_graph(&mut w, graph).map_err(KiffError::Io)?;
         match counters {
@@ -181,6 +191,12 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, KiffError> {
     } else {
         0
     };
+    // Versions 1–2 predate replication; epoch 0 fences nothing.
+    let epoch = if version >= 3 {
+        read_u64(&mut r).map_err(KiffError::from)?
+    } else {
+        0
+    };
     let dataset = kiff_dataset::codec::read_dataset(&mut r).map_err(KiffError::from)?;
     let graph = kiff_graph::codec::read_graph(&mut r).map_err(KiffError::from)?;
     if graph.num_users() != dataset.num_users() {
@@ -224,6 +240,7 @@ pub fn load_snapshot(path: &Path) -> Result<Snapshot, KiffError> {
     Ok(Snapshot {
         seq,
         batch_hwm,
+        epoch,
         dataset,
         graph,
         counters,
@@ -290,15 +307,16 @@ mod tests {
             vec![],
         ];
 
-        save_snapshot(&dir, 7, 41, &ds, &graph, Some(&counters)).unwrap();
+        save_snapshot(&dir, 7, 41, 2, &ds, &graph, Some(&counters)).unwrap();
         let snap = load_snapshot(&dir.join(snapshot_name(7))).unwrap();
         assert_eq!(snap.seq, 7);
         assert_eq!(snap.batch_hwm, 41);
+        assert_eq!(snap.epoch, 2);
         assert_eq!(snap.dataset.num_ratings(), ds.num_ratings());
         assert_eq!(snap.graph, graph);
         assert_eq!(snap.counters.as_deref(), Some(&counters[..]));
 
-        save_snapshot(&dir, 9, 0, &ds, &graph, None).unwrap();
+        save_snapshot(&dir, 9, 0, 0, &ds, &graph, None).unwrap();
         let snap = load_snapshot(&dir.join(snapshot_name(9))).unwrap();
         assert!(snap.counters.is_none());
 
@@ -313,18 +331,41 @@ mod tests {
         let dir = tmp("v1");
         let ds = figure2_toy();
         let graph = toy_graph();
-        let path = save_snapshot(&dir, 3, 17, &ds, &graph, None).unwrap();
-        // Rewrite the file as version 1: drop the 8-byte hwm field.
+        let path = save_snapshot(&dir, 3, 17, 9, &ds, &graph, None).unwrap();
+        // Rewrite the file as version 1: drop the hwm and epoch fields.
         let bytes = fs::read(&path).unwrap();
-        let mut v1 = Vec::with_capacity(bytes.len() - 8);
+        let mut v1 = Vec::with_capacity(bytes.len() - 16);
         v1.extend_from_slice(&bytes[..4]);
         v1.extend_from_slice(&1u16.to_le_bytes());
         v1.extend_from_slice(&bytes[6..14]); // seq
-        v1.extend_from_slice(&bytes[22..]); // skip hwm
+        v1.extend_from_slice(&bytes[30..]); // skip hwm + epoch
         fs::write(&path, &v1).unwrap();
         let snap = load_snapshot(&path).unwrap();
         assert_eq!(snap.seq, 3);
         assert_eq!(snap.batch_hwm, 0, "v1 predates batch ids");
+        assert_eq!(snap.epoch, 0, "v1 predates replication");
+        assert_eq!(snap.graph, graph);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version2_files_load_with_zero_epoch() {
+        let dir = tmp("v2");
+        let ds = figure2_toy();
+        let graph = toy_graph();
+        let path = save_snapshot(&dir, 4, 23, 5, &ds, &graph, None).unwrap();
+        // Rewrite the file as version 2: keep hwm, drop the epoch field.
+        let bytes = fs::read(&path).unwrap();
+        let mut v2 = Vec::with_capacity(bytes.len() - 8);
+        v2.extend_from_slice(&bytes[..4]);
+        v2.extend_from_slice(&2u16.to_le_bytes());
+        v2.extend_from_slice(&bytes[6..22]); // seq + hwm
+        v2.extend_from_slice(&bytes[30..]); // skip epoch
+        fs::write(&path, &v2).unwrap();
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.seq, 4);
+        assert_eq!(snap.batch_hwm, 23, "v2 keeps its hwm");
+        assert_eq!(snap.epoch, 0, "v2 predates replication");
         assert_eq!(snap.graph, graph);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -338,7 +379,7 @@ mod tests {
         let scope = dir.to_string_lossy().into_owned();
 
         fault::arm_scoped(points::SNAPSHOT_RENAME, Trigger::Nth(1), scope.clone());
-        let err = save_snapshot(&dir, 5, 1, &ds, &graph, None).unwrap_err();
+        let err = save_snapshot(&dir, 5, 1, 0, &ds, &graph, None).unwrap_err();
         assert_eq!(err.kind(), "io");
         assert_eq!(latest_snapshot(&dir).unwrap(), None, "no torn snapshot");
         assert!(
@@ -346,7 +387,7 @@ mod tests {
             ".tmp cleaned up"
         );
         // The retry goes through untouched.
-        save_snapshot(&dir, 5, 1, &ds, &graph, None).unwrap();
+        save_snapshot(&dir, 5, 1, 0, &ds, &graph, None).unwrap();
         assert_eq!(latest_snapshot(&dir).unwrap().unwrap().0, 5);
         fault::disarm(points::SNAPSHOT_RENAME);
         fs::remove_dir_all(&dir).unwrap();
@@ -357,7 +398,7 @@ mod tests {
         let dir = tmp("bad");
         let ds = figure2_toy();
         let graph = toy_graph();
-        let path = save_snapshot(&dir, 1, 0, &ds, &graph, None).unwrap();
+        let path = save_snapshot(&dir, 1, 0, 0, &ds, &graph, None).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         bytes[0] = b'?';
         fs::write(&path, &bytes).unwrap();

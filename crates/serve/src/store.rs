@@ -72,6 +72,7 @@ pub struct Store {
     snapshot_every: u64,
     last_snapshot_seq: u64,
     batch_hwm: u64,
+    epoch: u64,
     last_append_at: Instant,
     last_snapshot_at: Instant,
     telemetry: Registry,
@@ -106,6 +107,9 @@ pub struct Recovered {
     pub replayed: u64,
     /// Whether the WAL tail was cut short by a torn or corrupt record.
     pub truncated: bool,
+    /// Replication leadership epoch recovered from the snapshot (0 when
+    /// the daemon never participated in a failover).
+    pub epoch: u64,
 }
 
 fn build_engine(
@@ -142,23 +146,24 @@ pub fn recover(
     shards: Option<ShardConfig>,
 ) -> Result<Recovered, KiffError> {
     let telemetry = config.telemetry.clone();
-    let (mut engine, after_seq, snapshot_seq, snapshot_hwm) = match latest_snapshot(&cfg.dir)? {
-        Some((seq, path)) => {
-            let snap = load_snapshot(&path)?;
-            let engine = build_engine(
-                &snap.dataset,
-                Some(&snap.graph),
-                snap.counters,
-                config,
-                shards.as_ref(),
-            )?;
-            (engine, seq, Some(seq), snap.batch_hwm)
-        }
-        None => {
-            let engine = build_engine(seed, seed_graph, None, config, shards.as_ref())?;
-            (engine, 0, None, 0)
-        }
-    };
+    let (mut engine, after_seq, snapshot_seq, snapshot_hwm, epoch) =
+        match latest_snapshot(&cfg.dir)? {
+            Some((seq, path)) => {
+                let snap = load_snapshot(&path)?;
+                let engine = build_engine(
+                    &snap.dataset,
+                    Some(&snap.graph),
+                    snap.counters,
+                    config,
+                    shards.as_ref(),
+                )?;
+                (engine, seq, Some(seq), snap.batch_hwm, snap.epoch)
+            }
+            None => {
+                let engine = build_engine(seed, seed_graph, None, config, shards.as_ref())?;
+                (engine, 0, None, 0, 0)
+            }
+        };
 
     let replay = Wal::replay(&cfg.dir, after_seq, &telemetry)?;
     let replayed = replay.updates.len() as u64;
@@ -183,6 +188,7 @@ pub fn recover(
             snapshot_every: cfg.snapshot_every,
             last_snapshot_seq: after_seq,
             batch_hwm,
+            epoch,
             last_append_at: Instant::now(),
             last_snapshot_at: Instant::now(),
             telemetry,
@@ -190,6 +196,7 @@ pub fn recover(
         snapshot_seq,
         replayed,
         truncated,
+        epoch,
     })
 }
 
@@ -212,6 +219,20 @@ impl Store {
     /// Highest client-assigned batch id applied so far (0 = none).
     pub fn batch_hwm(&self) -> u64 {
         self.batch_hwm
+    }
+
+    /// The replication leadership epoch this store last persisted.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Adopts a new leadership epoch. The caller (promotion, or a
+    /// replica following a newer primary) should snapshot soon after so
+    /// the fence survives a restart; until then the epoch lives only in
+    /// memory.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.telemetry.gauge("store.epoch").set(epoch as i64);
     }
 
     /// Whether a failed append has poisoned the WAL (writes must be
@@ -276,6 +297,7 @@ impl Store {
             &self.dir,
             seq,
             self.batch_hwm,
+            self.epoch,
             &dataset,
             &graph,
             counters.as_deref(),
@@ -386,6 +408,27 @@ mod tests {
         }
         assert!(snapped >= 2, "snapshots fired {snapped} times");
         assert!(!store.should_snapshot());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_persists_through_snapshot_and_recovery() {
+        let dir = tmp("epoch");
+        let seed = figure2_toy();
+        let cfg = StoreConfig::new(&dir).with_snapshot_every(0);
+        let rec = recover(&cfg, &seed, None, OnlineConfig::new(2), None).unwrap();
+        assert_eq!(rec.epoch, 0, "fresh stores start at epoch 0");
+        let (mut engine, mut store) = (rec.engine, rec.store);
+        let stream = stream();
+        store.append(&stream, 1).unwrap();
+        engine.apply_batch(stream.clone());
+        store.set_epoch(3);
+        store.snapshot(engine.as_ref()).unwrap();
+        drop((engine, store));
+
+        let rec = recover(&cfg, &seed, None, OnlineConfig::new(2), None).unwrap();
+        assert_eq!(rec.epoch, 3, "promotion epoch survives restart");
+        assert_eq!(rec.store.epoch(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

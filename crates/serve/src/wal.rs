@@ -103,6 +103,28 @@ fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, KiffError> {
     Ok(found)
 }
 
+/// Decodes the fixed 8-byte frame header shared by WAL records and the
+/// replication stream: `u32 payload length (LE) · u32 payload CRC-32
+/// (LE)`. Returns `None` when fewer than 8 bytes remain or the length
+/// exceeds `max_payload` — both read as corruption (or, on a live
+/// stream, a peer speaking a different protocol).
+pub(crate) fn decode_frame_header(header: &[u8], max_payload: u32) -> Option<(u32, u32)> {
+    let len = u32::from_le_bytes(header.get(..4)?.try_into().ok()?);
+    let crc = u32::from_le_bytes(header.get(4..8)?.try_into().ok()?);
+    (len <= max_payload).then_some((len, crc))
+}
+
+/// The checked record starting at `bytes[at..]`: decodes the header via
+/// [`decode_frame_header`], bounds-checks the payload, and verifies its
+/// CRC. Returns the payload slice and the total encoded record length,
+/// or `None` for any structural failure (the caller treats the rest of
+/// the buffer as a crash tail).
+fn checked_record(bytes: &[u8], at: usize) -> Option<(&[u8], usize)> {
+    let (len, crc) = decode_frame_header(bytes.get(at..)?, MAX_PAYLOAD)?;
+    let payload = bytes.get(at + 8..at + 8 + len as usize)?;
+    (crc32(payload) == crc).then_some((payload, 8 + len as usize))
+}
+
 /// Tag bit marking the first record of an appended batch.
 const BATCH_HEAD: u8 = 0x80;
 /// Tag bit marking the last record of a batch — the commit marker. The
@@ -188,24 +210,13 @@ fn committed_len(bytes: &[u8]) -> usize {
     let mut at = 0usize;
     let mut committed = 0usize;
     while at < bytes.len() {
-        let Some(header) = bytes.get(at..at + 8) else {
+        let Some((payload, advance)) = checked_record(bytes, at) else {
             break;
         };
-        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
-        if len > MAX_PAYLOAD {
-            break;
-        }
-        let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
-            break;
-        };
-        if crc32(payload) != crc {
-            break;
-        }
         let Some((_, _, _, commit)) = decode_payload(payload) else {
             break;
         };
-        at += 8 + len as usize;
+        at += advance;
         if commit.is_some() {
             committed = at;
         }
@@ -231,6 +242,11 @@ pub struct WalReplay {
     /// scanned (not just those past `after_seq`); 0 when none carried
     /// one. The server's double-apply guard for retried client batches.
     pub batch_hwm: u64,
+    /// Client-assigned batch id of each recovered batch, aligned with
+    /// [`WalReplay::batches`] (0 when the writer had none). Replication
+    /// catch-up re-streams these so a replica's dedup hwm tracks the
+    /// primary's exactly.
+    pub batch_ids: Vec<u64>,
 }
 
 impl WalReplay {
@@ -239,12 +255,26 @@ impl WalReplay {
     /// the uninterrupted engine exactly — the repair pass is amortised
     /// per batch, so boundaries are state, not just framing.
     pub fn batches(self) -> Vec<Vec<Update>> {
-        let mut batches: Vec<Vec<Update>> = Vec::new();
-        for (_, update, head) in self.updates {
+        self.batches_with_ids()
+            .into_iter()
+            .map(|(_, _, updates)| updates)
+            .collect()
+    }
+
+    /// Like [`WalReplay::batches`], but each batch keeps its identity:
+    /// `(first_seq, batch_id, updates)`. The replication stream sends
+    /// exactly these triples during catch-up, so a replica applies them
+    /// under the same sequence numbers and dedup ids as the original
+    /// client writes.
+    pub fn batches_with_ids(self) -> Vec<(u64, u64, Vec<Update>)> {
+        let ids = self.batch_ids;
+        let mut batches: Vec<(u64, u64, Vec<Update>)> = Vec::new();
+        for (seq, update, head) in self.updates {
             if head || batches.is_empty() {
-                batches.push(Vec::new());
+                let id = ids.get(batches.len()).copied().unwrap_or(0);
+                batches.push((seq, id, Vec::new()));
             }
-            batches.last_mut().expect("just pushed").push(update);
+            batches.last_mut().expect("just pushed").2.push(update);
         }
         batches
     }
@@ -294,7 +324,7 @@ impl Wal {
             .open(&path)
             .map_err(KiffError::Io)?;
         let segment_len = file.metadata().map_err(KiffError::Io)?.len();
-        Ok(Self {
+        let wal = Self {
             dir: dir.to_path_buf(),
             ctx: dir.to_string_lossy().into_owned(),
             file,
@@ -303,7 +333,9 @@ impl Wal {
             next_seq,
             poisoned: false,
             telemetry,
-        })
+        };
+        wal.update_segment_gauge()?;
+        Ok(wal)
     }
 
     /// Overrides the segment rotation threshold (tests use tiny ones).
@@ -409,25 +441,45 @@ impl Wal {
             .open(&path)
             .map_err(KiffError::Io)?;
         self.segment_len = 0;
+        self.update_segment_gauge()?;
         Ok(())
     }
 
     /// Deletes every segment whose records are all `<= through_seq`
     /// (they are covered by a snapshot). The newest segment is always
     /// kept: it holds, or will hold, the live tail.
+    ///
+    /// `through_seq` is clamped to the newest on-disk snapshot's
+    /// sequence: a segment holding batches no snapshot covers is never
+    /// deleted, no matter what the caller asks — dropping it would lose
+    /// committed updates (and the batch ids that dedupe client
+    /// retries). A clamped call bumps the `wal.prune_refused` counter.
     pub fn prune(&mut self, through_seq: u64) -> Result<usize, KiffError> {
+        let covered = crate::snapshot::latest_snapshot(&self.dir)?.map_or(0, |(seq, _)| seq);
+        let effective = through_seq.min(covered);
+        if effective < through_seq {
+            self.telemetry.counter("wal.prune_refused").incr();
+        }
         let segments = segments(&self.dir)?;
         let mut removed = 0;
         // Segment i's records all precede segment i+1's first_seq.
         for window in segments.windows(2) {
             let (_, ref path) = window[0];
             let (next_first, _) = window[1];
-            if next_first <= through_seq + 1 {
+            if next_first <= effective + 1 {
                 fs::remove_file(path).map_err(KiffError::Io)?;
                 removed += 1;
             }
         }
+        self.update_segment_gauge()?;
         Ok(removed)
+    }
+
+    /// Refreshes the `wal.segments` gauge from the directory listing.
+    fn update_segment_gauge(&self) -> Result<(), KiffError> {
+        let n = segments(&self.dir)?.len();
+        self.telemetry.gauge("wal.segments").set(n as i64);
+        Ok(())
     }
 
     /// Scans every segment in `dir` and returns the updates of committed
@@ -445,6 +497,7 @@ impl Wal {
         let mut next_seq = after_seq + 1;
         let mut expected: Option<u64> = None;
         let mut batch_hwm = 0u64;
+        let mut batch_ids = Vec::new();
         let mut truncated = false;
 
         'segments: for (_, path) in segments(dir)? {
@@ -454,24 +507,10 @@ impl Wal {
                 .map_err(KiffError::Io)?;
             let mut at = 0usize;
             while at < bytes.len() {
-                let Some(header) = bytes.get(at..at + 8) else {
+                let Some((payload, advance)) = checked_record(&bytes, at) else {
                     truncated = true;
                     break 'segments;
                 };
-                let len = u32::from_le_bytes(header[..4].try_into().unwrap());
-                let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
-                if len > MAX_PAYLOAD {
-                    truncated = true;
-                    break 'segments;
-                }
-                let Some(payload) = bytes.get(at + 8..at + 8 + len as usize) else {
-                    truncated = true;
-                    break 'segments;
-                };
-                if crc32(payload) != crc {
-                    truncated = true;
-                    break 'segments;
-                }
                 let Some((seq, update, head, commit)) = decode_payload(payload) else {
                     truncated = true;
                     break 'segments;
@@ -488,7 +527,7 @@ impl Wal {
                     break 'segments;
                 }
                 expected = Some(seq + 1);
-                at += 8 + len as usize;
+                at += advance;
                 if seq > after_seq {
                     if seq != next_seq + updates.len() as u64 + pending.len() as u64 {
                         // A gap between the snapshot point and the log:
@@ -504,6 +543,9 @@ impl Wal {
                     pending.push((seq, update, head));
                 }
                 if let Some(batch_id) = commit {
+                    if !pending.is_empty() {
+                        batch_ids.push(batch_id);
+                    }
                     updates.append(&mut pending);
                     batch_hwm = batch_hwm.max(batch_id);
                 }
@@ -525,6 +567,7 @@ impl Wal {
             next_seq,
             truncated,
             batch_hwm,
+            batch_ids,
         })
     }
 }
@@ -580,6 +623,11 @@ mod tests {
             vec![batch.clone(), vec![add(4, 4, 1.0)]],
             "replay regroups the original append batches"
         );
+        assert_eq!(
+            Wal::replay(&dir, 0, &reg).unwrap().batches_with_ids(),
+            vec![(1, 11, batch.clone()), (4, 12, vec![add(4, 4, 1.0)])],
+            "each batch keeps its first seq and client id"
+        );
 
         // Replay after a snapshot point skips the prefix but still sees
         // every committed batch id.
@@ -588,6 +636,24 @@ mod tests {
         assert_eq!(tail.updates[0].0, 4);
         assert_eq!(tail.batch_hwm, 12);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A snapshot file covering `seq` — the contents never matter to
+    /// `prune`, only the `snap-{seq}.kifs` name `latest_snapshot` sees.
+    fn fake_snapshot(dir: &Path, seq: u64) {
+        let ds = kiff_dataset::dataset::figure2_toy();
+        let graph = kiff_graph::KnnGraph::from_neighbors(
+            1,
+            (0..4u32)
+                .map(|u| {
+                    vec![kiff_graph::Neighbor {
+                        id: u ^ 1,
+                        sim: 0.5,
+                    }]
+                })
+                .collect(),
+        );
+        crate::snapshot::save_snapshot(dir, seq, 0, 0, &ds, &graph, None).unwrap();
     }
 
     #[test]
@@ -601,16 +667,76 @@ mod tests {
             wal.append_batch(&[add(i, i, 1.0)], 0).unwrap();
         }
         assert!(segments(&dir).unwrap().len() >= 4, "tiny threshold rotates");
+        assert_eq!(
+            reg.snapshot().gauge("wal.segments"),
+            Some(segments(&dir).unwrap().len() as i64),
+            "rotation keeps the segment gauge fresh"
+        );
         let replay = Wal::replay(&dir, 0, &reg).unwrap();
         assert_eq!(replay.updates.len(), 5);
         assert_eq!(replay.next_seq, 6);
 
-        // Pruning through seq 3 removes segments fully covered by it.
+        // No snapshot yet: pruning is refused outright, whatever the
+        // caller claims is covered.
+        assert_eq!(wal.prune(3).unwrap(), 0, "nothing covered, nothing pruned");
+        assert_eq!(reg.snapshot().counter("wal.prune_refused"), Some(1));
+
+        // With a snapshot at seq 3, pruning through 3 removes segments
+        // fully covered by it.
+        fake_snapshot(&dir, 3);
         let before = segments(&dir).unwrap().len();
         let removed = wal.prune(3).unwrap();
         assert!(removed >= 2, "removed {removed} of {before}");
+        assert_eq!(
+            reg.snapshot().gauge("wal.segments"),
+            Some(segments(&dir).unwrap().len() as i64)
+        );
         let after = Wal::replay(&dir, 3, &reg).unwrap();
         assert_eq!(after.updates.len(), 2, "tail survives pruning");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The prune safety guard, under fire: a mid-rotation append fault
+    /// poisons the log, and an over-eager prune (claiming more is
+    /// covered than any snapshot proves) must still keep every segment
+    /// holding unsnapshotted batches — recovery after the fault loses
+    /// nothing.
+    #[test]
+    fn prune_mid_rotation_under_append_faults_keeps_uncovered_batches() {
+        let dir = tmp("prune-guard");
+        let reg = Registry::new();
+        let scope = dir.to_string_lossy().into_owned();
+        let mut wal = Wal::open(&dir, 1, reg.clone())
+            .unwrap()
+            .with_segment_bytes(1);
+        for i in 0..3u32 {
+            wal.append_batch(&[add(i, i, 1.0)], u64::from(i) + 1)
+                .unwrap();
+        }
+        // Snapshot covers only seq 2; seq 3 lives in WAL segments alone.
+        fake_snapshot(&dir, 2);
+
+        // The next append dies mid-rotation and poisons the log.
+        fault::arm_scoped(points::WAL_APPEND, Trigger::Nth(1), scope.clone());
+        assert!(wal.append_batch(&[add(3, 3, 1.0)], 4).is_err());
+        assert!(wal.is_poisoned());
+
+        // A buggy caller prunes "through seq 10". The guard clamps to
+        // the snapshot boundary: batch 3 must survive.
+        wal.prune(10).unwrap();
+        assert_eq!(reg.snapshot().counter("wal.prune_refused"), Some(1));
+        let replay = Wal::replay(&dir, 2, &reg).unwrap();
+        assert_eq!(replay.updates.len(), 1, "unsnapshotted batch survives");
+        assert_eq!(replay.updates[0].0, 3);
+        assert_eq!(replay.batch_hwm, 3, "dedup hwm survives the prune");
+
+        // Heal and land the faulted batch; nothing was lost.
+        wal.reopen().unwrap();
+        assert_eq!(wal.append_batch(&[add(3, 3, 1.0)], 4).unwrap(), 4);
+        let replay = Wal::replay(&dir, 2, &reg).unwrap();
+        assert_eq!(replay.updates.len(), 2);
+        assert_eq!(replay.batch_hwm, 4);
+        fault::disarm(points::WAL_APPEND);
         fs::remove_dir_all(&dir).unwrap();
     }
 

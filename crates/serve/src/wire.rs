@@ -290,11 +290,19 @@ impl Request {
 /// [`KiffError::Remote`] from all three fields, so the error class —
 /// `unavailable` vs `overloaded` vs `corrupt` — survives the wire.
 pub fn error_value(err: &KiffError, op: &str) -> Value {
-    let error = serde_json::json!({
+    let mut error = serde_json::json!({
         "kind": err.kind(),
         "op": op,
         "message": err.to_string()
     });
+    // A write refused by a replica carries the leader hint as a
+    // structured field, so a failover-aware client re-routes without
+    // parsing the message text.
+    if let KiffError::NotPrimary { leader: Some(addr) } = err {
+        if let Value::Object(entries) = &mut error {
+            entries.push(("leader".into(), Value::String(addr.clone())));
+        }
+    }
     serde_json::json!({"ok": false, "error": error})
 }
 
@@ -308,8 +316,12 @@ pub fn write_frame<W: Write>(w: &mut W, value: &Value) -> Result<(), KiffError> 
             "frame of {len} bytes exceeds {MAX_FRAME}"
         )));
     }
-    w.write_all(&len.to_le_bytes()).map_err(KiffError::Io)?;
-    w.write_all(bytes).map_err(KiffError::Io)?;
+    // One write per frame: a separate header write would let Nagle +
+    // delayed ACK stall the payload ~40ms on sockets without nodelay.
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame).map_err(KiffError::Io)?;
     w.flush().map_err(KiffError::Io)?;
     Ok(())
 }

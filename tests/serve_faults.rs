@@ -42,6 +42,21 @@ fn scratch(tag: &str) -> PathBuf {
     p
 }
 
+/// Arms any ambient `KIFF_FAILPOINTS` spec exactly once per test
+/// binary. The CI chaos job sets one (probabilistic triggers with
+/// fixed seeds) so the suite runs under background fault pressure;
+/// unset, this is a no-op and the only faults are the scoped per-case
+/// arms below.
+fn ambient_failpoints() {
+    static ARM: std::sync::Once = std::sync::Once::new();
+    ARM.call_once(|| {
+        let armed = fault::arm_from_env().expect("invalid KIFF_FAILPOINTS spec");
+        if armed > 0 {
+            eprintln!("chaos: {armed} ambient failpoint(s) armed from KIFF_FAILPOINTS");
+        }
+    });
+}
+
 /// Same seed shape as `serve_recovery`: 8 users over 10 items.
 fn seed_dataset() -> Dataset {
     let mut b = DatasetBuilder::new("fault-seed", 8, 10);
@@ -108,6 +123,7 @@ proptest! {
         batch in 1usize..6,
         faults in arb_faults(),
     ) {
+        ambient_failpoints();
         let seed = seed_dataset();
         let config = || OnlineConfig::new(3);
 
@@ -199,6 +215,7 @@ proptest! {
 /// partial snapshot, no `.tmp` litter, no lost updates.
 #[test]
 fn failed_snapshot_write_falls_back_to_wal_replay() {
+    ambient_failpoints();
     let seed = seed_dataset();
     let config = || OnlineConfig::new(3);
     let stream: Vec<Update> = (0..20u32)
@@ -252,6 +269,7 @@ fn failed_snapshot_write_falls_back_to_wal_replay() {
 /// apply, `deduped: true` on the retry.
 #[test]
 fn killed_ack_retries_without_double_apply() {
+    ambient_failpoints();
     let seed = seed_dataset();
     let config = || OnlineConfig::new(3);
 
