@@ -233,6 +233,11 @@ pub struct ServeOptions {
     /// Replication heartbeat interval in milliseconds (default 500);
     /// a primary silent for four intervals triggers an election.
     pub heartbeat_ms: Option<u64>,
+    /// Minimum replicas that must ack a write within the ack timeout
+    /// for the client to see success (default 0 = best-effort
+    /// semi-sync); below it the write is refused as retryable
+    /// `Unavailable`.
+    pub min_sync_replicas: Option<usize>,
 }
 
 /// `--partitioner` values of `kiff update`.
@@ -329,7 +334,8 @@ commands:
              [--threads N] [--addr-file FILE] [--max-inflight N]
              [--degraded-ok] [--failpoints SPEC]
              [--repl-listen HOST:PORT [--replica-of HOST:PORT]
-              [--peers HOST:PORT,...] [--heartbeat-ms N]]
+              [--peers HOST:PORT,...] [--heartbeat-ms N]
+              [--min-sync-replicas N]]
   help       this text
 
 The graph edge list is written as `user<TAB>neighbor<TAB>similarity`.";
@@ -505,6 +511,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
     let mut replica_of: Option<String> = None;
     let mut peers: Option<Vec<String>> = None;
     let mut heartbeat_ms: Option<u64> = None;
+    let mut min_sync_replicas: Option<usize> = None;
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -570,6 +577,12 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 heartbeat_ms = Some(parse_num(
                     "--heartbeat-ms",
                     &value("--heartbeat-ms", &mut iter)?,
+                )?)
+            }
+            "--min-sync-replicas" => {
+                min_sync_replicas = Some(parse_num(
+                    "--min-sync-replicas",
+                    &value("--min-sync-replicas", &mut iter)?,
                 )?)
             }
             "--metrics-out" => {
@@ -744,6 +757,11 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
             if heartbeat_ms.is_some() && repl_listen.is_none() {
                 return Err(ParseError("--heartbeat-ms requires --repl-listen".into()));
             }
+            if min_sync_replicas.is_some() && repl_listen.is_none() {
+                return Err(ParseError(
+                    "--min-sync-replicas requires --repl-listen".into(),
+                ));
+            }
             if heartbeat_ms == Some(0) {
                 return Err(ParseError("--heartbeat-ms must be positive".into()));
             }
@@ -769,6 +787,7 @@ pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
                 replica_of,
                 peers: peers.unwrap_or_default(),
                 heartbeat_ms,
+                min_sync_replicas,
             }))
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -1135,7 +1154,7 @@ mod tests {
         let cmd = parse(&argv(
             "serve --input base.tsv --data-dir /tmp/kiff --repl-listen 0.0.0.0:9001 \
              --replica-of 10.0.0.1:7407 --peers 10.0.0.1:7407,10.0.0.2:7407 \
-             --heartbeat-ms 250",
+             --heartbeat-ms 250 --min-sync-replicas 1",
         ))
         .unwrap();
         match cmd {
@@ -1144,6 +1163,7 @@ mod tests {
                 assert_eq!(s.replica_of.as_deref(), Some("10.0.0.1:7407"));
                 assert_eq!(s.peers, vec!["10.0.0.1:7407", "10.0.0.2:7407"]);
                 assert_eq!(s.heartbeat_ms, Some(250));
+                assert_eq!(s.min_sync_replicas, Some(1));
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -1154,6 +1174,7 @@ mod tests {
                 assert_eq!(s.replica_of, None);
                 assert!(s.peers.is_empty());
                 assert_eq!(s.heartbeat_ms, None);
+                assert_eq!(s.min_sync_replicas, None);
             }
             other => panic!("expected Serve, got {other:?}"),
         }
@@ -1181,6 +1202,13 @@ mod tests {
             ))
             .is_err(),
             "--heartbeat-ms without --repl-listen rejected"
+        );
+        assert!(
+            parse(&argv(
+                "serve --input b.tsv --data-dir /tmp/k --min-sync-replicas 1"
+            ))
+            .is_err(),
+            "--min-sync-replicas without --repl-listen rejected"
         );
         assert!(
             parse(&argv(

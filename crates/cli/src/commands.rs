@@ -443,6 +443,9 @@ fn serve(options: &ServeOptions, out: &mut dyn Write) -> Result<(), CommandError
         if let Some(ms) = options.heartbeat_ms {
             rc = rc.with_heartbeat(std::time::Duration::from_millis(ms));
         }
+        if let Some(min) = options.min_sync_replicas {
+            rc = rc.with_min_sync_replicas(min);
+        }
         rc
     });
     let server_config = ServerConfig {

@@ -44,10 +44,15 @@
 //!
 //! Replicas detect a dead primary by silence: no frame for four
 //! heartbeat intervals triggers an election. The candidate polls every
-//! peer's `health` over the normal client port; it promotes only if no
-//! live primary with a current epoch answers and no other replica is
-//! further ahead (ties break toward the lexicographically smallest
-//! advertised address). Because acknowledged writes were replicated
+//! peer's `health` over the normal client port; it promotes only if
+//! the round **resolved a majority of the group** — itself plus peers
+//! that answered or are provably down (an active connection refusal;
+//! timeouts prove nothing) — no live primary with a current epoch
+//! answered, and no other replica is further ahead (ties break toward
+//! the lexicographically smallest advertised address). A replica cut
+//! off from every peer keeps retrying inconclusive rounds
+//! (`serve.elections_inconclusive`) instead of splitting the brain.
+//! Because acknowledged writes were replicated
 //! semi-synchronously, the winner owns every acked batch, and
 //! [`crate::client::FailoverClient`] replays un-acked batch ids
 //! against the new leader where the applied-batch high-water mark
@@ -56,7 +61,14 @@
 //! A known limit, shared with every semi-sync design: an old primary
 //! that crashed with *un-replicated, un-acked* suffix batches diverges
 //! from the new timeline and must be re-seeded from a fresh data dir
-//! before rejoining; `serve.repl_diverged` counts the refusal.
+//! before rejoining; `serve.repl_diverged` counts the refusal. By
+//! default replication is best-effort beyond the bounded ack wait —
+//! with every replica down the primary still acks writes
+//! (`serve.repl_ack_timeouts` ticks). Setting
+//! [`ReplicationConfig::min_sync_replicas`] hardens this: a write that
+//! fewer replicas confirmed is refused with a retryable
+//! [`KiffError::Unavailable`] (`serve.repl_underreplicated`), so every
+//! *acked* write really does survive losing the primary.
 //!
 //! The `repl.stream`, `repl.ack`, and `repl.heartbeat` failpoints
 //! ([`kiff_core::fault`]) cut batch frames, replica acks, and
@@ -112,8 +124,15 @@ pub struct ReplicationConfig {
     /// silent intervals.
     pub heartbeat: Duration,
     /// How long a write waits for each live replica's ack before
-    /// giving up on it for this batch (counted, not fatal).
+    /// giving up on it for this batch.
     pub ack_timeout: Duration,
+    /// Minimum replicas that must ack a batch within `ack_timeout` for
+    /// the client write to succeed. Below the bar the write is refused
+    /// with a retryable [`KiffError::Unavailable`] (it stays in the
+    /// WAL, so the client's retry dedups once enough replicas are
+    /// back). `0` (the default) keeps best-effort semi-sync: timeouts
+    /// are counted but never fail the write.
+    pub min_sync_replicas: usize,
 }
 
 impl ReplicationConfig {
@@ -126,6 +145,7 @@ impl ReplicationConfig {
             peers: Vec::new(),
             heartbeat: Duration::from_millis(500),
             ack_timeout: Duration::from_secs(1),
+            min_sync_replicas: 0,
         }
     }
 
@@ -150,6 +170,12 @@ impl ReplicationConfig {
     /// Sets the per-replica ack wait.
     pub fn with_ack_timeout(mut self, ack_timeout: Duration) -> Self {
         self.ack_timeout = ack_timeout;
+        self
+    }
+
+    /// Sets the minimum in-sync replica count a write needs to ack.
+    pub fn with_min_sync_replicas(mut self, min: usize) -> Self {
+        self.min_sync_replicas = min;
         self
     }
 }
@@ -186,6 +212,24 @@ pub(crate) struct ReplBatch {
 struct Subscriber {
     tx: mpsc::Sender<ReplBatch>,
     depth: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
+}
+
+/// One streaming connection's side of the publish hub. Closing it (on
+/// any outbound exit) zeroes the depth slot so queued-but-undeliverable
+/// batches stop counting toward primary-side lag, and marks the
+/// subscriber for pruning.
+struct Subscription {
+    rx: Receiver<ReplBatch>,
+    depth: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
+}
+
+impl Subscription {
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.depth.store(0, Ordering::SeqCst);
+    }
 }
 
 /// Shared replication state: role, epoch, leader hint, lag, and the
@@ -275,11 +319,17 @@ impl ReplState {
     /// queue depth toward it.
     pub fn lag(&self) -> u64 {
         match self.role() {
-            Role::Primary => relock(self.subscribers.lock())
-                .iter()
-                .map(|s| s.depth.load(Ordering::SeqCst))
-                .max()
-                .unwrap_or(0),
+            Role::Primary => {
+                let mut subs = relock(self.subscribers.lock());
+                // A dead streaming thread never drains its queue; drop
+                // it here so an idle primary's lag reflects only live
+                // connections.
+                subs.retain(|s| !s.closed.load(Ordering::SeqCst));
+                subs.iter()
+                    .map(|s| s.depth.load(Ordering::SeqCst))
+                    .max()
+                    .unwrap_or(0)
+            }
             Role::Replica => self.lag.load(Ordering::SeqCst),
         }
     }
@@ -332,14 +382,49 @@ impl ReplState {
     }
 
     /// Registers a new streaming connection with the publish hub.
-    fn subscribe(&self) -> (Receiver<ReplBatch>, Arc<AtomicU64>) {
+    fn subscribe(&self) -> Subscription {
         let (tx, rx) = mpsc::channel();
         let depth = Arc::new(AtomicU64::new(0));
+        let closed = Arc::new(AtomicBool::new(false));
         relock(self.subscribers.lock()).push(Subscriber {
             tx,
             depth: Arc::clone(&depth),
+            closed: Arc::clone(&closed),
         });
-        (rx, depth)
+        Subscription { rx, depth, closed }
+    }
+
+    /// Builds the under-replication refusal for a write that `acked`
+    /// replicas confirmed, short of the configured minimum.
+    fn under_replicated(&self, acked: usize) -> KiffError {
+        self.telemetry.counter("serve.repl_underreplicated").incr();
+        KiffError::Unavailable {
+            op: "update".into(),
+            detail: format!(
+                "{acked} in-sync replica(s) acknowledged, {} required; \
+                 the batch is in the WAL and a retry dedups once replicas return",
+                self.config.min_sync_replicas
+            ),
+        }
+    }
+
+    /// Fails fast when fewer live streaming connections exist than the
+    /// configured minimum in-sync replica count — the gate the dedup
+    /// path uses, since a retried batch already sits in the WAL and
+    /// ships over any attached stream.
+    pub(crate) fn require_min_sync(&self) -> Result<(), KiffError> {
+        if self.config.min_sync_replicas == 0 {
+            return Ok(());
+        }
+        let live = {
+            let mut subs = relock(self.subscribers.lock());
+            subs.retain(|s| !s.closed.load(Ordering::SeqCst));
+            subs.len()
+        };
+        if live < self.config.min_sync_replicas {
+            return Err(self.under_replicated(live));
+        }
+        Ok(())
     }
 
     /// Publishes a committed batch to every live streaming connection
@@ -347,13 +432,26 @@ impl ReplState {
     /// replica applied it — the semi-synchronous half of the
     /// durability story. Called with the host mutex held, so batches
     /// reach every replica in commit order.
-    pub(crate) fn publish_and_wait(&self, first_seq: u64, batch_id: u64, updates: &[Update]) {
+    ///
+    /// With `min_sync_replicas` > 0 the ack count is enforced: fewer
+    /// confirmed copies than the minimum fails the write with a
+    /// retryable [`KiffError::Unavailable`] instead of silently
+    /// degrading to zero-replication durability.
+    pub(crate) fn publish_and_wait(
+        &self,
+        first_seq: u64,
+        batch_id: u64,
+        updates: &[Update],
+    ) -> Result<(), KiffError> {
         let epoch = self.epoch();
         let shared = Arc::new(updates.to_vec());
         let mut acks: Vec<Receiver<()>> = Vec::new();
         {
             let mut subs = relock(self.subscribers.lock());
             subs.retain_mut(|s| {
+                if s.closed.load(Ordering::SeqCst) {
+                    return false;
+                }
                 let (ack_tx, ack_rx) = mpsc::sync_channel(1);
                 let batch = ReplBatch {
                     epoch,
@@ -375,15 +473,22 @@ impl ReplState {
             });
         }
         let deadline = Instant::now() + self.config.ack_timeout;
+        let mut acked = 0usize;
         for rx in acks {
             let left = deadline.saturating_duration_since(Instant::now());
-            if rx.recv_timeout(left).is_err() {
+            if rx.recv_timeout(left).is_ok() {
+                acked += 1;
+            } else {
                 self.telemetry.counter("serve.repl_ack_timeouts").incr();
             }
         }
         self.telemetry
             .gauge("serve.replication_lag_batches")
             .set(self.lag() as i64);
+        if acked < self.config.min_sync_replicas {
+            return Err(self.under_replicated(acked));
+        }
+        Ok(())
     }
 }
 
@@ -698,6 +803,13 @@ fn run_inbound(
         }
         if f_epoch > repl.epoch() {
             adopt(shared, repl, f_epoch, repl.leader_hint());
+            if repl.epoch() < f_epoch {
+                // Persisting the fence failed (disk trouble); refuse
+                // the stream like the handshake does rather than apply
+                // frames from an epoch we could not adopt.
+                let _ = write_frame(&mut stream, &not_leader_frame(repl));
+                return Ok(());
+            }
         }
         let seq = match frame_type(&frame) {
             "batch" => {
@@ -712,9 +824,19 @@ fn run_inbound(
                     .iter()
                     .map(wire::update_from_value)
                     .collect::<Result<_, _>>()?;
-                shared
-                    .lock_host()
-                    .apply_replicated(first_seq, batch_id, &updates)?
+                let mut host = shared.lock_host();
+                // Promotion bumps the epoch under this same host lock,
+                // so re-checking here closes the gap between the
+                // loop-top epoch check and the apply: a deposed
+                // primary's last in-flight batch must not land on the
+                // new timeline.
+                if f_epoch < repl.epoch() {
+                    drop(host);
+                    shared.telemetry.counter("serve.repl_fenced").incr();
+                    let _ = write_frame(&mut stream, &not_leader_frame(repl));
+                    return Ok(());
+                }
+                host.apply_replicated(first_seq, batch_id, &updates)?
             }
             "heartbeat" => {
                 repl.touch();
@@ -821,7 +943,22 @@ fn run_outbound(
     // Subscribe *before* reading the WAL so no batch committed during
     // catch-up can fall between the replay and the live stream; the
     // seq check below drops the overlap.
-    let (rx, depth) = repl.subscribe();
+    let sub = repl.subscribe();
+    let result = stream_to_replica(shared, repl, peer_repl, &sub);
+    // Whatever ended the stream, this queue will never drain again:
+    // zero its depth slot so `lag()` stops counting it and mark the
+    // subscriber for pruning.
+    sub.close();
+    result
+}
+
+fn stream_to_replica(
+    shared: &Arc<Shared>,
+    repl: &Arc<ReplState>,
+    peer_repl: &str,
+    sub: &Subscription,
+) -> Result<(), KiffError> {
+    let (rx, depth) = (&sub.rx, &sub.depth);
     let mut stream = TcpStream::connect(peer_repl).map_err(KiffError::Io)?;
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(POLL)).map_err(KiffError::Io)?;
@@ -913,7 +1050,7 @@ fn run_outbound(
                     repl,
                     peer_repl,
                     &batch,
-                    &depth,
+                    depth,
                     &mut last_sent,
                     &drain_stop,
                 )? == BatchOutcome::NotLeader
@@ -934,7 +1071,7 @@ fn run_outbound(
                     repl,
                     peer_repl,
                     &batch,
-                    &depth,
+                    depth,
                     &mut last_sent,
                     &shared.shutdown,
                 )? == BatchOutcome::NotLeader
@@ -1200,10 +1337,33 @@ fn final_catch_up(
 
 // ------------------------------------------------------ failover (monitor)
 
+/// Whether a failed election-round health poll *proves* the peer's
+/// daemon is down. An active refusal (refused/reset/aborted) means
+/// something on the peer's host answered and said nobody is listening;
+/// a timeout or routing failure proves nothing — the peer may be alive
+/// and serving on the far side of a partition.
+fn peer_confirmed_down(err: &KiffError) -> bool {
+    matches!(err, KiffError::Io(e) if matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+    ))
+}
+
+/// Whether an election round resolved enough of the group to decide
+/// safely: this daemon plus every peer that either answered `health`
+/// or is provably down must form a strict majority, so two partitioned
+/// minorities can never both promote.
+fn election_quorum(resolved_peers: usize, group_size: usize) -> bool {
+    (resolved_peers + 1) * 2 > group_size
+}
+
 /// Replica-side failure monitor: after four silent heartbeat intervals
-/// it polls every peer's `health`; if no live primary with a current
-/// epoch answers and no other replica is further ahead, it promotes —
-/// bumping the epoch and snapshotting the fence before taking writes.
+/// it polls every peer's `health`; if the round resolves a majority of
+/// the group, no live primary with a current epoch answers, and no
+/// other replica is further ahead, it promotes — bumping the epoch and
+/// snapshotting the fence before taking writes.
 fn run_monitor(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         sleep_poll(&shared.shutdown, repl.heartbeat());
@@ -1218,10 +1378,22 @@ fn run_monitor(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
         }
         shared.telemetry.counter("serve.elections").incr();
         let mut found_leader = false;
+        let mut resolved = 0usize;
         let mut rivals: Vec<(u64, String)> = Vec::new();
-        for peer in repl.other_peers() {
-            let Ok(health) = poll_health(&peer) else {
-                continue;
+        let peers = repl.other_peers();
+        let group_size = peers.len() + 1;
+        for peer in peers {
+            let health = match poll_health(&peer) {
+                Ok(health) => {
+                    resolved += 1;
+                    health
+                }
+                Err(e) => {
+                    if peer_confirmed_down(&e) {
+                        resolved += 1;
+                    }
+                    continue;
+                }
             };
             if health.role.as_deref() == Some("primary") && health.epoch >= repl.epoch() {
                 // The primary is alive (we just could not hear it) or a
@@ -1240,6 +1412,17 @@ fn run_monitor(shared: &Arc<Shared>, repl: &Arc<ReplState>) {
             }
         }
         if found_leader {
+            continue;
+        }
+        if !election_quorum(resolved, group_size) {
+            // Cut off from too much of the group — the unreachable
+            // peers (and possibly the real primary) may be alive across
+            // a partition, so self-promoting here would split the
+            // brain. The round is inconclusive; keep retrying.
+            shared
+                .telemetry
+                .counter("serve.elections_inconclusive")
+                .incr();
             continue;
         }
         let my_seq = shared.lock_host().store_seq();
@@ -1385,10 +1568,10 @@ mod tests {
             0,
             Registry::new(),
         );
-        let (rx, _depth) = state.subscribe();
-        drop(rx);
+        let sub = state.subscribe();
+        drop(sub);
         let started = Instant::now();
-        state.publish_and_wait(1, 1, &[Update::AddUser]);
+        state.publish_and_wait(1, 1, &[Update::AddUser]).unwrap();
         assert!(
             started.elapsed() < Duration::from_millis(250),
             "dead subscriber must not cost an ack timeout"
@@ -1405,16 +1588,121 @@ mod tests {
             0,
             Registry::new(),
         ));
-        let (rx, depth) = state.subscribe();
+        let sub = state.subscribe();
         let worker = std::thread::spawn(move || {
-            let batch = rx.recv().unwrap();
+            let batch = sub.rx.recv().unwrap();
             assert_eq!(batch.first_seq, 5);
             assert_eq!(batch.batch_id, 9);
-            depth.fetch_sub(1, Ordering::SeqCst);
+            sub.depth.fetch_sub(1, Ordering::SeqCst);
             batch.ack.send(()).unwrap();
         });
-        state.publish_and_wait(5, 9, &[Update::AddUser]);
+        state.publish_and_wait(5, 9, &[Update::AddUser]).unwrap();
         worker.join().unwrap();
         assert_eq!(state.lag(), 0, "acked batch leaves no lag");
+    }
+
+    #[test]
+    fn min_sync_replicas_fails_an_unreplicated_write() {
+        let state = ReplState::new(
+            ReplicationConfig::new("127.0.0.1:0")
+                .with_ack_timeout(Duration::from_millis(20))
+                .with_min_sync_replicas(1),
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9000".into(),
+            0,
+            Registry::new(),
+        );
+        // No subscriber at all: zero acks < 1 required.
+        let err = state
+            .publish_and_wait(1, 1, &[Update::AddUser])
+            .unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.is_retryable(), "the client must retry, not give up");
+        // The dedup path's gate agrees while no stream is attached...
+        assert!(state.require_min_sync().is_err());
+        // ...and clears once one is.
+        let sub = state.subscribe();
+        assert!(state.require_min_sync().is_ok());
+        // A subscriber that acks in time satisfies the minimum.
+        let worker = std::thread::spawn(move || {
+            let batch = sub.rx.recv().unwrap();
+            sub.depth.fetch_sub(1, Ordering::SeqCst);
+            batch.ack.send(()).unwrap();
+        });
+        state.publish_and_wait(2, 2, &[Update::AddUser]).unwrap();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn min_sync_replicas_fails_when_the_ack_times_out() {
+        let state = ReplState::new(
+            ReplicationConfig::new("127.0.0.1:0")
+                .with_ack_timeout(Duration::from_millis(20))
+                .with_min_sync_replicas(1),
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9000".into(),
+            0,
+            Registry::new(),
+        );
+        // Subscriber attached but silent: the ack wait expires.
+        let sub = state.subscribe();
+        let err = state
+            .publish_and_wait(1, 1, &[Update::AddUser])
+            .unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        drop(sub);
+    }
+
+    #[test]
+    fn closed_subscriptions_stop_counting_toward_lag() {
+        let state = ReplState::new(
+            ReplicationConfig::new("127.0.0.1:0"),
+            "127.0.0.1:7000".into(),
+            "127.0.0.1:9000".into(),
+            0,
+            Registry::new(),
+        );
+        let sub = state.subscribe();
+        sub.depth.store(7, Ordering::SeqCst);
+        assert_eq!(state.lag(), 7, "live queue depth counts");
+        // The streaming thread dies with batches still queued: closing
+        // zeroes the slot and lag() prunes the subscriber.
+        sub.close();
+        assert_eq!(state.lag(), 0, "dead queue depth does not");
+        assert!(relock(state.subscribers.lock()).is_empty(), "pruned");
+    }
+
+    #[test]
+    fn election_quorum_needs_a_resolved_majority() {
+        // Two-node group: the lone replica decides alone only once the
+        // primary is provably down (resolved), never on pure silence.
+        assert!(election_quorum(1, 2));
+        assert!(!election_quorum(0, 2));
+        // Three-node group: one resolved peer plus self is a majority;
+        // resolving nobody is not.
+        assert!(election_quorum(1, 3));
+        assert!(!election_quorum(0, 3));
+        // Five-node group: two resolved peers plus self.
+        assert!(election_quorum(2, 5));
+        assert!(!election_quorum(1, 5));
+        // Degenerate single-node group: always decisive.
+        assert!(election_quorum(0, 1));
+    }
+
+    #[test]
+    fn refusal_confirms_a_peer_down_but_a_timeout_does_not() {
+        let refused = KiffError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused));
+        assert!(peer_confirmed_down(&refused));
+        let reset = KiffError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionReset));
+        assert!(peer_confirmed_down(&reset));
+        let timed_out = KiffError::Io(std::io::Error::from(std::io::ErrorKind::TimedOut));
+        assert!(
+            !peer_confirmed_down(&timed_out),
+            "a partition looks like a timeout; the peer may be alive"
+        );
+        let unreachable = KiffError::Io(std::io::Error::from(std::io::ErrorKind::HostUnreachable));
+        assert!(!peer_confirmed_down(&unreachable));
+        let protocol = KiffError::Protocol("garbled health".into());
+        assert!(!peer_confirmed_down(&protocol));
     }
 }

@@ -334,7 +334,15 @@ impl EngineHost {
                         Ok(Appended::Duplicate { seq }) => {
                             // The batch already landed in a previous
                             // life; acknowledge without re-applying so a
-                            // retried write is idempotent.
+                            // retried write is idempotent. It must still
+                            // clear the same durability bar as a fresh
+                            // apply: a write refused as under-replicated
+                            // keeps failing on retry until enough
+                            // replicas re-attach (the batch is in the
+                            // WAL, so the reconnect handshake ships it).
+                            if let Some(repl) = &self.repl {
+                                repl.require_min_sync()?;
+                            }
                             return Ok(serde_json::json!({
                                 "ok": true,
                                 "applied": 0,
@@ -366,9 +374,12 @@ impl EngineHost {
                     // live replica (bounded wait per replica) before the
                     // client sees the ack, so an acked write survives
                     // losing the primary. Runs under the host mutex, so
-                    // replicas receive batches in commit order.
+                    // replicas receive batches in commit order. Under
+                    // `min_sync_replicas` a batch short of the bar fails
+                    // the write (retryable; the local apply stands and
+                    // the retry dedups).
                     let first_seq = last_seq + 1 - updates.len() as u64;
-                    repl.publish_and_wait(first_seq, *batch, updates);
+                    repl.publish_and_wait(first_seq, *batch, updates)?;
                 }
                 if let Some(store) = &mut self.store {
                     store.maybe_snapshot(self.engine.as_ref())?;

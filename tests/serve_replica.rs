@@ -109,6 +109,17 @@ fn spawn_node(
     peers: &[String],
     heartbeat_ms: u64,
 ) -> Node {
+    spawn_node_min_sync(dir, addr, replica_of, peers, heartbeat_ms, 0)
+}
+
+fn spawn_node_min_sync(
+    dir: &Path,
+    addr: &str,
+    replica_of: Option<&str>,
+    peers: &[String],
+    heartbeat_ms: u64,
+    min_sync: usize,
+) -> Node {
     ambient_failpoints();
     let cfg = StoreConfig::new(dir).with_snapshot_every(0);
     let rec = recover(&cfg, &seed_dataset(), None, OnlineConfig::new(3), None).unwrap();
@@ -116,7 +127,8 @@ fn spawn_node(
     let mut rc = ReplicationConfig::new("127.0.0.1:0")
         .with_peers(peers.to_vec())
         .with_heartbeat(Duration::from_millis(heartbeat_ms))
-        .with_ack_timeout(Duration::from_millis(500));
+        .with_ack_timeout(Duration::from_millis(500))
+        .with_min_sync_replicas(min_sync);
     if let Some(primary) = replica_of {
         rc = rc.replica_of(primary);
     }
@@ -390,6 +402,85 @@ fn primary_kill_promotes_replica_and_fences_the_old_epoch() {
     let rec = recover(&cfg, &seed_dataset(), None, OnlineConfig::new(3), None).unwrap();
     assert!(rec.store.epoch() >= 1, "promotion epoch persisted");
     assert_eq!(rec.store.seq(), 2);
+    std::fs::remove_dir_all(&primary.dir).ok();
+    std::fs::remove_dir_all(&replica.dir).ok();
+}
+
+/// Retries a write through retryable refusals (`Unavailable` while the
+/// group is under the in-sync minimum, transient transport errors from
+/// ambient chaos faults) until it acks.
+fn update_until_acked(
+    client: &mut Client,
+    updates: &[Update],
+    batch: u64,
+) -> kiff::serve::UpdateAck {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.update_batch(updates, batch) {
+            Ok(ack) => return ack,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "batch {batch} never acked: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// With `min_sync_replicas = 1` a primary alone in the group refuses
+/// writes as retryable `Unavailable` instead of acking batches no
+/// replica holds; once a replica attaches and catches up, the retried
+/// batch dedups and fresh writes ack normally.
+#[test]
+fn min_sync_replicas_gates_acks_until_a_replica_attaches() {
+    let (a, b) = (free_addr(), free_addr());
+    let peers = vec![a.clone(), b.clone()];
+    let primary = spawn_node_min_sync(&scratch("isr-a"), &a, None, &peers, 25, 1);
+
+    let mut client = Client::connect(&a).unwrap();
+    let err = client.update_batch(&[Update::AddUser], 1).unwrap_err();
+    match &err {
+        KiffError::Remote { kind, .. } => assert_eq!(
+            kind, "unavailable",
+            "zero attached replicas < 1 required must refuse the ack"
+        ),
+        other => panic!("expected a remote unavailable refusal, got {other}"),
+    }
+    assert!(err.is_retryable(), "the client should retry, not give up");
+
+    // The refused batch still landed in the primary's WAL, so the
+    // replica picks it up through the reconnect catch-up.
+    let replica = spawn_node(&scratch("isr-b"), &b, Some(&a), &peers, 25);
+    let mut replica_client = Client::connect(&b).unwrap();
+    wait_for(5, "replica catch-up", || {
+        replica_client.health().unwrap().seq == Some(1)
+    });
+
+    // The retry under the original id dedups into a success now that
+    // the group meets the minimum... (retried like a real client would,
+    // since the CI chaos job's ambient faults can tear the stream and
+    // momentarily push the group back under the minimum)
+    let retry = update_until_acked(&mut client, &[Update::AddUser], 1);
+    assert!(retry.deduped, "retried batch id dedups, not re-applies");
+    // ...and a fresh batch acks only after the replica confirmed it.
+    update_until_acked(
+        &mut client,
+        &[Update::AddRating {
+            user: 2,
+            item: 3,
+            rating: 4.0,
+        }],
+        2,
+    );
+    wait_for(5, "semi-sync ship", || {
+        replica_client.health().unwrap().seq == Some(2)
+    });
+
+    shutdown_daemon(&a);
+    primary.handle.join().unwrap().unwrap();
+    shutdown_daemon(&b);
+    replica.handle.join().unwrap().unwrap();
+    let (_, hwm_b, seq_b) = recovered_graph(&replica.dir);
+    assert_eq!((hwm_b, seq_b), (2, 2), "both batches exactly once");
     std::fs::remove_dir_all(&primary.dir).ok();
     std::fs::remove_dir_all(&replica.dir).ok();
 }
