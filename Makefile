@@ -5,7 +5,7 @@ CARGO ?= cargo
 BENCH_OUT ?= bench-results
 RECALL_FLOOR ?= 0.90
 
-.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve bench-faults bench-failover chaos clean-bench
+.PHONY: ci fmt clippy build test examples doc bench-smoke bench-counting bench-baselines bench-rebalance bench-telemetry bench-serve bench-reads bench-faults bench-failover chaos clean-bench
 
 ci: fmt clippy build test examples doc bench-smoke
 
@@ -32,7 +32,7 @@ doc:
 # $(RECALL_FLOOR). Reports land in $(BENCH_OUT)/.
 bench-smoke:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
-		online sharded counting baselines rebalance telemetry serve faults failover \
+		online sharded counting baselines rebalance telemetry serve reads faults failover \
 		--scale 0.1 \
 		--threads 4 --seed 42 --recall-floor $(RECALL_FLOOR) --out $(BENCH_OUT)
 
@@ -72,6 +72,14 @@ bench-serve:
 	$(CARGO) run --release -p kiff-bench --bin experiments -- \
 		serve --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
 
+# Lock-free read path only (BENCH_reads.json): query p99 and
+# throughput with 8 readers under a streaming writer vs write-idle,
+# gated on the contended/idle ratios and on serve.read_wait_ns p99
+# (reads must never wait on the writer's mutex).
+bench-reads:
+	$(CARGO) run --release -p kiff-bench --bin experiments -- \
+		reads --scale 0.1 --threads 4 --seed 42 --out $(BENCH_OUT)
+
 # Fault tolerance only (BENCH_faults.json): the self-healing client
 # under a ~1% injected fault rate (success rate >= 0.999 and bounded
 # p99, both gated), plus degraded-mode recovery time and the
@@ -91,7 +99,7 @@ bench-failover:
 # The chaos suite: proptest fault schedules and replication failovers
 # against live daemons, with failpoints at elevated probability.
 chaos:
-	$(CARGO) test --test serve_faults --test serve_replica
+	$(CARGO) test --test serve_faults --test serve_replica --test serve_reads
 
 clean-bench:
 	rm -rf $(BENCH_OUT)

@@ -22,6 +22,7 @@ use kiff_collections::FxHashMap;
 use kiff_core::KiffError;
 use kiff_dataset::{Dataset, ItemId, UserId};
 use kiff_graph::KnnGraph;
+use kiff_online::ReadView;
 
 /// One recommended item with its aggregation score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +74,15 @@ impl Recommender {
             });
         }
         Ok(Self { dataset, graph })
+    }
+
+    /// Builds over an engine's published [`ReadView`]: two `Arc` bumps,
+    /// no copies, no engine lock — the serving daemon's per-request
+    /// path. A view is captured between mutations, so its graph and
+    /// dataset always agree on the user count and this cannot fail.
+    pub fn from_view(view: &ReadView) -> Self {
+        Self::new(Arc::clone(&view.dataset), Arc::clone(&view.graph))
+            .expect("a ReadView is batch-consistent by construction")
     }
 
     /// Pre-PR-7 borrowing constructor, kept as a migration shim: clones

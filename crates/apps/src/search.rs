@@ -17,6 +17,7 @@ use kiff_collections::{FxHashMap, FxHashSet};
 use kiff_core::KiffError;
 use kiff_dataset::{Dataset, ItemId, ProfileRef, Rating, UserId};
 use kiff_graph::KnnGraph;
+use kiff_online::ReadView;
 use kiff_similarity::functions;
 
 /// An owned query profile: sorted items with ratings, built from arbitrary
@@ -181,6 +182,15 @@ impl GraphSearcher {
             metric,
             max_seeds: 8,
         })
+    }
+
+    /// Builds over an engine's published [`ReadView`]: two `Arc` bumps,
+    /// no copies, no engine lock — the serving daemon's per-request
+    /// path. A view is captured between mutations, so its graph and
+    /// dataset always agree on the user count and this cannot fail.
+    pub fn from_view(view: &ReadView, metric: ProfileMetric) -> Self {
+        Self::new(Arc::clone(&view.dataset), Arc::clone(&view.graph), metric)
+            .expect("a ReadView is batch-consistent by construction")
     }
 
     /// Pre-PR-7 borrowing constructor, kept as a migration shim: clones

@@ -14,6 +14,7 @@ pub mod extensions;
 pub mod failover;
 pub mod faults;
 pub mod online;
+pub mod reads;
 pub mod rebalance;
 pub mod sensitivity;
 pub mod serve;
@@ -235,7 +236,7 @@ impl Ctx {
 }
 
 /// Every experiment id, in the paper's presentation order.
-pub const ALL: [&str; 30] = [
+pub const ALL: [&str; 31] = [
     "table1",
     "fig4",
     "fig1",
@@ -264,6 +265,7 @@ pub const ALL: [&str; 30] = [
     "rebalance",
     "telemetry",
     "serve",
+    "reads",
     "faults",
     "failover",
 ];
@@ -299,6 +301,7 @@ pub fn run_experiment(id: &str, ctx: &mut Ctx) -> Result<String, String> {
         "rebalance" => Ok(rebalance::rebalance(ctx)),
         "telemetry" => Ok(telemetry::telemetry(ctx)),
         "serve" => Ok(serve::serve(ctx)),
+        "reads" => Ok(reads::reads(ctx)),
         "faults" => Ok(faults::faults(ctx)),
         "failover" => Ok(failover::failover(ctx)),
         other => Err(format!(

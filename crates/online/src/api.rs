@@ -19,12 +19,50 @@
 use std::sync::Arc;
 
 use kiff_core::KiffError;
-use kiff_dataset::{DeltaDataset, UserId};
+use kiff_dataset::{Dataset, DeltaDataset, UserId};
 use kiff_graph::{KnnGraph, Neighbor};
 
 use crate::engine::OnlineKnn;
 use crate::sharded::ShardedOnlineKnn;
 use crate::update::{Update, UpdateStats};
+
+/// An immutable, batch-consistent snapshot of everything a query needs:
+/// the KNN graph, the materialized dataset, `k`, and the lifetime work
+/// counters at capture time.
+///
+/// A serving layer captures one of these after each `apply_batch` (both
+/// `Arc`s come from the engine's internal caches, so capture is two
+/// pointer clones in the steady state) and publishes it through an
+/// epoch cell; readers then answer `neighbors`/`recommend`/`search`
+/// from the view without ever touching the writer's engine lock. The
+/// graph and dataset are captured together between mutations, so a view
+/// can never pair a fresh graph with a stale dataset or vice versa.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    /// The KNN graph snapshot at capture time.
+    pub graph: Arc<KnnGraph>,
+    /// The materialized dataset the graph was computed against.
+    pub dataset: Arc<Dataset>,
+    /// Neighbourhood size `k`.
+    pub k: usize,
+    /// Lifetime work counters at capture time (what `stats` queries
+    /// report without locking the engine).
+    pub stats: UpdateStats,
+}
+
+impl ReadView {
+    /// Current number of users in the view.
+    pub fn num_users(&self) -> usize {
+        self.graph.num_users()
+    }
+
+    /// `u`'s neighbours in the view, best first, or
+    /// [`KiffError::UnknownUser`] when `u` is out of range.
+    pub fn neighbors(&self, u: UserId) -> Result<Vec<Neighbor>, KiffError> {
+        check_user(u, self.num_users())?;
+        Ok(self.graph.neighbors(u).to_vec())
+    }
+}
 
 /// A live KNN engine: queryable, updatable, snapshottable.
 ///
@@ -49,6 +87,21 @@ pub trait KnnEngine: Send {
 
     /// Snapshots the live graph (cached between mutations).
     fn graph(&self) -> Arc<KnnGraph>;
+
+    /// Materializes the live dataset (cached between mutations).
+    fn dataset(&self) -> Arc<Dataset>;
+
+    /// Captures a batch-consistent [`ReadView`] of the engine: graph +
+    /// dataset + `k` + lifetime stats, all observed between mutations.
+    /// In the steady state this is two `Arc` clones and a `Copy`.
+    fn read_view(&self) -> ReadView {
+        ReadView {
+            graph: self.graph(),
+            dataset: self.dataset(),
+            k: self.k(),
+            stats: *self.stats(),
+        }
+    }
 
     /// The live dataset view.
     fn data(&self) -> &DeltaDataset;
@@ -98,6 +151,10 @@ impl KnnEngine for OnlineKnn {
         OnlineKnn::graph(self)
     }
 
+    fn dataset(&self) -> Arc<Dataset> {
+        OnlineKnn::dataset(self)
+    }
+
     fn data(&self) -> &DeltaDataset {
         OnlineKnn::data(self)
     }
@@ -135,6 +192,10 @@ impl KnnEngine for ShardedOnlineKnn {
 
     fn graph(&self) -> Arc<KnnGraph> {
         ShardedOnlineKnn::graph(self)
+    }
+
+    fn dataset(&self) -> Arc<Dataset> {
+        ShardedOnlineKnn::dataset(self)
     }
 
     fn data(&self) -> &DeltaDataset {
@@ -200,6 +261,35 @@ mod tests {
             assert_eq!(engine.len(), 5);
             assert_eq!(engine.graph().num_users(), 5);
             assert_eq!(engine.data().num_users(), 5);
+        }
+    }
+
+    #[test]
+    fn read_view_is_batch_consistent_and_cheap_to_recapture() {
+        for mut engine in engines() {
+            let view = engine.read_view();
+            assert_eq!(view.num_users(), 4);
+            assert_eq!(view.k, 2);
+            assert_eq!(view.stats.updates, 0);
+            assert_eq!(view.neighbors(0).unwrap()[0].id, 1);
+            assert!(view.neighbors(99).is_err());
+            // Steady state: recapture reuses the cached Arcs.
+            let again = engine.read_view();
+            assert!(Arc::ptr_eq(&view.graph, &again.graph));
+            assert!(Arc::ptr_eq(&view.dataset, &again.dataset));
+            // The old view survives a mutation untouched (snapshot
+            // isolation); a fresh capture sees the new state.
+            engine.apply(Update::AddRating {
+                user: 2,
+                item: 1,
+                rating: 1.0,
+            });
+            assert_eq!(view.num_users(), 4);
+            assert_eq!(view.dataset.user_profile(2).rating(1), None);
+            let fresh = engine.read_view();
+            assert_eq!(fresh.stats.updates, 1);
+            assert_eq!(fresh.dataset.user_profile(2).rating(1), Some(1.0));
+            assert!(!Arc::ptr_eq(&view.dataset, &fresh.dataset));
         }
     }
 

@@ -25,12 +25,13 @@
 //! consistency model documented at the crate root.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use kiff_collections::{FxHashMap, FxHashSet, SparseCounter};
 use kiff_core::{build_rcs, CountingConfig, Kiff, KiffConfig, KiffError};
 use kiff_dataset::{Dataset, DeltaDataset, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ReverseAdjacency};
+use kiff_parallel::SnapshotCache;
 use kiff_similarity as sim;
 use kiff_similarity::ScorerWorkspace;
 use kiff_telemetry::{Counter, Histogram};
@@ -56,10 +57,13 @@ pub struct OnlineKnn {
     /// Reusable repair staging buffer of `(candidate, similarity)`.
     scored: Vec<(UserId, f64)>,
     /// Cached [`OnlineKnn::graph`] snapshot, invalidated by any heap edit
-    /// or user addition. A `Mutex` (not `RefCell`) so the engine stays
-    /// `Sync` for read sharing; contention is nil — the lock is held for
-    /// an `Option` clone.
-    snapshot: Mutex<Option<Arc<KnnGraph>>>,
+    /// or user addition. A [`SnapshotCache`] so concurrent readers build
+    /// outside the lock and publication is a single version-checked swap.
+    snapshot: SnapshotCache<KnnGraph>,
+    /// Cached [`OnlineKnn::dataset`] materialization, invalidated by any
+    /// dataset mutation — serving layers embed this in their published
+    /// read views instead of re-materializing per request.
+    dataset: SnapshotCache<Dataset>,
     /// `online.apply_ns`: wall-clock of each `apply`/`apply_batch` call.
     apply_ns: Histogram,
     /// `online.repair_ns`: wall-clock of each single-user repair.
@@ -196,7 +200,8 @@ impl OnlineKnn {
             lifetime: UpdateStats::default(),
             scorer_ws,
             scored: Vec::new(),
-            snapshot: Mutex::new(None),
+            snapshot: SnapshotCache::new(),
+            dataset: SnapshotCache::new(),
             apply_ns,
             repair_ns,
             tele_sims,
@@ -256,21 +261,32 @@ impl OnlineKnn {
     /// a stepping stone toward the epoch-based reader scheme the roadmap
     /// names.
     pub fn graph(&self) -> Arc<KnnGraph> {
-        let mut cache = self.snapshot.lock().expect("snapshot lock poisoned");
-        if let Some(g) = cache.as_ref() {
-            return Arc::clone(g);
-        }
-        let g = Arc::new(KnnGraph::from_neighbors(
-            self.config.k,
-            self.heaps.iter().map(KnnHeap::sorted_neighbors).collect(),
-        ));
-        *cache = Some(Arc::clone(&g));
-        g
+        self.snapshot.get_or_build(|| {
+            KnnGraph::from_neighbors(
+                self.config.k,
+                self.heaps.iter().map(KnnHeap::sorted_neighbors).collect(),
+            )
+        })
     }
 
-    /// Drops the cached snapshot after a state change.
+    /// Materializes the live dataset view as a frozen [`Dataset`].
+    ///
+    /// Cached between mutations like [`OnlineKnn::graph`]: repeated calls
+    /// in a read-only period return the same `Arc` for free, so a serving
+    /// layer can embed it in a published read view without paying the
+    /// `O(ratings)` copy per request.
+    pub fn dataset(&self) -> Arc<Dataset> {
+        self.dataset.get_or_build(|| self.data.to_dataset())
+    }
+
+    /// Drops the cached snapshot after a graph state change.
     fn invalidate_snapshot(&mut self) {
-        *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
+        self.snapshot.invalidate();
+    }
+
+    /// Drops the cached materialized dataset after any dataset mutation.
+    fn invalidate_dataset(&mut self) {
+        self.dataset.invalidate();
     }
 
     /// Appends a user with an empty profile, returning its id.
@@ -281,6 +297,7 @@ impl OnlineKnn {
         let rid = self.reverse.push_user();
         debug_assert_eq!(rid, id);
         self.invalidate_snapshot();
+        self.invalidate_dataset();
         id
     }
 
@@ -297,6 +314,7 @@ impl OnlineKnn {
         if stats.edits.total() > 0 {
             self.invalidate_snapshot();
         }
+        self.invalidate_dataset();
         self.lifetime.merge(&stats);
         stats
     }
@@ -326,6 +344,9 @@ impl OnlineKnn {
         self.maybe_compact(&mut stats);
         if stats.edits.total() > 0 {
             self.invalidate_snapshot();
+        }
+        if stats.updates > 0 {
+            self.invalidate_dataset();
         }
         self.lifetime.merge(&stats);
         stats
@@ -784,6 +805,36 @@ mod tests {
         // ...and so does a bare user addition (the graph grows a row).
         engine.add_user();
         let fourth = engine.graph();
+        assert!(!Arc::ptr_eq(&third, &fourth));
+        assert_eq!(fourth.num_users(), engine.num_users());
+    }
+
+    #[test]
+    fn dataset_materialization_is_cached_until_a_mutation() {
+        let mut engine = toy_engine();
+        let first = engine.dataset();
+        let second = engine.dataset();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "read-only period must reuse the materialized dataset"
+        );
+        // Any rating mutation invalidates — even a reinforcement that
+        // edits no graph edge still changes the dataset contents.
+        engine.apply(Update::AddRating {
+            user: 0,
+            item: 1,
+            rating: 3.0,
+        });
+        let third = engine.dataset();
+        assert!(!Arc::ptr_eq(&first, &third), "mutation must invalidate");
+        assert_eq!(
+            third.user_profile(0).rating(1),
+            engine.data().profile(0).rating(1),
+            "rematerialization reflects the reinforced rating"
+        );
+        // A bare user addition grows the materialized dataset too.
+        engine.add_user();
+        let fourth = engine.dataset();
         assert!(!Arc::ptr_eq(&third, &fourth));
         assert_eq!(fourth.num_users(), engine.num_users());
     }

@@ -68,7 +68,7 @@ pub mod engine;
 pub mod sharded;
 pub mod update;
 
-pub use api::KnnEngine;
+pub use api::{KnnEngine, ReadView};
 pub use config::{OnlineConfig, OnlineMetric};
 pub use engine::OnlineKnn;
 pub use sharded::{

@@ -65,13 +65,13 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use kiff_collections::{FxHashMap, FxHashSet, SparseCounter};
 use kiff_core::{build_rcs, CountingConfig};
 use kiff_dataset::{Dataset, DeltaDataset, DeltaView, UserId};
 use kiff_graph::{HeapChange, KnnGraph, KnnHeap, Neighbor, ShardReverse};
-use kiff_parallel::{effective_threads, parallel_for_each_mut};
+use kiff_parallel::{effective_threads, parallel_for_each_mut, SnapshotCache};
 use kiff_similarity::ScorerWorkspace;
 use kiff_telemetry::{Counter, Gauge, Histogram, Registry};
 
@@ -901,7 +901,14 @@ pub struct ShardedOnlineKnn {
     /// Users migrated over the engine's lifetime (all causes).
     migrations_total: u64,
     lifetime: UpdateStats,
-    snapshot: Mutex<Option<Arc<KnnGraph>>>,
+    /// Cached [`ShardedOnlineKnn::graph`] snapshot. A [`SnapshotCache`]:
+    /// concurrent readers build outside the lock and publication is a
+    /// single version-checked swap, so a reader racing another reader
+    /// can never observe a torn or stale-over-fresh entry.
+    snapshot: SnapshotCache<KnnGraph>,
+    /// Cached [`ShardedOnlineKnn::dataset`] materialization, invalidated
+    /// by any dataset mutation.
+    dataset: SnapshotCache<Dataset>,
     /// `online.apply_ns`: wall-clock of each `apply_batch` call.
     apply_ns: Histogram,
     /// `online.repair_round_ns`: wall-clock of each parallel repair
@@ -983,7 +990,8 @@ impl ShardedOnlineKnn {
             rebalancer,
             migrations_total: 0,
             lifetime: UpdateStats::default(),
-            snapshot: Mutex::new(None),
+            snapshot: SnapshotCache::new(),
+            dataset: SnapshotCache::new(),
             apply_ns,
             repair_round_ns,
             tele_migrations,
@@ -1095,19 +1103,21 @@ impl ShardedOnlineKnn {
     /// Snapshots the live graph. Cached between mutations like
     /// [`OnlineKnn::graph`].
     pub fn graph(&self) -> Arc<KnnGraph> {
-        let mut cache = self.snapshot.lock().expect("snapshot lock poisoned");
-        if let Some(g) = cache.as_ref() {
-            return Arc::clone(g);
-        }
-        let neighbors = (0..self.num_users() as UserId)
-            .map(|u| {
-                let slot = self.assign[u as usize];
-                self.shards[slot.shard as usize].heaps[slot.idx as usize].sorted_neighbors()
-            })
-            .collect();
-        let g = Arc::new(KnnGraph::from_neighbors(self.config.k, neighbors));
-        *cache = Some(Arc::clone(&g));
-        g
+        self.snapshot.get_or_build(|| {
+            let neighbors = (0..self.num_users() as UserId)
+                .map(|u| {
+                    let slot = self.assign[u as usize];
+                    self.shards[slot.shard as usize].heaps[slot.idx as usize].sorted_neighbors()
+                })
+                .collect();
+            KnnGraph::from_neighbors(self.config.k, neighbors)
+        })
+    }
+
+    /// Materializes the live dataset view as a frozen [`Dataset`]. Cached
+    /// between mutations like [`ShardedOnlineKnn::graph`].
+    pub fn dataset(&self) -> Arc<Dataset> {
+        self.dataset.get_or_build(|| self.data.to_dataset())
     }
 
     /// Appends a user with an empty profile, returning its id.
@@ -1122,7 +1132,8 @@ impl ShardedOnlineKnn {
             shard: s as u32,
             idx,
         });
-        *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
+        self.snapshot.invalidate();
+        self.dataset.invalidate();
         id
     }
 
@@ -1238,7 +1249,10 @@ impl ShardedOnlineKnn {
             stats.compacted = true;
         }
         if stats.edits.total() > 0 {
-            *self.snapshot.get_mut().expect("snapshot lock poisoned") = None;
+            self.snapshot.invalidate();
+        }
+        if stats.updates > 0 {
+            self.dataset.invalidate();
         }
         self.lifetime.merge(&stats);
         stats
@@ -1802,6 +1816,54 @@ mod tests {
         let second = engine.graph();
         assert!(!Arc::ptr_eq(&first, &second));
         assert_eq!(second.num_users(), 4);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_snapshot_without_tearing() {
+        // Regression for the lock-then-replace cache: once readers run
+        // concurrently with each other (shared `&engine` between writer
+        // batches), a cold-cache stampede must neither block readers
+        // behind one O(E) build nor publish divergent snapshots. Every
+        // thread must read a complete graph, and the cache must converge
+        // to one pointer-stable Arc.
+        let mut engine = toy(4);
+        engine.apply(Update::AddRating {
+            user: 2,
+            item: 1,
+            rating: 1.0,
+        });
+        let expected = engine.graph();
+        // Re-invalidate so threads race the cold fill (same content).
+        engine.snapshot.invalidate();
+        let engine = Arc::new(engine);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut graphs = Vec::new();
+                    for _ in 0..50 {
+                        graphs.push(engine.graph());
+                    }
+                    graphs
+                })
+            })
+            .collect();
+        for h in handles {
+            for g in h.join().unwrap() {
+                assert_eq!(g.num_users(), expected.num_users());
+                for u in 0..expected.num_users() as UserId {
+                    assert_eq!(g.neighbors(u), expected.neighbors(u), "torn snapshot");
+                }
+            }
+        }
+        let warm_a = engine.graph();
+        let warm_b = engine.graph();
+        assert!(Arc::ptr_eq(&warm_a, &warm_b), "cache must converge");
+        // The dataset materialization cache obeys the same discipline.
+        let ds_a = engine.dataset();
+        let ds_b = engine.dataset();
+        assert!(Arc::ptr_eq(&ds_a, &ds_b));
+        assert_eq!(ds_a.num_users(), expected.num_users());
     }
 
     #[test]

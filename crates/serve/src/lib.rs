@@ -63,7 +63,7 @@ pub mod wire;
 
 pub use client::{Client, FailoverClient, Health, RetryPolicy, SelfHealingClient, UpdateAck};
 pub use replication::{ReplState, ReplicationConfig, Role};
-pub use server::{EngineHost, Server, ServerConfig};
+pub use server::{EngineHost, ServeView, Server, ServerConfig};
 pub use snapshot::{latest_snapshot, load_snapshot, save_snapshot, Snapshot};
 pub use store::{recover, Appended, Recovered, Store, StoreConfig};
 pub use wal::{Wal, WalReplay};

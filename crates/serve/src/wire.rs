@@ -12,6 +12,13 @@
 //! ← {"ok":false,"error":{"kind":"unknown_user","message":"…"}}
 //! ```
 //!
+//! View-served responses (`neighbors`, `recommend`, `predict`,
+//! `audience`, `search`, `stats`) and update acks additionally carry a
+//! `"view"` field: the monotone version of the published read view the
+//! answer was computed from (or, for an ack, the version the write
+//! became visible at). Clients that don't care simply ignore it —
+//! parsers must tolerate unknown response fields.
+//!
 //! JSON (rather than a binary encoding) keeps the protocol debuggable
 //! with a five-line script; the framing keeps it unambiguous over a
 //! stream. Updates use a tagged representation mirroring

@@ -31,7 +31,7 @@
 //! property the `counting_scorers` suite tests and the `counting` bench
 //! experiment relies on for its recall-ratio-1.0 check.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use kiff_dataset::{Dataset, ProfileRef, UserId};
 use kiff_telemetry::{Counter, Registry};
@@ -130,8 +130,12 @@ pub struct ScorerWorkspace {
     /// thread (measured at >25% replay throughput in the `telemetry`
     /// bench experiment), so scorers bump this unsynchronised cell and
     /// the workspace flushes one `add` per reference at the next
-    /// `prepare` / [`ScorerWorkspace::flush_telemetry`] / drop.
-    pending_scores: Cell<u64>,
+    /// `prepare` / [`ScorerWorkspace::flush_telemetry`] / drop. An
+    /// `AtomicU64` only so the workspace (and the engines embedding it)
+    /// stays `Sync` for shared read access; every touch is a relaxed
+    /// plain load/store on a per-worker cell — same machine code as the
+    /// former `Cell<u64>`, never a contended RMW in the scoring loop.
+    pending_scores: AtomicU64,
 }
 
 impl ScorerWorkspace {
@@ -155,7 +159,7 @@ impl ScorerWorkspace {
             dirty: Vec::new(),
             prepares: registry.counter("similarity.prepares"),
             scores: registry.counter("similarity.scores"),
-            pending_scores: Cell::new(0),
+            pending_scores: AtomicU64::new(0),
         }
     }
 
@@ -166,7 +170,7 @@ impl ScorerWorkspace {
     /// exported counter is exact. A no-op (and free) when nothing is
     /// pending or telemetry is not wired.
     pub fn flush_telemetry(&self) {
-        let pending = self.pending_scores.replace(0);
+        let pending = self.pending_scores.swap(0, Ordering::Relaxed);
         if pending > 0 {
             self.scores.add(pending);
         }
@@ -257,10 +261,20 @@ pub struct ProfileScorer<'a> {
     /// The workspace's unflushed `similarity.scores` tally: one
     /// unsynchronised bump per candidate here, one shared-counter `add`
     /// per reference at flush — never an atomic RMW in the scoring loop.
-    pending_scores: &'a Cell<u64>,
+    pending_scores: &'a AtomicU64,
 }
 
 impl ProfileScorer<'_> {
+    /// One unsynchronised tally bump per scored candidate: a relaxed
+    /// load/store pair (not an RMW) on the workspace's private cell.
+    #[inline]
+    fn bump_scores(&self) {
+        self.pending_scores.store(
+            self.pending_scores.load(Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+    }
+
     /// The prepared reference profile.
     pub fn reference(&self) -> ProfileRef<'_> {
         self.a
@@ -356,7 +370,7 @@ impl ProfileScorer<'_> {
     /// on `(a, b)`, bit for bit.
     #[inline]
     pub fn score(&self, b: ProfileRef<'_>) -> f64 {
-        self.pending_scores.set(self.pending_scores.get() + 1);
+        self.bump_scores();
         match self.kind {
             ScoreKind::Cosine => self.cosine_value(b, self.norm_a, b.norm()),
             ScoreKind::BinaryCosine => {
@@ -404,7 +418,7 @@ impl ProfileScorer<'_> {
     /// meaningful when prepared with [`ScoreKind::Cosine`].
     #[inline]
     pub fn score_cosine(&self, b: ProfileRef<'_>, norm_b: f64) -> f64 {
-        self.pending_scores.set(self.pending_scores.get() + 1);
+        self.bump_scores();
         self.cosine_value(b, self.norm_a, norm_b)
     }
 
@@ -412,7 +426,7 @@ impl ProfileScorer<'_> {
     /// path, where the reference norm too comes from the fitted table).
     #[inline]
     pub fn score_cosine_with_norms(&self, b: ProfileRef<'_>, norm_a: f64, norm_b: f64) -> f64 {
-        self.pending_scores.set(self.pending_scores.get() + 1);
+        self.bump_scores();
         self.cosine_value(b, norm_a, norm_b)
     }
 

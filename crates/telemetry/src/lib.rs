@@ -163,6 +163,34 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.cell.load(Ordering::Relaxed)
     }
+
+    /// Raises the gauge by `delta` and returns a guard that lowers it
+    /// back on drop — the RAII form of an `add(d)` / `add(-d)` pair, so
+    /// every exit path (early returns, `?`, panics that unwind) restores
+    /// the level. Use for occupancy-style gauges (`serve.queue_depth`)
+    /// where a leaked increment would read as a phantom stuck request.
+    #[inline]
+    pub fn raise(&self, delta: i64) -> GaugeGuard {
+        self.add(delta);
+        GaugeGuard {
+            gauge: self.clone(),
+            delta,
+        }
+    }
+}
+
+/// Lowers the owning [`Gauge`] by the raised delta on drop; returned by
+/// [`Gauge::raise`].
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Gauge,
+    delta: i64,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.add(-self.delta);
+    }
 }
 
 /// Shared cells of one histogram.
@@ -659,6 +687,28 @@ mod tests {
         assert_eq!(snap.counter("a.count"), Some(6));
         assert_eq!(snap.gauge("a.level"), Some(4));
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauge_guard_restores_level_on_every_exit_path() {
+        let registry = Registry::new();
+        let g = registry.gauge("q.depth");
+        {
+            let _guard = g.raise(1);
+            assert_eq!(g.get(), 1);
+            let _second = g.raise(3);
+            assert_eq!(g.get(), 4);
+        }
+        assert_eq!(g.get(), 0, "scope exit lowers the gauge");
+        // An unwinding panic still lowers it: the leak the RAII form
+        // exists to prevent.
+        let g2 = g.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _guard = g2.raise(1);
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        assert_eq!(g.get(), 0, "unwind lowers the gauge");
     }
 
     #[test]

@@ -667,8 +667,10 @@ mod serving {
 
         // The shed is a race by nature (that is the point of the
         // limit), so retry the whole scenario a few times rather than
-        // assert on a single heat.
-        for round in 0..10 {
+        // assert on a single heat. On a single-core host six clients
+        // can serialize cleanly for many heats in a row, so the
+        // patience is generous.
+        for round in 0..30 {
             let registry = Registry::new();
             let config = OnlineConfig::new(3).with_telemetry(registry.clone());
             let engine = Box::new(OnlineKnn::new(&seed(), config));
@@ -727,10 +729,10 @@ mod serving {
                     assert!(e.is_retryable(), "shed must invite a retry: {e}");
                 }
             }
-            assert!(round < 10);
+            assert!(round < 30);
             return;
         }
-        panic!("six simultaneous heavy updates never overlapped in 10 rounds");
+        panic!("six simultaneous heavy updates never overlapped in 30 rounds");
     }
 
     /// A WAL fault flips the daemon into degraded mode: queries keep

@@ -1,0 +1,233 @@
+//! Concurrent read-during-write properties of the lock-free read path.
+//!
+//! A live daemon streams arbitrary update batches while two kinds of
+//! readers hammer it concurrently:
+//!
+//! - **embedded readers** sharing the daemon's published [`ServeView`]
+//!   cell directly (the in-process path `Server::view_handle` exists
+//!   for), each with its own [`ViewCache`];
+//! - a **TCP reader** observing the `"view"` version stamped on every
+//!   view-served response.
+//!
+//! The properties proved, per ISSUE 10:
+//!
+//! 1. **Monotone views** — no reader ever observes the view version go
+//!    backwards, in-process or over the wire.
+//! 2. **Batch-boundary consistency** — every observed view fingerprints
+//!    identically to a reference engine that applied exactly the first
+//!    `version` batches. Readers never see a half-applied batch.
+//! 3. **Read-your-writes** — after the writer's ack of batch `b`, every
+//!    subsequent read (any connection) sees version ≥ `b`.
+//!
+//! Runs under the chaos job's ambient `KIFF_FAILPOINTS` like the other
+//! serve suites; the daemon here is storeless, so ambient WAL and
+//! replication faults are exercised by the sibling suites while this
+//! one stays focused on view semantics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use kiff::online::ReadView;
+use kiff::parallel::ViewCache;
+use kiff::prelude::*;
+use kiff::serve::ServeView;
+use kiff_core::fault;
+
+/// Arms any ambient `KIFF_FAILPOINTS` spec exactly once per test
+/// binary, mirroring `serve_faults`.
+fn ambient_failpoints() {
+    static ARM: std::sync::Once = std::sync::Once::new();
+    ARM.call_once(|| {
+        let armed = fault::arm_from_env().expect("invalid KIFF_FAILPOINTS spec");
+        if armed > 0 {
+            eprintln!("chaos: {armed} ambient failpoint(s) armed from KIFF_FAILPOINTS");
+        }
+    });
+}
+
+/// Same seed shape as the other serve suites: 8 users over 10 items.
+fn seed_dataset() -> Dataset {
+    let mut b = DatasetBuilder::new("reads-seed", 8, 10);
+    for u in 0..8u32 {
+        for j in 0..4u32 {
+            b.add_rating(u, (u * 3 + j * 2) % 10, 1.0 + (u + j) as f32 % 3.0);
+        }
+    }
+    b.build()
+}
+
+/// Arbitrary update streams over the seed's id space.
+fn arb_stream() -> impl Strategy<Value = Vec<Update>> {
+    proptest::collection::vec((0u8..8, 0u32..8, 0u32..10, 1u32..6), 1..30).prop_map(|ops| {
+        ops.into_iter()
+            .map(|(kind, user, item, rating)| match kind {
+                0 => Update::AddUser,
+                1 => Update::RemoveRating { user, item },
+                _ => Update::AddRating {
+                    user,
+                    item,
+                    rating: rating as f32,
+                },
+            })
+            .collect()
+    })
+}
+
+/// Order- and content-sensitive digest of everything a view exposes:
+/// the full adjacency, the materialized dataset, and the update
+/// counters. Two views fingerprint equal iff a reader cannot tell them
+/// apart.
+fn fingerprint(view: &ReadView) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(view.num_users() as u64);
+    mix(view.stats.updates);
+    for u in 0..view.num_users() as u32 {
+        for n in view.graph.neighbors(u) {
+            mix(u as u64);
+            mix(n.id as u64);
+            mix(n.sim.to_bits());
+        }
+        for (item, rating) in view.dataset.user_profile(u).iter() {
+            mix(item as u64);
+            mix(rating.to_bits() as u64);
+        }
+    }
+    mix(view.k as u64);
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Readers racing a streaming writer observe only monotone,
+    /// batch-boundary-consistent views.
+    #[test]
+    fn concurrent_readers_see_monotone_batch_consistent_views(
+        stream in arb_stream(),
+        batch in 1usize..5,
+    ) {
+        ambient_failpoints();
+        let seed = seed_dataset();
+        let config = || OnlineConfig::new(3);
+
+        let engine = Box::new(OnlineKnn::new(&seed, config()));
+        let host = EngineHost::new(engine, None, Registry::new());
+        let server = Server::bind("127.0.0.1:0", host).unwrap();
+        let addr = server.local_addr().to_string();
+        let views = server.view_handle();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Embedded readers: spin on the shared view cell, recording
+        // every (version, fingerprint) they observe. Each keeps a
+        // private ViewCache — the steady-state lock-free path.
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let views = Arc::clone(&views);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut cache: ViewCache<ServeView> = ViewCache::new();
+                let mut seen: Vec<(u64, u64)> = Vec::new();
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = views.load_cached(&mut cache);
+                    assert!(
+                        view.version >= last,
+                        "view version went backwards: {} after {last}",
+                        view.version
+                    );
+                    last = view.version;
+                    if seen.last().map(|(v, _)| *v) != Some(view.version) {
+                        seen.push((view.version, fingerprint(&view.view)));
+                    }
+                    std::thread::yield_now();
+                }
+                seen
+            }));
+        }
+
+        // TCP reader: the wire-level leg of the same property. Every
+        // view-served response stamps the version it was answered from.
+        let tcp_reader = {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut last = 0u64;
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = client
+                        .request(&kiff::serve::Request::Neighbors { user: 0 })
+                        .unwrap()
+                        .get("view")
+                        .and_then(serde_json::Value::as_u64)
+                        .expect("view-served responses carry the version");
+                    assert!(v >= last, "wire view went backwards: {v} after {last}");
+                    last = v;
+                    observed += 1;
+                }
+                observed
+            })
+        };
+
+        // Writer: stream the batches over TCP, proving read-your-writes
+        // after every ack.
+        let mut writer = Client::connect(&addr).unwrap();
+        let mut probe = Client::connect(&addr).unwrap();
+        let mut batches = 0u64;
+        for chunk in stream.chunks(batch) {
+            writer.update(chunk).unwrap();
+            batches += 1;
+            let seen = probe
+                .request(&kiff::serve::Request::Stats)
+                .unwrap()
+                .get("view")
+                .and_then(serde_json::Value::as_u64)
+                .unwrap();
+            prop_assert!(
+                seen >= batches,
+                "acked batch {batches} not visible: probe saw view {seen}"
+            );
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        let tcp_reads = tcp_reader.join().unwrap();
+        prop_assert!(tcp_reads > 0, "the TCP reader made progress");
+
+        // Reference run: fingerprint after every batch boundary. The
+        // daemon publishes exactly one view per batch, so version v
+        // must equal the reference after its first v batches.
+        let mut reference = OnlineKnn::new(&seed, config());
+        let mut expected = vec![fingerprint(&reference.read_view())];
+        for chunk in stream.chunks(batch) {
+            reference.apply_batch(chunk.to_vec());
+            expected.push(fingerprint(&reference.read_view()));
+        }
+
+        for reader in readers {
+            let seen = reader.join().unwrap();
+            prop_assert!(!seen.is_empty(), "every embedded reader made progress");
+            for (version, fp) in seen {
+                let v = version as usize;
+                prop_assert!(v < expected.len(), "version {version} beyond last batch");
+                prop_assert_eq!(
+                    fp,
+                    expected[v],
+                    "view {} is not the state at its batch boundary",
+                    version
+                );
+            }
+        }
+
+        let mut shut = Client::connect(&addr).unwrap();
+        shut.shutdown().unwrap();
+        daemon.join().unwrap().unwrap();
+    }
+}
